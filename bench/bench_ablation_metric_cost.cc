@@ -1,0 +1,61 @@
+// Ablation (Section 3.1.2): the O(D) cost of computing NXNDIST
+// (Algorithm 1) versus the other MBR metrics, across dimensionality.
+// google-benchmark microbenchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "metrics/metrics.h"
+
+namespace {
+
+using ann::kMaxDim;
+using ann::Rect;
+using ann::Rng;
+using ann::Scalar;
+
+std::vector<std::pair<Rect, Rect>> MakePairs(int dim, size_t count) {
+  Rng rng(dim * 977);
+  std::vector<std::pair<Rect, Rect>> pairs(count);
+  for (auto& [m, n] : pairs) {
+    m.dim = dim;
+    n.dim = dim;
+    for (int d = 0; d < dim; ++d) {
+      Scalar a = rng.NextDouble(), b = rng.NextDouble();
+      if (a > b) std::swap(a, b);
+      m.lo[d] = a;
+      m.hi[d] = b;
+      a = rng.NextDouble();
+      b = rng.NextDouble();
+      if (a > b) std::swap(a, b);
+      n.lo[d] = a;
+      n.hi[d] = b;
+    }
+  }
+  return pairs;
+}
+
+template <Scalar (*Metric)(const Rect&, const Rect&)>
+void BM_Metric(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto pairs = MakePairs(dim, 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [m, n] = pairs[i++ & 1023];
+    benchmark::DoNotOptimize(Metric(m, n));
+  }
+  state.SetComplexityN(dim);
+}
+
+void Dims(benchmark::internal::Benchmark* b) {
+  for (int d : {1, 2, 4, 6, 8, 10, 12, 16}) b->Arg(d);
+}
+
+BENCHMARK(BM_Metric<ann::NxnDist2>)->Apply(Dims)->Complexity();
+BENCHMARK(BM_Metric<ann::MaxMaxDist2>)->Apply(Dims)->Complexity();
+BENCHMARK(BM_Metric<ann::MinMinDist2>)->Apply(Dims)->Complexity();
+BENCHMARK(BM_Metric<ann::MinMaxDist2>)->Apply(Dims)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Ablation: buffer-pool replacement policy under the ANN access pattern.
+// SHORE-era buffer managers used CLOCK; the harness defaults to exact
+// LRU. MBA's depth-first traversal has strong sequential locality, so
+// the two should land close — this bench verifies the experimental
+// conclusions do not hinge on the policy choice.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+#include "datagen/real_sim.h"
+
+using namespace ann;
+using namespace ann::bench;
+
+int main() {
+  const size_t n = static_cast<size_t>(580000 * ScaleFromEnv());
+  auto fc = MakeForestCoverLike(n);
+  if (!fc.ok()) return 1;
+  Dataset r, s;
+  SplitHalves(*fc, &r, &s);
+
+  PrintHeader("Ablation: LRU vs CLOCK replacement (MBA on FC, 10D)",
+              "Same workload, same pool sizes; only the eviction policy "
+              "differs.");
+  PrintColumns({"policy @ pool", "CPU(s)", "I/O(s)", "total(s)"});
+
+  for (const Replacement policy : {Replacement::kLru, Replacement::kClock}) {
+    Workspace ws(policy);
+    auto r_meta = ws.AddIndex(IndexKind::kMbrqt, r);
+    auto s_meta = ws.AddIndex(IndexKind::kMbrqt, s);
+    if (!r_meta.ok() || !s_meta.ok()) return 1;
+    for (const size_t frames : {size_t{64}, size_t{512}}) {
+      auto cost = RunIndexedAnn(&ws, *r_meta, *s_meta, frames, AnnOptions{});
+      if (!cost.ok()) return 1;
+      PrintCostRow(std::string(ToString(policy)) + " @ " +
+                       std::to_string(frames * kPageSize / 1024) + "KB",
+                   *cost);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation (Section 3.3.2): the four traversal/expansion combinations —
+// depth-first vs breadth-first, bi- vs uni-directional. The paper states
+// DF+BI (the MBA choice) "proves to outperform the others"; this bench
+// regenerates that comparison.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+#include "datagen/real_sim.h"
+
+using namespace ann;
+using namespace ann::bench;
+
+int main() {
+  const size_t n = static_cast<size_t>(700000 * ScaleFromEnv());
+  auto tac = MakeTacLike(n);
+  if (!tac.ok()) return 1;
+  Dataset r, s;
+  SplitHalves(*tac, &r, &s);
+
+  PrintHeader("Ablation: traversal order x expansion direction (TAC, 2D)",
+              "Paper: DF+BI (== MBA) wins; BF variants pay memory and "
+              "locality, UNI pays repeated probing.");
+  std::printf("%-10s %10s %10s %14s %14s %14s\n", "variant", "CPU(s)",
+              "I/O(s)", "enqueued", "dist evals", "LPQs");
+
+  Workspace ws;
+  auto r_meta = ws.AddIndex(IndexKind::kMbrqt, r);
+  auto s_meta = ws.AddIndex(IndexKind::kMbrqt, s);
+  if (!r_meta.ok() || !s_meta.ok()) return 1;
+
+  for (const Traversal traversal :
+       {Traversal::kDepthFirst, Traversal::kBreadthFirst}) {
+    for (const Expansion expansion :
+         {Expansion::kBidirectional, Expansion::kUnidirectional}) {
+      AnnOptions opts;
+      opts.traversal = traversal;
+      opts.expansion = expansion;
+      PruneStats stats;
+      auto cost =
+          RunIndexedAnn(&ws, *r_meta, *s_meta, kPool512K, opts, &stats);
+      if (!cost.ok()) return 1;
+      std::printf("%s-%-7s %10.3f %10.3f %14llu %14llu %14llu\n",
+                  ToString(traversal), ToString(expansion), cost->cpu_s,
+                  cost->io_s(), (unsigned long long)stats.enqueued,
+                  (unsigned long long)stats.distance_evals,
+                  (unsigned long long)stats.lpqs_created);
+    }
+  }
+  return 0;
+}

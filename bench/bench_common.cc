@@ -1,0 +1,160 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ann::bench {
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("ANN_BENCH_SCALE");
+  if (env == nullptr) return 0.1;
+  const double v = std::atof(env);
+  return v > 0 ? v : 0.1;
+}
+
+double IoMillisFromEnv() {
+  const char* env = std::getenv("ANN_IO_MS");
+  if (env == nullptr) return 8.0;
+  const double v = std::atof(env);
+  return v >= 0 ? v : 8.0;
+}
+
+Result<PersistedIndexMeta> Workspace::AddIndex(IndexKind kind,
+                                               const Dataset& data) {
+  switch (kind) {
+    case IndexKind::kMbrqt: {
+      ANN_ASSIGN_OR_RETURN(Mbrqt qt, Mbrqt::Build(data));
+      return PersistMemTree(qt.Finalize(), &store_);
+    }
+    case IndexKind::kRstarInsert: {
+      RStarTree rt(data.dim());
+      for (size_t i = 0; i < data.size(); ++i) {
+        ANN_RETURN_NOT_OK(rt.Insert(data.point(i), i));
+      }
+      return PersistMemTree(rt.tree(), &store_);
+    }
+    case IndexKind::kRstarBulk: {
+      ANN_ASSIGN_OR_RETURN(const RStarTree rt, RStarTree::BulkLoadStr(data));
+      return PersistMemTree(rt.tree(), &store_);
+    }
+    case IndexKind::kKdTree: {
+      ANN_ASSIGN_OR_RETURN(const KdTree kt, KdTree::Build(data));
+      return PersistMemTree(kt.tree(), &store_);
+    }
+    case IndexKind::kGrid: {
+      ANN_ASSIGN_OR_RETURN(const GridIndex grid, GridIndex::Build(data));
+      return PersistMemTree(grid.tree(), &store_);
+    }
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+Status Workspace::Prepare(size_t frames) {
+  ANN_RETURN_NOT_OK(pool_.Reset(frames));
+  pool_.ResetStats();
+  disk_.ResetStats();
+  return Status::OK();
+}
+
+uint64_t FlatFilePages(size_t n, int dim) {
+  const size_t record = 8 + static_cast<size_t>(dim) * 8;
+  const size_t per_page = kPageSize / record;
+  return (n + per_page - 1) / per_page;
+}
+
+Result<MethodCost> RunIndexedAnn(Workspace* ws, const PersistedIndexMeta& r,
+                                 const PersistedIndexMeta& s, size_t frames,
+                                 const AnnOptions& options,
+                                 PruneStats* stats) {
+  ANN_RETURN_NOT_OK(ws->Prepare(frames));
+  std::vector<NeighborList> out;
+  const PagedIndexView ir = ws->View(r);
+  const PagedIndexView is = ws->View(s);
+  const Timer timer;
+  ANN_RETURN_NOT_OK(AllNearestNeighbors(ir, is, options, &out, stats));
+  MethodCost cost;
+  cost.cpu_s = timer.Seconds();
+  cost.page_ios = ws->QueryPageIos();
+  cost.results = out.size();
+  return cost;
+}
+
+Result<MethodCost> RunBnn(const Dataset& r, Workspace* ws,
+                          const PersistedIndexMeta& s, size_t frames,
+                          const BnnOptions& options, SearchStats* stats) {
+  ANN_RETURN_NOT_OK(ws->Prepare(frames));
+  std::vector<NeighborList> out;
+  const PagedIndexView is = ws->View(s);
+  const Timer timer;
+  ANN_RETURN_NOT_OK(BatchedNearestNeighbors(r, is, options, &out, stats));
+  MethodCost cost;
+  cost.cpu_s = timer.Seconds();
+  cost.page_ios = ws->QueryPageIos() + FlatFilePages(r.size(), r.dim());
+  cost.results = out.size();
+  return cost;
+}
+
+Result<MethodCost> RunMnn(const Dataset& r, Workspace* ws,
+                          const PersistedIndexMeta& s, size_t frames,
+                          const MnnOptions& options, SearchStats* stats) {
+  ANN_RETURN_NOT_OK(ws->Prepare(frames));
+  std::vector<NeighborList> out;
+  const PagedIndexView is = ws->View(s);
+  const Timer timer;
+  ANN_RETURN_NOT_OK(MultipleNearestNeighbors(r, is, options, &out, stats));
+  MethodCost cost;
+  cost.cpu_s = timer.Seconds();
+  cost.page_ios = ws->QueryPageIos() + FlatFilePages(r.size(), r.dim());
+  cost.results = out.size();
+  return cost;
+}
+
+Result<MethodCost> RunGorder(const Dataset& r, const Dataset& s,
+                             size_t frames, const GorderOptions& options,
+                             GorderStats* stats) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, frames);
+  std::vector<NeighborList> out;
+  const Timer timer;
+  ANN_RETURN_NOT_OK(GorderJoin(r, s, &pool, options, &out, stats));
+  MethodCost cost;
+  cost.cpu_s = timer.Seconds();
+  // GORDER additionally reads both raw inputs once (transform phase) and
+  // materializes the sorted files (write-backs are in physical_writes).
+  cost.page_ios = pool.stats().pool_misses + pool.stats().physical_writes +
+                  FlatFilePages(r.size(), r.dim()) +
+                  FlatFilePages(s.size(), s.dim());
+  cost.results = out.size();
+  return cost;
+}
+
+void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("(scale=%.2f of paper cardinality, io=%.1f ms/page; "
+              "ANN_BENCH_SCALE / ANN_IO_MS to change)\n\n",
+              ScaleFromEnv(), IoMillisFromEnv());
+}
+
+void PrintColumns(const std::vector<std::string>& cols) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::printf(i == 0 ? "%-26s" : "%14s", cols[i].c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::printf(i == 0 ? "%-26s" : "%14s", i == 0 ? "----" : "----");
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-26s", label.c_str());
+  for (const double v : values) std::printf("%14.3f", v);
+  std::printf("\n");
+}
+
+void PrintCostRow(const std::string& label, const MethodCost& cost) {
+  PrintRow(label, {cost.cpu_s, cost.io_s(), cost.total_s()});
+}
+
+}  // namespace ann::bench

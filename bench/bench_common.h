@@ -1,0 +1,144 @@
+#ifndef ANNLIB_BENCH_BENCH_COMMON_H_
+#define ANNLIB_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/mba.h"
+#include "baselines/bnn.h"
+#include "baselines/gorder/gorder_join.h"
+#include "baselines/mnn.h"
+#include "index/grid/grid_index.h"
+#include "index/kdtree/kdtree.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/paged_index_view.h"
+#include "index/rstar/rstar_tree.h"
+#include "storage/node_store.h"
+
+namespace ann::bench {
+
+/// Dataset scale factor relative to the paper's cardinalities
+/// (ANN_BENCH_SCALE, default 0.1: TAC 700K -> 70K). Pass 1 to run at
+/// paper scale.
+double ScaleFromEnv();
+
+/// Simulated cost of one 8 KiB page transfer in milliseconds (ANN_IO_MS,
+/// default 8 ms — a 2007-era random disk read, matching the paper's
+/// testbed era). The experiments report CPU and I/O separately, so any
+/// value only rescales the I/O bars.
+double IoMillisFromEnv();
+
+/// Buffer-pool frame counts for the paper's pool sizes.
+inline size_t FramesForPoolBytes(size_t bytes) { return bytes / kPageSize; }
+inline constexpr size_t kPool512K = 64;  // the paper's default
+
+/// Which index structure a workspace builds.
+enum class IndexKind {
+  kMbrqt,        ///< insertion-built MBR quadtree (the MBA index)
+  kRstarInsert,  ///< insertion-built R*-tree with forced reinsertion —
+                 ///< what a DBMS maintains and what the paper's
+                 ///< BNN/RBA baselines query
+  kRstarBulk,    ///< STR bulk-loaded R*-tree (best-case packing)
+  kKdTree,       ///< balanced bucket kd-tree (median splits)
+  kGrid,         ///< uniform grid (two-level, non-adaptive)
+};
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Cost of one measured run: CPU wall time plus simulated I/O charged per
+/// page transfer (pool misses + physical write-backs).
+struct MethodCost {
+  double cpu_s = 0;
+  uint64_t page_ios = 0;
+  uint64_t results = 0;
+
+  double io_s() const { return page_ios * IoMillisFromEnv() / 1000.0; }
+  double total_s() const { return cpu_s + io_s(); }
+};
+
+/// A disk-resident workspace mirroring the paper's SHORE deployment: one
+/// in-memory "disk", ONE buffer pool and one node store shared by every
+/// index persisted into it. Index builds run under a large pool;
+/// Prepare() flushes, shrinks the pool to the experiment size and clears
+/// counters — the prebuilt-index methodology of Section 4.1.
+class Workspace {
+ public:
+  explicit Workspace(Replacement replacement = Replacement::kLru)
+      : pool_(&disk_, 1u << 16, replacement), store_(&pool_) {}
+
+  /// Builds and persists an index over `data`; returns its location.
+  Result<PersistedIndexMeta> AddIndex(IndexKind kind, const Dataset& data);
+
+  /// Shrinks the pool to `frames` pages and zeroes counters.
+  Status Prepare(size_t frames);
+
+  PagedIndexView View(const PersistedIndexMeta& meta) const {
+    return PagedIndexView(&store_, meta);
+  }
+  uint64_t QueryPageIos() const {
+    return pool_.stats().pool_misses + pool_.stats().physical_writes;
+  }
+  uint64_t total_pages() const { return disk_.page_count(); }
+  BufferPool* pool() { return &pool_; }
+
+ private:
+  MemDiskManager disk_;
+  BufferPool pool_;
+  NodeStore store_;
+};
+
+/// Runs MBA/RBA between two indexes of `ws` under a pool of `frames`.
+Result<MethodCost> RunIndexedAnn(Workspace* ws, const PersistedIndexMeta& r,
+                                 const PersistedIndexMeta& s, size_t frames,
+                                 const AnnOptions& options,
+                                 PruneStats* stats = nullptr);
+
+/// Runs BNN: R is scanned as a flat file (charged analytically), S is an
+/// index of `ws`.
+Result<MethodCost> RunBnn(const Dataset& r, Workspace* ws,
+                          const PersistedIndexMeta& s, size_t frames,
+                          const BnnOptions& options,
+                          SearchStats* stats = nullptr);
+
+/// Runs MNN over an index of `ws`.
+Result<MethodCost> RunMnn(const Dataset& r, Workspace* ws,
+                          const PersistedIndexMeta& s, size_t frames,
+                          const MnnOptions& options,
+                          SearchStats* stats = nullptr);
+
+/// Runs GORDER end-to-end (transform + sort + materialize + join) under a
+/// fresh pool of `frames`; all of its I/O (reads and write-backs) counts,
+/// since GORDER has no prebuilt index.
+Result<MethodCost> RunGorder(const Dataset& r, const Dataset& s,
+                             size_t frames, const GorderOptions& options,
+                             GorderStats* stats = nullptr);
+
+/// Pages needed to store `n` points of dimension `dim` as a flat file.
+uint64_t FlatFilePages(size_t n, int dim);
+
+/// ---- table printing -------------------------------------------------
+
+void PrintHeader(const std::string& title, const std::string& note);
+void PrintColumns(const std::vector<std::string>& cols);
+void PrintRow(const std::string& label, const std::vector<double>& values);
+void PrintCostRow(const std::string& label, const MethodCost& cost);
+
+}  // namespace ann::bench
+
+#endif  // ANNLIB_BENCH_BENCH_COMMON_H_

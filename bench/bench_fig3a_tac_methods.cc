@@ -1,0 +1,73 @@
+// Figure 3(a): ANN on the TAC dataset (2-D). Compares BNN, RBA and MBA —
+// each under both MAXMAXDIST and NXNDIST — plus GORDER, with a 512 KB
+// buffer pool. Expected shape (paper): NXNDIST beats MAXMAXDIST for every
+// indexed method; MBA < GORDER < BNN overall.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+#include "datagen/real_sim.h"
+
+using namespace ann;
+using namespace ann::bench;
+
+int main() {
+  const size_t n = static_cast<size_t>(700000 * ScaleFromEnv());
+  auto tac = MakeTacLike(n);
+  if (!tac.ok()) return 1;
+  Dataset r, s;
+  SplitHalves(*tac, &r, &s);
+
+  PrintHeader("Figure 3(a): Comparison of Methods, TAC data (2D)",
+              "Execution time in seconds, 512 KB buffer pool. Paper shape: "
+              "NXNDIST >= MAXMAXDIST for all methods; MBA < GORDER < BNN.");
+  PrintColumns({"method", "CPU(s)", "I/O(s)", "total(s)"});
+
+  Workspace rstar_ws, mbrqt_ws;
+  auto s_rstar = rstar_ws.AddIndex(IndexKind::kRstarInsert, s);
+  auto r_rstar = rstar_ws.AddIndex(IndexKind::kRstarInsert, r);
+  auto s_mbrqt = mbrqt_ws.AddIndex(IndexKind::kMbrqt, s);
+  auto r_mbrqt = mbrqt_ws.AddIndex(IndexKind::kMbrqt, r);
+  if (!s_rstar.ok() || !r_rstar.ok() || !s_mbrqt.ok() || !r_mbrqt.ok()) {
+    return 1;
+  }
+
+  for (const PruneMetric metric :
+       {PruneMetric::kMaxMaxDist, PruneMetric::kNxnDist}) {
+    // BNN over the R*-tree on S.
+    {
+      BnnOptions opts;
+      opts.metric = metric;
+      auto cost = RunBnn(r, &rstar_ws, *s_rstar, kPool512K, opts);
+      if (!cost.ok()) return 1;
+      PrintCostRow(std::string("BNN ") + ToString(metric), *cost);
+    }
+    // RBA: the MBA algorithm over R*-trees.
+    {
+      AnnOptions opts;
+      opts.metric = metric;
+      auto cost =
+          RunIndexedAnn(&rstar_ws, *r_rstar, *s_rstar, kPool512K, opts);
+      if (!cost.ok()) return 1;
+      PrintCostRow(std::string("RBA ") + ToString(metric), *cost);
+    }
+    // MBA over MBRQTs.
+    {
+      AnnOptions opts;
+      opts.metric = metric;
+      auto cost =
+          RunIndexedAnn(&mbrqt_ws, *r_mbrqt, *s_mbrqt, kPool512K, opts);
+      if (!cost.ok()) return 1;
+      PrintCostRow(std::string("MBA ") + ToString(metric), *cost);
+    }
+  }
+  {
+    GorderOptions opts;
+    opts.segments_per_dim = 100;
+    auto cost = RunGorder(r, s, kPool512K, opts);
+    if (!cost.ok()) return 1;
+    PrintCostRow("GORDER", *cost);
+  }
+  return 0;
+}

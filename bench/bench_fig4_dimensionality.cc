@@ -1,0 +1,48 @@
+// Figure 4: effect of dimensionality. MBA vs GORDER on 500K-point
+// synthetic datasets of dimensionality 2, 4 and 6 (512 KB pool).
+// Expected shape (paper): MBA ahead of GORDER at every D; CPU for both
+// grows gradually with D (the O(D) NXNDIST computation keeps MBA's CPU
+// growth mild).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+
+using namespace ann;
+using namespace ann::bench;
+
+int main() {
+  PrintHeader("Figure 4: Effect of dimensionality (500K synthetic)",
+              "Paper shape: MBA ~3x faster than GORDER for 2D/4D/6D.");
+  PrintColumns({"method @ dim", "CPU(s)", "I/O(s)", "total(s)"});
+
+  for (const int dim : {2, 4, 6}) {
+    GstdSpec spec;
+    spec.dim = dim;
+    spec.count = static_cast<size_t>(500000 * ScaleFromEnv());
+    spec.distribution = Distribution::kClustered;
+    spec.clusters = 256;
+    spec.cluster_sigma = 0.006;
+    spec.seed = 40 + dim;
+    auto data = GenerateGstd(spec);
+    if (!data.ok()) return 1;
+    Dataset r, s;
+    SplitHalves(*data, &r, &s);
+
+    Workspace ws;
+    auto r_meta = ws.AddIndex(IndexKind::kMbrqt, r);
+    auto s_meta = ws.AddIndex(IndexKind::kMbrqt, s);
+    if (!r_meta.ok() || !s_meta.ok()) return 1;
+    auto mba = RunIndexedAnn(&ws, *r_meta, *s_meta, kPool512K, AnnOptions{});
+    if (!mba.ok()) return 1;
+    PrintCostRow("MBA @ " + std::to_string(dim) + "D", *mba);
+
+    GorderOptions gopts;
+    gopts.segments_per_dim = dim <= 2 ? 100 : (dim <= 4 ? 24 : 10);
+    auto gorder = RunGorder(r, s, kPool512K, gopts);
+    if (!gorder.ok()) return 1;
+    PrintCostRow("GORDER @ " + std::to_string(dim) + "D", *gorder);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 5: AkNN on TAC data (2-D), k = 10..50 in steps of 10, MBA vs
+// GORDER (512 KB pool). Expected shape (paper): both grow with k, MBA
+// over an order of magnitude faster at every k.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+#include "datagen/real_sim.h"
+
+using namespace ann;
+using namespace ann::bench;
+
+int main() {
+  const size_t n = static_cast<size_t>(700000 * ScaleFromEnv());
+  auto tac = MakeTacLike(n);
+  if (!tac.ok()) return 1;
+  Dataset r, s;
+  SplitHalves(*tac, &r, &s);
+
+  PrintHeader("Figure 5: AkNN on TAC data (2D), k = 10..50",
+              "Paper shape: MBA > 10x faster than GORDER at every k.");
+  PrintColumns({"method @ k", "CPU(s)", "I/O(s)", "total(s)"});
+
+  Workspace ws;
+  auto r_meta = ws.AddIndex(IndexKind::kMbrqt, r);
+  auto s_meta = ws.AddIndex(IndexKind::kMbrqt, s);
+  if (!r_meta.ok() || !s_meta.ok()) return 1;
+
+  for (int k = 10; k <= 50; k += 10) {
+    AnnOptions opts;
+    opts.k = k;
+    auto mba = RunIndexedAnn(&ws, *r_meta, *s_meta, kPool512K, opts);
+    if (!mba.ok()) return 1;
+    PrintCostRow("MBA @ k=" + std::to_string(k), *mba);
+  }
+  for (int k = 10; k <= 50; k += 10) {
+    GorderOptions opts;
+    opts.k = k;
+    opts.segments_per_dim = 100;
+    auto gorder = RunGorder(r, s, kPool512K, opts);
+    if (!gorder.ok()) return 1;
+    PrintCostRow("GORDER @ k=" + std::to_string(k), *gorder);
+  }
+  return 0;
+}

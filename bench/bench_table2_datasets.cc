@@ -1,0 +1,67 @@
+// Table 2: the experimental datasets. Prints the same inventory rows as
+// the paper plus basic distribution statistics of our stand-ins.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+#include "datagen/real_sim.h"
+
+namespace {
+
+using namespace ann;
+using namespace ann::bench;
+
+double SampledAvgNnDist(const Dataset& d, size_t probes) {
+  Rng rng(1);
+  double total = 0;
+  for (size_t p = 0; p < probes; ++p) {
+    const size_t i = rng.UniformInt(d.size());
+    Scalar best = kInf;
+    for (size_t j = 0; j < d.size(); ++j) {
+      if (j == i) continue;
+      best = std::min(best, PointDist2(d.point(i), d.point(j), d.dim()));
+    }
+    total += std::sqrt(best);
+  }
+  return total / probes;
+}
+
+void Row(const char* name, const Dataset& d, const char* desc) {
+  const Rect box = d.BoundingBox();
+  std::printf("%-8s %10zu %4d   %-36s extent[0]=[%.3g, %.3g] avgNN=%.5g\n",
+              name, d.size(), d.dim(), desc, box.lo[0], box.hi[0],
+              SampledAvgNnDist(d, 50));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ScaleFromEnv();
+  PrintHeader("Table 2: Experimental Datasets",
+              "Synthetic stand-ins for the paper's datasets (see DESIGN.md "
+              "section 4).");
+  std::printf("%-8s %10s %4s   %s\n", "Dataset", "Card.", "D", "Description");
+
+  GstdSpec spec;
+  spec.count = static_cast<size_t>(500000 * scale);
+  spec.distribution = Distribution::kClustered;
+  for (int dim : {2, 4, 6}) {
+    spec.dim = dim;
+    spec.seed = 100 + dim;
+    auto data = GenerateGstd(spec);
+    if (!data.ok()) return 1;
+    char name[32], desc[64];
+    std::snprintf(name, sizeof(name), "500K%dD", dim);
+    std::snprintf(desc, sizeof(desc), "%dD point data (GSTD-style)", dim);
+    Row(name, *data, desc);
+  }
+  auto tac = MakeTacLike(static_cast<size_t>(700000 * scale));
+  if (!tac.ok()) return 1;
+  Row("TAC", *tac, "2D Twin Astrographic Catalog stand-in");
+  auto fc = MakeForestCoverLike(static_cast<size_t>(580000 * scale));
+  if (!fc.ok()) return 1;
+  Row("FC", *fc, "10D Forest Cover Type stand-in");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Command-line ANN over CSV files: the adoption path for data that lives
+// outside this library. Builds MBRQT indexes over two CSV point files and
+// writes the AkNN result as CSV; with a cache path the indexes persist in
+// an IndexFile and later runs skip the build.
+//
+//   ann_tool <queries.csv> <targets.csv> [k] [output.csv] [cache.ann]
+//
+// Input rows are comma-separated coordinates (one point per line, same
+// column count everywhere; a non-numeric first line is skipped as a
+// header). Output rows: query_row,neighbor_row,distance.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "ann/mba.h"
+#include "common/status.h"
+#include "index/index_file.h"
+#include "index/mbrqt/mbrqt.h"
+
+namespace {
+
+ann::Result<ann::Dataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return ann::Status::IOError("cannot open " + path);
+  ann::Dataset data;
+  std::string line;
+  int dim = 0;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string field;
+    ann::Scalar p[ann::kMaxDim];
+    int cols = 0;
+    bool numeric = true;
+    while (std::getline(row, field, ',')) {
+      if (cols >= ann::kMaxDim) {
+        return ann::Status::InvalidArgument(
+            path + ": more than 16 columns at line " +
+            std::to_string(line_no));
+      }
+      char* end = nullptr;
+      p[cols] = std::strtod(field.c_str(), &end);
+      while (end && *end && std::isspace(static_cast<unsigned char>(*end))) {
+        ++end;
+      }
+      if (end == field.c_str() || (end && *end != '\0')) {
+        numeric = false;
+        break;
+      }
+      ++cols;
+    }
+    if (!numeric) {
+      if (line_no == 1) continue;  // header row
+      return ann::Status::InvalidArgument(path + ": non-numeric value at line " +
+                                          std::to_string(line_no));
+    }
+    if (cols == 0) continue;
+    if (dim == 0) {
+      dim = cols;
+      data = ann::Dataset(dim);
+    } else if (cols != dim) {
+      return ann::Status::InvalidArgument(
+          path + ": inconsistent column count at line " +
+          std::to_string(line_no));
+    }
+    data.Append(p);
+  }
+  if (data.empty()) return ann::Status::InvalidArgument(path + ": no points");
+  return data;
+}
+
+}  // namespace
+
+namespace {
+
+// Runs the query either over freshly built in-memory indexes or over a
+// persistent IndexFile cache (built on first use).
+ann::Status RunQuery(const ann::Dataset& queries, const ann::Dataset& targets,
+                     const ann::AnnOptions& options, const char* cache_path,
+                     std::vector<ann::NeighborList>* results) {
+  if (cache_path == nullptr) {
+    ANN_ASSIGN_OR_RETURN(ann::Mbrqt qt_r, ann::Mbrqt::Build(queries));
+    ANN_ASSIGN_OR_RETURN(ann::Mbrqt qt_s, ann::Mbrqt::Build(targets));
+    const ann::MemIndexView ir(&qt_r.Finalize());
+    const ann::MemIndexView is(&qt_s.Finalize());
+    return ann::AllNearestNeighbors(ir, is, options, results);
+  }
+
+  // Reuse the cache when it matches the inputs; (re)build otherwise.
+  std::unique_ptr<ann::IndexFile> file;
+  auto opened = ann::IndexFile::Open(cache_path, 1024);
+  if (opened.ok()) {
+    auto mr = (*opened)->GetIndex("queries");
+    auto ms = (*opened)->GetIndex("targets");
+    if (mr.ok() && ms.ok() && mr->num_objects == queries.size() &&
+        ms->num_objects == targets.size() && mr->dim == queries.dim()) {
+      std::fprintf(stderr, "using cached indexes from %s\n", cache_path);
+      file = std::move(opened).value();
+    }
+  }
+  if (file == nullptr) {
+    std::fprintf(stderr, "building index cache %s\n", cache_path);
+    ANN_ASSIGN_OR_RETURN(file, ann::IndexFile::Create(cache_path, 1024));
+    ANN_ASSIGN_OR_RETURN(ann::Mbrqt qt_r, ann::Mbrqt::Build(queries));
+    ANN_ASSIGN_OR_RETURN(ann::Mbrqt qt_s, ann::Mbrqt::Build(targets));
+    ANN_RETURN_NOT_OK(file->AddIndex("queries", qt_r.Finalize()));
+    ANN_RETURN_NOT_OK(file->AddIndex("targets", qt_s.Finalize()));
+    ANN_RETURN_NOT_OK(file->Sync());
+  }
+  ANN_ASSIGN_OR_RETURN(const ann::PersistedIndexMeta mr,
+                       file->GetIndex("queries"));
+  ANN_ASSIGN_OR_RETURN(const ann::PersistedIndexMeta ms,
+                       file->GetIndex("targets"));
+  const ann::PagedIndexView ir = file->View(mr);
+  const ann::PagedIndexView is = file->View(ms);
+  return ann::AllNearestNeighbors(ir, is, options, results);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <queries.csv> <targets.csv> [k] [output.csv] "
+                 "[cache.ann]\n",
+                 argv[0]);
+    return 2;
+  }
+  const int k = argc > 3 ? std::atoi(argv[3]) : 1;
+  const char* out_path = argc > 4 ? argv[4] : nullptr;
+  const char* cache_path = argc > 5 ? argv[5] : nullptr;
+
+  auto queries = LoadCsv(argv[1]);
+  auto targets = LoadCsv(argv[2]);
+  if (!queries.ok() || !targets.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 (!queries.ok() ? queries.status() : targets.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  if (queries->dim() != targets->dim()) {
+    std::fprintf(stderr, "dimensionality mismatch: %d vs %d\n",
+                 queries->dim(), targets->dim());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %zu queries, %zu targets (%d-D)\n",
+               queries->size(), targets->size(), queries->dim());
+
+  ann::AnnOptions options;
+  options.k = k;
+  std::vector<ann::NeighborList> results;
+  const ann::Status st =
+      RunQuery(*queries, *targets, options, cache_path, &results);
+  if (!st.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  ann::SortByQueryId(&results);
+
+  std::FILE* out = out_path ? std::fopen(out_path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "query_row,neighbor_row,distance\n");
+  for (const auto& list : results) {
+    for (const auto& [s_id, dist] : list.neighbors) {
+      std::fprintf(out, "%llu,%llu,%.17g\n",
+                   (unsigned long long)list.r_id, (unsigned long long)s_id,
+                   dist);
+    }
+  }
+  if (out_path) std::fclose(out);
+  std::fprintf(stderr, "wrote %zu result lists\n", results.size());
+  return 0;
+}

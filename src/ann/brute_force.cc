@@ -1,0 +1,49 @@
+#include "ann/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ann {
+
+Status BruteForceAknn(const Dataset& r, const Dataset& s, int k,
+                      std::vector<NeighborList>* out) {
+  if (r.dim() != s.dim()) {
+    return Status::InvalidArgument("BruteForceAknn: dimensionality mismatch");
+  }
+  if (k < 1) return Status::InvalidArgument("BruteForceAknn: k must be >= 1");
+  const int dim = r.dim();
+  out->clear();
+  out->reserve(r.size());
+
+  std::vector<std::pair<Scalar, uint64_t>> best;  // max-heap on (dist2, id)
+  for (size_t i = 0; i < r.size(); ++i) {
+    const Scalar* q = r.point(i);
+    best.clear();
+    Scalar kth2 = kInf;
+    for (size_t j = 0; j < s.size(); ++j) {
+      const Scalar d2 = PointDist2Bounded(q, s.point(j), dim, kth2);
+      const std::pair<Scalar, uint64_t> cand(d2, j);
+      if (static_cast<int>(best.size()) < k) {
+        best.push_back(cand);
+        std::push_heap(best.begin(), best.end());
+        if (static_cast<int>(best.size()) == k) kth2 = best.front().first;
+      } else if (cand < best.front()) {
+        std::pop_heap(best.begin(), best.end());
+        best.back() = cand;
+        std::push_heap(best.begin(), best.end());
+        kth2 = best.front().first;
+      }
+    }
+    std::sort_heap(best.begin(), best.end());
+    NeighborList list;
+    list.r_id = i;
+    list.neighbors.reserve(best.size());
+    for (const auto& [d2, id] : best) {
+      list.neighbors.emplace_back(id, std::sqrt(d2));
+    }
+    out->push_back(std::move(list));
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,23 @@
+#ifndef ANNLIB_ANN_BRUTE_FORCE_H_
+#define ANNLIB_ANN_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace ann {
+
+/// \brief Exact O(|R| * |S|) AkNN, the ground truth for every test and the
+/// naive baseline the paper's introduction motivates against.
+///
+/// Results come back ordered by r_id; each neighbor list ascends by
+/// distance, ties broken by smaller s_id (all index algorithms are
+/// validated against this tie-break order modulo distance ties).
+Status BruteForceAknn(const Dataset& r, const Dataset& s, int k,
+                      std::vector<NeighborList>* out);
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_BRUTE_FORCE_H_

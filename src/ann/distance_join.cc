@@ -1,0 +1,211 @@
+#include "ann/distance_join.h"
+
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "ann/mba.h"
+#include "metrics/metrics.h"
+
+namespace ann {
+
+Status DistanceJoin(const SpatialIndex& ir, const SpatialIndex& is,
+                    Scalar eps, std::vector<JoinPair>* out,
+                    JoinStats* stats) {
+  if (ir.dim() != is.dim()) {
+    return Status::InvalidArgument("DistanceJoin: dimensionality mismatch");
+  }
+  if (eps < 0) {
+    return Status::InvalidArgument("DistanceJoin: eps must be >= 0");
+  }
+  JoinStats local;
+  JoinStats* st = stats ? stats : &local;
+  const Scalar eps2 = eps * eps;
+
+  std::vector<std::pair<IndexEntry, IndexEntry>> stack;
+  stack.emplace_back(ir.Root(), is.Root());
+  std::vector<IndexEntry> children;
+
+  while (!stack.empty()) {
+    const auto [a, b] = stack.back();
+    stack.pop_back();
+    ++st->distance_evals;
+    const Scalar mind2 = MinMinDist2(a.mbr, b.mbr);
+    if (mind2 > eps2) {
+      ++st->pairs_pruned;
+      continue;
+    }
+    if (a.is_object && b.is_object) {
+      out->push_back({a.id, b.id, std::sqrt(mind2)});
+      continue;
+    }
+    // Expand the larger non-object side (classic distance-join heuristic:
+    // balances the descent and keeps node reads low).
+    const bool expand_a =
+        !a.is_object && (b.is_object || a.mbr.Area() >= b.mbr.Area());
+    ++st->pair_expansions;
+    children.clear();
+    if (expand_a) {
+      ANN_RETURN_NOT_OK(ir.Expand(a, &children));
+      for (const IndexEntry& c : children) stack.emplace_back(c, b);
+    } else {
+      ANN_RETURN_NOT_OK(is.Expand(b, &children));
+      for (const IndexEntry& c : children) stack.emplace_back(a, c);
+    }
+  }
+  return Status::OK();
+}
+
+Status KClosestPairs(const SpatialIndex& ir, const SpatialIndex& is, int k,
+                     std::vector<JoinPair>* out, JoinStats* stats) {
+  if (ir.dim() != is.dim()) {
+    return Status::InvalidArgument("KClosestPairs: dimensionality mismatch");
+  }
+  if (k < 1) return Status::InvalidArgument("KClosestPairs: k must be >= 1");
+  JoinStats local;
+  JoinStats* st = stats ? stats : &local;
+
+  struct PairItem {
+    Scalar mind2;
+    IndexEntry a;
+    IndexEntry b;
+    bool operator>(const PairItem& o) const { return mind2 > o.mind2; }
+  };
+  std::priority_queue<PairItem, std::vector<PairItem>, std::greater<>> heap;
+  heap.push({MinMinDist2(ir.Root().mbr, is.Root().mbr), ir.Root(), is.Root()});
+
+  // Result max-heap of (dist2, r, s); front = current k-th best.
+  struct Found {
+    Scalar dist2;
+    uint64_t r_id;
+    uint64_t s_id;
+    bool operator<(const Found& o) const { return dist2 < o.dist2; }
+  };
+  std::vector<Found> best;
+  best.reserve(k);
+  Scalar kth2 = kInf;
+
+  std::vector<IndexEntry> children;
+  while (!heap.empty()) {
+    const PairItem top = heap.top();
+    heap.pop();
+    if (ExceedsBound2(top.mind2, kth2)) break;  // nothing closer remains
+    if (top.a.is_object && top.b.is_object) {
+      best.push_back({top.mind2, top.a.id, top.b.id});
+      std::push_heap(best.begin(), best.end());
+      if (static_cast<int>(best.size()) > k) {
+        std::pop_heap(best.begin(), best.end());
+        best.pop_back();
+      }
+      if (static_cast<int>(best.size()) == k) kth2 = best.front().dist2;
+      continue;
+    }
+    const bool expand_a = !top.a.is_object &&
+                          (top.b.is_object ||
+                           top.a.mbr.Area() >= top.b.mbr.Area());
+    ++st->pair_expansions;
+    children.clear();
+    if (expand_a) {
+      ANN_RETURN_NOT_OK(ir.Expand(top.a, &children));
+    } else {
+      ANN_RETURN_NOT_OK(is.Expand(top.b, &children));
+    }
+    for (const IndexEntry& c : children) {
+      ++st->distance_evals;
+      const IndexEntry& other = expand_a ? top.b : top.a;
+      const Scalar mind2 = expand_a ? MinMinDist2(c.mbr, other.mbr)
+                                    : MinMinDist2(other.mbr, c.mbr);
+      if (ExceedsBound2(mind2, kth2)) {
+        ++st->pairs_pruned;
+        continue;
+      }
+      if (expand_a) {
+        heap.push({mind2, c, top.b});
+      } else {
+        heap.push({mind2, top.a, c});
+      }
+    }
+  }
+
+  std::sort_heap(best.begin(), best.end());
+  out->reserve(out->size() + best.size());
+  for (const Found& f : best) {
+    out->push_back({f.r_id, f.s_id, std::sqrt(f.dist2)});
+  }
+  return Status::OK();
+}
+
+ClosestPairIterator::ClosestPairIterator(const SpatialIndex& ir,
+                                         const SpatialIndex& is)
+    : ir_(ir), is_(is) {
+  heap_.push({MinMinDist2(ir.Root().mbr, is.Root().mbr), ir.Root(),
+              is.Root()});
+}
+
+Status ClosestPairIterator::Next(bool* has, JoinPair* out) {
+  while (!heap_.empty()) {
+    const PairItem top = heap_.top();
+    heap_.pop();
+    if (top.a.is_object && top.b.is_object) {
+      *has = true;
+      *out = {top.a.id, top.b.id, std::sqrt(top.mind2)};
+      return Status::OK();
+    }
+    const bool expand_a = !top.a.is_object &&
+                          (top.b.is_object ||
+                           top.a.mbr.Area() >= top.b.mbr.Area());
+    ++stats_.pair_expansions;
+    scratch_.clear();
+    if (expand_a) {
+      ANN_RETURN_NOT_OK(ir_.Expand(top.a, &scratch_));
+    } else {
+      ANN_RETURN_NOT_OK(is_.Expand(top.b, &scratch_));
+    }
+    for (const IndexEntry& c : scratch_) {
+      ++stats_.distance_evals;
+      if (expand_a) {
+        heap_.push({MinMinDist2(c.mbr, top.b.mbr), c, top.b});
+      } else {
+        heap_.push({MinMinDist2(top.a.mbr, c.mbr), top.a, c});
+      }
+    }
+  }
+  *has = false;
+  return Status::OK();
+}
+
+Status DistanceSemiJoin(const SpatialIndex& ir, const SpatialIndex& is,
+                        Scalar eps, std::vector<JoinPair>* out,
+                        JoinStats* stats) {
+  if (eps < 0) {
+    return Status::InvalidArgument("DistanceSemiJoin: eps must be >= 0");
+  }
+  // The MBA engine with eps as the initial pruning bound computes exactly
+  // the semi-join: every LPQ starts bounded by eps (sound: we only care
+  // about neighbors within eps), so subtrees farther than eps are pruned
+  // from the very first probe.
+  AnnOptions options;
+  options.k = 1;
+  options.max_distance = eps;
+  std::vector<NeighborList> ann_out;
+  PruneStats prune_stats;
+  ANN_RETURN_NOT_OK(
+      AllNearestNeighbors(ir, is, options, &ann_out, &prune_stats));
+  if (stats != nullptr) {
+    stats->pair_expansions =
+        prune_stats.r_nodes_expanded + prune_stats.s_nodes_expanded;
+    stats->pairs_pruned =
+        prune_stats.pruned_on_entry + prune_stats.pruned_by_filter;
+    stats->distance_evals = prune_stats.distance_evals;
+  }
+  for (const NeighborList& list : ann_out) {
+    // Bound comparisons carry floating-point slack; enforce eps exactly.
+    if (!list.neighbors.empty() && list.neighbors[0].second <= eps) {
+      out->push_back({list.r_id, list.neighbors[0].first,
+                      list.neighbors[0].second});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,90 @@
+#ifndef ANNLIB_ANN_DISTANCE_JOIN_H_
+#define ANNLIB_ANN_DISTANCE_JOIN_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/geometry.h"
+#include "index/spatial_index.h"
+
+namespace ann {
+
+/// One (r_id, s_id, distance) result pair of a distance join.
+struct JoinPair {
+  uint64_t r_id = 0;
+  uint64_t s_id = 0;
+  Scalar dist = 0;
+};
+
+/// Counters for a distance-join run.
+struct JoinStats {
+  uint64_t pair_expansions = 0;  ///< node-pair visits
+  uint64_t pairs_pruned = 0;     ///< node pairs cut by MINMINDIST > eps
+  uint64_t distance_evals = 0;
+};
+
+/// \brief Distance join (spatial join within a radius), the operation the
+/// paper's Related Work builds on (Hjaltason & Samet, SIGMOD 1998).
+///
+/// Reports every pair (r, s), r indexed by `ir` and s by `is`, with
+/// Euclidean distance <= eps. Runs the same synchronized bi-directional
+/// index descent as the MBA engine, pruning node pairs whose MINMINDIST
+/// exceeds eps; with the MBRQT's regular decomposition this touches only
+/// boundary-adjacent subtrees.
+///
+/// Results are appended in traversal order. Pair count is output-bound —
+/// pick eps accordingly.
+Status DistanceJoin(const SpatialIndex& ir, const SpatialIndex& is,
+                    Scalar eps, std::vector<JoinPair>* out,
+                    JoinStats* stats = nullptr);
+
+/// \brief k-closest-pairs (Corral et al., SIGMOD 2000 — the line of work
+/// that introduced MINMAXDIST): the k pairs (r, s) with the smallest
+/// distances, ascending. Best-first traversal over node pairs ordered by
+/// MINMINDIST, pruning against the current k-th-best pair distance.
+Status KClosestPairs(const SpatialIndex& ir, const SpatialIndex& is, int k,
+                     std::vector<JoinPair>* out, JoinStats* stats = nullptr);
+
+/// \brief Incremental closest-pair iteration (the distance-join analogue
+/// of NnIterator): yields (r, s) pairs in non-decreasing distance,
+/// expanding both indexes lazily — pulling m pairs costs roughly what
+/// KClosestPairs(k = m) costs, without fixing k in advance.
+///
+/// Both indexes must outlive the iterator.
+class ClosestPairIterator {
+ public:
+  ClosestPairIterator(const SpatialIndex& ir, const SpatialIndex& is);
+
+  /// Produces the next pair. `*has` is false when all pairs are exhausted.
+  Status Next(bool* has, JoinPair* out);
+
+  const JoinStats& stats() const { return stats_; }
+
+ private:
+  struct PairItem {
+    Scalar mind2;
+    IndexEntry a;
+    IndexEntry b;
+    bool operator>(const PairItem& o) const { return mind2 > o.mind2; }
+  };
+
+  const SpatialIndex& ir_;
+  const SpatialIndex& is_;
+  std::priority_queue<PairItem, std::vector<PairItem>, std::greater<>> heap_;
+  std::vector<IndexEntry> scratch_;
+  JoinStats stats_;
+};
+
+/// \brief Distance semi-join: every r with at least one s within eps,
+/// reported once with its nearest such s (the "distance semi-join" of
+/// Hjaltason & Samet). Equivalent to ANN followed by a distance filter,
+/// but evaluated directly with eps as the initial pruning bound, which is
+/// much cheaper when eps is small.
+Status DistanceSemiJoin(const SpatialIndex& ir, const SpatialIndex& is,
+                        Scalar eps, std::vector<JoinPair>* out,
+                        JoinStats* stats = nullptr);
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_DISTANCE_JOIN_H_

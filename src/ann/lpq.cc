@@ -1,0 +1,116 @@
+#include "ann/lpq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ann {
+
+PruneStats& PruneStats::operator+=(const PruneStats& o) {
+  lpqs_created += o.lpqs_created;
+  enqueue_attempts += o.enqueue_attempts;
+  enqueued += o.enqueued;
+  pruned_on_entry += o.pruned_on_entry;
+  pruned_by_filter += o.pruned_by_filter;
+  pruned_unexpanded += o.pruned_unexpanded;
+  r_nodes_expanded += o.r_nodes_expanded;
+  s_nodes_expanded += o.s_nodes_expanded;
+  distance_evals += o.distance_evals;
+  return *this;
+}
+
+Lpq::Lpq(IndexEntry owner, Scalar inherited_bound2, int k)
+    : owner_(owner), k_(k), bound2_(inherited_bound2) {}
+
+void Lpq::InsertLive(Scalar maxd2) {
+  live_maxd2_.insert(
+      std::upper_bound(live_maxd2_.begin(), live_maxd2_.end(), maxd2), maxd2);
+}
+
+void Lpq::EraseLive(Scalar maxd2) {
+  const auto it =
+      std::lower_bound(live_maxd2_.begin(), live_maxd2_.end(), maxd2);
+  assert(it != live_maxd2_.end() && *it == maxd2);
+  live_maxd2_.erase(it);
+}
+
+void Lpq::RefreshBound(PruneStats* stats) {
+  // Snapshot bound: the k-th smallest MAXD over the live (queued +
+  // committed) entries. Live entries hold pairwise-disjoint point sets, so
+  // k of them certify k distinct witnesses; any snapshot value is a
+  // timelessly valid upper bound on the owner's k-th-NN distance, hence
+  // the running minimum over snapshots is kept.
+  //
+  // For k == 1 the snapshot minimum equals the running minimum over all
+  // enqueued MAXDs, which Enqueue/Commit maintain directly — no live list
+  // is needed on the ANN fast path.
+  if (live_maxd2_.size() < static_cast<size_t>(k_)) return;
+  TightenBound(live_maxd2_[k_ - 1], stats);
+}
+
+void Lpq::TightenBound(Scalar candidate2, PruneStats* stats) {
+  if (candidate2 >= bound2_) return;
+  bound2_ = candidate2;
+  // Filter stage: the tightened bound may kill queued entries; they are
+  // sorted by MIND, so the victims form a suffix.
+  while (order_.size() > head_ && ExceedsBound2(order_.back().mind2, bound2_)) {
+    if (k_ > 1) EraseLive(order_.back().maxd2);
+    order_.pop_back();
+    ++stats->pruned_by_filter;
+  }
+}
+
+bool Lpq::Enqueue(const LpqEntry& e, PruneStats* stats) {
+  ++stats->enqueue_attempts;
+  if (ExceedsBound2(e.mind2, bound2_)) {
+    ++stats->pruned_on_entry;
+    return false;
+  }
+
+  // The fat entry goes to append-only storage; only a lean key is kept in
+  // MIND order (ties broken by smaller MAXD), so ordered inserts move
+  // 24-byte keys instead of whole entries.
+  storage_.push_back(e);
+  Key key{e.mind2, e.maxd2, static_cast<uint32_t>(storage_.size() - 1)};
+  auto pos = std::upper_bound(order_.begin() + head_, order_.end(), key,
+                              [](const Key& a, const Key& b) {
+                                return a.mind2 < b.mind2 ||
+                                       (a.mind2 == b.mind2 &&
+                                        a.maxd2 < b.maxd2);
+                              });
+  order_.insert(pos, key);
+  ++stats->enqueued;
+  if (k_ == 1) {
+    TightenBound(e.maxd2, stats);
+  } else {
+    InsertLive(e.maxd2);
+    RefreshBound(stats);
+  }
+  return true;
+}
+
+bool Lpq::Dequeue(LpqEntry* out) {
+  if (empty()) return false;
+  const Key key = order_[head_];
+  *out = storage_[key.index];
+  if (k_ > 1) EraseLive(key.maxd2);
+  ++head_;
+  // Reclaim the dead prefix once it dominates the buffer.
+  if (head_ > 64 && head_ * 2 > order_.size()) {
+    order_.erase(order_.begin(), order_.begin() + head_);
+    head_ = 0;
+  }
+  return true;
+}
+
+void Lpq::Commit(const LpqEntry& e, PruneStats* stats) {
+  assert(e.entry.is_object);
+  ++committed_;
+  if (k_ == 1) {
+    TightenBound(e.maxd2, stats);
+  } else {
+    InsertLive(e.maxd2);
+    RefreshBound(stats);
+  }
+}
+
+}  // namespace ann

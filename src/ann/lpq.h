@@ -1,0 +1,116 @@
+#ifndef ANNLIB_ANN_LPQ_H_
+#define ANNLIB_ANN_LPQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "index/spatial_index.h"
+#include "metrics/metrics.h"
+
+namespace ann {
+
+/// Counters describing the pruning behaviour of a run (Section 4.3 argues
+/// performance tracks the number of PQ entries created and processed).
+struct PruneStats {
+  uint64_t lpqs_created = 0;
+  uint64_t enqueue_attempts = 0;
+  uint64_t enqueued = 0;
+  uint64_t pruned_on_entry = 0;   ///< mind > bound at Enqueue (Expand stage)
+  uint64_t pruned_by_filter = 0;  ///< queued entries cut by a later, tighter bound
+  uint64_t pruned_unexpanded = 0;  ///< popped entries skipped before S-expansion
+  uint64_t r_nodes_expanded = 0;
+  uint64_t s_nodes_expanded = 0;
+  uint64_t distance_evals = 0;  ///< MIND/MAXD metric pair computations
+
+  PruneStats& operator+=(const PruneStats& o);
+};
+
+/// An IS entry queued inside an LPQ, with its distance bounds to the LPQ
+/// owner (the paper's e.MIND / e.MAXD fields, kept squared).
+struct LpqEntry {
+  IndexEntry entry;
+  Scalar mind2 = 0;  ///< MINMINDIST^2(owner, entry)
+  Scalar maxd2 = 0;  ///< pruning metric^2 (NXNDIST or MAXMAXDIST)
+};
+
+/// \brief Local Priority Queue (Section 3.3.1).
+///
+/// Each unique entry of the query index IR owns exactly one LPQ holding
+/// candidate entries of the target index IS, ordered by MIND. The LPQ
+/// maintains the pruning upper bound MAXD over the *live* entries — the
+/// entries currently queued plus any objects already committed as results
+/// (Commit()). Live entries always hold pairwise-disjoint subtrees of IS,
+/// so the k-th smallest live MAXD certifies k distinct witness objects and
+/// is a valid upper bound on the owner's k-th-NN distance; pruning is
+/// enabled only once k live entries exist (the AkNN criterion of
+/// Section 3.4). For k = 1 this degenerates to the minimum queued MAXD.
+///
+/// A parent bound is additionally inherited at construction (sound by
+/// Lemma 3.2) and never loosened. Note the live bound itself may grow when
+/// a tight parent entry is replaced by its looser children — correctness
+/// is per-moment: an entry admitted or pruned under the bound valid at
+/// that time stays correctly handled.
+///
+/// The Filter stage (Section 3.3.3) runs inside Enqueue: a new entry whose
+/// MAXD tightens the bound immediately evicts queued entries whose MIND
+/// now exceeds it.
+class Lpq {
+ public:
+  /// \param owner the IR entry owning this queue.
+  /// \param inherited_bound2 squared MAXD bound passed down from the
+  ///   parent LPQ (infinity at the root).
+  /// \param k neighbors requested per query object.
+  Lpq(IndexEntry owner, Scalar inherited_bound2, int k);
+
+  const IndexEntry& owner() const { return owner_; }
+
+  /// Current squared pruning upper bound.
+  Scalar bound2() const { return bound2_; }
+
+  bool empty() const { return head_ >= order_.size(); }
+  size_t size() const { return order_.size() - head_; }
+
+  /// Expand/Filter-stage admission: drops the entry if its MIND exceeds
+  /// the bound, otherwise inserts in MIND order (ties broken by smaller
+  /// MAXD, as in the paper), refreshes the live bound, and evicts queued
+  /// entries the refreshed bound kills. Returns whether the entry was
+  /// queued.
+  bool Enqueue(const LpqEntry& e, PruneStats* stats);
+
+  /// Pops the entry with the smallest MIND. Returns false when empty.
+  /// The popped entry no longer counts toward the live bound — call
+  /// Commit() if it was an object accepted as a result, or re-enqueue its
+  /// children if it was expanded.
+  bool Dequeue(LpqEntry* out);
+
+  /// Records a popped object entry as a committed result: its exact
+  /// distance keeps counting toward the k-witness bound (Gather stage).
+  void Commit(const LpqEntry& e, PruneStats* stats);
+
+ private:
+  /// Lean sort key referencing an entry in storage_.
+  struct Key {
+    Scalar mind2;
+    Scalar maxd2;
+    uint32_t index;
+  };
+
+  void RefreshBound(PruneStats* stats);
+  void TightenBound(Scalar candidate2, PruneStats* stats);
+  void InsertLive(Scalar maxd2);
+  void EraseLive(Scalar maxd2);
+
+  IndexEntry owner_;
+  int k_;
+  Scalar bound2_;
+  std::vector<Scalar> live_maxd2_;  ///< maxd^2 of queued + committed, sorted
+  size_t committed_ = 0;            ///< results already gathered
+  std::vector<LpqEntry> storage_;   ///< append-only entry storage
+  std::vector<Key> order_;          ///< ascending by (mind2, maxd2), from head_
+  size_t head_ = 0;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_LPQ_H_

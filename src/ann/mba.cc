@@ -1,0 +1,237 @@
+#include "ann/mba.h"
+
+#include <cmath>
+#include <deque>
+#include <memory>
+
+namespace ann {
+
+namespace {
+
+/// Computes the MIND/MAXD pair of `e` relative to `owner` (the paper's
+/// Distances function).
+LpqEntry MakeLpqEntry(const IndexEntry& owner, const IndexEntry& e,
+                      PruneMetric metric, PruneStats* stats) {
+  ++stats->distance_evals;
+  LpqEntry out;
+  out.entry = e;
+  out.mind2 = MinMinDist2(owner.mbr, e.mbr);
+  out.maxd2 = UpperBound2(metric, owner.mbr, e.mbr);
+  return out;
+}
+
+class AnnEngine {
+ public:
+  AnnEngine(const SpatialIndex& ir, const SpatialIndex& is,
+            const AnnOptions& options, const AnnResultSink& sink,
+            PruneStats* stats)
+      : ir_(ir), is_(is), options_(options), sink_(sink), stats_(stats) {}
+
+  /// Algorithm 2 (MBA): seed the root LPQ and drain the worklist.
+  Status Run() {
+    const Scalar root_bound2 =
+        options_.max_distance == kInf
+            ? kInf
+            : options_.max_distance * options_.max_distance;
+    auto root_lpq =
+        std::make_unique<Lpq>(ir_.Root(), root_bound2, options_.k);
+    ++stats_->lpqs_created;
+    const LpqEntry root_entry =
+        MakeLpqEntry(root_lpq->owner(), is_.Root(), options_.metric, stats_);
+    root_lpq->Enqueue(root_entry, stats_);
+    worklist_.push_back(std::move(root_lpq));
+
+    // Algorithm 3 (ANN-DFBI) flattened: depth-first keeps the child LPQs
+    // ahead of their siblings (stack discipline), breadth-first appends
+    // them behind (queue discipline).
+    while (!worklist_.empty()) {
+      std::unique_ptr<Lpq> lpq;
+      lpq = std::move(worklist_.front());
+      worklist_.pop_front();
+      ANN_RETURN_NOT_OK(ExpandAndPrune(std::move(lpq)));
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Algorithm 4: Gather stage for object owners, Expand (+ Filter inside
+  /// Lpq::Enqueue) for node owners.
+  Status ExpandAndPrune(std::unique_ptr<Lpq> lpq) {
+    if (lpq->owner().is_object) return Gather(std::move(lpq));
+    return Expand(std::move(lpq));
+  }
+
+  Status Gather(std::unique_ptr<Lpq> lpq) {
+    // Best-first kNN completion for a single query object: entries pop in
+    // MIND order, so the first k objects popped are the k nearest.
+    NeighborList result;
+    result.r_id = lpq->owner().id;
+    result.neighbors.reserve(options_.k);
+    LpqEntry n;
+    while (static_cast<int>(result.neighbors.size()) < options_.k &&
+           lpq->Dequeue(&n)) {
+      if (n.entry.is_object) {
+        result.neighbors.emplace_back(n.entry.id, std::sqrt(n.mind2));
+        lpq->Commit(n, stats_);
+        continue;
+      }
+      ++stats_->s_nodes_expanded;
+      scratch_.clear();
+      ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
+      for (const IndexEntry& e : scratch_) {
+        lpq->Enqueue(MakeLpqEntry(lpq->owner(), e, options_.metric, stats_),
+                     stats_);
+      }
+    }
+    return sink_(std::move(result));
+  }
+
+  Status Expand(std::unique_ptr<Lpq> lpq) {
+    // Expand the owner (IR side): each child gets a fresh LPQ seeded with
+    // the parent bound (sound by Lemma 3.2).
+    ++stats_->r_nodes_expanded;
+    std::vector<IndexEntry> r_children;
+    ANN_RETURN_NOT_OK(ir_.Expand(lpq->owner(), &r_children));
+    std::vector<std::unique_ptr<Lpq>> child_lpqs;
+    child_lpqs.reserve(r_children.size());
+    for (const IndexEntry& c : r_children) {
+      child_lpqs.push_back(
+          std::make_unique<Lpq>(c, lpq->bound2(), options_.k));
+      ++stats_->lpqs_created;
+    }
+
+    // When the owner is a leaf, its children are objects: expanding the
+    // IS side here would probe every target object against every object
+    // LPQ eagerly. Deferring the expansion to each object's Gather stage
+    // lets the per-object best-first search expand only the few closest
+    // IS nodes instead — strictly less work, same results.
+    const bool r_children_are_objects =
+        !r_children.empty() && r_children[0].is_object;
+
+    LpqEntry n;
+    while (lpq->Dequeue(&n)) {
+      // An IS entry can only matter if its MIND beats some child's bound.
+      Scalar max_child_bound2 = -1;
+      for (const auto& child : child_lpqs) {
+        if (child->bound2() > max_child_bound2) {
+          max_child_bound2 = child->bound2();
+        }
+      }
+      if (ExceedsBound2(n.mind2, max_child_bound2)) {
+        ++stats_->pruned_unexpanded;
+        continue;
+      }
+
+      if (n.entry.is_object || r_children_are_objects ||
+          options_.expansion == Expansion::kUnidirectional) {
+        // Probe the entry itself against every child LPQ.
+        for (const auto& child : child_lpqs) {
+          child->Enqueue(
+              MakeLpqEntry(child->owner(), n.entry, options_.metric, stats_),
+              stats_);
+        }
+      } else {
+        // Bi-directional: descend the IS side too.
+        ++stats_->s_nodes_expanded;
+        scratch_.clear();
+        ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
+        for (const IndexEntry& e : scratch_) {
+          for (const auto& child : child_lpqs) {
+            child->Enqueue(
+                MakeLpqEntry(child->owner(), e, options_.metric, stats_),
+                stats_);
+          }
+        }
+      }
+    }
+
+    // Queue the non-empty child LPQs (line 19 of Algorithm 4). An empty
+    // child LPQ can only occur under a max_distance bound (classic ANN
+    // always keeps a witness); its whole subtree has no neighbor in range
+    // and must still report empty result lists.
+    if (options_.traversal == Traversal::kDepthFirst) {
+      // Keep FIFO order among the children while staying ahead of all
+      // previously queued work.
+      for (auto it = child_lpqs.rbegin(); it != child_lpqs.rend(); ++it) {
+        if (!(*it)->empty()) {
+          worklist_.push_front(std::move(*it));
+        } else {
+          ANN_RETURN_NOT_OK(EmitEmptySubtree((*it)->owner()));
+        }
+      }
+    } else {
+      for (auto& child : child_lpqs) {
+        if (!child->empty()) {
+          worklist_.push_back(std::move(child));
+        } else {
+          ANN_RETURN_NOT_OK(EmitEmptySubtree(child->owner()));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Sinks an empty result list for every query object below `entry`.
+  Status EmitEmptySubtree(const IndexEntry& entry) {
+    std::vector<IndexEntry> stack{entry};
+    std::vector<IndexEntry> children;
+    while (!stack.empty()) {
+      const IndexEntry e = stack.back();
+      stack.pop_back();
+      if (e.is_object) {
+        NeighborList empty;
+        empty.r_id = e.id;
+        ANN_RETURN_NOT_OK(sink_(std::move(empty)));
+        continue;
+      }
+      children.clear();
+      ANN_RETURN_NOT_OK(ir_.Expand(e, &children));
+      for (const IndexEntry& c : children) stack.push_back(c);
+    }
+    return Status::OK();
+  }
+
+  const SpatialIndex& ir_;
+  const SpatialIndex& is_;
+  const AnnOptions& options_;
+  const AnnResultSink& sink_;
+  PruneStats* stats_;
+  std::deque<std::unique_ptr<Lpq>> worklist_;
+  std::vector<IndexEntry> scratch_;
+};
+
+}  // namespace
+
+Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
+                           const AnnOptions& options,
+                           const AnnResultSink& sink, PruneStats* stats) {
+  if (ir.dim() != is.dim()) {
+    return Status::InvalidArgument("ANN: dimensionality mismatch");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("ANN: k must be >= 1");
+  }
+  if (options.max_distance < 0) {
+    return Status::InvalidArgument("ANN: max_distance must be >= 0");
+  }
+  PruneStats local;
+  PruneStats* s = stats ? stats : &local;
+  AnnEngine engine(ir, is, options, sink, s);
+  return engine.Run();
+}
+
+Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
+                           const AnnOptions& options,
+                           std::vector<NeighborList>* out,
+                           PruneStats* stats) {
+  out->reserve(out->size() + ir.num_objects());
+  return AllNearestNeighbors(
+      ir, is, options,
+      [out](NeighborList&& list) {
+        out->push_back(std::move(list));
+        return Status::OK();
+      },
+      stats);
+}
+
+}  // namespace ann

@@ -1,0 +1,82 @@
+#ifndef ANNLIB_ANN_MBA_H_
+#define ANNLIB_ANN_MBA_H_
+
+#include <functional>
+#include <vector>
+
+#include "ann/lpq.h"
+#include "ann/result.h"
+#include "index/spatial_index.h"
+#include "metrics/metrics.h"
+
+namespace ann {
+
+/// Order in which LPQs produced by an Expand stage are processed
+/// (Section 3.3.2 considers both; depth-first wins and defines MBA).
+enum class Traversal {
+  kDepthFirst,
+  kBreadthFirst,
+};
+
+/// Whether IS node entries popped in the Expand stage are themselves
+/// expanded (bi-directional, both indexes descend together — the MBA
+/// choice) or re-probed unexpanded against the child LPQs
+/// (uni-directional, only IR descends per step; IS entries are expanded
+/// lazily in the Gather stage).
+enum class Expansion {
+  kBidirectional,
+  kUnidirectional,
+};
+
+/// Configuration of an ANN/AkNN run.
+struct AnnOptions {
+  PruneMetric metric = PruneMetric::kNxnDist;
+  Traversal traversal = Traversal::kDepthFirst;
+  Expansion expansion = Expansion::kBidirectional;
+  /// Neighbors per query object (1 = ANN, >1 = AkNN, Section 3.4).
+  int k = 1;
+  /// Only neighbors within this distance count; the root LPQ starts with
+  /// this bound instead of infinity, so subtrees farther away are pruned
+  /// from the first probe. Query objects with fewer than k neighbors in
+  /// range get shorter (possibly empty) result lists. kInf = classic ANN.
+  Scalar max_distance = kInf;
+};
+
+/// \brief The MBA / RBA algorithm (Algorithms 2-4).
+///
+/// Computes, for every object r indexed by `ir`, its k nearest neighbors
+/// among the objects indexed by `is`, by synchronously traversing both
+/// indexes with one Local Priority Queue per IR entry and Three-Stage
+/// pruning (Expand / Filter / Gather). Run over an MBRQT this is the MBA
+/// algorithm; over an R*-tree it is RBA — the code is identical, only the
+/// SpatialIndex differs.
+///
+/// Results are appended in traversal order (use SortByQueryId for
+/// id-ordered output). `stats` is optional.
+Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
+                           const AnnOptions& options,
+                           std::vector<NeighborList>* out,
+                           PruneStats* stats = nullptr);
+
+/// Per-result callback; a non-OK return aborts the run with that status.
+using AnnResultSink = std::function<Status(NeighborList&&)>;
+
+/// Streaming variant: each query object's result list is handed to `sink`
+/// as soon as its Gather stage completes (traversal order), so the full
+/// result set is never materialized — at paper scale an AkNN result set
+/// is hundreds of megabytes.
+Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
+                           const AnnOptions& options,
+                           const AnnResultSink& sink,
+                           PruneStats* stats = nullptr);
+
+inline const char* ToString(Traversal t) {
+  return t == Traversal::kDepthFirst ? "DF" : "BF";
+}
+inline const char* ToString(Expansion e) {
+  return e == Expansion::kBidirectional ? "BI" : "UNI";
+}
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_MBA_H_

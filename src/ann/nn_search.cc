@@ -1,0 +1,110 @@
+#include "ann/nn_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ann {
+
+namespace {
+
+struct HeapItem {
+  Scalar mind2;
+  IndexEntry entry;
+  bool operator>(const HeapItem& o) const { return mind2 > o.mind2; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+}  // namespace
+
+Status PointKnn(const SpatialIndex& is, const Scalar* q, int k,
+                Scalar bound2, std::vector<Neighbor>* out,
+                SearchStats* stats) {
+  out->clear();
+  if (k < 1) return Status::InvalidArgument("PointKnn: k must be >= 1");
+
+  MinHeap heap;
+  const IndexEntry root = is.Root();
+  heap.push({PointRectMinDist2(q, root.mbr), root});
+  ++stats->heap_pushes;
+
+  // kth2 tracks the current k-th best squared distance (the prune bound).
+  std::vector<std::pair<Scalar, uint64_t>> best;  // (dist2, id), max at back
+  best.reserve(k);
+  Scalar kth2 = bound2;
+
+  std::vector<IndexEntry> children;
+  while (!heap.empty()) {
+    const HeapItem top = heap.top();
+    heap.pop();
+    if (ExceedsBound2(top.mind2, kth2)) break;  // nothing closer remains
+    if (top.entry.is_object) {
+      best.emplace_back(top.mind2, top.entry.id);
+      std::push_heap(best.begin(), best.end());
+      if (static_cast<int>(best.size()) > k) {
+        std::pop_heap(best.begin(), best.end());
+        best.pop_back();
+      }
+      if (static_cast<int>(best.size()) == k) {
+        kth2 = std::min(kth2, best.front().first);
+      }
+      continue;
+    }
+    ++stats->nodes_expanded;
+    children.clear();
+    ANN_RETURN_NOT_OK(is.Expand(top.entry, &children));
+    for (const IndexEntry& c : children) {
+      ++stats->distance_evals;
+      const Scalar mind2 = c.is_object ? PointDist2(q, c.mbr.lo.data(), is.dim())
+                                       : PointRectMinDist2(q, c.mbr);
+      if (!ExceedsBound2(mind2, kth2)) {
+        heap.push({mind2, c});
+        ++stats->heap_pushes;
+      }
+    }
+  }
+
+  std::sort_heap(best.begin(), best.end());
+  out->reserve(best.size());
+  for (const auto& [d2, id] : best) out->emplace_back(id, std::sqrt(d2));
+  return Status::OK();
+}
+
+NnIterator::NnIterator(const SpatialIndex& index, const Scalar* q)
+    : index_(index) {
+  std::copy(q, q + index.dim(), q_.begin());
+  const IndexEntry root = index.Root();
+  heap_.push({PointRectMinDist2(q_.data(), root.mbr), root});
+  ++stats_.heap_pushes;
+}
+
+Status NnIterator::Next(bool* has, Neighbor* out) {
+  while (!heap_.empty()) {
+    const HeapItem top = heap_.top();
+    heap_.pop();
+    if (top.entry.is_object) {
+      // Objects pop in exact-distance order: mind2 of a degenerate rect
+      // is the true squared distance.
+      *has = true;
+      *out = {top.entry.id, std::sqrt(top.mind2)};
+      return Status::OK();
+    }
+    ++stats_.nodes_expanded;
+    scratch_.clear();
+    ANN_RETURN_NOT_OK(index_.Expand(top.entry, &scratch_));
+    for (const IndexEntry& c : scratch_) {
+      ++stats_.distance_evals;
+      const Scalar mind2 =
+          c.is_object ? PointDist2(q_.data(), c.mbr.lo.data(), index_.dim())
+                      : PointRectMinDist2(q_.data(), c.mbr);
+      heap_.push({mind2, c});
+      ++stats_.heap_pushes;
+    }
+  }
+  *has = false;
+  return Status::OK();
+}
+
+}  // namespace ann

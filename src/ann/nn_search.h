@@ -1,0 +1,79 @@
+#ifndef ANNLIB_ANN_NN_SEARCH_H_
+#define ANNLIB_ANN_NN_SEARCH_H_
+
+#include <array>
+#include <queue>
+#include <vector>
+
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "index/spatial_index.h"
+#include "metrics/metrics.h"
+
+namespace ann {
+
+/// Counters for the best-first searches used by the MNN/BNN baselines.
+struct SearchStats {
+  uint64_t nodes_expanded = 0;
+  uint64_t heap_pushes = 0;
+  uint64_t distance_evals = 0;
+
+  SearchStats& operator+=(const SearchStats& o) {
+    nodes_expanded += o.nodes_expanded;
+    heap_pushes += o.heap_pushes;
+    distance_evals += o.distance_evals;
+    return *this;
+  }
+};
+
+/// \brief Classic best-first k-nearest-neighbor search for a single query
+/// point over a spatial index (Hjaltason & Samet style), used by the MNN
+/// baseline.
+///
+/// \param bound2 initial squared pruning bound; pass the previous query's
+///   k-th distance (inflated) to exploit locality, or kInf.
+Status PointKnn(const SpatialIndex& is, const Scalar* q, int k,
+                Scalar bound2, std::vector<Neighbor>* out,
+                SearchStats* stats);
+
+/// \brief Incremental nearest-neighbor iteration ("distance browsing",
+/// Hjaltason & Samet): yields the indexed objects in strictly
+/// non-decreasing distance from the query point, expanding the index
+/// lazily — pulling m neighbors costs roughly what a kNN search with
+/// k = m costs, without choosing k in advance.
+///
+/// The index must outlive the iterator; the query point is copied.
+///
+/// \code
+///   NnIterator it(index, q);
+///   Neighbor n;
+///   bool has = false;
+///   while (it.Next(&has, &n).ok() && has && n.second < radius) { ... }
+/// \endcode
+class NnIterator {
+ public:
+  NnIterator(const SpatialIndex& index, const Scalar* q);
+
+  /// Produces the next neighbor. `*has` is false when the index is
+  /// exhausted.
+  Status Next(bool* has, Neighbor* out);
+
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  struct HeapItem {
+    Scalar mind2;
+    IndexEntry entry;
+    bool operator>(const HeapItem& o) const { return mind2 > o.mind2; }
+  };
+
+  const SpatialIndex& index_;
+  std::array<Scalar, kMaxDim> q_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::vector<IndexEntry> scratch_;
+  SearchStats stats_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_NN_SEARCH_H_

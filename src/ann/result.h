@@ -1,0 +1,34 @@
+#ifndef ANNLIB_ANN_RESULT_H_
+#define ANNLIB_ANN_RESULT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace ann {
+
+/// One (s_id, distance) neighbor; distances are Euclidean (not squared).
+using Neighbor = std::pair<uint64_t, Scalar>;
+
+/// \brief The (up to k) nearest neighbors in S of one query object r.
+struct NeighborList {
+  uint64_t r_id = 0;
+  std::vector<Neighbor> neighbors;  ///< ascending by distance
+};
+
+/// Sorts result lists by query id (the traversal-order output of the index
+/// algorithms is not id-ordered); neighbor lists themselves stay
+/// distance-ordered. Utility shared by tests and examples.
+inline void SortByQueryId(std::vector<NeighborList>* results) {
+  std::sort(results->begin(), results->end(),
+            [](const NeighborList& a, const NeighborList& b) {
+              return a.r_id < b.r_id;
+            });
+}
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_RESULT_H_

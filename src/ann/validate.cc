@@ -1,0 +1,70 @@
+#include "ann/validate.h"
+
+#include <cmath>
+#include <string>
+
+#include "ann/brute_force.h"
+
+namespace ann {
+
+Status ValidateAknnResults(const Dataset& r, const Dataset& s, int k,
+                           std::vector<NeighborList> results,
+                           Scalar max_distance, Scalar tolerance) {
+  if (results.size() != r.size()) {
+    return Status::Internal("validate: expected " + std::to_string(r.size()) +
+                            " result lists, got " +
+                            std::to_string(results.size()));
+  }
+  SortByQueryId(&results);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].r_id != i) {
+      return Status::Internal("validate: missing or duplicate query id " +
+                              std::to_string(i));
+    }
+  }
+
+  std::vector<NeighborList> want;
+  ANN_RETURN_NOT_OK(BruteForceAknn(r, s, k, &want));
+  const int dim = r.dim();
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& got = results[i].neighbors;
+    // Trim the exact answer to the distance bound.
+    size_t expect = 0;
+    while (expect < want[i].neighbors.size() &&
+           want[i].neighbors[expect].second <= max_distance) {
+      ++expect;
+    }
+    if (got.size() != expect) {
+      return Status::Internal(
+          "validate: query " + std::to_string(i) + " has " +
+          std::to_string(got.size()) + " neighbors, expected " +
+          std::to_string(expect));
+    }
+    for (size_t j = 0; j < got.size(); ++j) {
+      if (std::abs(got[j].second - want[i].neighbors[j].second) > tolerance) {
+        return Status::Internal("validate: query " + std::to_string(i) +
+                                " rank " + std::to_string(j) +
+                                " distance mismatch");
+      }
+      if (got[j].first >= s.size()) {
+        return Status::Internal("validate: query " + std::to_string(i) +
+                                " reports unknown target id");
+      }
+      const Scalar actual = std::sqrt(
+          PointDist2(r.point(i), s.point(got[j].first), dim));
+      if (std::abs(got[j].second - actual) > tolerance) {
+        return Status::Internal("validate: query " + std::to_string(i) +
+                                " rank " + std::to_string(j) +
+                                " id/distance inconsistency");
+      }
+      if (j > 0 && got[j].second + tolerance < got[j - 1].second) {
+        return Status::Internal("validate: query " + std::to_string(i) +
+                                " neighbors not distance-ordered");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

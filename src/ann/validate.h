@@ -1,0 +1,32 @@
+#ifndef ANNLIB_ANN_VALIDATE_H_
+#define ANNLIB_ANN_VALIDATE_H_
+
+#include <vector>
+
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace ann {
+
+/// \brief Library-level AkNN result validation against brute force.
+///
+/// Checks, for every query object:
+///  - exactly one result list, with min(k, |S|) neighbors (or fewer when a
+///    max_distance bound was used — pass it via `max_distance`);
+///  - per-rank distances equal to the exact answer within `tolerance`
+///    (distance ties may permute ids, so ids are validated by distance
+///    consistency, not equality);
+///  - every reported (id, distance) pair consistent with the actual point
+///    coordinates.
+///
+/// O(|R| * |S|) — intended for tooling, sampling, and tests, not for the
+/// query path. `results` may be in any order.
+Status ValidateAknnResults(const Dataset& r, const Dataset& s, int k,
+                           std::vector<NeighborList> results,
+                           Scalar max_distance = kInf,
+                           Scalar tolerance = 1e-9);
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_VALIDATE_H_

@@ -1,0 +1,150 @@
+#include "baselines/bnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "storage/page.h"
+
+namespace ann {
+
+namespace {
+
+struct HeapItem {
+  Scalar mind2;
+  IndexEntry entry;
+  bool operator>(const HeapItem& o) const { return mind2 > o.mind2; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
+
+}  // namespace
+
+Status BatchedNearestNeighbors(const Dataset& r, const SpatialIndex& is,
+                               const BnnOptions& options,
+                               std::vector<NeighborList>* out,
+                               SearchStats* stats) {
+  if (r.dim() != is.dim()) {
+    return Status::InvalidArgument("BNN: dimensionality mismatch");
+  }
+  if (options.k < 1) return Status::InvalidArgument("BNN: k must be >= 1");
+  SearchStats local;
+  SearchStats* st = stats ? stats : &local;
+  const int dim = r.dim();
+  const int k = options.k;
+  size_t group_size = options.group_size;
+  if (group_size == 0) {
+    group_size = std::max<size_t>(1, (kPageSize - 16) / (8 + dim * 8));
+  }
+
+  // Group query points along a space-filling curve so batches are
+  // spatially tight.
+  const std::vector<size_t> order = CurveSortedOrder(options.curve, r);
+
+  out->reserve(out->size() + r.size());
+  std::vector<IndexEntry> children;
+
+  for (size_t g = 0; g < order.size(); g += group_size) {
+    const size_t g_end = std::min(order.size(), g + group_size);
+    const size_t n = g_end - g;
+
+    Rect group_mbr = Rect::Empty(dim);
+    for (size_t i = g; i < g_end; ++i) {
+      group_mbr.ExpandToPoint(r.point(order[i]));
+    }
+
+    // Per-point max-heaps of (dist2, id).
+    std::vector<std::vector<std::pair<Scalar, uint64_t>>> best(n);
+    std::vector<Scalar> kth2(n, kInf);
+    for (auto& b : best) b.reserve(k);
+
+    // Metric-derived group bound. The children of one expanded node hold
+    // disjoint point sets, so the k-th smallest metric value among them
+    // certifies k distinct witnesses for every group point; the bound is
+    // the minimum of that quantity over all expansions (for k = 1 it
+    // degenerates to the running minimum over all probed entries).
+    Scalar metric_bound2 = kInf;
+    const auto group_bound2 = [&]() {
+      Scalar worst = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (kth2[i] > worst) worst = kth2[i];
+        if (worst == kInf) break;
+      }
+      return std::min(worst, metric_bound2);
+    };
+
+    MinHeap heap;
+    const IndexEntry root = is.Root();
+    ++st->distance_evals;
+    if (k == 1) {
+      metric_bound2 = UpperBound2(options.metric, group_mbr, root.mbr);
+    }
+    heap.push({MinMinDist2(group_mbr, root.mbr), root});
+    ++st->heap_pushes;
+    std::vector<Scalar> expansion_metrics;
+
+    while (!heap.empty()) {
+      const HeapItem top = heap.top();
+      heap.pop();
+      if (ExceedsBound2(top.mind2, group_bound2())) break;
+
+      if (top.entry.is_object) {
+        const Scalar* s = top.entry.mbr.lo.data();
+        for (size_t i = 0; i < n; ++i) {
+          const Scalar d2 =
+              PointDist2Bounded(r.point(order[g + i]), s, dim, kth2[i]);
+          ++st->distance_evals;
+          const std::pair<Scalar, uint64_t> cand(d2, top.entry.id);
+          auto& b = best[i];
+          if (static_cast<int>(b.size()) < k) {
+            b.push_back(cand);
+            std::push_heap(b.begin(), b.end());
+            if (static_cast<int>(b.size()) == k) kth2[i] = b.front().first;
+          } else if (cand < b.front()) {
+            std::pop_heap(b.begin(), b.end());
+            b.back() = cand;
+            std::push_heap(b.begin(), b.end());
+            kth2[i] = b.front().first;
+          }
+        }
+        continue;
+      }
+
+      ++st->nodes_expanded;
+      children.clear();
+      ANN_RETURN_NOT_OK(is.Expand(top.entry, &children));
+      const Scalar bound2 = group_bound2();
+      expansion_metrics.clear();
+      for (const IndexEntry& c : children) {
+        ++st->distance_evals;
+        const Scalar mind2 = MinMinDist2(group_mbr, c.mbr);
+        expansion_metrics.push_back(UpperBound2(options.metric, group_mbr, c.mbr));
+        if (!ExceedsBound2(mind2, bound2)) {
+          heap.push({mind2, c});
+          ++st->heap_pushes;
+        }
+      }
+      if (static_cast<int>(expansion_metrics.size()) >= k) {
+        std::nth_element(expansion_metrics.begin(),
+                         expansion_metrics.begin() + (k - 1),
+                         expansion_metrics.end());
+        metric_bound2 = std::min(metric_bound2, expansion_metrics[k - 1]);
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      std::sort_heap(best[i].begin(), best[i].end());
+      NeighborList list;
+      list.r_id = order[g + i];
+      list.neighbors.reserve(best[i].size());
+      for (const auto& [d2, id] : best[i]) {
+        list.neighbors.emplace_back(id, std::sqrt(d2));
+      }
+      out->push_back(std::move(list));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

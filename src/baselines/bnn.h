@@ -1,0 +1,45 @@
+#ifndef ANNLIB_BASELINES_BNN_H_
+#define ANNLIB_BASELINES_BNN_H_
+
+#include <vector>
+
+#include "ann/nn_search.h"
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "common/space_curve.h"
+#include "index/spatial_index.h"
+#include "metrics/metrics.h"
+
+namespace ann {
+
+/// Configuration of the BNN baseline.
+struct BnnOptions {
+  /// The original BNN uses MAXMAXDIST as its upper-bound metric; the
+  /// paper's Figure 3(a) also evaluates it with NXNDIST.
+  PruneMetric metric = PruneMetric::kMaxMaxDist;
+  int k = 1;
+  /// Points per batch; 0 derives one leaf page's worth of points.
+  size_t group_size = 0;
+  /// Locality ordering of the query points before batching (Zhang et al.
+  /// sort in Hilbert order; `bench_ablation_curve` compares the two).
+  CurveOrder curve = CurveOrder::kHilbert;
+};
+
+/// \brief Batched Nearest Neighbor search (Zhang et al., SSDBM 2004).
+///
+/// The strongest previously-published R*-tree ANN method: query points are
+/// sorted in Z-order and cut into groups; each group traverses the S index
+/// once, best-first by MINMINDIST(group MBR, node), with a group-level
+/// upper bound combining (a) the k-th smallest metric bound over probed
+/// nodes and (b) the worst current k-th-NN distance across the group.
+/// Every reached object is tested against every group point (this is the
+/// "large number of distance calculations" cost the paper attributes to
+/// batch methods).
+Status BatchedNearestNeighbors(const Dataset& r, const SpatialIndex& is,
+                               const BnnOptions& options,
+                               std::vector<NeighborList>* out,
+                               SearchStats* stats = nullptr);
+
+}  // namespace ann
+
+#endif  // ANNLIB_BASELINES_BNN_H_

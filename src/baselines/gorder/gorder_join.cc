@@ -1,0 +1,236 @@
+#include "baselines/gorder/gorder_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "baselines/gorder/grid_order.h"
+#include "baselines/gorder/pca.h"
+#include "common/random.h"
+#include "metrics/metrics.h"
+#include "storage/paged_file.h"
+
+namespace ann {
+
+namespace {
+
+/// Record layout in the sorted files: u64 original id + dim coords.
+size_t RecordSize(int dim) { return 8 + static_cast<size_t>(dim) * 8; }
+
+struct BlockMeta {
+  uint64_t first_page = 0;
+  uint64_t page_count = 0;
+  uint64_t record_count = 0;
+  Rect mbr;
+};
+
+/// Writes `data` (in `order`) into a paged file and collects per-block
+/// metadata (page ranges and MBRs in the transformed space).
+Status WriteSortedFile(const Dataset& data, const std::vector<size_t>& order,
+                       BufferPool* pool, size_t pages_per_block,
+                       std::unique_ptr<PagedFile>* file_out,
+                       std::vector<BlockMeta>* blocks) {
+  const int dim = data.dim();
+  auto file = std::make_unique<PagedFile>(pool, RecordSize(dim));
+  std::vector<char> record(RecordSize(dim));
+  for (size_t idx : order) {
+    const uint64_t id = idx;
+    std::memcpy(record.data(), &id, 8);
+    std::memcpy(record.data() + 8, data.point(idx),
+                static_cast<size_t>(dim) * 8);
+    ANN_RETURN_NOT_OK(file->Append(record.data()));
+  }
+  ANN_RETURN_NOT_OK(file->Finish());
+
+  const uint64_t pages = file->page_count();
+  for (uint64_t p = 0; p < pages; p += pages_per_block) {
+    BlockMeta meta;
+    meta.first_page = p;
+    meta.page_count = std::min<uint64_t>(pages_per_block, pages - p);
+    meta.mbr = Rect::Empty(dim);
+    uint64_t records = 0;
+    for (uint64_t q = p; q < p + meta.page_count; ++q) {
+      const uint64_t first = file->PageFirstRecord(q);
+      const size_t count = file->PageRecordCount(q);
+      records += count;
+      for (size_t i = 0; i < count; ++i) {
+        meta.mbr.ExpandToPoint(data.point(order[first + i]));
+      }
+    }
+    meta.record_count = records;
+    blocks->push_back(meta);
+  }
+  *file_out = std::move(file);
+  return Status::OK();
+}
+
+/// Reads one block's records (ids + coords) through the buffer pool.
+Status ReadBlock(const PagedFile& file, const BlockMeta& block, int dim,
+                 std::vector<uint64_t>* ids, std::vector<Scalar>* coords) {
+  ids->clear();
+  coords->clear();
+  ids->reserve(block.record_count);
+  coords->reserve(block.record_count * dim);
+  std::vector<char> buf;
+  size_t count = 0;
+  for (uint64_t p = block.first_page; p < block.first_page + block.page_count;
+       ++p) {
+    ANN_RETURN_NOT_OK(file.ReadPage(p, &buf, &count));
+    const size_t rec = RecordSize(dim);
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t id;
+      std::memcpy(&id, buf.data() + i * rec, 8);
+      ids->push_back(id);
+      const char* c = buf.data() + i * rec + 8;
+      Scalar pt[kMaxDim];
+      std::memcpy(pt, c, static_cast<size_t>(dim) * 8);
+      coords->insert(coords->end(), pt, pt + dim);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GorderJoin(const Dataset& r, const Dataset& s, BufferPool* pool,
+                  const GorderOptions& options,
+                  std::vector<NeighborList>* out, GorderStats* stats) {
+  if (r.dim() != s.dim()) {
+    return Status::InvalidArgument("GORDER: dimensionality mismatch");
+  }
+  if (options.k < 1) return Status::InvalidArgument("GORDER: k must be >= 1");
+  if (r.empty() || s.empty()) {
+    return Status::InvalidArgument("GORDER: empty input");
+  }
+  GorderStats local;
+  GorderStats* st = stats ? stats : &local;
+  const int dim = r.dim();
+  const int k = options.k;
+
+  // --- Phase 1: PCA on a union sample, then transform both datasets.
+  Dataset sample(dim);
+  {
+    Rng rng(options.seed);
+    const size_t total = r.size() + s.size();
+    const size_t want = options.pca_sample == 0
+                            ? total
+                            : std::min(options.pca_sample, total);
+    const double keep = static_cast<double>(want) / total;
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (rng.NextDouble() < keep) sample.Append(r.point(i));
+    }
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (rng.NextDouble() < keep) sample.Append(s.point(i));
+    }
+    if (sample.empty()) sample.Append(r.point(0));
+  }
+  ANN_ASSIGN_OR_RETURN(const PcaTransform pca, PcaTransform::Fit(sample));
+  const Dataset rt = pca.Transform(r);
+  const Dataset st_data = pca.Transform(s);
+
+  // --- Phase 2: grid-order sort and write both files.
+  Rect space = rt.BoundingBox();
+  space.ExpandToRect(st_data.BoundingBox());
+  const GridOrder grid(space, options.segments_per_dim);
+  const std::vector<size_t> r_order = grid.SortedOrder(rt);
+  const std::vector<size_t> s_order = grid.SortedOrder(st_data);
+
+  std::unique_ptr<PagedFile> r_file, s_file;
+  std::vector<BlockMeta> r_blocks, s_blocks;
+  ANN_RETURN_NOT_OK(WriteSortedFile(rt, r_order, pool, options.pages_per_block,
+                                    &r_file, &r_blocks));
+  ANN_RETURN_NOT_OK(WriteSortedFile(st_data, s_order, pool,
+                                    options.pages_per_block, &s_file,
+                                    &s_blocks));
+  st->blocks_r = r_blocks.size();
+  st->blocks_s = s_blocks.size();
+
+  // --- Phase 3: scheduled block nested-loops join.
+  out->reserve(out->size() + r.size());
+  std::vector<uint64_t> r_ids, s_ids;
+  std::vector<Scalar> r_coords, s_coords;
+  std::vector<size_t> candidate(s_blocks.size());
+
+  for (const BlockMeta& rb : r_blocks) {
+    ANN_RETURN_NOT_OK(ReadBlock(*r_file, rb, dim, &r_ids, &r_coords));
+    const size_t n = r_ids.size();
+
+    std::vector<std::vector<std::pair<Scalar, uint64_t>>> best(n);
+    std::vector<Scalar> kth2(n, kInf);
+    for (auto& b : best) b.reserve(k);
+
+    // Candidate S blocks in increasing MINMINDIST order.
+    std::iota(candidate.begin(), candidate.end(), size_t{0});
+    std::vector<Scalar> mind2(s_blocks.size());
+    for (size_t j = 0; j < s_blocks.size(); ++j) {
+      mind2[j] = MinMinDist2(rb.mbr, s_blocks[j].mbr);
+    }
+    std::sort(candidate.begin(), candidate.end(),
+              [&mind2](size_t a, size_t b) { return mind2[a] < mind2[b]; });
+
+    // MAXMAXDIST seed: any S block with >= k records bounds every r's
+    // k-th NN distance by MAXMAXDIST(rb, sb).
+    Scalar seed_bound2 = kInf;
+    for (size_t j = 0; j < s_blocks.size(); ++j) {
+      if (s_blocks[j].record_count >= static_cast<uint64_t>(k)) {
+        seed_bound2 = std::min(seed_bound2,
+                               MaxMaxDist2(rb.mbr, s_blocks[j].mbr));
+      }
+    }
+
+    const auto block_bound2 = [&]() {
+      Scalar worst = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (kth2[i] > worst) worst = kth2[i];
+        if (worst == kInf) break;
+      }
+      return std::min(worst, seed_bound2);
+    };
+
+    for (size_t cj : candidate) {
+      ++st->block_pairs_considered;
+      if (ExceedsBound2(mind2[cj], block_bound2())) break;  // sorted: later are worse
+      ++st->block_pairs_joined;
+      ANN_RETURN_NOT_OK(ReadBlock(*s_file, s_blocks[cj], dim, &s_ids,
+                                  &s_coords));
+      const Rect& smbr = s_blocks[cj].mbr;
+      for (size_t i = 0; i < n; ++i) {
+        const Scalar* q = r_coords.data() + i * dim;
+        // Object-level pruning against the S block MBR.
+        if (ExceedsBound2(PointRectMinDist2(q, smbr), kth2[i])) continue;
+        auto& b = best[i];
+        for (size_t j = 0; j < s_ids.size(); ++j) {
+          const Scalar d2 = PointDist2Bounded(q, s_coords.data() + j * dim,
+                                              dim, kth2[i]);
+          ++st->distance_evals;
+          const std::pair<Scalar, uint64_t> cand(d2, s_ids[j]);
+          if (static_cast<int>(b.size()) < k) {
+            b.push_back(cand);
+            std::push_heap(b.begin(), b.end());
+            if (static_cast<int>(b.size()) == k) kth2[i] = b.front().first;
+          } else if (cand < b.front()) {
+            std::pop_heap(b.begin(), b.end());
+            b.back() = cand;
+            std::push_heap(b.begin(), b.end());
+            kth2[i] = b.front().first;
+          }
+        }
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+      std::sort_heap(best[i].begin(), best[i].end());
+      NeighborList list;
+      list.r_id = r_ids[i];
+      list.neighbors.reserve(best[i].size());
+      for (const auto& [d2, id] : best[i]) {
+        list.neighbors.emplace_back(id, std::sqrt(d2));
+      }
+      out->push_back(std::move(list));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

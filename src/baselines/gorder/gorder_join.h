@@ -1,0 +1,62 @@
+#ifndef ANNLIB_BASELINES_GORDER_GORDER_JOIN_H_
+#define ANNLIB_BASELINES_GORDER_GORDER_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace ann {
+
+/// Configuration of the GORDER kNN join.
+struct GorderOptions {
+  int k = 1;
+  /// Grid segments per dimension (the paper of Xia et al. tunes this;
+  /// ~100 for 2-D, fewer for high D — we default per their suggestion).
+  int segments_per_dim = 100;
+  /// Pages per join block (GORDER's two-tier blocking: data blocks of a
+  /// few pages are scheduled against each other).
+  size_t pages_per_block = 4;
+  /// Sample size for fitting the PCA (0 = use all points).
+  size_t pca_sample = 20000;
+  /// Seed for the PCA sampling.
+  uint64_t seed = 42;
+};
+
+/// Counters describing a GORDER run.
+struct GorderStats {
+  uint64_t blocks_r = 0;
+  uint64_t blocks_s = 0;
+  uint64_t block_pairs_considered = 0;
+  uint64_t block_pairs_joined = 0;
+  uint64_t distance_evals = 0;
+};
+
+/// \brief The GORDER kNN-join of Xia, Lu, Ooi & Hu (VLDB 2004).
+///
+/// Three phases, all materialized through the buffer pool:
+///  1. PCA of a union sample; both datasets are rotated into principal-
+///     component space (distance-preserving).
+///  2. Both transformed datasets are sorted into Grid Order and written
+///     back to paged sequential files cut into fixed-size blocks with
+///     in-memory MBR metadata.
+///  3. Scheduled block nested-loops join: for each R block, candidate S
+///     blocks are visited in increasing MINMINDIST and pruned against the
+///     block's worst current k-th-NN distance (plus a MAXMAXDIST-style
+///     seed bound); within a block pair, per-point object-level pruning
+///     and early-abort distance computation apply.
+///
+/// Because the inner file is re-read once per outer block, GORDER's I/O
+/// cost is strongly buffer-pool dependent at high dimensionality — the
+/// effect Figure 3(b) measures.
+Status GorderJoin(const Dataset& r, const Dataset& s, BufferPool* pool,
+                  const GorderOptions& options,
+                  std::vector<NeighborList>* out,
+                  GorderStats* stats = nullptr);
+
+}  // namespace ann
+
+#endif  // ANNLIB_BASELINES_GORDER_GORDER_JOIN_H_

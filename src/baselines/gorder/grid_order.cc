@@ -1,0 +1,40 @@
+#include "baselines/gorder/grid_order.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ann {
+
+GridOrder::GridOrder(const Rect& box, int segments_per_dim)
+    : box_(box), segments_(segments_per_dim) {
+  assert(segments_ >= 1);
+}
+
+int32_t GridOrder::Segment(int d, Scalar v) const {
+  const Scalar w = box_.hi[d] - box_.lo[d];
+  if (w <= 0) return 0;
+  Scalar t = (v - box_.lo[d]) / w;
+  t = std::clamp(t, Scalar{0}, Scalar{1});
+  const int32_t seg = static_cast<int32_t>(t * segments_);
+  return std::min(seg, segments_ - 1);
+}
+
+bool GridOrder::CellLess(const Scalar* a, const Scalar* b) const {
+  for (int d = 0; d < box_.dim; ++d) {
+    const int32_t sa = Segment(d, a[d]);
+    const int32_t sb = Segment(d, b[d]);
+    if (sa != sb) return sa < sb;
+  }
+  return false;
+}
+
+std::vector<size_t> GridOrder::SortedOrder(const Dataset& data) const {
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return CellLess(data.point(a), data.point(b));
+  });
+  return order;
+}
+
+}  // namespace ann

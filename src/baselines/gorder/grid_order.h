@@ -1,0 +1,41 @@
+#ifndef ANNLIB_BASELINES_GORDER_GRID_ORDER_H_
+#define ANNLIB_BASELINES_GORDER_GRID_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace ann {
+
+/// \brief Grid Order (GORDER step 2).
+///
+/// The data space is cut into `segments_per_dim` equal segments per
+/// dimension; a point's grid cell vector is the per-dimension segment
+/// index, and points are ordered lexicographically by cell vector
+/// (dimension 0 — the principal component — most significant). Points in
+/// the same cell are contiguous in the order.
+class GridOrder {
+ public:
+  /// \param box normalization box (points outside are clamped).
+  GridOrder(const Rect& box, int segments_per_dim);
+
+  /// Segment index of coordinate value `v` in dimension `d`.
+  int32_t Segment(int d, Scalar v) const;
+
+  /// Lexicographic comparison of the cell vectors of points `a` and `b`.
+  bool CellLess(const Scalar* a, const Scalar* b) const;
+
+  /// Permutation sorting `data` into grid order (stable).
+  std::vector<size_t> SortedOrder(const Dataset& data) const;
+
+  int segments_per_dim() const { return segments_; }
+
+ private:
+  Rect box_;
+  int segments_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_BASELINES_GORDER_GRID_ORDER_H_

@@ -1,0 +1,40 @@
+#include "baselines/gorder/pca.h"
+
+namespace ann {
+
+Result<PcaTransform> PcaTransform::Fit(const Dataset& sample) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("PcaTransform::Fit: empty sample");
+  }
+  PcaTransform t;
+  t.dim_ = sample.dim();
+  t.mean_ = Mean(sample);
+  const Matrix cov = Covariance(sample);
+  ANN_ASSIGN_OR_RETURN(EigenDecomposition eig, SymmetricEigen(cov));
+  t.components_ = std::move(eig.vectors);
+  t.eigenvalues_ = std::move(eig.values);
+  return t;
+}
+
+void PcaTransform::Apply(const Scalar* in, Scalar* out) const {
+  for (int r = 0; r < dim_; ++r) {
+    Scalar acc = 0;
+    for (int c = 0; c < dim_; ++c) {
+      acc += components_.at(r, c) * (in[c] - mean_[c]);
+    }
+    out[r] = acc;
+  }
+}
+
+Dataset PcaTransform::Transform(const Dataset& data) const {
+  Dataset out(dim_);
+  out.Reserve(data.size());
+  Scalar buf[kMaxDim];
+  for (size_t i = 0; i < data.size(); ++i) {
+    Apply(data.point(i), buf);
+    out.Append(buf);
+  }
+  return out;
+}
+
+}  // namespace ann

@@ -1,0 +1,45 @@
+#ifndef ANNLIB_BASELINES_GORDER_PCA_H_
+#define ANNLIB_BASELINES_GORDER_PCA_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/linalg.h"
+#include "common/status.h"
+
+namespace ann {
+
+/// \brief Principal Components Analysis transform (GORDER step 1).
+///
+/// GORDER (Xia et al., VLDB 2004) transforms the union of both input
+/// datasets into the principal-component space before grid ordering, so
+/// the first sort dimensions carry the most variance. The rotation is
+/// orthonormal, hence Euclidean distances — and therefore nearest
+/// neighbors — are exactly preserved.
+class PcaTransform {
+ public:
+  /// Fits mean + components on `sample` (typically a union sample of R and
+  /// S). Fails on empty input or degenerate eigen decomposition.
+  static Result<PcaTransform> Fit(const Dataset& sample);
+
+  int dim() const { return dim_; }
+
+  /// Eigenvalue spectrum (descending).
+  const std::vector<Scalar>& eigenvalues() const { return eigenvalues_; }
+
+  /// out[i] = <components[i], in - mean>.
+  void Apply(const Scalar* in, Scalar* out) const;
+
+  /// Transforms a whole dataset.
+  Dataset Transform(const Dataset& data) const;
+
+ private:
+  int dim_ = 0;
+  std::vector<Scalar> mean_;
+  Matrix components_;  // rows = eigenvectors, descending eigenvalue
+  std::vector<Scalar> eigenvalues_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_BASELINES_GORDER_PCA_H_

@@ -1,0 +1,243 @@
+#include "baselines/hnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "metrics/metrics.h"
+#include "storage/paged_file.h"
+
+namespace ann {
+
+namespace {
+
+/// Uniform grid over the S bounding box.
+struct Grid {
+  Rect box;
+  int dim = 0;
+  int cells_per_dim = 1;
+
+  int64_t CellIndex1(int d, Scalar v) const {
+    const Scalar w = box.hi[d] - box.lo[d];
+    if (w <= 0) return 0;
+    Scalar t = (v - box.lo[d]) / w;
+    t = std::clamp(t, Scalar{0}, Scalar{1});
+    const int64_t c = static_cast<int64_t>(t * cells_per_dim);
+    return std::min<int64_t>(c, cells_per_dim - 1);
+  }
+
+  /// Flat id of the cell containing `p`.
+  int64_t CellOf(const Scalar* p) const {
+    int64_t id = 0;
+    for (int d = 0; d < dim; ++d) {
+      id = id * cells_per_dim + CellIndex1(d, p[d]);
+    }
+    return id;
+  }
+
+  /// Geometric rect of the cell with per-dimension indices `idx`.
+  Rect CellRect(const int64_t* idx) const {
+    Rect r;
+    r.dim = dim;
+    for (int d = 0; d < dim; ++d) {
+      const Scalar w = (box.hi[d] - box.lo[d]) / cells_per_dim;
+      r.lo[d] = box.lo[d] + idx[d] * w;
+      r.hi[d] = r.lo[d] + w;
+    }
+    return r;
+  }
+};
+
+/// Enumerates all in-grid cells at Chebyshev distance exactly `ring` from
+/// `center` (per-dimension index vector), invoking fn(idx). The odometer
+/// is clipped to the grid per dimension, so the iteration space never
+/// exceeds min((2*ring+1)^D, total grid cells) — essential at high D,
+/// where the grid is only a few cells wide.
+template <typename Fn>
+void ForEachCellInRing(const Grid& grid, const int64_t* center, int64_t ring,
+                       Fn&& fn) {
+  const int dim = grid.dim;
+  int64_t lo[kMaxDim], hi[kMaxDim], idx[kMaxDim];
+  for (int d = 0; d < dim; ++d) {
+    lo[d] = std::max<int64_t>(center[d] - ring, 0);
+    hi[d] = std::min<int64_t>(center[d] + ring, grid.cells_per_dim - 1);
+    if (lo[d] > hi[d]) return;  // shell entirely outside the grid
+    idx[d] = lo[d];
+  }
+  while (true) {
+    int64_t cheb = 0;
+    for (int d = 0; d < dim; ++d) {
+      cheb = std::max<int64_t>(cheb, std::llabs(idx[d] - center[d]));
+    }
+    if (cheb == ring) fn(idx);
+    // Advance the clipped odometer.
+    int d = dim - 1;
+    while (d >= 0) {
+      if (++idx[d] <= hi[d]) break;
+      idx[d] = lo[d];
+      --d;
+    }
+    if (d < 0) break;
+  }
+}
+
+}  // namespace
+
+Status HashNearestNeighbors(const Dataset& r, const Dataset& s,
+                            BufferPool* pool, const HnnOptions& options,
+                            std::vector<NeighborList>* out, HnnStats* stats) {
+  if (r.dim() != s.dim()) {
+    return Status::InvalidArgument("HNN: dimensionality mismatch");
+  }
+  if (options.k < 1) return Status::InvalidArgument("HNN: k must be >= 1");
+  if (r.empty() || s.empty()) {
+    return Status::InvalidArgument("HNN: empty input");
+  }
+  HnnStats local;
+  HnnStats* st = stats ? stats : &local;
+  const int dim = r.dim();
+  const int k = options.k;
+
+  // --- Build: hash S into a uniform grid, materialize buckets into a
+  // paged file sorted by cell id (one contiguous record range per cell).
+  Grid grid;
+  grid.dim = dim;
+  grid.box = s.BoundingBox();
+  // Guard against zero-extent dims.
+  for (int d = 0; d < dim; ++d) {
+    if (grid.box.hi[d] <= grid.box.lo[d]) grid.box.hi[d] = grid.box.lo[d] + 1;
+  }
+  const size_t record_size = 8 + static_cast<size_t>(dim) * 8;
+  const size_t target = options.target_per_cell > 0
+                            ? options.target_per_cell
+                            : std::max<size_t>(1, kPageSize / record_size);
+  grid.cells_per_dim = std::max(
+      1, static_cast<int>(std::ceil(std::pow(
+             static_cast<double>(s.size()) / target, 1.0 / dim))));
+
+  std::vector<std::pair<int64_t, size_t>> keyed(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    keyed[i] = {grid.CellOf(s.point(i)), i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  // Cell directory: cell id -> [first_record, count), binary-searchable.
+  struct CellRange {
+    int64_t cell;
+    uint64_t first;
+    uint64_t count;
+  };
+  std::vector<CellRange> directory;
+  PagedFile file(pool, record_size);
+  std::vector<char> record(record_size);
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (directory.empty() || directory.back().cell != keyed[i].first) {
+      directory.push_back({keyed[i].first, i, 0});
+    }
+    ++directory.back().count;
+    const uint64_t id = keyed[i].second;
+    std::memcpy(record.data(), &id, 8);
+    std::memcpy(record.data() + 8, s.point(keyed[i].second),
+                static_cast<size_t>(dim) * 8);
+    ANN_RETURN_NOT_OK(file.Append(record.data()));
+  }
+  ANN_RETURN_NOT_OK(file.Finish());
+  st->cells = directory.size();
+  for (const CellRange& c : directory) {
+    st->max_cell_points = std::max(st->max_cell_points, c.count);
+  }
+
+  const auto find_cell = [&directory](int64_t cell) -> const CellRange* {
+    const auto it = std::lower_bound(
+        directory.begin(), directory.end(), cell,
+        [](const CellRange& c, int64_t v) { return c.cell < v; });
+    return it != directory.end() && it->cell == cell ? &*it : nullptr;
+  };
+
+  // --- Probe: query points in curve order, ring-expanding searches.
+  const std::vector<size_t> order = CurveSortedOrder(options.curve, r);
+  out->reserve(out->size() + r.size());
+  std::vector<char> buf;
+  std::vector<std::pair<Scalar, uint64_t>> best;
+
+  const int64_t max_ring = grid.cells_per_dim;
+  for (const size_t qi : order) {
+    const Scalar* q = r.point(qi);
+    int64_t center[kMaxDim];
+    for (int d = 0; d < dim; ++d) center[d] = grid.CellIndex1(d, q[d]);
+
+    best.clear();
+    Scalar kth2 = kInf;
+    for (int64_t ring = 0; ring <= max_ring; ++ring) {
+      // Can the next shell contain anything closer? The closest point of
+      // any cell at Chebyshev distance `ring` is at least (ring - 1)
+      // cell-widths away in some dimension.
+      if (ring >= 2 && static_cast<int>(best.size()) == k) {
+        Scalar min_w = kInf;
+        for (int d = 0; d < dim; ++d) {
+          min_w = std::min(min_w,
+                           (grid.box.hi[d] - grid.box.lo[d]) /
+                               grid.cells_per_dim);
+        }
+        const Scalar reach = (ring - 1) * min_w;
+        if (reach * reach > kth2) break;
+      }
+
+      Status status = Status::OK();
+      ForEachCellInRing(grid, center, ring, [&](const int64_t* idx) {
+        if (!status.ok()) return;
+        const Rect cell_rect = grid.CellRect(idx);
+        if (static_cast<int>(best.size()) == k &&
+            ExceedsBound2(PointRectMinDist2(q, cell_rect), kth2)) {
+          return;
+        }
+        int64_t cell = 0;
+        for (int d = 0; d < dim; ++d) cell = cell * grid.cells_per_dim + idx[d];
+        const CellRange* range = find_cell(cell);
+        if (range == nullptr) return;
+        ++st->cells_probed;
+        // Scan the bucket's records through the buffer pool.
+        for (uint64_t rec = range->first; rec < range->first + range->count;
+             ++rec) {
+          buf.resize(record_size);
+          const Status read = file.ReadRecord(rec, buf.data());
+          if (!read.ok()) {
+            status = read;
+            return;
+          }
+          uint64_t id;
+          std::memcpy(&id, buf.data(), 8);
+          Scalar pt[kMaxDim];
+          std::memcpy(pt, buf.data() + 8, static_cast<size_t>(dim) * 8);
+          const Scalar d2 = PointDist2Bounded(q, pt, dim, kth2);
+          ++st->distance_evals;
+          const std::pair<Scalar, uint64_t> cand(d2, id);
+          if (static_cast<int>(best.size()) < k) {
+            best.push_back(cand);
+            std::push_heap(best.begin(), best.end());
+            if (static_cast<int>(best.size()) == k) kth2 = best.front().first;
+          } else if (cand < best.front()) {
+            std::pop_heap(best.begin(), best.end());
+            best.back() = cand;
+            std::push_heap(best.begin(), best.end());
+            kth2 = best.front().first;
+          }
+        }
+      });
+      ANN_RETURN_NOT_OK(status);
+    }
+
+    std::sort_heap(best.begin(), best.end());
+    NeighborList list;
+    list.r_id = qi;
+    list.neighbors.reserve(best.size());
+    for (const auto& [d2, id] : best) {
+      list.neighbors.emplace_back(id, std::sqrt(d2));
+    }
+    out->push_back(std::move(list));
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,54 @@
+#ifndef ANNLIB_BASELINES_HNN_H_
+#define ANNLIB_BASELINES_HNN_H_
+
+#include <vector>
+
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "common/space_curve.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace ann {
+
+/// Configuration of the HNN baseline.
+struct HnnOptions {
+  int k = 1;
+  /// Target points per grid cell; 0 derives a page's worth. Cell
+  /// resolution per dimension is then (|S| / target)^(1/D).
+  size_t target_per_cell = 0;
+  /// Locality ordering of the query points.
+  CurveOrder curve = CurveOrder::kHilbert;
+};
+
+/// Counters for an HNN run.
+struct HnnStats {
+  uint64_t cells = 0;            ///< occupied grid cells
+  uint64_t max_cell_points = 0;  ///< skew indicator
+  uint64_t cells_probed = 0;
+  uint64_t distance_evals = 0;
+};
+
+/// \brief Hash-based nearest neighbors (HNN of Zhang et al., SSDBM 2004,
+/// following the spatial-hash partitioning of Patel & DeWitt's PBSM).
+///
+/// For the case where NEITHER dataset is indexed: S is hashed into a
+/// uniform grid whose buckets are materialized into a paged sequential
+/// file (through `pool`, so bucket re-reads cost buffer misses); each
+/// query point then probes its own cell and expands ring by ring
+/// (Chebyshev shells), pruning cells whose MINDIST exceeds the current
+/// k-th-best distance, until the next shell cannot contain anything
+/// closer.
+///
+/// The paper notes (Section 2) that building an index and running BNN is
+/// usually faster, and that HNN degrades on skewed distributions — a
+/// uniform grid cannot adapt, so dense cells hold thousands of points
+/// (see HnnStats::max_cell_points and `bench_ablation_hnn`).
+Status HashNearestNeighbors(const Dataset& r, const Dataset& s,
+                            BufferPool* pool, const HnnOptions& options,
+                            std::vector<NeighborList>* out,
+                            HnnStats* stats = nullptr);
+
+}  // namespace ann
+
+#endif  // ANNLIB_BASELINES_HNN_H_

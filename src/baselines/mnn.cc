@@ -1,0 +1,55 @@
+#include "baselines/mnn.h"
+
+#include <cmath>
+
+
+namespace ann {
+
+Status MultipleNearestNeighbors(const Dataset& r, const SpatialIndex& is,
+                                const MnnOptions& options,
+                                std::vector<NeighborList>* out,
+                                SearchStats* stats) {
+  if (r.dim() != is.dim()) {
+    return Status::InvalidArgument("MNN: dimensionality mismatch");
+  }
+  if (options.k < 1) return Status::InvalidArgument("MNN: k must be >= 1");
+  SearchStats local;
+  SearchStats* st = stats ? stats : &local;
+  const int dim = r.dim();
+
+  const std::vector<size_t> order = CurveSortedOrder(options.curve, r);
+
+  out->reserve(out->size() + r.size());
+  std::vector<Neighbor> neighbors;
+  const Scalar* prev_point = nullptr;
+  Scalar prev_kth = kInf;
+
+  for (size_t idx : order) {
+    const Scalar* q = r.point(idx);
+    Scalar bound2 = kInf;
+    if (options.seed_bound && prev_point != nullptr && prev_kth < kInf) {
+      // kth(q) <= kth(prev) + |q - prev| by the triangle inequality.
+      // Inflate slightly so floating-point rounding can never cut off an
+      // exact-boundary neighbor.
+      const Scalar seed =
+          (prev_kth + std::sqrt(PointDist2(q, prev_point, dim))) *
+          (1 + 1e-9);
+      bound2 = seed * seed;
+    }
+    ANN_RETURN_NOT_OK(PointKnn(is, q, options.k, bound2, &neighbors, st));
+    NeighborList list;
+    list.r_id = idx;
+    list.neighbors = neighbors;
+    if (static_cast<int>(neighbors.size()) == options.k) {
+      prev_kth = neighbors.back().second;
+      prev_point = q;
+    } else {
+      prev_kth = kInf;
+      prev_point = nullptr;
+    }
+    out->push_back(std::move(list));
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,38 @@
+#ifndef ANNLIB_BASELINES_MNN_H_
+#define ANNLIB_BASELINES_MNN_H_
+
+#include <vector>
+
+#include "ann/nn_search.h"
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "common/space_curve.h"
+#include "index/spatial_index.h"
+
+namespace ann {
+
+/// Configuration of the MNN baseline.
+struct MnnOptions {
+  int k = 1;
+  /// Seed each search with the triangle-inequality bound derived from the
+  /// previous (curve-adjacent) query's result:
+  /// kth(r) <= kth(r_prev) + |r - r_prev|. Exact either way.
+  bool seed_bound = true;
+  /// Locality ordering of the query points.
+  CurveOrder curve = CurveOrder::kHilbert;
+};
+
+/// \brief Multiple Nearest Neighbor search (Zhang et al., SSDBM 2004).
+///
+/// The index-nested-loops ANN baseline: one best-first kNN search per
+/// query point, with query points visited in Z-order to maximize buffer
+/// locality. CPU-heavy (the paper's motivation for BNN), but simple and
+/// exact.
+Status MultipleNearestNeighbors(const Dataset& r, const SpatialIndex& is,
+                                const MnnOptions& options,
+                                std::vector<NeighborList>* out,
+                                SearchStats* stats = nullptr);
+
+}  // namespace ann
+
+#endif  // ANNLIB_BASELINES_MNN_H_

@@ -1,0 +1,18 @@
+#include "common/geometry.h"
+
+#include <cstdio>
+
+namespace ann {
+
+std::string Rect::ToString() const {
+  std::string out = "[";
+  char buf[64];
+  for (int i = 0; i < dim; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%.4g..%.4g", i ? ", " : "", lo[i], hi[i]);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ann

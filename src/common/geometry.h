@@ -1,0 +1,256 @@
+#ifndef ANNLIB_COMMON_GEOMETRY_H_
+#define ANNLIB_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ann {
+
+/// Coordinate type used for all geometry in the library.
+using Scalar = double;
+
+/// Maximum supported data-space dimensionality. The paper evaluates D up to
+/// 10 (Forest Cover); we leave headroom for ablations.
+inline constexpr int kMaxDim = 16;
+
+inline constexpr Scalar kInf = std::numeric_limits<Scalar>::infinity();
+
+/// \brief A D-dimensional axis-aligned minimum bounding rectangle (MBR).
+///
+/// Represented, as in the paper (Section 3.1.1), by a lower-bound vector and
+/// an upper-bound vector. A point is modeled as the degenerate Rect with
+/// lo == hi, which lets every distance metric and every index entry use a
+/// single representation. The arrays are inline (no heap), sized kMaxDim;
+/// only the first `dim` lanes are meaningful.
+struct Rect {
+  int32_t dim = 0;
+  std::array<Scalar, kMaxDim> lo;
+  std::array<Scalar, kMaxDim> hi;
+
+  Rect() = default;
+
+  /// Constructs the "empty" rect in `d` dimensions: lo = +inf, hi = -inf, so
+  /// that expanding it by any point or rect yields that point/rect.
+  static Rect Empty(int d) {
+    assert(d >= 1 && d <= kMaxDim);
+    Rect r;
+    r.dim = d;
+    r.lo.fill(kInf);
+    r.hi.fill(-kInf);
+    return r;
+  }
+
+  /// Constructs the degenerate rect around a single point.
+  static Rect FromPoint(const Scalar* p, int d) {
+    assert(d >= 1 && d <= kMaxDim);
+    Rect r;
+    r.dim = d;
+    for (int i = 0; i < d; ++i) {
+      r.lo[i] = p[i];
+      r.hi[i] = p[i];
+    }
+    return r;
+  }
+
+  /// Constructs a rect from explicit bounds (lo[i] <= hi[i] required).
+  static Rect FromBounds(const Scalar* lo, const Scalar* hi, int d) {
+    assert(d >= 1 && d <= kMaxDim);
+    Rect r;
+    r.dim = d;
+    for (int i = 0; i < d; ++i) {
+      assert(lo[i] <= hi[i]);
+      r.lo[i] = lo[i];
+      r.hi[i] = hi[i];
+    }
+    return r;
+  }
+
+  /// True iff no point has been accumulated yet (see Empty()).
+  bool IsEmpty() const { return dim == 0 || lo[0] > hi[0]; }
+
+  /// True iff lo == hi in every dimension (a point).
+  bool IsPoint() const {
+    for (int i = 0; i < dim; ++i) {
+      if (lo[i] != hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// Grows this rect (in place) to cover point `p`.
+  void ExpandToPoint(const Scalar* p) {
+    for (int i = 0; i < dim; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+
+  /// Grows this rect (in place) to cover `other`.
+  void ExpandToRect(const Rect& other) {
+    assert(dim == other.dim);
+    for (int i = 0; i < dim; ++i) {
+      lo[i] = std::min(lo[i], other.lo[i]);
+      hi[i] = std::max(hi[i], other.hi[i]);
+    }
+  }
+
+  bool ContainsPoint(const Scalar* p) const {
+    for (int i = 0; i < dim; ++i) {
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool ContainsRect(const Rect& other) const {
+    assert(dim == other.dim);
+    for (int i = 0; i < dim; ++i) {
+      if (other.lo[i] < lo[i] || other.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const Rect& other) const {
+    assert(dim == other.dim);
+    for (int i = 0; i < dim; ++i) {
+      if (other.hi[i] < lo[i] || other.lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// Product of side lengths (the R*-tree "area" criterion).
+  Scalar Area() const {
+    Scalar a = 1;
+    for (int i = 0; i < dim; ++i) a *= (hi[i] - lo[i]);
+    return a;
+  }
+
+  /// Sum of side lengths (the R*-tree "margin" criterion).
+  Scalar Margin() const {
+    Scalar m = 0;
+    for (int i = 0; i < dim; ++i) m += (hi[i] - lo[i]);
+    return m;
+  }
+
+  /// Area of the intersection with `other` (0 when disjoint).
+  Scalar OverlapArea(const Rect& other) const {
+    assert(dim == other.dim);
+    Scalar a = 1;
+    for (int i = 0; i < dim; ++i) {
+      const Scalar w = std::min(hi[i], other.hi[i]) - std::max(lo[i], other.lo[i]);
+      if (w <= 0) return 0;
+      a *= w;
+    }
+    return a;
+  }
+
+  /// Area of the bounding box of this and `other`.
+  Scalar EnlargedArea(const Rect& other) const {
+    assert(dim == other.dim);
+    Scalar a = 1;
+    for (int i = 0; i < dim; ++i) {
+      a *= std::max(hi[i], other.hi[i]) - std::min(lo[i], other.lo[i]);
+    }
+    return a;
+  }
+
+  /// Center coordinate in dimension `d`.
+  Scalar Center(int d) const { return (lo[d] + hi[d]) / 2; }
+
+  bool operator==(const Rect& other) const {
+    if (dim != other.dim) return false;
+    for (int i = 0; i < dim; ++i) {
+      if (lo[i] != other.lo[i] || hi[i] != other.hi[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief An owning, contiguous collection of D-dimensional points.
+///
+/// Coordinates are stored row-major in a single allocation
+/// (`coords_[i * dim + d]`), so scans and distance kernels are
+/// cache-friendly and points never require per-point heap objects.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(int dim) : dim_(dim) {
+    assert(dim >= 1 && dim <= kMaxDim);
+  }
+  Dataset(int dim, std::vector<Scalar> coords)
+      : dim_(dim), coords_(std::move(coords)) {
+    assert(dim >= 1 && dim <= kMaxDim);
+    assert(coords_.size() % static_cast<size_t>(dim) == 0);
+  }
+
+  int dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : coords_.size() / dim_; }
+  bool empty() const { return coords_.empty(); }
+
+  /// Pointer to the `i`-th point's coordinates (dim() scalars).
+  const Scalar* point(size_t i) const {
+    assert(i < size());
+    return coords_.data() + i * dim_;
+  }
+  Scalar* mutable_point(size_t i) {
+    assert(i < size());
+    return coords_.data() + i * dim_;
+  }
+
+  void Append(const Scalar* p) { coords_.insert(coords_.end(), p, p + dim_); }
+  void Reserve(size_t n) { coords_.reserve(n * dim_); }
+
+  const std::vector<Scalar>& coords() const { return coords_; }
+
+  /// Tight bounding box of all points (Rect::Empty(dim) when empty).
+  Rect BoundingBox() const {
+    Rect box = Rect::Empty(dim_);
+    for (size_t i = 0; i < size(); ++i) box.ExpandToPoint(point(i));
+    return box;
+  }
+
+  /// Returns a dataset containing the points at `indices`, in order.
+  Dataset Select(const std::vector<size_t>& indices) const {
+    Dataset out(dim_);
+    out.Reserve(indices.size());
+    for (size_t idx : indices) out.Append(point(idx));
+    return out;
+  }
+
+ private:
+  int dim_ = 0;
+  std::vector<Scalar> coords_;
+};
+
+/// Squared Euclidean distance between two D-dimensional points.
+inline Scalar PointDist2(const Scalar* a, const Scalar* b, int dim) {
+  Scalar s = 0;
+  for (int i = 0; i < dim; ++i) {
+    const Scalar d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Squared Euclidean distance with early termination once `bound2` is
+/// exceeded (used by the GORDER object-level pruning).
+inline Scalar PointDist2Bounded(const Scalar* a, const Scalar* b, int dim,
+                                Scalar bound2) {
+  Scalar s = 0;
+  for (int i = 0; i < dim; ++i) {
+    const Scalar d = a[i] - b[i];
+    s += d * d;
+    if (s > bound2) return s;
+  }
+  return s;
+}
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_GEOMETRY_H_

@@ -1,0 +1,76 @@
+#include "common/hilbert.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ann {
+
+HilbertCurve::HilbertCurve(const Rect& box) : box_(box) {
+  assert(box.dim >= 1);
+  bits_per_dim_ = 64 / box.dim;
+  if (bits_per_dim_ > 21) bits_per_dim_ = 21;
+}
+
+uint64_t HilbertCurve::Key(const Scalar* p) const {
+  const int n = box_.dim;
+  const int bits = bits_per_dim_;
+  const uint64_t max_cell = (uint64_t{1} << bits) - 1;
+
+  // Quantize into grid coordinates.
+  uint64_t x[kMaxDim];
+  for (int i = 0; i < n; ++i) {
+    const Scalar w = box_.hi[i] - box_.lo[i];
+    Scalar t = w > 0 ? (p[i] - box_.lo[i]) / w : 0;
+    t = std::clamp(t, Scalar{0}, Scalar{1});
+    uint64_t c = static_cast<uint64_t>(t * static_cast<Scalar>(max_cell + 1));
+    x[i] = std::min(c, max_cell);
+  }
+
+  // Skilling's transform: convert coordinates in place to the transposed
+  // Hilbert index (inverse undo of the Gray-code twisting).
+  const uint64_t m = uint64_t{1} << (bits - 1);
+  // Inverse undo.
+  for (uint64_t q = m; q > 1; q >>= 1) {
+    const uint64_t mask = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= mask;  // invert
+      } else {
+        const uint64_t t = (x[0] ^ x[i]) & mask;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint64_t t = 0;
+  for (uint64_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+
+  // Interleave the transposed index into a single key: bit b of dimension
+  // i goes to position b * n + (n - 1 - i).
+  uint64_t key = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < n; ++i) {
+      key = (key << 1) | ((x[i] >> b) & 1);
+    }
+  }
+  return key;
+}
+
+std::vector<size_t> HilbertCurve::SortedOrder(const Dataset& data) const {
+  std::vector<std::pair<uint64_t, size_t>> keyed(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    keyed[i] = {Key(data.point(i)), i};
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+  return order;
+}
+
+}  // namespace ann

@@ -1,0 +1,120 @@
+#include "common/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ann {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& m, int max_sweeps) {
+  const int n = m.n();
+  if (n <= 0) return Status::InvalidArgument("SymmetricEigen: empty matrix");
+  for (int r = 0; r < n; ++r) {
+    for (int c = r + 1; c < n; ++c) {
+      if (std::abs(m.at(r, c) - m.at(c, r)) >
+          1e-9 * (1.0 + std::abs(m.at(r, c)))) {
+        return Status::InvalidArgument("SymmetricEigen: matrix not symmetric");
+      }
+    }
+  }
+
+  Matrix a = m;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    Scalar off = 0;
+    for (int r = 0; r < n; ++r) {
+      for (int c = r + 1; c < n; ++c) off += a.at(r, c) * a.at(r, c);
+    }
+    if (off < 1e-24) break;
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const Scalar apq = a.at(p, q);
+        if (std::abs(apq) < 1e-30) continue;
+        const Scalar app = a.at(p, p);
+        const Scalar aqq = a.at(q, q);
+        const Scalar theta = (aqq - app) / (2 * apq);
+        const Scalar t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const Scalar c = 1.0 / std::sqrt(t * t + 1.0);
+        const Scalar s = t * c;
+
+        // Apply the rotation G(p, q, theta) on both sides of `a`.
+        for (int k = 0; k < n; ++k) {
+          const Scalar akp = a.at(k, p);
+          const Scalar akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const Scalar apk = a.at(p, k);
+          const Scalar aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (int k = 0; k < n; ++k) {
+          const Scalar vkp = v.at(k, p);
+          const Scalar vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  std::vector<int> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<Scalar> diag(n);
+  for (int i = 0; i < n; ++i) diag[i] = a.at(i, i);
+  std::sort(idx.begin(), idx.end(),
+            [&](int x, int y) { return diag[x] > diag[y]; });
+
+  out.vectors = Matrix(n);
+  for (int i = 0; i < n; ++i) {
+    out.values[i] = diag[idx[i]];
+    for (int k = 0; k < n; ++k) out.vectors.at(i, k) = v.at(k, idx[i]);
+  }
+  return out;
+}
+
+std::vector<Scalar> Mean(const Dataset& data) {
+  const int d = data.dim();
+  std::vector<Scalar> mean(d, 0.0);
+  if (data.empty()) return mean;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Scalar* p = data.point(i);
+    for (int k = 0; k < d; ++k) mean[k] += p[k];
+  }
+  for (int k = 0; k < d; ++k) mean[k] /= static_cast<Scalar>(data.size());
+  return mean;
+}
+
+Matrix Covariance(const Dataset& data) {
+  const int d = data.dim();
+  Matrix cov(d);
+  if (data.size() < 2) return cov;
+  const std::vector<Scalar> mean = Mean(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Scalar* p = data.point(i);
+    for (int r = 0; r < d; ++r) {
+      const Scalar dr = p[r] - mean[r];
+      for (int c = r; c < d; ++c) {
+        cov.at(r, c) += dr * (p[c] - mean[c]);
+      }
+    }
+  }
+  const Scalar inv_n = 1.0 / static_cast<Scalar>(data.size());
+  for (int r = 0; r < d; ++r) {
+    for (int c = r; c < d; ++c) {
+      cov.at(r, c) *= inv_n;
+      cov.at(c, r) = cov.at(r, c);
+    }
+  }
+  return cov;
+}
+
+}  // namespace ann

@@ -1,0 +1,59 @@
+#ifndef ANNLIB_COMMON_LINALG_H_
+#define ANNLIB_COMMON_LINALG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace ann {
+
+/// \brief Small dense square matrix (row-major), sized for data-space
+/// dimensionalities (D <= kMaxDim). Backs the PCA used by GORDER.
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(int n) : n_(n), a_(static_cast<size_t>(n) * n, 0.0) {}
+
+  int n() const { return n_; }
+  Scalar& at(int r, int c) { return a_[static_cast<size_t>(r) * n_ + c]; }
+  Scalar at(int r, int c) const { return a_[static_cast<size_t>(r) * n_ + c]; }
+
+  static Matrix Identity(int n) {
+    Matrix m(n);
+    for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+    return m;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<Scalar> a_;
+};
+
+/// \brief Eigen decomposition of a symmetric matrix.
+///
+/// `values[i]` is the i-th eigenvalue in descending order; row i of
+/// `vectors` is the corresponding (unit-length) eigenvector.
+struct EigenDecomposition {
+  std::vector<Scalar> values;
+  Matrix vectors;
+};
+
+/// Computes all eigenpairs of a symmetric matrix with the cyclic Jacobi
+/// rotation method. Suitable for the small (D x D, D <= 16) covariance
+/// matrices PCA needs. Returns InvalidArgument for empty/asymmetric input.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& m,
+                                          int max_sweeps = 64);
+
+/// Sample covariance matrix of `data` (dividing by N, as GORDER's PCA does;
+/// the normalization constant does not affect the eigenvectors).
+Matrix Covariance(const Dataset& data);
+
+/// Mean vector of `data` (dim() scalars).
+std::vector<Scalar> Mean(const Dataset& data);
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_LINALG_H_

@@ -1,0 +1,65 @@
+#ifndef ANNLIB_COMMON_RANDOM_H_
+#define ANNLIB_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace ann {
+
+/// \brief Deterministic pseudo-random generator (xoshiro256**).
+///
+/// All randomness in the library (data generation, sampling in tests and
+/// benchmarks) flows through this generator so every run is reproducible
+/// from a seed. Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the state via SplitMix64 (never yields the all-zero state).
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Zipf-like skewed sample in [0, 1): density proportional to
+  /// (x + eps)^(-theta) via inverse-CDF of a power law.
+  double ZipfSkew(double theta);
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_RANDOM_H_

@@ -1,0 +1,34 @@
+#ifndef ANNLIB_COMMON_SPACE_CURVE_H_
+#define ANNLIB_COMMON_SPACE_CURVE_H_
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/hilbert.h"
+#include "common/zorder.h"
+
+namespace ann {
+
+/// Space-filling curves available for locality ordering (BNN/MNN batch
+/// query points along one of these before probing the index).
+enum class CurveOrder {
+  kZOrder,
+  kHilbert,
+};
+
+inline const char* ToString(CurveOrder curve) {
+  return curve == CurveOrder::kHilbert ? "Hilbert" : "Z-order";
+}
+
+/// Permutation sorting `data` along the chosen curve (stable).
+inline std::vector<size_t> CurveSortedOrder(CurveOrder curve,
+                                            const Dataset& data) {
+  if (curve == CurveOrder::kHilbert) {
+    return HilbertCurve(data.BoundingBox()).SortedOrder(data);
+  }
+  return ZOrder(data.BoundingBox()).SortedOrder(data);
+}
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_SPACE_CURVE_H_

@@ -1,0 +1,167 @@
+#ifndef ANNLIB_COMMON_STATUS_H_
+#define ANNLIB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ann {
+
+/// \brief Error categories used throughout the library.
+///
+/// Library code does not throw exceptions; fallible operations return a
+/// Status (or a Result<T>, see below). This mirrors the error-handling idiom
+/// of Arrow and RocksDB.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kOutOfRange = 4,
+  kNotSupported = 5,
+  kInternal = 6,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// human-readable message. Status is cheap to move and to test for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(new State{code, std::move(msg)}) {}
+
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Result never holds both; accessing the value of an errored Result is a
+/// programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common, successful path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  Status status_;            // OK when a value is present
+  std::optional<T> value_;   // engaged iff status_.ok()
+};
+
+/// Propagates a non-OK Status to the caller.
+#define ANN_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::ann::Status _st = (expr);             \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+#define ANN_CONCAT_IMPL(x, y) x##y
+#define ANN_CONCAT(x, y) ANN_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on error propagates the Status to the caller.
+#define ANN_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  ANN_ASSIGN_OR_RETURN_IMPL(ANN_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define ANN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_STATUS_H_

@@ -1,0 +1,48 @@
+#include "common/zorder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ann {
+
+ZOrder::ZOrder(const Rect& box) : box_(box) {
+  assert(box.dim >= 1);
+  bits_per_dim_ = 64 / box.dim;
+  if (bits_per_dim_ > 21) bits_per_dim_ = 21;  // plenty of resolution
+}
+
+uint64_t ZOrder::Key(const Scalar* p) const {
+  const int d = box_.dim;
+  const uint64_t max_cell = (uint64_t{1} << bits_per_dim_) - 1;
+  uint64_t cells[kMaxDim];
+  for (int i = 0; i < d; ++i) {
+    const Scalar w = box_.hi[i] - box_.lo[i];
+    Scalar t = w > 0 ? (p[i] - box_.lo[i]) / w : 0;
+    t = std::clamp(t, Scalar{0}, Scalar{1});
+    uint64_t c = static_cast<uint64_t>(t * static_cast<Scalar>(max_cell + 1));
+    cells[i] = std::min(c, max_cell);
+  }
+  // Interleave: bit b of dimension i goes to position b * d + (d - 1 - i),
+  // so the most significant bits cycle through dimensions.
+  uint64_t key = 0;
+  for (int b = bits_per_dim_ - 1; b >= 0; --b) {
+    for (int i = 0; i < d; ++i) {
+      key = (key << 1) | ((cells[i] >> b) & 1);
+    }
+  }
+  return key;
+}
+
+std::vector<size_t> ZOrder::SortedOrder(const Dataset& data) const {
+  std::vector<std::pair<uint64_t, size_t>> keyed(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    keyed[i] = {Key(data.point(i)), i};
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+  return order;
+}
+
+}  // namespace ann

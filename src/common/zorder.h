@@ -1,0 +1,39 @@
+#ifndef ANNLIB_COMMON_ZORDER_H_
+#define ANNLIB_COMMON_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace ann {
+
+/// \brief Z-order (Morton) space-filling curve over runtime-dimensional data.
+///
+/// Used by the BNN and MNN baselines to order query points so consecutive
+/// points are spatially close (Zhang et al., SSDBM 2004, group points in
+/// Z-order before batching). Coordinates are normalized into the given
+/// bounding box and quantized to `64 / dim` bits per dimension, then
+/// bit-interleaved into a single 64-bit key.
+class ZOrder {
+ public:
+  /// \param box bounding box used to normalize coordinates; points outside
+  ///   are clamped.
+  explicit ZOrder(const Rect& box);
+
+  /// Morton key for point `p` (dim() == box.dim scalars).
+  uint64_t Key(const Scalar* p) const;
+
+  int bits_per_dim() const { return bits_per_dim_; }
+
+  /// Returns the permutation that sorts `data` by Morton key (stable).
+  std::vector<size_t> SortedOrder(const Dataset& data) const;
+
+ private:
+  Rect box_;
+  int bits_per_dim_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_ZORDER_H_

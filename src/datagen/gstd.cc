@@ -1,0 +1,113 @@
+#include "datagen/gstd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ann {
+
+Result<Dataset> GenerateGstd(const GstdSpec& spec) {
+  if (spec.dim < 1 || spec.dim > kMaxDim) {
+    return Status::InvalidArgument("GenerateGstd: bad dimensionality");
+  }
+  Rng rng(spec.seed);
+  Dataset data(spec.dim);
+  data.Reserve(spec.count);
+  Scalar p[kMaxDim];
+
+  switch (spec.distribution) {
+    case Distribution::kUniform: {
+      for (size_t i = 0; i < spec.count; ++i) {
+        for (int d = 0; d < spec.dim; ++d) p[d] = rng.NextDouble();
+        data.Append(p);
+      }
+      break;
+    }
+    case Distribution::kGaussian: {
+      for (size_t i = 0; i < spec.count; ++i) {
+        for (int d = 0; d < spec.dim; ++d) {
+          p[d] = std::clamp(rng.Gaussian(0.5, 0.15), 0.0, 1.0);
+        }
+        data.Append(p);
+      }
+      break;
+    }
+    case Distribution::kClustered: {
+      const int nc = std::max(1, spec.clusters);
+      std::vector<Scalar> centers(static_cast<size_t>(nc) * spec.dim);
+      std::vector<Scalar> sigmas(nc);
+      for (int c = 0; c < nc; ++c) {
+        for (int d = 0; d < spec.dim; ++d) {
+          centers[c * spec.dim + d] = rng.Uniform(0.1, 0.9);
+        }
+        sigmas[c] = spec.cluster_sigma * rng.Uniform(0.5, 2.0);
+      }
+      for (size_t i = 0; i < spec.count; ++i) {
+        const int c = static_cast<int>(rng.UniformInt(nc));
+        for (int d = 0; d < spec.dim; ++d) {
+          p[d] = std::clamp(
+              rng.Gaussian(centers[c * spec.dim + d], sigmas[c]), 0.0, 1.0);
+        }
+        data.Append(p);
+      }
+      break;
+    }
+    case Distribution::kZipfSkewed: {
+      for (size_t i = 0; i < spec.count; ++i) {
+        for (int d = 0; d < spec.dim; ++d) p[d] = rng.ZipfSkew(spec.zipf_theta);
+        data.Append(p);
+      }
+      break;
+    }
+    case Distribution::kSegments: {
+      const int ns = std::max(1, spec.segments);
+      std::vector<Scalar> ends(static_cast<size_t>(ns) * spec.dim * 2);
+      for (int s = 0; s < ns; ++s) {
+        for (int d = 0; d < 2 * spec.dim; ++d) {
+          ends[s * 2 * spec.dim + d] = rng.NextDouble();
+        }
+      }
+      for (size_t i = 0; i < spec.count; ++i) {
+        const int s = static_cast<int>(rng.UniformInt(ns));
+        const Scalar* a = &ends[s * 2 * spec.dim];
+        const Scalar* b = a + spec.dim;
+        const Scalar t = rng.NextDouble();
+        for (int d = 0; d < spec.dim; ++d) {
+          p[d] = std::clamp(a[d] + t * (b[d] - a[d]) +
+                                rng.Gaussian(0.0, 0.003),
+                            0.0, 1.0);
+        }
+        data.Append(p);
+      }
+      break;
+    }
+    case Distribution::kGridQuantized: {
+      const int lattice = std::max(1, spec.lattice);
+      for (size_t i = 0; i < spec.count; ++i) {
+        for (int d = 0; d < spec.dim; ++d) {
+          const Scalar cell =
+              static_cast<Scalar>(rng.UniformInt(lattice)) / lattice;
+          p[d] = std::clamp(cell + rng.Gaussian(0.0, 1e-4), 0.0, 1.0);
+        }
+        data.Append(p);
+      }
+      break;
+    }
+  }
+  return data;
+}
+
+void SplitHalves(const Dataset& data, Dataset* r, Dataset* s) {
+  *r = Dataset(data.dim());
+  *s = Dataset(data.dim());
+  r->Reserve(data.size() / 2 + 1);
+  s->Reserve(data.size() / 2 + 1);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 2 == 0) {
+      r->Append(data.point(i));
+    } else {
+      s->Append(data.point(i));
+    }
+  }
+}
+
+}  // namespace ann

@@ -1,0 +1,54 @@
+#ifndef ANNLIB_DATAGEN_GSTD_H_
+#define ANNLIB_DATAGEN_GSTD_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ann {
+
+/// Point-distribution families supported by the generator (the GSTD
+/// generator of Theodoridis et al. produces uniform, gaussian and skewed
+/// spatial datasets; the paper's 500K 2/4/6-D synthetic workloads come
+/// from a modified GSTD).
+enum class Distribution {
+  kUniform,
+  kGaussian,       ///< one isotropic gaussian blob in the middle of the space
+  kClustered,      ///< many gaussian clusters with random centers/spreads
+  kZipfSkewed,     ///< per-dimension power-law skew toward the origin
+  kSegments,       ///< points scattered along random line segments
+                   ///< (road-network-like: 1-D structures in D-D space)
+  kGridQuantized,  ///< uniform points snapped to a coarse lattice with
+                   ///< tiny jitter (sensor/survey data; duplicate-heavy)
+};
+
+/// Parameters for synthetic dataset generation.
+struct GstdSpec {
+  int dim = 2;
+  size_t count = 1000;
+  Distribution distribution = Distribution::kUniform;
+  uint64_t seed = 1;
+  /// kClustered: number of clusters.
+  int clusters = 16;
+  /// kClustered/kGaussian: cluster std-dev as a fraction of the space side.
+  double cluster_sigma = 0.02;
+  /// kZipfSkewed: skew parameter theta (larger = more skewed).
+  double zipf_theta = 0.8;
+  /// kSegments: number of line segments.
+  int segments = 40;
+  /// kGridQuantized: lattice cells per dimension.
+  int lattice = 32;
+};
+
+/// Generates a dataset in [0, 1]^dim according to `spec`.
+Result<Dataset> GenerateGstd(const GstdSpec& spec);
+
+/// Splits `data` into two disjoint halves (even/odd indices) — the R and S
+/// operands used by benchmarks when the paper runs ANN over one dataset.
+void SplitHalves(const Dataset& data, Dataset* r, Dataset* s);
+
+}  // namespace ann
+
+#endif  // ANNLIB_DATAGEN_GSTD_H_

@@ -1,0 +1,113 @@
+#include "datagen/real_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace ann {
+
+Result<Dataset> MakeTacLike(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(2);
+  data.Reserve(count);
+
+  // Star "fields": cluster centers concentrated along a sinusoidal band
+  // across the sky, with per-field density falloff.
+  const int num_fields = 400;
+  std::vector<Scalar> centers(num_fields * 2);
+  std::vector<Scalar> sigmas(num_fields);
+  for (int f = 0; f < num_fields; ++f) {
+    const Scalar ra = rng.Uniform(0.0, 360.0);
+    const Scalar band = 25.0 * std::sin(ra * M_PI / 180.0);
+    const Scalar dec =
+        std::clamp(band + rng.Gaussian(0.0, 18.0), -89.0, 89.0);
+    centers[f * 2] = ra;
+    centers[f * 2 + 1] = dec;
+    sigmas[f] = rng.Uniform(0.15, 1.2);  // degrees
+  }
+
+  Scalar p[2];
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.NextDouble() < 0.6) {
+      const int f = static_cast<int>(rng.UniformInt(num_fields));
+      p[0] = centers[f * 2] + rng.Gaussian(0.0, sigmas[f]);
+      p[1] = centers[f * 2 + 1] + rng.Gaussian(0.0, sigmas[f]);
+      // Wrap RA, clamp Dec.
+      p[0] = std::fmod(std::fmod(p[0], 360.0) + 360.0, 360.0);
+      p[1] = std::clamp(p[1], -90.0, 90.0);
+    } else {
+      p[0] = rng.Uniform(0.0, 360.0);
+      // Uniform on the sphere: dec = asin(u).
+      p[1] = std::asin(rng.Uniform(-1.0, 1.0)) * 180.0 / M_PI;
+    }
+    data.Append(p);
+  }
+  return data;
+}
+
+Result<Dataset> MakeForestCoverLike(size_t count, uint64_t seed) {
+  constexpr int kDim = 10;
+  constexpr int kLatent = 3;
+  Rng rng(seed);
+
+  // Random loading matrix with mixed-scale rows (elevation-like attributes
+  // have large ranges, hillshade-like ones are bounded).
+  Scalar loading[kDim][kLatent];
+  Scalar noise_scale[kDim];
+  Scalar attr_scale[kDim];
+  for (int a = 0; a < kDim; ++a) {
+    for (int l = 0; l < kLatent; ++l) loading[a][l] = rng.Gaussian(0.0, 1.0);
+    noise_scale[a] = rng.Uniform(0.1, 0.5);
+    attr_scale[a] = std::pow(10.0, rng.Uniform(0.0, 3.0));
+  }
+
+  // Latent cluster centers: real FC tuples concentrate in many small
+  // terrain regimes (quantized, strongly correlated attributes), which is
+  // what makes index pruning effective on this dataset. The latent space
+  // is therefore a mixture of many tight clusters, not one broad gaussian.
+  constexpr int kRegimes = 600;
+  std::vector<Scalar> regime_centers(kRegimes * kLatent);
+  for (int c = 0; c < kRegimes; ++c) {
+    regime_centers[c * kLatent] =
+        rng.Gaussian(rng.NextDouble() < 0.5 ? -1.0 : 1.0, 0.6);
+    for (int l = 1; l < kLatent; ++l) {
+      regime_centers[c * kLatent + l] = rng.Gaussian(0.0, 1.0);
+    }
+  }
+
+  Dataset data(kDim);
+  data.Reserve(count);
+  Scalar p[kDim];
+  for (size_t i = 0; i < count; ++i) {
+    const int c = static_cast<int>(rng.UniformInt(kRegimes));
+    Scalar z[kLatent];
+    for (int l = 0; l < kLatent; ++l) {
+      z[l] = regime_centers[c * kLatent + l] + rng.Gaussian(0.0, 0.06);
+    }
+    for (int a = 0; a < kDim; ++a) {
+      Scalar v = 0;
+      for (int l = 0; l < kLatent; ++l) v += loading[a][l] * z[l];
+      v += rng.Gaussian(0.0, 0.05 * noise_scale[a]);
+      p[a] = v * attr_scale[a];
+    }
+    data.Append(p);
+  }
+  NormalizePerAttribute(&data);
+  return data;
+}
+
+void NormalizePerAttribute(Dataset* data) {
+  if (data->empty()) return;
+  const int dim = data->dim();
+  const Rect box = data->BoundingBox();
+  for (size_t i = 0; i < data->size(); ++i) {
+    Scalar* p = data->mutable_point(i);
+    for (int d = 0; d < dim; ++d) {
+      const Scalar w = box.hi[d] - box.lo[d];
+      p[d] = w > 0 ? (p[d] - box.lo[d]) / w : 0.5;
+    }
+  }
+}
+
+}  // namespace ann

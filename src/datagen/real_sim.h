@@ -1,0 +1,39 @@
+#ifndef ANNLIB_DATAGEN_REAL_SIM_H_
+#define ANNLIB_DATAGEN_REAL_SIM_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace ann {
+
+/// \brief Synthetic stand-in for the Twin Astrographic Catalog (TAC 2.0).
+///
+/// The paper's TAC workload is ~700K high-precision 2-D star positions —
+/// a strongly clustered sky distribution. The stand-in reproduces the
+/// relevant properties (cardinality, D = 2, heavy local clustering over a
+/// band plus sparse background): ~60% of points fall in several hundred
+/// gaussian "fields" whose centers concentrate along a sinusoidal band
+/// (the ecliptic), the rest are uniform background stars. Coordinates are
+/// (RA, Dec) in degrees: [0, 360) x [-90, 90].
+Result<Dataset> MakeTacLike(size_t count, uint64_t seed = 7);
+
+/// \brief Synthetic stand-in for the Forest Cover Type dataset (UCI KDD).
+///
+/// FC is 580K tuples; the ANN workload uses its 10 numeric attributes,
+/// which are strongly correlated (elevation drives hydrology/roadway
+/// distances, hillshades co-vary) — i.e. moderate intrinsic dimensionality
+/// inside a 10-D ambient space. The stand-in uses a latent-factor model:
+/// 3 latent variables mixed through a random 10x3 loading matrix plus
+/// per-attribute noise of mixed scales, then per-attribute normalization
+/// to [0, 1] (as GORDER preprocessing does).
+Result<Dataset> MakeForestCoverLike(size_t count, uint64_t seed = 11);
+
+/// Normalizes every attribute of `data` to [0, 1] in place (no-op for
+/// constant attributes).
+void NormalizePerAttribute(Dataset* data);
+
+}  // namespace ann
+
+#endif  // ANNLIB_DATAGEN_REAL_SIM_H_

@@ -1,0 +1,135 @@
+#include "index/grid/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/page.h"
+
+namespace ann {
+
+namespace {
+
+constexpr size_t kNodePayload = kPageSize - 16;
+
+int64_t CellIndex1(const Rect& box, int cells_per_dim, int d, Scalar v) {
+  const Scalar w = box.hi[d] - box.lo[d];
+  if (w <= 0) return 0;
+  Scalar t = (v - box.lo[d]) / w;
+  t = std::clamp(t, Scalar{0}, Scalar{1});
+  return std::min<int64_t>(static_cast<int64_t>(t * cells_per_dim),
+                           cells_per_dim - 1);
+}
+
+int64_t CellOf(const Rect& box, int cells_per_dim, const Scalar* p, int dim) {
+  int64_t id = 0;
+  for (int d = 0; d < dim; ++d) {
+    id = id * cells_per_dim + CellIndex1(box, cells_per_dim, d, p[d]);
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<GridIndex> GridIndex::Build(const Dataset& data,
+                                   GridIndexOptions options) {
+  if (data.dim() < 1 || data.dim() > kMaxDim) {
+    return Status::InvalidArgument("GridIndex::Build: bad dimensionality");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("GridIndex::Build: empty dataset");
+  }
+  const int dim = data.dim();
+  GridIndex g;
+  g.space_ = data.BoundingBox();
+  for (int d = 0; d < dim; ++d) {
+    if (g.space_.hi[d] <= g.space_.lo[d]) {
+      g.space_.hi[d] = g.space_.lo[d] + 1;
+    }
+  }
+  const size_t record = 8 + static_cast<size_t>(dim) * 8;
+  const size_t target = options.target_per_cell > 0
+                            ? options.target_per_cell
+                            : std::max<size_t>(1, kNodePayload / record);
+  g.cells_per_dim_ = std::max(
+      1, static_cast<int>(std::ceil(std::pow(
+             static_cast<double>(data.size()) / target, 1.0 / dim))));
+
+  // Sort point indices by cell; each run becomes one leaf.
+  std::vector<std::pair<int64_t, size_t>> keyed(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    keyed[i] = {CellOf(g.space_, g.cells_per_dim_, data.point(i), dim), i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  g.tree_.dim = dim;
+  g.tree_.num_objects = data.size();
+  g.tree_.height = 2;
+  MemNode root;
+  root.is_leaf = false;
+  root.mbr = Rect::Empty(dim);
+
+  size_t begin = 0;
+  while (begin < keyed.size()) {
+    size_t end = begin;
+    while (end < keyed.size() && keyed[end].first == keyed[begin].first) {
+      ++end;
+    }
+    MemNode leaf;
+    leaf.is_leaf = true;
+    leaf.mbr = Rect::Empty(dim);
+    leaf.entries.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      MemEntry e;
+      e.mbr = Rect::FromPoint(data.point(keyed[i].second), dim);
+      e.id = keyed[i].second;
+      e.child = -1;
+      leaf.mbr.ExpandToRect(e.mbr);
+      leaf.entries.push_back(e);
+    }
+    g.tree_.nodes.push_back(std::move(leaf));
+    MemEntry re;
+    re.mbr = g.tree_.nodes.back().mbr;
+    re.child = static_cast<int32_t>(g.tree_.nodes.size() - 1);
+    root.mbr.ExpandToRect(re.mbr);
+    root.entries.push_back(re);
+    begin = end;
+  }
+  g.tree_.nodes.push_back(std::move(root));
+  g.tree_.root = static_cast<int32_t>(g.tree_.nodes.size() - 1);
+  return g;
+}
+
+Status GridIndex::CheckInvariants() const {
+  const MemNode& root = tree_.nodes[tree_.root];
+  if (root.is_leaf) return Status::Internal("grid: leaf root");
+  uint64_t objects = 0;
+  Rect expect = Rect::Empty(tree_.dim);
+  for (const MemEntry& e : root.entries) {
+    const MemNode& leaf = tree_.nodes[e.child];
+    if (!leaf.is_leaf) return Status::Internal("grid: height != 2");
+    if (leaf.entries.empty()) return Status::Internal("grid: empty cell");
+    Rect tight = Rect::Empty(tree_.dim);
+    for (const MemEntry& o : leaf.entries) tight.ExpandToRect(o.mbr);
+    if (!(tight == leaf.mbr)) return Status::Internal("grid: MBR not tight");
+    if (!(e.mbr == leaf.mbr)) return Status::Internal("grid: stale root entry");
+    // Every point of the cell maps back to the same grid cell.
+    const int64_t cell = CellOf(space_, cells_per_dim_,
+                                leaf.entries[0].mbr.lo.data(), tree_.dim);
+    for (const MemEntry& o : leaf.entries) {
+      if (CellOf(space_, cells_per_dim_, o.mbr.lo.data(), tree_.dim) != cell) {
+        return Status::Internal("grid: cell mixes points");
+      }
+    }
+    objects += leaf.entries.size();
+    expect.ExpandToRect(leaf.mbr);
+  }
+  if (objects != tree_.num_objects) {
+    return Status::Internal("grid: object count mismatch");
+  }
+  if (!(expect == root.mbr)) {
+    return Status::Internal("grid: root MBR not tight");
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,191 @@
+#include "index/index_file.h"
+
+#include <cstring>
+
+namespace ann {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'N', 'N', 'L', 'I', 'B', '0', '1'};
+
+// --- catalog record serialization ------------------------------------
+
+void PutU32(std::vector<char>* buf, uint32_t v) {
+  buf->insert(buf->end(), reinterpret_cast<const char*>(&v),
+              reinterpret_cast<const char*>(&v) + 4);
+}
+void PutU64(std::vector<char>* buf, uint64_t v) {
+  buf->insert(buf->end(), reinterpret_cast<const char*>(&v),
+              reinterpret_cast<const char*>(&v) + 8);
+}
+void PutScalar(std::vector<char>* buf, Scalar v) {
+  buf->insert(buf->end(), reinterpret_cast<const char*>(&v),
+              reinterpret_cast<const char*>(&v) + sizeof(Scalar));
+}
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : p_(data), end_(data + size) {}
+
+  bool Get(void* out, size_t n) {
+    if (p_ + n > end_) return false;
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return true;
+  }
+  bool GetU32(uint32_t* v) { return Get(v, 4); }
+  bool GetU64(uint64_t* v) { return Get(v, 8); }
+  bool GetScalar(Scalar* v) { return Get(v, sizeof(Scalar)); }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+std::vector<char> SerializeCatalog(
+    const std::map<std::string, PersistedIndexMeta>& catalog) {
+  std::vector<char> buf;
+  PutU32(&buf, static_cast<uint32_t>(catalog.size()));
+  for (const auto& [name, meta] : catalog) {
+    PutU32(&buf, static_cast<uint32_t>(name.size()));
+    buf.insert(buf.end(), name.begin(), name.end());
+    PutU32(&buf, meta.root);
+    PutU32(&buf, static_cast<uint32_t>(meta.dim));
+    PutU32(&buf, static_cast<uint32_t>(meta.height));
+    PutU64(&buf, meta.num_objects);
+    PutU64(&buf, meta.num_nodes);
+    for (int d = 0; d < meta.dim; ++d) PutScalar(&buf, meta.root_mbr.lo[d]);
+    for (int d = 0; d < meta.dim; ++d) PutScalar(&buf, meta.root_mbr.hi[d]);
+  }
+  return buf;
+}
+
+Status DeserializeCatalog(const std::vector<char>& buf,
+                          std::map<std::string, PersistedIndexMeta>* out) {
+  Reader r(buf.data(), buf.size());
+  uint32_t count;
+  if (!r.GetU32(&count)) return Status::Internal("IndexFile: bad catalog");
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len;
+    if (!r.GetU32(&name_len) || name_len > 4096) {
+      return Status::Internal("IndexFile: bad catalog entry name");
+    }
+    std::string name(name_len, '\0');
+    if (!r.Get(name.data(), name_len)) {
+      return Status::Internal("IndexFile: truncated catalog entry");
+    }
+    PersistedIndexMeta meta;
+    uint32_t dim, height;
+    if (!r.GetU32(&meta.root) || !r.GetU32(&dim) || !r.GetU32(&height) ||
+        !r.GetU64(&meta.num_objects) || !r.GetU64(&meta.num_nodes)) {
+      return Status::Internal("IndexFile: truncated catalog entry");
+    }
+    if (dim < 1 || dim > static_cast<uint32_t>(kMaxDim)) {
+      return Status::Internal("IndexFile: bad catalog dimensionality");
+    }
+    meta.dim = static_cast<int>(dim);
+    meta.height = static_cast<int>(height);
+    meta.root_mbr.dim = meta.dim;
+    for (int d = 0; d < meta.dim; ++d) {
+      if (!r.GetScalar(&meta.root_mbr.lo[d])) {
+        return Status::Internal("IndexFile: truncated catalog MBR");
+      }
+    }
+    for (int d = 0; d < meta.dim; ++d) {
+      if (!r.GetScalar(&meta.root_mbr.hi[d])) {
+        return Status::Internal("IndexFile: truncated catalog MBR");
+      }
+    }
+    out->emplace(std::move(name), meta);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IndexFile>> IndexFile::Create(const std::string& path,
+                                                     size_t pool_frames) {
+  ANN_ASSIGN_OR_RETURN(auto disk, FileDiskManager::Create(path));
+  std::unique_ptr<IndexFile> file(
+      new IndexFile(std::move(disk), pool_frames));
+  // Reserve page 0 as the superblock before the store claims it.
+  ANN_ASSIGN_OR_RETURN(PinnedPage super, file->pool_.NewPage());
+  if (super.page_id() != 0) {
+    return Status::Internal("IndexFile: superblock is not page 0");
+  }
+  super.Release();
+  ANN_RETURN_NOT_OK(file->WriteSuperblock(kInvalidNodeId));
+  return file;
+}
+
+Result<std::unique_ptr<IndexFile>> IndexFile::Open(const std::string& path,
+                                                   size_t pool_frames) {
+  ANN_ASSIGN_OR_RETURN(auto disk, FileDiskManager::Open(path));
+  if (disk->page_count() == 0) {
+    return Status::IOError("IndexFile: empty file");
+  }
+  std::unique_ptr<IndexFile> file(
+      new IndexFile(std::move(disk), pool_frames));
+  ANN_RETURN_NOT_OK(file->LoadCatalog());
+  return file;
+}
+
+Status IndexFile::WriteSuperblock(NodeId catalog_id) {
+  ANN_ASSIGN_OR_RETURN(PinnedPage super, pool_.Fetch(0));
+  std::memcpy(super.data(), kMagic, sizeof(kMagic));
+  std::memcpy(super.data() + 8, &catalog_id, 4);
+  super.MarkDirty();
+  return Status::OK();
+}
+
+Status IndexFile::LoadCatalog() {
+  ANN_ASSIGN_OR_RETURN(PinnedPage super, pool_.Fetch(0));
+  if (std::memcmp(super.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("IndexFile: bad magic (not an annlib file)");
+  }
+  NodeId catalog_id;
+  std::memcpy(&catalog_id, super.data() + 8, 4);
+  super.Release();
+  catalog_record_ = catalog_id;
+  if (catalog_id == kInvalidNodeId) return Status::OK();  // empty catalog
+  std::vector<char> buf;
+  ANN_RETURN_NOT_OK(store_.Read(catalog_id, &buf));
+  return DeserializeCatalog(buf, &catalog_);
+}
+
+Status IndexFile::AddIndex(const std::string& name, const MemTree& tree) {
+  ANN_ASSIGN_OR_RETURN(const PersistedIndexMeta meta,
+                       PersistMemTree(tree, &store_));
+  catalog_[name] = meta;
+  return Status::OK();
+}
+
+Result<PersistedIndexMeta> IndexFile::GetIndex(const std::string& name) const {
+  const auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("IndexFile: no index named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> IndexFile::IndexNames() const {
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& [name, meta] : catalog_) names.push_back(name);
+  return names;
+}
+
+Status IndexFile::Sync() {
+  const std::vector<char> buf = SerializeCatalog(catalog_);
+  // A fresh catalog record is written on every Sync (and the previous one
+  // released) so the superblock flip is the last mutation.
+  if (catalog_record_ != kInvalidNodeId) {
+    ANN_RETURN_NOT_OK(store_.Free(catalog_record_));
+  }
+  ANN_ASSIGN_OR_RETURN(catalog_record_,
+                       store_.Append(buf.data(), buf.size()));
+  ANN_RETURN_NOT_OK(WriteSuperblock(catalog_record_));
+  return pool_.FlushAll();
+}
+
+}  // namespace ann

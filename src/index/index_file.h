@@ -1,0 +1,94 @@
+#ifndef ANNLIB_INDEX_INDEX_FILE_H_
+#define ANNLIB_INDEX_INDEX_FILE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/node_format.h"
+#include "index/paged_index_view.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/node_store.h"
+
+namespace ann {
+
+/// \brief A self-describing on-disk database of persisted spatial indexes.
+///
+/// One page file holds any number of named indexes plus a catalog:
+///
+///   page 0          superblock: magic, format version, catalog NodeId
+///   other pages     NodeStore slotted pages / overflow chains,
+///                   including one record holding the serialized catalog
+///
+/// Typical lifecycle:
+///
+/// \code
+///   // Build once.
+///   auto file = IndexFile::Create("catalog.ann", 1024);
+///   auto qt = Mbrqt::Build(points);
+///   (*file)->AddIndex("stars", qt->Finalize());
+///   (*file)->Sync();
+///
+///   // Query later, in another process.
+///   auto file = IndexFile::Open("catalog.ann", 64);
+///   auto meta = (*file)->GetIndex("stars");
+///   PagedIndexView view = (*file)->View(*meta);
+/// \endcode
+///
+/// Not crash-safe mid-build: Sync() is the durability point (the file is
+/// complete and reopenable after any successful Sync).
+class IndexFile {
+ public:
+  /// Creates (truncating) a new index file.
+  static Result<std::unique_ptr<IndexFile>> Create(const std::string& path,
+                                                   size_t pool_frames);
+
+  /// Opens an existing index file and loads its catalog.
+  static Result<std::unique_ptr<IndexFile>> Open(const std::string& path,
+                                                 size_t pool_frames);
+
+  IndexFile(const IndexFile&) = delete;
+  IndexFile& operator=(const IndexFile&) = delete;
+
+  /// Persists `tree` under `name` (replacing any previous index of the
+  /// same name in the catalog; its pages are not reclaimed).
+  Status AddIndex(const std::string& name, const MemTree& tree);
+
+  /// Looks up a persisted index by name.
+  Result<PersistedIndexMeta> GetIndex(const std::string& name) const;
+
+  /// Names in the catalog, sorted.
+  std::vector<std::string> IndexNames() const;
+
+  /// A SpatialIndex view over a persisted index of this file.
+  PagedIndexView View(const PersistedIndexMeta& meta) const {
+    return PagedIndexView(&store_, meta);
+  }
+
+  /// Writes the catalog and flushes everything to disk.
+  Status Sync();
+
+  BufferPool* pool() { return &pool_; }
+  NodeStore* store() { return &store_; }
+
+ private:
+  IndexFile(std::unique_ptr<FileDiskManager> disk, size_t pool_frames)
+      : disk_(std::move(disk)), pool_(disk_.get(), pool_frames),
+        store_(&pool_) {}
+
+  Status WriteSuperblock(NodeId catalog_id);
+  Status LoadCatalog();
+
+  std::unique_ptr<FileDiskManager> disk_;
+  BufferPool pool_;
+  NodeStore store_;
+  std::map<std::string, PersistedIndexMeta> catalog_;
+  NodeId catalog_record_ = kInvalidNodeId;  ///< current on-disk catalog
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_INDEX_FILE_H_

@@ -1,0 +1,94 @@
+#include "index/index_stats.h"
+
+#include <cstdio>
+
+namespace ann {
+
+Result<IndexStatsReport> CollectIndexStats(const SpatialIndex& index) {
+  IndexStatsReport report;
+  report.height = index.height();
+  report.levels.resize(index.height());
+
+  struct Item {
+    IndexEntry entry;
+    int level;
+  };
+  std::vector<Item> stack{{index.Root(), 0}};
+  std::vector<IndexEntry> children;
+  double overlap_sum = 0;
+  double area_sum = 0;
+  std::vector<double> level_overlap(report.height, 0.0);
+  std::vector<double> level_area(report.height, 0.0);
+
+  while (!stack.empty()) {
+    const auto [entry, level] = stack.back();
+    stack.pop_back();
+    if (level >= report.height) {
+      return Status::Internal("CollectIndexStats: node below stated height");
+    }
+    children.clear();
+    ANN_RETURN_NOT_OK(index.Expand(entry, &children));
+
+    LevelStats& ls = report.levels[level];
+    ++ls.nodes;
+    ls.entries += children.size();
+
+    const bool is_leaf = children.empty() || children[0].is_object;
+    if (is_leaf) {
+      ++report.leaf_nodes;
+      report.objects += children.size();
+    } else {
+      ++report.internal_nodes;
+      // Pairwise sibling overlap at this node.
+      double node_overlap = 0;
+      double node_area = 0;
+      for (size_t i = 0; i < children.size(); ++i) {
+        node_area += children[i].mbr.Area();
+        for (size_t j = i + 1; j < children.size(); ++j) {
+          node_overlap += children[i].mbr.OverlapArea(children[j].mbr);
+        }
+      }
+      overlap_sum += node_overlap;
+      area_sum += node_area;
+      level_overlap[level] += node_overlap;
+      level_area[level] += node_area;
+      for (const IndexEntry& c : children) {
+        stack.push_back({c, level + 1});
+      }
+    }
+  }
+
+  for (int level = 0; level < report.height; ++level) {
+    LevelStats& ls = report.levels[level];
+    ls.avg_fanout = ls.nodes ? static_cast<double>(ls.entries) / ls.nodes : 0;
+    ls.overlap_ratio =
+        level_area[level] > 0 ? level_overlap[level] / level_area[level] : 0;
+  }
+  report.avg_leaf_fill =
+      report.leaf_nodes
+          ? static_cast<double>(report.objects) / report.leaf_nodes
+          : 0;
+  report.total_overlap_ratio = area_sum > 0 ? overlap_sum / area_sum : 0;
+  return report;
+}
+
+std::string IndexStatsReport::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "height=%d internal=%llu leaves=%llu objects=%llu "
+                "leaf_fill=%.1f overlap_ratio=%.5f\n",
+                height, (unsigned long long)internal_nodes,
+                (unsigned long long)leaf_nodes, (unsigned long long)objects,
+                avg_leaf_fill, total_overlap_ratio);
+  out += buf;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "  level %zu: %llu nodes, avg fanout %.1f\n", i,
+                  (unsigned long long)levels[i].nodes, levels[i].avg_fanout);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ann

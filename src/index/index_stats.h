@@ -1,0 +1,44 @@
+#ifndef ANNLIB_INDEX_INDEX_STATS_H_
+#define ANNLIB_INDEX_INDEX_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/spatial_index.h"
+
+namespace ann {
+
+/// Structural statistics of one index level (root = level 0).
+struct LevelStats {
+  uint64_t nodes = 0;
+  uint64_t entries = 0;
+  double avg_fanout = 0;
+  /// Sum over sibling pairs of MBR overlap area at this level's nodes,
+  /// normalized by the sum of their children's MBR areas — the quantity
+  /// Section 3.2 blames for the R*-tree's weak pruning (regular quadtree
+  /// decomposition makes it exactly 0 at every level).
+  double overlap_ratio = 0;
+};
+
+/// Whole-index structural statistics.
+struct IndexStatsReport {
+  int height = 0;
+  uint64_t internal_nodes = 0;
+  uint64_t leaf_nodes = 0;
+  uint64_t objects = 0;
+  double avg_leaf_fill = 0;  ///< objects per leaf
+  double total_overlap_ratio = 0;
+  std::vector<LevelStats> levels;
+
+  std::string ToString() const;
+};
+
+/// Walks the whole index and gathers IndexStatsReport (O(index size) plus
+/// O(fanout^2) per internal node for the overlap measure).
+Result<IndexStatsReport> CollectIndexStats(const SpatialIndex& index);
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_INDEX_STATS_H_

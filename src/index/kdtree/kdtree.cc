@@ -1,0 +1,167 @@
+#include "index/kdtree/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "storage/page.h"
+
+namespace ann {
+
+namespace {
+
+// Usable node payload: page minus NodeStore header (8) and node header (8).
+constexpr size_t kNodePayload = kPageSize - 16;
+
+struct Builder {
+  const Dataset& data;
+  const KdTreeOptions& options;
+  int capacity;
+  MemTree tree;
+  std::vector<size_t> idx;
+
+  /// Builds the subtree over idx[begin, end) at depth `depth`; returns the
+  /// node index. `depth_out` reports the deepest leaf below.
+  int32_t BuildRange(size_t begin, size_t end, int depth, int* depth_out) {
+    const int dim = data.dim();
+    MemNode node;
+    node.mbr = Rect::Empty(dim);
+    for (size_t i = begin; i < end; ++i) {
+      node.mbr.ExpandToPoint(data.point(idx[i]));
+    }
+
+    if (end - begin <= static_cast<size_t>(capacity)) {
+      node.is_leaf = true;
+      node.entries.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        MemEntry e;
+        e.mbr = Rect::FromPoint(data.point(idx[i]), dim);
+        e.id = idx[i];
+        e.child = -1;
+        node.entries.push_back(e);
+      }
+      *depth_out = depth;
+      tree.nodes.push_back(std::move(node));
+      return static_cast<int32_t>(tree.nodes.size() - 1);
+    }
+
+    // Split dimension: widest spread of the actual data (or round-robin).
+    int split_dim = depth % dim;
+    if (options.split_widest_dimension) {
+      Scalar widest = -1;
+      for (int d = 0; d < dim; ++d) {
+        const Scalar w = node.mbr.hi[d] - node.mbr.lo[d];
+        if (w > widest) {
+          widest = w;
+          split_dim = d;
+        }
+      }
+    }
+
+    const size_t mid = begin + (end - begin) / 2;
+    std::nth_element(idx.begin() + begin, idx.begin() + mid,
+                     idx.begin() + end, [this, split_dim](size_t a, size_t b) {
+                       return data.point(a)[split_dim] <
+                              data.point(b)[split_dim];
+                     });
+
+    int left_depth = depth, right_depth = depth;
+    const int32_t left = BuildRange(begin, mid, depth + 1, &left_depth);
+    const int32_t right = BuildRange(mid, end, depth + 1, &right_depth);
+    *depth_out = std::max(left_depth, right_depth);
+
+    node.is_leaf = false;
+    MemEntry le, re;
+    le.mbr = tree.nodes[left].mbr;
+    le.child = left;
+    re.mbr = tree.nodes[right].mbr;
+    re.child = right;
+    node.entries = {le, re};
+    tree.nodes.push_back(std::move(node));
+    return static_cast<int32_t>(tree.nodes.size() - 1);
+  }
+};
+
+}  // namespace
+
+int DefaultKdBucketCapacity(int dim) {
+  return static_cast<int>(kNodePayload / (8 + static_cast<size_t>(dim) * 8));
+}
+
+Result<KdTree> KdTree::Build(const Dataset& data, KdTreeOptions options) {
+  if (data.dim() < 1 || data.dim() > kMaxDim) {
+    return Status::InvalidArgument("KdTree::Build: bad dimensionality");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("KdTree::Build: empty dataset");
+  }
+  KdTree t;
+  t.bucket_capacity_ =
+      options.bucket_capacity > 0 ? options.bucket_capacity
+                                  : DefaultKdBucketCapacity(data.dim());
+  t.bucket_capacity_ = std::max(t.bucket_capacity_, 1);
+
+  Builder builder{data, options, t.bucket_capacity_, MemTree{}, {}};
+  builder.tree.dim = data.dim();
+  builder.idx.resize(data.size());
+  std::iota(builder.idx.begin(), builder.idx.end(), size_t{0});
+  int max_depth = 0;
+  builder.tree.root =
+      builder.BuildRange(0, data.size(), /*depth=*/0, &max_depth);
+  builder.tree.height = max_depth + 1;
+  builder.tree.num_objects = data.size();
+  t.tree_ = std::move(builder.tree);
+  return t;
+}
+
+Status KdTree::CheckInvariants() const {
+  uint64_t objects_seen = 0;
+  struct Item {
+    int32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{tree_.root, 0}};
+  int min_leaf_depth = 1 << 30, max_leaf_depth = -1;
+  while (!stack.empty()) {
+    const auto [ni, depth] = stack.back();
+    stack.pop_back();
+    const MemNode& node = tree_.nodes[ni];
+    Rect expect = Rect::Empty(tree_.dim);
+    for (const MemEntry& e : node.entries) expect.ExpandToRect(e.mbr);
+    if (!(expect == node.mbr)) {
+      return Status::Internal("kd-tree: MBR not tight");
+    }
+    if (node.is_leaf) {
+      if (static_cast<int>(node.entries.size()) > bucket_capacity_) {
+        return Status::Internal("kd-tree: bucket overflow");
+      }
+      if (node.entries.empty() && tree_.num_objects > 0) {
+        return Status::Internal("kd-tree: empty leaf");
+      }
+      objects_seen += node.entries.size();
+      min_leaf_depth = std::min(min_leaf_depth, depth);
+      max_leaf_depth = std::max(max_leaf_depth, depth);
+    } else {
+      if (node.entries.size() != 2) {
+        return Status::Internal("kd-tree: internal fanout != 2");
+      }
+      for (const MemEntry& e : node.entries) {
+        stack.push_back({e.child, depth + 1});
+      }
+    }
+  }
+  if (objects_seen != tree_.num_objects) {
+    return Status::Internal("kd-tree: object count mismatch");
+  }
+  // Median splits keep the tree balanced to within one level.
+  if (max_leaf_depth - min_leaf_depth > 1) {
+    return Status::Internal("kd-tree: unbalanced leaves");
+  }
+  if (max_leaf_depth + 1 != tree_.height) {
+    return Status::Internal("kd-tree: height mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,61 @@
+#ifndef ANNLIB_INDEX_KDTREE_KDTREE_H_
+#define ANNLIB_INDEX_KDTREE_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "index/node_format.h"
+
+namespace ann {
+
+/// Construction parameters for the bucket kd-tree.
+struct KdTreeOptions {
+  /// Leaf bucket capacity; 0 derives it from the 8 KiB page size.
+  int bucket_capacity = 0;
+  /// Split dimension choice: widest spread (default) or round-robin.
+  bool split_widest_dimension = true;
+};
+
+/// \brief Bucket kd-tree (median splits, tight per-node MBRs).
+///
+/// A third index structure for the paper's "is the R*-tree the right
+/// index?" question (Section 3.2): like the MBRQT it partitions space
+/// without overlap, but data-driven (median cuts) rather than regular —
+/// so it separates the paper's two structural properties (regularity vs
+/// non-overlap). Like the other builders it produces a MemTree with tight
+/// MBRs, queryable through MemIndexView / persistable with PersistMemTree
+/// and usable by every algorithm in the library (the MBA engine over a
+/// kd-tree is the "KBA" configuration in the benches).
+///
+/// Static: built once over a dataset (balanced, exactly ceil(n/capacity)
+/// leaves); no dynamic insert/delete.
+class KdTree {
+ public:
+  /// Builds a balanced bucket kd-tree over `data` (ids = point indices).
+  static Result<KdTree> Build(const Dataset& data, KdTreeOptions options = {});
+
+  const MemTree& tree() const { return tree_; }
+  int dim() const { return tree_.dim; }
+  uint64_t num_objects() const { return tree_.num_objects; }
+  int height() const { return tree_.height; }
+  int bucket_capacity() const { return bucket_capacity_; }
+
+  /// Structural validation for tests: tight MBRs, disjoint sibling point
+  /// sets, balanced depth within one level, object count.
+  Status CheckInvariants() const;
+
+ private:
+  KdTree() = default;
+
+  MemTree tree_;
+  int bucket_capacity_ = 0;
+};
+
+/// Bucket capacity that fills one page for dimensionality `dim`.
+int DefaultKdBucketCapacity(int dim);
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_KDTREE_KDTREE_H_

@@ -1,0 +1,358 @@
+#include "index/mbrqt/mbrqt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace ann {
+
+namespace {
+
+// Usable node payload: page minus NodeStore header (8) and node header (8).
+constexpr size_t kNodePayload = kPageSize - 16;
+
+}  // namespace
+
+int DefaultBucketCapacity(int dim) {
+  return static_cast<int>(kNodePayload / (8 + static_cast<size_t>(dim) * 8));
+}
+
+Mbrqt::Mbrqt(const Rect& space, MbrqtOptions options)
+    : dim_(space.dim),
+      bucket_capacity_(options.bucket_capacity > 0 ? options.bucket_capacity
+                                                   : DefaultBucketCapacity(space.dim)),
+      max_depth_(options.max_depth) {
+  assert(dim_ >= 1 && dim_ <= kMaxDim);
+  bucket_capacity_ = std::max(bucket_capacity_, 1);
+  root_ = NewNode(space, 0);
+}
+
+Rect Mbrqt::CubicCell(const Rect& box) {
+  Rect cell = box;
+  Scalar side = 0;
+  for (int d = 0; d < box.dim; ++d) side = std::max(side, box.hi[d] - box.lo[d]);
+  if (side <= 0) side = 1;
+  // Pad slightly so boundary points are strictly inside.
+  side *= 1.0 + 1e-9;
+  for (int d = 0; d < box.dim; ++d) {
+    const Scalar c = box.Center(d);
+    cell.lo[d] = c - side / 2;
+    cell.hi[d] = c + side / 2;
+  }
+  return cell;
+}
+
+Result<Mbrqt> Mbrqt::Build(const Dataset& data, MbrqtOptions options) {
+  if (data.dim() < 1 || data.dim() > kMaxDim) {
+    return Status::InvalidArgument("Mbrqt::Build: bad dimensionality");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("Mbrqt::Build: empty dataset");
+  }
+  Mbrqt qt(CubicCell(data.BoundingBox()), options);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ANN_RETURN_NOT_OK(qt.Insert(data.point(i), i));
+  }
+  return qt;
+}
+
+int32_t Mbrqt::NewNode(const Rect& cell, int depth) {
+  BuildNode node;
+  node.cell = cell;
+  node.mbr = Rect::Empty(dim_);
+  node.depth = depth;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+uint32_t Mbrqt::QuadrantOf(const BuildNode& node, const Scalar* p) const {
+  uint32_t code = 0;
+  for (int d = 0; d < dim_; ++d) {
+    if (p[d] >= node.cell.Center(d)) code |= (1u << d);
+  }
+  return code;
+}
+
+Rect Mbrqt::QuadrantCell(const BuildNode& node, uint32_t code) const {
+  Rect cell = node.cell;
+  for (int d = 0; d < dim_; ++d) {
+    const Scalar mid = node.cell.Center(d);
+    if (code & (1u << d)) {
+      cell.lo[d] = mid;
+    } else {
+      cell.hi[d] = mid;
+    }
+  }
+  return cell;
+}
+
+int32_t Mbrqt::ChildFor(int32_t node_index, const Scalar* p) {
+  const uint32_t code = QuadrantOf(nodes_[node_index], p);
+  auto& children = nodes_[node_index].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), code,
+      [](const std::pair<uint32_t, int32_t>& c, uint32_t k) { return c.first < k; });
+  if (it != children.end() && it->first == code) return it->second;
+  const Rect cell = QuadrantCell(nodes_[node_index], code);
+  const int depth = nodes_[node_index].depth + 1;
+  const int32_t child = NewNode(cell, depth);
+  // NewNode may reallocate nodes_; re-take the reference.
+  auto& ch = nodes_[node_index].children;
+  const auto pos = std::lower_bound(
+      ch.begin(), ch.end(), code,
+      [](const std::pair<uint32_t, int32_t>& c, uint32_t k) { return c.first < k; });
+  ch.insert(pos, {code, child});
+  return child;
+}
+
+void Mbrqt::SplitLeaf(int32_t node_index) {
+  std::vector<uint64_t> ids = std::move(nodes_[node_index].ids);
+  std::vector<Scalar> coords = std::move(nodes_[node_index].coords);
+  nodes_[node_index].ids.clear();
+  nodes_[node_index].coords.clear();
+  nodes_[node_index].is_leaf = false;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const Scalar* p = coords.data() + i * dim_;
+    const int32_t child = ChildFor(node_index, p);
+    BuildNode& c = nodes_[child];
+    c.ids.push_back(ids[i]);
+    c.coords.insert(c.coords.end(), p, p + dim_);
+    if (c.mbr.IsEmpty()) {
+      c.mbr = Rect::FromPoint(p, dim_);
+    } else {
+      c.mbr.ExpandToPoint(p);
+    }
+  }
+  // A child could itself overflow if many coincident points landed in one
+  // quadrant; recurse (bounded by max_depth_).
+  std::vector<int32_t> to_check;
+  for (const auto& [code, child] : nodes_[node_index].children) {
+    to_check.push_back(child);
+  }
+  for (int32_t child : to_check) {
+    if (nodes_[child].is_leaf &&
+        static_cast<int>(nodes_[child].ids.size()) > bucket_capacity_ &&
+        nodes_[child].depth < max_depth_) {
+      SplitLeaf(child);
+    }
+  }
+}
+
+Status Mbrqt::Insert(const Scalar* p, uint64_t id) {
+  finalized_valid_ = false;
+  if (!nodes_[root_].cell.ContainsPoint(p)) {
+    return Status::OutOfRange("Mbrqt::Insert: point outside the root cell");
+  }
+  int32_t node = root_;
+  while (true) {
+    BuildNode& n = nodes_[node];
+    if (n.mbr.IsEmpty()) {
+      n.mbr = Rect::FromPoint(p, dim_);
+    } else {
+      n.mbr.ExpandToPoint(p);
+    }
+    if (n.is_leaf) break;
+    node = ChildFor(node, p);
+  }
+  BuildNode& leaf = nodes_[node];
+  leaf.ids.push_back(id);
+  leaf.coords.insert(leaf.coords.end(), p, p + dim_);
+  ++num_objects_;
+  if (static_cast<int>(leaf.ids.size()) > bucket_capacity_ &&
+      leaf.depth < max_depth_) {
+    SplitLeaf(node);
+  }
+  return Status::OK();
+}
+
+Status Mbrqt::Delete(const Scalar* p, uint64_t id) {
+  if (!nodes_[root_].cell.ContainsPoint(p)) {
+    return Status::NotFound("Mbrqt::Delete: point outside the root cell");
+  }
+  finalized_valid_ = false;
+  // Descend by quadrant, remembering the path.
+  std::vector<int32_t> path{root_};
+  while (!nodes_[path.back()].is_leaf) {
+    const BuildNode& n = nodes_[path.back()];
+    const uint32_t code = QuadrantOf(n, p);
+    const auto it = std::lower_bound(
+        n.children.begin(), n.children.end(), code,
+        [](const std::pair<uint32_t, int32_t>& c, uint32_t k) {
+          return c.first < k;
+        });
+    if (it == n.children.end() || it->first != code) {
+      return Status::NotFound("Mbrqt::Delete: no such entry");
+    }
+    path.push_back(it->second);
+  }
+
+  BuildNode& leaf = nodes_[path.back()];
+  size_t slot = leaf.ids.size();
+  for (size_t i = 0; i < leaf.ids.size(); ++i) {
+    if (leaf.ids[i] != id) continue;
+    bool match = true;
+    for (int d = 0; d < dim_; ++d) {
+      if (leaf.coords[i * dim_ + d] != p[d]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == leaf.ids.size()) {
+    return Status::NotFound("Mbrqt::Delete: no such entry");
+  }
+  leaf.ids.erase(leaf.ids.begin() + slot);
+  leaf.coords.erase(leaf.coords.begin() + slot * dim_,
+                    leaf.coords.begin() + (slot + 1) * dim_);
+  --num_objects_;
+
+  // Tighten MBRs bottom-up; detach nodes that became empty.
+  for (size_t i = path.size(); i-- > 0;) {
+    BuildNode& n = nodes_[path[i]];
+    if (n.is_leaf) {
+      n.mbr = Rect::Empty(dim_);
+      for (size_t j = 0; j < n.ids.size(); ++j) {
+        n.mbr.ExpandToPoint(n.coords.data() + j * dim_);
+      }
+    } else {
+      n.mbr = Rect::Empty(dim_);
+      for (const auto& [code, child] : n.children) {
+        if (!nodes_[child].mbr.IsEmpty()) n.mbr.ExpandToRect(nodes_[child].mbr);
+      }
+    }
+    if (i > 0 && n.mbr.IsEmpty()) {
+      // Remove the empty child from its parent.
+      auto& siblings = nodes_[path[i - 1]].children;
+      for (size_t j = 0; j < siblings.size(); ++j) {
+        if (siblings[j].second == path[i]) {
+          siblings.erase(siblings.begin() + j);
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const MemTree& Mbrqt::Finalize() {
+  if (finalized_valid_) return finalized_;
+  finalized_ = MemTree{};
+  finalized_.dim = dim_;
+  finalized_.num_objects = num_objects_;
+
+  // Map build nodes to MemNodes, skipping nothing (empty leaves only exist
+  // transiently during splits; an empty root is kept so the tree is valid).
+  std::vector<int32_t> mem_index(nodes_.size(), -1);
+  // Depth-first conversion; compute height along the way.
+  struct Item {
+    int32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{root_, 1}};
+  int height = 1;
+  // First pass: create MemNodes.
+  finalized_.nodes.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const BuildNode& bn = nodes_[i];
+    MemNode mn;
+    mn.is_leaf = bn.is_leaf;
+    mn.mbr = bn.mbr;
+    if (bn.is_leaf) {
+      mn.entries.reserve(bn.ids.size());
+      for (size_t j = 0; j < bn.ids.size(); ++j) {
+        MemEntry e;
+        e.mbr = Rect::FromPoint(bn.coords.data() + j * dim_, dim_);
+        e.id = bn.ids[j];
+        e.child = -1;
+        mn.entries.push_back(e);
+      }
+    }
+    mem_index[i] = static_cast<int32_t>(finalized_.nodes.size());
+    finalized_.nodes.push_back(std::move(mn));
+  }
+  // Second pass: wire children (ordered by quadrant code).
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const BuildNode& bn = nodes_[i];
+    if (bn.is_leaf) continue;
+    MemNode& mn = finalized_.nodes[mem_index[i]];
+    mn.entries.reserve(bn.children.size());
+    for (const auto& [code, child] : bn.children) {
+      // Empty children (no points) are dropped from the finalized tree.
+      if (nodes_[child].mbr.IsEmpty()) continue;
+      MemEntry e;
+      e.mbr = nodes_[child].mbr;
+      e.child = mem_index[child];
+      mn.entries.push_back(e);
+    }
+  }
+  while (!stack.empty()) {
+    const auto [ni, depth] = stack.back();
+    stack.pop_back();
+    height = std::max(height, depth);
+    if (!nodes_[ni].is_leaf) {
+      for (const auto& [code, child] : nodes_[ni].children) {
+        stack.push_back({child, depth + 1});
+      }
+    }
+  }
+  finalized_.height = height;
+  finalized_.root = mem_index[root_];
+  finalized_valid_ = true;
+  return finalized_;
+}
+
+Status Mbrqt::CheckInvariants() const {
+  uint64_t objects_seen = 0;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const int32_t ni = stack.back();
+    stack.pop_back();
+    const BuildNode& node = nodes_[ni];
+    if (!node.mbr.IsEmpty() && !node.cell.ContainsRect(node.mbr)) {
+      return Status::Internal("MBRQT: MBR outside cell");
+    }
+    if (node.is_leaf) {
+      if (node.depth < max_depth_ &&
+          static_cast<int>(node.ids.size()) > bucket_capacity_) {
+        return Status::Internal("MBRQT: bucket overflow above max depth");
+      }
+      Rect expect = Rect::Empty(dim_);
+      for (size_t j = 0; j < node.ids.size(); ++j) {
+        const Scalar* p = node.coords.data() + j * dim_;
+        if (!node.cell.ContainsPoint(p)) {
+          return Status::Internal("MBRQT: point outside its cell");
+        }
+        expect.ExpandToPoint(p);
+      }
+      if (!node.ids.empty() && !(expect == node.mbr)) {
+        return Status::Internal("MBRQT: leaf MBR not tight");
+      }
+      objects_seen += node.ids.size();
+    } else {
+      Rect expect = Rect::Empty(dim_);
+      for (const auto& [code, child] : node.children) {
+        const BuildNode& c = nodes_[child];
+        if (!(c.cell == QuadrantCell(node, code))) {
+          return Status::Internal("MBRQT: child cell mismatch");
+        }
+        if (!c.mbr.IsEmpty()) expect.ExpandToRect(c.mbr);
+        stack.push_back(child);
+      }
+      if (!(expect == node.mbr) && !(expect.IsEmpty() && node.mbr.IsEmpty())) {
+        return Status::Internal("MBRQT: internal MBR not tight");
+      }
+    }
+  }
+  if (objects_seen != num_objects_) {
+    return Status::Internal("MBRQT: object count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

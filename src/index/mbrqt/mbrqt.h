@@ -1,0 +1,106 @@
+#ifndef ANNLIB_INDEX_MBRQT_MBRQT_H_
+#define ANNLIB_INDEX_MBRQT_MBRQT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "index/node_format.h"
+
+namespace ann {
+
+/// Construction parameters for the MBRQT.
+struct MbrqtOptions {
+  /// Leaf bucket capacity; 0 derives it from the 8 KiB page size (so a
+  /// full bucket fills one disk page).
+  int bucket_capacity = 0;
+  /// Maximum decomposition depth; beyond it buckets are allowed to
+  /// overflow (guards against coincident/near-coincident points).
+  int max_depth = 40;
+};
+
+/// \brief The MBR-enhanced bucket PR quadtree of Section 3.2.
+///
+/// A bucket PR quadtree over a hypercubic cell space: each internal node
+/// regularly decomposes its cell into 2^D half-cells ("quadrants"), of
+/// which only the occupied ones materialize. On top of the plain quadtree,
+/// every node carries the *tight* MBR of the points beneath it — the
+/// paper's key addition, without which spatially neighboring quadtree
+/// nodes would have pairwise MINMINDIST zero and pruning would collapse.
+///
+/// The builder works in memory; Finalize() produces a MemTree (children
+/// ordered by quadrant code) that can be queried via MemIndexView or
+/// persisted with PersistMemTree for disk-resident querying. In the
+/// persisted form only the tight MBRs survive — the ANN algorithms never
+/// need the cell boundaries.
+class Mbrqt {
+ public:
+  /// \param space the root cell; must contain every inserted point. Use
+  ///   CubicCell() to derive a regular cell space from a data bounding box.
+  Mbrqt(const Rect& space, MbrqtOptions options = {});
+
+  /// Smallest hypercube centered on `box` that contains it (quadtree
+  /// decomposition should be regular, i.e. equal extent per dimension).
+  static Rect CubicCell(const Rect& box);
+
+  /// Builds an MBRQT over the whole dataset (ids are point indices).
+  static Result<Mbrqt> Build(const Dataset& data, MbrqtOptions options = {});
+
+  /// Inserts one point with the given object id.
+  Status Insert(const Scalar* p, uint64_t id);
+
+  /// Deletes the entry with exactly this point and id (NotFound if
+  /// absent). Emptied leaves are detached from their parents and MBRs
+  /// tightened along the path; sparse internal nodes are not re-coarsened
+  /// (standard for PR quadtrees — the decomposition is insert-driven).
+  Status Delete(const Scalar* p, uint64_t id);
+
+  /// Converts the quadrant structure into the shared MemTree form.
+  /// The Mbrqt keeps ownership; the reference is invalidated by Insert.
+  const MemTree& Finalize();
+
+  int dim() const { return dim_; }
+  uint64_t num_objects() const { return num_objects_; }
+  int bucket_capacity() const { return bucket_capacity_; }
+
+  /// Structural validation for tests: every point inside its node's cell,
+  /// node MBRs tight and inside cells, bucket capacity respected above
+  /// max_depth, object count.
+  Status CheckInvariants() const;
+
+ private:
+  struct BuildNode {
+    Rect cell;                 // regular decomposition cell
+    Rect mbr;                  // tight MBR of points below
+    bool is_leaf = true;
+    int depth = 0;
+    // Leaf payload.
+    std::vector<uint64_t> ids;
+    std::vector<Scalar> coords;  // ids.size() * dim
+    // Internal payload: (quadrant code, child index), sorted by code.
+    std::vector<std::pair<uint32_t, int32_t>> children;
+  };
+
+  int32_t NewNode(const Rect& cell, int depth);
+  uint32_t QuadrantOf(const BuildNode& node, const Scalar* p) const;
+  Rect QuadrantCell(const BuildNode& node, uint32_t code) const;
+  void SplitLeaf(int32_t node_index);
+  int32_t ChildFor(int32_t node_index, const Scalar* p);
+
+  int dim_;
+  int bucket_capacity_;
+  int max_depth_;
+  int32_t root_;
+  uint64_t num_objects_ = 0;
+  std::vector<BuildNode> nodes_;
+  MemTree finalized_;
+  bool finalized_valid_ = false;
+};
+
+/// Bucket capacity that fills one page for dimensionality `dim`.
+int DefaultBucketCapacity(int dim);
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_MBRQT_MBRQT_H_

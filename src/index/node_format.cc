@@ -1,0 +1,169 @@
+#include "index/node_format.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ann {
+
+namespace {
+
+constexpr size_t kNodeHeaderSize = 8;
+
+size_t LeafEntrySize(int dim) { return 8 + static_cast<size_t>(dim) * 8; }
+size_t InternalEntrySize(int dim) { return 8 + static_cast<size_t>(dim) * 16; }
+
+}  // namespace
+
+Status MemIndexView::Expand(const IndexEntry& e,
+                            std::vector<IndexEntry>* out) const {
+  if (e.is_object) {
+    return Status::InvalidArgument("Expand called on an object entry");
+  }
+  if (e.id >= tree_->nodes.size()) {
+    return Status::OutOfRange("MemIndexView: bad node id");
+  }
+  const MemNode& node = tree_->nodes[e.id];
+  out->reserve(out->size() + node.entries.size());
+  for (const MemEntry& me : node.entries) {
+    if (node.is_leaf) {
+      out->push_back(IndexEntry{me.mbr, me.id, true});
+    } else {
+      out->push_back(IndexEntry::Node(me.mbr, static_cast<uint64_t>(me.child)));
+    }
+  }
+  return Status::OK();
+}
+
+Status RangeQuery(const SpatialIndex& index, const Rect& range,
+                  std::vector<uint64_t>* out) {
+  std::vector<IndexEntry> stack;
+  stack.push_back(index.Root());
+  std::vector<IndexEntry> children;
+  while (!stack.empty()) {
+    const IndexEntry e = stack.back();
+    stack.pop_back();
+    if (e.is_object) {
+      if (range.ContainsPoint(e.mbr.lo.data())) out->push_back(e.id);
+      continue;
+    }
+    if (!range.Intersects(e.mbr)) continue;
+    children.clear();
+    ANN_RETURN_NOT_OK(index.Expand(e, &children));
+    for (const IndexEntry& c : children) stack.push_back(c);
+  }
+  return Status::OK();
+}
+
+std::vector<char> SerializeNode(const MemNode& node, int dim,
+                                const std::vector<NodeId>& node_ids) {
+  const size_t entry_size =
+      node.is_leaf ? LeafEntrySize(dim) : InternalEntrySize(dim);
+  std::vector<char> buf(kNodeHeaderSize + node.entries.size() * entry_size);
+  char* p = buf.data();
+  const uint8_t is_leaf = node.is_leaf ? 1 : 0;
+  const uint16_t count = static_cast<uint16_t>(node.entries.size());
+  assert(node.entries.size() <= 0xFFFF);
+  std::memcpy(p, &is_leaf, 1);
+  std::memcpy(p + 2, &count, 2);
+  p += kNodeHeaderSize;
+  for (const MemEntry& e : node.entries) {
+    if (node.is_leaf) {
+      std::memcpy(p, &e.id, 8);
+      std::memcpy(p + 8, e.mbr.lo.data(), static_cast<size_t>(dim) * 8);
+    } else {
+      const uint32_t child_id = node_ids[e.child];
+      std::memcpy(p, &child_id, 4);
+      std::memcpy(p + 8, e.mbr.lo.data(), static_cast<size_t>(dim) * 8);
+      std::memcpy(p + 8 + static_cast<size_t>(dim) * 8, e.mbr.hi.data(),
+                  static_cast<size_t>(dim) * 8);
+    }
+    p += entry_size;
+  }
+  return buf;
+}
+
+Status DeserializeNodeEntries(const char* data, size_t size, int dim,
+                              std::vector<IndexEntry>* out) {
+  if (size < kNodeHeaderSize) {
+    return Status::Internal("DeserializeNode: short node record");
+  }
+  uint8_t is_leaf;
+  uint16_t count;
+  std::memcpy(&is_leaf, data, 1);
+  std::memcpy(&count, data + 2, 2);
+  const size_t entry_size =
+      is_leaf ? LeafEntrySize(dim) : InternalEntrySize(dim);
+  if (size < kNodeHeaderSize + count * entry_size) {
+    return Status::Internal("DeserializeNode: truncated node record");
+  }
+  const char* p = data + kNodeHeaderSize;
+  out->reserve(out->size() + count);
+  for (uint16_t i = 0; i < count; ++i) {
+    IndexEntry e;
+    e.mbr.dim = dim;
+    if (is_leaf) {
+      std::memcpy(&e.id, p, 8);
+      std::memcpy(e.mbr.lo.data(), p + 8, static_cast<size_t>(dim) * 8);
+      std::memcpy(e.mbr.hi.data(), p + 8, static_cast<size_t>(dim) * 8);
+      e.is_object = true;
+    } else {
+      uint32_t child_id;
+      std::memcpy(&child_id, p, 4);
+      e.id = child_id;
+      std::memcpy(e.mbr.lo.data(), p + 8, static_cast<size_t>(dim) * 8);
+      std::memcpy(e.mbr.hi.data(), p + 8 + static_cast<size_t>(dim) * 8,
+                  static_cast<size_t>(dim) * 8);
+      e.is_object = false;
+    }
+    out->push_back(e);
+    p += entry_size;
+  }
+  return Status::OK();
+}
+
+Result<PersistedIndexMeta> PersistMemTree(const MemTree& tree,
+                                          NodeStore* store) {
+  if (tree.root < 0 || tree.nodes.empty()) {
+    return Status::InvalidArgument("PersistMemTree: empty tree");
+  }
+  // Children must be assigned NodeIds before their parents are serialized.
+  // A reverse-postorder walk guarantees that; we do an explicit two-phase
+  // DFS collecting a postorder sequence first.
+  std::vector<NodeId> node_ids(tree.nodes.size(), kInvalidNodeId);
+  std::vector<int32_t> order;
+  order.reserve(tree.nodes.size());
+  {
+    // Iterative postorder.
+    std::vector<std::pair<int32_t, size_t>> stack;  // (node, next child slot)
+    stack.emplace_back(tree.root, 0);
+    while (!stack.empty()) {
+      auto& [ni, slot] = stack.back();
+      const MemNode& node = tree.nodes[ni];
+      if (node.is_leaf || slot >= node.entries.size()) {
+        order.push_back(ni);
+        stack.pop_back();
+        continue;
+      }
+      const int32_t child = node.entries[slot].child;
+      ++slot;
+      stack.emplace_back(child, 0);
+    }
+  }
+  uint64_t num_nodes = 0;
+  for (int32_t ni : order) {
+    const std::vector<char> buf =
+        SerializeNode(tree.nodes[ni], tree.dim, node_ids);
+    ANN_ASSIGN_OR_RETURN(node_ids[ni], store->Append(buf.data(), buf.size()));
+    ++num_nodes;
+  }
+  PersistedIndexMeta meta;
+  meta.root = node_ids[tree.root];
+  meta.root_mbr = tree.nodes[tree.root].mbr;
+  meta.dim = tree.dim;
+  meta.height = tree.height;
+  meta.num_objects = tree.num_objects;
+  meta.num_nodes = num_nodes;
+  return meta;
+}
+
+}  // namespace ann

@@ -1,0 +1,89 @@
+#ifndef ANNLIB_INDEX_NODE_FORMAT_H_
+#define ANNLIB_INDEX_NODE_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "index/spatial_index.h"
+#include "storage/node_store.h"
+
+namespace ann {
+
+/// \brief In-memory node of a built tree, shared by both index builders.
+///
+/// The R*-tree builds MemNodes directly; the MBRQT converts its quadrant
+/// structure into MemNodes on finalization. A single serializer and a
+/// single SpatialIndex view then work for both trees.
+struct MemEntry {
+  Rect mbr;            ///< degenerate rect for leaf (object) entries
+  uint64_t id = 0;     ///< object id for leaf entries
+  int32_t child = -1;  ///< index into MemTree::nodes for internal entries
+};
+
+struct MemNode {
+  bool is_leaf = true;
+  Rect mbr;  ///< tight bounding box of everything below
+  std::vector<MemEntry> entries;
+};
+
+/// A finished in-memory tree (forest storage + root).
+struct MemTree {
+  int dim = 0;
+  int32_t root = -1;
+  int height = 0;
+  uint64_t num_objects = 0;
+  std::vector<MemNode> nodes;
+};
+
+/// SpatialIndex view over a MemTree (no storage layer involved); useful for
+/// pure-CPU experiments and unit tests. The MemTree must outlive the view.
+class MemIndexView final : public SpatialIndex {
+ public:
+  explicit MemIndexView(const MemTree* tree) : tree_(tree) {}
+
+  int dim() const override { return tree_->dim; }
+  IndexEntry Root() const override {
+    const MemNode& root = tree_->nodes[tree_->root];
+    return IndexEntry::Node(root.mbr, static_cast<uint64_t>(tree_->root));
+  }
+  Status Expand(const IndexEntry& e,
+                std::vector<IndexEntry>* out) const override;
+  uint64_t num_objects() const override { return tree_->num_objects; }
+  int height() const override { return tree_->height; }
+
+ private:
+  const MemTree* tree_;
+};
+
+/// Location and shape of a tree persisted into a NodeStore.
+struct PersistedIndexMeta {
+  NodeId root = kInvalidNodeId;
+  Rect root_mbr;
+  int dim = 0;
+  int height = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_nodes = 0;
+};
+
+/// Node wire format (fixed little-endian layout):
+///
+///   u8  is_leaf, u8 pad, u16 count, u32 pad
+///   leaf entry:     u64 object_id, dim x f64 coords
+///   internal entry: u32 child_node_id, u32 pad, dim x f64 lo, dim x f64 hi
+std::vector<char> SerializeNode(const MemNode& node, int dim,
+                                const std::vector<NodeId>& node_ids);
+
+/// Parses a serialized node's entries directly into IndexEntries.
+Status DeserializeNodeEntries(const char* data, size_t size, int dim,
+                              std::vector<IndexEntry>* out);
+
+/// Writes every node of `tree` into `store` (children before parents) and
+/// returns where the root landed.
+Result<PersistedIndexMeta> PersistMemTree(const MemTree& tree,
+                                          NodeStore* store);
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_NODE_FORMAT_H_

@@ -1,0 +1,15 @@
+#include "index/paged_index_view.h"
+
+namespace ann {
+
+Status PagedIndexView::Expand(const IndexEntry& e,
+                              std::vector<IndexEntry>* out) const {
+  if (e.is_object) {
+    return Status::InvalidArgument("Expand called on an object entry");
+  }
+  ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch_));
+  return DeserializeNodeEntries(scratch_.data(), scratch_.size(), meta_.dim,
+                                out);
+}
+
+}  // namespace ann

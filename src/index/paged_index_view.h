@@ -1,0 +1,44 @@
+#ifndef ANNLIB_INDEX_PAGED_INDEX_VIEW_H_
+#define ANNLIB_INDEX_PAGED_INDEX_VIEW_H_
+
+#include <vector>
+
+#include "index/node_format.h"
+#include "index/spatial_index.h"
+#include "storage/node_store.h"
+
+namespace ann {
+
+/// \brief Disk-resident SpatialIndex: reads nodes from a NodeStore through
+/// the buffer pool.
+///
+/// This is the form the experiments query: every Expand() fetches the
+/// node's page chain, so buffer-pool hit/miss statistics measure the real
+/// access locality of the traversal algorithm. Works identically for
+/// persisted MBRQT and R*-tree structures (they share the node wire
+/// format).
+class PagedIndexView final : public SpatialIndex {
+ public:
+  PagedIndexView(const NodeStore* store, const PersistedIndexMeta& meta)
+      : store_(store), meta_(meta) {}
+
+  int dim() const override { return meta_.dim; }
+  IndexEntry Root() const override {
+    return IndexEntry::Node(meta_.root_mbr, meta_.root);
+  }
+  Status Expand(const IndexEntry& e,
+                std::vector<IndexEntry>* out) const override;
+  uint64_t num_objects() const override { return meta_.num_objects; }
+  int height() const override { return meta_.height; }
+
+  const PersistedIndexMeta& meta() const { return meta_; }
+
+ private:
+  const NodeStore* store_;
+  PersistedIndexMeta meta_;
+  mutable std::vector<char> scratch_;  // reused node read buffer
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_PAGED_INDEX_VIEW_H_

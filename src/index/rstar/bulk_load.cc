@@ -1,0 +1,123 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "index/rstar/rstar_tree.h"
+
+namespace ann {
+
+namespace {
+
+/// Recursive Sort-Tile-Recursive partitioning: sorts [begin, end) of `idx`
+/// by coordinate `d`, cuts it into slabs sized so that the final chunks
+/// along the last dimension hold `leaf_cap` points, and recurses.
+void TileRecursive(const Dataset& data, std::vector<size_t>& idx,
+                   size_t begin, size_t end, int d, int leaf_cap,
+                   std::vector<std::pair<size_t, size_t>>* leaf_ranges) {
+  const int dim = data.dim();
+  const size_t count = end - begin;
+  if (count == 0) return;
+  std::sort(idx.begin() + begin, idx.begin() + end,
+            [&data, d](size_t a, size_t b) {
+              return data.point(a)[d] < data.point(b)[d];
+            });
+  if (d == dim - 1 || count <= static_cast<size_t>(leaf_cap)) {
+    for (size_t s = begin; s < end; s += leaf_cap) {
+      leaf_ranges->emplace_back(s, std::min(end, s + leaf_cap));
+    }
+    return;
+  }
+  const double pages = std::ceil(static_cast<double>(count) / leaf_cap);
+  const double slabs_d =
+      std::ceil(std::pow(pages, 1.0 / static_cast<double>(dim - d)));
+  const size_t slabs = std::max<size_t>(1, static_cast<size_t>(slabs_d));
+  const size_t slab_size = (count + slabs - 1) / slabs;
+  for (size_t s = begin; s < end; s += slab_size) {
+    TileRecursive(data, idx, s, std::min(end, s + slab_size), d + 1, leaf_cap,
+                  leaf_ranges);
+  }
+}
+
+}  // namespace
+
+Result<RStarTree> RStarTree::BulkLoadStr(const Dataset& data,
+                                         RStarOptions options) {
+  if (data.dim() < 1 || data.dim() > kMaxDim) {
+    return Status::InvalidArgument("BulkLoadStr: bad dimensionality");
+  }
+  RStarTree t(data.dim(), options);
+  if (data.empty()) return t;
+
+  // Drop the empty root made by the constructor; rebuild from scratch.
+  t.tree_.nodes.clear();
+  t.levels_.clear();
+
+  std::vector<size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::vector<std::pair<size_t, size_t>> leaf_ranges;
+  TileRecursive(data, idx, 0, data.size(), 0, t.leaf_capacity_, &leaf_ranges);
+
+  std::vector<int32_t> level_nodes;
+  level_nodes.reserve(leaf_ranges.size());
+  for (const auto& [begin, end] : leaf_ranges) {
+    const int32_t ni = t.NewNode(/*is_leaf=*/true);
+    MemNode& node = t.tree_.nodes[ni];
+    node.entries.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      MemEntry e;
+      e.mbr = Rect::FromPoint(data.point(idx[i]), data.dim());
+      e.id = idx[i];
+      e.child = -1;
+      node.entries.push_back(e);
+    }
+    t.RecomputeMbr(ni);
+    level_nodes.push_back(ni);
+  }
+
+  // Build upper levels by re-tiling the node centers with STR at every
+  // level (chunking nodes in leaf order instead would create parents that
+  // straddle tile boundaries and overlap heavily).
+  int level = 0;
+  while (level_nodes.size() > 1) {
+    ++level;
+    Dataset centers(data.dim());
+    centers.Reserve(level_nodes.size());
+    for (const int32_t ni : level_nodes) {
+      Scalar c[kMaxDim];
+      for (int d = 0; d < data.dim(); ++d) {
+        c[d] = t.tree_.nodes[ni].mbr.Center(d);
+      }
+      centers.Append(c);
+    }
+    std::vector<size_t> cidx(level_nodes.size());
+    std::iota(cidx.begin(), cidx.end(), size_t{0});
+    std::vector<std::pair<size_t, size_t>> group_ranges;
+    TileRecursive(centers, cidx, 0, cidx.size(), 0, t.internal_capacity_,
+                  &group_ranges);
+
+    std::vector<int32_t> parents;
+    parents.reserve(group_ranges.size());
+    for (const auto& [begin, end] : group_ranges) {
+      const int32_t pi = t.NewNode(/*is_leaf=*/false);
+      t.levels_[pi] = level;
+      MemNode& parent = t.tree_.nodes[pi];
+      parent.entries.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        MemEntry e;
+        e.mbr = t.tree_.nodes[level_nodes[cidx[i]]].mbr;
+        e.child = level_nodes[cidx[i]];
+        parent.entries.push_back(e);
+      }
+      t.RecomputeMbr(pi);
+      parents.push_back(pi);
+    }
+    level_nodes = std::move(parents);
+  }
+
+  t.tree_.root = level_nodes[0];
+  t.tree_.height = level + 1;
+  t.tree_.num_objects = data.size();
+  return t;
+}
+
+}  // namespace ann

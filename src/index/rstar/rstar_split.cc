@@ -1,0 +1,106 @@
+#include "index/rstar/rstar_split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ann {
+
+void RStarSplit(const std::vector<MemEntry>& entries, int dim,
+                int min_entries, std::vector<MemEntry>* group1,
+                std::vector<MemEntry>* group2) {
+  const size_t total = entries.size();
+  assert(total >= static_cast<size_t>(2 * min_entries));
+
+  // Work with pointer permutations to avoid copying fat entries while
+  // sorting once per (axis, bound) pair.
+  std::vector<const MemEntry*> sorted(total);
+  for (size_t i = 0; i < total; ++i) sorted[i] = &entries[i];
+
+  const size_t num_dists = total - 2 * static_cast<size_t>(min_entries) + 1;
+
+  // --- ChooseSplitAxis: minimize the sum of margins over all distributions.
+  int best_axis = 0;
+  bool best_axis_use_upper = false;
+  Scalar best_margin_sum = kInf;
+  for (int axis = 0; axis < dim; ++axis) {
+    for (int bound = 0; bound < 2; ++bound) {
+      const bool use_upper = bound == 1;
+      std::sort(sorted.begin(), sorted.end(),
+                [axis, use_upper](const MemEntry* a, const MemEntry* b) {
+                  return use_upper ? a->mbr.hi[axis] < b->mbr.hi[axis]
+                                   : a->mbr.lo[axis] < b->mbr.lo[axis];
+                });
+      // Prefix/suffix MBRs let every distribution be evaluated in O(1).
+      std::vector<Rect> prefix(total), suffix(total);
+      prefix[0] = sorted[0]->mbr;
+      for (size_t i = 1; i < total; ++i) {
+        prefix[i] = prefix[i - 1];
+        prefix[i].ExpandToRect(sorted[i]->mbr);
+      }
+      suffix[total - 1] = sorted[total - 1]->mbr;
+      for (size_t i = total - 1; i-- > 0;) {
+        suffix[i] = suffix[i + 1];
+        suffix[i].ExpandToRect(sorted[i]->mbr);
+      }
+      Scalar margin_sum = 0;
+      for (size_t k = 0; k < num_dists; ++k) {
+        const size_t split = static_cast<size_t>(min_entries) + k;
+        margin_sum += prefix[split - 1].Margin() + suffix[split].Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = axis;
+        best_axis_use_upper = use_upper;
+      }
+    }
+  }
+
+  // --- ChooseSplitIndex on the chosen axis/bound ordering.
+  {
+    const int axis = best_axis;
+    const bool use_upper = best_axis_use_upper;
+    std::sort(sorted.begin(), sorted.end(),
+              [axis, use_upper](const MemEntry* a, const MemEntry* b) {
+                return use_upper ? a->mbr.hi[axis] < b->mbr.hi[axis]
+                                 : a->mbr.lo[axis] < b->mbr.lo[axis];
+              });
+  }
+  std::vector<Rect> prefix(total), suffix(total);
+  prefix[0] = sorted[0]->mbr;
+  for (size_t i = 1; i < total; ++i) {
+    prefix[i] = prefix[i - 1];
+    prefix[i].ExpandToRect(sorted[i]->mbr);
+  }
+  suffix[total - 1] = sorted[total - 1]->mbr;
+  for (size_t i = total - 1; i-- > 0;) {
+    suffix[i] = suffix[i + 1];
+    suffix[i].ExpandToRect(sorted[i]->mbr);
+  }
+
+  size_t best_split = static_cast<size_t>(min_entries);
+  Scalar best_overlap = kInf;
+  Scalar best_area = kInf;
+  for (size_t k = 0; k < num_dists; ++k) {
+    const size_t split = static_cast<size_t>(min_entries) + k;
+    const Rect& g1 = prefix[split - 1];
+    const Rect& g2 = suffix[split];
+    const Scalar overlap = g1.OverlapArea(g2);
+    const Scalar area = g1.Area() + g2.Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_split = split;
+    }
+  }
+
+  group1->clear();
+  group2->clear();
+  group1->reserve(best_split);
+  group2->reserve(total - best_split);
+  for (size_t i = 0; i < best_split; ++i) group1->push_back(*sorted[i]);
+  for (size_t i = best_split; i < total; ++i) group2->push_back(*sorted[i]);
+}
+
+}  // namespace ann

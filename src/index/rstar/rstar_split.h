@@ -1,0 +1,27 @@
+#ifndef ANNLIB_INDEX_RSTAR_RSTAR_SPLIT_H_
+#define ANNLIB_INDEX_RSTAR_RSTAR_SPLIT_H_
+
+#include <vector>
+
+#include "index/node_format.h"
+
+namespace ann {
+
+/// \brief R* topological split (Beckmann et al., Section 4.2).
+///
+/// Splits an overflowing entry set into two groups:
+///  1. ChooseSplitAxis: for each axis, consider the distributions induced
+///     by sorting on the lower and on the upper MBR bound and splitting at
+///     every legal index; pick the axis minimizing the sum of group margins.
+///  2. ChooseSplitIndex: on that axis, pick the distribution with minimum
+///     group-MBR overlap, ties broken by minimum combined area.
+///
+/// `min_entries` is the minimum group size m; entries.size() is typically
+/// capacity + 1.
+void RStarSplit(const std::vector<MemEntry>& entries, int dim,
+                int min_entries, std::vector<MemEntry>* group1,
+                std::vector<MemEntry>* group2);
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_RSTAR_RSTAR_SPLIT_H_

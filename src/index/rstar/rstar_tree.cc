@@ -1,0 +1,437 @@
+#include "index/rstar/rstar_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "index/rstar/rstar_split.h"
+#include "storage/page.h"
+
+namespace ann {
+
+namespace {
+
+// Usable node payload: page minus NodeStore header (8) and node header (8).
+constexpr size_t kNodePayload = kPageSize - 16;
+
+Scalar CenterDist2(const Rect& a, const Rect& b) {
+  Scalar s = 0;
+  for (int d = 0; d < a.dim; ++d) {
+    const Scalar v = a.Center(d) - b.Center(d);
+    s += v * v;
+  }
+  return s;
+}
+
+}  // namespace
+
+int DefaultLeafCapacity(int dim) {
+  return static_cast<int>(kNodePayload / (8 + static_cast<size_t>(dim) * 8));
+}
+
+int DefaultInternalCapacity(int dim) {
+  return static_cast<int>(kNodePayload / (8 + static_cast<size_t>(dim) * 16));
+}
+
+RStarTree::RStarTree(int dim, RStarOptions options) {
+  assert(dim >= 1 && dim <= kMaxDim);
+  tree_.dim = dim;
+  leaf_capacity_ = options.leaf_capacity > 0 ? options.leaf_capacity
+                                             : DefaultLeafCapacity(dim);
+  internal_capacity_ = options.internal_capacity > 0
+                           ? options.internal_capacity
+                           : DefaultInternalCapacity(dim);
+  leaf_capacity_ = std::max(leaf_capacity_, 4);
+  internal_capacity_ = std::max(internal_capacity_, 4);
+  leaf_min_ = std::max(2, static_cast<int>(leaf_capacity_ * options.min_fill));
+  internal_min_ =
+      std::max(2, static_cast<int>(internal_capacity_ * options.min_fill));
+  reinsert_fraction_ = options.reinsert_fraction;
+
+  tree_.root = NewNode(/*is_leaf=*/true);
+  tree_.nodes[tree_.root].mbr = Rect::Empty(dim);
+  tree_.height = 1;
+}
+
+int32_t RStarTree::NewNode(bool is_leaf) {
+  MemNode node;
+  node.is_leaf = is_leaf;
+  node.mbr = Rect::Empty(tree_.dim);
+  tree_.nodes.push_back(std::move(node));
+  levels_.push_back(0);
+  return static_cast<int32_t>(tree_.nodes.size() - 1);
+}
+
+int RStarTree::NodeCapacity(int32_t node) const {
+  return tree_.nodes[node].is_leaf ? leaf_capacity_ : internal_capacity_;
+}
+
+int RStarTree::NodeMinEntries(int32_t node) const {
+  return tree_.nodes[node].is_leaf ? leaf_min_ : internal_min_;
+}
+
+void RStarTree::RecomputeMbr(int32_t node) {
+  MemNode& n = tree_.nodes[node];
+  n.mbr = Rect::Empty(tree_.dim);
+  for (const MemEntry& e : n.entries) n.mbr.ExpandToRect(e.mbr);
+}
+
+void RStarTree::RefreshPathMbrs(const std::vector<int32_t>& path) {
+  for (size_t i = path.size(); i-- > 0;) {
+    RecomputeMbr(path[i]);
+    if (i > 0) {
+      const int32_t child = path[i];
+      for (MemEntry& e : tree_.nodes[path[i - 1]].entries) {
+        if (e.child == child) {
+          e.mbr = tree_.nodes[child].mbr;
+          break;
+        }
+      }
+    }
+  }
+}
+
+int32_t RStarTree::ChooseSubtree(int32_t node, const Rect& mbr,
+                                 int node_level) const {
+  const MemNode& n = tree_.nodes[node];
+  assert(!n.is_leaf && !n.entries.empty());
+
+  int best = 0;
+  if (node_level == 1) {
+    // Children are leaves: minimize overlap enlargement (R* CS2), then area
+    // enlargement, then area. As in Beckmann et al., for large fanouts the
+    // O(M^2) overlap test is restricted to the 32 entries with the least
+    // area enlargement ("nearly minimum overlap enlargement").
+    constexpr size_t kOverlapCandidates = 32;
+    std::vector<size_t> candidates(n.entries.size());
+    for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+    if (candidates.size() > kOverlapCandidates) {
+      std::vector<Scalar> area_delta(n.entries.size());
+      for (size_t i = 0; i < n.entries.size(); ++i) {
+        area_delta[i] =
+            n.entries[i].mbr.EnlargedArea(mbr) - n.entries[i].mbr.Area();
+      }
+      std::nth_element(candidates.begin(),
+                       candidates.begin() + kOverlapCandidates,
+                       candidates.end(), [&area_delta](size_t a, size_t b) {
+                         return area_delta[a] < area_delta[b];
+                       });
+      candidates.resize(kOverlapCandidates);
+    }
+    Scalar best_overlap_delta = kInf, best_area_delta = kInf, best_area = kInf;
+    for (const size_t i : candidates) {
+      Rect enlarged = n.entries[i].mbr;
+      enlarged.ExpandToRect(mbr);
+      Scalar overlap_before = 0, overlap_after = 0;
+      for (size_t j = 0; j < n.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += n.entries[i].mbr.OverlapArea(n.entries[j].mbr);
+        overlap_after += enlarged.OverlapArea(n.entries[j].mbr);
+      }
+      const Scalar overlap_delta = overlap_after - overlap_before;
+      const Scalar area = n.entries[i].mbr.Area();
+      const Scalar area_delta = enlarged.Area() - area;
+      if (overlap_delta < best_overlap_delta ||
+          (overlap_delta == best_overlap_delta &&
+           (area_delta < best_area_delta ||
+            (area_delta == best_area_delta && area < best_area)))) {
+        best_overlap_delta = overlap_delta;
+        best_area_delta = area_delta;
+        best_area = area;
+        best = static_cast<int>(i);
+      }
+    }
+  } else {
+    // Minimize area enlargement, then area.
+    Scalar best_area_delta = kInf, best_area = kInf;
+    for (size_t i = 0; i < n.entries.size(); ++i) {
+      const Scalar area = n.entries[i].mbr.Area();
+      const Scalar area_delta = n.entries[i].mbr.EnlargedArea(mbr) - area;
+      if (area_delta < best_area_delta ||
+          (area_delta == best_area_delta && area < best_area)) {
+        best_area_delta = area_delta;
+        best_area = area;
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  return n.entries[best].child;
+}
+
+void RStarTree::ChoosePath(const Rect& mbr, int target_level,
+                           std::vector<int32_t>* path) const {
+  path->clear();
+  int32_t node = tree_.root;
+  int level = tree_.height - 1;
+  path->push_back(node);
+  while (level > target_level) {
+    node = ChooseSubtree(node, mbr, level);
+    path->push_back(node);
+    --level;
+  }
+}
+
+Status RStarTree::Insert(const Scalar* p, uint64_t id) {
+  MemEntry entry;
+  entry.mbr = Rect::FromPoint(p, tree_.dim);
+  entry.id = id;
+  entry.child = -1;
+  reinserted_on_level_.assign(tree_.height, false);
+  InsertAtLevel(entry, /*target_level=*/0);
+  ++tree_.num_objects;
+  return Status::OK();
+}
+
+void RStarTree::InsertAtLevel(const MemEntry& entry, int target_level) {
+  std::vector<int32_t> path;
+  ChoosePath(entry.mbr, target_level, &path);
+  const int32_t target = path.back();
+  tree_.nodes[target].entries.push_back(entry);
+  // Tighten MBRs (node + the parent entries caching them) along the path.
+  RefreshPathMbrs(path);
+  if (static_cast<int>(tree_.nodes[target].entries.size()) >
+      NodeCapacity(target)) {
+    OverflowTreatment(std::move(path), target_level);
+  }
+}
+
+void RStarTree::OverflowTreatment(std::vector<int32_t> path, int level) {
+  const int32_t node = path.back();
+  const bool is_root = node == tree_.root;
+  if (!is_root && level < static_cast<int>(reinserted_on_level_.size()) &&
+      !reinserted_on_level_[level]) {
+    reinserted_on_level_[level] = true;
+    ForcedReinsert(path, level);
+  } else {
+    SplitNode(std::move(path), level);
+  }
+}
+
+void RStarTree::ForcedReinsert(const std::vector<int32_t>& path, int level) {
+  const int32_t node_idx = path.back();
+  MemNode& node = tree_.nodes[node_idx];
+  const int p = std::max(
+      1, static_cast<int>(NodeCapacity(node_idx) * reinsert_fraction_));
+
+  // Sort entries by decreasing distance of their center from the node MBR
+  // center; remove the p farthest.
+  const Rect node_mbr = node.mbr;
+  std::sort(node.entries.begin(), node.entries.end(),
+            [&node_mbr](const MemEntry& a, const MemEntry& b) {
+              return CenterDist2(a.mbr, node_mbr) >
+                     CenterDist2(b.mbr, node_mbr);
+            });
+  std::vector<MemEntry> removed(node.entries.begin(),
+                                node.entries.begin() + p);
+  node.entries.erase(node.entries.begin(), node.entries.begin() + p);
+
+  // Tighten MBRs bottom-up along the path.
+  RefreshPathMbrs(path);
+
+  // Close reinsert: insert the closest of the removed entries first.
+  std::reverse(removed.begin(), removed.end());
+  for (const MemEntry& e : removed) InsertAtLevel(e, level);
+}
+
+void RStarTree::SplitNode(std::vector<int32_t> path, int level) {
+  const int32_t node_idx = path.back();
+  path.pop_back();
+
+  std::vector<MemEntry> group1, group2;
+  RStarSplit(tree_.nodes[node_idx].entries, tree_.dim,
+             NodeMinEntries(node_idx), &group1, &group2);
+
+  const int32_t sibling = NewNode(tree_.nodes[node_idx].is_leaf);
+  levels_[sibling] = levels_[node_idx];
+  tree_.nodes[node_idx].entries = std::move(group1);
+  tree_.nodes[sibling].entries = std::move(group2);
+  RecomputeMbr(node_idx);
+  RecomputeMbr(sibling);
+
+  MemEntry sibling_entry;
+  sibling_entry.mbr = tree_.nodes[sibling].mbr;
+  sibling_entry.child = sibling;
+
+  if (path.empty()) {
+    // Root split: grow the tree.
+    const int32_t new_root = NewNode(/*is_leaf=*/false);
+    levels_[new_root] = level + 1;
+    MemEntry left;
+    left.mbr = tree_.nodes[node_idx].mbr;
+    left.child = node_idx;
+    tree_.nodes[new_root].entries.push_back(left);
+    tree_.nodes[new_root].entries.push_back(sibling_entry);
+    RecomputeMbr(new_root);
+    tree_.root = new_root;
+    ++tree_.height;
+    reinserted_on_level_.resize(tree_.height, false);
+    return;
+  }
+
+  const int32_t parent = path.back();
+  // The split may have shrunk the original node's MBR; fix the parent's
+  // entry for it.
+  for (MemEntry& e : tree_.nodes[parent].entries) {
+    if (e.child == node_idx) {
+      e.mbr = tree_.nodes[node_idx].mbr;
+      break;
+    }
+  }
+  tree_.nodes[parent].entries.push_back(sibling_entry);
+  RefreshPathMbrs(path);
+
+  if (static_cast<int>(tree_.nodes[parent].entries.size()) >
+      NodeCapacity(parent)) {
+    OverflowTreatment(std::move(path), level + 1);
+  }
+}
+
+bool RStarTree::FindLeaf(const Scalar* p, uint64_t id,
+                         std::vector<int32_t>* path,
+                         size_t* entry_index) const {
+  // DFS over nodes whose MBR contains the point; multiple subtrees can
+  // contain it (overlap), so this is a search, not a single descent.
+  const Rect pr = Rect::FromPoint(p, tree_.dim);
+  std::vector<std::vector<int32_t>> stack{{tree_.root}};
+  while (!stack.empty()) {
+    std::vector<int32_t> current = std::move(stack.back());
+    stack.pop_back();
+    const MemNode& node = tree_.nodes[current.back()];
+    if (node.is_leaf) {
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        if (node.entries[i].id == id && node.entries[i].mbr == pr) {
+          *path = std::move(current);
+          *entry_index = i;
+          return true;
+        }
+      }
+      continue;
+    }
+    for (const MemEntry& e : node.entries) {
+      if (e.mbr.ContainsPoint(p)) {
+        std::vector<int32_t> next = current;
+        next.push_back(e.child);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return false;
+}
+
+Status RStarTree::Delete(const Scalar* p, uint64_t id) {
+  std::vector<int32_t> path;
+  size_t entry_index = 0;
+  if (!FindLeaf(p, id, &path, &entry_index)) {
+    return Status::NotFound("R*-tree: no such entry");
+  }
+  MemNode& leaf = tree_.nodes[path.back()];
+  leaf.entries.erase(leaf.entries.begin() + entry_index);
+  --tree_.num_objects;
+  CondenseTree(std::move(path));
+  return Status::OK();
+}
+
+void RStarTree::CondenseTree(std::vector<int32_t> path) {
+  // Walk bottom-up; underfull non-root nodes are cut out of their parent
+  // and their entries queued for reinsertion at their original level.
+  struct Orphan {
+    MemEntry entry;
+    int level;
+  };
+  std::vector<Orphan> orphans;
+  while (path.size() > 1) {
+    // Tighten MBRs (and the parent-entry copies) along the whole current
+    // path before judging fullness.
+    RefreshPathMbrs(path);
+    const int32_t node_idx = path.back();
+    const int32_t parent_idx = path[path.size() - 2];
+    MemNode& node = tree_.nodes[node_idx];
+    const int level = NodeLevel(node_idx);
+    if (static_cast<int>(node.entries.size()) < NodeMinEntries(node_idx)) {
+      for (const MemEntry& e : node.entries) orphans.push_back({e, level});
+      node.entries.clear();
+      MemNode& parent = tree_.nodes[parent_idx];
+      for (size_t i = 0; i < parent.entries.size(); ++i) {
+        if (parent.entries[i].child == node_idx) {
+          parent.entries.erase(parent.entries.begin() + i);
+          break;
+        }
+      }
+    }
+    path.pop_back();
+  }
+  RefreshPathMbrs(path);  // tighten the root's MBR
+
+  // Reinsert orphaned entries at their original levels.
+  for (const Orphan& o : orphans) {
+    reinserted_on_level_.assign(tree_.height, false);
+    InsertAtLevel(o.entry, o.level);
+  }
+
+  // Collapse a single-child internal root.
+  while (!tree_.nodes[tree_.root].is_leaf &&
+         tree_.nodes[tree_.root].entries.size() == 1) {
+    tree_.root = tree_.nodes[tree_.root].entries[0].child;
+    --tree_.height;
+  }
+}
+
+Status RStarTree::CheckInvariants(bool check_min_fill) const {
+  uint64_t objects_seen = 0;
+  // (node, depth) walk; leaves must share one depth, MBRs must be tight,
+  // non-root nodes must respect fill bounds.
+  struct Item {
+    int32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{tree_.root, 0}};
+  int leaf_depth = -1;
+  while (!stack.empty()) {
+    const auto [ni, depth] = stack.back();
+    stack.pop_back();
+    const MemNode& node = tree_.nodes[ni];
+    const bool is_root = ni == tree_.root;
+
+    if (!is_root && check_min_fill) {
+      const int min_e = NodeMinEntries(ni);
+      if (static_cast<int>(node.entries.size()) < min_e) {
+        return Status::Internal("R*-tree: node underfull");
+      }
+    }
+    if (static_cast<int>(node.entries.size()) > NodeCapacity(ni)) {
+      return Status::Internal("R*-tree: node overfull");
+    }
+    Rect expect = Rect::Empty(tree_.dim);
+    for (const MemEntry& e : node.entries) expect.ExpandToRect(e.mbr);
+    if (!node.entries.empty() && !(expect == node.mbr)) {
+      return Status::Internal("R*-tree: MBR not tight");
+    }
+    if (node.is_leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (depth != leaf_depth) {
+        return Status::Internal("R*-tree: leaves at different depths");
+      }
+      objects_seen += node.entries.size();
+    } else {
+      for (const MemEntry& e : node.entries) {
+        if (e.child < 0 ||
+            e.child >= static_cast<int32_t>(tree_.nodes.size())) {
+          return Status::Internal("R*-tree: bad child pointer");
+        }
+        if (!(e.mbr == tree_.nodes[e.child].mbr)) {
+          return Status::Internal("R*-tree: stale child MBR");
+        }
+        stack.push_back({e.child, depth + 1});
+      }
+    }
+  }
+  if (objects_seen != tree_.num_objects) {
+    return Status::Internal("R*-tree: object count mismatch");
+  }
+  if (leaf_depth + 1 != tree_.height) {
+    return Status::Internal("R*-tree: height mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

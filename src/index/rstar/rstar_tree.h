@@ -1,0 +1,117 @@
+#ifndef ANNLIB_INDEX_RSTAR_RSTAR_TREE_H_
+#define ANNLIB_INDEX_RSTAR_RSTAR_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+#include "index/node_format.h"
+
+namespace ann {
+
+/// Construction parameters for the R*-tree.
+struct RStarOptions {
+  /// Max entries per leaf node; 0 derives the value from the 8 KiB page
+  /// size so that a full node fills one disk page.
+  int leaf_capacity = 0;
+  /// Max entries per internal node; 0 derives from the page size.
+  int internal_capacity = 0;
+  /// Minimum fill factor (R* recommendation: 40%).
+  double min_fill = 0.4;
+  /// Fraction of entries removed on forced reinsertion (R*: 30%).
+  double reinsert_fraction = 0.3;
+};
+
+/// Leaf/internal capacities that fill one page for dimensionality `dim`.
+int DefaultLeafCapacity(int dim);
+int DefaultInternalCapacity(int dim);
+
+/// \brief The R*-tree of Beckmann, Kriegel, Schneider & Seeger (SIGMOD'90).
+///
+/// Implements the full insertion algorithm — ChooseSubtree with minimum
+/// overlap enlargement at the leaf level, forced reinsertion (once per
+/// level per insert), and the R* topological split (choose axis by minimum
+/// margin sum, choose distribution by minimum overlap) — plus Sort-Tile-
+/// Recursive bulk loading. The built tree is a MemTree; query it in memory
+/// via MemIndexView or persist it with PersistMemTree and query the paged
+/// form, which is what the benchmarks do.
+class RStarTree {
+ public:
+  explicit RStarTree(int dim, RStarOptions options = {});
+
+  /// Inserts one point with the given object id.
+  Status Insert(const Scalar* p, uint64_t id);
+
+  /// Deletes the entry with exactly this point and id (NotFound if
+  /// absent). Underfull nodes are dissolved and their entries reinserted
+  /// (Guttman's CondenseTree); the root collapses when it has one child.
+  Status Delete(const Scalar* p, uint64_t id);
+
+  /// Builds a tree over `data` (object ids are the point indices) with the
+  /// Sort-Tile-Recursive algorithm; far faster than repeated insertion and
+  /// produces well-packed nodes.
+  static Result<RStarTree> BulkLoadStr(const Dataset& data,
+                                       RStarOptions options = {});
+
+  const MemTree& tree() const { return tree_; }
+  int dim() const { return tree_.dim; }
+  uint64_t num_objects() const { return tree_.num_objects; }
+  int height() const { return tree_.height; }
+
+  int leaf_capacity() const { return leaf_capacity_; }
+  int internal_capacity() const { return internal_capacity_; }
+
+  /// Structural validation for tests: MBR tightness, fill bounds, uniform
+  /// leaf depth, object count. STR bulk loading can legally leave the last
+  /// chunk of a tile underfull, so bulk-load tests pass
+  /// `check_min_fill = false`.
+  Status CheckInvariants(bool check_min_fill = true) const;
+
+ private:
+  friend class RStarBulkLoader;
+
+  int32_t NewNode(bool is_leaf);
+  int NodeCapacity(int32_t node) const;
+  int NodeMinEntries(int32_t node) const;
+  void RecomputeMbr(int32_t node);
+  /// Bottom-up along `path` (root first): recomputes each node's MBR and
+  /// refreshes the copy of it stored in the parent's entry.
+  void RefreshPathMbrs(const std::vector<int32_t>& path);
+
+  /// Descends from the root to a node at `target_level`, collecting the
+  /// path (root first). Level 0 = leaves.
+  void ChoosePath(const Rect& mbr, int target_level,
+                  std::vector<int32_t>* path) const;
+  int32_t ChooseSubtree(int32_t node, const Rect& mbr, int node_level) const;
+
+  /// Inserts `entry` at `target_level`, handling overflow along the path.
+  void InsertAtLevel(const MemEntry& entry, int target_level);
+  /// Locates the leaf holding (p, id); fills `path` root..leaf and the
+  /// entry index within the leaf. Returns false if absent.
+  bool FindLeaf(const Scalar* p, uint64_t id, std::vector<int32_t>* path,
+                size_t* entry_index) const;
+  /// Dissolves underfull nodes along `path` (root..leaf) after a removal,
+  /// reinserting orphaned entries and collapsing a single-child root.
+  void CondenseTree(std::vector<int32_t> path);
+  /// Handles an overflowing node: forced reinsert or split, cascading to
+  /// ancestors. `path` is root..node.
+  void OverflowTreatment(std::vector<int32_t> path, int level);
+  void ForcedReinsert(const std::vector<int32_t>& path, int level);
+  void SplitNode(std::vector<int32_t> path, int level);
+
+  int NodeLevel(int32_t node) const { return levels_[node]; }
+
+  MemTree tree_;
+  std::vector<int> levels_;  // parallel to tree_.nodes; leaf = 0
+  int leaf_capacity_;
+  int internal_capacity_;
+  int leaf_min_;
+  int internal_min_;
+  double reinsert_fraction_;
+  std::vector<bool> reinserted_on_level_;  // reset each top-level Insert
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_RSTAR_RSTAR_TREE_H_

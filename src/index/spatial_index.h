@@ -1,0 +1,66 @@
+#ifndef ANNLIB_INDEX_SPATIAL_INDEX_H_
+#define ANNLIB_INDEX_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace ann {
+
+/// \brief One entry of a spatial index node, as seen by the ANN engine.
+///
+/// Both the MBRQT and the R*-tree expose the same entry shape: an MBR plus
+/// either a child node reference or a data object. Objects carry the
+/// degenerate MBR (lo == hi == the point), so the distance metrics apply
+/// uniformly — NXNDIST / MAXMAXDIST of a degenerate rect collapse to the
+/// exact distance.
+struct IndexEntry {
+  Rect mbr;
+  uint64_t id = 0;       ///< object id, or node id when !is_object
+  bool is_object = false;
+
+  static IndexEntry Object(const Scalar* p, int dim, uint64_t id) {
+    return IndexEntry{Rect::FromPoint(p, dim), id, true};
+  }
+  static IndexEntry Node(const Rect& mbr, uint64_t id) {
+    return IndexEntry{mbr, id, false};
+  }
+};
+
+/// \brief Read interface over a built spatial index.
+///
+/// The MBA/RBA engine (Algorithms 2-4), the BNN/MNN baselines and the test
+/// harness all traverse indexes exclusively through this interface, so the
+/// identical algorithm code runs over an MBRQT (MBA) and over an R*-tree
+/// (RBA) — isolating index-structure effects exactly as the paper does.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Data-space dimensionality.
+  virtual int dim() const = 0;
+
+  /// The root entry (never an object for a non-trivial index).
+  virtual IndexEntry Root() const = 0;
+
+  /// Appends the children of non-object entry `e` to `*out`.
+  virtual Status Expand(const IndexEntry& e,
+                        std::vector<IndexEntry>* out) const = 0;
+
+  /// Number of indexed objects.
+  virtual uint64_t num_objects() const = 0;
+
+  /// Tree height (a single leaf root has height 1).
+  virtual int height() const = 0;
+};
+
+/// Collects every object in the subtree of `e` whose point intersects
+/// `range` (utility shared by tests and examples).
+Status RangeQuery(const SpatialIndex& index, const Rect& range,
+                  std::vector<uint64_t>* out);
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_SPATIAL_INDEX_H_

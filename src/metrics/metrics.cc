@@ -1,0 +1,22 @@
+#include "metrics/metrics.h"
+
+namespace ann {
+
+Scalar MinMaxDist2(const Rect& m, const Rect& n) {
+  Scalar s = 0;
+  Scalar maxd2[kMaxDim];
+  for (int d = 0; d < m.dim; ++d) {
+    const Scalar v = MaxDist1(m.lo[d], m.hi[d], n.lo[d], n.hi[d]);
+    maxd2[d] = v * v;
+    s += maxd2[d];
+  }
+  Scalar best = kInf;
+  for (int d = 0; d < m.dim; ++d) {
+    const Scalar face = MinFace1(m.lo[d], m.hi[d], n.lo[d], n.hi[d]);
+    const Scalar cand = s - maxd2[d] + face * face;
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+}  // namespace ann

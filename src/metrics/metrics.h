@@ -1,0 +1,209 @@
+#ifndef ANNLIB_METRICS_METRICS_H_
+#define ANNLIB_METRICS_METRICS_H_
+
+#include <cmath>
+
+#include "common/geometry.h"
+
+namespace ann {
+
+/// \file
+/// MBR distance metrics (Chen & Patel, ICDE 2007, Section 3.1).
+///
+/// All metrics are provided in squared form (suffix `2`) — the ANN engine
+/// compares squared distances throughout and only takes square roots when
+/// reporting results — plus sqrt convenience wrappers. A point participates
+/// as the degenerate Rect with lo == hi, for which every metric collapses to
+/// the exact point/rect or point/point distance.
+///
+/// Asymmetric metrics take the *query-side* MBR `m` first and the
+/// *target-side* MBR `n` second, matching the paper's NXNDIST(M, N).
+
+/// Maximum distance between any point of [alo, ahi] and any point of
+/// [blo, bhi] in one dimension.
+inline Scalar MaxDist1(Scalar alo, Scalar ahi, Scalar blo, Scalar bhi) {
+  const Scalar a = std::abs(alo - bhi);
+  const Scalar b = std::abs(ahi - blo);
+  const Scalar c = std::abs(alo - blo);
+  const Scalar d = std::abs(ahi - bhi);
+  return std::max(std::max(a, b), std::max(c, d));
+}
+
+/// Minimum distance between the two intervals (0 when they overlap).
+inline Scalar MinDist1(Scalar alo, Scalar ahi, Scalar blo, Scalar bhi) {
+  if (bhi < alo) return alo - bhi;
+  if (blo > ahi) return blo - ahi;
+  return 0;
+}
+
+/// MAXMIN_d of Definition 3.1: the maximum over p in [mlo, mhi] of the
+/// distance from p to the *nearest* endpoint of [nlo, nhi].
+///
+/// f(p) = min(|p - nlo|, |p - nhi|) is piecewise linear with peaks only at
+/// the interval ends and at the midpoint of N, so the maximum over [mlo,
+/// mhi] is attained at mlo, mhi, or (if inside M) the midpoint of N.
+inline Scalar MaxMin1(Scalar mlo, Scalar mhi, Scalar nlo, Scalar nhi) {
+  const auto f = [nlo, nhi](Scalar p) {
+    return std::min(std::abs(p - nlo), std::abs(p - nhi));
+  };
+  Scalar best = std::max(f(mlo), f(mhi));
+  const Scalar mid = (nlo + nhi) / 2;
+  if (mid >= mlo && mid <= mhi) best = std::max(best, f(mid));
+  return best;
+}
+
+/// MINMINDIST^2: squared minimum possible distance between a point of `m`
+/// and a point of `n`. The classical lower bound used by all index-based
+/// ANN methods.
+inline Scalar MinMinDist2(const Rect& m, const Rect& n) {
+  Scalar s = 0;
+  for (int d = 0; d < m.dim; ++d) {
+    const Scalar v = MinDist1(m.lo[d], m.hi[d], n.lo[d], n.hi[d]);
+    s += v * v;
+  }
+  return s;
+}
+
+/// MAXMAXDIST^2: squared maximum possible distance between a point of `m`
+/// and a point of `n`. The traditional pruning upper bound.
+inline Scalar MaxMaxDist2(const Rect& m, const Rect& n) {
+  Scalar s = 0;
+  for (int d = 0; d < m.dim; ++d) {
+    const Scalar v = MaxDist1(m.lo[d], m.hi[d], n.lo[d], n.hi[d]);
+    s += v * v;
+  }
+  return s;
+}
+
+/// Minimum distance between an endpoint of [alo, ahi] and an endpoint of
+/// [blo, bhi] (the closest face pair in one dimension).
+inline Scalar MinFace1(Scalar alo, Scalar ahi, Scalar blo, Scalar bhi) {
+  const Scalar a = std::abs(alo - blo);
+  const Scalar b = std::abs(alo - bhi);
+  const Scalar c = std::abs(ahi - blo);
+  const Scalar d = std::abs(ahi - bhi);
+  return std::min(std::min(a, b), std::min(c, d));
+}
+
+/// MINMAXDIST^2 of the distance-join literature (Corral et al., SIGMOD
+/// 2000): an upper bound on the distance of *at least one* pair of points,
+/// one from each MBR. Per pinned dimension k each MBR has a point somewhere
+/// on each of its two k-faces, so the bound is the closest face pair in k
+/// plus MAXDIST in every other dimension; MINMAXDIST minimizes over k. Not
+/// a valid ANN pruning bound (Section 3.1.1) — provided for completeness
+/// and for the metric-ordering property tests
+/// (MINMIN <= MINMAX <= NXN <= MAXMAX, Figure 2(a)).
+Scalar MinMaxDist2(const Rect& m, const Rect& n);
+
+/// NXNDIST^2 (MINMAXMINDIST, Definition 3.2 / Algorithm 1): squared upper
+/// bound on the distance from *every* point of `m` to its nearest neighbor
+/// inside `n` (Lemma 3.1). Computed in O(D):
+///
+///   S = sum_d MAXDIST_d^2
+///   NXNDIST^2 = S - max_d (MAXDIST_d^2 - MAXMIN_d^2)
+///
+/// Asymmetric: NXNDIST(m, n) != NXNDIST(n, m) in general.
+///
+/// The loop fuses MAXDIST_d and MAXMIN_d onto one set of endpoint
+/// distances — NXNDIST sits on the hot path of every ANN probe, so the
+/// O(D) constant matters (Section 3.1.2).
+inline Scalar NxnDist2(const Rect& m, const Rect& n) {
+  Scalar s = 0;
+  Scalar best_gain = 0;  // max_d (MAXDIST_d^2 - MAXMIN_d^2), always >= 0
+  for (int d = 0; d < m.dim; ++d) {
+    const Scalar a = std::abs(m.lo[d] - n.lo[d]);
+    const Scalar b = std::abs(m.lo[d] - n.hi[d]);
+    const Scalar c = std::abs(m.hi[d] - n.lo[d]);
+    const Scalar e = std::abs(m.hi[d] - n.hi[d]);
+    const Scalar maxd = std::max(std::max(a, b), std::max(c, e));
+    // MAXMIN candidates: both ends of M...
+    Scalar maxmin = std::max(std::min(a, b), std::min(c, e));
+    // ...and N's midpoint when it falls inside M.
+    const Scalar mid = (n.lo[d] + n.hi[d]) * 0.5;
+    if (mid >= m.lo[d] && mid <= m.hi[d]) {
+      maxmin = std::max(maxmin, (n.hi[d] - n.lo[d]) * 0.5);
+    }
+    const Scalar maxd2 = maxd * maxd;
+    s += maxd2;
+    const Scalar gain = maxd2 - maxmin * maxmin;
+    if (gain > best_gain) best_gain = gain;
+  }
+  return s - best_gain;
+}
+
+inline Scalar MinMinDist(const Rect& m, const Rect& n) {
+  return std::sqrt(MinMinDist2(m, n));
+}
+inline Scalar MaxMaxDist(const Rect& m, const Rect& n) {
+  return std::sqrt(MaxMaxDist2(m, n));
+}
+inline Scalar MinMaxDist(const Rect& m, const Rect& n) {
+  return std::sqrt(MinMaxDist2(m, n));
+}
+inline Scalar NxnDist(const Rect& m, const Rect& n) {
+  return std::sqrt(NxnDist2(m, n));
+}
+
+/// Squared minimum distance from point `p` to rect `n` (hot-path special
+/// case of MINMINDIST with a degenerate first argument).
+inline Scalar PointRectMinDist2(const Scalar* p, const Rect& n) {
+  Scalar s = 0;
+  for (int d = 0; d < n.dim; ++d) {
+    Scalar v = 0;
+    if (p[d] < n.lo[d]) {
+      v = n.lo[d] - p[d];
+    } else if (p[d] > n.hi[d]) {
+      v = p[d] - n.hi[d];
+    }
+    s += v * v;
+  }
+  return s;
+}
+
+/// Squared maximum distance from point `p` to rect `n`.
+inline Scalar PointRectMaxDist2(const Scalar* p, const Rect& n) {
+  Scalar s = 0;
+  for (int d = 0; d < n.dim; ++d) {
+    const Scalar v = std::max(std::abs(p[d] - n.lo[d]), std::abs(p[d] - n.hi[d]));
+    s += v * v;
+  }
+  return s;
+}
+
+/// Relative slack used by every pruning comparison in the library.
+///
+/// Lower bounds (MINMINDIST) and upper bounds (NXNDIST / MAXMAXDIST / exact
+/// witness distances) of the *same* mathematical quantity are computed by
+/// different floating-point expressions, so at exact-equality boundaries
+/// (common with quadtree cells and degenerate point rects) the computed
+/// lower bound can exceed the computed upper bound by a few ulp — which
+/// would prune the very witness that justified the bound. All pruning
+/// therefore uses ExceedsBound2 instead of a raw `>`.
+inline constexpr Scalar kBoundSlack2 = 1e-12;
+
+/// True iff squared distance `mind2` strictly exceeds the squared bound
+/// `bound2` beyond floating-point slack (i.e. pruning is safe).
+inline bool ExceedsBound2(Scalar mind2, Scalar bound2) {
+  return mind2 > bound2 * (1 + kBoundSlack2);
+}
+
+/// The pruning upper-bound metric selected for a run: the paper's new
+/// NXNDIST versus the traditional MAXMAXDIST baseline (Section 4.3 compares
+/// every method under both).
+enum class PruneMetric {
+  kMaxMaxDist,
+  kNxnDist,
+};
+
+/// Squared value of the selected pruning metric.
+inline Scalar UpperBound2(PruneMetric metric, const Rect& m, const Rect& n) {
+  return metric == PruneMetric::kNxnDist ? NxnDist2(m, n) : MaxMaxDist2(m, n);
+}
+
+inline const char* ToString(PruneMetric metric) {
+  return metric == PruneMetric::kNxnDist ? "NXNDIST" : "MAXMAXDIST";
+}
+
+}  // namespace ann
+
+#endif  // ANNLIB_METRICS_METRICS_H_

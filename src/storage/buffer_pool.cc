@@ -1,0 +1,189 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+namespace ann {
+
+PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+char* PinnedPage::data() {
+  assert(valid());
+  return pool_->frames_[frame_].page.data();
+}
+
+const char* PinnedPage::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].page.data();
+}
+
+void PinnedPage::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PinnedPage::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
+                       Replacement replacement)
+    : disk_(disk),
+      capacity_(std::max<size_t>(1, num_frames)),
+      replacement_(replacement) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back; errors cannot be reported from a destructor.
+  (void)FlushAll();
+}
+
+Result<PinnedPage> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.pool_hits;
+    Frame& frame = frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.referenced = true;
+    ++frame.pin_count;
+    return PinnedPage(this, it->second, id);
+  }
+
+  ++stats_.pool_misses;
+  ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame());
+  Frame& frame = frames_[fi];
+  ANN_RETURN_NOT_OK(disk_->ReadPage(id, &frame.page));
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.referenced = true;
+  page_table_.emplace(id, fi);
+  return PinnedPage(this, fi, id);
+}
+
+Result<PinnedPage> BufferPool::NewPage() {
+  ANN_ASSIGN_OR_RETURN(const PageId id, disk_->AllocatePage());
+  ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame());
+  Frame& frame = frames_[fi];
+  frame.page.bytes.fill(std::byte{0});
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.referenced = true;
+  page_table_.emplace(id, fi);
+  return PinnedPage(this, fi, id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId) {
+      ANN_RETURN_NOT_OK(FlushFrame(frame));
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Reset(size_t num_frames) {
+  if (pinned_pages() != 0) {
+    return Status::InvalidArgument("BufferPool::Reset with pinned pages");
+  }
+  ANN_RETURN_NOT_OK(FlushAll());
+  capacity_ = std::max<size_t>(1, num_frames);
+  frames_.assign(capacity_, Frame{});
+  free_frames_.clear();
+  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+  lru_.clear();
+  clock_hand_ = 0;
+  page_table_.clear();
+  return Status::OK();
+}
+
+size_t BufferPool::pinned_pages() const {
+  size_t n = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  assert(frame.pin_count > 0);
+  if (--frame.pin_count == 0 && replacement_ == Replacement::kLru) {
+    lru_.push_back(frame_index);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const size_t fi = free_frames_.back();
+    free_frames_.pop_back();
+    return fi;
+  }
+
+  size_t fi;
+  if (replacement_ == Replacement::kLru) {
+    if (lru_.empty()) {
+      return Status::OutOfRange("BufferPool: all frames pinned");
+    }
+    fi = lru_.front();
+    lru_.pop_front();
+    frames_[fi].in_lru = false;
+  } else {
+    // CLOCK sweep: skip pinned frames; give referenced frames a second
+    // chance. Two full sweeps guarantee a victim unless all are pinned.
+    size_t steps = 0;
+    const size_t max_steps = 2 * capacity_ + 1;
+    while (true) {
+      if (steps++ > max_steps) {
+        return Status::OutOfRange("BufferPool: all frames pinned");
+      }
+      Frame& candidate = frames_[clock_hand_];
+      const size_t current = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % capacity_;
+      if (candidate.pin_count > 0) continue;
+      if (candidate.referenced) {
+        candidate.referenced = false;
+        continue;
+      }
+      fi = current;
+      break;
+    }
+  }
+
+  Frame& frame = frames_[fi];
+  ++stats_.evictions;
+  ANN_RETURN_NOT_OK(FlushFrame(frame));
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  return fi;
+}
+
+Status BufferPool::FlushFrame(Frame& frame) {
+  if (frame.dirty) {
+    ANN_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.page));
+    frame.dirty = false;
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,138 @@
+#ifndef ANNLIB_STORAGE_BUFFER_POOL_H_
+#define ANNLIB_STORAGE_BUFFER_POOL_H_
+
+#include <cassert>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace ann {
+
+class BufferPool;
+
+/// \brief RAII pin on a buffer-pool frame.
+///
+/// While a PinnedPage is alive the underlying frame cannot be evicted.
+/// Move-only; unpins on destruction. Call MarkDirty() after modifying the
+/// page contents so the frame is written back before eviction.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(PinnedPage&& other) noexcept { *this = std::move(other); }
+  PinnedPage& operator=(PinnedPage&& other) noexcept;
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+  ~PinnedPage() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  char* data();
+  const char* data() const;
+
+  /// Marks the frame dirty (must be called after any mutation).
+  void MarkDirty();
+
+  /// Unpins early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PinnedPage(BufferPool* pool, size_t frame, PageId id)
+      : pool_(pool), frame_(frame), page_id_(id) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+/// Frame replacement policy.
+enum class Replacement {
+  kLru,    ///< exact least-recently-used (list-based)
+  kClock,  ///< second-chance clock sweep (approximates LRU cheaply)
+};
+
+inline const char* ToString(Replacement r) {
+  return r == Replacement::kClock ? "CLOCK" : "LRU";
+}
+
+/// \brief Fixed-capacity buffer pool over a DiskManager (LRU or CLOCK).
+///
+/// This is the stand-in for the SHORE buffer manager used in the paper's
+/// experiments (512 KB = 64 frames of 8 KB by default). All index and
+/// baseline page accesses flow through Fetch(), so pool hits/misses — and
+/// therefore the simulated I/O cost — reflect each algorithm's true access
+/// locality. Frames holding pinned pages are never evicted; Fetch fails
+/// with OutOfRange if every frame is pinned.
+class BufferPool {
+ public:
+  /// \param num_frames pool capacity in pages (>= 1).
+  BufferPool(DiskManager* disk, size_t num_frames,
+             Replacement replacement = Replacement::kLru);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  /// Pins page `id`, reading it from disk on a miss.
+  Result<PinnedPage> Fetch(PageId id);
+
+  /// Allocates a new page on disk and pins it (zero-filled, marked dirty).
+  Result<PinnedPage> NewPage();
+
+  /// Writes back all dirty frames (pages stay cached).
+  Status FlushAll();
+
+  /// Flushes and drops every cached page, then changes capacity. All pages
+  /// must be unpinned. Used by benchmarks to switch between the large
+  /// build-time pool and the small query-time pool.
+  Status Reset(size_t num_frames);
+
+  size_t capacity() const { return capacity_; }
+  Replacement replacement() const { return replacement_; }
+  size_t pinned_pages() const;
+  size_t cached_pages() const { return page_table_.size(); }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PinnedPage;
+
+  struct Frame {
+    Page page;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool in_lru = false;
+    bool referenced = false;  // CLOCK second-chance bit
+    std::list<size_t>::iterator lru_pos;
+  };
+
+  void Unpin(size_t frame_index);
+  // Returns a frame index available for (re)use, evicting the least
+  // recently used unpinned frame if necessary.
+  Result<size_t> GetVictimFrame();
+  Status FlushFrame(Frame& frame);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  Replacement replacement_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = least recently used, unpinned only
+  size_t clock_hand_ = 0;
+  std::unordered_map<PageId, size_t> page_table_;
+  IoStats stats_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_STORAGE_BUFFER_POOL_H_

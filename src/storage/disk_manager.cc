@@ -1,0 +1,111 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ann {
+
+Result<PageId> MemDiskManager::AllocatePage() {
+  if (pages_.size() >= kInvalidPageId) {
+    return Status::OutOfRange("MemDiskManager: page id space exhausted");
+  }
+  auto page = std::make_unique<Page>();
+  page->bytes.fill(std::byte{0});
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemDiskManager::ReadPage(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("MemDiskManager: read of unallocated page");
+  }
+  *out = *pages_[id];
+  ++stats_.physical_reads;
+  return Status::OK();
+}
+
+Status MemDiskManager::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("MemDiskManager: write of unallocated page");
+  }
+  *pages_[id] = page;
+  ++stats_.physical_writes;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Create(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileDiskManager>(new FileDiskManager(fd, path));
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::IOError("open(" + path +
+                           "): size is not a whole number of pages");
+  }
+  auto dm = std::unique_ptr<FileDiskManager>(new FileDiskManager(fd, path));
+  dm->page_count_ = static_cast<uint64_t>(size) / kPageSize;
+  return dm;
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  if (page_count_ >= kInvalidPageId) {
+    return Status::OutOfRange("FileDiskManager: page id space exhausted");
+  }
+  Page zero;
+  zero.bytes.fill(std::byte{0});
+  const PageId id = static_cast<PageId>(page_count_);
+  const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  if (::pwrite(fd_, zero.data(), kPageSize, offset) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
+  }
+  ++page_count_;
+  return id;
+}
+
+Status FileDiskManager::ReadPage(PageId id, Page* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("FileDiskManager: read of unallocated page");
+  }
+  const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  if (::pread(fd_, out->data(), kPageSize, offset) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
+  }
+  ++stats_.physical_reads;
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("FileDiskManager: write of unallocated page");
+  }
+  const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  if (::pwrite(fd_, page.data(), kPageSize, offset) !=
+      static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
+  }
+  ++stats_.physical_writes;
+  return Status::OK();
+}
+
+}  // namespace ann

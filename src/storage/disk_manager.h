@@ -1,0 +1,87 @@
+#ifndef ANNLIB_STORAGE_DISK_MANAGER_H_
+#define ANNLIB_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace ann {
+
+/// \brief Abstraction of the physical page store beneath the buffer pool.
+///
+/// Two implementations are provided: MemDiskManager keeps pages in memory
+/// and only counts I/O (deterministic, used by benchmarks so simulated I/O
+/// cost is independent of host filesystem behaviour), and FileDiskManager
+/// does real pread/pwrite against a file.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Reads page `id` into `*out`. Counts one physical read.
+  virtual Status ReadPage(PageId id, Page* out) = 0;
+
+  /// Writes `page` at `id`. Counts one physical write.
+  virtual Status WritePage(PageId id, const Page& page) = 0;
+
+  /// Number of pages allocated so far.
+  virtual uint64_t page_count() const = 0;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  IoStats stats_;
+};
+
+/// In-memory page store with I/O accounting.
+class MemDiskManager final : public DiskManager {
+ public:
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t page_count() const override { return pages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// File-backed page store (pread/pwrite on a regular file).
+class FileDiskManager final : public DiskManager {
+ public:
+  /// Opens (creating or truncating) `path` for page storage.
+  static Result<std::unique_ptr<FileDiskManager>> Create(
+      const std::string& path);
+
+  /// Opens an existing page file; the page count is derived from the file
+  /// size (which must be a whole number of pages).
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+
+  ~FileDiskManager() override;
+
+  FileDiskManager(const FileDiskManager&) = delete;
+  FileDiskManager& operator=(const FileDiskManager&) = delete;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t page_count() const override { return page_count_; }
+
+ private:
+  FileDiskManager(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t page_count_ = 0;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,231 @@
+#include "storage/node_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ann {
+
+namespace {
+
+// Slotted-page geometry.
+constexpr size_t kPageHeaderSize = 4;  // u16 slot_count, u16 free_ptr
+constexpr size_t kSlotSize = 4;        // u16 offset, u16 length
+constexpr uint16_t kDeadOffset = 0xFFFF;
+// Every inline payload region is at least this large, so any record can
+// later be converted in place into an overflow stub.
+constexpr size_t kMinPayload = 8;
+
+uint16_t ReadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void WriteU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void WriteU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+NodeId MakeNodeId(PageId page, uint16_t slot) {
+  return (page << 12) | slot;
+}
+PageId NodePage(NodeId id) { return id >> 12; }
+uint16_t NodeSlot(NodeId id) { return id & 0xFFF; }
+
+size_t PayloadReserve(size_t len) { return std::max(len, kMinPayload); }
+
+}  // namespace
+
+Result<PageId> NodeStore::AllocatePage() {
+  if (!free_pages_.empty()) {
+    const PageId id = free_pages_.back();
+    free_pages_.pop_back();
+    // Re-zero the header so the page reads as empty.
+    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(id));
+    std::memset(page.data(), 0, kPageHeaderSize);
+    page.MarkDirty();
+    return id;
+  }
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->NewPage());
+  return page.page_id();
+}
+
+Result<PageId> NodeStore::WriteChain(const char* data, size_t size) {
+  // Build the chain back to front so each page's next pointer is known
+  // when it is written.
+  const size_t pages = (size + kOverflowPayload - 1) / kOverflowPayload;
+  PageId next = kInvalidPageId;
+  for (size_t i = pages; i-- > 0;) {
+    const size_t begin = i * kOverflowPayload;
+    const size_t chunk = std::min(kOverflowPayload, size - begin);
+    ANN_ASSIGN_OR_RETURN(const PageId pid, AllocatePage());
+    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(pid));
+    WriteU32(page.data(), next);
+    std::memcpy(page.data() + 4, data + begin, chunk);
+    page.MarkDirty();
+    next = pid;
+  }
+  return next;  // first page of the chain (kInvalidPageId for size 0)
+}
+
+Status NodeStore::FreeChain(PageId first) {
+  PageId current = first;
+  while (current != kInvalidPageId) {
+    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(current));
+    const PageId next = ReadU32(page.data());
+    page.Release();
+    free_pages_.push_back(current);
+    current = next;
+  }
+  return Status::OK();
+}
+
+Result<NodeId> NodeStore::Append(const char* data, size_t size) {
+  const bool overflow = size > kMaxInline;
+  const size_t payload = overflow ? kMinPayload : PayloadReserve(size);
+
+  // Find (or start) a fill page with room for slot + payload.
+  PinnedPage page;
+  if (fill_page_ != kInvalidPageId) {
+    ANN_ASSIGN_OR_RETURN(page, pool_->Fetch(fill_page_));
+    const uint16_t slot_count = ReadU16(page.data());
+    const uint16_t free_ptr = ReadU16(page.data() + 2);
+    const size_t slots_end = kPageHeaderSize + (slot_count + 1) * kSlotSize;
+    if (slot_count >= 0xFFF || slots_end + payload > free_ptr) {
+      page.Release();
+      fill_page_ = kInvalidPageId;
+    }
+  }
+  if (fill_page_ == kInvalidPageId) {
+    ANN_ASSIGN_OR_RETURN(const PageId pid, AllocatePage());
+    ANN_ASSIGN_OR_RETURN(page, pool_->Fetch(pid));
+    WriteU16(page.data(), 0);
+    WriteU16(page.data() + 2, static_cast<uint16_t>(kPageSize));
+    fill_page_ = pid;
+  }
+
+  uint16_t slot_count = ReadU16(page.data());
+  uint16_t free_ptr = ReadU16(page.data() + 2);
+  free_ptr = static_cast<uint16_t>(free_ptr - payload);
+
+  char* slot = page.data() + kPageHeaderSize + slot_count * kSlotSize;
+  WriteU16(slot, free_ptr);
+  if (overflow) {
+    ANN_ASSIGN_OR_RETURN(const PageId chain, WriteChain(data, size));
+    WriteU16(slot + 2, kOverflowFlag);
+    WriteU32(page.data() + free_ptr, static_cast<uint32_t>(size));
+    WriteU32(page.data() + free_ptr + 4, chain);
+  } else {
+    WriteU16(slot + 2, static_cast<uint16_t>(size));
+    std::memcpy(page.data() + free_ptr, data, size);
+  }
+  WriteU16(page.data(), static_cast<uint16_t>(slot_count + 1));
+  WriteU16(page.data() + 2, free_ptr);
+  page.MarkDirty();
+  ++record_count_;
+  return MakeNodeId(page.page_id(), slot_count);
+}
+
+Status NodeStore::Read(NodeId id, std::vector<char>* out) const {
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(NodePage(id)));
+  const uint16_t slot_count = ReadU16(page.data());
+  const uint16_t slot_index = NodeSlot(id);
+  if (slot_index >= slot_count) {
+    return Status::NotFound("NodeStore: no such slot");
+  }
+  const char* slot = page.data() + kPageHeaderSize + slot_index * kSlotSize;
+  const uint16_t offset = ReadU16(slot);
+  const uint16_t length = ReadU16(slot + 2);
+  if (offset == kDeadOffset) {
+    return Status::NotFound("NodeStore: record was freed");
+  }
+  if (!(length & kOverflowFlag)) {
+    out->resize(length);
+    std::memcpy(out->data(), page.data() + offset, length);
+    return Status::OK();
+  }
+  const uint32_t total = ReadU32(page.data() + offset);
+  PageId current = ReadU32(page.data() + offset + 4);
+  page.Release();
+  out->resize(total);
+  size_t pos = 0;
+  while (pos < total) {
+    if (current == kInvalidPageId) {
+      return Status::Internal("NodeStore: truncated overflow chain");
+    }
+    ANN_ASSIGN_OR_RETURN(PinnedPage chain_page, pool_->Fetch(current));
+    const size_t chunk = std::min(kOverflowPayload, total - pos);
+    std::memcpy(out->data() + pos, chain_page.data() + 4, chunk);
+    current = ReadU32(chain_page.data());
+    pos += chunk;
+  }
+  return Status::OK();
+}
+
+Status NodeStore::Update(NodeId id, const char* data, size_t size) {
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(NodePage(id)));
+  const uint16_t slot_count = ReadU16(page.data());
+  const uint16_t slot_index = NodeSlot(id);
+  if (slot_index >= slot_count) {
+    return Status::NotFound("NodeStore: no such slot");
+  }
+  char* slot = page.data() + kPageHeaderSize + slot_index * kSlotSize;
+  const uint16_t offset = ReadU16(slot);
+  const uint16_t length = ReadU16(slot + 2);
+  if (offset == kDeadOffset) {
+    return Status::NotFound("NodeStore: record was freed");
+  }
+
+  const bool was_overflow = (length & kOverflowFlag) != 0;
+  const size_t capacity =
+      was_overflow ? kMinPayload : PayloadReserve(length & ~kOverflowFlag);
+
+  if (was_overflow) {
+    const PageId old_chain = ReadU32(page.data() + offset + 4);
+    ANN_RETURN_NOT_OK(FreeChain(old_chain));
+  }
+
+  if (!was_overflow && size <= capacity) {
+    // In-place inline rewrite.
+    std::memcpy(page.data() + offset, data, size);
+    WriteU16(slot + 2, static_cast<uint16_t>(size));
+    page.MarkDirty();
+    return Status::OK();
+  }
+
+  // The record becomes (or stays) an overflow chain; the 8-byte stub fits
+  // every payload region by construction.
+  ANN_ASSIGN_OR_RETURN(const PageId chain, WriteChain(data, size));
+  WriteU16(slot + 2, kOverflowFlag);
+  WriteU32(page.data() + offset, static_cast<uint32_t>(size));
+  WriteU32(page.data() + offset + 4, chain);
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status NodeStore::Free(NodeId id) {
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(NodePage(id)));
+  const uint16_t slot_count = ReadU16(page.data());
+  const uint16_t slot_index = NodeSlot(id);
+  if (slot_index >= slot_count) {
+    return Status::NotFound("NodeStore: no such slot");
+  }
+  char* slot = page.data() + kPageHeaderSize + slot_index * kSlotSize;
+  const uint16_t offset = ReadU16(slot);
+  const uint16_t length = ReadU16(slot + 2);
+  if (offset == kDeadOffset) {
+    return Status::NotFound("NodeStore: record already freed");
+  }
+  if (length & kOverflowFlag) {
+    ANN_RETURN_NOT_OK(FreeChain(ReadU32(page.data() + offset + 4)));
+  }
+  WriteU16(slot, kDeadOffset);
+  WriteU16(slot + 2, 0);
+  page.MarkDirty();
+  --record_count_;
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,85 @@
+#ifndef ANNLIB_STORAGE_NODE_STORE_H_
+#define ANNLIB_STORAGE_NODE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace ann {
+
+/// Identifier of a variable-length record in a NodeStore. Encodes the
+/// slotted page that holds the record's slot (upper 20 bits) and the slot
+/// index within it (lower 12 bits), so a store addresses up to 2^20 pages
+/// (8 GiB) — far beyond paper-scale indexes.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
+
+/// \brief Variable-length record storage over slotted pages (SHORE-style).
+///
+/// Index nodes are serialized byte strings, usually much smaller than a
+/// page; a disk-resident index must pack several per page or waste an
+/// order of magnitude of I/O. Each page carries a slot directory growing
+/// from the front while record payloads grow from the back:
+///
+///   page: [u16 slot_count][u16 free_ptr]
+///         [slot 0][slot 1]...        -> each slot: u16 offset, u16 length
+///         ...free space...
+///         [payloads packed at the back]
+///
+/// Records larger than a page payload go to an overflow chain of dedicated
+/// pages ([u32 next][payload...] each); the owning slot then stores a
+/// 12-byte stub {kOverflowMarker, total_len, first_page}. Reading a k-page
+/// record costs k+1 page accesses through the buffer pool.
+///
+/// Append clusters consecutive records onto the same fill page, so a tree
+/// persisted in one pass gets sibling nodes co-located — the layout a real
+/// storage manager produces for a bulk-built index.
+class NodeStore {
+ public:
+  explicit NodeStore(BufferPool* pool) : pool_(pool) {}
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  /// Appends a new record; returns its NodeId.
+  Result<NodeId> Append(const char* data, size_t size);
+
+  /// Reads record `id` into `*out` (resized to the record length).
+  Status Read(NodeId id, std::vector<char>* out) const;
+
+  /// Overwrites record `id` with new contents (possibly a different
+  /// size). In-place when the new payload fits the slot's current
+  /// capacity; otherwise the record moves to an overflow chain (the
+  /// NodeId is stable either way).
+  Status Update(NodeId id, const char* data, size_t size);
+
+  /// Marks the record's slot dead and releases any overflow pages.
+  Status Free(NodeId id);
+
+  BufferPool* pool() const { return pool_; }
+  size_t free_pages() const { return free_pages_.size(); }
+  uint64_t record_count() const { return record_count_; }
+
+  /// Largest payload stored inline in a slotted page.
+  static constexpr size_t kMaxInline = kPageSize - 4 - 4;  // header + 1 slot
+  /// Payload bytes per overflow-chain page.
+  static constexpr size_t kOverflowPayload = kPageSize - 4;
+
+ private:
+  static constexpr uint16_t kOverflowFlag = 0x8000;  // set in slot length
+
+  Result<PageId> AllocatePage();
+  Status FreeChain(PageId first);
+  Result<PageId> WriteChain(const char* data, size_t size);
+
+  BufferPool* pool_;
+  std::vector<PageId> free_pages_;
+  PageId fill_page_ = kInvalidPageId;  // current append target
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_STORAGE_NODE_STORE_H_

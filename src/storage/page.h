@@ -1,0 +1,50 @@
+#ifndef ANNLIB_STORAGE_PAGE_H_
+#define ANNLIB_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ann {
+
+/// Page size used throughout the storage layer. The paper compiles SHORE
+/// with 8 KB pages (Section 4.1); every disk-resident structure here is
+/// built from pages of this size.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// \brief A raw 8 KiB page buffer.
+struct alignas(64) Page {
+  std::array<std::byte, kPageSize> bytes;
+
+  char* data() { return reinterpret_cast<char*>(bytes.data()); }
+  const char* data() const { return reinterpret_cast<const char*>(bytes.data()); }
+};
+
+/// Cumulative I/O counters exposed by disk managers and the buffer pool.
+/// Benchmarks convert `physical reads + writes` into simulated I/O time.
+struct IoStats {
+  uint64_t physical_reads = 0;
+  uint64_t physical_writes = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t evictions = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats operator-(const IoStats& other) const {
+    IoStats d;
+    d.physical_reads = physical_reads - other.physical_reads;
+    d.physical_writes = physical_writes - other.physical_writes;
+    d.pool_hits = pool_hits - other.pool_hits;
+    d.pool_misses = pool_misses - other.pool_misses;
+    d.evictions = evictions - other.evictions;
+    return d;
+  }
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_STORAGE_PAGE_H_

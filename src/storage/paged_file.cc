@@ -1,0 +1,78 @@
+#include "storage/paged_file.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ann {
+
+PagedFile::PagedFile(BufferPool* pool, size_t record_size)
+    : pool_(pool), record_size_(record_size) {
+  assert(record_size >= 1 && record_size <= kPageSize);
+  records_per_page_ = kPageSize / record_size_;
+  tail_.reserve(kPageSize);
+}
+
+Status PagedFile::Append(const char* record) {
+  if (finished_) {
+    return Status::InvalidArgument("PagedFile: Append after Finish");
+  }
+  tail_.insert(tail_.end(), record, record + record_size_);
+  ++tail_records_;
+  ++record_count_;
+  if (tail_records_ == records_per_page_) {
+    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->NewPage());
+    std::memcpy(page.data(), tail_.data(), tail_.size());
+    page.MarkDirty();
+    pages_.push_back(page.page_id());
+    tail_.clear();
+    tail_records_ = 0;
+  }
+  return Status::OK();
+}
+
+Status PagedFile::Finish() {
+  if (finished_) return Status::OK();
+  if (tail_records_ > 0) {
+    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->NewPage());
+    std::memcpy(page.data(), tail_.data(), tail_.size());
+    page.MarkDirty();
+    pages_.push_back(page.page_id());
+    tail_.clear();
+    tail_records_ = 0;
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Status PagedFile::ReadRecord(uint64_t i, char* out) const {
+  if (!finished_) return Status::InvalidArgument("PagedFile: not finished");
+  if (i >= record_count_) return Status::OutOfRange("PagedFile: record index");
+  const uint64_t page_index = i / records_per_page_;
+  const size_t slot = i % records_per_page_;
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(pages_[page_index]));
+  std::memcpy(out, page.data() + slot * record_size_, record_size_);
+  return Status::OK();
+}
+
+size_t PagedFile::PageRecordCount(uint64_t page_index) const {
+  if (page_index + 1 < pages_.size()) return records_per_page_;
+  if (page_index >= pages_.size()) return 0;
+  const uint64_t first = PageFirstRecord(page_index);
+  return static_cast<size_t>(record_count_ - first);
+}
+
+Status PagedFile::ReadPage(uint64_t page_index, std::vector<char>* out,
+                           size_t* count) const {
+  if (!finished_) return Status::InvalidArgument("PagedFile: not finished");
+  if (page_index >= pages_.size()) {
+    return Status::OutOfRange("PagedFile: page index");
+  }
+  const size_t n = PageRecordCount(page_index);
+  out->resize(n * record_size_);
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(pages_[page_index]));
+  std::memcpy(out->data(), page.data(), out->size());
+  *count = n;
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,68 @@
+#ifndef ANNLIB_STORAGE_PAGED_FILE_H_
+#define ANNLIB_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace ann {
+
+/// \brief A sequential file of fixed-size records packed into pages.
+///
+/// Used by the GORDER baseline to materialize the grid-order-sorted
+/// datasets back to "disk" (the paper's GORDER writes the transformed,
+/// sorted datasets to disk and then runs a block nested-loops join over
+/// them). Records never span pages; `records_per_page()` records are packed
+/// per page. All reads go through the buffer pool, so re-scanning the inner
+/// file pays for its page misses.
+class PagedFile {
+ public:
+  /// \param record_size bytes per record (must fit one page payload).
+  PagedFile(BufferPool* pool, size_t record_size);
+
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+  PagedFile(PagedFile&&) = default;
+
+  /// Appends a record (write path; buffers into the current tail page).
+  Status Append(const char* record);
+
+  /// Flushes the tail page. Must be called after the last Append.
+  Status Finish();
+
+  /// Reads record `i` into `out` (record_size bytes).
+  Status ReadRecord(uint64_t i, char* out) const;
+
+  /// Reads all records of page `page_index` into `*out`
+  /// (count * record_size bytes); returns the record count via *count.
+  Status ReadPage(uint64_t page_index, std::vector<char>* out,
+                  size_t* count) const;
+
+  uint64_t record_count() const { return record_count_; }
+  uint64_t page_count() const { return pages_.size(); }
+  size_t record_size() const { return record_size_; }
+  size_t records_per_page() const { return records_per_page_; }
+
+  /// First record index stored on page `page_index`.
+  uint64_t PageFirstRecord(uint64_t page_index) const {
+    return page_index * records_per_page_;
+  }
+  /// Number of records on page `page_index`.
+  size_t PageRecordCount(uint64_t page_index) const;
+
+ private:
+  BufferPool* pool_;
+  size_t record_size_;
+  size_t records_per_page_;
+  std::vector<PageId> pages_;
+  uint64_t record_count_ = 0;
+  std::vector<char> tail_;  // unfinished tail page contents
+  size_t tail_records_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bnn.h"
+#include "baselines/mnn.h"
+#include "datagen/gstd.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+struct Workload {
+  Dataset r;
+  Dataset s;
+};
+
+Workload MakeWorkload(int dim, size_t nr, size_t ns, uint64_t seed) {
+  return {RandomDataset(dim, nr, seed), RandomDataset(dim, ns, seed + 1)};
+}
+
+class BnnTest : public ::testing::TestWithParam<PruneMetric> {};
+
+TEST_P(BnnTest, AnnMatchesBruteForce) {
+  const Workload w = MakeWorkload(2, 800, 1000, 50);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(w.s));
+  const MemIndexView view(&tree.tree());
+  BnnOptions opts;
+  opts.metric = GetParam();
+  std::vector<NeighborList> got;
+  SearchStats stats;
+  ASSERT_OK(BatchedNearestNeighbors(w.r, view, opts, &got, &stats));
+  EXPECT_EQ(got.size(), w.r.size());
+  ExpectExactAknn(w.r, w.s, 1, std::move(got));
+  EXPECT_GT(stats.nodes_expanded, 0u);
+}
+
+TEST_P(BnnTest, AknnMatchesBruteForce) {
+  const Workload w = MakeWorkload(3, 300, 600, 60);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(w.s));
+  const MemIndexView view(&tree.tree());
+  BnnOptions opts;
+  opts.metric = GetParam();
+  opts.k = 7;
+  std::vector<NeighborList> got;
+  ASSERT_OK(BatchedNearestNeighbors(w.r, view, opts, &got));
+  ExpectExactAknn(w.r, w.s, 7, std::move(got));
+}
+
+TEST_P(BnnTest, SmallGroupsStillExact) {
+  const Workload w = MakeWorkload(2, 200, 300, 70);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(w.s));
+  const MemIndexView view(&tree.tree());
+  BnnOptions opts;
+  opts.metric = GetParam();
+  opts.group_size = 3;
+  std::vector<NeighborList> got;
+  ASSERT_OK(BatchedNearestNeighbors(w.r, view, opts, &got));
+  ExpectExactAknn(w.r, w.s, 1, std::move(got));
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, BnnTest,
+                         ::testing::Values(PruneMetric::kMaxMaxDist,
+                                           PruneMetric::kNxnDist),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+TEST(BnnTest, ClusteredDataExact) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 2000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 81;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+  std::vector<NeighborList> got;
+  ASSERT_OK(BatchedNearestNeighbors(r, view, BnnOptions{}, &got));
+  ExpectExactAknn(r, s, 1, std::move(got));
+}
+
+TEST(BnnTest, KLargerThanTarget) {
+  const Workload w = MakeWorkload(2, 40, 5, 90);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(w.s));
+  const MemIndexView view(&tree.tree());
+  BnnOptions opts;
+  opts.k = 9;
+  std::vector<NeighborList> got;
+  ASSERT_OK(BatchedNearestNeighbors(w.r, view, opts, &got));
+  ExpectExactAknn(w.r, w.s, 9, std::move(got));
+}
+
+TEST(BnnTest, RejectsDimMismatch) {
+  const Dataset r = RandomDataset(2, 10, 1);
+  const Dataset s = RandomDataset(3, 10, 2);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+  std::vector<NeighborList> got;
+  EXPECT_TRUE(BatchedNearestNeighbors(r, view, BnnOptions{}, &got)
+                  .IsInvalidArgument());
+}
+
+class MnnTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MnnTest, AnnMatchesBruteForce) {
+  const Workload w = MakeWorkload(2, 600, 800, 100);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(w.s));
+  const MemIndexView view(&tree.tree());
+  MnnOptions opts;
+  opts.seed_bound = GetParam();
+  std::vector<NeighborList> got;
+  SearchStats stats;
+  ASSERT_OK(MultipleNearestNeighbors(w.r, view, opts, &got, &stats));
+  ExpectExactAknn(w.r, w.s, 1, std::move(got));
+}
+
+TEST_P(MnnTest, AknnMatchesBruteForce) {
+  const Workload w = MakeWorkload(4, 200, 500, 110);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(w.s));
+  const MemIndexView view(&tree.tree());
+  MnnOptions opts;
+  opts.seed_bound = GetParam();
+  opts.k = 5;
+  std::vector<NeighborList> got;
+  ASSERT_OK(MultipleNearestNeighbors(w.r, view, opts, &got));
+  ExpectExactAknn(w.r, w.s, 5, std::move(got));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedBound, MnnTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "Seeded" : "Unseeded";
+                         });
+
+TEST(MnnTest, SeedingReducesWork) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 4000;
+  spec.distribution = Distribution::kUniform;
+  spec.seed = 120;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+
+  MnnOptions opts;
+  std::vector<NeighborList> got;
+  SearchStats seeded, unseeded;
+  opts.seed_bound = true;
+  ASSERT_OK(MultipleNearestNeighbors(r, view, opts, &got, &seeded));
+  got.clear();
+  opts.seed_bound = false;
+  ASSERT_OK(MultipleNearestNeighbors(r, view, opts, &got, &unseeded));
+  EXPECT_LE(seeded.heap_pushes, unseeded.heap_pushes);
+}
+
+}  // namespace
+}  // namespace ann

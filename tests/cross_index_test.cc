@@ -1,0 +1,163 @@
+// Cross-index consistency: the same engine must produce validated-exact
+// results over every index structure the library offers, in memory and
+// through the paged storage path, for ANN, AkNN and bounded queries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ann/distance_join.h"
+#include "ann/mba.h"
+#include "ann/validate.h"
+#include "datagen/gstd.h"
+#include "index/grid/grid_index.h"
+#include "index/kdtree/kdtree.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/paged_index_view.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+enum class Kind { kMbrqt, kKdTree, kRstarInsert, kRstarBulk, kGrid };
+
+const char* Name(Kind k) {
+  switch (k) {
+    case Kind::kMbrqt:
+      return "Mbrqt";
+    case Kind::kKdTree:
+      return "KdTree";
+    case Kind::kRstarInsert:
+      return "RstarInsert";
+    case Kind::kRstarBulk:
+      return "RstarBulk";
+    case Kind::kGrid:
+      return "Grid";
+  }
+  return "?";
+}
+
+/// Builds an index of the requested kind; the MemTree is copied into the
+/// holder so every builder type can be treated uniformly.
+struct Built {
+  MemTree tree;
+};
+
+Built BuildTree(Kind kind, const Dataset& data) {
+  Built out;
+  switch (kind) {
+    case Kind::kMbrqt: {
+      MbrqtOptions opts;
+      opts.bucket_capacity = 16;
+      auto qt = Mbrqt::Build(data, opts);
+      EXPECT_TRUE(qt.ok());
+      out.tree = qt->Finalize();
+      break;
+    }
+    case Kind::kKdTree: {
+      KdTreeOptions opts;
+      opts.bucket_capacity = 16;
+      auto kt = KdTree::Build(data, opts);
+      EXPECT_TRUE(kt.ok());
+      out.tree = kt->tree();
+      break;
+    }
+    case Kind::kRstarInsert: {
+      RStarOptions opts;
+      opts.leaf_capacity = 16;
+      opts.internal_capacity = 8;
+      RStarTree rt(data.dim(), opts);
+      for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_TRUE(rt.Insert(data.point(i), i).ok());
+      }
+      out.tree = rt.tree();
+      break;
+    }
+    case Kind::kRstarBulk: {
+      RStarOptions opts;
+      opts.leaf_capacity = 16;
+      opts.internal_capacity = 8;
+      auto rt = RStarTree::BulkLoadStr(data, opts);
+      EXPECT_TRUE(rt.ok());
+      out.tree = rt->tree();
+      break;
+    }
+    case Kind::kGrid: {
+      GridIndexOptions opts;
+      opts.target_per_cell = 16;
+      auto grid = GridIndex::Build(data, opts);
+      EXPECT_TRUE(grid.ok());
+      out.tree = grid->tree();
+      break;
+    }
+  }
+  return out;
+}
+
+class CrossIndexTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(CrossIndexTest, MemoryAndPagedPathsValidatedExact) {
+  const Kind kind = GetParam();
+  GstdSpec spec;
+  spec.dim = 3;
+  spec.count = 1200;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 77;
+  auto all = GenerateGstd(spec);
+  ASSERT_TRUE(all.ok());
+  Dataset r, s;
+  SplitHalves(*all, &r, &s);
+
+  const Built br = BuildTree(kind, r);
+  const Built bs = BuildTree(kind, s);
+  const MemIndexView ir(&br.tree);
+  const MemIndexView is(&bs.tree);
+
+  // In-memory ANN and AkNN.
+  for (const int k : {1, 6}) {
+    AnnOptions opts;
+    opts.k = k;
+    std::vector<NeighborList> got;
+    ASSERT_OK(AllNearestNeighbors(ir, is, opts, &got));
+    ASSERT_OK(ValidateAknnResults(r, s, k, got));
+  }
+  // Bounded query.
+  {
+    AnnOptions opts;
+    opts.max_distance = 0.05;
+    std::vector<NeighborList> got;
+    ASSERT_OK(AllNearestNeighbors(ir, is, opts, &got));
+    ASSERT_OK(ValidateAknnResults(r, s, 1, got, opts.max_distance));
+  }
+
+  // Paged path under a small pool.
+  MemDiskManager disk;
+  BufferPool pool(&disk, 16);
+  NodeStore store(&pool);
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta mr,
+                       PersistMemTree(br.tree, &store));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta ms,
+                       PersistMemTree(bs.tree, &store));
+  const PagedIndexView pr(&store, mr);
+  const PagedIndexView ps(&store, ms);
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(pr, ps, AnnOptions{}, &got));
+  ASSERT_OK(ValidateAknnResults(r, s, 1, got));
+
+  // Distance join agrees across the same persisted indexes.
+  std::vector<JoinPair> pairs;
+  ASSERT_OK(DistanceJoin(pr, ps, 0.03, &pairs));
+  for (const JoinPair& p : pairs) {
+    EXPECT_LE(p.dist, 0.03);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CrossIndexTest,
+                         ::testing::Values(Kind::kMbrqt, Kind::kKdTree,
+                                           Kind::kRstarInsert,
+                                           Kind::kRstarBulk, Kind::kGrid),
+                         [](const auto& info) { return Name(info.param); });
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/linalg.h"
+#include "index/mbrqt/mbrqt.h"
+#include "datagen/gstd.h"
+#include "datagen/real_sim.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(GstdTest, UniformCoversTheUnitCube) {
+  GstdSpec spec;
+  spec.dim = 3;
+  spec.count = 20000;
+  spec.seed = 1;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  ASSERT_EQ(data.size(), spec.count);
+  const Rect box = data.BoundingBox();
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_GE(box.lo[d], 0.0);
+    EXPECT_LE(box.hi[d], 1.0);
+    EXPECT_LT(box.lo[d], 0.01);  // corners are reached
+    EXPECT_GT(box.hi[d], 0.99);
+  }
+  // Roughly uniform: each octant holds ~1/8 of the mass.
+  int counts[8] = {0};
+  for (size_t i = 0; i < data.size(); ++i) {
+    int oct = 0;
+    for (int d = 0; d < 3; ++d) {
+      if (data.point(i)[d] >= 0.5) oct |= 1 << d;
+    }
+    ++counts[oct];
+  }
+  for (int o = 0; o < 8; ++o) {
+    EXPECT_NEAR(counts[o], spec.count / 8.0, spec.count * 0.02);
+  }
+}
+
+TEST(GstdTest, DeterministicForSameSeed) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 100;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 42;
+  ASSERT_OK_AND_ASSIGN(const Dataset a, GenerateGstd(spec));
+  ASSERT_OK_AND_ASSIGN(const Dataset b, GenerateGstd(spec));
+  EXPECT_EQ(a.coords(), b.coords());
+  spec.seed = 43;
+  ASSERT_OK_AND_ASSIGN(const Dataset c, GenerateGstd(spec));
+  EXPECT_NE(a.coords(), c.coords());
+}
+
+TEST(GstdTest, ClusteredIsDenserThanUniform) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 10000;
+  spec.seed = 2;
+  spec.distribution = Distribution::kClustered;
+  spec.clusters = 8;
+  spec.cluster_sigma = 0.01;
+  ASSERT_OK_AND_ASSIGN(const Dataset clustered, GenerateGstd(spec));
+  spec.distribution = Distribution::kUniform;
+  ASSERT_OK_AND_ASSIGN(const Dataset uniform, GenerateGstd(spec));
+
+  // Average NN distance is far smaller for clustered data.
+  const auto avg_nn = [](const Dataset& d) {
+    Scalar total = 0;
+    const size_t probe = 300;
+    for (size_t i = 0; i < probe; ++i) {
+      Scalar best = kInf;
+      for (size_t j = 0; j < d.size(); ++j) {
+        if (j == i) continue;
+        best = std::min(best, PointDist2(d.point(i), d.point(j), 2));
+      }
+      total += std::sqrt(best);
+    }
+    return total / probe;
+  };
+  EXPECT_LT(avg_nn(clustered), avg_nn(uniform) / 2);
+}
+
+TEST(GstdTest, ZipfMassNearOrigin) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 10000;
+  spec.seed = 3;
+  spec.distribution = Distribution::kZipfSkewed;
+  spec.zipf_theta = 1.0;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  size_t near_origin = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.point(i)[0] < 0.25 && data.point(i)[1] < 0.25) ++near_origin;
+  }
+  EXPECT_GT(near_origin, data.size() / 4);
+}
+
+TEST(GstdTest, SegmentsConcentrateOnLines) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 8000;
+  spec.distribution = Distribution::kSegments;
+  spec.segments = 5;
+  spec.seed = 12;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  ASSERT_EQ(data.size(), spec.count);
+  // Points lie near 1-D structures: an MBRQT over them should have far
+  // smaller total leaf MBR area than one over uniform data.
+  const auto leaf_area = [](const Dataset& d) {
+    auto qt = Mbrqt::Build(d);
+    EXPECT_TRUE(qt.ok());
+    const MemTree& tree = qt->Finalize();
+    Scalar area = 0;
+    for (const MemNode& node : tree.nodes) {
+      if (node.is_leaf) area += node.mbr.Area();
+    }
+    return area;
+  };
+  spec.distribution = Distribution::kUniform;
+  ASSERT_OK_AND_ASSIGN(const Dataset uniform, GenerateGstd(spec));
+  EXPECT_LT(leaf_area(data), leaf_area(uniform) / 3);
+}
+
+TEST(GstdTest, GridQuantizedHasManyNearDuplicates) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 5000;
+  spec.distribution = Distribution::kGridQuantized;
+  spec.lattice = 8;  // only 64 cells for 5000 points
+  spec.seed = 13;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  // Nearly every point has a neighbor within the jitter scale.
+  size_t close = 0;
+  const size_t probes = 200;
+  for (size_t i = 0; i < probes; ++i) {
+    Scalar best = kInf;
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (j == i) continue;
+      best = std::min(best, PointDist2(data.point(i), data.point(j), 2));
+    }
+    if (best < 1e-6) ++close;
+  }
+  EXPECT_GT(close, probes * 9 / 10);
+}
+
+TEST(GstdTest, RejectsBadDim) {
+  GstdSpec spec;
+  spec.dim = 0;
+  EXPECT_FALSE(GenerateGstd(spec).ok());
+  spec.dim = kMaxDim + 1;
+  EXPECT_FALSE(GenerateGstd(spec).ok());
+}
+
+TEST(GstdTest, SplitHalvesIsDisjointAndComplete) {
+  const Dataset data = RandomDataset(2, 101, 4);
+  Dataset r, s;
+  SplitHalves(data, &r, &s);
+  EXPECT_EQ(r.size(), 51u);
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(r.point(0)[0], data.point(0)[0]);
+  EXPECT_EQ(s.point(0)[0], data.point(1)[0]);
+}
+
+TEST(TacLikeTest, ShapeAndSkyBounds) {
+  ASSERT_OK_AND_ASSIGN(const Dataset tac, MakeTacLike(50000));
+  ASSERT_EQ(tac.size(), 50000u);
+  ASSERT_EQ(tac.dim(), 2);
+  for (size_t i = 0; i < tac.size(); ++i) {
+    EXPECT_GE(tac.point(i)[0], 0.0);
+    EXPECT_LT(tac.point(i)[0], 360.0);
+    EXPECT_GE(tac.point(i)[1], -90.0);
+    EXPECT_LE(tac.point(i)[1], 90.0);
+  }
+}
+
+TEST(TacLikeTest, IsClusteredLikeACatalog) {
+  ASSERT_OK_AND_ASSIGN(const Dataset tac, MakeTacLike(20000));
+  // Compare NN distances against a uniform scatter of the same size over
+  // the same region: the catalog must be substantially denser locally.
+  Rng rng(5);
+  Dataset uniform(2);
+  for (size_t i = 0; i < tac.size(); ++i) {
+    const Scalar p[2] = {rng.Uniform(0, 360),
+                         std::asin(rng.Uniform(-1, 1)) * 180.0 / M_PI};
+    uniform.Append(p);
+  }
+  const auto avg_nn = [](const Dataset& d) {
+    Scalar total = 0;
+    const size_t probe = 200;
+    for (size_t i = 0; i < probe; ++i) {
+      Scalar best = kInf;
+      for (size_t j = 0; j < d.size(); ++j) {
+        if (j == i) continue;
+        best = std::min(best, PointDist2(d.point(i), d.point(j), 2));
+      }
+      total += std::sqrt(best);
+    }
+    return total / probe;
+  };
+  EXPECT_LT(avg_nn(tac), avg_nn(uniform));
+}
+
+TEST(ForestCoverLikeTest, ShapeAndNormalization) {
+  ASSERT_OK_AND_ASSIGN(const Dataset fc, MakeForestCoverLike(20000));
+  ASSERT_EQ(fc.size(), 20000u);
+  ASSERT_EQ(fc.dim(), 10);
+  const Rect box = fc.BoundingBox();
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_NEAR(box.lo[d], 0.0, 1e-12);
+    EXPECT_NEAR(box.hi[d], 1.0, 1e-12);
+  }
+}
+
+TEST(ForestCoverLikeTest, AttributesAreCorrelated) {
+  // The latent-factor construction must produce a covariance spectrum with
+  // a few dominant directions (low intrinsic dimensionality), which is
+  // what makes PCA/GORDER meaningful on this dataset.
+  ASSERT_OK_AND_ASSIGN(const Dataset fc, MakeForestCoverLike(20000));
+  ASSERT_OK_AND_ASSIGN(const EigenDecomposition eig,
+                       SymmetricEigen(Covariance(fc)));
+  Scalar top3 = 0, total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += eig.values[i];
+    if (i < 3) top3 += eig.values[i];
+  }
+  EXPECT_GT(top3 / total, 0.7);
+}
+
+TEST(NormalizePerAttributeTest, HandlesConstantAttributes) {
+  Dataset d(2);
+  const Scalar p1[2] = {5, 1}, p2[2] = {5, 3};
+  d.Append(p1);
+  d.Append(p2);
+  NormalizePerAttribute(&d);
+  EXPECT_EQ(d.point(0)[0], 0.5);  // constant column maps to 0.5
+  EXPECT_EQ(d.point(1)[0], 0.5);
+  EXPECT_EQ(d.point(0)[1], 0.0);
+  EXPECT_EQ(d.point(1)[1], 1.0);
+}
+
+}  // namespace
+}  // namespace ann

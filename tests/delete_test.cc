@@ -1,0 +1,203 @@
+// Deletion tests for both dynamic indexes: structural invariants hold
+// after arbitrary delete/insert interleavings, and queries stay exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ann/mba.h"
+#include "datagen/gstd.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(RStarDeleteTest, DeleteEverythingInRandomOrder) {
+  const Dataset data = RandomDataset(2, 1200, 1);
+  RStarOptions opts;
+  opts.leaf_capacity = 8;
+  opts.internal_capacity = 8;
+  RStarTree tree(2, opts);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+  }
+  Rng rng(2);
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i-- > 1;) {
+    std::swap(order[i], order[rng.UniformInt(i + 1)]);
+  }
+  for (size_t step = 0; step < order.size(); ++step) {
+    ASSERT_OK(tree.Delete(data.point(order[step]), order[step]));
+    if (step % 100 == 0) {
+      ASSERT_OK(tree.CheckInvariants());
+    }
+  }
+  EXPECT_EQ(tree.num_objects(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(RStarDeleteTest, DeleteMissingEntryFails) {
+  const Dataset data = RandomDataset(2, 100, 3);
+  RStarTree tree(2);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+  }
+  const Scalar nowhere[2] = {5.0, 5.0};
+  EXPECT_TRUE(tree.Delete(nowhere, 0).IsNotFound());
+  // Right point, wrong id.
+  EXPECT_TRUE(tree.Delete(data.point(4), 999).IsNotFound());
+  // Deleting twice fails the second time.
+  ASSERT_OK(tree.Delete(data.point(4), 4));
+  EXPECT_TRUE(tree.Delete(data.point(4), 4).IsNotFound());
+}
+
+TEST(RStarDeleteTest, QueriesStayExactUnderChurn) {
+  Rng rng(4);
+  const Dataset pool_data = RandomDataset(2, 2000, 5);
+  RStarOptions opts;
+  opts.leaf_capacity = 8;
+  opts.internal_capacity = 8;
+  RStarTree tree(2, opts);
+  std::vector<bool> present(pool_data.size(), false);
+  // Interleave inserts and deletes.
+  for (int step = 0; step < 5000; ++step) {
+    const size_t i = rng.UniformInt(pool_data.size());
+    if (present[i]) {
+      ASSERT_OK(tree.Delete(pool_data.point(i), i));
+      present[i] = false;
+    } else {
+      ASSERT_OK(tree.Insert(pool_data.point(i), i));
+      present[i] = true;
+    }
+  }
+  ASSERT_OK(tree.CheckInvariants());
+
+  // Range queries over the live set must be exact.
+  const MemIndexView view(&tree.tree());
+  for (int q = 0; q < 10; ++q) {
+    const Rect range = RandomRect(2, &rng);
+    std::vector<uint64_t> got;
+    ASSERT_OK(RangeQuery(view, range, &got));
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> want;
+    for (size_t i = 0; i < pool_data.size(); ++i) {
+      if (present[i] && range.ContainsPoint(pool_data.point(i))) {
+        want.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(RStarDeleteTest, DuplicatePointsDeleteById) {
+  RStarOptions opts;
+  opts.leaf_capacity = 4;
+  opts.internal_capacity = 4;
+  RStarTree tree(2, opts);
+  const Scalar p[2] = {0.3, 0.7};
+  for (int i = 0; i < 50; ++i) ASSERT_OK(tree.Insert(p, i));
+  for (int i = 0; i < 50; i += 2) ASSERT_OK(tree.Delete(p, i));
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.num_objects(), 25u);
+  EXPECT_TRUE(tree.Delete(p, 0).IsNotFound());
+}
+
+TEST(MbrqtDeleteTest, DeleteEverythingInRandomOrder) {
+  const Dataset data = RandomDataset(2, 1500, 6);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 8;
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data, opts));
+  Rng rng(7);
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i-- > 1;) {
+    std::swap(order[i], order[rng.UniformInt(i + 1)]);
+  }
+  for (size_t step = 0; step < order.size(); ++step) {
+    ASSERT_OK(qt.Delete(data.point(order[step]), order[step]));
+    if (step % 150 == 0) {
+      ASSERT_OK(qt.CheckInvariants());
+    }
+  }
+  EXPECT_EQ(qt.num_objects(), 0u);
+}
+
+TEST(MbrqtDeleteTest, DeleteMissingEntryFails) {
+  const Dataset data = RandomDataset(2, 200, 8);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+  const Scalar outside[2] = {99, 99};
+  EXPECT_TRUE(qt.Delete(outside, 0).IsNotFound());
+  EXPECT_TRUE(qt.Delete(data.point(3), 999).IsNotFound());
+  ASSERT_OK(qt.Delete(data.point(3), 3));
+  EXPECT_TRUE(qt.Delete(data.point(3), 3).IsNotFound());
+}
+
+TEST(MbrqtDeleteTest, AnnStaysExactAfterDeletes) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 2000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 9;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 16;
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r, opts));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s, opts));
+
+  // Remove every third target; rebuild the expected answer set.
+  Dataset s_remaining(2);
+  std::vector<uint64_t> remaining_ids;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_OK(qs.Delete(s.point(i), i));
+    } else {
+      s_remaining.Append(s.point(i));
+      remaining_ids.push_back(i);
+    }
+  }
+  ASSERT_OK(qs.CheckInvariants());
+
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+  SortByQueryId(&got);
+
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(r, s_remaining, 1, &want));
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].neighbors.size(), 1u);
+    EXPECT_NEAR(got[i].neighbors[0].second, want[i].neighbors[0].second,
+                1e-9);
+    // The returned id must be one of the remaining targets.
+    EXPECT_NE(std::find(remaining_ids.begin(), remaining_ids.end(),
+                        got[i].neighbors[0].first),
+              remaining_ids.end());
+  }
+}
+
+TEST(MbrqtDeleteTest, ReinsertAfterDeleteWorks) {
+  const Dataset data = RandomDataset(3, 500, 10);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+  for (size_t i = 0; i < 250; ++i) {
+    ASSERT_OK(qt.Delete(data.point(i), i));
+  }
+  for (size_t i = 0; i < 250; ++i) {
+    ASSERT_OK(qt.Insert(data.point(i), i));
+  }
+  ASSERT_OK(qt.CheckInvariants());
+  EXPECT_EQ(qt.num_objects(), data.size());
+  const MemIndexView view(&qt.Finalize());
+  std::vector<uint64_t> got;
+  ASSERT_OK(RangeQuery(view, data.BoundingBox(), &got));
+  EXPECT_EQ(got.size(), data.size());
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,91 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+void FillPattern(Page* page, char seed) {
+  for (size_t i = 0; i < kPageSize; ++i) {
+    page->data()[i] = static_cast<char>(seed + i % 251);
+  }
+}
+
+template <typename T>
+class DiskManagerTest : public ::testing::Test {
+ public:
+  std::unique_ptr<DiskManager> Make() {
+    if constexpr (std::is_same_v<T, MemDiskManager>) {
+      return std::make_unique<MemDiskManager>();
+    } else {
+      auto res = FileDiskManager::Create(
+          ::testing::TempDir() + "/disk_manager_test.pages");
+      EXPECT_TRUE(res.ok()) << res.status().ToString();
+      return std::move(res).value();
+    }
+  }
+};
+
+using Impls = ::testing::Types<MemDiskManager, FileDiskManager>;
+TYPED_TEST_SUITE(DiskManagerTest, Impls);
+
+TYPED_TEST(DiskManagerTest, AllocateReadWriteRoundtrip) {
+  auto disk = this->Make();
+  ASSERT_OK_AND_ASSIGN(const PageId a, disk->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(const PageId b, disk->AllocatePage());
+  EXPECT_NE(a, b);
+  EXPECT_EQ(disk->page_count(), 2u);
+
+  Page w;
+  FillPattern(&w, 3);
+  ASSERT_OK(disk->WritePage(a, w));
+  Page w2;
+  FillPattern(&w2, 9);
+  ASSERT_OK(disk->WritePage(b, w2));
+
+  Page r;
+  ASSERT_OK(disk->ReadPage(a, &r));
+  EXPECT_EQ(std::memcmp(r.data(), w.data(), kPageSize), 0);
+  ASSERT_OK(disk->ReadPage(b, &r));
+  EXPECT_EQ(std::memcmp(r.data(), w2.data(), kPageSize), 0);
+}
+
+TYPED_TEST(DiskManagerTest, FreshPagesAreZeroed) {
+  auto disk = this->Make();
+  ASSERT_OK_AND_ASSIGN(const PageId id, disk->AllocatePage());
+  Page r;
+  FillPattern(&r, 1);
+  ASSERT_OK(disk->ReadPage(id, &r));
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ(r.data()[i], 0);
+}
+
+TYPED_TEST(DiskManagerTest, OutOfRangeAccessFails) {
+  auto disk = this->Make();
+  Page p;
+  EXPECT_TRUE(disk->ReadPage(0, &p).IsOutOfRange());
+  EXPECT_TRUE(disk->WritePage(5, p).IsOutOfRange());
+}
+
+TYPED_TEST(DiskManagerTest, StatsCountPhysicalIo) {
+  auto disk = this->Make();
+  ASSERT_OK_AND_ASSIGN(const PageId id, disk->AllocatePage());
+  Page p;
+  ASSERT_OK(disk->ReadPage(id, &p));
+  ASSERT_OK(disk->ReadPage(id, &p));
+  ASSERT_OK(disk->WritePage(id, p));
+  EXPECT_EQ(disk->stats().physical_reads, 2u);
+  EXPECT_EQ(disk->stats().physical_writes, 1u);
+  disk->ResetStats();
+  EXPECT_EQ(disk->stats().physical_reads, 0u);
+}
+
+TEST(FileDiskManagerTest, CreateFailsOnBadPath) {
+  EXPECT_FALSE(FileDiskManager::Create("/nonexistent-dir/x/y/pages").ok());
+}
+
+}  // namespace
+}  // namespace ann

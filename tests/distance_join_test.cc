@@ -1,0 +1,234 @@
+#include "ann/distance_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ann/mba.h"
+#include "datagen/gstd.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::vector<JoinPair> BruteJoin(const Dataset& r, const Dataset& s,
+                                Scalar eps) {
+  std::vector<JoinPair> out;
+  const Scalar eps2 = eps * eps;
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t j = 0; j < s.size(); ++j) {
+      const Scalar d2 = PointDist2(r.point(i), s.point(j), r.dim());
+      if (d2 <= eps2) out.push_back({i, j, std::sqrt(d2)});
+    }
+  }
+  return out;
+}
+
+void SortPairs(std::vector<JoinPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const JoinPair& a, const JoinPair& b) {
+              return std::tie(a.r_id, a.s_id) < std::tie(b.r_id, b.s_id);
+            });
+}
+
+void ExpectJoinsEqual(std::vector<JoinPair> got, std::vector<JoinPair> want) {
+  SortPairs(&got);
+  SortPairs(&want);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].r_id, want[i].r_id);
+    EXPECT_EQ(got[i].s_id, want[i].s_id);
+    EXPECT_NEAR(got[i].dist, want[i].dist, 1e-9);
+  }
+}
+
+class DistanceJoinTest : public ::testing::TestWithParam<Scalar> {};
+
+TEST_P(DistanceJoinTest, MatchesBruteForceOnMbrqt) {
+  const Scalar eps = GetParam();
+  const Dataset r = RandomDataset(2, 500, 1);
+  const Dataset s = RandomDataset(2, 600, 2);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+
+  std::vector<JoinPair> got;
+  JoinStats stats;
+  ASSERT_OK(DistanceJoin(ir, is, eps, &got, &stats));
+  ExpectJoinsEqual(std::move(got), BruteJoin(r, s, eps));
+  if (eps < 0.5) {
+    EXPECT_GT(stats.pairs_pruned, 0u);
+  }
+}
+
+TEST_P(DistanceJoinTest, MatchesBruteForceOnRstar) {
+  const Scalar eps = GetParam();
+  const Dataset r = RandomDataset(3, 400, 3);
+  const Dataset s = RandomDataset(3, 400, 4);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tr, RStarTree::BulkLoadStr(r));
+  ASSERT_OK_AND_ASSIGN(const RStarTree ts, RStarTree::BulkLoadStr(s));
+  const MemIndexView ir(&tr.tree());
+  const MemIndexView is(&ts.tree());
+
+  std::vector<JoinPair> got;
+  ASSERT_OK(DistanceJoin(ir, is, eps, &got));
+  ExpectJoinsEqual(std::move(got), BruteJoin(r, s, eps));
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, DistanceJoinTest,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.2, 2.0),
+                         [](const auto& info) {
+                           std::string s = std::to_string(info.param);
+                           std::replace(s.begin(), s.end(), '.', '_');
+                           return "eps" + s.substr(0, 4);
+                         });
+
+TEST(DistanceJoinTest, ZeroRadiusFindsExactDuplicates) {
+  Dataset r(2), s(2);
+  const Scalar a[2] = {0.5, 0.5}, b[2] = {0.25, 0.75};
+  r.Append(a);
+  r.Append(b);
+  s.Append(b);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+  std::vector<JoinPair> got;
+  ASSERT_OK(DistanceJoin(ir, is, 0.0, &got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].r_id, 1u);
+  EXPECT_EQ(got[0].s_id, 0u);
+  EXPECT_EQ(got[0].dist, 0.0);
+}
+
+TEST(DistanceJoinTest, RejectsBadArguments) {
+  const Dataset r = RandomDataset(2, 10, 5);
+  const Dataset s3 = RandomDataset(3, 10, 6);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s3));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+  std::vector<JoinPair> got;
+  EXPECT_TRUE(DistanceJoin(ir, is, 0.1, &got).IsInvalidArgument());
+  EXPECT_TRUE(DistanceJoin(ir, ir, -1, &got).IsInvalidArgument());
+}
+
+std::vector<JoinPair> BruteSemiJoin(const Dataset& r, const Dataset& s,
+                                    Scalar eps) {
+  std::vector<JoinPair> out;
+  for (size_t i = 0; i < r.size(); ++i) {
+    Scalar best2 = kInf;
+    size_t best_j = 0;
+    for (size_t j = 0; j < s.size(); ++j) {
+      const Scalar d2 = PointDist2(r.point(i), s.point(j), r.dim());
+      if (d2 < best2) {
+        best2 = d2;
+        best_j = j;
+      }
+    }
+    if (best2 <= eps * eps) out.push_back({i, best_j, std::sqrt(best2)});
+  }
+  return out;
+}
+
+class SemiJoinTest : public ::testing::TestWithParam<Scalar> {};
+
+TEST_P(SemiJoinTest, MatchesBruteForce) {
+  const Scalar eps = GetParam();
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 1500;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 7;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+
+  std::vector<JoinPair> got;
+  JoinStats stats;
+  ASSERT_OK(DistanceSemiJoin(ir, is, eps, &got, &stats));
+  const std::vector<JoinPair> want = BruteSemiJoin(r, s, eps);
+  // Distance ties can pick a different but equally-near witness: compare
+  // query ids and distances.
+  ASSERT_EQ(got.size(), want.size());
+  SortPairs(&got);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].r_id, want[i].r_id);
+    EXPECT_NEAR(got[i].dist, want[i].dist, 1e-9);
+    EXPECT_NEAR(std::sqrt(PointDist2(r.point(got[i].r_id),
+                                     s.point(got[i].s_id), 2)),
+                got[i].dist, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, SemiJoinTest,
+                         ::testing::Values(0.001, 0.01, 0.1),
+                         [](const auto& info) {
+                           std::string s = std::to_string(info.param);
+                           std::replace(s.begin(), s.end(), '.', '_');
+                           return "eps" + s.substr(0, 5);
+                         });
+
+TEST(SemiJoinTest, SmallRadiusIsCheaperThanFullAnn) {
+  const Dataset r = RandomDataset(2, 2000, 8);
+  const Dataset s = RandomDataset(2, 2000, 9);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+
+  JoinStats tight, loose;
+  std::vector<JoinPair> got;
+  ASSERT_OK(DistanceSemiJoin(ir, is, 0.001, &got, &tight));
+  got.clear();
+  ASSERT_OK(DistanceSemiJoin(ir, is, kInf, &got, &loose));
+  EXPECT_EQ(got.size(), r.size());  // kInf degenerates to full ANN
+  EXPECT_LT(tight.distance_evals, loose.distance_evals);
+}
+
+TEST(AnnMaxDistanceTest, BoundedAnnDropsFarNeighbors) {
+  const Dataset r = RandomDataset(2, 300, 10);
+  const Dataset s = RandomDataset(2, 300, 11);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+
+  AnnOptions opts;
+  opts.k = 3;
+  opts.max_distance = 0.05;
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(ir, is, opts, &got));
+  SortByQueryId(&got);
+
+  std::vector<NeighborList> full;
+  ASSERT_OK(BruteForceAknn(r, s, 3, &full));
+  ASSERT_EQ(got.size(), full.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    // Expected: the prefix of the full 3-NN list within the radius.
+    size_t expect = 0;
+    while (expect < full[i].neighbors.size() &&
+           full[i].neighbors[expect].second <= opts.max_distance) {
+      ++expect;
+    }
+    // The engine's slack may admit an exact-boundary neighbor either way;
+    // distances strictly inside must match.
+    ASSERT_GE(got[i].neighbors.size(), 0u);
+    for (size_t j = 0; j < std::min(expect, got[i].neighbors.size()); ++j) {
+      EXPECT_NEAR(got[i].neighbors[j].second, full[i].neighbors[j].second,
+                  1e-9);
+    }
+    EXPECT_EQ(got[i].neighbors.size(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,160 @@
+// Randomized end-to-end sweep: for many seeds, generate random workloads
+// (random dimensionality, sizes, distribution, k, metric, traversal,
+// index) and verify every engine and baseline against brute force. This
+// is the library's broadest correctness net.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ann/distance_join.h"
+#include "ann/mba.h"
+#include "baselines/bnn.h"
+#include "baselines/gorder/gorder_join.h"
+#include "baselines/mnn.h"
+#include "datagen/gstd.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+Dataset RandomWorkload(Rng* rng, int dim) {
+  GstdSpec spec;
+  spec.dim = dim;
+  spec.count = 50 + rng->UniformInt(800);
+  spec.seed = rng->Next();
+  switch (rng->UniformInt(6)) {
+    case 0:
+      spec.distribution = Distribution::kUniform;
+      break;
+    case 1:
+      spec.distribution = Distribution::kGaussian;
+      break;
+    case 2:
+      spec.distribution = Distribution::kClustered;
+      spec.clusters = 2 + static_cast<int>(rng->UniformInt(12));
+      break;
+    case 3:
+      spec.distribution = Distribution::kSegments;
+      spec.segments = 2 + static_cast<int>(rng->UniformInt(30));
+      break;
+    case 4:
+      spec.distribution = Distribution::kGridQuantized;
+      spec.lattice = 2 + static_cast<int>(rng->UniformInt(20));
+      break;
+    default:
+      spec.distribution = Distribution::kZipfSkewed;
+      break;
+  }
+  auto data = GenerateGstd(spec);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzzTest, RandomWorkloadsAllMethodsExact) {
+  Rng rng(GetParam() * 7919 + 13);
+  const int dim = 1 + static_cast<int>(rng.UniformInt(8));
+  const Dataset r = RandomWorkload(&rng, dim);
+  const Dataset s = RandomWorkload(&rng, dim);
+  const int k = 1 + static_cast<int>(rng.UniformInt(8));
+
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(r, s, k, &want));
+
+  // Random MBA/RBA configuration over random bucket sizes.
+  AnnOptions opts;
+  opts.k = k;
+  opts.metric = rng.UniformInt(2) == 0 ? PruneMetric::kNxnDist
+                                       : PruneMetric::kMaxMaxDist;
+  opts.traversal = rng.UniformInt(2) == 0 ? Traversal::kDepthFirst
+                                          : Traversal::kBreadthFirst;
+  opts.expansion = rng.UniformInt(2) == 0 ? Expansion::kBidirectional
+                                          : Expansion::kUnidirectional;
+
+  if (rng.UniformInt(2) == 0) {
+    MbrqtOptions qopts;
+    qopts.bucket_capacity = 2 + static_cast<int>(rng.UniformInt(64));
+    ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r, qopts));
+    ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s, qopts));
+    const MemIndexView ir(&qr.Finalize());
+    const MemIndexView is(&qs.Finalize());
+    std::vector<NeighborList> got;
+    ASSERT_OK(AllNearestNeighbors(ir, is, opts, &got));
+    ExpectResultsMatch(r, s, std::move(got), want);
+
+    // Distance join on the same indexes at a data-derived radius.
+    const Scalar eps = want[want.size() / 2].neighbors.front().second * 2;
+    std::vector<JoinPair> pairs;
+    ASSERT_OK(DistanceJoin(ir, is, eps, &pairs));
+    for (const JoinPair& p : pairs) {
+      EXPECT_LE(p.dist, eps);
+      EXPECT_NEAR(
+          std::sqrt(PointDist2(r.point(p.r_id), s.point(p.s_id), dim)),
+          p.dist, 1e-9);
+    }
+  } else {
+    RStarOptions ropts;
+    ropts.leaf_capacity = 4 + static_cast<int>(rng.UniformInt(64));
+    ropts.internal_capacity = 4 + static_cast<int>(rng.UniformInt(32));
+    Result<RStarTree> tree_res =
+        rng.UniformInt(2) == 0
+            ? RStarTree::BulkLoadStr(s, ropts)
+            : [&] {
+                RStarTree t(dim, ropts);
+                for (size_t i = 0; i < s.size(); ++i) {
+                  EXPECT_TRUE(t.Insert(s.point(i), i).ok());
+                }
+                return Result<RStarTree>(std::move(t));
+              }();
+    ASSERT_TRUE(tree_res.ok());
+    const MemIndexView is(&tree_res->tree());
+
+    // Alternate between BNN and MNN against the R*-tree.
+    std::vector<NeighborList> got;
+    if (rng.UniformInt(2) == 0) {
+      BnnOptions bopts;
+      bopts.k = k;
+      bopts.metric = opts.metric;
+      bopts.group_size = 1 + rng.UniformInt(100);
+      ASSERT_OK(BatchedNearestNeighbors(r, is, bopts, &got));
+    } else {
+      MnnOptions mopts;
+      mopts.k = k;
+      mopts.seed_bound = rng.UniformInt(2) == 0;
+      ASSERT_OK(MultipleNearestNeighbors(r, is, mopts, &got));
+    }
+    ExpectResultsMatch(r, s, std::move(got), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Range(1, 25),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST(EngineFuzzTest, GorderRandomWorkloads) {
+  for (int seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 104729);
+    const int dim = 1 + static_cast<int>(rng.UniformInt(8));
+    const Dataset r = RandomWorkload(&rng, dim);
+    const Dataset s = RandomWorkload(&rng, dim);
+    const int k = 1 + static_cast<int>(rng.UniformInt(5));
+
+    MemDiskManager disk;
+    BufferPool pool(&disk, 64);
+    GorderOptions gopts;
+    gopts.k = k;
+    gopts.segments_per_dim = 2 + static_cast<int>(rng.UniformInt(30));
+    gopts.pages_per_block = 1 + rng.UniformInt(4);
+    std::vector<NeighborList> got;
+    ASSERT_OK(GorderJoin(r, s, &pool, gopts, &got));
+    ExpectExactAknn(r, s, k, std::move(got));
+  }
+}
+
+}  // namespace
+}  // namespace ann

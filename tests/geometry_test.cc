@@ -1,0 +1,152 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(RectTest, EmptyExpandsToFirstPoint) {
+  Rect r = Rect::Empty(3);
+  EXPECT_TRUE(r.IsEmpty());
+  const Scalar p[3] = {1, 2, 3};
+  r.ExpandToPoint(p);
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.IsPoint());
+  EXPECT_TRUE(r.ContainsPoint(p));
+}
+
+TEST(RectTest, FromPointIsDegenerate) {
+  const Scalar p[2] = {0.5, -1.5};
+  const Rect r = Rect::FromPoint(p, 2);
+  EXPECT_TRUE(r.IsPoint());
+  EXPECT_EQ(r.Area(), 0);
+  EXPECT_EQ(r.Margin(), 0);
+}
+
+TEST(RectTest, ExpandToRectCovers) {
+  const Scalar lo1[2] = {0, 0}, hi1[2] = {1, 1};
+  const Scalar lo2[2] = {2, -1}, hi2[2] = {3, 0.5};
+  Rect a = Rect::FromBounds(lo1, hi1, 2);
+  const Rect b = Rect::FromBounds(lo2, hi2, 2);
+  a.ExpandToRect(b);
+  EXPECT_TRUE(a.ContainsRect(b));
+  EXPECT_EQ(a.lo[0], 0);
+  EXPECT_EQ(a.hi[0], 3);
+  EXPECT_EQ(a.lo[1], -1);
+  EXPECT_EQ(a.hi[1], 1);
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  const Scalar lo[2] = {0, 0}, hi[2] = {2, 2};
+  const Rect a = Rect::FromBounds(lo, hi, 2);
+  const Scalar lo2[2] = {1, 1}, hi2[2] = {3, 3};
+  const Rect b = Rect::FromBounds(lo2, hi2, 2);
+  const Scalar lo3[2] = {2.5, 2.5}, hi3[2] = {4, 4};
+  const Rect c = Rect::FromBounds(lo3, hi3, 2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(a.ContainsRect(b));
+  EXPECT_TRUE(b.ContainsRect(c) == false);
+  // Touching edges count as intersecting.
+  const Scalar lo4[2] = {2, 0}, hi4[2] = {3, 1};
+  const Rect d = Rect::FromBounds(lo4, hi4, 2);
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(RectTest, AreaMarginOverlap) {
+  const Scalar lo[2] = {0, 0}, hi[2] = {2, 3};
+  const Rect a = Rect::FromBounds(lo, hi, 2);
+  EXPECT_DOUBLE_EQ(a.Area(), 6);
+  EXPECT_DOUBLE_EQ(a.Margin(), 5);
+  const Scalar lo2[2] = {1, 1}, hi2[2] = {4, 2};
+  const Rect b = Rect::FromBounds(lo2, hi2, 2);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 1.0);  // [1,2]x[1,2]
+  EXPECT_DOUBLE_EQ(b.OverlapArea(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.EnlargedArea(b), 12.0);  // [0,4]x[0,3]
+}
+
+TEST(RectTest, OverlapDisjointIsZero) {
+  const Scalar lo[2] = {0, 0}, hi[2] = {1, 1};
+  const Scalar lo2[2] = {2, 2}, hi2[2] = {3, 3};
+  const Rect a = Rect::FromBounds(lo, hi, 2);
+  const Rect b = Rect::FromBounds(lo2, hi2, 2);
+  EXPECT_EQ(a.OverlapArea(b), 0);
+}
+
+TEST(RectTest, EqualityIsPerLane) {
+  Rng rng(3);
+  const Rect a = RandomRect(4, &rng);
+  Rect b = a;
+  EXPECT_TRUE(a == b);
+  b.hi[2] += 1e-9;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset d(3);
+  const Scalar p1[3] = {1, 2, 3};
+  const Scalar p2[3] = {4, 5, 6};
+  d.Append(p1);
+  d.Append(p2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.point(1)[0], 4);
+  EXPECT_EQ(d.point(0)[2], 3);
+}
+
+TEST(DatasetTest, BoundingBoxIsTight) {
+  const Dataset d = RandomDataset(5, 200, 77);
+  const Rect box = d.BoundingBox();
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_TRUE(box.ContainsPoint(d.point(i)));
+  }
+  // Every face must be touched by some point.
+  for (int dim = 0; dim < 5; ++dim) {
+    bool lo_touched = false, hi_touched = false;
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (d.point(i)[dim] == box.lo[dim]) lo_touched = true;
+      if (d.point(i)[dim] == box.hi[dim]) hi_touched = true;
+    }
+    EXPECT_TRUE(lo_touched && hi_touched) << "dim " << dim;
+  }
+}
+
+TEST(DatasetTest, SelectPreservesOrder) {
+  const Dataset d = RandomDataset(2, 10, 5);
+  const Dataset sel = d.Select({7, 2, 2});
+  ASSERT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel.point(0)[0], d.point(7)[0]);
+  EXPECT_EQ(sel.point(1)[1], d.point(2)[1]);
+  EXPECT_EQ(sel.point(2)[0], d.point(2)[0]);
+}
+
+TEST(PointDistTest, MatchesManual) {
+  const Scalar a[3] = {0, 0, 0};
+  const Scalar b[3] = {1, 2, 2};
+  EXPECT_DOUBLE_EQ(PointDist2(a, b, 3), 9.0);
+}
+
+TEST(PointDistTest, BoundedAbortNeverUnderReportsBeyondBound) {
+  Rng rng(11);
+  for (int iter = 0; iter < 500; ++iter) {
+    Scalar a[6], b[6];
+    for (int d = 0; d < 6; ++d) {
+      a[d] = rng.Uniform(-1, 1);
+      b[d] = rng.Uniform(-1, 1);
+    }
+    const Scalar exact = PointDist2(a, b, 6);
+    const Scalar bound = rng.Uniform(0, 6);
+    const Scalar got = PointDist2Bounded(a, b, 6, bound);
+    if (exact <= bound) {
+      EXPECT_DOUBLE_EQ(got, exact);
+    } else {
+      EXPECT_GT(got, bound);  // may be partial, but always exceeds the bound
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ann

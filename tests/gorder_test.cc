@@ -1,0 +1,182 @@
+#include "baselines/gorder/gorder_join.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gorder/grid_order.h"
+#include "baselines/gorder/pca.h"
+#include "datagen/gstd.h"
+#include "storage/disk_manager.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(PcaTest, PreservesPairwiseDistances) {
+  const Dataset data = RandomDataset(5, 500, 1);
+  ASSERT_OK_AND_ASSIGN(const PcaTransform pca, PcaTransform::Fit(data));
+  const Dataset t = pca.Transform(data);
+  Rng rng(2);
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t a = rng.UniformInt(data.size());
+    const size_t b = rng.UniformInt(data.size());
+    EXPECT_NEAR(PointDist2(data.point(a), data.point(b), 5),
+                PointDist2(t.point(a), t.point(b), 5), 1e-9);
+  }
+}
+
+TEST(PcaTest, FirstComponentCarriesMostVariance) {
+  // Strongly anisotropic data: variance along (1,1,...) dominates.
+  Rng rng(3);
+  Dataset data(4);
+  for (int i = 0; i < 3000; ++i) {
+    const Scalar t = rng.Gaussian();
+    Scalar p[4];
+    for (int d = 0; d < 4; ++d) p[d] = t + 0.05 * rng.Gaussian();
+    data.Append(p);
+  }
+  ASSERT_OK_AND_ASSIGN(const PcaTransform pca, PcaTransform::Fit(data));
+  ASSERT_EQ(pca.eigenvalues().size(), 4u);
+  EXPECT_GT(pca.eigenvalues()[0], 50 * pca.eigenvalues()[1]);
+  // Transformed first coordinate variance >> later coordinates.
+  const Dataset t = pca.Transform(data);
+  Scalar var0 = 0, var3 = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    var0 += t.point(i)[0] * t.point(i)[0];
+    var3 += t.point(i)[3] * t.point(i)[3];
+  }
+  EXPECT_GT(var0, 50 * var3);
+}
+
+TEST(PcaTest, TransformCentersData) {
+  const Dataset data = RandomDataset(3, 2000, 4);
+  ASSERT_OK_AND_ASSIGN(const PcaTransform pca, PcaTransform::Fit(data));
+  const Dataset t = pca.Transform(data);
+  const std::vector<Scalar> mean = Mean(t);
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(mean[d], 0.0, 1e-9);
+}
+
+TEST(PcaTest, RejectsEmptySample) {
+  EXPECT_FALSE(PcaTransform::Fit(Dataset(2)).ok());
+}
+
+TEST(GridOrderTest, SegmentsPartitionTheBox) {
+  const Scalar lo[1] = {0}, hi[1] = {10};
+  const GridOrder g(Rect::FromBounds(lo, hi, 1), 5);
+  EXPECT_EQ(g.Segment(0, 0.0), 0);
+  EXPECT_EQ(g.Segment(0, 1.9), 0);
+  EXPECT_EQ(g.Segment(0, 2.1), 1);
+  EXPECT_EQ(g.Segment(0, 9.99), 4);
+  EXPECT_EQ(g.Segment(0, 10.0), 4);   // top edge clamps into last segment
+  EXPECT_EQ(g.Segment(0, -5.0), 0);   // clamped
+  EXPECT_EQ(g.Segment(0, 50.0), 4);   // clamped
+}
+
+TEST(GridOrderTest, OrderIsLexicographicOnCells) {
+  const Dataset data = RandomDataset(2, 1000, 5);
+  const GridOrder g(data.BoundingBox(), 8);
+  const std::vector<size_t> order = g.SortedOrder(data);
+  ASSERT_EQ(order.size(), data.size());
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_FALSE(g.CellLess(data.point(order[i]), data.point(order[i - 1])))
+        << "order violated at " << i;
+  }
+}
+
+TEST(GridOrderTest, SortedOrderIsPermutation) {
+  const Dataset data = RandomDataset(3, 500, 6);
+  const GridOrder g(data.BoundingBox(), 4);
+  std::vector<size_t> order = g.SortedOrder(data);
+  std::sort(order.begin(), order.end());
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+class GorderJoinTest : public ::testing::TestWithParam<int> {
+ protected:
+  MemDiskManager disk_;
+  BufferPool pool_{&disk_, 512};
+};
+
+TEST_P(GorderJoinTest, MatchesBruteForce) {
+  const int k = GetParam();
+  const Dataset r = RandomDataset(3, 500, 7);
+  const Dataset s = RandomDataset(3, 700, 8);
+  GorderOptions opts;
+  opts.k = k;
+  opts.segments_per_dim = 10;
+  std::vector<NeighborList> got;
+  GorderStats stats;
+  ASSERT_OK(GorderJoin(r, s, &pool_, opts, &got, &stats));
+  EXPECT_EQ(got.size(), r.size());
+  EXPECT_GT(stats.blocks_r, 0u);
+  ExpectExactAknn(r, s, k, std::move(got));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, GorderJoinTest, ::testing::Values(1, 4, 10),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST_F(GorderJoinTest, ClusteredHighDimExact) {
+  GstdSpec spec;
+  spec.dim = 6;
+  spec.count = 1000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 9;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  GorderOptions opts;
+  opts.segments_per_dim = 6;
+  std::vector<NeighborList> got;
+  ASSERT_OK(GorderJoin(r, s, &pool_, opts, &got));
+  ExpectExactAknn(r, s, 1, std::move(got));
+}
+
+TEST_F(GorderJoinTest, TinyBlocksStillExact) {
+  const Dataset r = RandomDataset(2, 300, 10);
+  const Dataset s = RandomDataset(2, 400, 11);
+  GorderOptions opts;
+  opts.pages_per_block = 1;
+  opts.segments_per_dim = 4;
+  std::vector<NeighborList> got;
+  ASSERT_OK(GorderJoin(r, s, &pool_, opts, &got));
+  ExpectExactAknn(r, s, 1, std::move(got));
+}
+
+TEST_F(GorderJoinTest, BlockPruningActuallySkipsPairs) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 8000;
+  spec.distribution = Distribution::kClustered;
+  spec.clusters = 20;
+  spec.seed = 12;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  GorderOptions opts;
+  opts.pages_per_block = 1;
+  std::vector<NeighborList> got;
+  GorderStats stats;
+  ASSERT_OK(GorderJoin(r, s, &pool_, opts, &got, &stats));
+  // Without pruning every pair would be joined.
+  EXPECT_LT(stats.block_pairs_joined, stats.blocks_r * stats.blocks_s / 2);
+}
+
+TEST_F(GorderJoinTest, RejectsBadInputs) {
+  const Dataset r = RandomDataset(2, 10, 13);
+  const Dataset s3 = RandomDataset(3, 10, 14);
+  std::vector<NeighborList> got;
+  EXPECT_TRUE(
+      GorderJoin(r, s3, &pool_, GorderOptions{}, &got).IsInvalidArgument());
+  GorderOptions bad_k;
+  bad_k.k = 0;
+  const Dataset s = RandomDataset(2, 10, 15);
+  EXPECT_TRUE(GorderJoin(r, s, &pool_, bad_k, &got).IsInvalidArgument());
+  EXPECT_TRUE(GorderJoin(Dataset(2), s, &pool_, GorderOptions{}, &got)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,115 @@
+#include "index/grid/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ann/mba.h"
+#include "ann/validate.h"
+#include "datagen/gstd.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(GridIndexTest, InvariantsAndRangeQueries) {
+  const Dataset data = RandomDataset(2, 4000, 1);
+  GridIndexOptions opts;
+  opts.target_per_cell = 32;
+  ASSERT_OK_AND_ASSIGN(const GridIndex grid, GridIndex::Build(data, opts));
+  ASSERT_OK(grid.CheckInvariants());
+  EXPECT_GT(grid.occupied_cells(), 16u);
+
+  const MemIndexView view(&grid.tree());
+  Rng rng(2);
+  for (int q = 0; q < 15; ++q) {
+    const Rect range = RandomRect(2, &rng);
+    std::vector<uint64_t> got;
+    ASSERT_OK(RangeQuery(view, range, &got));
+    std::sort(got.begin(), got.end());
+    std::vector<uint64_t> want;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (range.ContainsPoint(data.point(i))) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(GridIndexTest, MbaOverGridIsExactAndValidatorAgrees) {
+  GstdSpec spec;
+  spec.dim = 3;
+  spec.count = 1400;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 3;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  ASSERT_OK_AND_ASSIGN(const GridIndex gr, GridIndex::Build(r));
+  ASSERT_OK_AND_ASSIGN(const GridIndex gs, GridIndex::Build(s));
+  const MemIndexView ir(&gr.tree());
+  const MemIndexView is(&gs.tree());
+  AnnOptions opts;
+  opts.k = 4;
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(ir, is, opts, &got));
+  ASSERT_OK(ValidateAknnResults(r, s, 4, got));
+}
+
+TEST(GridIndexTest, SkewConcentratesCells) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 6000;
+  spec.distribution = Distribution::kZipfSkewed;
+  spec.zipf_theta = 1.1;
+  spec.seed = 4;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  GridIndexOptions opts;
+  opts.target_per_cell = 64;
+  ASSERT_OK_AND_ASSIGN(const GridIndex grid, GridIndex::Build(data, opts));
+  ASSERT_OK(grid.CheckInvariants());
+  // The densest cell far exceeds the target — the non-adaptivity that
+  // makes grid/hash methods fragile on skew.
+  size_t max_cell = 0;
+  for (const MemNode& node : grid.tree().nodes) {
+    if (node.is_leaf) max_cell = std::max(max_cell, node.entries.size());
+  }
+  EXPECT_GT(max_cell, 4 * opts.target_per_cell);
+}
+
+TEST(GridIndexTest, SinglePointAndRejects) {
+  Dataset one(2);
+  const Scalar p[2] = {0.5, 0.5};
+  one.Append(p);
+  ASSERT_OK_AND_ASSIGN(const GridIndex grid, GridIndex::Build(one));
+  ASSERT_OK(grid.CheckInvariants());
+  EXPECT_EQ(grid.tree().num_objects, 1u);
+  EXPECT_FALSE(GridIndex::Build(Dataset(2)).ok());
+}
+
+TEST(ValidateTest, CatchesCorruptedResults) {
+  const Dataset r = RandomDataset(2, 60, 5);
+  const Dataset s = RandomDataset(2, 80, 6);
+  std::vector<NeighborList> good;
+  ASSERT_OK(BruteForceAknn(r, s, 2, &good));
+  ASSERT_OK(ValidateAknnResults(r, s, 2, good));
+
+  // Wrong distance.
+  auto bad = good;
+  bad[10].neighbors[0].second += 0.5;
+  EXPECT_TRUE(ValidateAknnResults(r, s, 2, bad).IsInternal());
+  // Wrong id for the right distance.
+  bad = good;
+  bad[10].neighbors[0].first = (bad[10].neighbors[0].first + 1) % s.size();
+  EXPECT_TRUE(ValidateAknnResults(r, s, 2, bad).IsInternal());
+  // Missing list.
+  bad = good;
+  bad.pop_back();
+  EXPECT_TRUE(ValidateAknnResults(r, s, 2, bad).IsInternal());
+  // Duplicate query id.
+  bad = good;
+  bad[3].r_id = bad[4].r_id;
+  EXPECT_TRUE(ValidateAknnResults(r, s, 2, bad).IsInternal());
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,108 @@
+#include "common/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/zorder.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+Rect UnitBox(int dim) {
+  Rect r;
+  r.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    r.lo[d] = 0;
+    r.hi[d] = 1;
+  }
+  return r;
+}
+
+TEST(HilbertTest, BijectiveOnSmallGrid2D) {
+  // Every cell of an 8x8 grid must map to a distinct key, and the keys
+  // must cover a contiguous-like range (a permutation of cell ids is not
+  // required at reduced precision, but distinctness is).
+  const HilbertCurve h(UnitBox(2));
+  std::set<uint64_t> keys;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      const Scalar p[2] = {(x + 0.5) / 8, (y + 0.5) / 8};
+      keys.insert(h.Key(p));
+    }
+  }
+  EXPECT_EQ(keys.size(), 64u);
+}
+
+TEST(HilbertTest, AdjacentCellsOnCurveAreAdjacentInSpace) {
+  // The defining Hilbert property: consecutive curve positions are
+  // neighboring grid cells. Verify on a 32x32 grid by sorting all cells
+  // by key and checking each hop moves by exactly one cell in one
+  // dimension.
+  const HilbertCurve h(UnitBox(2));
+  const int g = 32;
+  std::vector<std::pair<uint64_t, std::pair<int, int>>> cells;
+  for (int x = 0; x < g; ++x) {
+    for (int y = 0; y < g; ++y) {
+      const Scalar p[2] = {(x + 0.5) / g, (y + 0.5) / g};
+      cells.push_back({h.Key(p), {x, y}});
+    }
+  }
+  std::sort(cells.begin(), cells.end());
+  for (size_t i = 1; i < cells.size(); ++i) {
+    const auto& [x1, y1] = cells[i - 1].second;
+    const auto& [x2, y2] = cells[i].second;
+    const int manhattan = std::abs(x1 - x2) + std::abs(y1 - y2);
+    EXPECT_EQ(manhattan, 1) << "hop " << i;
+  }
+}
+
+TEST(HilbertTest, SortedOrderIsAPermutation) {
+  const Dataset data = RandomDataset(3, 400, 5);
+  const HilbertCurve h(data.BoundingBox());
+  std::vector<size_t> order = h.SortedOrder(data);
+  std::sort(order.begin(), order.end());
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(HilbertTest, BetterLocalityThanZOrder) {
+  // Average hop distance along the curve order: Hilbert must beat Z-order
+  // (which jumps at quadrant boundaries).
+  const Dataset data = RandomDataset(2, 6000, 9);
+  const auto hop_sum = [&data](const std::vector<size_t>& order) {
+    double total = 0;
+    for (size_t i = 1; i < order.size(); ++i) {
+      total += std::sqrt(
+          PointDist2(data.point(order[i - 1]), data.point(order[i]), 2));
+    }
+    return total;
+  };
+  const double hilbert =
+      hop_sum(HilbertCurve(data.BoundingBox()).SortedOrder(data));
+  const double zorder = hop_sum(ZOrder(data.BoundingBox()).SortedOrder(data));
+  EXPECT_LT(hilbert, zorder);
+}
+
+TEST(HilbertTest, WorksAcrossDimensions) {
+  for (int dim : {1, 2, 3, 4, 6, 8, 10, 16}) {
+    const Dataset data = RandomDataset(dim, 100, 20 + dim);
+    const HilbertCurve h(data.BoundingBox());
+    std::set<uint64_t> keys;
+    for (size_t i = 0; i < data.size(); ++i) keys.insert(h.Key(data.point(i)));
+    // Random distinct points should nearly all get distinct keys.
+    EXPECT_GT(keys.size(), 95u) << "dim " << dim;
+  }
+}
+
+TEST(HilbertTest, ClampsOutOfBoxPoints) {
+  const HilbertCurve h(UnitBox(2));
+  const Scalar below[2] = {-3, -3};
+  const Scalar lo[2] = {0, 0};
+  EXPECT_EQ(h.Key(below), h.Key(lo));
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,135 @@
+#include "baselines/hnn.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/gstd.h"
+#include "storage/disk_manager.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+class HnnTest : public ::testing::TestWithParam<int> {
+ protected:
+  MemDiskManager disk_;
+  BufferPool pool_{&disk_, 128};
+};
+
+TEST_P(HnnTest, MatchesBruteForce) {
+  const int k = GetParam();
+  const Dataset r = RandomDataset(2, 700, 1);
+  const Dataset s = RandomDataset(2, 900, 2);
+  HnnOptions opts;
+  opts.k = k;
+  std::vector<NeighborList> got;
+  HnnStats stats;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, opts, &got, &stats));
+  EXPECT_GT(stats.cells, 1u);
+  ExpectExactAknn(r, s, k, std::move(got));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, HnnTest, ::testing::Values(1, 3, 8),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST_F(HnnTest, HighDimensionalExact) {
+  const Dataset r = RandomDataset(8, 300, 3);
+  const Dataset s = RandomDataset(8, 400, 4);
+  std::vector<NeighborList> got;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, HnnOptions{}, &got));
+  ExpectExactAknn(r, s, 1, std::move(got));
+}
+
+TEST_F(HnnTest, QueriesOutsideTargetBoxExact) {
+  // R extends far beyond S's bounding box: ring termination must stay
+  // correct for clamped query cells.
+  Rng rng(5);
+  Dataset r(2), s(2);
+  for (int i = 0; i < 300; ++i) {
+    const Scalar pr[2] = {rng.Uniform(-3, 4), rng.Uniform(-3, 4)};
+    r.Append(pr);
+    const Scalar ps[2] = {rng.NextDouble(), rng.NextDouble()};
+    s.Append(ps);
+  }
+  std::vector<NeighborList> got;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, HnnOptions{}, &got, nullptr));
+  ExpectExactAknn(r, s, 1, std::move(got));
+}
+
+TEST_F(HnnTest, SkewedDataExactButImbalanced) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 4000;
+  spec.distribution = Distribution::kZipfSkewed;
+  spec.zipf_theta = 1.1;
+  spec.seed = 6;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  HnnOptions opts;
+  std::vector<NeighborList> got;
+  HnnStats stats;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, opts, &got, &stats));
+  ExpectExactAknn(r, s, 1, std::move(got));
+  // Skew indicator: the densest cell holds far more than the target.
+  EXPECT_GT(stats.max_cell_points,
+            4 * s.size() / std::max<uint64_t>(1, stats.cells));
+}
+
+TEST_F(HnnTest, TinyTargetSetExact) {
+  const Dataset r = RandomDataset(3, 100, 7);
+  const Dataset s = RandomDataset(3, 3, 8);
+  HnnOptions opts;
+  opts.k = 5;  // more than |S|
+  std::vector<NeighborList> got;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, opts, &got));
+  ExpectExactAknn(r, s, 5, std::move(got));
+}
+
+TEST_F(HnnTest, DuplicatePointsExact) {
+  Rng rng(9);
+  Dataset r(2), s(2);
+  for (int i = 0; i < 200; ++i) {
+    const Scalar p[2] = {rng.UniformInt(4) * 0.25, rng.UniformInt(4) * 0.25};
+    r.Append(p);
+    s.Append(p);
+  }
+  HnnOptions opts;
+  opts.k = 3;
+  std::vector<NeighborList> got;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, opts, &got));
+  ExpectExactAknn(r, s, 3, std::move(got));
+}
+
+TEST_F(HnnTest, RejectsBadInputs) {
+  const Dataset r = RandomDataset(2, 10, 10);
+  const Dataset s3 = RandomDataset(3, 10, 11);
+  std::vector<NeighborList> got;
+  EXPECT_TRUE(HashNearestNeighbors(r, s3, &pool_, HnnOptions{}, &got)
+                  .IsInvalidArgument());
+  HnnOptions bad;
+  bad.k = 0;
+  const Dataset s = RandomDataset(2, 10, 12);
+  EXPECT_TRUE(
+      HashNearestNeighbors(r, s, &pool_, bad, &got).IsInvalidArgument());
+  EXPECT_TRUE(HashNearestNeighbors(Dataset(2), s, &pool_, HnnOptions{}, &got)
+                  .IsInvalidArgument());
+}
+
+TEST_F(HnnTest, CurveChoiceDoesNotChangeResults) {
+  const Dataset r = RandomDataset(2, 400, 13);
+  const Dataset s = RandomDataset(2, 400, 14);
+  HnnOptions opts;
+  opts.curve = CurveOrder::kZOrder;
+  std::vector<NeighborList> z_got;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, opts, &z_got));
+  opts.curve = CurveOrder::kHilbert;
+  std::vector<NeighborList> h_got;
+  ASSERT_OK(HashNearestNeighbors(r, s, &pool_, opts, &h_got));
+  ExpectExactAknn(r, s, 1, std::move(z_got));
+  ExpectExactAknn(r, s, 1, std::move(h_got));
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,125 @@
+#include "index/index_file.h"
+
+#include <gtest/gtest.h>
+
+#include "ann/mba.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IndexFileTest, CreateAddSyncOpenQuery) {
+  const std::string path = TempPath("roundtrip.ann");
+  const Dataset r = RandomDataset(2, 800, 1);
+  const Dataset s = RandomDataset(2, 900, 2);
+
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Create(path, 256));
+    ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+    ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+    ASSERT_OK(file->AddIndex("queries", qr.Finalize()));
+    ASSERT_OK(file->AddIndex("targets", qs.Finalize()));
+    ASSERT_OK(file->Sync());
+  }  // file closed
+
+  ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Open(path, 64));
+  EXPECT_EQ(file->IndexNames(),
+            (std::vector<std::string>{"queries", "targets"}));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta mr, file->GetIndex("queries"));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta ms, file->GetIndex("targets"));
+  EXPECT_EQ(mr.num_objects, r.size());
+  EXPECT_EQ(ms.num_objects, s.size());
+
+  const PagedIndexView ir = file->View(mr);
+  const PagedIndexView is = file->View(ms);
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+  ExpectExactAknn(r, s, 1, std::move(got));
+}
+
+TEST(IndexFileTest, MixedIndexKindsInOneFile) {
+  const std::string path = TempPath("mixed.ann");
+  const Dataset data = RandomDataset(3, 500, 3);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Create(path, 256));
+    ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+    ASSERT_OK_AND_ASSIGN(const RStarTree rt, RStarTree::BulkLoadStr(data));
+    ASSERT_OK(file->AddIndex("quadtree", qt.Finalize()));
+    ASSERT_OK(file->AddIndex("rstar", rt.tree()));
+    ASSERT_OK(file->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Open(path, 64));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta mq, file->GetIndex("quadtree"));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta ms, file->GetIndex("rstar"));
+  // Both indexes over the same data must agree on a self-ANN query.
+  const PagedIndexView iq = file->View(mq);
+  const PagedIndexView is = file->View(ms);
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(iq, is, AnnOptions{}, &got));
+  ExpectExactAknn(data, data, 1, std::move(got));
+}
+
+TEST(IndexFileTest, ReplaceIndexUnderSameName) {
+  const std::string path = TempPath("replace.ann");
+  const Dataset small = RandomDataset(2, 50, 4);
+  const Dataset big = RandomDataset(2, 300, 5);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Create(path, 256));
+    ASSERT_OK_AND_ASSIGN(Mbrqt q1, Mbrqt::Build(small));
+    ASSERT_OK(file->AddIndex("data", q1.Finalize()));
+    ASSERT_OK(file->Sync());
+    ASSERT_OK_AND_ASSIGN(Mbrqt q2, Mbrqt::Build(big));
+    ASSERT_OK(file->AddIndex("data", q2.Finalize()));
+    ASSERT_OK(file->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Open(path, 64));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta, file->GetIndex("data"));
+  EXPECT_EQ(meta.num_objects, big.size());
+}
+
+TEST(IndexFileTest, EmptyCatalogRoundtrip) {
+  const std::string path = TempPath("empty.ann");
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Create(path, 16));
+    ASSERT_OK(file->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Open(path, 16));
+  EXPECT_TRUE(file->IndexNames().empty());
+  EXPECT_TRUE(file->GetIndex("nope").status().IsNotFound());
+}
+
+TEST(IndexFileTest, OpenRejectsGarbage) {
+  const std::string path = TempPath("garbage.ann");
+  {
+    // A page-sized file of zeros: right size, wrong magic.
+    ASSERT_OK_AND_ASSIGN(auto disk, FileDiskManager::Create(path));
+    ASSERT_OK_AND_ASSIGN(const PageId id, disk->AllocatePage());
+    (void)id;
+  }
+  EXPECT_TRUE(IndexFile::Open(path, 16).status().IsIOError());
+  EXPECT_FALSE(IndexFile::Open(TempPath("missing.ann"), 16).ok());
+}
+
+TEST(IndexFileTest, AddWithoutSyncIsNotVisibleAfterReopen) {
+  const std::string path = TempPath("nosync.ann");
+  const Dataset data = RandomDataset(2, 100, 6);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Create(path, 256));
+    ASSERT_OK(file->Sync());  // durability point: empty catalog
+    ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+    ASSERT_OK(file->AddIndex("data", qt.Finalize()));
+    // no Sync for the addition — but the destructor flushes pages, so
+    // the superblock still points at the *old* (empty) catalog.
+  }
+  ASSERT_OK_AND_ASSIGN(auto file, IndexFile::Open(path, 64));
+  EXPECT_TRUE(file->GetIndex("data").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,96 @@
+#include "index/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/gstd.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(IndexStatsTest, CountsMatchTheTree) {
+  const Dataset data = RandomDataset(2, 3000, 1);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 32;
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data, opts));
+  const MemTree& tree = qt.Finalize();
+  const MemIndexView view(&tree);
+  ASSERT_OK_AND_ASSIGN(const IndexStatsReport report,
+                       CollectIndexStats(view));
+  EXPECT_EQ(report.objects, data.size());
+  EXPECT_EQ(report.height, tree.height);
+  EXPECT_EQ(report.internal_nodes + report.leaf_nodes, tree.nodes.size());
+  EXPECT_GT(report.avg_leaf_fill, 1.0);
+  EXPECT_FALSE(report.ToString().empty());
+  uint64_t level_nodes = 0;
+  for (const LevelStats& ls : report.levels) level_nodes += ls.nodes;
+  EXPECT_EQ(level_nodes, tree.nodes.size());
+}
+
+TEST(IndexStatsTest, MbrqtSiblingsNeverOverlap) {
+  // Regular quadtree decomposition: sibling cells are disjoint, so tight
+  // MBRs inside them are disjoint too — Section 3.2's core argument.
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 8000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 2;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+  const MemIndexView view(&qt.Finalize());
+  ASSERT_OK_AND_ASSIGN(const IndexStatsReport report,
+                       CollectIndexStats(view));
+  EXPECT_EQ(report.total_overlap_ratio, 0.0);
+}
+
+TEST(IndexStatsTest, InsertionBuiltRstarOverlaps) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 8000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 2;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  RStarOptions opts;
+  opts.leaf_capacity = 32;
+  opts.internal_capacity = 16;
+  RStarTree tree(2, opts);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+  }
+  const MemIndexView view(&tree.tree());
+  ASSERT_OK_AND_ASSIGN(const IndexStatsReport report,
+                       CollectIndexStats(view));
+  EXPECT_GT(report.total_overlap_ratio, 0.0);
+  EXPECT_EQ(report.objects, data.size());
+}
+
+TEST(IndexStatsTest, StrBulkLoadLeavesAreDisjoint) {
+  // STR tiles the points, so leaf MBRs (children of the last internal
+  // level) never overlap; the insertion-built tree's leaves do. (At upper
+  // levels the R* split's explicit overlap minimization can beat STR's
+  // tiling, so only the leaf level is a structural guarantee.)
+  const Dataset data = RandomDataset(2, 6000, 3);
+  RStarOptions opts;
+  opts.leaf_capacity = 32;
+  opts.internal_capacity = 16;
+  RStarTree inserted(2, opts);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(inserted.Insert(data.point(i), i));
+  }
+  ASSERT_OK_AND_ASSIGN(const RStarTree bulk,
+                       RStarTree::BulkLoadStr(data, opts));
+  const MemIndexView vi(&inserted.tree());
+  const MemIndexView vb(&bulk.tree());
+  ASSERT_OK_AND_ASSIGN(const IndexStatsReport ri, CollectIndexStats(vi));
+  ASSERT_OK_AND_ASSIGN(const IndexStatsReport rb, CollectIndexStats(vb));
+  // Leaf MBR overlap is accounted at the leaves' parent level
+  // (height - 2).
+  ASSERT_GE(rb.height, 2);
+  EXPECT_NEAR(rb.levels[rb.height - 2].overlap_ratio, 0.0, 1e-12);
+  EXPECT_GT(ri.levels[ri.height - 2].overlap_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace ann

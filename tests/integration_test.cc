@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "ann/mba.h"
+#include "baselines/bnn.h"
+#include "baselines/gorder/gorder_join.h"
+#include "baselines/mnn.h"
+#include "datagen/gstd.h"
+#include "datagen/real_sim.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/paged_index_view.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+/// A full disk-resident deployment of one dataset: disk, pool, node store
+/// and both persisted indexes — the configuration the benchmarks measure.
+class DiskDeployment {
+ public:
+  explicit DiskDeployment(size_t pool_frames = 1024)
+      : pool_(&disk_, pool_frames), store_(&pool_) {}
+
+  Status AddMbrqt(const Dataset& data, int bucket_capacity = 32) {
+    MbrqtOptions opts;
+    opts.bucket_capacity = bucket_capacity;
+    ANN_ASSIGN_OR_RETURN(Mbrqt qt, Mbrqt::Build(data, opts));
+    ANN_ASSIGN_OR_RETURN(mbrqt_meta_, PersistMemTree(qt.Finalize(), &store_));
+    return Status::OK();
+  }
+
+  Status AddRstar(const Dataset& data) {
+    RStarOptions opts;
+    opts.leaf_capacity = 32;
+    opts.internal_capacity = 16;
+    ANN_ASSIGN_OR_RETURN(const RStarTree rt,
+                         RStarTree::BulkLoadStr(data, opts));
+    ANN_ASSIGN_OR_RETURN(rstar_meta_, PersistMemTree(rt.tree(), &store_));
+    return Status::OK();
+  }
+
+  PagedIndexView MbrqtView() const { return {&store_, mbrqt_meta_}; }
+  PagedIndexView RstarView() const { return {&store_, rstar_meta_}; }
+
+  BufferPool* pool() { return &pool_; }
+  MemDiskManager* disk() { return &disk_; }
+
+ private:
+  MemDiskManager disk_;
+  BufferPool pool_;
+  NodeStore store_;
+  PersistedIndexMeta mbrqt_meta_;
+  PersistedIndexMeta rstar_meta_;
+};
+
+TEST(IntegrationTest, AllMethodsAgreeOnClusteredWorkload) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 4000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 1;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+
+  DiskDeployment dep_r, dep_s;
+  ASSERT_OK(dep_r.AddMbrqt(r));
+  ASSERT_OK(dep_s.AddMbrqt(s));
+  ASSERT_OK(dep_s.AddRstar(s));
+  DiskDeployment dep_r_rstar;
+  ASSERT_OK(dep_r_rstar.AddRstar(r));
+
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(r, s, 1, &want));
+
+  // MBA over persisted MBRQTs.
+  {
+    const PagedIndexView ir = dep_r.MbrqtView();
+    const PagedIndexView is = dep_s.MbrqtView();
+    std::vector<NeighborList> got;
+    ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+    ExpectResultsMatch(r, s, std::move(got), want);
+  }
+  // RBA over persisted R*-trees.
+  {
+    const PagedIndexView ir = dep_r_rstar.RstarView();
+    const PagedIndexView is = dep_s.RstarView();
+    std::vector<NeighborList> got;
+    ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+    ExpectResultsMatch(r, s, std::move(got), want);
+  }
+  // BNN over the persisted R*-tree.
+  {
+    const PagedIndexView is = dep_s.RstarView();
+    std::vector<NeighborList> got;
+    ASSERT_OK(BatchedNearestNeighbors(r, is, BnnOptions{}, &got));
+    ExpectResultsMatch(r, s, std::move(got), want);
+  }
+  // MNN over the persisted MBRQT.
+  {
+    const PagedIndexView is = dep_s.MbrqtView();
+    std::vector<NeighborList> got;
+    ASSERT_OK(MultipleNearestNeighbors(r, is, MnnOptions{}, &got));
+    ExpectResultsMatch(r, s, std::move(got), want);
+  }
+  // GORDER with its own storage.
+  {
+    MemDiskManager disk;
+    BufferPool pool(&disk, 256);
+    std::vector<NeighborList> got;
+    GorderOptions opts;
+    opts.segments_per_dim = 16;
+    ASSERT_OK(GorderJoin(r, s, &pool, opts, &got));
+    ExpectResultsMatch(r, s, std::move(got), want);
+  }
+}
+
+TEST(IntegrationTest, ResultsIndependentOfBufferPoolSize) {
+  const Dataset r = RandomDataset(2, 1500, 3);
+  const Dataset s = RandomDataset(2, 1500, 4);
+
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(r, s, 3, &want));
+
+  for (size_t frames : {4u, 64u, 1024u}) {
+    DiskDeployment dep_r(1024), dep_s(1024);
+    ASSERT_OK(dep_r.AddMbrqt(r));
+    ASSERT_OK(dep_s.AddMbrqt(s));
+    ASSERT_OK(dep_r.pool()->Reset(frames));
+    ASSERT_OK(dep_s.pool()->Reset(frames));
+    const PagedIndexView ir = dep_r.MbrqtView();
+    const PagedIndexView is = dep_s.MbrqtView();
+    AnnOptions opts;
+    opts.k = 3;
+    std::vector<NeighborList> got;
+    ASSERT_OK(AllNearestNeighbors(ir, is, opts, &got));
+    ExpectResultsMatch(r, s, std::move(got), want);
+  }
+}
+
+TEST(IntegrationTest, SmallPoolCausesMissesButSameAnswer) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 6000;
+  spec.distribution = Distribution::kUniform;
+  spec.seed = 5;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+
+  DiskDeployment dep(2048);
+  ASSERT_OK(dep.AddMbrqt(s));
+  DiskDeployment dep_r(2048);
+  ASSERT_OK(dep_r.AddMbrqt(r));
+
+  // Big pool run.
+  dep.pool()->ResetStats();
+  std::vector<NeighborList> got_big;
+  {
+    const PagedIndexView ir = dep_r.MbrqtView();
+    const PagedIndexView is = dep.MbrqtView();
+    ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got_big));
+  }
+  const uint64_t big_misses = dep.pool()->stats().pool_misses;
+
+  // Tiny pool run.
+  ASSERT_OK(dep.pool()->Reset(4));
+  dep.pool()->ResetStats();
+  std::vector<NeighborList> got_small;
+  {
+    const PagedIndexView ir = dep_r.MbrqtView();
+    const PagedIndexView is = dep.MbrqtView();
+    ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got_small));
+  }
+  const uint64_t small_misses = dep.pool()->stats().pool_misses;
+
+  EXPECT_GE(small_misses, big_misses);
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(r, s, 1, &want));
+  ExpectResultsMatch(r, s, std::move(got_big), want);
+  ExpectResultsMatch(r, s, std::move(got_small), want);
+}
+
+TEST(IntegrationTest, FileBackedDeploymentWorksEndToEnd) {
+  ASSERT_OK_AND_ASSIGN(
+      auto disk,
+      FileDiskManager::Create(::testing::TempDir() + "/integration.pages"));
+  BufferPool pool(disk.get(), 64);
+  NodeStore store(&pool);
+
+  const Dataset r = RandomDataset(2, 800, 6);
+  const Dataset s = RandomDataset(2, 800, 7);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qtr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qts, Mbrqt::Build(s));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta_r,
+                       PersistMemTree(qtr.Finalize(), &store));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta_s,
+                       PersistMemTree(qts.Finalize(), &store));
+  ASSERT_OK(pool.FlushAll());
+
+  const PagedIndexView ir(&store, meta_r);
+  const PagedIndexView is(&store, meta_s);
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+  ExpectExactAknn(r, s, 1, std::move(got));
+  EXPECT_GT(disk->stats().physical_writes, 0u);
+}
+
+TEST(IntegrationTest, TacLikeWorkloadAllIndexMethodsAgree) {
+  ASSERT_OK_AND_ASSIGN(const Dataset tac, MakeTacLike(6000));
+  Dataset r, s;
+  SplitHalves(tac, &r, &s);
+
+  DiskDeployment dep_r, dep_s;
+  ASSERT_OK(dep_r.AddMbrqt(r));
+  ASSERT_OK(dep_s.AddMbrqt(s));
+
+  AnnOptions opts;
+  opts.k = 5;
+  std::vector<NeighborList> got;
+  const PagedIndexView ir = dep_r.MbrqtView();
+  const PagedIndexView is = dep_s.MbrqtView();
+  ASSERT_OK(AllNearestNeighbors(ir, is, opts, &got));
+  ExpectExactAknn(r, s, 5, std::move(got));
+}
+
+TEST(IntegrationTest, ForestCoverLikeTenDimensions) {
+  ASSERT_OK_AND_ASSIGN(const Dataset fc, MakeForestCoverLike(3000));
+  Dataset r, s;
+  SplitHalves(fc, &r, &s);
+
+  DiskDeployment dep_r, dep_s;
+  ASSERT_OK(dep_r.AddMbrqt(r));
+  ASSERT_OK(dep_s.AddMbrqt(s));
+  const PagedIndexView ir = dep_r.MbrqtView();
+  const PagedIndexView is = dep_s.MbrqtView();
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+  ExpectExactAknn(r, s, 1, std::move(got));
+}
+
+TEST(IntegrationTest, MbaLocalityBeatsGorderUnderTinyPool) {
+  // The paper's Figure 3(b) claim, as a coarse assertion: at high
+  // dimensionality with a pool far smaller than the data, MBA's
+  // synchronized traversal produces far fewer pool misses than GORDER's
+  // repeated inner-file scans. Page-sized buckets (the paper's layout).
+  GstdSpec spec;
+  spec.dim = 10;
+  spec.count = 30000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 8;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+
+  DiskDeployment dep_r(4096), dep_s(4096);
+  ASSERT_OK(dep_r.AddMbrqt(r, /*bucket_capacity=*/0));
+  ASSERT_OK(dep_s.AddMbrqt(s, /*bucket_capacity=*/0));
+  ASSERT_OK(dep_r.pool()->Reset(32));
+  ASSERT_OK(dep_s.pool()->Reset(32));
+  dep_r.pool()->ResetStats();
+  dep_s.pool()->ResetStats();
+  std::vector<NeighborList> got;
+  {
+    const PagedIndexView ir = dep_r.MbrqtView();
+    const PagedIndexView is = dep_s.MbrqtView();
+    ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+  }
+  const uint64_t mba_misses =
+      dep_r.pool()->stats().pool_misses + dep_s.pool()->stats().pool_misses;
+
+  MemDiskManager gdisk;
+  BufferPool gpool(&gdisk, 32);
+  GorderOptions gopts;
+  gopts.segments_per_dim = 4;
+  std::vector<NeighborList> ggot;
+  ASSERT_OK(GorderJoin(r, s, &gpool, gopts, &ggot));
+  const uint64_t gorder_misses = gpool.stats().pool_misses;
+
+  EXPECT_EQ(got.size(), ggot.size());
+  EXPECT_LT(mba_misses, gorder_misses);
+}
+
+}  // namespace
+}  // namespace ann

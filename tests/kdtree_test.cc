@@ -1,0 +1,136 @@
+#include "index/kdtree/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ann/mba.h"
+#include "datagen/gstd.h"
+#include "index/index_stats.h"
+#include "index/paged_index_view.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::vector<uint64_t> BruteRange(const Dataset& data, const Rect& range) {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (range.ContainsPoint(data.point(i))) out.push_back(i);
+  }
+  return out;
+}
+
+class KdTreeBuildTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(KdTreeBuildTest, InvariantsAndRangeQueries) {
+  const auto [dim, count] = GetParam();
+  const Dataset data = RandomDataset(dim, count, 400 + dim);
+  KdTreeOptions opts;
+  opts.bucket_capacity = 16;
+  ASSERT_OK_AND_ASSIGN(const KdTree tree, KdTree::Build(data, opts));
+  EXPECT_EQ(tree.num_objects(), data.size());
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_GT(tree.height(), 1);
+
+  const MemIndexView view(&tree.tree());
+  Rng rng(dim);
+  for (int q = 0; q < 20; ++q) {
+    const Rect range = RandomRect(dim, &rng);
+    std::vector<uint64_t> got;
+    ASSERT_OK(RangeQuery(view, range, &got));
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteRange(data, range)) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSizes, KdTreeBuildTest,
+    ::testing::Values(std::make_tuple(2, 3000), std::make_tuple(4, 1500),
+                      std::make_tuple(8, 800)));
+
+TEST(KdTreeTest, RoundRobinSplitAlsoWorks) {
+  const Dataset data = RandomDataset(3, 2000, 1);
+  KdTreeOptions opts;
+  opts.bucket_capacity = 8;
+  opts.split_widest_dimension = false;
+  ASSERT_OK_AND_ASSIGN(const KdTree tree, KdTree::Build(data, opts));
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(KdTreeTest, TinyAndDuplicateInputs) {
+  for (size_t n : {1u, 2u, 17u}) {
+    const Dataset data = RandomDataset(2, n, 100 + n);
+    ASSERT_OK_AND_ASSIGN(const KdTree tree, KdTree::Build(data));
+    ASSERT_OK(tree.CheckInvariants());
+    EXPECT_EQ(tree.num_objects(), n);
+  }
+  // All-identical points still build a balanced tree.
+  Dataset dup(2);
+  const Scalar p[2] = {0.5, 0.5};
+  for (int i = 0; i < 300; ++i) dup.Append(p);
+  KdTreeOptions opts;
+  opts.bucket_capacity = 16;
+  ASSERT_OK_AND_ASSIGN(const KdTree tree, KdTree::Build(dup, opts));
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.num_objects(), 300u);
+}
+
+TEST(KdTreeTest, RejectsEmptyAndBadDim) {
+  EXPECT_FALSE(KdTree::Build(Dataset(2)).ok());
+}
+
+TEST(KdTreeTest, MbaOverKdTreesIsExact) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 1600;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 3;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  KdTreeOptions opts;
+  opts.bucket_capacity = 16;
+  ASSERT_OK_AND_ASSIGN(const KdTree tr, KdTree::Build(r, opts));
+  ASSERT_OK_AND_ASSIGN(const KdTree ts, KdTree::Build(s, opts));
+  const MemIndexView ir(&tr.tree());
+  const MemIndexView is(&ts.tree());
+  for (int k : {1, 5}) {
+    AnnOptions aopts;
+    aopts.k = k;
+    std::vector<NeighborList> got;
+    ASSERT_OK(AllNearestNeighbors(ir, is, aopts, &got));
+    ExpectExactAknn(r, s, k, std::move(got));
+  }
+}
+
+TEST(KdTreeTest, PersistedViewMatches) {
+  const Dataset data = RandomDataset(4, 2500, 5);
+  ASSERT_OK_AND_ASSIGN(const KdTree tree, KdTree::Build(data));
+  MemDiskManager disk;
+  BufferPool pool(&disk, 256);
+  NodeStore store(&pool);
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta,
+                       PersistMemTree(tree.tree(), &store));
+  EXPECT_EQ(meta.num_objects, data.size());
+  const PagedIndexView view(&store, meta);
+  std::vector<uint64_t> got;
+  ASSERT_OK(RangeQuery(view, data.BoundingBox(), &got));
+  EXPECT_EQ(got.size(), data.size());
+}
+
+TEST(KdTreeTest, SiblingOverlapIsNearZero) {
+  // Median cuts partition the points, so sibling MBRs only overlap on the
+  // cut plane when duplicates straddle it — the overlap *area* of random
+  // continuous data is zero.
+  const Dataset data = RandomDataset(2, 5000, 6);
+  ASSERT_OK_AND_ASSIGN(const KdTree tree, KdTree::Build(data));
+  const MemIndexView view(&tree.tree());
+  ASSERT_OK_AND_ASSIGN(const IndexStatsReport report,
+                       CollectIndexStats(view));
+  EXPECT_NEAR(report.total_overlap_ratio, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ann

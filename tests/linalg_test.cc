@@ -1,0 +1,114 @@
+#include "common/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Matrix m(3);
+  m.at(0, 0) = 3;
+  m.at(1, 1) = 1;
+  m.at(2, 2) = 2;
+  ASSERT_OK_AND_ASSIGN(const EigenDecomposition eig, SymmetricEigen(m));
+  EXPECT_NEAR(eig.values[0], 3, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1, 1e-12);
+}
+
+TEST(SymmetricEigenTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors along the
+  // diagonals.
+  Matrix m(2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  ASSERT_OK_AND_ASSIGN(const EigenDecomposition eig, SymmetricEigen(m));
+  EXPECT_NEAR(eig.values[0], 3, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1, 1e-12);
+  EXPECT_NEAR(std::abs(eig.vectors.at(0, 0)), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(std::abs(eig.vectors.at(0, 1)), std::sqrt(0.5), 1e-9);
+}
+
+TEST(SymmetricEigenTest, RejectsAsymmetric) {
+  Matrix m(2);
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 2;
+  EXPECT_TRUE(SymmetricEigen(m).status().IsInvalidArgument());
+}
+
+TEST(SymmetricEigenTest, RejectsEmpty) {
+  EXPECT_TRUE(SymmetricEigen(Matrix()).status().IsInvalidArgument());
+}
+
+TEST(SymmetricEigenTest, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(7));
+    Matrix m(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        m.at(i, j) = rng.Uniform(-2, 2);
+        m.at(j, i) = m.at(i, j);
+      }
+    }
+    ASSERT_OK_AND_ASSIGN(const EigenDecomposition eig, SymmetricEigen(m));
+    // Eigenvalues descending.
+    for (int i = 1; i < n; ++i) EXPECT_LE(eig.values[i], eig.values[i - 1]);
+    // Rows of `vectors` are orthonormal.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        Scalar dot = 0;
+        for (int c = 0; c < n; ++c) {
+          dot += eig.vectors.at(i, c) * eig.vectors.at(j, c);
+        }
+        EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+      }
+    }
+    // A v = lambda v.
+    for (int i = 0; i < n; ++i) {
+      for (int r = 0; r < n; ++r) {
+        Scalar av = 0;
+        for (int c = 0; c < n; ++c) av += m.at(r, c) * eig.vectors.at(i, c);
+        EXPECT_NEAR(av, eig.values[i] * eig.vectors.at(i, r), 1e-7);
+      }
+    }
+  }
+}
+
+TEST(CovarianceTest, MeanAndCovarianceOfKnownData) {
+  Dataset d(2);
+  const Scalar pts[4][2] = {{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  for (const auto& p : pts) d.Append(p);
+  const std::vector<Scalar> mean = Mean(d);
+  EXPECT_DOUBLE_EQ(mean[0], 1);
+  EXPECT_DOUBLE_EQ(mean[1], 1);
+  const Matrix cov = Covariance(d);
+  EXPECT_DOUBLE_EQ(cov.at(0, 0), 1);
+  EXPECT_DOUBLE_EQ(cov.at(1, 1), 1);
+  EXPECT_DOUBLE_EQ(cov.at(0, 1), 0);
+}
+
+TEST(CovarianceTest, CorrelatedDataHasDominantDirection) {
+  Rng rng(8);
+  Dataset d(2);
+  for (int i = 0; i < 5000; ++i) {
+    const Scalar t = rng.Gaussian();
+    const Scalar p[2] = {t, t + 0.01 * rng.Gaussian()};
+    d.Append(p);
+  }
+  ASSERT_OK_AND_ASSIGN(const EigenDecomposition eig,
+                       SymmetricEigen(Covariance(d)));
+  EXPECT_GT(eig.values[0], 100 * eig.values[1]);
+  // Principal direction ~ (1,1)/sqrt(2).
+  EXPECT_NEAR(std::abs(eig.vectors.at(0, 0)), std::sqrt(0.5), 0.02);
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,164 @@
+#include "ann/lpq.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+IndexEntry NodeEntry(uint64_t id) {
+  Rect r = Rect::Empty(2);
+  const Scalar p[2] = {0, 0};
+  r.ExpandToPoint(p);
+  return IndexEntry::Node(r, id);
+}
+
+LpqEntry Entry(uint64_t id, Scalar mind2, Scalar maxd2) {
+  LpqEntry e;
+  e.entry = NodeEntry(id);
+  e.mind2 = mind2;
+  e.maxd2 = maxd2;
+  return e;
+}
+
+TEST(LpqTest, DequeuesInMindOrder) {
+  Lpq lpq(NodeEntry(0), kInf, 1);
+  PruneStats stats;
+  lpq.Enqueue(Entry(1, 5, 100), &stats);
+  lpq.Enqueue(Entry(2, 1, 100), &stats);
+  lpq.Enqueue(Entry(3, 3, 100), &stats);
+  LpqEntry out;
+  ASSERT_TRUE(lpq.Dequeue(&out));
+  EXPECT_EQ(out.entry.id, 2u);
+  ASSERT_TRUE(lpq.Dequeue(&out));
+  EXPECT_EQ(out.entry.id, 3u);
+  ASSERT_TRUE(lpq.Dequeue(&out));
+  EXPECT_EQ(out.entry.id, 1u);
+  EXPECT_FALSE(lpq.Dequeue(&out));
+}
+
+TEST(LpqTest, MindTiesBrokenBySmallerMaxd) {
+  Lpq lpq(NodeEntry(0), kInf, 1);
+  PruneStats stats;
+  lpq.Enqueue(Entry(1, 2, 50), &stats);
+  lpq.Enqueue(Entry(2, 2, 10), &stats);
+  LpqEntry out;
+  ASSERT_TRUE(lpq.Dequeue(&out));
+  EXPECT_EQ(out.entry.id, 2u);
+}
+
+TEST(LpqTest, BoundTightensToMinMaxdForK1) {
+  Lpq lpq(NodeEntry(0), kInf, 1);
+  PruneStats stats;
+  EXPECT_EQ(lpq.bound2(), kInf);
+  lpq.Enqueue(Entry(1, 0, 9), &stats);
+  EXPECT_EQ(lpq.bound2(), 9);
+  lpq.Enqueue(Entry(2, 0, 4), &stats);
+  EXPECT_EQ(lpq.bound2(), 4);
+  lpq.Enqueue(Entry(3, 0, 16), &stats);  // looser: no change
+  EXPECT_EQ(lpq.bound2(), 4);
+}
+
+TEST(LpqTest, EntryAboveBoundIsRejected) {
+  Lpq lpq(NodeEntry(0), 10.0, 1);
+  PruneStats stats;
+  EXPECT_FALSE(lpq.Enqueue(Entry(1, 11, 20), &stats));
+  EXPECT_EQ(stats.pruned_on_entry, 1u);
+  EXPECT_TRUE(lpq.Enqueue(Entry(2, 10, 20), &stats));  // ties admitted
+}
+
+TEST(LpqTest, FilterStageEvictsTailOnTighterBound) {
+  Lpq lpq(NodeEntry(0), kInf, 1);
+  PruneStats stats;
+  lpq.Enqueue(Entry(1, 1, 100), &stats);
+  lpq.Enqueue(Entry(2, 8, 100), &stats);
+  lpq.Enqueue(Entry(3, 9, 100), &stats);
+  ASSERT_EQ(lpq.size(), 3u);
+  // New entry with MAXD 5 kills queued entries with MIND > 5.
+  lpq.Enqueue(Entry(4, 2, 5), &stats);
+  EXPECT_EQ(stats.pruned_by_filter, 2u);
+  EXPECT_EQ(lpq.size(), 2u);  // ids 1 and 4
+  LpqEntry out;
+  ASSERT_TRUE(lpq.Dequeue(&out));
+  EXPECT_EQ(out.entry.id, 1u);
+  ASSERT_TRUE(lpq.Dequeue(&out));
+  EXPECT_EQ(out.entry.id, 4u);
+}
+
+TEST(LpqTest, InheritedBoundActsImmediately) {
+  Lpq lpq(NodeEntry(0), 4.0, 1);
+  PruneStats stats;
+  EXPECT_FALSE(lpq.Enqueue(Entry(1, 5, 6), &stats));
+  EXPECT_TRUE(lpq.Enqueue(Entry(2, 3, 3.5), &stats));
+  EXPECT_EQ(lpq.bound2(), 3.5);
+}
+
+TEST(LpqTest, AknnBoundRequiresKEntries) {
+  Lpq lpq(NodeEntry(0), kInf, 3);
+  PruneStats stats;
+  lpq.Enqueue(Entry(1, 0, 1), &stats);
+  EXPECT_EQ(lpq.bound2(), kInf);  // only 1 witness
+  lpq.Enqueue(Entry(2, 0, 2), &stats);
+  EXPECT_EQ(lpq.bound2(), kInf);  // only 2 witnesses
+  lpq.Enqueue(Entry(3, 0, 5), &stats);
+  EXPECT_EQ(lpq.bound2(), 5);  // 3rd smallest MAXD
+  lpq.Enqueue(Entry(4, 0, 3), &stats);
+  EXPECT_EQ(lpq.bound2(), 3);  // new 3rd smallest: {1,2,3}
+}
+
+TEST(LpqTest, AknnBoundSurvivesDequeues) {
+  // The bound is historical: dequeuing entries must not loosen it.
+  Lpq lpq(NodeEntry(0), kInf, 2);
+  PruneStats stats;
+  lpq.Enqueue(Entry(1, 0, 1), &stats);
+  lpq.Enqueue(Entry(2, 0, 2), &stats);
+  EXPECT_EQ(lpq.bound2(), 2);
+  LpqEntry out;
+  lpq.Dequeue(&out);
+  lpq.Dequeue(&out);
+  EXPECT_EQ(lpq.bound2(), 2);
+  EXPECT_FALSE(lpq.Enqueue(Entry(3, 2.5, 9), &stats));
+}
+
+TEST(LpqTest, StatsCountAttemptsAndSuccesses) {
+  Lpq lpq(NodeEntry(0), 1.0, 1);
+  PruneStats stats;
+  lpq.Enqueue(Entry(1, 0.5, 2), &stats);
+  lpq.Enqueue(Entry(2, 5, 9), &stats);
+  EXPECT_EQ(stats.enqueue_attempts, 2u);
+  EXPECT_EQ(stats.enqueued, 1u);
+  EXPECT_EQ(stats.pruned_on_entry, 1u);
+}
+
+TEST(LpqTest, LargeChurnKeepsOrder) {
+  Lpq lpq(NodeEntry(0), kInf, 1);
+  PruneStats stats;
+  Rng rng(5);
+  // Interleave enqueues and dequeues; popped mind2 must never decrease
+  // relative to the previous pop when no smaller entry was added after.
+  Scalar last = -1;
+  int pops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    lpq.Enqueue(Entry(i, rng.Uniform(0, 1000), kInf), &stats);
+    if (i % 3 == 0) {
+      LpqEntry out;
+      if (lpq.Dequeue(&out)) {
+        ++pops;
+        (void)last;
+        last = out.mind2;
+      }
+    }
+  }
+  // Drain: now pops must be monotone.
+  LpqEntry out;
+  Scalar prev = -1;
+  while (lpq.Dequeue(&out)) {
+    EXPECT_GE(out.mind2, prev);
+    prev = out.mind2;
+  }
+  EXPECT_GT(pops, 0);
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,289 @@
+#include "ann/mba.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ann/brute_force.h"
+#include "datagen/gstd.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+enum class IndexKind { kMbrqt, kRstar };
+
+const char* ToString(IndexKind k) {
+  return k == IndexKind::kMbrqt ? "MBRQT" : "RSTAR";
+}
+
+/// Owns a built tree plus its SpatialIndex view.
+struct BuiltIndex {
+  std::unique_ptr<Mbrqt> qt;
+  std::unique_ptr<RStarTree> rt;
+  MemTree tree;  // for the quadtree case Finalize() result is copied here
+  std::unique_ptr<MemIndexView> view;
+};
+
+BuiltIndex BuildIndex(IndexKind kind, const Dataset& data) {
+  BuiltIndex out;
+  if (kind == IndexKind::kMbrqt) {
+    MbrqtOptions opts;
+    opts.bucket_capacity = 16;
+    auto res = Mbrqt::Build(data, opts);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    out.qt = std::make_unique<Mbrqt>(std::move(res).value());
+    out.view = std::make_unique<MemIndexView>(&out.qt->Finalize());
+  } else {
+    RStarOptions opts;
+    opts.leaf_capacity = 16;
+    opts.internal_capacity = 8;
+    auto res = RStarTree::BulkLoadStr(data, opts);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    out.rt = std::make_unique<RStarTree>(std::move(res).value());
+    out.view = std::make_unique<MemIndexView>(&out.rt->tree());
+  }
+  return out;
+}
+
+struct Config {
+  IndexKind index;
+  PruneMetric metric;
+  Traversal traversal;
+  Expansion expansion;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  const Config& c = info.param;
+  return std::string(ToString(c.index)) + "_" + ToString(c.metric) + "_" +
+         ToString(c.traversal) + "_" + ToString(c.expansion);
+}
+
+class AnnConfigTest : public ::testing::TestWithParam<Config> {
+ protected:
+  void RunAndCheck(const Dataset& r, const Dataset& s, int k) {
+    const Config& c = GetParam();
+    const BuiltIndex ir = BuildIndex(c.index, r);
+    const BuiltIndex is = BuildIndex(c.index, s);
+    AnnOptions opts;
+    opts.metric = c.metric;
+    opts.traversal = c.traversal;
+    opts.expansion = c.expansion;
+    opts.k = k;
+    std::vector<NeighborList> got;
+    PruneStats stats;
+    ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, opts, &got, &stats));
+    EXPECT_EQ(got.size(), r.size());
+    EXPECT_GT(stats.lpqs_created, 0u);
+    ExpectExactAknn(r, s, k, std::move(got));
+  }
+};
+
+TEST_P(AnnConfigTest, Ann2DUniform) {
+  const Dataset r = RandomDataset(2, 700, 1);
+  const Dataset s = RandomDataset(2, 900, 2);
+  RunAndCheck(r, s, 1);
+}
+
+TEST_P(AnnConfigTest, Ann3DUniform) {
+  const Dataset r = RandomDataset(3, 500, 3);
+  const Dataset s = RandomDataset(3, 600, 4);
+  RunAndCheck(r, s, 1);
+}
+
+TEST_P(AnnConfigTest, Ann6DUniform) {
+  const Dataset r = RandomDataset(6, 300, 5);
+  const Dataset s = RandomDataset(6, 400, 6);
+  RunAndCheck(r, s, 1);
+}
+
+TEST_P(AnnConfigTest, AnnClusteredData) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 1200;
+  spec.distribution = Distribution::kClustered;
+  spec.clusters = 10;
+  spec.seed = 7;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  RunAndCheck(r, s, 1);
+}
+
+TEST_P(AnnConfigTest, AnnSkewedData) {
+  GstdSpec spec;
+  spec.dim = 3;
+  spec.count = 800;
+  spec.distribution = Distribution::kZipfSkewed;
+  spec.seed = 8;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  RunAndCheck(r, s, 1);
+}
+
+TEST_P(AnnConfigTest, SelfJoinReportsSelfAtDistanceZero) {
+  // R == S: the nearest neighbor of each point is itself at distance 0.
+  const Dataset d = RandomDataset(2, 400, 9);
+  RunAndCheck(d, d, 1);
+}
+
+TEST_P(AnnConfigTest, Aknn5) {
+  const Dataset r = RandomDataset(2, 400, 10);
+  const Dataset s = RandomDataset(2, 500, 11);
+  RunAndCheck(r, s, 5);
+}
+
+TEST_P(AnnConfigTest, Aknn16) {
+  const Dataset r = RandomDataset(3, 250, 12);
+  const Dataset s = RandomDataset(3, 350, 13);
+  RunAndCheck(r, s, 16);
+}
+
+TEST_P(AnnConfigTest, KLargerThanTargetSet) {
+  const Dataset r = RandomDataset(2, 50, 14);
+  const Dataset s = RandomDataset(2, 7, 15);
+  RunAndCheck(r, s, 10);  // only 7 neighbors exist
+}
+
+TEST_P(AnnConfigTest, SinglePointSets) {
+  const Dataset r = RandomDataset(2, 1, 16);
+  const Dataset s = RandomDataset(2, 1, 17);
+  RunAndCheck(r, s, 1);
+}
+
+TEST_P(AnnConfigTest, DuplicateHeavyData) {
+  Rng rng(18);
+  Dataset r(2), s(2);
+  for (int i = 0; i < 300; ++i) {
+    const Scalar p[2] = {rng.UniformInt(5) * 0.2, rng.UniformInt(5) * 0.2};
+    r.Append(p);
+    const Scalar q[2] = {rng.UniformInt(5) * 0.2, rng.UniformInt(5) * 0.2};
+    s.Append(q);
+  }
+  RunAndCheck(r, s, 3);
+}
+
+TEST_P(AnnConfigTest, AsymmetricSizes) {
+  const Dataset r = RandomDataset(2, 2000, 19);
+  const Dataset s = RandomDataset(2, 60, 20);
+  RunAndCheck(r, s, 2);
+}
+
+std::vector<Config> AllConfigs() {
+  std::vector<Config> configs;
+  for (IndexKind index : {IndexKind::kMbrqt, IndexKind::kRstar}) {
+    for (PruneMetric metric :
+         {PruneMetric::kNxnDist, PruneMetric::kMaxMaxDist}) {
+      for (Traversal traversal :
+           {Traversal::kDepthFirst, Traversal::kBreadthFirst}) {
+        for (Expansion expansion :
+             {Expansion::kBidirectional, Expansion::kUnidirectional}) {
+          configs.push_back({index, metric, traversal, expansion});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, AnnConfigTest,
+                         ::testing::ValuesIn(AllConfigs()), ConfigName);
+
+TEST(AnnTest, RejectsDimMismatch) {
+  const Dataset r = RandomDataset(2, 10, 1);
+  const Dataset s = RandomDataset(3, 10, 2);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+  std::vector<NeighborList> out;
+  EXPECT_TRUE(AllNearestNeighbors(*ir.view, *is.view, AnnOptions{}, &out)
+                  .IsInvalidArgument());
+}
+
+TEST(AnnTest, RejectsBadK) {
+  const Dataset d = RandomDataset(2, 10, 3);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, d);
+  AnnOptions opts;
+  opts.k = 0;
+  std::vector<NeighborList> out;
+  EXPECT_TRUE(AllNearestNeighbors(*ir.view, *ir.view, opts, &out)
+                  .IsInvalidArgument());
+}
+
+TEST(AnnTest, NxnPrunesNoWorseThanMaxMax) {
+  // Same traversal, same indexes: the tighter metric must enqueue no more
+  // entries (Section 4.3's explanation of the speedup).
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 4000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 31;
+  ASSERT_OK_AND_ASSIGN(const Dataset all, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+
+  PruneStats nxn, maxmax;
+  std::vector<NeighborList> out;
+  AnnOptions opts;
+  opts.metric = PruneMetric::kNxnDist;
+  ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, opts, &out, &nxn));
+  out.clear();
+  opts.metric = PruneMetric::kMaxMaxDist;
+  ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, opts, &out, &maxmax));
+  EXPECT_LT(nxn.enqueued, maxmax.enqueued);
+  EXPECT_LT(nxn.distance_evals, maxmax.distance_evals);
+}
+
+TEST(AnnTest, StreamingSinkSeesEveryResultOnce) {
+  const Dataset r = RandomDataset(2, 400, 40);
+  const Dataset s = RandomDataset(2, 400, 41);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+
+  std::vector<NeighborList> streamed;
+  ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, AnnOptions{},
+                                [&streamed](NeighborList&& list) {
+                                  streamed.push_back(std::move(list));
+                                  return Status::OK();
+                                }));
+  ExpectExactAknn(r, s, 1, std::move(streamed));
+}
+
+TEST(AnnTest, SinkErrorAbortsTheRun) {
+  const Dataset r = RandomDataset(2, 200, 42);
+  const Dataset s = RandomDataset(2, 200, 43);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+
+  int seen = 0;
+  const Status st = AllNearestNeighbors(
+      *ir.view, *is.view, AnnOptions{}, [&seen](NeighborList&&) {
+        if (++seen >= 10) return Status::Internal("stop here");
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_EQ(seen, 10);  // nothing delivered after the error
+}
+
+TEST(AnnTest, StatsAreConsistent) {
+  const Dataset r = RandomDataset(2, 500, 33);
+  const Dataset s = RandomDataset(2, 500, 34);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+  PruneStats stats;
+  std::vector<NeighborList> out;
+  ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, AnnOptions{}, &out,
+                                &stats));
+  EXPECT_EQ(stats.enqueued + stats.pruned_on_entry, stats.enqueue_attempts);
+  EXPECT_GE(stats.lpqs_created, r.size());  // one per object + internals
+  EXPECT_GT(stats.r_nodes_expanded, 0u);
+  EXPECT_GT(stats.s_nodes_expanded, 0u);
+}
+
+}  // namespace
+}  // namespace ann

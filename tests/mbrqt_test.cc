@@ -1,0 +1,184 @@
+#include "index/mbrqt/mbrqt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/gstd.h"
+#include "index/paged_index_view.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::vector<uint64_t> BruteRange(const Dataset& data, const Rect& range) {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (range.ContainsPoint(data.point(i))) out.push_back(i);
+  }
+  return out;
+}
+
+void ExpectRangeQueriesMatch(const SpatialIndex& index, const Dataset& data,
+                             uint64_t seed, int queries = 25) {
+  Rng rng(seed);
+  for (int q = 0; q < queries; ++q) {
+    const Rect range = RandomRect(data.dim(), &rng);
+    std::vector<uint64_t> got;
+    ASSERT_OK(RangeQuery(index, range, &got));
+    std::vector<uint64_t> want = BruteRange(data, range);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(MbrqtTest, CubicCellIsSquareAndCovers) {
+  const Scalar lo[2] = {0, 0}, hi[2] = {4, 1};
+  const Rect box = Rect::FromBounds(lo, hi, 2);
+  const Rect cell = Mbrqt::CubicCell(box);
+  EXPECT_TRUE(cell.ContainsRect(box));
+  EXPECT_NEAR(cell.hi[0] - cell.lo[0], cell.hi[1] - cell.lo[1], 1e-9);
+  EXPECT_GE(cell.hi[0] - cell.lo[0], 4.0);
+}
+
+TEST(MbrqtTest, InsertOutsideRootCellFails) {
+  const Scalar lo[2] = {0, 0}, hi[2] = {1, 1};
+  Mbrqt qt(Rect::FromBounds(lo, hi, 2));
+  const Scalar p[2] = {2, 2};
+  EXPECT_TRUE(qt.Insert(p, 0).IsOutOfRange());
+}
+
+TEST(MbrqtTest, EmptyBuildRejected) {
+  EXPECT_FALSE(Mbrqt::Build(Dataset(2)).ok());
+}
+
+class MbrqtBuildTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(MbrqtBuildTest, InvariantsAndRangeQueries) {
+  const auto [dim, count] = GetParam();
+  const Dataset data = RandomDataset(dim, count, 300 + dim);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 16;  // force deep decomposition
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data, opts));
+  EXPECT_EQ(qt.num_objects(), data.size());
+  ASSERT_OK(qt.CheckInvariants());
+
+  const MemTree& tree = qt.Finalize();
+  EXPECT_EQ(tree.num_objects, data.size());
+  EXPECT_GT(tree.height, 1);
+  const MemIndexView view(&tree);
+  ExpectRangeQueriesMatch(view, data, 17);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSizes, MbrqtBuildTest,
+    ::testing::Values(std::make_tuple(2, 3000), std::make_tuple(3, 2000),
+                      std::make_tuple(6, 1000), std::make_tuple(10, 600)));
+
+TEST(MbrqtTest, InternalMbrsAreTightNotCells) {
+  // With clustered data internal MBRs must be much smaller than the cells
+  // they decompose — that is the entire point of the MBR enhancement.
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 5000;
+  spec.distribution = Distribution::kClustered;
+  spec.clusters = 6;
+  spec.cluster_sigma = 0.005;
+  spec.seed = 9;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  MbrqtOptions opts;
+  opts.bucket_capacity = 32;
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data, opts));
+  ASSERT_OK(qt.CheckInvariants());
+  const MemTree& tree = qt.Finalize();
+  // Root MBR area must be well below the (square) root cell area.
+  const Rect root_cell = Mbrqt::CubicCell(data.BoundingBox());
+  EXPECT_LT(tree.nodes[tree.root].mbr.Area(), root_cell.Area());
+}
+
+TEST(MbrqtTest, DuplicatePointsRespectMaxDepthOverflow) {
+  MbrqtOptions opts;
+  opts.bucket_capacity = 4;
+  opts.max_depth = 6;
+  const Scalar lo[2] = {0, 0}, hi[2] = {1, 1};
+  Mbrqt qt(Rect::FromBounds(lo, hi, 2), opts);
+  const Scalar p[2] = {0.3, 0.3};
+  for (int i = 0; i < 200; ++i) ASSERT_OK(qt.Insert(p, i));
+  ASSERT_OK(qt.CheckInvariants());
+  const MemTree& tree = qt.Finalize();
+  EXPECT_LE(tree.height, opts.max_depth + 1);
+  const MemIndexView view(&tree);
+  std::vector<uint64_t> got;
+  ASSERT_OK(RangeQuery(view, Rect::FromPoint(p, 2), &got));
+  EXPECT_EQ(got.size(), 200u);
+}
+
+TEST(MbrqtTest, FinalizeDropsEmptyQuadrants) {
+  const Dataset data = RandomDataset(2, 2000, 4);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 8;
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data, opts));
+  const MemTree& tree = qt.Finalize();
+  for (const MemNode& node : tree.nodes) {
+    if (node.is_leaf) continue;
+    for (const MemEntry& e : node.entries) {
+      EXPECT_GE(e.child, 0);
+      EXPECT_FALSE(tree.nodes[e.child].mbr.IsEmpty());
+      // Child MBR contained in parent MBR.
+      EXPECT_TRUE(node.mbr.ContainsRect(tree.nodes[e.child].mbr));
+    }
+  }
+}
+
+TEST(MbrqtTest, HighDimensionalNodesMayExceedOnePage) {
+  // 10-D quadtrees can have up to 1024 children per node; the persisted
+  // node then spans multiple pages via the NodeStore chain. Verify the
+  // round trip stays correct.
+  const Dataset data = RandomDataset(10, 4000, 55);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 8;  // force wide internal fanout
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data, opts));
+  const MemTree& tree = qt.Finalize();
+  size_t max_fanout = 0;
+  for (const MemNode& node : tree.nodes) {
+    if (!node.is_leaf) max_fanout = std::max(max_fanout, node.entries.size());
+  }
+  EXPECT_GT(max_fanout, 40u);  // genuinely wide
+
+  MemDiskManager disk;
+  BufferPool pool(&disk, 512);
+  NodeStore store(&pool);
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta,
+                       PersistMemTree(tree, &store));
+  const PagedIndexView paged(&store, meta);
+  ExpectRangeQueriesMatch(paged, data, 66, /*queries=*/10);
+}
+
+TEST(MbrqtTest, PersistedViewMatchesMemView) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 4000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 23;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+  const MemTree& tree = qt.Finalize();
+
+  MemDiskManager disk;
+  BufferPool pool(&disk, 256);
+  NodeStore store(&pool);
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta,
+                       PersistMemTree(tree, &store));
+  EXPECT_EQ(meta.height, tree.height);
+  const PagedIndexView paged(&store, meta);
+  ExpectRangeQueriesMatch(paged, data, 44);
+}
+
+TEST(MbrqtTest, DefaultBucketCapacityFillsAPage) {
+  EXPECT_EQ(DefaultBucketCapacity(2), 8176 / 24);
+  EXPECT_EQ(DefaultBucketCapacity(10), 8176 / 88);
+}
+
+}  // namespace
+}  // namespace ann

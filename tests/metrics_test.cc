@@ -1,0 +1,321 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+// ---------------------------------------------------------------------------
+// One-dimensional helpers.
+// ---------------------------------------------------------------------------
+
+TEST(Metrics1DTest, MaxDistCoversWorstEndpointPair) {
+  EXPECT_DOUBLE_EQ(MaxDist1(0, 1, 2, 3), 3);    // disjoint
+  EXPECT_DOUBLE_EQ(MaxDist1(0, 4, 1, 2), 3);    // contained: 4 -> 1
+  EXPECT_DOUBLE_EQ(MaxDist1(0, 2, 1, 3), 3);    // overlapping
+  EXPECT_DOUBLE_EQ(MaxDist1(1, 1, 1, 1), 0);    // identical points
+}
+
+TEST(Metrics1DTest, MinDistZeroOnOverlap) {
+  EXPECT_DOUBLE_EQ(MinDist1(0, 2, 1, 3), 0);
+  EXPECT_DOUBLE_EQ(MinDist1(0, 1, 3, 5), 2);
+  EXPECT_DOUBLE_EQ(MinDist1(3, 5, 0, 1), 2);
+}
+
+TEST(Metrics1DTest, MinFaceIsClosestEndpointPair) {
+  EXPECT_DOUBLE_EQ(MinFace1(0, 1, 3, 6), 2);  // |1-3|
+  EXPECT_DOUBLE_EQ(MinFace1(0, 4, 1, 2), 1);  // |0-1|
+}
+
+// Brute-force evaluation of Definition 3.1 by dense sweep over p in M.
+Scalar MaxMin1Sweep(Scalar mlo, Scalar mhi, Scalar nlo, Scalar nhi) {
+  Scalar best = 0;
+  const int steps = 2000;
+  for (int i = 0; i <= steps; ++i) {
+    const Scalar p = mlo + (mhi - mlo) * i / steps;
+    best = std::max(best, std::min(std::abs(p - nlo), std::abs(p - nhi)));
+  }
+  return best;
+}
+
+TEST(Metrics1DTest, MaxMinMatchesDenseSweep) {
+  Rng rng(2);
+  for (int iter = 0; iter < 300; ++iter) {
+    Scalar a = rng.Uniform(-2, 2), b = rng.Uniform(-2, 2);
+    Scalar c = rng.Uniform(-2, 2), d = rng.Uniform(-2, 2);
+    if (a > b) std::swap(a, b);
+    if (c > d) std::swap(c, d);
+    EXPECT_NEAR(MaxMin1(a, b, c, d), MaxMin1Sweep(a, b, c, d), 1e-3);
+  }
+}
+
+TEST(Metrics1DTest, MaxMinPeaksAtEndpointsOrMidpoint) {
+  // M = [0,10], N = [4,6]: the worst query point is an end of M (distance
+  // 4 to the nearer face); the midpoint candidate (value 1) loses.
+  EXPECT_DOUBLE_EQ(MaxMin1(0, 10, 4, 6), 4);
+  // N == M: the worst query point is N's midpoint.
+  EXPECT_DOUBLE_EQ(MaxMin1(0, 10, 0, 10), 5);
+  // M far to the left of N: worst point is M's left end, nearest face is
+  // N's lower face.
+  EXPECT_DOUBLE_EQ(MaxMin1(-5, -3, 0, 2), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Rect-to-rect metrics on hand-constructed figures.
+// ---------------------------------------------------------------------------
+
+Rect MakeRect2(Scalar lx, Scalar ly, Scalar hx, Scalar hy) {
+  const Scalar lo[2] = {lx, ly}, hi[2] = {hx, hy};
+  return Rect::FromBounds(lo, hi, 2);
+}
+
+TEST(MetricsRectTest, DisjointSquares) {
+  // M = [0,1]^2, N = [3,4]x[0,1].
+  const Rect m = MakeRect2(0, 0, 1, 1);
+  const Rect n = MakeRect2(3, 0, 4, 1);
+  EXPECT_DOUBLE_EQ(MinMinDist2(m, n), 4);        // gap of 2 in x
+  EXPECT_DOUBLE_EQ(MaxMaxDist2(m, n), 16 + 1);   // corners (0,0)-(4,1)
+  // NXNDIST: MAXDIST_x = 4, MAXDIST_y = 1; MAXMIN_x = |0-3| = 3 vs
+  // candidates {f(0)=3, f(1)=2, mid 3.5 not in M} -> 3; MAXMIN_y: N spans
+  // same y-range so worst point is the middle: 0.5.
+  // S = 16 + 1 = 17; gains: x: 16 - 9 = 7, y: 1 - 0.25 = 0.75.
+  // NXNDIST^2 = 17 - 7 = 10.
+  EXPECT_DOUBLE_EQ(NxnDist2(m, n), 10);
+  // Ordering of Figure 2(a).
+  EXPECT_LE(MinMinDist2(m, n), MinMaxDist2(m, n));
+  EXPECT_LE(MinMaxDist2(m, n), NxnDist2(m, n));
+  EXPECT_LE(NxnDist2(m, n), MaxMaxDist2(m, n));
+}
+
+TEST(MetricsRectTest, DegenerateRectsCollapseToPointDistance) {
+  const Scalar p[3] = {1, 2, 3};
+  const Scalar q[3] = {4, 6, 3};
+  const Rect mp = Rect::FromPoint(p, 3);
+  const Rect nq = Rect::FromPoint(q, 3);
+  const Scalar d2 = PointDist2(p, q, 3);
+  EXPECT_DOUBLE_EQ(MinMinDist2(mp, nq), d2);
+  EXPECT_DOUBLE_EQ(MaxMaxDist2(mp, nq), d2);
+  EXPECT_DOUBLE_EQ(NxnDist2(mp, nq), d2);
+  EXPECT_DOUBLE_EQ(MinMaxDist2(mp, nq), d2);
+}
+
+TEST(MetricsRectTest, PointInsideTargetHasZeroMinMin) {
+  const Rect n = MakeRect2(0, 0, 2, 2);
+  const Scalar p[2] = {1, 1};
+  const Rect mp = Rect::FromPoint(p, 2);
+  EXPECT_DOUBLE_EQ(MinMinDist2(mp, n), 0);
+  EXPECT_GT(NxnDist2(mp, n), 0);  // still must reach an edge point
+}
+
+TEST(MetricsRectTest, PointRectHelpersAgreeWithRectMetrics) {
+  Rng rng(12);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int dim = 1 + static_cast<int>(rng.UniformInt(6));
+    const Rect n = RandomRect(dim, &rng);
+    Scalar p[kMaxDim];
+    for (int d = 0; d < dim; ++d) p[d] = rng.Uniform(-0.5, 1.5);
+    const Rect mp = Rect::FromPoint(p, dim);
+    EXPECT_NEAR(PointRectMinDist2(p, n), MinMinDist2(mp, n), 1e-12);
+    EXPECT_NEAR(PointRectMaxDist2(p, n), MaxMaxDist2(mp, n), 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests for the paper's lemmas (randomized).
+// ---------------------------------------------------------------------------
+
+class NxnDistPropertyTest : public ::testing::TestWithParam<int> {};
+
+/// Lemma 3.1: for every point r in M, the distance to its nearest neighbor
+/// within N is at most NXNDIST(M, N). We verify against a dense sample of
+/// N (the true NN over all of N is approached by sampling + the analytic
+/// point-to-rect minimum cannot be used since the NN must be a *point of
+/// N*, but N is a solid rect here, so the nearest point of N *is* the
+/// analytic projection — making the check exact).
+TEST_P(NxnDistPropertyTest, Lemma31UpperBoundsNearestNeighborInN) {
+  const int dim = GetParam();
+  Rng rng(100 + dim);
+  for (int iter = 0; iter < 400; ++iter) {
+    const Rect m = RandomRect(dim, &rng);
+    const Rect n = RandomRect(dim, &rng);
+    const Scalar nxn2 = NxnDist2(m, n);
+    for (int s = 0; s < 30; ++s) {
+      Scalar r[kMaxDim];
+      RandomPointIn(m, &rng, r);
+      // Worst case over N of the *nearest* point: for a solid rect the
+      // nearest point to r is the clamp projection; but Lemma 3.1 must
+      // hold even if N's point set is only guaranteed to touch every face
+      // it bounds. The adversarial placement puts the single point of N at
+      // the far end of the pinned dimension; NXNDIST is exactly the
+      // worst-case over such placements, so the projection distance is a
+      // (weaker) lower bound we also check.
+      const Scalar proj2 = PointRectMinDist2(r, n);
+      EXPECT_LE(proj2, nxn2 * (1 + 1e-12) + 1e-12);
+    }
+  }
+}
+
+/// Lemma 3.1, tight form: an adversary places points of N only at the
+/// corners (every MBR has a point on each face; corners are the worst
+/// concentration consistent with... actually corners satisfy all faces).
+/// For every r in M, min over corners must be <= NXNDIST only when N's
+/// points are at corners touching all faces — we place one point per face
+/// pair at random positions on the faces and check the bound.
+TEST_P(NxnDistPropertyTest, Lemma31HoldsForFaceTouchingPointSets) {
+  const int dim = GetParam();
+  Rng rng(200 + dim);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Rect m = RandomRect(dim, &rng);
+    const Rect n = RandomRect(dim, &rng);
+    const Scalar nxn2 = NxnDist2(m, n);
+
+    // Build a minimal face-touching point set for N: for each dimension d,
+    // two points pinned to n.lo[d] / n.hi[d], free elsewhere. Any valid
+    // MBR content must include such witnesses.
+    std::vector<std::array<Scalar, kMaxDim>> pts;
+    for (int d = 0; d < dim; ++d) {
+      for (int side = 0; side < 2; ++side) {
+        std::array<Scalar, kMaxDim> p{};
+        RandomPointIn(n, &rng, p.data());
+        p[d] = side == 0 ? n.lo[d] : n.hi[d];
+        pts.push_back(p);
+      }
+    }
+    for (int s = 0; s < 20; ++s) {
+      Scalar r[kMaxDim];
+      RandomPointIn(m, &rng, r);
+      Scalar best = kInf;
+      for (const auto& p : pts) {
+        best = std::min(best, PointDist2(r, p.data(), dim));
+      }
+      EXPECT_LE(best, nxn2 * (1 + 1e-9) + 1e-12)
+          << "dim=" << dim << " iter=" << iter;
+    }
+  }
+}
+
+/// Lemma 3.2: shrinking the query MBR can only shrink NXNDIST.
+TEST_P(NxnDistPropertyTest, Lemma32MonotoneUnderQueryShrink) {
+  const int dim = GetParam();
+  Rng rng(300 + dim);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Rect m = RandomRect(dim, &rng);
+    const Rect n = RandomRect(dim, &rng);
+    // Random sub-rect of m.
+    Rect child = m;
+    for (int d = 0; d < dim; ++d) {
+      Scalar a = rng.Uniform(m.lo[d], m.hi[d]);
+      Scalar b = rng.Uniform(m.lo[d], m.hi[d]);
+      if (a > b) std::swap(a, b);
+      child.lo[d] = a;
+      child.hi[d] = b;
+    }
+    EXPECT_LE(NxnDist2(child, n), NxnDist2(m, n) * (1 + 1e-12) + 1e-12);
+  }
+}
+
+/// Lemma 3.3: MINMINDIST between children is NOT always below the parent
+/// NXNDIST — the property that lets NXNDIST prune child paths early. We
+/// reproduce the paper's construction style: child MBRs pushed into
+/// opposite corners.
+TEST(NxnDistLemmaTest, Lemma33ChildMinMinCanExceedParentNxn) {
+  // Parent M = [0,8]x[0,8], N = [10,18]x[0,8].
+  const Rect m = MakeRect2(0, 0, 8, 8);
+  const Rect n = MakeRect2(10, 0, 18, 8);
+  // Children at adversarial corners: m at far-left-bottom, n at
+  // far-right-top.
+  const Rect mc = MakeRect2(0, 0, 1, 1);
+  const Rect nc = MakeRect2(17, 7, 18, 8);
+  EXPECT_GT(MinMinDist2(mc, nc), NxnDist2(m, n));
+}
+
+/// NXNDIST is never larger than MAXMAXDIST and never smaller than
+/// MINMINDIST; MINMAXDIST sits below NXNDIST (Figure 2(a)).
+TEST_P(NxnDistPropertyTest, MetricOrdering) {
+  const int dim = GetParam();
+  Rng rng(400 + dim);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const Rect m = RandomRect(dim, &rng);
+    const Rect n = RandomRect(dim, &rng);
+    const Scalar minmin = MinMinDist2(m, n);
+    const Scalar minmax = MinMaxDist2(m, n);
+    const Scalar nxn = NxnDist2(m, n);
+    const Scalar maxmax = MaxMaxDist2(m, n);
+    EXPECT_LE(minmin, minmax * (1 + 1e-12) + 1e-12);
+    EXPECT_LE(minmax, nxn * (1 + 1e-12) + 1e-12);
+    EXPECT_LE(nxn, maxmax * (1 + 1e-12) + 1e-12);
+  }
+}
+
+/// NXNDIST is asymmetric (noted after Lemma 3.3): exhibit a pair with
+/// NXNDIST(M, N) != NXNDIST(N, M), and measure that asymmetry is common.
+TEST(NxnDistLemmaTest, Asymmetry) {
+  // Large M against a small offset N.
+  const Rect m = MakeRect2(0, 0, 10, 10);
+  const Rect n = MakeRect2(12, 4, 13, 5);
+  EXPECT_NE(NxnDist2(m, n), NxnDist2(n, m));
+
+  Rng rng(77);
+  int asymmetric = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const Rect a = RandomRect(2, &rng);
+    const Rect b = RandomRect(2, &rng);
+    if (std::abs(NxnDist2(a, b) - NxnDist2(b, a)) > 1e-15) ++asymmetric;
+  }
+  EXPECT_GT(asymmetric, 100);
+}
+
+/// Algorithm 1's O(D) evaluation agrees with the direct Definition 3.2
+/// computation (min over pinned dimensions).
+TEST_P(NxnDistPropertyTest, AlgorithmOneMatchesDefinition) {
+  const int dim = GetParam();
+  Rng rng(500 + dim);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Rect m = RandomRect(dim, &rng);
+    const Rect n = RandomRect(dim, &rng);
+    // Definition 3.2 directly: min over d of S - MAXDIST_d^2 + MAXMIN_d^2.
+    Scalar s = 0;
+    for (int d = 0; d < dim; ++d) {
+      const Scalar v = MaxDist1(m.lo[d], m.hi[d], n.lo[d], n.hi[d]);
+      s += v * v;
+    }
+    Scalar expected = kInf;
+    for (int d = 0; d < dim; ++d) {
+      const Scalar v = MaxDist1(m.lo[d], m.hi[d], n.lo[d], n.hi[d]);
+      const Scalar mm = MaxMin1(m.lo[d], m.hi[d], n.lo[d], n.hi[d]);
+      expected = std::min(expected, s - v * v + mm * mm);
+    }
+    EXPECT_NEAR(NxnDist2(m, n), expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NxnDistPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 10, 16));
+
+TEST(MetricsTest, SqrtWrappersConsistent) {
+  Rng rng(3);
+  const Rect m = RandomRect(3, &rng);
+  const Rect n = RandomRect(3, &rng);
+  EXPECT_DOUBLE_EQ(MinMinDist(m, n), std::sqrt(MinMinDist2(m, n)));
+  EXPECT_DOUBLE_EQ(MaxMaxDist(m, n), std::sqrt(MaxMaxDist2(m, n)));
+  EXPECT_DOUBLE_EQ(NxnDist(m, n), std::sqrt(NxnDist2(m, n)));
+  EXPECT_DOUBLE_EQ(MinMaxDist(m, n), std::sqrt(MinMaxDist2(m, n)));
+}
+
+TEST(MetricsTest, UpperBound2Dispatch) {
+  Rng rng(4);
+  const Rect m = RandomRect(2, &rng);
+  const Rect n = RandomRect(2, &rng);
+  EXPECT_EQ(UpperBound2(PruneMetric::kNxnDist, m, n), NxnDist2(m, n));
+  EXPECT_EQ(UpperBound2(PruneMetric::kMaxMaxDist, m, n), MaxMaxDist2(m, n));
+  EXPECT_STREQ(ToString(PruneMetric::kNxnDist), "NXNDIST");
+  EXPECT_STREQ(ToString(PruneMetric::kMaxMaxDist), "MAXMAXDIST");
+}
+
+}  // namespace
+}  // namespace ann

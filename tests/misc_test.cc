@@ -1,0 +1,114 @@
+// Coverage for small utilities and error paths not exercised elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "ann/mba.h"
+#include "common/space_curve.h"
+#include "index/index_stats.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/paged_index_view.h"
+#include "metrics/metrics.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(MiscTest, RectToStringShowsBounds) {
+  const Scalar lo[2] = {0, -1.5}, hi[2] = {2, 3};
+  const Rect r = Rect::FromBounds(lo, hi, 2);
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("0..2"), std::string::npos);
+  EXPECT_NE(s.find("-1.5..3"), std::string::npos);
+}
+
+TEST(MiscTest, ExceedsBound2EdgeCases) {
+  EXPECT_FALSE(ExceedsBound2(5.0, kInf));
+  EXPECT_FALSE(ExceedsBound2(0.0, 0.0));
+  EXPECT_TRUE(ExceedsBound2(1e-300, 0.0));
+  // Within slack: not pruned.
+  EXPECT_FALSE(ExceedsBound2(1.0 + 1e-14, 1.0));
+  // Beyond slack: pruned.
+  EXPECT_TRUE(ExceedsBound2(1.0 + 1e-9, 1.0));
+}
+
+TEST(MiscTest, CurveDispatchMatchesDirectClasses) {
+  const Dataset data = RandomDataset(2, 300, 1);
+  EXPECT_EQ(CurveSortedOrder(CurveOrder::kZOrder, data),
+            ZOrder(data.BoundingBox()).SortedOrder(data));
+  EXPECT_EQ(CurveSortedOrder(CurveOrder::kHilbert, data),
+            HilbertCurve(data.BoundingBox()).SortedOrder(data));
+  EXPECT_STREQ(ToString(CurveOrder::kZOrder), "Z-order");
+  EXPECT_STREQ(ToString(CurveOrder::kHilbert), "Hilbert");
+}
+
+TEST(MiscTest, ExpandOnObjectEntryFails) {
+  const Dataset data = RandomDataset(2, 50, 2);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+  const MemIndexView view(&qt.Finalize());
+  std::vector<IndexEntry> children;
+  ASSERT_OK(view.Expand(view.Root(), &children));
+  const auto it =
+      std::find_if(children.begin(), children.end(),
+                   [](const IndexEntry& e) { return e.is_object; });
+  if (it != children.end()) {
+    std::vector<IndexEntry> out;
+    EXPECT_TRUE(view.Expand(*it, &out).IsInvalidArgument());
+  }
+}
+
+TEST(MiscTest, PagedViewBadNodeIdFails) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 16);
+  NodeStore store(&pool);
+  const Dataset data = RandomDataset(2, 200, 3);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data));
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta,
+                       PersistMemTree(qt.Finalize(), &store));
+  const PagedIndexView view(&store, meta);
+  IndexEntry bogus = view.Root();
+  bogus.id = meta.root + 1000;  // unused slot on some page
+  std::vector<IndexEntry> out;
+  EXPECT_FALSE(view.Expand(bogus, &out).ok());
+}
+
+TEST(MiscTest, IndexStatsToStringMentionsLevels) {
+  const Dataset data = RandomDataset(2, 500, 4);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 16;
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(data, opts));
+  const MemIndexView view(&qt.Finalize());
+  ASSERT_OK_AND_ASSIGN(const IndexStatsReport report,
+                       CollectIndexStats(view));
+  const std::string s = report.ToString();
+  EXPECT_NE(s.find("height="), std::string::npos);
+  EXPECT_NE(s.find("level 0"), std::string::npos);
+}
+
+TEST(MiscTest, EnumToStringsAreStable) {
+  EXPECT_STREQ(ToString(Traversal::kDepthFirst), "DF");
+  EXPECT_STREQ(ToString(Traversal::kBreadthFirst), "BF");
+  EXPECT_STREQ(ToString(Expansion::kBidirectional), "BI");
+  EXPECT_STREQ(ToString(Expansion::kUnidirectional), "UNI");
+  EXPECT_STREQ(ToString(Replacement::kLru), "LRU");
+  EXPECT_STREQ(ToString(Replacement::kClock), "CLOCK");
+}
+
+TEST(MiscTest, DegenerateOneByOneAnn) {
+  // Smallest possible workload through the full engine.
+  Dataset r(1), s(1);
+  const Scalar a[1] = {3.0}, b[1] = {5.5};
+  r.Append(a);
+  s.Append(b);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(ir, is, AnnOptions{}, &got));
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(got[0].neighbors.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].neighbors[0].second, 2.5);
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ann/distance_join.h"
+#include "ann/nn_search.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::vector<Scalar> AllDistancesSorted(const Dataset& s, const Scalar* q) {
+  std::vector<Scalar> dists(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    dists[i] = std::sqrt(PointDist2(q, s.point(i), s.dim()));
+  }
+  std::sort(dists.begin(), dists.end());
+  return dists;
+}
+
+TEST(NnIteratorTest, YieldsAllObjectsInDistanceOrder) {
+  const Dataset s = RandomDataset(2, 1000, 1);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(s));
+  const MemIndexView view(&qt.Finalize());
+  const Scalar q[2] = {0.4, 0.6};
+
+  NnIterator it(view, q);
+  const std::vector<Scalar> want = AllDistancesSorted(s, q);
+  Neighbor n;
+  bool has = false;
+  std::vector<bool> seen(s.size(), false);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_OK(it.Next(&has, &n));
+    ASSERT_TRUE(has) << "exhausted early at " << i;
+    EXPECT_NEAR(n.second, want[i], 1e-9) << "rank " << i;
+    EXPECT_FALSE(seen[n.first]) << "object yielded twice";
+    seen[n.first] = true;
+  }
+  ASSERT_OK(it.Next(&has, &n));
+  EXPECT_FALSE(has);
+  // Exhausting the iterator again stays exhausted.
+  ASSERT_OK(it.Next(&has, &n));
+  EXPECT_FALSE(has);
+}
+
+TEST(NnIteratorTest, MatchesPointKnnPrefix) {
+  const Dataset s = RandomDataset(4, 800, 2);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+  const Scalar q[4] = {0.2, 0.9, 0.5, 0.1};
+
+  SearchStats stats;
+  std::vector<Neighbor> knn;
+  ASSERT_OK(PointKnn(view, q, 25, kInf, &knn, &stats));
+
+  NnIterator it(view, q);
+  Neighbor n;
+  bool has;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_OK(it.Next(&has, &n));
+    ASSERT_TRUE(has);
+    EXPECT_NEAR(n.second, knn[i].second, 1e-9);
+  }
+}
+
+TEST(NnIteratorTest, LazyExpansionIsCheapForFewNeighbors) {
+  const Dataset s = RandomDataset(2, 20000, 3);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(s));
+  const MemIndexView view(&qt.Finalize());
+  const Scalar q[2] = {0.5, 0.5};
+
+  NnIterator it(view, q);
+  Neighbor n;
+  bool has;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(it.Next(&has, &n));
+    ASSERT_TRUE(has);
+  }
+  // Pulling 3 neighbors from 20K points must touch a tiny index fraction.
+  EXPECT_LT(it.stats().nodes_expanded, 50u);
+}
+
+std::vector<Scalar> BrutePairDistances(const Dataset& r, const Dataset& s,
+                                       int k) {
+  std::vector<Scalar> d2;
+  d2.reserve(r.size() * s.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    for (size_t j = 0; j < s.size(); ++j) {
+      d2.push_back(PointDist2(r.point(i), s.point(j), r.dim()));
+    }
+  }
+  std::sort(d2.begin(), d2.end());
+  std::vector<Scalar> out;
+  for (int i = 0; i < k && i < static_cast<int>(d2.size()); ++i) {
+    out.push_back(std::sqrt(d2[i]));
+  }
+  return out;
+}
+
+class KClosestPairsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KClosestPairsTest, MatchesBruteForce) {
+  const int k = GetParam();
+  const Dataset r = RandomDataset(2, 300, 4);
+  const Dataset s = RandomDataset(2, 300, 5);
+  MbrqtOptions qopts;
+  qopts.bucket_capacity = 8;  // deep trees so post-bound pruning happens
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r, qopts));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s, qopts));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+
+  std::vector<JoinPair> got;
+  JoinStats stats;
+  ASSERT_OK(KClosestPairs(ir, is, k, &got, &stats));
+  const std::vector<Scalar> want = BrutePairDistances(r, s, k);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].dist, want[i], 1e-9) << "rank " << i;
+    // Reported pair must actually have the reported distance.
+    EXPECT_NEAR(std::sqrt(PointDist2(r.point(got[i].r_id),
+                                     s.point(got[i].s_id), 2)),
+                got[i].dist, 1e-9);
+    if (i > 0) {
+      EXPECT_GE(got[i].dist, got[i - 1].dist);
+    }
+  }
+  // Best-first termination must touch a small fraction of the 90,000
+  // possible pairs.
+  EXPECT_LT(stats.distance_evals, r.size() * s.size() / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KClosestPairsTest,
+                         ::testing::Values(1, 5, 32, 200),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(KClosestPairsTest, KBiggerThanAllPairs) {
+  const Dataset r = RandomDataset(2, 5, 6);
+  const Dataset s = RandomDataset(2, 4, 7);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+  std::vector<JoinPair> got;
+  ASSERT_OK(KClosestPairs(ir, is, 100, &got));
+  EXPECT_EQ(got.size(), 20u);  // all pairs
+}
+
+TEST(KClosestPairsTest, MixedIndexKinds) {
+  const Dataset r = RandomDataset(3, 200, 8);
+  const Dataset s = RandomDataset(3, 250, 9);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(const RStarTree ts, RStarTree::BulkLoadStr(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&ts.tree());
+  std::vector<JoinPair> got;
+  ASSERT_OK(KClosestPairs(ir, is, 10, &got));
+  const std::vector<Scalar> want = BrutePairDistances(r, s, 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(got[i].dist, want[i], 1e-9);
+}
+
+TEST(ClosestPairIteratorTest, PrefixMatchesKClosestPairs) {
+  const Dataset r = RandomDataset(2, 250, 11);
+  const Dataset s = RandomDataset(2, 250, 12);
+  MbrqtOptions qopts;
+  qopts.bucket_capacity = 8;
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r, qopts));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s, qopts));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+
+  std::vector<JoinPair> want;
+  ASSERT_OK(KClosestPairs(ir, is, 40, &want));
+
+  ClosestPairIterator it(ir, is);
+  JoinPair p;
+  bool has = false;
+  Scalar prev = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(it.Next(&has, &p));
+    ASSERT_TRUE(has);
+    EXPECT_NEAR(p.dist, want[i].dist, 1e-9) << "rank " << i;
+    EXPECT_GE(p.dist + 1e-12, prev);
+    prev = p.dist;
+  }
+}
+
+TEST(ClosestPairIteratorTest, ExhaustsEveryPair) {
+  const Dataset r = RandomDataset(2, 12, 13);
+  const Dataset s = RandomDataset(2, 9, 14);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qs, Mbrqt::Build(s));
+  const MemIndexView ir(&qr.Finalize());
+  const MemIndexView is(&qs.Finalize());
+
+  ClosestPairIterator it(ir, is);
+  JoinPair p;
+  bool has = false;
+  size_t count = 0;
+  while (true) {
+    ASSERT_OK(it.Next(&has, &p));
+    if (!has) break;
+    ++count;
+  }
+  EXPECT_EQ(count, r.size() * s.size());
+  ASSERT_OK(it.Next(&has, &p));
+  EXPECT_FALSE(has);
+}
+
+TEST(KClosestPairsTest, RejectsBadArguments) {
+  const Dataset r = RandomDataset(2, 10, 10);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qr, Mbrqt::Build(r));
+  const MemIndexView ir(&qr.Finalize());
+  std::vector<JoinPair> got;
+  EXPECT_TRUE(KClosestPairs(ir, ir, 0, &got).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ann

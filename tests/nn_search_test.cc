@@ -1,0 +1,99 @@
+#include "ann/nn_search.h"
+
+#include <gtest/gtest.h>
+
+#include "ann/brute_force.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+TEST(PointKnnTest, MatchesBruteForceOnRStar) {
+  const Dataset s = RandomDataset(3, 2000, 1);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+
+  const Dataset queries = RandomDataset(3, 50, 2);
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(queries, s, 4, &want));
+
+  SearchStats stats;
+  std::vector<Neighbor> got;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_OK(PointKnn(view, queries.point(i), 4, kInf, &got, &stats));
+    ASSERT_EQ(got.size(), want[i].neighbors.size());
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_NEAR(got[j].second, want[i].neighbors[j].second, 1e-9);
+    }
+  }
+  EXPECT_GT(stats.nodes_expanded, 0u);
+}
+
+TEST(PointKnnTest, MatchesBruteForceOnMbrqt) {
+  const Dataset s = RandomDataset(2, 3000, 3);
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt, Mbrqt::Build(s));
+  const MemIndexView view(&qt.Finalize());
+
+  const Dataset queries = RandomDataset(2, 50, 4);
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(queries, s, 1, &want));
+
+  SearchStats stats;
+  std::vector<Neighbor> got;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_OK(PointKnn(view, queries.point(i), 1, kInf, &got, &stats));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_NEAR(got[0].second, want[i].neighbors[0].second, 1e-9);
+  }
+}
+
+TEST(PointKnnTest, TightSeedBoundStillExact) {
+  const Dataset s = RandomDataset(2, 1000, 5);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+  const Scalar q[2] = {0.5, 0.5};
+
+  SearchStats stats;
+  std::vector<Neighbor> loose, seeded;
+  ASSERT_OK(PointKnn(view, q, 3, kInf, &loose, &stats));
+  // Seed with the exact answer (valid upper bound): same result, and the
+  // pruning can only get stronger.
+  SearchStats seeded_stats;
+  const Scalar kth = loose.back().second;
+  ASSERT_OK(PointKnn(view, q, 3, kth * kth * (1 + 1e-12), &seeded,
+                     &seeded_stats));
+  ASSERT_EQ(seeded.size(), 3u);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(seeded[j].second, loose[j].second, 1e-9);
+  }
+  EXPECT_LE(seeded_stats.heap_pushes, stats.heap_pushes);
+}
+
+TEST(PointKnnTest, KBiggerThanDataset) {
+  const Dataset s = RandomDataset(2, 5, 6);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+  const Scalar q[2] = {0.1, 0.1};
+  SearchStats stats;
+  std::vector<Neighbor> got;
+  ASSERT_OK(PointKnn(view, q, 10, kInf, &got, &stats));
+  EXPECT_EQ(got.size(), 5u);
+  for (size_t j = 1; j < got.size(); ++j) {
+    EXPECT_GE(got[j].second, got[j - 1].second);
+  }
+}
+
+TEST(PointKnnTest, RejectsBadK) {
+  const Dataset s = RandomDataset(2, 5, 7);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(s));
+  const MemIndexView view(&tree.tree());
+  const Scalar q[2] = {0, 0};
+  SearchStats stats;
+  std::vector<Neighbor> got;
+  EXPECT_TRUE(PointKnn(view, q, 0, kInf, &got, &stats).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ann

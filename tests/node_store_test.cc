@@ -1,0 +1,203 @@
+#include "storage/node_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::vector<char> MakeBlob(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> blob(size);
+  for (auto& c : blob) c = static_cast<char>(rng.Next() & 0xFF);
+  return blob;
+}
+
+class NodeStoreTest : public ::testing::Test {
+ protected:
+  MemDiskManager disk_;
+  BufferPool pool_{&disk_, 16};
+  NodeStore store_{&pool_};
+};
+
+TEST_F(NodeStoreTest, SmallRecordRoundtrip) {
+  const std::vector<char> blob = MakeBlob(100, 1);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(blob.data(), blob.size()));
+  std::vector<char> out;
+  ASSERT_OK(store_.Read(id, &out));
+  EXPECT_EQ(out, blob);
+}
+
+TEST_F(NodeStoreTest, EmptyRecordRoundtrip) {
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(nullptr, 0));
+  std::vector<char> out = MakeBlob(5, 0);
+  ASSERT_OK(store_.Read(id, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(NodeStoreTest, SmallRecordsSharePages) {
+  // Packing is the point of the slotted layout: dozens of small records
+  // must land on a single page.
+  const std::vector<char> blob = MakeBlob(64, 2);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK_AND_ASSIGN(const NodeId id,
+                         store_.Append(blob.data(), blob.size()));
+    ids.push_back(id);
+  }
+  EXPECT_LE(disk_.page_count(), 2u);
+  std::vector<char> out;
+  for (const NodeId id : ids) {
+    ASSERT_OK(store_.Read(id, &out));
+    EXPECT_EQ(out, blob);
+  }
+}
+
+TEST_F(NodeStoreTest, MaxInlineRecordFitsOnePage) {
+  const std::vector<char> blob = MakeBlob(NodeStore::kMaxInline, 3);
+  const uint64_t pages_before = disk_.page_count();
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(blob.data(), blob.size()));
+  EXPECT_EQ(disk_.page_count(), pages_before + 1);
+  std::vector<char> out;
+  ASSERT_OK(store_.Read(id, &out));
+  EXPECT_EQ(out, blob);
+}
+
+TEST_F(NodeStoreTest, OverflowChainRoundtrip) {
+  const std::vector<char> blob = MakeBlob(3 * kPageSize + 17, 4);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(blob.data(), blob.size()));
+  EXPECT_GE(disk_.page_count(), 4u);
+  std::vector<char> out;
+  ASSERT_OK(store_.Read(id, &out));
+  EXPECT_EQ(out, blob);
+}
+
+TEST_F(NodeStoreTest, MixedSizesKeepTheirIdentity) {
+  Rng rng(5);
+  std::vector<NodeId> ids;
+  std::vector<std::vector<char>> blobs;
+  for (int i = 0; i < 200; ++i) {
+    blobs.push_back(MakeBlob(1 + rng.UniformInt(2 * kPageSize), 100 + i));
+    ASSERT_OK_AND_ASSIGN(
+        const NodeId id, store_.Append(blobs.back().data(), blobs.back().size()));
+    ids.push_back(id);
+  }
+  EXPECT_EQ(store_.record_count(), 200u);
+  std::vector<char> out;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(store_.Read(ids[i], &out));
+    EXPECT_EQ(out, blobs[i]) << "record " << i;
+  }
+}
+
+TEST_F(NodeStoreTest, UpdateInPlaceSameOrSmaller) {
+  const std::vector<char> blob = MakeBlob(500, 6);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(blob.data(), blob.size()));
+  const uint64_t pages = disk_.page_count();
+  const std::vector<char> blob2 = MakeBlob(500, 7);
+  ASSERT_OK(store_.Update(id, blob2.data(), blob2.size()));
+  const std::vector<char> blob3 = MakeBlob(100, 8);
+  ASSERT_OK(store_.Update(id, blob3.data(), blob3.size()));
+  EXPECT_EQ(disk_.page_count(), pages);  // all in place
+  std::vector<char> out;
+  ASSERT_OK(store_.Read(id, &out));
+  EXPECT_EQ(out, blob3);
+}
+
+TEST_F(NodeStoreTest, UpdateGrowMovesToOverflow) {
+  const std::vector<char> small = MakeBlob(100, 9);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(small.data(), small.size()));
+  const std::vector<char> big = MakeBlob(2 * kPageSize + 5, 10);
+  ASSERT_OK(store_.Update(id, big.data(), big.size()));
+  std::vector<char> out;
+  ASSERT_OK(store_.Read(id, &out));
+  EXPECT_EQ(out, big);
+  // Neighboring records on the same page must be unaffected.
+}
+
+TEST_F(NodeStoreTest, UpdateDoesNotDisturbPageNeighbors) {
+  const std::vector<char> a = MakeBlob(50, 11);
+  const std::vector<char> b = MakeBlob(60, 12);
+  const std::vector<char> c = MakeBlob(70, 13);
+  ASSERT_OK_AND_ASSIGN(const NodeId ia, store_.Append(a.data(), a.size()));
+  ASSERT_OK_AND_ASSIGN(const NodeId ib, store_.Append(b.data(), b.size()));
+  ASSERT_OK_AND_ASSIGN(const NodeId ic, store_.Append(c.data(), c.size()));
+  const std::vector<char> big = MakeBlob(3 * kPageSize, 14);
+  ASSERT_OK(store_.Update(ib, big.data(), big.size()));
+  std::vector<char> out;
+  ASSERT_OK(store_.Read(ia, &out));
+  EXPECT_EQ(out, a);
+  ASSERT_OK(store_.Read(ic, &out));
+  EXPECT_EQ(out, c);
+  ASSERT_OK(store_.Read(ib, &out));
+  EXPECT_EQ(out, big);
+}
+
+TEST_F(NodeStoreTest, UpdateShrinkOverflowFreesPages) {
+  const std::vector<char> big = MakeBlob(4 * kPageSize, 15);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(big.data(), big.size()));
+  EXPECT_EQ(store_.free_pages(), 0u);
+  const std::vector<char> small = MakeBlob(10, 16);
+  ASSERT_OK(store_.Update(id, small.data(), small.size()));
+  EXPECT_GT(store_.free_pages(), 0u);
+  std::vector<char> out;
+  ASSERT_OK(store_.Read(id, &out));
+  EXPECT_EQ(out, small);
+}
+
+TEST_F(NodeStoreTest, FreeRecyclesOverflowPages) {
+  const std::vector<char> blob = MakeBlob(2 * kPageSize, 17);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(blob.data(), blob.size()));
+  ASSERT_OK(store_.Free(id));
+  EXPECT_GE(store_.free_pages(), 2u);
+  std::vector<char> out;
+  EXPECT_TRUE(store_.Read(id, &out).IsNotFound());
+  // A fresh overflow append must reuse the freed pages.
+  const uint64_t pages_before = disk_.page_count();
+  const std::vector<char> blob2 = MakeBlob(kPageSize + kPageSize / 2, 18);
+  ASSERT_OK_AND_ASSIGN(const NodeId id2,
+                       store_.Append(blob2.data(), blob2.size()));
+  EXPECT_EQ(disk_.page_count(), pages_before);
+  ASSERT_OK(store_.Read(id2, &out));
+  EXPECT_EQ(out, blob2);
+}
+
+TEST_F(NodeStoreTest, ReadBadSlotFails) {
+  const std::vector<char> blob = MakeBlob(10, 19);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(blob.data(), blob.size()));
+  std::vector<char> out;
+  EXPECT_TRUE(store_.Read(id + 1, &out).IsNotFound());  // next slot unused
+  EXPECT_TRUE(store_.Update(id + 1, blob.data(), 1).IsNotFound());
+  EXPECT_TRUE(store_.Free(id + 1).IsNotFound());
+}
+
+TEST_F(NodeStoreTest, DoubleFreeFails) {
+  const std::vector<char> blob = MakeBlob(10, 20);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store_.Append(blob.data(), blob.size()));
+  ASSERT_OK(store_.Free(id));
+  EXPECT_TRUE(store_.Free(id).IsNotFound());
+}
+
+TEST_F(NodeStoreTest, SurvivesTinyBufferPool) {
+  // A 2-frame pool forces evictions between append and read.
+  MemDiskManager disk;
+  BufferPool pool(&disk, 2);
+  NodeStore store(&pool);
+  const std::vector<char> blob = MakeBlob(5 * kPageSize, 21);
+  ASSERT_OK_AND_ASSIGN(const NodeId id, store.Append(blob.data(), blob.size()));
+  const std::vector<char> tiny = MakeBlob(30, 22);
+  ASSERT_OK_AND_ASSIGN(const NodeId id2, store.Append(tiny.data(), tiny.size()));
+  std::vector<char> out;
+  ASSERT_OK(store.Read(id, &out));
+  EXPECT_EQ(out, blob);
+  ASSERT_OK(store.Read(id2, &out));
+  EXPECT_EQ(out, tiny);
+  EXPECT_GT(pool.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace ann

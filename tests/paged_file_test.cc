@@ -1,0 +1,108 @@
+#include "storage/paged_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+class PagedFileTest : public ::testing::Test {
+ protected:
+  MemDiskManager disk_;
+  BufferPool pool_{&disk_, 8};
+};
+
+TEST_F(PagedFileTest, AppendAndReadRecords) {
+  PagedFile file(&pool_, 16);
+  char rec[16];
+  for (int i = 0; i < 1000; ++i) {
+    std::snprintf(rec, sizeof(rec), "rec-%d", i);
+    ASSERT_OK(file.Append(rec));
+  }
+  ASSERT_OK(file.Finish());
+  EXPECT_EQ(file.record_count(), 1000u);
+  EXPECT_EQ(file.records_per_page(), kPageSize / 16);
+
+  char out[16];
+  for (int i : {0, 1, 511, 512, 999}) {
+    ASSERT_OK(file.ReadRecord(i, out));
+    char expect[16];
+    std::snprintf(expect, sizeof(expect), "rec-%d", i);
+    EXPECT_STREQ(out, expect);
+  }
+}
+
+TEST_F(PagedFileTest, PageAccounting) {
+  PagedFile file(&pool_, kPageSize / 4);  // 4 records per page
+  char rec[kPageSize / 4] = {0};
+  for (int i = 0; i < 10; ++i) ASSERT_OK(file.Append(rec));
+  ASSERT_OK(file.Finish());
+  EXPECT_EQ(file.page_count(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(file.PageRecordCount(0), 4u);
+  EXPECT_EQ(file.PageRecordCount(1), 4u);
+  EXPECT_EQ(file.PageRecordCount(2), 2u);
+  EXPECT_EQ(file.PageFirstRecord(2), 8u);
+}
+
+TEST_F(PagedFileTest, ReadPageReturnsAllRecords) {
+  PagedFile file(&pool_, 8);
+  uint64_t v;
+  for (uint64_t i = 0; i < 2500; ++i) {
+    v = i * 3;
+    ASSERT_OK(file.Append(reinterpret_cast<const char*>(&v)));
+  }
+  ASSERT_OK(file.Finish());
+  std::vector<char> buf;
+  size_t count = 0;
+  ASSERT_OK(file.ReadPage(1, &buf, &count));
+  EXPECT_EQ(count, kPageSize / 8);
+  uint64_t first;
+  std::memcpy(&first, buf.data(), 8);
+  EXPECT_EQ(first, (kPageSize / 8) * 3);
+}
+
+TEST_F(PagedFileTest, ErrorsOnMisuse) {
+  PagedFile file(&pool_, 8);
+  char rec[8] = {0};
+  ASSERT_OK(file.Append(rec));
+  char out[8];
+  EXPECT_TRUE(file.ReadRecord(0, out).IsInvalidArgument());  // not finished
+  ASSERT_OK(file.Finish());
+  EXPECT_TRUE(file.Append(rec).IsInvalidArgument());  // after finish
+  EXPECT_TRUE(file.ReadRecord(5, out).IsOutOfRange());
+  std::vector<char> buf;
+  size_t count;
+  EXPECT_TRUE(file.ReadPage(9, &buf, &count).IsOutOfRange());
+}
+
+TEST_F(PagedFileTest, EmptyFileFinishes) {
+  PagedFile file(&pool_, 8);
+  ASSERT_OK(file.Finish());
+  EXPECT_EQ(file.record_count(), 0u);
+  EXPECT_EQ(file.page_count(), 0u);
+}
+
+TEST_F(PagedFileTest, RereadsCostPoolMissesUnderSmallPool) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 2);
+  PagedFile file(&pool, 64);
+  char rec[64] = {1};
+  for (int i = 0; i < 2000; ++i) ASSERT_OK(file.Append(rec));
+  ASSERT_OK(file.Finish());
+  pool.ResetStats();
+  // Two full scans: the second scan cannot be cached in 2 frames.
+  char out[64];
+  for (int scan = 0; scan < 2; ++scan) {
+    for (uint64_t i = 0; i < file.record_count(); i += 64) {
+      ASSERT_OK(file.ReadRecord(i, out));
+    }
+  }
+  EXPECT_GT(pool.stats().pool_misses, file.page_count());
+}
+
+}  // namespace
+}  // namespace ann

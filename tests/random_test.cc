@@ -1,0 +1,100 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ann {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int diffs = 0;
+  for (int i = 0; i < 32; ++i) diffs += (a.Next() != b.Next());
+  EXPECT_GT(diffs, 28);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(17);
+  bool saw_zero = false, saw_max = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    saw_zero |= (v == 0);
+    saw_max |= (v == 9);
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(33);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaleAndShift) {
+  Rng rng(34);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ZipfSkewInUnitIntervalAndSkewed) {
+  Rng rng(35);
+  const int n = 50000;
+  int low = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.ZipfSkew(0.9);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    low += (v < 0.1);
+  }
+  // Power-law mass concentrates near the origin: far more than the 10%
+  // a uniform distribution would place below 0.1.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(RngTest, ReseedResetsSequence) {
+  Rng rng(50);
+  const uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(50);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,202 @@
+#include "index/rstar/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/gstd.h"
+#include "index/paged_index_view.h"
+#include "index/rstar/rstar_split.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::vector<uint64_t> BruteRange(const Dataset& data, const Rect& range) {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (range.ContainsPoint(data.point(i))) out.push_back(i);
+  }
+  return out;
+}
+
+void ExpectRangeQueriesMatch(const SpatialIndex& index, const Dataset& data,
+                             uint64_t seed, int queries = 25) {
+  Rng rng(seed);
+  for (int q = 0; q < queries; ++q) {
+    const Rect range = RandomRect(data.dim(), &rng);
+    std::vector<uint64_t> got;
+    ASSERT_OK(RangeQuery(index, range, &got));
+    std::vector<uint64_t> want = BruteRange(data, range);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(RStarSplitTest, GroupsRespectMinEntriesAndPartition) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int dim = 2 + static_cast<int>(rng.UniformInt(3));
+    const int total = 10 + static_cast<int>(rng.UniformInt(40));
+    const int min_entries = 2 + static_cast<int>(rng.UniformInt(total / 3));
+    std::vector<MemEntry> entries(total);
+    for (int i = 0; i < total; ++i) {
+      entries[i].mbr = RandomRect(dim, &rng);
+      entries[i].id = i;
+    }
+    std::vector<MemEntry> g1, g2;
+    RStarSplit(entries, dim, min_entries, &g1, &g2);
+    EXPECT_GE(static_cast<int>(g1.size()), min_entries);
+    EXPECT_GE(static_cast<int>(g2.size()), min_entries);
+    EXPECT_EQ(g1.size() + g2.size(), entries.size());
+    std::vector<uint64_t> ids;
+    for (const auto& e : g1) ids.push_back(e.id);
+    for (const auto& e : g2) ids.push_back(e.id);
+    std::sort(ids.begin(), ids.end());
+    for (int i = 0; i < total; ++i) EXPECT_EQ(ids[i], static_cast<uint64_t>(i));
+  }
+}
+
+TEST(RStarSplitTest, SeparatesTwoObviousClusters) {
+  // Two far-apart clusters must end up in different groups.
+  std::vector<MemEntry> entries;
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    Scalar p[2] = {rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    entries.push_back({Rect::FromPoint(p, 2), static_cast<uint64_t>(i), -1});
+  }
+  for (int i = 0; i < 10; ++i) {
+    Scalar p[2] = {rng.Uniform(100, 101), rng.Uniform(100, 101)};
+    entries.push_back(
+        {Rect::FromPoint(p, 2), static_cast<uint64_t>(10 + i), -1});
+  }
+  std::vector<MemEntry> g1, g2;
+  RStarSplit(entries, 2, 4, &g1, &g2);
+  const auto all_low = [](const std::vector<MemEntry>& g) {
+    return std::all_of(g.begin(), g.end(),
+                       [](const MemEntry& e) { return e.id < 10; });
+  };
+  const auto all_high = [](const std::vector<MemEntry>& g) {
+    return std::all_of(g.begin(), g.end(),
+                       [](const MemEntry& e) { return e.id >= 10; });
+  };
+  EXPECT_TRUE((all_low(g1) && all_high(g2)) || (all_low(g2) && all_high(g1)));
+}
+
+TEST(RStarTreeTest, DefaultCapacitiesFillAPage) {
+  // Leaf entry: 8 id + dim*8; internal: 8 + dim*16; payload 8176.
+  EXPECT_EQ(DefaultLeafCapacity(2), 8176 / 24);
+  EXPECT_EQ(DefaultInternalCapacity(2), 8176 / 40);
+  EXPECT_EQ(DefaultLeafCapacity(10), 8176 / 88);
+  EXPECT_EQ(DefaultInternalCapacity(10), 8176 / 168);
+}
+
+class RStarInsertTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(RStarInsertTest, InvariantsAndRangeQueriesAfterRandomInserts) {
+  const auto [dim, count] = GetParam();
+  const Dataset data = RandomDataset(dim, count, 42 + dim);
+  // Small capacities force deep trees, splits, and reinserts.
+  RStarOptions opts;
+  opts.leaf_capacity = 8;
+  opts.internal_capacity = 8;
+  RStarTree tree(dim, opts);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+  }
+  EXPECT_EQ(tree.num_objects(), data.size());
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_GT(tree.height(), 1);
+
+  const MemIndexView view(&tree.tree());
+  ExpectRangeQueriesMatch(view, data, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSizes, RStarInsertTest,
+    ::testing::Values(std::make_tuple(2, 2000), std::make_tuple(3, 1500),
+                      std::make_tuple(6, 800), std::make_tuple(10, 500)));
+
+TEST(RStarTreeTest, ClusteredDataKeepsInvariants) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 3000;
+  spec.distribution = Distribution::kClustered;
+  spec.seed = 5;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  RStarOptions opts;
+  opts.leaf_capacity = 16;
+  opts.internal_capacity = 8;
+  RStarTree tree(2, opts);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, DuplicatePointsAreAllRetained) {
+  RStarOptions opts;
+  opts.leaf_capacity = 4;
+  opts.internal_capacity = 4;
+  RStarTree tree(2, opts);
+  const Scalar p[2] = {0.5, 0.5};
+  for (int i = 0; i < 100; ++i) ASSERT_OK(tree.Insert(p, i));
+  ASSERT_OK(tree.CheckInvariants());
+  const MemIndexView view(&tree.tree());
+  std::vector<uint64_t> got;
+  const Scalar lo[2] = {0.4, 0.4}, hi[2] = {0.6, 0.6};
+  ASSERT_OK(RangeQuery(view, Rect::FromBounds(lo, hi, 2), &got));
+  EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(RStarTreeTest, BulkLoadStrInvariantsAndQueries) {
+  const Dataset data = RandomDataset(3, 5000, 77);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(data));
+  EXPECT_EQ(tree.num_objects(), data.size());
+  ASSERT_OK(tree.CheckInvariants(/*check_min_fill=*/false));
+  const MemIndexView view(&tree.tree());
+  ExpectRangeQueriesMatch(view, data, 13);
+}
+
+TEST(RStarTreeTest, BulkLoadSmallDatasetsAllSizes) {
+  for (size_t n : {1u, 2u, 5u, 17u, 100u}) {
+    const Dataset data = RandomDataset(2, n, 100 + n);
+    ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(data));
+    EXPECT_EQ(tree.num_objects(), n);
+    ASSERT_OK(tree.CheckInvariants(/*check_min_fill=*/false));
+    const MemIndexView view(&tree.tree());
+    std::vector<uint64_t> got;
+    ASSERT_OK(RangeQuery(view, data.BoundingBox(), &got));
+    EXPECT_EQ(got.size(), n);
+  }
+}
+
+TEST(RStarTreeTest, BulkLoadPacksTighterThanInsertion) {
+  const Dataset data = RandomDataset(2, 4000, 3);
+  RStarOptions opts;  // default page-derived capacities
+  ASSERT_OK_AND_ASSIGN(const RStarTree bulk, RStarTree::BulkLoadStr(data, opts));
+  RStarTree inc(2, opts);
+  for (size_t i = 0; i < data.size(); ++i) ASSERT_OK(inc.Insert(data.point(i), i));
+  EXPECT_LE(bulk.tree().nodes.size(), inc.tree().nodes.size());
+}
+
+TEST(RStarTreeTest, PersistedViewMatchesMemView) {
+  const Dataset data = RandomDataset(4, 3000, 21);
+  ASSERT_OK_AND_ASSIGN(const RStarTree tree, RStarTree::BulkLoadStr(data));
+
+  MemDiskManager disk;
+  BufferPool pool(&disk, 256);
+  NodeStore store(&pool);
+  ASSERT_OK_AND_ASSIGN(const PersistedIndexMeta meta,
+                       PersistMemTree(tree.tree(), &store));
+  EXPECT_EQ(meta.num_objects, data.size());
+  EXPECT_EQ(meta.num_nodes, tree.tree().nodes.size());
+  EXPECT_TRUE(meta.root_mbr == tree.tree().nodes[tree.tree().root].mbr);
+
+  const PagedIndexView paged(&store, meta);
+  ExpectRangeQueriesMatch(paged, data, 31);
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,164 @@
+// Model-based randomized tests: the storage layer is driven with random
+// operation sequences and checked against simple in-memory reference
+// models after every step.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/node_store.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+std::vector<char> RandomBlob(Rng* rng, size_t max_size) {
+  std::vector<char> blob(rng->UniformInt(max_size + 1));
+  for (auto& c : blob) c = static_cast<char>(rng->Next() & 0xFF);
+  return blob;
+}
+
+class NodeStoreFuzzTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NodeStoreFuzzTest, RandomOpsMatchReferenceModel) {
+  const size_t pool_frames = GetParam();
+  MemDiskManager disk;
+  BufferPool pool(&disk, pool_frames);
+  NodeStore store(&pool);
+  Rng rng(pool_frames * 31 + 7);
+
+  std::unordered_map<NodeId, std::vector<char>> model;
+  std::vector<NodeId> live;
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t op = rng.UniformInt(10);
+    if (op < 4 || live.empty()) {
+      // Append (mix of small, page-sized and multi-page records).
+      const size_t max_size =
+          op % 2 == 0 ? 200 : (op % 3 == 0 ? 3 * kPageSize : kPageSize);
+      std::vector<char> blob = RandomBlob(&rng, max_size);
+      ASSERT_OK_AND_ASSIGN(const NodeId id,
+                           store.Append(blob.data(), blob.size()));
+      ASSERT_EQ(model.count(id), 0u) << "NodeId reused while live";
+      model.emplace(id, std::move(blob));
+      live.push_back(id);
+    } else if (op < 7) {
+      // Read a random live record.
+      const NodeId id = live[rng.UniformInt(live.size())];
+      std::vector<char> out;
+      ASSERT_OK(store.Read(id, &out));
+      EXPECT_EQ(out, model[id]) << "step " << step;
+    } else if (op < 9) {
+      // Update with a random new size (shrink, grow, overflow).
+      const NodeId id = live[rng.UniformInt(live.size())];
+      std::vector<char> blob = RandomBlob(&rng, 2 * kPageSize);
+      ASSERT_OK(store.Update(id, blob.data(), blob.size()));
+      model[id] = std::move(blob);
+    } else {
+      // Free a random live record.
+      const size_t pick = rng.UniformInt(live.size());
+      const NodeId id = live[pick];
+      ASSERT_OK(store.Free(id));
+      model.erase(id);
+      live[pick] = live.back();
+      live.pop_back();
+      std::vector<char> out;
+      EXPECT_TRUE(store.Read(id, &out).IsNotFound());
+    }
+  }
+
+  // Final sweep: every live record intact, through a cold pool.
+  ASSERT_OK(pool.Reset(pool_frames));
+  for (const NodeId id : live) {
+    std::vector<char> out;
+    ASSERT_OK(store.Read(id, &out));
+    EXPECT_EQ(out, model[id]);
+  }
+  EXPECT_EQ(store.record_count(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, NodeStoreFuzzTest,
+                         ::testing::Values(2, 4, 16, 256),
+                         [](const auto& info) {
+                           return "frames" + std::to_string(info.param);
+                         });
+
+class BufferPoolFuzzTest
+    : public ::testing::TestWithParam<std::tuple<size_t, Replacement>> {};
+
+TEST_P(BufferPoolFuzzTest, RandomPageTrafficMatchesReferenceModel) {
+  const auto [pool_frames, replacement] = GetParam();
+  MemDiskManager disk;
+  BufferPool pool(&disk, pool_frames, replacement);
+  Rng rng(pool_frames * 57 + 1);
+
+  // Model: page id -> 64-bit stamp written into the page.
+  std::map<PageId, uint64_t> model;
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t op = rng.UniformInt(10);
+    if (op < 3 || model.empty()) {
+      auto res = pool.NewPage();
+      ASSERT_TRUE(res.ok());
+      PinnedPage page = std::move(res).value();
+      const uint64_t stamp = rng.Next();
+      std::memcpy(page.data(), &stamp, 8);
+      page.MarkDirty();
+      model[page.page_id()] = stamp;
+    } else if (op < 8) {
+      auto it = model.begin();
+      std::advance(it, rng.UniformInt(model.size()));
+      ASSERT_OK_AND_ASSIGN(PinnedPage page, pool.Fetch(it->first));
+      uint64_t stamp;
+      std::memcpy(&stamp, page.data(), 8);
+      EXPECT_EQ(stamp, it->second) << "page " << it->first;
+      if (op == 7) {  // rewrite
+        const uint64_t new_stamp = rng.Next();
+        std::memcpy(page.data(), &new_stamp, 8);
+        page.MarkDirty();
+        it->second = new_stamp;
+      }
+    } else if (op == 8) {
+      ASSERT_OK(pool.FlushAll());
+    } else {
+      // Occasionally hold several pins at once (within capacity).
+      const size_t pins = 1 + rng.UniformInt(pool_frames - 1);
+      std::vector<PinnedPage> held;
+      for (size_t i = 0; i < pins && i < model.size(); ++i) {
+        auto it = model.begin();
+        std::advance(it, rng.UniformInt(model.size()));
+        auto res = pool.Fetch(it->first);
+        ASSERT_TRUE(res.ok());
+        held.push_back(std::move(res).value());
+      }
+      EXPECT_LE(pool.pinned_pages(), pins);
+    }
+  }
+
+  // Every page content must survive a full flush + cold re-read.
+  ASSERT_OK(pool.Reset(pool_frames));
+  for (const auto& [id, stamp] : model) {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool.Fetch(id));
+    uint64_t got;
+    std::memcpy(&got, page.data(), 8);
+    EXPECT_EQ(got, stamp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoolSizesAndPolicies, BufferPoolFuzzTest,
+    ::testing::Combine(::testing::Values(2, 8, 64),
+                       ::testing::Values(Replacement::kLru,
+                                         Replacement::kClock)),
+    [](const auto& info) {
+      return "frames" + std::to_string(std::get<0>(info.param)) +
+             ToString(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,106 @@
+#ifndef ANNLIB_TESTS_TEST_UTIL_H_
+#define ANNLIB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ann/brute_force.h"
+#include "ann/result.h"
+#include "common/geometry.h"
+#include "common/random.h"
+
+namespace ann {
+
+#define ASSERT_OK(expr)                                     \
+  do {                                                      \
+    const ::ann::Status _st = (expr);                       \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (false)
+
+#define EXPECT_OK(expr)                                     \
+  do {                                                      \
+    const ::ann::Status _st = (expr);                       \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                    \
+  ASSERT_OK_AND_ASSIGN_IMPL(ANN_CONCAT(_r_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)          \
+  auto tmp = (rexpr);                                       \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();         \
+  lhs = std::move(tmp).value()
+
+/// Uniform random points in [0,1]^dim.
+inline Dataset RandomDataset(int dim, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dim);
+  data.Reserve(n);
+  Scalar p[kMaxDim];
+  for (size_t i = 0; i < n; ++i) {
+    for (int d = 0; d < dim; ++d) p[d] = rng.NextDouble();
+    data.Append(p);
+  }
+  return data;
+}
+
+/// Random rect inside [lo, hi]^dim (possibly thin, never inverted).
+inline Rect RandomRect(int dim, Rng* rng, Scalar lo = 0, Scalar hi = 1) {
+  Rect r;
+  r.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    Scalar a = rng->Uniform(lo, hi);
+    Scalar b = rng->Uniform(lo, hi);
+    if (a > b) std::swap(a, b);
+    r.lo[d] = a;
+    r.hi[d] = b;
+  }
+  return r;
+}
+
+/// Random point inside rect `r`.
+inline void RandomPointIn(const Rect& r, Rng* rng, Scalar* p) {
+  for (int d = 0; d < r.dim; ++d) p[d] = rng->Uniform(r.lo[d], r.hi[d]);
+}
+
+/// Checks `got` against exact AkNN `want` (both must cover the same query
+/// ids): per-rank distances must agree to tolerance, and every reported
+/// (id, dist) must be consistent with the actual point distance — this is
+/// invariant under permutations of distance ties.
+inline void ExpectResultsMatch(const Dataset& r, const Dataset& s,
+                               std::vector<NeighborList> got,
+                               const std::vector<NeighborList>& want,
+                               Scalar tol = 1e-9) {
+  SortByQueryId(&got);
+  ASSERT_EQ(got.size(), want.size());
+  const int dim = r.dim();
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].r_id, want[i].r_id);
+    ASSERT_EQ(got[i].neighbors.size(), want[i].neighbors.size())
+        << "query " << got[i].r_id;
+    for (size_t j = 0; j < got[i].neighbors.size(); ++j) {
+      EXPECT_NEAR(got[i].neighbors[j].second, want[i].neighbors[j].second,
+                  tol)
+          << "query " << got[i].r_id << " rank " << j;
+      // Reported distance must match the reported id.
+      const Scalar actual =
+          std::sqrt(PointDist2(r.point(got[i].r_id),
+                               s.point(got[i].neighbors[j].first), dim));
+      EXPECT_NEAR(got[i].neighbors[j].second, actual, tol);
+    }
+  }
+}
+
+/// Convenience: brute-force ground truth + match check.
+inline void ExpectExactAknn(const Dataset& r, const Dataset& s, int k,
+                            std::vector<NeighborList> got) {
+  std::vector<NeighborList> want;
+  ASSERT_OK(BruteForceAknn(r, s, k, &want));
+  ExpectResultsMatch(r, s, std::move(got), want);
+}
+
+}  // namespace ann
+
+#endif  // ANNLIB_TESTS_TEST_UTIL_H_

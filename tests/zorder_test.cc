@@ -1,0 +1,94 @@
+#include "common/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+Rect UnitBox(int dim) {
+  Rect r;
+  r.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    r.lo[d] = 0;
+    r.hi[d] = 1;
+  }
+  return r;
+}
+
+TEST(ZOrderTest, BitsPerDimDividesBudget) {
+  EXPECT_EQ(ZOrder(UnitBox(2)).bits_per_dim(), 21);  // capped
+  EXPECT_EQ(ZOrder(UnitBox(4)).bits_per_dim(), 16);
+  EXPECT_EQ(ZOrder(UnitBox(10)).bits_per_dim(), 6);
+}
+
+TEST(ZOrderTest, KeyIsMonotoneAlongDiagonal) {
+  const ZOrder z(UnitBox(2));
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Scalar p[2] = {i / 100.0, i / 100.0};
+    const uint64_t key = z.Key(p);
+    EXPECT_GE(key, prev) << "diagonal step " << i;
+    prev = key;
+  }
+}
+
+TEST(ZOrderTest, EqualPointsShareKeys) {
+  const ZOrder z(UnitBox(3));
+  const Scalar p[3] = {0.3, 0.7, 0.1};
+  EXPECT_EQ(z.Key(p), z.Key(p));
+}
+
+TEST(ZOrderTest, OutOfBoxPointsClamp) {
+  const ZOrder z(UnitBox(2));
+  const Scalar below[2] = {-5, -5};
+  const Scalar above[2] = {5, 5};
+  const Scalar lo[2] = {0, 0};
+  const Scalar hi[2] = {1, 1};
+  EXPECT_EQ(z.Key(below), z.Key(lo));
+  EXPECT_EQ(z.Key(above), z.Key(hi));
+}
+
+TEST(ZOrderTest, SortedOrderIsAPermutation) {
+  const Dataset data = RandomDataset(3, 500, 21);
+  const ZOrder z(data.BoundingBox());
+  const std::vector<size_t> order = z.SortedOrder(data);
+  ASSERT_EQ(order.size(), data.size());
+  std::vector<bool> seen(data.size(), false);
+  for (size_t idx : order) {
+    ASSERT_LT(idx, data.size());
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(ZOrderTest, SortedOrderImprovesLocality) {
+  // Average distance between consecutive points in Z-order must be far
+  // smaller than between consecutive points in random order.
+  const Dataset data = RandomDataset(2, 4000, 99);
+  const ZOrder z(data.BoundingBox());
+  const std::vector<size_t> order = z.SortedOrder(data);
+  double z_hops = 0, raw_hops = 0;
+  for (size_t i = 1; i < order.size(); ++i) {
+    z_hops += std::sqrt(PointDist2(data.point(order[i - 1]),
+                                   data.point(order[i]), 2));
+    raw_hops += std::sqrt(PointDist2(data.point(i - 1), data.point(i), 2));
+  }
+  EXPECT_LT(z_hops, raw_hops / 5);
+}
+
+TEST(ZOrderTest, QuadrantOrderingIn2D) {
+  // In 2-D with our interleave the key orders quadrants consistently:
+  // points in the low half of dim 0 and dim 1 sort before the high half.
+  const ZOrder z(UnitBox(2));
+  const Scalar q00[2] = {0.2, 0.2};
+  const Scalar q11[2] = {0.8, 0.8};
+  EXPECT_LT(z.Key(q00), z.Key(q11));
+}
+
+}  // namespace
+}  // namespace ann
