@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pruning_counters.dir/bench_ablation_pruning_counters.cc.o"
+  "CMakeFiles/bench_ablation_pruning_counters.dir/bench_ablation_pruning_counters.cc.o.d"
+  "bench_ablation_pruning_counters"
+  "bench_ablation_pruning_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pruning_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

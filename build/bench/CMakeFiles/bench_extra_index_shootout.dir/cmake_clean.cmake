@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_index_shootout.dir/bench_extra_index_shootout.cc.o"
+  "CMakeFiles/bench_extra_index_shootout.dir/bench_extra_index_shootout.cc.o.d"
+  "bench_extra_index_shootout"
+  "bench_extra_index_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_index_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_onthefly.dir/bench_extra_onthefly.cc.o"
+  "CMakeFiles/bench_extra_onthefly.dir/bench_extra_onthefly.cc.o.d"
+  "bench_extra_onthefly"
+  "bench_extra_onthefly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_onthefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

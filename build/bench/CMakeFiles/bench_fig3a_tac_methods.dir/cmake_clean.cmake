@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3a_tac_methods.dir/bench_fig3a_tac_methods.cc.o"
+  "CMakeFiles/bench_fig3a_tac_methods.dir/bench_fig3a_tac_methods.cc.o.d"
+  "bench_fig3a_tac_methods"
+  "bench_fig3a_tac_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_tac_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_fc_bufferpool.dir/bench_fig3b_fc_bufferpool.cc.o"
+  "CMakeFiles/bench_fig3b_fc_bufferpool.dir/bench_fig3b_fc_bufferpool.cc.o.d"
+  "bench_fig3b_fc_bufferpool"
+  "bench_fig3b_fc_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_fc_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

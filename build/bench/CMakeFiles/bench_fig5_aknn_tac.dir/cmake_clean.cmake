@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_aknn_tac.dir/bench_fig5_aknn_tac.cc.o"
+  "CMakeFiles/bench_fig5_aknn_tac.dir/bench_fig5_aknn_tac.cc.o.d"
+  "bench_fig5_aknn_tac"
+  "bench_fig5_aknn_tac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_aknn_tac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_aknn_fc.dir/bench_fig6_aknn_fc.cc.o"
+  "CMakeFiles/bench_fig6_aknn_fc.dir/bench_fig6_aknn_fc.cc.o.d"
+  "bench_fig6_aknn_fc"
+  "bench_fig6_aknn_fc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_aknn_fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_tool.dir/ann_tool.cpp.o"
+  "CMakeFiles/ann_tool.dir/ann_tool.cpp.o.d"
+  "ann_tool"
+  "ann_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_mining.dir/colocation_mining.cpp.o"
+  "CMakeFiles/colocation_mining.dir/colocation_mining.cpp.o.d"
+  "colocation_mining"
+  "colocation_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

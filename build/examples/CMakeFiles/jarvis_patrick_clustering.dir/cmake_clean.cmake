@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jarvis_patrick_clustering.dir/jarvis_patrick_clustering.cpp.o"
+  "CMakeFiles/jarvis_patrick_clustering.dir/jarvis_patrick_clustering.cpp.o.d"
+  "jarvis_patrick_clustering"
+  "jarvis_patrick_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jarvis_patrick_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

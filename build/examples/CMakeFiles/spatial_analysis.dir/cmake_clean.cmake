@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_analysis.dir/spatial_analysis.cpp.o"
+  "CMakeFiles/spatial_analysis.dir/spatial_analysis.cpp.o.d"
+  "spatial_analysis"
+  "spatial_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_crossmatch.dir/star_crossmatch.cpp.o"
+  "CMakeFiles/star_crossmatch.dir/star_crossmatch.cpp.o.d"
+  "star_crossmatch"
+  "star_crossmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_crossmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

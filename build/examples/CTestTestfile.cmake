@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "2000")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_jarvis_patrick "/root/repo/build/examples/jarvis_patrick_clustering" "1500" "8" "4")
+set_tests_properties(example_jarvis_patrick PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_star_crossmatch "/root/repo/build/examples/star_crossmatch" "5000")
+set_tests_properties(example_star_crossmatch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_colocation "/root/repo/build/examples/colocation_mining" "800")
+set_tests_properties(example_colocation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spatial_analysis "/root/repo/build/examples/spatial_analysis" "3000")
+set_tests_properties(example_spatial_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ann_tool "/root/repo/build/examples/ann_tool" "/root/repo/build/examples/smoke_q.csv" "/root/repo/build/examples/smoke_t.csv" "1" "/root/repo/build/examples/smoke_out.csv" "/root/repo/build/examples/smoke_cache.ann")
+set_tests_properties(example_ann_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/brute_force.cc" "src/CMakeFiles/annlib.dir/ann/brute_force.cc.o" "gcc" "src/CMakeFiles/annlib.dir/ann/brute_force.cc.o.d"
+  "/root/repo/src/ann/distance_join.cc" "src/CMakeFiles/annlib.dir/ann/distance_join.cc.o" "gcc" "src/CMakeFiles/annlib.dir/ann/distance_join.cc.o.d"
+  "/root/repo/src/ann/lpq.cc" "src/CMakeFiles/annlib.dir/ann/lpq.cc.o" "gcc" "src/CMakeFiles/annlib.dir/ann/lpq.cc.o.d"
+  "/root/repo/src/ann/mba.cc" "src/CMakeFiles/annlib.dir/ann/mba.cc.o" "gcc" "src/CMakeFiles/annlib.dir/ann/mba.cc.o.d"
+  "/root/repo/src/ann/nn_search.cc" "src/CMakeFiles/annlib.dir/ann/nn_search.cc.o" "gcc" "src/CMakeFiles/annlib.dir/ann/nn_search.cc.o.d"
+  "/root/repo/src/ann/validate.cc" "src/CMakeFiles/annlib.dir/ann/validate.cc.o" "gcc" "src/CMakeFiles/annlib.dir/ann/validate.cc.o.d"
+  "/root/repo/src/baselines/bnn.cc" "src/CMakeFiles/annlib.dir/baselines/bnn.cc.o" "gcc" "src/CMakeFiles/annlib.dir/baselines/bnn.cc.o.d"
+  "/root/repo/src/baselines/gorder/gorder_join.cc" "src/CMakeFiles/annlib.dir/baselines/gorder/gorder_join.cc.o" "gcc" "src/CMakeFiles/annlib.dir/baselines/gorder/gorder_join.cc.o.d"
+  "/root/repo/src/baselines/gorder/grid_order.cc" "src/CMakeFiles/annlib.dir/baselines/gorder/grid_order.cc.o" "gcc" "src/CMakeFiles/annlib.dir/baselines/gorder/grid_order.cc.o.d"
+  "/root/repo/src/baselines/gorder/pca.cc" "src/CMakeFiles/annlib.dir/baselines/gorder/pca.cc.o" "gcc" "src/CMakeFiles/annlib.dir/baselines/gorder/pca.cc.o.d"
+  "/root/repo/src/baselines/hnn.cc" "src/CMakeFiles/annlib.dir/baselines/hnn.cc.o" "gcc" "src/CMakeFiles/annlib.dir/baselines/hnn.cc.o.d"
+  "/root/repo/src/baselines/mnn.cc" "src/CMakeFiles/annlib.dir/baselines/mnn.cc.o" "gcc" "src/CMakeFiles/annlib.dir/baselines/mnn.cc.o.d"
+  "/root/repo/src/common/geometry.cc" "src/CMakeFiles/annlib.dir/common/geometry.cc.o" "gcc" "src/CMakeFiles/annlib.dir/common/geometry.cc.o.d"
+  "/root/repo/src/common/hilbert.cc" "src/CMakeFiles/annlib.dir/common/hilbert.cc.o" "gcc" "src/CMakeFiles/annlib.dir/common/hilbert.cc.o.d"
+  "/root/repo/src/common/linalg.cc" "src/CMakeFiles/annlib.dir/common/linalg.cc.o" "gcc" "src/CMakeFiles/annlib.dir/common/linalg.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/annlib.dir/common/random.cc.o" "gcc" "src/CMakeFiles/annlib.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/annlib.dir/common/status.cc.o" "gcc" "src/CMakeFiles/annlib.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zorder.cc" "src/CMakeFiles/annlib.dir/common/zorder.cc.o" "gcc" "src/CMakeFiles/annlib.dir/common/zorder.cc.o.d"
+  "/root/repo/src/datagen/gstd.cc" "src/CMakeFiles/annlib.dir/datagen/gstd.cc.o" "gcc" "src/CMakeFiles/annlib.dir/datagen/gstd.cc.o.d"
+  "/root/repo/src/datagen/real_sim.cc" "src/CMakeFiles/annlib.dir/datagen/real_sim.cc.o" "gcc" "src/CMakeFiles/annlib.dir/datagen/real_sim.cc.o.d"
+  "/root/repo/src/index/grid/grid_index.cc" "src/CMakeFiles/annlib.dir/index/grid/grid_index.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/grid/grid_index.cc.o.d"
+  "/root/repo/src/index/index_file.cc" "src/CMakeFiles/annlib.dir/index/index_file.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/index_file.cc.o.d"
+  "/root/repo/src/index/index_stats.cc" "src/CMakeFiles/annlib.dir/index/index_stats.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/index_stats.cc.o.d"
+  "/root/repo/src/index/kdtree/kdtree.cc" "src/CMakeFiles/annlib.dir/index/kdtree/kdtree.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/kdtree/kdtree.cc.o.d"
+  "/root/repo/src/index/mbrqt/mbrqt.cc" "src/CMakeFiles/annlib.dir/index/mbrqt/mbrqt.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/mbrqt/mbrqt.cc.o.d"
+  "/root/repo/src/index/node_format.cc" "src/CMakeFiles/annlib.dir/index/node_format.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/node_format.cc.o.d"
+  "/root/repo/src/index/paged_index_view.cc" "src/CMakeFiles/annlib.dir/index/paged_index_view.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/paged_index_view.cc.o.d"
+  "/root/repo/src/index/rstar/bulk_load.cc" "src/CMakeFiles/annlib.dir/index/rstar/bulk_load.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/rstar/bulk_load.cc.o.d"
+  "/root/repo/src/index/rstar/rstar_split.cc" "src/CMakeFiles/annlib.dir/index/rstar/rstar_split.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/rstar/rstar_split.cc.o.d"
+  "/root/repo/src/index/rstar/rstar_tree.cc" "src/CMakeFiles/annlib.dir/index/rstar/rstar_tree.cc.o" "gcc" "src/CMakeFiles/annlib.dir/index/rstar/rstar_tree.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/annlib.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/annlib.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/annlib.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/annlib.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/annlib.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/annlib.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/node_store.cc" "src/CMakeFiles/annlib.dir/storage/node_store.cc.o" "gcc" "src/CMakeFiles/annlib.dir/storage/node_store.cc.o.d"
+  "/root/repo/src/storage/paged_file.cc" "src/CMakeFiles/annlib.dir/storage/paged_file.cc.o" "gcc" "src/CMakeFiles/annlib.dir/storage/paged_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_index_test.dir/cross_index_test.cc.o"
+  "CMakeFiles/cross_index_test.dir/cross_index_test.cc.o.d"
+  "cross_index_test"
+  "cross_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

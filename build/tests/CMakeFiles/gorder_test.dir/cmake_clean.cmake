@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorder_test.dir/gorder_test.cc.o"
+  "CMakeFiles/gorder_test.dir/gorder_test.cc.o.d"
+  "gorder_test"
+  "gorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnn_test.dir/hnn_test.cc.o"
+  "CMakeFiles/hnn_test.dir/hnn_test.cc.o.d"
+  "hnn_test"
+  "hnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

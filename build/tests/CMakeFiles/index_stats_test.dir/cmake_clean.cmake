@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_stats_test.dir/index_stats_test.cc.o"
+  "CMakeFiles/index_stats_test.dir/index_stats_test.cc.o.d"
+  "index_stats_test"
+  "index_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpq_test.dir/lpq_test.cc.o"
+  "CMakeFiles/lpq_test.dir/lpq_test.cc.o.d"
+  "lpq_test"
+  "lpq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mba_test.dir/mba_test.cc.o"
+  "CMakeFiles/mba_test.dir/mba_test.cc.o.d"
+  "mba_test"
+  "mba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbrqt_test.dir/mbrqt_test.cc.o"
+  "CMakeFiles/mbrqt_test.dir/mbrqt_test.cc.o.d"
+  "mbrqt_test"
+  "mbrqt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbrqt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

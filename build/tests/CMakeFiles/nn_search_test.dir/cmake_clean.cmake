@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_search_test.dir/nn_search_test.cc.o"
+  "CMakeFiles/nn_search_test.dir/nn_search_test.cc.o.d"
+  "nn_search_test"
+  "nn_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

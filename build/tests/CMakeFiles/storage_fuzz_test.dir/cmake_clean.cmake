@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_fuzz_test.dir/storage_fuzz_test.cc.o"
+  "CMakeFiles/storage_fuzz_test.dir/storage_fuzz_test.cc.o.d"
+  "storage_fuzz_test"
+  "storage_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
