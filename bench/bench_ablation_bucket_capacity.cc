@@ -70,5 +70,6 @@ int main() {
     std::printf("%-12d %10.3f %10.3f %12.3f %14llu\n", capacity, cost->cpu_s,
                 cost->io_s(), cost->total_s(), (unsigned long long)pages);
   }
+  MaybeDumpStatsJson("bench_ablation_bucket_capacity");
   return 0;
 }

@@ -89,5 +89,6 @@ int main() {
     SplitHalves(*data, &r, &s);
     if (RunWorkload("uniform (2D, HNN's best case)", r, s) != 0) return 1;
   }
+  MaybeDumpStatsJson("bench_ablation_curve");
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
   if (Report("MBRQT", v1) != 0) return 1;
   if (Report("R* (inserted)", v2) != 0) return 1;
   if (Report("R* (STR bulk)", v3) != 0) return 1;
+  MaybeDumpStatsJson("bench_ablation_overlap");
   return 0;
 }

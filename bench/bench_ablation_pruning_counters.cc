@@ -18,8 +18,6 @@ namespace {
 
 int RunOne(const char* title, const Dataset& r, const Dataset& s) {
   std::printf("%s\n", title);
-  std::printf("%-18s %12s %12s %12s %12s %12s\n", "config", "enqueued",
-              "entry-pruned", "filter-cut", "unexpanded", "dist evals");
   for (const IndexKind kind : {IndexKind::kRstarInsert, IndexKind::kMbrqt}) {
     Workspace ws;
     auto r_meta = ws.AddIndex(kind, r);
@@ -36,12 +34,8 @@ int RunOne(const char* title, const Dataset& r, const Dataset& s) {
       const std::string label =
           std::string(kind == IndexKind::kMbrqt ? "MBA " : "RBA ") +
           ToString(metric);
-      std::printf("%-18s %12llu %12llu %12llu %12llu %12llu\n", label.c_str(),
-                  (unsigned long long)stats.enqueued,
-                  (unsigned long long)stats.pruned_on_entry,
-                  (unsigned long long)stats.pruned_by_filter,
-                  (unsigned long long)stats.pruned_unexpanded,
-                  (unsigned long long)stats.distance_evals);
+      // One uniform rendering for pruning counters everywhere.
+      std::printf("%-18s %s\n", label.c_str(), stats.ToString().c_str());
     }
   }
   std::printf("\n");
@@ -75,5 +69,6 @@ int main() {
     SplitHalves(*data, &r, &s);
     if (RunOne("-- sparse uniform (4D)", r, s) != 0) return 1;
   }
+  MaybeDumpStatsJson("bench_ablation_pruning_counters");
   return 0;
 }

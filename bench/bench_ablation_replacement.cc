@@ -38,5 +38,6 @@ int main() {
                    *cost);
     }
   }
+  MaybeDumpStatsJson("bench_ablation_replacement");
   return 0;
 }

@@ -48,5 +48,6 @@ int main() {
                   (unsigned long long)stats.lpqs_created);
     }
   }
+  MaybeDumpStatsJson("bench_ablation_traversal");
   return 0;
 }

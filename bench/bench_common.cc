@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/export.h"
+#include "obs/obs.h"
+
 namespace ann::bench {
 
 double ScaleFromEnv() {
@@ -126,6 +129,31 @@ Result<MethodCost> RunGorder(const Dataset& r, const Dataset& s,
                   FlatFilePages(s.size(), s.dim());
   cost.results = out.size();
   return cost;
+}
+
+std::string StatsJsonPathFromEnv() {
+  const char* env = std::getenv("ANN_STATS_JSON");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+void MaybeDumpStatsJson(const std::string& bench_name) {
+  const std::string path = StatsJsonPathFromEnv();
+  if (path.empty()) return;
+  const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
+  const std::string json = "{\"bench\": \"" + obs::JsonEscape(bench_name) +
+                           "\", \"obs\": " + obs::ToJson(snap) + "}";
+  if (path == "-") {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ANN_STATS_JSON: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", json.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "wrote obs stats to %s\n", path.c_str());
 }
 
 void PrintHeader(const std::string& title, const std::string& note) {

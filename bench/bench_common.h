@@ -132,6 +132,19 @@ Result<MethodCost> RunGorder(const Dataset& r, const Dataset& s,
 /// Pages needed to store `n` points of dimension `dim` as a flat file.
 uint64_t FlatFilePages(size_t n, int dim);
 
+/// ---- observability --------------------------------------------------
+
+/// Stats-JSON destination from the ANN_STATS_JSON env var: a file path,
+/// "-" for stdout, or unset (empty string) for off.
+std::string StatsJsonPathFromEnv();
+
+/// Dumps the global obs registry snapshot as one JSON object
+/// `{"bench": <name>, "obs": {...}}` to the ANN_STATS_JSON destination
+/// (no-op when unset). Every bench calls this last, so bench artifacts
+/// carry the engine-internal counters — buffer-pool hits/misses, MBA
+/// phase timings, pruning counters — not just wall-clock numbers.
+void MaybeDumpStatsJson(const std::string& bench_name);
+
 /// ---- table printing -------------------------------------------------
 
 void PrintHeader(const std::string& title, const std::string& note);

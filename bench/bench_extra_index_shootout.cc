@@ -76,5 +76,6 @@ int main() {
     SplitHalves(*fc, &r, &s);
     if (RunWorkload("FC-like (10D)", r, s) != 0) return 1;
   }
+  MaybeDumpStatsJson("bench_extra_index_shootout");
   return 0;
 }

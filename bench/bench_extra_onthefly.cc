@@ -102,5 +102,6 @@ int main() {
     if (!cost.ok()) return 1;
     PrintCostRow("GORDER", *cost);
   }
+  MaybeDumpStatsJson("bench_extra_onthefly");
   return 0;
 }

@@ -69,5 +69,6 @@ int main() {
     if (!cost.ok()) return 1;
     PrintCostRow("GORDER", *cost);
   }
+  MaybeDumpStatsJson("bench_fig3a_tac_methods");
   return 0;
 }

@@ -47,5 +47,6 @@ int main() {
     if (!cost.ok()) return 1;
     PrintCostRow(std::string("GORDER @ ") + pool.name, *cost);
   }
+  MaybeDumpStatsJson("bench_fig3b_fc_bufferpool");
   return 0;
 }

@@ -44,5 +44,6 @@ int main() {
     if (!gorder.ok()) return 1;
     PrintCostRow("GORDER @ " + std::to_string(dim) + "D", *gorder);
   }
+  MaybeDumpStatsJson("bench_fig4_dimensionality");
   return 0;
 }

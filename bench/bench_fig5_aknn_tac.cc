@@ -42,5 +42,6 @@ int main() {
     if (!gorder.ok()) return 1;
     PrintCostRow("GORDER @ k=" + std::to_string(k), *gorder);
   }
+  MaybeDumpStatsJson("bench_fig5_aknn_tac");
   return 0;
 }

@@ -63,5 +63,6 @@ int main() {
   auto fc = MakeForestCoverLike(static_cast<size_t>(580000 * scale));
   if (!fc.ok()) return 1;
   Row("FC", *fc, "10D Forest Cover Type stand-in");
+  MaybeDumpStatsJson("bench_table2_datasets");
   return 0;
 }

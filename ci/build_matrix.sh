@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Build matrix: prove the library builds and passes its tests both with
+# the obs instrumentation layer compiled in (default) and compiled out
+# (-DANNLIB_OBS_DISABLED=ON). Run from the repository root.
+#
+#   ci/build_matrix.sh [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_config() {
+  local build_dir="$1"
+  shift
+  echo "=== configure ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== build ${build_dir}"
+  cmake --build "${build_dir}" -j
+  echo "=== test ${build_dir}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j
+}
+
+run_config build
+run_config build-obs-off -DANNLIB_OBS_DISABLED=ON
+
+echo "=== build matrix OK"

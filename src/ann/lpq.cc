@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
 
 namespace ann {
 
@@ -18,8 +20,36 @@ PruneStats& PruneStats::operator+=(const PruneStats& o) {
   return *this;
 }
 
-Lpq::Lpq(IndexEntry owner, Scalar inherited_bound2, int k)
-    : owner_(owner), k_(k), bound2_(inherited_bound2) {}
+PruneStats PruneStats::operator-(const PruneStats& o) const {
+  PruneStats d;
+  d.lpqs_created = lpqs_created - o.lpqs_created;
+  d.enqueue_attempts = enqueue_attempts - o.enqueue_attempts;
+  d.enqueued = enqueued - o.enqueued;
+  d.pruned_on_entry = pruned_on_entry - o.pruned_on_entry;
+  d.pruned_by_filter = pruned_by_filter - o.pruned_by_filter;
+  d.pruned_unexpanded = pruned_unexpanded - o.pruned_unexpanded;
+  d.r_nodes_expanded = r_nodes_expanded - o.r_nodes_expanded;
+  d.s_nodes_expanded = s_nodes_expanded - o.s_nodes_expanded;
+  d.distance_evals = distance_evals - o.distance_evals;
+  return d;
+}
+
+std::string PruneStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "lpqs_created=%" PRIu64 " enqueue_attempts=%" PRIu64
+                " enqueued=%" PRIu64 " pruned_on_entry=%" PRIu64
+                " pruned_by_filter=%" PRIu64 " pruned_unexpanded=%" PRIu64
+                " r_nodes_expanded=%" PRIu64 " s_nodes_expanded=%" PRIu64
+                " distance_evals=%" PRIu64,
+                lpqs_created, enqueue_attempts, enqueued, pruned_on_entry,
+                pruned_by_filter, pruned_unexpanded, r_nodes_expanded,
+                s_nodes_expanded, distance_evals);
+  return buf;
+}
+
+Lpq::Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level)
+    : owner_(owner), k_(k), level_(level), bound2_(inherited_bound2) {}
 
 void Lpq::InsertLive(Scalar maxd2) {
   live_maxd2_.insert(

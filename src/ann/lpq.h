@@ -2,6 +2,7 @@
 #define ANNLIB_ANN_LPQ_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/geometry.h"
@@ -24,6 +25,14 @@ struct PruneStats {
   uint64_t distance_evals = 0;  ///< MIND/MAXD metric pair computations
 
   PruneStats& operator+=(const PruneStats& o);
+
+  /// Field-wise difference (used to fold per-run deltas into the obs
+  /// registry when the caller accumulates across runs).
+  PruneStats operator-(const PruneStats& o) const;
+
+  /// Uniform one-line rendering, `name=value` pairs in declaration order
+  /// — the single formatting every bench and tool prints.
+  std::string ToString() const;
 };
 
 /// An IS entry queued inside an LPQ, with its distance bounds to the LPQ
@@ -32,6 +41,7 @@ struct LpqEntry {
   IndexEntry entry;
   Scalar mind2 = 0;  ///< MINMINDIST^2(owner, entry)
   Scalar maxd2 = 0;  ///< pruning metric^2 (NXNDIST or MAXMAXDIST)
+  uint16_t level = 0;  ///< depth of `entry` in IS (root = 0); observability
 };
 
 /// \brief Local Priority Queue (Section 3.3.1).
@@ -61,9 +71,12 @@ class Lpq {
   /// \param inherited_bound2 squared MAXD bound passed down from the
   ///   parent LPQ (infinity at the root).
   /// \param k neighbors requested per query object.
-  Lpq(IndexEntry owner, Scalar inherited_bound2, int k);
+  /// \param level depth of `owner` in IR (root = 0); only observability
+  ///   reads it (per-level node-access histograms).
+  Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level = 0);
 
   const IndexEntry& owner() const { return owner_; }
+  int level() const { return level_; }
 
   /// Current squared pruning upper bound.
   Scalar bound2() const { return bound2_; }
@@ -103,6 +116,7 @@ class Lpq {
 
   IndexEntry owner_;
   int k_;
+  int level_;
   Scalar bound2_;
   std::vector<Scalar> live_maxd2_;  ///< maxd^2 of queued + committed, sorted
   size_t committed_ = 0;            ///< results already gathered

@@ -4,20 +4,40 @@
 #include <deque>
 #include <memory>
 
+#include "obs/obs.h"
+
 namespace ann {
 
 namespace {
 
 /// Computes the MIND/MAXD pair of `e` relative to `owner` (the paper's
-/// Distances function).
+/// Distances function). `level` is the depth of `e` in IS (root = 0),
+/// carried along for the per-level access histograms.
 LpqEntry MakeLpqEntry(const IndexEntry& owner, const IndexEntry& e,
-                      PruneMetric metric, PruneStats* stats) {
+                      PruneMetric metric, uint16_t level, PruneStats* stats) {
   ++stats->distance_evals;
   LpqEntry out;
   out.entry = e;
   out.mind2 = MinMinDist2(owner.mbr, e.mbr);
   out.maxd2 = UpperBound2(metric, owner.mbr, e.mbr);
+  out.level = level;
   return out;
+}
+
+/// Folds the per-run PruneStats delta into the global obs registry, so
+/// every MBA/RBA execution in the process is visible in one snapshot
+/// (`mba.*` counters) without threading a registry through the engine.
+void FoldPruneStats(const PruneStats& d) {
+  obs::Registry& reg = obs::Registry::Global();
+  reg.GetCounter("mba.lpqs_created")->Add(d.lpqs_created);
+  reg.GetCounter("mba.enqueue_attempts")->Add(d.enqueue_attempts);
+  reg.GetCounter("mba.enqueued")->Add(d.enqueued);
+  reg.GetCounter("mba.pruned_on_entry")->Add(d.pruned_on_entry);
+  reg.GetCounter("mba.pruned_by_filter")->Add(d.pruned_by_filter);
+  reg.GetCounter("mba.pruned_unexpanded")->Add(d.pruned_unexpanded);
+  reg.GetCounter("mba.r_nodes_expanded")->Add(d.r_nodes_expanded);
+  reg.GetCounter("mba.s_nodes_expanded")->Add(d.s_nodes_expanded);
+  reg.GetCounter("mba.distance_evals")->Add(d.distance_evals);
 }
 
 class AnnEngine {
@@ -34,10 +54,10 @@ class AnnEngine {
             ? kInf
             : options_.max_distance * options_.max_distance;
     auto root_lpq =
-        std::make_unique<Lpq>(ir_.Root(), root_bound2, options_.k);
+        std::make_unique<Lpq>(ir_.Root(), root_bound2, options_.k, /*level=*/0);
     ++stats_->lpqs_created;
-    const LpqEntry root_entry =
-        MakeLpqEntry(root_lpq->owner(), is_.Root(), options_.metric, stats_);
+    const LpqEntry root_entry = MakeLpqEntry(
+        root_lpq->owner(), is_.Root(), options_.metric, /*level=*/0, stats_);
     root_lpq->Enqueue(root_entry, stats_);
     worklist_.push_back(std::move(root_lpq));
 
@@ -62,6 +82,9 @@ class AnnEngine {
   }
 
   Status Gather(std::unique_ptr<Lpq> lpq) {
+    obs::ObsScope phase(gather_timer_);
+    lpq_depth_hist_->Record(static_cast<double>(lpq->size()));
+    const uint64_t evals_before = stats_->distance_evals;
     // Best-first kNN completion for a single query object: entries pop in
     // MIND order, so the first k objects popped are the k nearest.
     NeighborList result;
@@ -76,27 +99,35 @@ class AnnEngine {
         continue;
       }
       ++stats_->s_nodes_expanded;
+      s_level_hist_->Record(static_cast<double>(n.level));
       scratch_.clear();
       ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
       for (const IndexEntry& e : scratch_) {
-        lpq->Enqueue(MakeLpqEntry(lpq->owner(), e, options_.metric, stats_),
+        lpq->Enqueue(MakeLpqEntry(lpq->owner(), e, options_.metric,
+                                  static_cast<uint16_t>(n.level + 1), stats_),
                      stats_);
       }
     }
+    query_evals_hist_->Record(
+        static_cast<double>(stats_->distance_evals - evals_before));
+    phase.Stop();  // the sink is the caller's code, not Gather time
     return sink_(std::move(result));
   }
 
   Status Expand(std::unique_ptr<Lpq> lpq) {
+    obs::ObsScope phase(expand_timer_);
     // Expand the owner (IR side): each child gets a fresh LPQ seeded with
     // the parent bound (sound by Lemma 3.2).
     ++stats_->r_nodes_expanded;
+    r_level_hist_->Record(static_cast<double>(lpq->level()));
     std::vector<IndexEntry> r_children;
     ANN_RETURN_NOT_OK(ir_.Expand(lpq->owner(), &r_children));
     std::vector<std::unique_ptr<Lpq>> child_lpqs;
     child_lpqs.reserve(r_children.size());
     for (const IndexEntry& c : r_children) {
       child_lpqs.push_back(
-          std::make_unique<Lpq>(c, lpq->bound2(), options_.k));
+          std::make_unique<Lpq>(c, lpq->bound2(), options_.k,
+                                lpq->level() + 1));
       ++stats_->lpqs_created;
     }
 
@@ -108,6 +139,12 @@ class AnnEngine {
     const bool r_children_are_objects =
         !r_children.empty() && r_children[0].is_object;
 
+    // The probe loop below is the paper's Filter stage: every parent
+    // entry is re-scored against each child LPQ (Lpq::Enqueue applies the
+    // admission test and the bound-tightening eviction). Timed as its own
+    // nested phase so Expand time can be split into structure descent vs.
+    // candidate filtering.
+    obs::ObsScope filter_phase(filter_timer_);
     LpqEntry n;
     while (lpq->Dequeue(&n)) {
       // An IS entry can only matter if its MIND beats some child's bound.
@@ -126,24 +163,27 @@ class AnnEngine {
           options_.expansion == Expansion::kUnidirectional) {
         // Probe the entry itself against every child LPQ.
         for (const auto& child : child_lpqs) {
-          child->Enqueue(
-              MakeLpqEntry(child->owner(), n.entry, options_.metric, stats_),
-              stats_);
+          child->Enqueue(MakeLpqEntry(child->owner(), n.entry,
+                                      options_.metric, n.level, stats_),
+                         stats_);
         }
       } else {
         // Bi-directional: descend the IS side too.
         ++stats_->s_nodes_expanded;
+        s_level_hist_->Record(static_cast<double>(n.level));
         scratch_.clear();
         ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
         for (const IndexEntry& e : scratch_) {
           for (const auto& child : child_lpqs) {
             child->Enqueue(
-                MakeLpqEntry(child->owner(), e, options_.metric, stats_),
+                MakeLpqEntry(child->owner(), e, options_.metric,
+                             static_cast<uint16_t>(n.level + 1), stats_),
                 stats_);
           }
         }
       }
     }
+    filter_phase.Stop();
 
     // Queue the non-empty child LPQs (line 19 of Algorithm 4). An empty
     // child LPQ can only occur under a max_distance bound (classic ANN
@@ -198,6 +238,24 @@ class AnnEngine {
   PruneStats* stats_;
   std::deque<std::unique_ptr<Lpq>> worklist_;
   std::vector<IndexEntry> scratch_;
+
+  // Observability handles (resolved once per run; see DESIGN.md
+  // "Observability"). Phase timers cover the paper's three stages;
+  // the level histograms record node accesses by tree depth (root = 0);
+  // the query histograms record, per query object, the LPQ size at the
+  // start of its Gather stage and the pruning-metric evaluations spent
+  // finishing it.
+  obs::PhaseTimer* expand_timer_ = obs::GetTimer("mba.phase.expand");
+  obs::PhaseTimer* filter_timer_ = obs::GetTimer("mba.phase.filter");
+  obs::PhaseTimer* gather_timer_ = obs::GetTimer("mba.phase.gather");
+  obs::Histogram* r_level_hist_ = obs::GetHistogram(
+      "mba.expand.r_level", obs::LinearBounds(1, 1, 16));
+  obs::Histogram* s_level_hist_ = obs::GetHistogram(
+      "mba.expand.s_level", obs::LinearBounds(1, 1, 16));
+  obs::Histogram* lpq_depth_hist_ = obs::GetHistogram(
+      "mba.query.lpq_depth", obs::ExponentialBounds(1, 2, 12));
+  obs::Histogram* query_evals_hist_ = obs::GetHistogram(
+      "mba.query.nxndist_evals", obs::ExponentialBounds(1, 2, 16));
 };
 
 }  // namespace
@@ -216,8 +274,11 @@ Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
   }
   PruneStats local;
   PruneStats* s = stats ? stats : &local;
+  const PruneStats before = *s;  // callers may accumulate across runs
   AnnEngine engine(ir, is, options, sink, s);
-  return engine.Run();
+  const Status st = engine.Run();
+  FoldPruneStats(*s - before);
+  return st;
 }
 
 Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,

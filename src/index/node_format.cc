@@ -23,6 +23,7 @@ Status MemIndexView::Expand(const IndexEntry& e,
     return Status::OutOfRange("MemIndexView: bad node id");
   }
   const MemNode& node = tree_->nodes[e.id];
+  obs_expands_->Increment();
   out->reserve(out->size() + node.entries.size());
   for (const MemEntry& me : node.entries) {
     if (node.is_leaf) {

@@ -7,6 +7,7 @@
 #include "common/geometry.h"
 #include "common/status.h"
 #include "index/spatial_index.h"
+#include "obs/obs.h"
 #include "storage/node_store.h"
 
 namespace ann {
@@ -55,6 +56,7 @@ class MemIndexView final : public SpatialIndex {
 
  private:
   const MemTree* tree_;
+  obs::Counter* obs_expands_ = obs::GetCounter("index.mem.expands");
 };
 
 /// Location and shape of a tree persisted into a NodeStore.

@@ -8,6 +8,8 @@ Status PagedIndexView::Expand(const IndexEntry& e,
     return Status::InvalidArgument("Expand called on an object entry");
   }
   ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch_));
+  obs_expands_->Increment();
+  obs_bytes_->Add(scratch_.size());
   return DeserializeNodeEntries(scratch_.data(), scratch_.size(), meta_.dim,
                                 out);
 }

@@ -5,6 +5,7 @@
 
 #include "index/node_format.h"
 #include "index/spatial_index.h"
+#include "obs/obs.h"
 #include "storage/node_store.h"
 
 namespace ann {
@@ -37,6 +38,8 @@ class PagedIndexView final : public SpatialIndex {
   const NodeStore* store_;
   PersistedIndexMeta meta_;
   mutable std::vector<char> scratch_;  // reused node read buffer
+  obs::Counter* obs_expands_ = obs::GetCounter("index.paged.expands");
+  obs::Counter* obs_bytes_ = obs::GetCounter("index.paged.node_bytes");
 };
 
 }  // namespace ann

@@ -1,0 +1,211 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace ann::obs {
+
+namespace {
+
+/// Shortest decimal that round-trips a double; JSON has no inf/nan, so
+/// those render as very large sentinels (never produced by snapshots —
+/// min/max are zeroed for empty histograms).
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    out->append(v > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  char buf[64];
+  // %.17g always round-trips; try the shorter %g first.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  double parsed = 0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendKey(std::string* out, std::string_view name) {
+  out->push_back('"');
+  out->append(JsonEscape(name));
+  out->append("\": ");
+}
+
+void AppendDoubleArray(std::string* out, const std::vector<double>& vs) {
+  out->push_back('[');
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendDouble(out, vs[i]);
+  }
+  out->push_back(']');
+}
+
+void AppendUintArray(std::string* out, const std::vector<uint64_t>& vs) {
+  out->push_back('[');
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendUint(out, vs[i]);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::string out;
+  out.push_back('{');
+
+  out.append("\"counters\": {");
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out.append(", ");
+    AppendKey(&out, snapshot.counters[i].first);
+    AppendUint(&out, snapshot.counters[i].second);
+  }
+  out.append("}, \"gauges\": {");
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out.append(", ");
+    AppendKey(&out, snapshot.gauges[i].first);
+    AppendInt(&out, snapshot.gauges[i].second);
+  }
+  out.append("}, \"histograms\": {");
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) out.append(", ");
+    AppendKey(&out, h.name);
+    out.append("{\"count\": ");
+    AppendUint(&out, h.count);
+    out.append(", \"sum\": ");
+    AppendDouble(&out, h.sum);
+    out.append(", \"min\": ");
+    AppendDouble(&out, h.min);
+    out.append(", \"max\": ");
+    AppendDouble(&out, h.max);
+    out.append(", \"bounds\": ");
+    AppendDoubleArray(&out, h.bounds);
+    out.append(", \"buckets\": ");
+    AppendUintArray(&out, h.buckets);
+    out.push_back('}');
+  }
+  out.append("}, \"timers\": {");
+  for (size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const TimerSnapshot& t = snapshot.timers[i];
+    if (i > 0) out.append(", ");
+    AppendKey(&out, t.name);
+    out.append("{\"calls\": ");
+    AppendUint(&out, t.calls);
+    out.append(", \"total_ms\": ");
+    AppendDouble(&out, static_cast<double>(t.total_ns) * 1e-6);
+    out.append(", \"latency_bounds_ns\": ");
+    AppendDoubleArray(&out, t.latency.bounds);
+    out.append(", \"latency_buckets\": ");
+    AppendUintArray(&out, t.latency.buckets);
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string ToText(const Snapshot& snapshot) {
+  std::string out;
+  char buf[256];
+  if (!snapshot.counters.empty()) {
+    out.append("counters:\n");
+    for (const auto& [name, v] : snapshot.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %12" PRIu64 "\n", name.c_str(),
+                    v);
+      out.append(buf);
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out.append("gauges:\n");
+    for (const auto& [name, v] : snapshot.gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %12" PRId64 "\n", name.c_str(),
+                    v);
+      out.append(buf);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out.append("histograms:\n");
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-40s count=%" PRIu64 " sum=%g min=%g max=%g\n",
+                    h.name.c_str(), h.count, h.sum, h.min, h.max);
+      out.append(buf);
+      for (size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;
+        if (i < h.bounds.size()) {
+          std::snprintf(buf, sizeof(buf), "    < %-12g %12" PRIu64 "\n",
+                        h.bounds[i], h.buckets[i]);
+        } else {
+          std::snprintf(buf, sizeof(buf), "    overflow       %12" PRIu64 "\n",
+                        h.buckets[i]);
+        }
+        out.append(buf);
+      }
+    }
+  }
+  if (!snapshot.timers.empty()) {
+    out.append("timers:\n");
+    for (const TimerSnapshot& t : snapshot.timers) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-40s calls=%" PRIu64 " total=%.3f ms\n",
+                    t.name.c_str(), t.calls,
+                    static_cast<double>(t.total_ns) * 1e-6);
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+}  // namespace ann::obs

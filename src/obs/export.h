@@ -1,0 +1,41 @@
+#ifndef ANNLIB_OBS_EXPORT_H_
+#define ANNLIB_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/obs.h"
+
+namespace ann::obs {
+
+/// \file
+/// Structured renderers for registry snapshots. Both renderers are pure
+/// functions of the Snapshot, so a snapshot taken once can be logged as
+/// text and archived as JSON without re-reading the registry.
+
+/// JSON string-escapes `s` (quotes, backslashes, and control characters
+/// as \uXXXX). Exposed for the exporter tests.
+std::string JsonEscape(std::string_view s);
+
+/// Renders the snapshot as a single JSON object:
+///
+///   {"counters": {"name": n, ...},
+///    "gauges": {"name": n, ...},
+///    "histograms": {"name": {"count": n, "sum": x, "min": x, "max": x,
+///                            "bounds": [...], "buckets": [...]}, ...},
+///    "timers": {"name": {"calls": n, "total_ms": x,
+///                        "latency_bounds_ns": [...],
+///                        "latency_buckets": [...]}, ...}}
+///
+/// Keys are sorted (snapshots are name-sorted), numbers use shortest
+/// round-trip formatting, output has no trailing newline — suitable for
+/// embedding in bench JSON artifacts as-is.
+std::string ToJson(const Snapshot& snapshot);
+
+/// Renders the snapshot as an aligned human-readable listing (one
+/// instrument per line, histograms with bucket breakdowns).
+std::string ToText(const Snapshot& snapshot);
+
+}  // namespace ann::obs
+
+#endif  // ANNLIB_OBS_EXPORT_H_

@@ -1,0 +1,187 @@
+#include "obs/obs.h"
+
+#include <cassert>
+#include <limits>
+#include <map>
+#include <memory>
+
+namespace ann::obs {
+
+std::vector<double> ExponentialBounds(double first, double factor,
+                                      int count) {
+  assert(first > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = first;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBounds(double first, double step, int count) {
+  assert(step > 0 && count > 0);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (int i = 0; i < count; ++i) bounds.push_back(first + step * i);
+  return bounds;
+}
+
+#ifndef ANNLIB_OBS_DISABLED
+
+namespace {
+constexpr size_t kMaxBuckets = 32;
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  assert(bounds_.size() <= kMaxBuckets);
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  (void)kMaxBuckets;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+HistogramSnapshot Histogram::TakeSnapshot(std::string name) const {
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.bounds = bounds_;
+  snap.buckets = buckets_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = count_ > 0 ? min_ : 0;
+  snap.max = count_ > 0 ? max_ : 0;
+  return snap;
+}
+
+PhaseTimer::PhaseTimer()
+    // Per-call latency decades from 1 us to 10 s; faster calls land in
+    // the first bucket, slower in the overflow bucket.
+    : latency_(ExponentialBounds(1e3, 10.0, 8)) {}
+
+void PhaseTimer::Reset() {
+  calls_ = 0;
+  total_ns_ = 0;
+  latency_.Reset();
+}
+
+TimerSnapshot PhaseTimer::TakeSnapshot(std::string name) const {
+  TimerSnapshot snap;
+  snap.name = std::move(name);
+  snap.calls = calls_;
+  snap.total_ns = total_ns_;
+  snap.latency = latency_.TakeSnapshot("");
+  return snap;
+}
+
+/// Instruments live in node-based maps so handle pointers stay stable as
+/// the registry grows; std::map keys are already name-sorted, making
+/// snapshots deterministic for free.
+struct Registry::Impl {
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<PhaseTimer>, std::less<>> timers;
+};
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::~Registry() { delete impl_; }
+
+Registry::Impl& Registry::impl() {
+  if (impl_ == nullptr) impl_ = new Impl();
+  return *impl_;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  auto& m = impl().counters;
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  auto& m = impl().gauges;
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> bounds) {
+  auto& m = impl().histograms;
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name),
+                   std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+PhaseTimer* Registry::GetTimer(std::string_view name) {
+  auto& m = impl().timers;
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name), std::make_unique<PhaseTimer>()).first;
+  }
+  return it->second.get();
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snap;
+  if (impl_ == nullptr) return snap;
+  snap.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    snap.histograms.push_back(h->TakeSnapshot(name));
+  }
+  snap.timers.reserve(impl_->timers.size());
+  for (const auto& [name, t] : impl_->timers) {
+    snap.timers.push_back(t->TakeSnapshot(name));
+  }
+  return snap;
+}
+
+void Registry::ResetAll() {
+  if (impl_ == nullptr) return;
+  for (auto& [name, c] : impl_->counters) c->Reset();
+  for (auto& [name, g] : impl_->gauges) g->Reset();
+  for (auto& [name, h] : impl_->histograms) h->Reset();
+  for (auto& [name, t] : impl_->timers) t->Reset();
+}
+
+#else  // ANNLIB_OBS_DISABLED
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+#endif  // ANNLIB_OBS_DISABLED
+
+}  // namespace ann::obs

@@ -1,0 +1,321 @@
+#ifndef ANNLIB_OBS_OBS_H_
+#define ANNLIB_OBS_OBS_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ann::obs {
+
+/// \file
+/// Unified observability substrate: a process-wide registry of named
+/// counters, gauges, fixed-bucket histograms and phase timers that every
+/// layer (storage, index, ANN engine, benches, examples) reports into.
+///
+/// The paper's evaluation (Section 5) compares methods almost entirely
+/// through counters — node accesses, distance computations, buffer hits —
+/// and phase timings, so instrumentation is a first-class subsystem here,
+/// not an afterthought. Design constraints:
+///
+///  - **Hot-path cost is one pointer-indirect add.** Call sites resolve
+///    their `Counter*` / `Histogram*` handles once (at construction or
+///    function entry) and increment through the handle; no name lookup,
+///    no locking (the library is single-threaded, like the rest of the
+///    codebase), no branches beyond the handle's own arithmetic.
+///  - **Kill switch.** Compiling with `-DANNLIB_OBS_DISABLED` turns every
+///    instrument into an empty inline stub, so the instrumentation can be
+///    proven free for latency-critical deployments. The define must be
+///    consistent across the whole build (it is a PUBLIC CMake option).
+///  - **Deterministic snapshots.** `Registry::TakeSnapshot()` returns all
+///    instruments sorted by name, so two snapshots of identical state
+///    render byte-identically (tested).
+///
+/// Naming convention: `subsystem.metric` (dots as separators, lowercase,
+/// e.g. `storage.pool.hits`, `mba.phase.gather`). See DESIGN.md
+/// "Observability".
+
+/// `count` ascending bucket upper bounds starting at `first`, each
+/// `factor` times the previous (factor > 1). For latency histograms.
+std::vector<double> ExponentialBounds(double first, double factor, int count);
+
+/// `count` ascending bounds: first, first+step, ... For value histograms.
+std::vector<double> LinearBounds(double first, double step, int count);
+
+/// Point-in-time value of one histogram (also embedded in TimerSnapshot).
+/// `buckets` has `bounds.size() + 1` slots: bucket i counts samples v with
+/// bounds[i-1] <= v < bounds[i]; the final slot is the overflow bucket
+/// counting v >= bounds.back(). min/max are 0 when count == 0.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Point-in-time value of one phase timer.
+struct TimerSnapshot {
+  std::string name;
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+  HistogramSnapshot latency;  ///< per-call nanoseconds (name empty)
+};
+
+/// Everything registered, sorted by name within each kind.
+struct Snapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<TimerSnapshot> timers;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           timers.empty();
+  }
+};
+
+#ifndef ANNLIB_OBS_DISABLED
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_ += n; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Instantaneous signed level (pool occupancy, worklist depth, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t d) { value_ += d; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram over doubles with a trailing overflow bucket.
+///
+/// Record() finds the bucket with a branch-free cumulative-compare scan
+/// (each iteration compiles to compare+add, no data-dependent jumps) —
+/// bucket counts are small (<= 32 enforced at registration) so the scan
+/// beats a binary search's mispredicted branches on the hot path.
+class Histogram {
+ public:
+  /// \param bounds strictly ascending upper bounds (at most 32).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double v) {
+    const double* b = bounds_.data();
+    size_t idx = 0;
+    for (size_t i = 0; i < bounds_.size(); ++i) idx += (v >= b[i]) ? 1 : 0;
+    ++buckets_[idx];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  void Reset();
+  HistogramSnapshot TakeSnapshot(std::string name) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;  // bounds_.size() + 1, last = overflow
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;  // tracked as +inf/-inf internally once count_ > 0
+  double max_ = 0;
+};
+
+/// Accumulated wall time of one named phase: call count, total
+/// nanoseconds, and a per-call latency histogram (1 us .. 10 s decades).
+class PhaseTimer {
+ public:
+  PhaseTimer();
+
+  void RecordNanos(uint64_t ns) {
+    ++calls_;
+    total_ns_ += ns;
+    latency_.Record(static_cast<double>(ns));
+  }
+
+  uint64_t calls() const { return calls_; }
+  uint64_t total_ns() const { return total_ns_; }
+  double total_seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+
+  void Reset();
+  TimerSnapshot TakeSnapshot(std::string name) const;
+
+ private:
+  uint64_t calls_ = 0;
+  uint64_t total_ns_ = 0;
+  Histogram latency_;
+};
+
+/// RAII phase scope: measures from construction to destruction (or an
+/// early Stop()) and folds the elapsed time into a PhaseTimer. Scopes
+/// nest freely — each measures its own wall interval, so an inner scope's
+/// time is also included in the enclosing one (callers that want
+/// exclusive time subtract in the exporter, not on the hot path).
+class ObsScope {
+ public:
+  explicit ObsScope(PhaseTimer* timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  ~ObsScope() { Stop(); }
+
+  /// Records now and detaches (idempotent).
+  void Stop() {
+    if (timer_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    timer_->RecordNanos(static_cast<uint64_t>(ns));
+    timer_ = nullptr;
+  }
+
+ private:
+  PhaseTimer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process-wide instrument registry. Handles returned by Get* are stable
+/// for the registry's lifetime; Get* with a known name returns the
+/// existing instrument (for histograms the first registration's bounds
+/// win). Not thread-safe, matching the rest of the library.
+class Registry {
+ public:
+  /// The global registry every built-in instrument registers into.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+  PhaseTimer* GetTimer(std::string_view name);
+
+  /// All instruments, sorted by name within each kind.
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes every instrument; registrations (and handles) survive.
+  void ResetAll();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+  Impl& impl();
+};
+
+#else  // ANNLIB_OBS_DISABLED: every instrument is an empty inline stub.
+
+class Counter {
+ public:
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}) {}
+  void Record(double) {}
+  uint64_t count() const { return 0; }
+  double sum() const { return 0; }
+  void Reset() {}
+  HistogramSnapshot TakeSnapshot(std::string name) const {
+    return HistogramSnapshot{std::move(name), {}, {}, 0, 0, 0, 0};
+  }
+};
+
+class PhaseTimer {
+ public:
+  void RecordNanos(uint64_t) {}
+  uint64_t calls() const { return 0; }
+  uint64_t total_ns() const { return 0; }
+  double total_seconds() const { return 0; }
+  void Reset() {}
+};
+
+class ObsScope {
+ public:
+  explicit ObsScope(PhaseTimer*) {}
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+  void Stop() {}
+};
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(std::string_view) { return &counter_; }
+  Gauge* GetGauge(std::string_view) { return &gauge_; }
+  Histogram* GetHistogram(std::string_view, std::vector<double> = {}) {
+    return &histogram_;
+  }
+  PhaseTimer* GetTimer(std::string_view) { return &timer_; }
+
+  Snapshot TakeSnapshot() const { return Snapshot{}; }
+  void ResetAll() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+  PhaseTimer timer_;
+};
+
+#endif  // ANNLIB_OBS_DISABLED
+
+/// Shorthands for the global registry (the form call sites use).
+inline Counter* GetCounter(std::string_view name) {
+  return Registry::Global().GetCounter(name);
+}
+inline Gauge* GetGauge(std::string_view name) {
+  return Registry::Global().GetGauge(name);
+}
+inline Histogram* GetHistogram(std::string_view name,
+                               std::vector<double> bounds) {
+  return Registry::Global().GetHistogram(name, std::move(bounds));
+}
+inline PhaseTimer* GetTimer(std::string_view name) {
+  return Registry::Global().GetTimer(name);
+}
+
+}  // namespace ann::obs
+
+#endif  // ANNLIB_OBS_OBS_H_

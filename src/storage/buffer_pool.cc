@@ -56,6 +56,7 @@ Result<PinnedPage> BufferPool::Fetch(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.pool_hits;
+    obs_hits_->Increment();
     Frame& frame = frames_[it->second];
     if (frame.in_lru) {
       lru_.erase(frame.lru_pos);
@@ -67,6 +68,7 @@ Result<PinnedPage> BufferPool::Fetch(PageId id) {
   }
 
   ++stats_.pool_misses;
+  obs_misses_->Increment();
   ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame());
   Frame& frame = frames_[fi];
   ANN_RETURN_NOT_OK(disk_->ReadPage(id, &frame.page));
@@ -172,6 +174,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
 
   Frame& frame = frames_[fi];
   ++stats_.evictions;
+  obs_evictions_->Increment();
   ANN_RETURN_NOT_OK(FlushFrame(frame));
   page_table_.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
@@ -182,6 +185,7 @@ Status BufferPool::FlushFrame(Frame& frame) {
   if (frame.dirty) {
     ANN_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.page));
     frame.dirty = false;
+    obs_writebacks_->Increment();
   }
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/obs.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -60,6 +61,21 @@ inline const char* ToString(Replacement r) {
   return r == Replacement::kClock ? "CLOCK" : "LRU";
 }
 
+/// One queryable snapshot of a pool's behaviour: the cumulative I/O
+/// counters plus the instantaneous occupancy numbers, so callers get the
+/// full picture from a single accessor instead of four.
+struct BufferPoolStats {
+  IoStats io;             ///< hits, misses, evictions, write-backs
+  size_t capacity = 0;    ///< frames in the pool
+  size_t cached_pages = 0;
+  size_t pinned_pages = 0;
+
+  double hit_rate() const {
+    const uint64_t total = io.pool_hits + io.pool_misses;
+    return total == 0 ? 0.0 : static_cast<double>(io.pool_hits) / total;
+  }
+};
+
 /// \brief Fixed-capacity buffer pool over a DiskManager (LRU or CLOCK).
 ///
 /// This is the stand-in for the SHORE buffer manager used in the paper's
@@ -101,6 +117,11 @@ class BufferPool {
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Full public statistics snapshot (counters + occupancy).
+  BufferPoolStats Stats() const {
+    return BufferPoolStats{stats_, capacity_, cached_pages(), pinned_pages()};
+  }
+
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -131,6 +152,12 @@ class BufferPool {
   size_t clock_hand_ = 0;
   std::unordered_map<PageId, size_t> page_table_;
   IoStats stats_;
+
+  // Global-registry mirrors of stats_ (handles resolved once, here).
+  obs::Counter* obs_hits_ = obs::GetCounter("storage.pool.hits");
+  obs::Counter* obs_misses_ = obs::GetCounter("storage.pool.misses");
+  obs::Counter* obs_evictions_ = obs::GetCounter("storage.pool.evictions");
+  obs::Counter* obs_writebacks_ = obs::GetCounter("storage.pool.writebacks");
 };
 
 }  // namespace ann

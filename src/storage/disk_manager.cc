@@ -15,6 +15,7 @@ Result<PageId> MemDiskManager::AllocatePage() {
   auto page = std::make_unique<Page>();
   page->bytes.fill(std::byte{0});
   pages_.push_back(std::move(page));
+  obs_allocs_->Increment();
   return static_cast<PageId>(pages_.size() - 1);
 }
 
@@ -24,6 +25,7 @@ Status MemDiskManager::ReadPage(PageId id, Page* out) {
   }
   *out = *pages_[id];
   ++stats_.physical_reads;
+  obs_reads_->Increment();
   return Status::OK();
 }
 
@@ -33,6 +35,7 @@ Status MemDiskManager::WritePage(PageId id, const Page& page) {
   }
   *pages_[id] = page;
   ++stats_.physical_writes;
+  obs_writes_->Increment();
   return Status::OK();
 }
 
@@ -79,6 +82,7 @@ Result<PageId> FileDiskManager::AllocatePage() {
     return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
   }
   ++page_count_;
+  obs_allocs_->Increment();
   return id;
 }
 
@@ -92,6 +96,7 @@ Status FileDiskManager::ReadPage(PageId id, Page* out) {
     return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
   }
   ++stats_.physical_reads;
+  obs_reads_->Increment();
   return Status::OK();
 }
 
@@ -105,6 +110,7 @@ Status FileDiskManager::WritePage(PageId id, const Page& page) {
     return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
   }
   ++stats_.physical_writes;
+  obs_writes_->Increment();
   return Status::OK();
 }
 

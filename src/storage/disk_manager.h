@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/obs.h"
 #include "storage/page.h"
 
 namespace ann {
@@ -37,6 +38,12 @@ class DiskManager {
 
  protected:
   IoStats stats_;
+
+  // Global-registry mirrors shared by all implementations (handles
+  // resolved once per manager).
+  obs::Counter* obs_reads_ = obs::GetCounter("storage.disk.reads");
+  obs::Counter* obs_writes_ = obs::GetCounter("storage.disk.writes");
+  obs::Counter* obs_allocs_ = obs::GetCounter("storage.disk.allocs");
 };
 
 /// In-memory page store with I/O accounting.

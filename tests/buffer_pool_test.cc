@@ -34,6 +34,26 @@ TEST(BufferPoolTest, FetchHitDoesNotTouchDisk) {
   EXPECT_EQ(disk.stats().physical_reads, 0u);
 }
 
+TEST(BufferPoolTest, StatsSnapshotReportsCountersAndOccupancy) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 4);
+  ASSERT_OK_AND_ASSIGN(PinnedPage a, pool.NewPage());
+  const PageId id = a.page_id();
+  a.Release();
+  ASSERT_OK_AND_ASSIGN(PinnedPage b, pool.Fetch(id));  // hit
+
+  const BufferPoolStats snap = pool.Stats();
+  EXPECT_EQ(snap.capacity, 4u);
+  EXPECT_EQ(snap.cached_pages, 1u);
+  EXPECT_EQ(snap.pinned_pages, 1u);
+  EXPECT_EQ(snap.io.pool_hits, 1u);
+  EXPECT_EQ(snap.io.pool_misses, 0u);
+  EXPECT_EQ(snap.io.evictions, 0u);
+  EXPECT_DOUBLE_EQ(snap.hit_rate(), 1.0);
+  b.Release();
+  EXPECT_EQ(pool.Stats().pinned_pages, 0u);
+}
+
 TEST(BufferPoolTest, DirtyPageSurvivesEviction) {
   MemDiskManager disk;
   BufferPool pool(&disk, 2);

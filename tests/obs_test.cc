@@ -1,0 +1,228 @@
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ann/mba.h"
+#include "datagen/gstd.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/node_format.h"
+#include "obs/export.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+// ---- exporter tests: operate on hand-built Snapshots, so they hold in
+// both the instrumented and the ANNLIB_OBS_DISABLED build.
+
+TEST(ObsExportTest, JsonEscape) {
+  EXPECT_EQ(obs::JsonEscape("plain.name"), "plain.name");
+  EXPECT_EQ(obs::JsonEscape("quote\"back\\slash"), "quote\\\"back\\\\slash");
+  EXPECT_EQ(obs::JsonEscape("line\nfeed\ttab\rret"),
+            "line\\nfeed\\ttab\\rret");
+  EXPECT_EQ(obs::JsonEscape(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+  EXPECT_EQ(obs::JsonEscape("\b\f"), "\\b\\f");
+}
+
+obs::Snapshot MakeSnapshot() {
+  obs::Snapshot snap;
+  snap.counters.emplace_back("a.hits", 3);
+  snap.counters.emplace_back("b.misses", 0);
+  snap.gauges.emplace_back("pool.frames", -2);
+  obs::HistogramSnapshot h;
+  h.name = "lat\"ency";  // exercises key escaping
+  h.bounds = {1.0, 2.5};
+  h.buckets = {4, 0, 1};
+  h.count = 5;
+  h.sum = 7.5;
+  h.min = 0.5;
+  h.max = 3.0;
+  snap.histograms.push_back(h);
+  obs::TimerSnapshot t;
+  t.name = "phase.x";
+  t.calls = 2;
+  t.total_ns = 3000000;  // 3 ms
+  snap.timers.push_back(t);
+  return snap;
+}
+
+TEST(ObsExportTest, JsonShape) {
+  const std::string json = obs::ToJson(MakeSnapshot());
+  EXPECT_EQ(json,
+            "{\"counters\": {\"a.hits\": 3, \"b.misses\": 0}, "
+            "\"gauges\": {\"pool.frames\": -2}, "
+            "\"histograms\": {\"lat\\\"ency\": {\"count\": 5, \"sum\": 7.5, "
+            "\"min\": 0.5, \"max\": 3, \"bounds\": [1, 2.5], "
+            "\"buckets\": [4, 0, 1]}}, "
+            "\"timers\": {\"phase.x\": {\"calls\": 2, \"total_ms\": 3, "
+            "\"latency_bounds_ns\": [], \"latency_buckets\": []}}}");
+}
+
+TEST(ObsExportTest, JsonIsDeterministic) {
+  EXPECT_EQ(obs::ToJson(MakeSnapshot()), obs::ToJson(MakeSnapshot()));
+}
+
+TEST(ObsExportTest, TextRendersEveryKind) {
+  const std::string text = obs::ToText(MakeSnapshot());
+  EXPECT_NE(text.find("a.hits"), std::string::npos);
+  EXPECT_NE(text.find("pool.frames"), std::string::npos);
+  EXPECT_NE(text.find("phase.x"), std::string::npos);
+  EXPECT_NE(text.find("overflow"), std::string::npos);
+}
+
+TEST(ObsExportTest, EmptySnapshotRendersEmptyObject) {
+  const std::string json = obs::ToJson(obs::Snapshot{});
+  EXPECT_EQ(json,
+            "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}, "
+            "\"timers\": {}}");
+  EXPECT_EQ(obs::ToText(obs::Snapshot{}), "");
+}
+
+#ifndef ANNLIB_OBS_DISABLED
+
+// ---- registry behaviour (instrumented build only; the disabled build
+// stubs everything to zero by design).
+
+TEST(ObsRegistryTest, HandlesAreStableAndShared) {
+  obs::Registry reg;
+  obs::Counter* c1 = reg.GetCounter("x.count");
+  obs::Counter* c2 = reg.GetCounter("x.count");
+  EXPECT_EQ(c1, c2);
+  c1->Add(2);
+  c2->Increment();
+  EXPECT_EQ(c1->value(), 3u);
+  // Growing the registry does not invalidate earlier handles.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("fill." + std::to_string(i));
+  }
+  EXPECT_EQ(c1->value(), 3u);
+}
+
+TEST(ObsRegistryTest, SnapshotIsSortedAndDeterministic) {
+  obs::Registry reg;
+  reg.GetCounter("z.last")->Add(1);
+  reg.GetCounter("a.first")->Add(2);
+  reg.GetCounter("m.middle")->Add(3);
+  reg.GetGauge("g.gauge")->Set(-7);
+  reg.GetHistogram("h.hist", {1.0, 10.0})->Record(5);
+  reg.GetTimer("t.timer")->RecordNanos(1000);
+
+  const obs::Snapshot s1 = reg.TakeSnapshot();
+  ASSERT_EQ(s1.counters.size(), 3u);
+  EXPECT_EQ(s1.counters[0].first, "a.first");
+  EXPECT_EQ(s1.counters[1].first, "m.middle");
+  EXPECT_EQ(s1.counters[2].first, "z.last");
+  EXPECT_EQ(s1.counters[2].second, 1u);
+
+  // Two snapshots of unchanged state render byte-identically.
+  const obs::Snapshot s2 = reg.TakeSnapshot();
+  EXPECT_EQ(obs::ToJson(s1), obs::ToJson(s2));
+}
+
+TEST(ObsRegistryTest, ResetAllZeroesButKeepsRegistrations) {
+  obs::Registry reg;
+  obs::Counter* c = reg.GetCounter("c");
+  obs::Histogram* h = reg.GetHistogram("h", {1.0});
+  c->Add(5);
+  h->Record(0.5);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.GetCounter("c"), c);  // same handle survives
+}
+
+TEST(ObsHistogramTest, BucketBoundariesAndOverflow) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  // Bucket layout: [<1, <2, <4, >=4 (overflow)].
+  h.Record(0.0);   // bucket 0
+  h.Record(0.99);  // bucket 0
+  h.Record(1.0);   // bucket 1 (boundary value goes up)
+  h.Record(3.99);  // bucket 2
+  h.Record(4.0);   // overflow
+  h.Record(1e9);   // overflow
+  const obs::HistogramSnapshot snap = h.TakeSnapshot("h");
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 2u);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1e9);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramReportsZeroMinMax) {
+  obs::Histogram h({1.0});
+  const obs::HistogramSnapshot snap = h.TakeSnapshot("h");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+TEST(ObsScopeTest, NestedScopesEachRecordTheirOwnInterval) {
+  obs::PhaseTimer outer;
+  obs::PhaseTimer inner;
+  {
+    obs::ObsScope outer_scope(&outer);
+    {
+      obs::ObsScope inner_scope(&inner);
+      // Burn a little time so the intervals are non-trivial.
+      volatile double sink = 0;
+      for (int i = 0; i < 10000; ++i) sink += i * 0.5;
+    }
+  }
+  EXPECT_EQ(outer.calls(), 1u);
+  EXPECT_EQ(inner.calls(), 1u);
+  // The inner interval is contained in the outer one.
+  EXPECT_GE(outer.total_ns(), inner.total_ns());
+}
+
+TEST(ObsScopeTest, StopIsIdempotent) {
+  obs::PhaseTimer t;
+  obs::ObsScope scope(&t);
+  scope.Stop();
+  scope.Stop();  // second stop must not double-record
+  EXPECT_EQ(t.calls(), 1u);
+}
+
+#endif  // !ANNLIB_OBS_DISABLED
+
+// ---- counter regression: MBA on a fixed seeded dataset must report
+// exactly these PruneStats. Any change to the pruning logic, the metric
+// implementations, the LPQ admission rules, or the quadtree construction
+// shows up here as a precise counter diff instead of a silent perf
+// regression. (PruneStats is engine-side, so this holds in both builds.)
+
+TEST(ObsCounterRegressionTest, MbaOnSeededUniformReportsExactCounters) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 2000;
+  spec.distribution = Distribution::kUniform;
+  spec.seed = 42;
+  ASSERT_OK_AND_ASSIGN(const Dataset data, GenerateGstd(spec));
+  Dataset r, s;
+  SplitHalves(data, &r, &s);
+
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt_r, Mbrqt::Build(r));
+  ASSERT_OK_AND_ASSIGN(Mbrqt qt_s, Mbrqt::Build(s));
+  const MemIndexView ir(&qt_r.Finalize());
+  const MemIndexView is(&qt_s.Finalize());
+
+  AnnOptions options;  // k = 1, NXNDIST, depth-first, bi-directional
+  PruneStats stats;
+  std::vector<NeighborList> out;
+  ASSERT_OK(AllNearestNeighbors(ir, is, options, &out, &stats));
+  EXPECT_EQ(out.size(), r.size());
+
+  EXPECT_EQ(stats.pruned_on_entry, 260323u);
+  EXPECT_EQ(stats.r_nodes_expanded, 5u);
+  EXPECT_EQ(stats.lpqs_created, 1005u);
+  EXPECT_EQ(stats.s_nodes_expanded, 1061u);
+  EXPECT_EQ(stats.enqueued, 8727u);
+}
+
+}  // namespace
+}  // namespace ann
