@@ -45,7 +45,8 @@ Result<MethodCost> RunWithCapacity(const Dataset& r, const Dataset& s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   const size_t n = static_cast<size_t>(700000 * ScaleFromEnv());
   auto tac = MakeTacLike(n);
   if (!tac.ok()) return 1;

@@ -64,7 +64,8 @@ int RunWorkload(const char* title, const Dataset& r, const Dataset& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   PrintHeader("Ablation: locality curve (BNN) and hash-based HNN",
               "Zhang et al.: index + BNN beats HNN; HNN degrades on skew "
               "(uniform grid cannot adapt).");

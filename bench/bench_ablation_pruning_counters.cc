@@ -44,7 +44,8 @@ int RunOne(const char* title, const Dataset& r, const Dataset& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   PrintHeader("Ablation: pruning counters, MBA/RBA x metric",
               "Paper: NXNDIST reduces PQ entries; the quadtree amplifies "
               "the effect (non-overlapping decomposition).");

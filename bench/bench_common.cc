@@ -2,11 +2,37 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "obs/export.h"
 #include "obs/obs.h"
 
 namespace ann::bench {
+
+namespace {
+// -1 = --threads not given (fall through to ANN_THREADS, then 1).
+int g_threads_flag = -1;
+}  // namespace
+
+void InitBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      g_threads_flag = std::atoi(arg + 10);
+      if (g_threads_flag < 0) g_threads_flag = -1;
+    }
+  }
+}
+
+int BenchThreads() {
+  if (g_threads_flag >= 0) return g_threads_flag;
+  const char* env = std::getenv("ANN_THREADS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v >= 0) return v;
+  }
+  return 1;
+}
 
 double ScaleFromEnv() {
   const char* env = std::getenv("ANN_BENCH_SCALE");
@@ -70,11 +96,13 @@ Result<MethodCost> RunIndexedAnn(Workspace* ws, const PersistedIndexMeta& r,
                                  const AnnOptions& options,
                                  PruneStats* stats) {
   ANN_RETURN_NOT_OK(ws->Prepare(frames));
+  AnnOptions opts = options;
+  if (opts.num_threads == 1) opts.num_threads = BenchThreads();
   std::vector<NeighborList> out;
   const PagedIndexView ir = ws->View(r);
   const PagedIndexView is = ws->View(s);
   const Timer timer;
-  ANN_RETURN_NOT_OK(AllNearestNeighbors(ir, is, options, &out, stats));
+  ANN_RETURN_NOT_OK(AllNearestNeighbors(ir, is, opts, &out, stats));
   MethodCost cost;
   cost.cpu_s = timer.Seconds();
   cost.page_ios = ws->QueryPageIos();
@@ -141,7 +169,9 @@ void MaybeDumpStatsJson(const std::string& bench_name) {
   if (path.empty()) return;
   const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
   const std::string json = "{\"bench\": \"" + obs::JsonEscape(bench_name) +
-                           "\", \"obs\": " + obs::ToJson(snap) + "}";
+                           "\", \"threads\": " +
+                           std::to_string(BenchThreads()) +
+                           ", \"obs\": " + obs::ToJson(snap) + "}";
   if (path == "-") {
     std::printf("%s\n", json.c_str());
     return;

@@ -32,6 +32,16 @@ double ScaleFromEnv();
 /// value only rescales the I/O bars.
 double IoMillisFromEnv();
 
+/// Parses shared bench flags (`--threads=N`). Every bench calls this
+/// first; unrecognized arguments are ignored so benches stay composable
+/// with harness-injected flags.
+void InitBenchArgs(int argc, char** argv);
+
+/// Worker-thread count for indexed ANN runs: the --threads flag if given,
+/// else the ANN_THREADS env var, else 1 (sequential — the paper's
+/// configuration). 0 means auto (one worker per hardware thread).
+int BenchThreads();
+
 /// Buffer-pool frame counts for the paper's pool sizes.
 inline size_t FramesForPoolBytes(size_t bytes) { return bytes / kPageSize; }
 inline constexpr size_t kPool512K = 64;  // the paper's default
@@ -79,8 +89,12 @@ struct MethodCost {
 /// counters — the prebuilt-index methodology of Section 4.1.
 class Workspace {
  public:
-  explicit Workspace(Replacement replacement = Replacement::kLru)
-      : pool_(&disk_, 1u << 16, replacement), store_(&pool_) {}
+  /// \param pool_stripes buffer-pool latch stripes; 1 (default) keeps the
+  ///   exact single-structure LRU/CLOCK behaviour, >1 lets parallel-ANN
+  ///   benches fetch pages concurrently without latch contention.
+  explicit Workspace(Replacement replacement = Replacement::kLru,
+                     size_t pool_stripes = 1)
+      : pool_(&disk_, 1u << 16, replacement, pool_stripes), store_(&pool_) {}
 
   /// Builds and persists an index over `data`; returns its location.
   Result<PersistedIndexMeta> AddIndex(IndexKind kind, const Dataset& data);
@@ -104,6 +118,9 @@ class Workspace {
 };
 
 /// Runs MBA/RBA between two indexes of `ws` under a pool of `frames`.
+/// When `options.num_threads` is left at its default (1), the
+/// --threads / ANN_THREADS setting (BenchThreads()) is applied, so every
+/// existing bench gains the parallel engine without per-bench plumbing.
 Result<MethodCost> RunIndexedAnn(Workspace* ws, const PersistedIndexMeta& r,
                                  const PersistedIndexMeta& s, size_t frames,
                                  const AnnOptions& options,
@@ -139,7 +156,8 @@ uint64_t FlatFilePages(size_t n, int dim);
 std::string StatsJsonPathFromEnv();
 
 /// Dumps the global obs registry snapshot as one JSON object
-/// `{"bench": <name>, "obs": {...}}` to the ANN_STATS_JSON destination
+/// `{"bench": <name>, "threads": N, "obs": {...}}` to the ANN_STATS_JSON
+/// destination
 /// (no-op when unset). Every bench calls this last, so bench artifacts
 /// carry the engine-internal counters — buffer-pool hits/misses, MBA
 /// phase timings, pruning counters — not just wall-clock numbers.

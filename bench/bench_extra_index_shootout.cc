@@ -55,7 +55,8 @@ int RunWorkload(const char* title, const Dataset& r, const Dataset& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   PrintHeader("Extra: one engine, four index structures",
               "Separates regularity from non-overlap: MBRQT has both, the "
               "kd-tree only non-overlap, the R*-tree neither.");

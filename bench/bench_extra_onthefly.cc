@@ -31,7 +31,8 @@ Dataset Select30(const Dataset& in) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   const size_t n = static_cast<size_t>(700000 * ScaleFromEnv());
   auto tac = MakeTacLike(n);
   if (!tac.ok()) return 1;

@@ -1,0 +1,65 @@
+// Extra experiment (not in the paper): thread-scaling of the
+// partition-parallel MBA engine. Runs classic ANN (NXNDIST, depth-first)
+// over MBRQTs on seeded uniform data at 1/2/4/8 worker threads and
+// reports wall time plus speedup over the sequential run. The engine's
+// results and pruning work are identical at every thread count (see
+// DESIGN.md "Parallel execution"), so this isolates pure execution-time
+// scaling; the buffer pool runs with 16 latch stripes so concurrent page
+// fetches do not serialize on one latch.
+//
+// Thread counts are fixed per row (this bench ignores --threads, which
+// would make the rows meaningless).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+
+using namespace ann;
+using namespace ann::bench;
+
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = static_cast<size_t>(700000 * ScaleFromEnv());
+  spec.distribution = Distribution::kUniform;
+  spec.seed = 42;
+  auto uni = GenerateGstd(spec);
+  if (!uni.ok()) return 1;
+  Dataset r, s;
+  SplitHalves(*uni, &r, &s);
+
+  PrintHeader("Extra: thread scaling of partition-parallel MBA",
+              "ANN (k=1, NXNDIST, DF) over MBRQTs, seeded uniform data, "
+              "16-stripe 512 KB pool. CPU seconds and speedup vs 1 thread.");
+  PrintColumns({"threads", "CPU(s)", "I/O(s)", "speedup"});
+
+  Workspace ws(Replacement::kLru, /*pool_stripes=*/16);
+  auto r_meta = ws.AddIndex(IndexKind::kMbrqt, r);
+  auto s_meta = ws.AddIndex(IndexKind::kMbrqt, s);
+  if (!r_meta.ok() || !s_meta.ok()) return 1;
+
+  double base_cpu = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    if (!ws.Prepare(kPool512K).ok()) return 1;
+    AnnOptions opts;
+    opts.num_threads = threads;
+    std::vector<NeighborList> out;
+    const PagedIndexView ir = ws.View(*r_meta);
+    const PagedIndexView is = ws.View(*s_meta);
+    const Timer timer;
+    const Status st = AllNearestNeighbors(ir, is, opts, &out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double cpu_s = timer.Seconds();
+    const double io_s = ws.QueryPageIos() * IoMillisFromEnv() / 1000.0;
+    if (threads == 1) base_cpu = cpu_s;
+    const double speedup = cpu_s > 0 ? base_cpu / cpu_s : 0;
+    PrintRow(std::to_string(threads), {cpu_s, io_s, speedup});
+  }
+  MaybeDumpStatsJson("bench_extra_scaling");
+  return 0;
+}

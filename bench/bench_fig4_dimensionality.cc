@@ -12,7 +12,8 @@
 using namespace ann;
 using namespace ann::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   PrintHeader("Figure 4: Effect of dimensionality (500K synthetic)",
               "Paper shape: MBA ~3x faster than GORDER for 2D/4D/6D.");
   PrintColumns({"method @ dim", "CPU(s)", "I/O(s)", "total(s)"});

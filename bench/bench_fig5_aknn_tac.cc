@@ -11,7 +11,8 @@
 using namespace ann;
 using namespace ann::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   const size_t n = static_cast<size_t>(700000 * ScaleFromEnv());
   auto tac = MakeTacLike(n);
   if (!tac.ok()) return 1;

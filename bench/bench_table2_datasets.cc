@@ -37,7 +37,8 @@ void Row(const char* name, const Dataset& d, const char* desc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchArgs(argc, argv);
   const double scale = ScaleFromEnv();
   PrintHeader("Table 2: Experimental Datasets",
               "Synthetic stand-ins for the paper's datasets (see DESIGN.md "

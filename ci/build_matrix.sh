@@ -22,4 +22,22 @@ run_config() {
 run_config build
 run_config build-obs-off -DANNLIB_OBS_DISABLED=ON
 
+# ThreadSanitizer pass over the concurrent subsystems: the striped buffer
+# pool, the thread pool, and the partition-parallel engine. Only the tests
+# that exercise concurrency run here — TSan slows execution ~10x, so the
+# full suite stays in the plain configs above.
+echo "=== configure build-tsan"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+echo "=== build build-tsan (concurrency tests)"
+cmake --build build-tsan -j --target \
+  mba_test buffer_pool_test thread_pool_test \
+  buffer_pool_concurrency_test ann_parallel_test
+echo "=== test build-tsan"
+ctest --test-dir build-tsan --output-on-failure \
+  -R '^(mba_test|buffer_pool_test|thread_pool_test|buffer_pool_concurrency_test|ann_parallel_test)$' \
+  -j 5
+
 echo "=== build matrix OK"

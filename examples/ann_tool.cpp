@@ -3,12 +3,16 @@
 // writes the AkNN result as CSV; with a cache path the indexes persist in
 // an IndexFile and later runs skip the build.
 //
-//   ann_tool [--stats-json[=PATH]] <queries.csv> <targets.csv> [k]
-//            [output.csv] [cache.ann]
+//   ann_tool [--stats-json[=PATH]] [--threads=N] <queries.csv>
+//            <targets.csv> [k] [output.csv] [cache.ann]
 //
 // Input rows are comma-separated coordinates (one point per line, same
 // column count everywhere; a non-numeric first line is skipped as a
 // header). Output rows: query_row,neighbor_row,distance.
+//
+// --threads=N runs the partition-parallel engine on N workers (0 = one
+// per hardware thread; default 1 = sequential). Results are identical at
+// any thread count — the output CSV is sorted by query row either way.
 //
 // --stats-json dumps the engine's observability registry (buffer-pool
 // hits/misses, MBA phase timings, pruning counters, ...) as one JSON
@@ -204,6 +208,7 @@ ann::Status RunStatsDemo() {
 
 int main(int argc, char** argv) {
   std::string stats_json_path;  // empty = off, "-" = stdout
+  int num_threads = 1;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats-json") == 0) {
@@ -211,6 +216,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
       stats_json_path = argv[i] + 13;
       if (stats_json_path.empty()) stats_json_path = "-";
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = std::atoi(argv[i] + 10);
+      if (num_threads < 0) num_threads = 1;
     } else {
       args.push_back(argv[i]);
     }
@@ -233,8 +241,8 @@ int main(int argc, char** argv) {
 
   if (args.size() < 2) {
     std::fprintf(stderr,
-                 "usage: %s [--stats-json[=PATH]] <queries.csv> "
-                 "<targets.csv> [k] [output.csv] [cache.ann]\n"
+                 "usage: %s [--stats-json[=PATH]] [--threads=N] "
+                 "<queries.csv> <targets.csv> [k] [output.csv] [cache.ann]\n"
                  "       %s --stats-json   (built-in demo workload)\n",
                  argv[0], argv[0]);
     return 2;
@@ -262,6 +270,7 @@ int main(int argc, char** argv) {
 
   ann::AnnOptions options;
   options.k = k;
+  options.num_threads = num_threads;
   std::vector<ann::NeighborList> results;
   const ann::Status st =
       RunQuery(*queries, *targets, options, cache_path, &results);

@@ -1,0 +1,261 @@
+#include "ann/engine_context.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace ann {
+
+namespace {
+
+constexpr const char* kCancelledMessage = "ANN: cancelled";
+
+/// Computes the MIND/MAXD pair of `e` relative to `owner` (the paper's
+/// Distances function). `level` is the depth of `e` in IS (root = 0),
+/// carried along for the per-level access histograms.
+LpqEntry MakeLpqEntry(const IndexEntry& owner, const IndexEntry& e,
+                      PruneMetric metric, uint16_t level, PruneStats* stats) {
+  ++stats->distance_evals;
+  LpqEntry out;
+  out.entry = e;
+  out.mind2 = MinMinDist2(owner.mbr, e.mbr);
+  out.maxd2 = UpperBound2(metric, owner.mbr, e.mbr);
+  out.level = level;
+  return out;
+}
+
+}  // namespace
+
+Status CancelledStatus() { return Status::Internal(kCancelledMessage); }
+
+bool IsCancellation(const Status& s) {
+  return s.IsInternal() && s.message() == kCancelledMessage;
+}
+
+EngineObs::EngineObs()
+    : r_level(obs::LinearBounds(1, 1, 16)),
+      s_level(obs::LinearBounds(1, 1, 16)),
+      lpq_depth(obs::ExponentialBounds(1, 2, 12)),
+      query_evals(obs::ExponentialBounds(1, 2, 16)) {}
+
+void EngineObs::MergeIntoGlobal() {
+  // Names and bounds must match the registrations below exactly — the
+  // first registration's bounds win, and Merge asserts identical shape.
+  obs::GetTimer("mba.phase.expand")->Merge(expand);
+  obs::GetTimer("mba.phase.filter")->Merge(filter);
+  obs::GetTimer("mba.phase.gather")->Merge(gather);
+  obs::GetHistogram("mba.expand.r_level", obs::LinearBounds(1, 1, 16))
+      ->Merge(r_level);
+  obs::GetHistogram("mba.expand.s_level", obs::LinearBounds(1, 1, 16))
+      ->Merge(s_level);
+  obs::GetHistogram("mba.query.lpq_depth", obs::ExponentialBounds(1, 2, 12))
+      ->Merge(lpq_depth);
+  obs::GetHistogram("mba.query.nxndist_evals",
+                    obs::ExponentialBounds(1, 2, 16))
+      ->Merge(query_evals);
+}
+
+EngineContext::EngineContext(const SpatialIndex& ir, const SpatialIndex& is,
+                             const AnnOptions& options, AnnResultSink sink,
+                             const std::atomic<bool>* cancel)
+    : ir_(ir), is_(is), options_(options), sink_(std::move(sink)),
+      cancel_(cancel) {}
+
+void EngineContext::SeedRoot() {
+  const Scalar root_bound2 =
+      options_.max_distance == kInf
+          ? kInf
+          : options_.max_distance * options_.max_distance;
+  std::unique_ptr<Lpq> root_lpq =
+      pool_.Acquire(ir_.Root(), root_bound2, options_.k, /*level=*/0);
+  ++stats_.lpqs_created;
+  const LpqEntry root_entry = MakeLpqEntry(
+      root_lpq->owner(), is_.Root(), options_.metric, /*level=*/0, &stats_);
+  root_lpq->Enqueue(root_entry, &stats_);
+  worklist_.push_back(std::move(root_lpq));
+}
+
+Status EngineContext::Drain() {
+  // Algorithm 3 (ANN-DFBI) flattened: depth-first keeps the child LPQs
+  // ahead of their siblings (stack discipline), breadth-first appends
+  // them behind (queue discipline).
+  while (!worklist_.empty()) {
+    if (Cancelled()) return CancelledStatus();
+    std::unique_ptr<Lpq> lpq = std::move(worklist_.front());
+    worklist_.pop_front();
+    ANN_RETURN_NOT_OK(ExpandAndPrune(std::move(lpq)));
+  }
+  return Status::OK();
+}
+
+Status EngineContext::RunTask(std::unique_ptr<Lpq> seed) {
+  worklist_.push_back(std::move(seed));
+  return Drain();
+}
+
+Status EngineContext::ExpandNodeLpq(std::unique_ptr<Lpq> lpq) {
+  assert(!lpq->owner().is_object);
+  return ExpandAndPrune(std::move(lpq));
+}
+
+Status EngineContext::ExpandAndPrune(std::unique_ptr<Lpq> lpq) {
+  const Status st =
+      lpq->owner().is_object ? Gather(lpq.get()) : Expand(lpq.get());
+  pool_.Release(std::move(lpq));
+  return st;
+}
+
+Status EngineContext::Gather(Lpq* lpq) {
+  obs::ObsScope phase(&obs_.gather);
+  obs_.lpq_depth.Record(static_cast<double>(lpq->size()));
+  const uint64_t evals_before = stats_.distance_evals;
+  // Best-first kNN completion for a single query object: entries pop in
+  // MIND order, so the first k objects popped are the k nearest.
+  NeighborList result;
+  result.r_id = lpq->owner().id;
+  result.neighbors.reserve(options_.k);
+  LpqEntry n;
+  while (static_cast<int>(result.neighbors.size()) < options_.k &&
+         lpq->Dequeue(&n)) {
+    if (n.entry.is_object) {
+      result.neighbors.emplace_back(n.entry.id, std::sqrt(n.mind2));
+      lpq->Commit(n, &stats_);
+      continue;
+    }
+    ++stats_.s_nodes_expanded;
+    obs_.s_level.Record(static_cast<double>(n.level));
+    scratch_.clear();
+    ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
+    for (const IndexEntry& e : scratch_) {
+      lpq->Enqueue(MakeLpqEntry(lpq->owner(), e, options_.metric,
+                                static_cast<uint16_t>(n.level + 1), &stats_),
+                   &stats_);
+    }
+  }
+  obs_.query_evals.Record(
+      static_cast<double>(stats_.distance_evals - evals_before));
+  phase.Stop();  // the sink is the caller's code, not Gather time
+  return sink_(std::move(result));
+}
+
+Status EngineContext::Expand(Lpq* lpq) {
+  obs::ObsScope phase(&obs_.expand);
+  // Expand the owner (IR side): each child gets a fresh LPQ seeded with
+  // the parent bound (sound by Lemma 3.2).
+  ++stats_.r_nodes_expanded;
+  obs_.r_level.Record(static_cast<double>(lpq->level()));
+  std::vector<IndexEntry> r_children;
+  ANN_RETURN_NOT_OK(ir_.Expand(lpq->owner(), &r_children));
+  child_lpqs_.clear();
+  child_lpqs_.reserve(r_children.size());
+  for (const IndexEntry& c : r_children) {
+    child_lpqs_.push_back(
+        pool_.Acquire(c, lpq->bound2(), options_.k, lpq->level() + 1));
+    ++stats_.lpqs_created;
+  }
+
+  // When the owner is a leaf, its children are objects: expanding the
+  // IS side here would probe every target object against every object
+  // LPQ eagerly. Deferring the expansion to each object's Gather stage
+  // lets the per-object best-first search expand only the few closest
+  // IS nodes instead — strictly less work, same results.
+  const bool r_children_are_objects =
+      !r_children.empty() && r_children[0].is_object;
+
+  // The probe loop below is the paper's Filter stage: every parent
+  // entry is re-scored against each child LPQ (Lpq::Enqueue applies the
+  // admission test and the bound-tightening eviction). Timed as its own
+  // nested phase so Expand time can be split into structure descent vs.
+  // candidate filtering.
+  obs::ObsScope filter_phase(&obs_.filter);
+  LpqEntry n;
+  while (lpq->Dequeue(&n)) {
+    // An IS entry can only matter if its MIND beats some child's bound.
+    Scalar max_child_bound2 = -1;
+    for (const auto& child : child_lpqs_) {
+      if (child->bound2() > max_child_bound2) {
+        max_child_bound2 = child->bound2();
+      }
+    }
+    if (ExceedsBound2(n.mind2, max_child_bound2)) {
+      ++stats_.pruned_unexpanded;
+      continue;
+    }
+
+    if (n.entry.is_object || r_children_are_objects ||
+        options_.expansion == Expansion::kUnidirectional) {
+      // Probe the entry itself against every child LPQ.
+      for (const auto& child : child_lpqs_) {
+        child->Enqueue(MakeLpqEntry(child->owner(), n.entry, options_.metric,
+                                    n.level, &stats_),
+                       &stats_);
+      }
+    } else {
+      // Bi-directional: descend the IS side too.
+      ++stats_.s_nodes_expanded;
+      obs_.s_level.Record(static_cast<double>(n.level));
+      scratch_.clear();
+      ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
+      for (const IndexEntry& e : scratch_) {
+        for (const auto& child : child_lpqs_) {
+          child->Enqueue(
+              MakeLpqEntry(child->owner(), e, options_.metric,
+                           static_cast<uint16_t>(n.level + 1), &stats_),
+              &stats_);
+        }
+      }
+    }
+  }
+  filter_phase.Stop();
+
+  // Queue the non-empty child LPQs (line 19 of Algorithm 4). An empty
+  // child LPQ can only occur under a max_distance bound (classic ANN
+  // always keeps a witness); its whole subtree has no neighbor in range
+  // and must still report empty result lists.
+  if (options_.traversal == Traversal::kDepthFirst) {
+    // Keep FIFO order among the children while staying ahead of all
+    // previously queued work.
+    for (auto it = child_lpqs_.rbegin(); it != child_lpqs_.rend(); ++it) {
+      if (!(*it)->empty()) {
+        worklist_.push_front(std::move(*it));
+      } else {
+        const IndexEntry owner = (*it)->owner();
+        pool_.Release(std::move(*it));
+        ANN_RETURN_NOT_OK(EmitEmptySubtree(owner));
+      }
+    }
+  } else {
+    for (auto& child : child_lpqs_) {
+      if (!child->empty()) {
+        worklist_.push_back(std::move(child));
+      } else {
+        const IndexEntry owner = child->owner();
+        pool_.Release(std::move(child));
+        ANN_RETURN_NOT_OK(EmitEmptySubtree(owner));
+      }
+    }
+  }
+  child_lpqs_.clear();
+  return Status::OK();
+}
+
+Status EngineContext::EmitEmptySubtree(const IndexEntry& entry) {
+  std::vector<IndexEntry> stack{entry};
+  std::vector<IndexEntry> children;
+  while (!stack.empty()) {
+    const IndexEntry e = stack.back();
+    stack.pop_back();
+    if (e.is_object) {
+      NeighborList empty;
+      empty.r_id = e.id;
+      ANN_RETURN_NOT_OK(sink_(std::move(empty)));
+      continue;
+    }
+    children.clear();
+    ANN_RETURN_NOT_OK(ir_.Expand(e, &children));
+    for (const IndexEntry& c : children) stack.push_back(c);
+  }
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,162 @@
+#ifndef ANNLIB_ANN_ENGINE_CONTEXT_H_
+#define ANNLIB_ANN_ENGINE_CONTEXT_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ann/lpq.h"
+#include "ann/mba.h"
+#include "ann/result.h"
+#include "index/spatial_index.h"
+#include "obs/obs.h"
+
+namespace ann {
+
+/// The marker status a traversal returns when it stopped because the
+/// run's cancel flag was raised. Not a real failure: the parallel runner
+/// skips it when deciding the run's overall status (the first *real*
+/// error — or the sink error that triggered cancellation — wins).
+Status CancelledStatus();
+
+/// True iff `s` is the CancelledStatus() marker.
+bool IsCancellation(const Status& s);
+
+/// \brief Context-local copies of the engine's histogram and timer
+/// instruments.
+///
+/// Counters are atomic and can be folded globally from any thread, but
+/// histograms and timers are unsynchronized by design (obs.h). Each
+/// traversal context records into its own EngineObs and the runner folds
+/// them into the global registry — from one thread, after the workers have
+/// joined — via MergeIntoGlobal(). Merging is exact (bucket-wise), so a
+/// single-threaded run through this path produces byte-identical snapshots
+/// to direct recording.
+struct EngineObs {
+  obs::PhaseTimer expand;
+  obs::PhaseTimer filter;
+  obs::PhaseTimer gather;
+  obs::Histogram r_level;
+  obs::Histogram s_level;
+  obs::Histogram lpq_depth;
+  obs::Histogram query_evals;
+
+  EngineObs();
+
+  /// Folds every local instrument into the registry's `mba.*` entries.
+  /// Single-threaded: callers serialize (the runner merges contexts one
+  /// after another once the pool has joined).
+  void MergeIntoGlobal();
+};
+
+/// \brief Free-list recycler for Lpq allocations.
+///
+/// A run creates one LPQ per IR entry — millions at paper scale — but
+/// only O(tree height × fan-out) are alive at once. Recycling through
+/// Lpq::Reset() keeps the container capacity those queues have already
+/// grown, taking the allocator off the traversal hot path.
+class LpqPool {
+ public:
+  std::unique_ptr<Lpq> Acquire(const IndexEntry& owner, Scalar bound2, int k,
+                               int level) {
+    if (free_.empty()) {
+      return std::make_unique<Lpq>(owner, bound2, k, level);
+    }
+    std::unique_ptr<Lpq> lpq = std::move(free_.back());
+    free_.pop_back();
+    lpq->Reset(owner, bound2, k, level);
+    return lpq;
+  }
+
+  void Release(std::unique_ptr<Lpq> lpq) { free_.push_back(std::move(lpq)); }
+
+ private:
+  std::vector<std::unique_ptr<Lpq>> free_;
+};
+
+/// \brief One reentrant traversal of the MBA/RBA core (Algorithms 2-4).
+///
+/// All per-traversal state — the LPQ worklist, scratch buffers, the LPQ
+/// free-list, PruneStats and the local obs instruments — lives in the
+/// context, so any number of contexts can run concurrently over the same
+/// pair of (thread-safe) SpatialIndex views. The sequential engine is one
+/// context seeded at the root; the partition-parallel engine is one
+/// context per task, each seeded with an independent subtree LPQ (see
+/// partition.h).
+///
+/// Because sibling LPQs never interact — each queue's evolution depends
+/// only on its own content — the per-LPQ work, and therefore the summed
+/// PruneStats, are invariant to how the worklist is ordered or split
+/// across contexts. That confluence is what makes the parallel runner's
+/// stats and results exactly reproducible at any thread count.
+class EngineContext {
+ public:
+  /// \param cancel optional run-wide abort flag, polled once per worklist
+  ///   iteration; when raised the traversal stops and returns
+  ///   CancelledStatus().
+  EngineContext(const SpatialIndex& ir, const SpatialIndex& is,
+                const AnnOptions& options, AnnResultSink sink,
+                const std::atomic<bool>* cancel = nullptr);
+
+  /// Algorithm 2 lines 1-3: creates the root LPQ (bounded by
+  /// options.max_distance), probes the IS root into it, and queues it.
+  void SeedRoot();
+
+  /// Algorithm 3: drains the worklist until empty, error, or cancel.
+  Status Drain();
+
+  /// Runs one partition task to completion: queues `seed` and drains.
+  Status RunTask(std::unique_ptr<Lpq> seed);
+
+  // -- Partitioner interface (see partition.h) --------------------------
+
+  /// The pending-LPQ worklist (front = next to process).
+  std::deque<std::unique_ptr<Lpq>>& worklist() { return worklist_; }
+
+  /// Runs the Expand stage on a node-owned LPQ: child LPQs are created,
+  /// filtered, and pushed onto the worklist (empty subtrees are emitted to
+  /// the sink immediately).
+  Status ExpandNodeLpq(std::unique_ptr<Lpq> lpq);
+
+  // ---------------------------------------------------------------------
+
+  PruneStats& stats() { return stats_; }
+  const PruneStats& stats() const { return stats_; }
+
+  /// Folds this context's histograms/timers into the global registry.
+  /// Call from one thread, after the traversal has finished.
+  void MergeObsIntoGlobal() { obs_.MergeIntoGlobal(); }
+
+ private:
+  bool Cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+  /// Algorithm 4 dispatch: Gather for object owners, Expand for nodes.
+  /// Returns the LPQ to the pool afterwards.
+  Status ExpandAndPrune(std::unique_ptr<Lpq> lpq);
+
+  Status Gather(Lpq* lpq);
+  Status Expand(Lpq* lpq);
+
+  /// Sinks an empty result list for every query object below `entry`.
+  Status EmitEmptySubtree(const IndexEntry& entry);
+
+  const SpatialIndex& ir_;
+  const SpatialIndex& is_;
+  const AnnOptions& options_;
+  AnnResultSink sink_;
+  const std::atomic<bool>* cancel_;
+
+  PruneStats stats_;
+  std::deque<std::unique_ptr<Lpq>> worklist_;
+  std::vector<IndexEntry> scratch_;
+  std::vector<std::unique_ptr<Lpq>> child_lpqs_;  // Expand-stage scratch
+  LpqPool pool_;
+  EngineObs obs_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_ENGINE_CONTEXT_H_

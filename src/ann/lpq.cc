@@ -51,6 +51,18 @@ std::string PruneStats::ToString() const {
 Lpq::Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level)
     : owner_(owner), k_(k), level_(level), bound2_(inherited_bound2) {}
 
+void Lpq::Reset(IndexEntry owner, Scalar inherited_bound2, int k, int level) {
+  owner_ = owner;
+  k_ = k;
+  level_ = level;
+  bound2_ = inherited_bound2;
+  live_maxd2_.clear();
+  committed_ = 0;
+  storage_.clear();
+  order_.clear();
+  head_ = 0;
+}
+
 void Lpq::InsertLive(Scalar maxd2) {
   live_maxd2_.insert(
       std::upper_bound(live_maxd2_.begin(), live_maxd2_.end(), maxd2), maxd2);

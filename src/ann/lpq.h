@@ -75,6 +75,11 @@ class Lpq {
   ///   reads it (per-level node-access histograms).
   Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level = 0);
 
+  /// Re-initializes the queue for a new owner, keeping the container
+  /// capacity. Lets the engine recycle LPQ allocations across the millions
+  /// of queues a run creates instead of churning the allocator.
+  void Reset(IndexEntry owner, Scalar inherited_bound2, int k, int level);
+
   const IndexEntry& owner() const { return owner_; }
   int level() const { return level_; }
 

@@ -1,28 +1,23 @@
 #include "ann/mba.h"
 
-#include <cmath>
-#include <deque>
+#include <algorithm>
+#include <atomic>
+#include <future>
 #include <memory>
+#include <vector>
 
+#include "ann/engine_context.h"
+#include "ann/partition.h"
+#include "common/thread_pool.h"
 #include "obs/obs.h"
 
 namespace ann {
 
 namespace {
 
-/// Computes the MIND/MAXD pair of `e` relative to `owner` (the paper's
-/// Distances function). `level` is the depth of `e` in IS (root = 0),
-/// carried along for the per-level access histograms.
-LpqEntry MakeLpqEntry(const IndexEntry& owner, const IndexEntry& e,
-                      PruneMetric metric, uint16_t level, PruneStats* stats) {
-  ++stats->distance_evals;
-  LpqEntry out;
-  out.entry = e;
-  out.mind2 = MinMinDist2(owner.mbr, e.mbr);
-  out.maxd2 = UpperBound2(metric, owner.mbr, e.mbr);
-  out.level = level;
-  return out;
-}
+/// Below this many query objects a parallel run cannot recoup its task
+/// and thread-pool overhead; the sequential path runs instead.
+constexpr uint64_t kMinParallelObjects = 512;
 
 /// Folds the per-run PruneStats delta into the global obs registry, so
 /// every MBA/RBA execution in the process is visible in one snapshot
@@ -40,223 +35,125 @@ void FoldPruneStats(const PruneStats& d) {
   reg.GetCounter("mba.distance_evals")->Add(d.distance_evals);
 }
 
-class AnnEngine {
- public:
-  AnnEngine(const SpatialIndex& ir, const SpatialIndex& is,
-            const AnnOptions& options, const AnnResultSink& sink,
-            PruneStats* stats)
-      : ir_(ir), is_(is), options_(options), sink_(sink), stats_(stats) {}
+/// Classic sequential MBA: one context seeded at the root.
+Status RunSequential(const SpatialIndex& ir, const SpatialIndex& is,
+                     const AnnOptions& options, const AnnResultSink& sink,
+                     PruneStats* stats) {
+  EngineContext ctx(ir, is, options, sink);
+  ctx.SeedRoot();
+  const Status st = ctx.Drain();
+  *stats += ctx.stats();
+  FoldPruneStats(ctx.stats());
+  ctx.MergeObsIntoGlobal();
+  return st;
+}
 
-  /// Algorithm 2 (MBA): seed the root LPQ and drain the worklist.
-  Status Run() {
-    const Scalar root_bound2 =
-        options_.max_distance == kInf
-            ? kInf
-            : options_.max_distance * options_.max_distance;
-    auto root_lpq =
-        std::make_unique<Lpq>(ir_.Root(), root_bound2, options_.k, /*level=*/0);
-    ++stats_->lpqs_created;
-    const LpqEntry root_entry = MakeLpqEntry(
-        root_lpq->owner(), is_.Root(), options_.metric, /*level=*/0, stats_);
-    root_lpq->Enqueue(root_entry, stats_);
-    worklist_.push_back(std::move(root_lpq));
-
-    // Algorithm 3 (ANN-DFBI) flattened: depth-first keeps the child LPQs
-    // ahead of their siblings (stack discipline), breadth-first appends
-    // them behind (queue discipline).
-    while (!worklist_.empty()) {
-      std::unique_ptr<Lpq> lpq;
-      lpq = std::move(worklist_.front());
-      worklist_.pop_front();
-      ANN_RETURN_NOT_OK(ExpandAndPrune(std::move(lpq)));
-    }
-    return Status::OK();
-  }
-
- private:
-  /// Algorithm 4: Gather stage for object owners, Expand (+ Filter inside
-  /// Lpq::Enqueue) for node owners.
-  Status ExpandAndPrune(std::unique_ptr<Lpq> lpq) {
-    if (lpq->owner().is_object) return Gather(std::move(lpq));
-    return Expand(std::move(lpq));
-  }
-
-  Status Gather(std::unique_ptr<Lpq> lpq) {
-    obs::ObsScope phase(gather_timer_);
-    lpq_depth_hist_->Record(static_cast<double>(lpq->size()));
-    const uint64_t evals_before = stats_->distance_evals;
-    // Best-first kNN completion for a single query object: entries pop in
-    // MIND order, so the first k objects popped are the k nearest.
-    NeighborList result;
-    result.r_id = lpq->owner().id;
-    result.neighbors.reserve(options_.k);
-    LpqEntry n;
-    while (static_cast<int>(result.neighbors.size()) < options_.k &&
-           lpq->Dequeue(&n)) {
-      if (n.entry.is_object) {
-        result.neighbors.emplace_back(n.entry.id, std::sqrt(n.mind2));
-        lpq->Commit(n, stats_);
-        continue;
-      }
-      ++stats_->s_nodes_expanded;
-      s_level_hist_->Record(static_cast<double>(n.level));
-      scratch_.clear();
-      ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
-      for (const IndexEntry& e : scratch_) {
-        lpq->Enqueue(MakeLpqEntry(lpq->owner(), e, options_.metric,
-                                  static_cast<uint16_t>(n.level + 1), stats_),
-                     stats_);
-      }
-    }
-    query_evals_hist_->Record(
-        static_cast<double>(stats_->distance_evals - evals_before));
-    phase.Stop();  // the sink is the caller's code, not Gather time
-    return sink_(std::move(result));
-  }
-
-  Status Expand(std::unique_ptr<Lpq> lpq) {
-    obs::ObsScope phase(expand_timer_);
-    // Expand the owner (IR side): each child gets a fresh LPQ seeded with
-    // the parent bound (sound by Lemma 3.2).
-    ++stats_->r_nodes_expanded;
-    r_level_hist_->Record(static_cast<double>(lpq->level()));
-    std::vector<IndexEntry> r_children;
-    ANN_RETURN_NOT_OK(ir_.Expand(lpq->owner(), &r_children));
-    std::vector<std::unique_ptr<Lpq>> child_lpqs;
-    child_lpqs.reserve(r_children.size());
-    for (const IndexEntry& c : r_children) {
-      child_lpqs.push_back(
-          std::make_unique<Lpq>(c, lpq->bound2(), options_.k,
-                                lpq->level() + 1));
-      ++stats_->lpqs_created;
-    }
-
-    // When the owner is a leaf, its children are objects: expanding the
-    // IS side here would probe every target object against every object
-    // LPQ eagerly. Deferring the expansion to each object's Gather stage
-    // lets the per-object best-first search expand only the few closest
-    // IS nodes instead — strictly less work, same results.
-    const bool r_children_are_objects =
-        !r_children.empty() && r_children[0].is_object;
-
-    // The probe loop below is the paper's Filter stage: every parent
-    // entry is re-scored against each child LPQ (Lpq::Enqueue applies the
-    // admission test and the bound-tightening eviction). Timed as its own
-    // nested phase so Expand time can be split into structure descent vs.
-    // candidate filtering.
-    obs::ObsScope filter_phase(filter_timer_);
-    LpqEntry n;
-    while (lpq->Dequeue(&n)) {
-      // An IS entry can only matter if its MIND beats some child's bound.
-      Scalar max_child_bound2 = -1;
-      for (const auto& child : child_lpqs) {
-        if (child->bound2() > max_child_bound2) {
-          max_child_bound2 = child->bound2();
-        }
-      }
-      if (ExceedsBound2(n.mind2, max_child_bound2)) {
-        ++stats_->pruned_unexpanded;
-        continue;
-      }
-
-      if (n.entry.is_object || r_children_are_objects ||
-          options_.expansion == Expansion::kUnidirectional) {
-        // Probe the entry itself against every child LPQ.
-        for (const auto& child : child_lpqs) {
-          child->Enqueue(MakeLpqEntry(child->owner(), n.entry,
-                                      options_.metric, n.level, stats_),
-                         stats_);
-        }
-      } else {
-        // Bi-directional: descend the IS side too.
-        ++stats_->s_nodes_expanded;
-        s_level_hist_->Record(static_cast<double>(n.level));
-        scratch_.clear();
-        ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
-        for (const IndexEntry& e : scratch_) {
-          for (const auto& child : child_lpqs) {
-            child->Enqueue(
-                MakeLpqEntry(child->owner(), e, options_.metric,
-                             static_cast<uint16_t>(n.level + 1), stats_),
-                stats_);
-          }
-        }
-      }
-    }
-    filter_phase.Stop();
-
-    // Queue the non-empty child LPQs (line 19 of Algorithm 4). An empty
-    // child LPQ can only occur under a max_distance bound (classic ANN
-    // always keeps a witness); its whole subtree has no neighbor in range
-    // and must still report empty result lists.
-    if (options_.traversal == Traversal::kDepthFirst) {
-      // Keep FIFO order among the children while staying ahead of all
-      // previously queued work.
-      for (auto it = child_lpqs.rbegin(); it != child_lpqs.rend(); ++it) {
-        if (!(*it)->empty()) {
-          worklist_.push_front(std::move(*it));
-        } else {
-          ANN_RETURN_NOT_OK(EmitEmptySubtree((*it)->owner()));
-        }
-      }
-    } else {
-      for (auto& child : child_lpqs) {
-        if (!child->empty()) {
-          worklist_.push_back(std::move(child));
-        } else {
-          ANN_RETURN_NOT_OK(EmitEmptySubtree(child->owner()));
-        }
-      }
-    }
-    return Status::OK();
-  }
-
-  /// Sinks an empty result list for every query object below `entry`.
-  Status EmitEmptySubtree(const IndexEntry& entry) {
-    std::vector<IndexEntry> stack{entry};
-    std::vector<IndexEntry> children;
-    while (!stack.empty()) {
-      const IndexEntry e = stack.back();
-      stack.pop_back();
-      if (e.is_object) {
-        NeighborList empty;
-        empty.r_id = e.id;
-        ANN_RETURN_NOT_OK(sink_(std::move(empty)));
-        continue;
-      }
-      children.clear();
-      ANN_RETURN_NOT_OK(ir_.Expand(e, &children));
-      for (const IndexEntry& c : children) stack.push_back(c);
-    }
-    return Status::OK();
-  }
-
-  const SpatialIndex& ir_;
-  const SpatialIndex& is_;
-  const AnnOptions& options_;
-  const AnnResultSink& sink_;
-  PruneStats* stats_;
-  std::deque<std::unique_ptr<Lpq>> worklist_;
-  std::vector<IndexEntry> scratch_;
-
-  // Observability handles (resolved once per run; see DESIGN.md
-  // "Observability"). Phase timers cover the paper's three stages;
-  // the level histograms record node accesses by tree depth (root = 0);
-  // the query histograms record, per query object, the LPQ size at the
-  // start of its Gather stage and the pruning-metric evaluations spent
-  // finishing it.
-  obs::PhaseTimer* expand_timer_ = obs::GetTimer("mba.phase.expand");
-  obs::PhaseTimer* filter_timer_ = obs::GetTimer("mba.phase.filter");
-  obs::PhaseTimer* gather_timer_ = obs::GetTimer("mba.phase.gather");
-  obs::Histogram* r_level_hist_ = obs::GetHistogram(
-      "mba.expand.r_level", obs::LinearBounds(1, 1, 16));
-  obs::Histogram* s_level_hist_ = obs::GetHistogram(
-      "mba.expand.s_level", obs::LinearBounds(1, 1, 16));
-  obs::Histogram* lpq_depth_hist_ = obs::GetHistogram(
-      "mba.query.lpq_depth", obs::ExponentialBounds(1, 2, 12));
-  obs::Histogram* query_evals_hist_ = obs::GetHistogram(
-      "mba.query.nxndist_evals", obs::ExponentialBounds(1, 2, 16));
+/// One partition task in flight: its seed LPQ, its private context (whose
+/// sink buffers into `results`), and the promise the merging thread waits
+/// on. Workers capture a pointer to their slot, so the closures stay
+/// copyable for std::function.
+struct ParallelTask {
+  std::unique_ptr<Lpq> seed;
+  std::unique_ptr<EngineContext> ctx;
+  std::vector<NeighborList> results;
+  std::promise<Status> done;
 };
+
+/// Partition-parallel MBA. Plans independent subtree tasks, runs them on
+/// a pool, and merges: each finished task's results are sorted by query
+/// id and streamed to the caller's sink in task (plan) order, so the
+/// output sequence is deterministic for a given thread count and the
+/// sorted result set is identical at every thread count. A sink error or
+/// task failure raises the shared cancel flag; outstanding tasks notice
+/// it at their next worklist iteration and return the cancellation
+/// marker, which the merge loop ignores so the triggering error wins.
+Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
+                   const AnnOptions& options, const AnnResultSink& sink,
+                   PruneStats* stats, size_t num_threads) {
+  std::atomic<bool> cancel{false};
+  // Planning (and empty-subtree emission) happens on this thread through
+  // the caller's sink, before any worker exists.
+  EngineContext plan_ctx(ir, is, options, sink, &cancel);
+  const size_t target = options.partition_fanout > 0
+                            ? static_cast<size_t>(options.partition_fanout)
+                            : num_threads * 8;
+  PartitionPlan plan;
+  Status overall = BuildPartitionPlan(&plan_ctx, target, &plan);
+
+  if (overall.ok() && plan.tasks.size() < 2) {
+    // Too little to split (tiny tree): finish sequentially right here.
+    for (std::unique_ptr<Lpq>& task : plan.tasks) {
+      plan_ctx.worklist().push_back(std::move(task));
+    }
+    overall = plan_ctx.Drain();
+    *stats += plan_ctx.stats();
+    FoldPruneStats(plan_ctx.stats());
+    plan_ctx.MergeObsIntoGlobal();
+    return overall;
+  }
+
+  std::vector<ParallelTask> tasks(plan.tasks.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    ParallelTask& t = tasks[i];
+    t.seed = std::move(plan.tasks[i]);
+    t.ctx = std::make_unique<EngineContext>(
+        ir, is, options,
+        [&t](NeighborList&& list) {
+          t.results.push_back(std::move(list));
+          return Status::OK();
+        },
+        &cancel);
+    futures.push_back(t.done.get_future());
+  }
+
+  if (overall.ok()) {
+    ThreadPool pool(std::min(num_threads, tasks.size()));
+    for (ParallelTask& t : tasks) {
+      pool.Submit([&t] {
+        Status st = t.ctx->RunTask(std::move(t.seed));
+        std::sort(t.results.begin(), t.results.end(),
+                  [](const NeighborList& a, const NeighborList& b) {
+                    return a.r_id < b.r_id;
+                  });
+        t.done.set_value(std::move(st));
+      });
+    }
+
+    // Merge as tasks complete, in plan order — task i+1 may still be
+    // running while task i's results stream out, and an aborting sink
+    // cancels everything still in flight.
+    for (size_t i = 0; i < tasks.size() && overall.ok(); ++i) {
+      Status task_status = futures[i].get();
+      if (!task_status.ok()) {
+        if (!IsCancellation(task_status)) overall = std::move(task_status);
+        cancel.store(true, std::memory_order_relaxed);
+        continue;
+      }
+      for (NeighborList& list : tasks[i].results) {
+        Status sink_status = sink(std::move(list));
+        if (!sink_status.ok()) {
+          overall = std::move(sink_status);
+          cancel.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    // Pool destructor drains and joins every remaining task before the
+    // stats merge below reads their contexts.
+  }
+
+  PruneStats run_total = plan_ctx.stats();
+  plan_ctx.MergeObsIntoGlobal();
+  for (ParallelTask& t : tasks) {
+    run_total += t.ctx->stats();
+    t.ctx->MergeObsIntoGlobal();
+  }
+  *stats += run_total;
+  FoldPruneStats(run_total);
+  return overall;
+}
 
 }  // namespace
 
@@ -274,11 +171,11 @@ Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
   }
   PruneStats local;
   PruneStats* s = stats ? stats : &local;
-  const PruneStats before = *s;  // callers may accumulate across runs
-  AnnEngine engine(ir, is, options, sink, s);
-  const Status st = engine.Run();
-  FoldPruneStats(*s - before);
-  return st;
+  const size_t num_threads = ResolveThreadCount(options.num_threads);
+  if (num_threads <= 1 || ir.num_objects() < kMinParallelObjects) {
+    return RunSequential(ir, is, options, sink, s);
+  }
+  return RunParallel(ir, is, options, sink, s, num_threads);
 }
 
 Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,

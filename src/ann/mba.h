@@ -40,6 +40,19 @@ struct AnnOptions {
   /// from the first probe. Query objects with fewer than k neighbors in
   /// range get shorter (possibly empty) result lists. kInf = classic ANN.
   Scalar max_distance = kInf;
+  /// Worker threads for the partition-parallel engine. 1 (default) runs
+  /// the classic sequential traversal; 0 means auto (one worker per
+  /// hardware thread); N > 1 splits the query index into independent
+  /// subtree tasks executed on a pool of N workers. Results and summed
+  /// PruneStats are identical at every thread count (sibling LPQs never
+  /// interact, so partitioning does not change the work done); only the
+  /// order results reach the sink differs. Small inputs fall back to the
+  /// sequential path regardless.
+  int num_threads = 1;
+  /// Number of independent tasks the partitioner aims for when
+  /// num_threads > 1. 0 = auto (8 tasks per worker, enough slack for the
+  /// uneven task sizes a space-partitioning tree produces).
+  int partition_fanout = 0;
 };
 
 /// \brief The MBA / RBA algorithm (Algorithms 2-4).

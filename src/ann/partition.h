@@ -1,0 +1,46 @@
+#ifndef ANNLIB_ANN_PARTITION_H_
+#define ANNLIB_ANN_PARTITION_H_
+
+#include <memory>
+#include <vector>
+
+#include "ann/engine_context.h"
+#include "ann/lpq.h"
+
+namespace ann {
+
+/// \brief A set of independent traversal tasks covering the whole query
+/// index.
+///
+/// Each task is one seeded LPQ: processing it (and every descendant LPQ
+/// it spawns) computes the results of exactly the query objects under its
+/// owner, touching no state shared with any other task. Together the
+/// tasks partition IR's objects — every query object is reported by
+/// exactly one task (objects under empty subtrees were already emitted
+/// during planning).
+struct PartitionPlan {
+  std::vector<std::unique_ptr<Lpq>> tasks;  ///< plan order (deterministic)
+};
+
+/// \brief Splits the traversal rooted at IR's root into independent tasks.
+///
+/// Seeds the root LPQ inside `ctx` and repeatedly applies the Expand
+/// stage to the first node-owned LPQ on the worklist, growing the
+/// frontier breadth-wise, until at least `target_tasks` LPQs are pending
+/// or no node-owned LPQ remains (small tree). The resulting worklist is
+/// moved into `out->tasks`.
+///
+/// All planning work — R-node expansions, child-LPQ creation, filtering,
+/// empty-subtree emission through the context's sink — is the exact same
+/// work the sequential engine would do for those LPQs, recorded in the
+/// context's PruneStats; per-LPQ processing is order-invariant (sibling
+/// LPQs never interact), so splitting here changes neither the results
+/// nor the summed stats of the run.
+///
+/// On error the context is left mid-plan and should be discarded.
+Status BuildPartitionPlan(EngineContext* ctx, size_t target_tasks,
+                          PartitionPlan* out);
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_PARTITION_H_

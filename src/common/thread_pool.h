@@ -1,0 +1,59 @@
+#ifndef ANNLIB_COMMON_THREAD_POOL_H_
+#define ANNLIB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ann {
+
+/// Maps a user-facing thread-count option to an actual worker count:
+/// 0 = auto (hardware concurrency, at least 1), otherwise the value itself
+/// (negative values are treated as 1).
+size_t ResolveThreadCount(int num_threads);
+
+/// \brief Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Deliberately minimal — no futures, no task stealing, no resizing. The
+/// ANN runner owns result plumbing itself (it needs deterministic ordered
+/// merging anyway), so tasks here are plain `void()` closures. The
+/// destructor waits for every submitted task to finish, which doubles as
+/// the runner's join point.
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue — runs every task already submitted — then joins.
+  ~ThreadPool();
+
+  /// Enqueues a task. Must not be called after the destructor has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is mid-flight.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_THREAD_POOL_H_

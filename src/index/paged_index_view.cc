@@ -7,10 +7,13 @@ Status PagedIndexView::Expand(const IndexEntry& e,
   if (e.is_object) {
     return Status::InvalidArgument("Expand called on an object entry");
   }
-  ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch_));
+  // Per-thread read buffer: reused across calls (no allocation on the hot
+  // path) without serializing concurrent expands on one shared member.
+  static thread_local std::vector<char> scratch;
+  ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch));
   obs_expands_->Increment();
-  obs_bytes_->Add(scratch_.size());
-  return DeserializeNodeEntries(scratch_.data(), scratch_.size(), meta_.dim,
+  obs_bytes_->Add(scratch.size());
+  return DeserializeNodeEntries(scratch.data(), scratch.size(), meta_.dim,
                                 out);
 }
 

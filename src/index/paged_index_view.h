@@ -18,6 +18,9 @@ namespace ann {
 /// access locality of the traversal algorithm. Works identically for
 /// persisted MBRQT and R*-tree structures (they share the node wire
 /// format).
+///
+/// Expand() is safe to call from multiple threads: the node read buffer is
+/// thread-local and the NodeStore/BufferPool beneath it are thread-safe.
 class PagedIndexView final : public SpatialIndex {
  public:
   PagedIndexView(const NodeStore* store, const PersistedIndexMeta& meta)
@@ -37,7 +40,6 @@ class PagedIndexView final : public SpatialIndex {
  private:
   const NodeStore* store_;
   PersistedIndexMeta meta_;
-  mutable std::vector<char> scratch_;  // reused node read buffer
   obs::Counter* obs_expands_ = obs::GetCounter("index.paged.expands");
   obs::Counter* obs_bytes_ = obs::GetCounter("index.paged.node_bytes");
 };

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace ann::obs {
 
@@ -52,6 +53,15 @@ void Histogram::Reset() {
   max_ = -std::numeric_limits<double>::infinity();
 }
 
+void Histogram::Merge(const Histogram& other) {
+  assert(other.bounds_.size() == bounds_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 HistogramSnapshot Histogram::TakeSnapshot(std::string name) const {
   HistogramSnapshot snap;
   snap.name = std::move(name);
@@ -75,6 +85,12 @@ void PhaseTimer::Reset() {
   latency_.Reset();
 }
 
+void PhaseTimer::Merge(const PhaseTimer& other) {
+  calls_ += other.calls_;
+  total_ns_ += other.total_ns_;
+  latency_.Merge(other.latency_);
+}
+
 TimerSnapshot PhaseTimer::TakeSnapshot(std::string name) const {
   TimerSnapshot snap;
   snap.name = std::move(name);
@@ -86,8 +102,12 @@ TimerSnapshot PhaseTimer::TakeSnapshot(std::string name) const {
 
 /// Instruments live in node-based maps so handle pointers stay stable as
 /// the registry grows; std::map keys are already name-sorted, making
-/// snapshots deterministic for free.
+/// snapshots deterministic for free. The mutex guards only the maps —
+/// registrations are rare (handles resolve once), so the lock never sits
+/// on a hot path; the instruments themselves are either atomic (counters,
+/// gauges) or merged from a single thread (histograms, timers).
 struct Registry::Impl {
+  mutable std::mutex mu;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
@@ -99,15 +119,17 @@ Registry& Registry::Global() {
   return registry;
 }
 
+// Eager Impl allocation keeps every Get* entry point race-free without a
+// double-checked init in each.
+Registry::Registry() : impl_(new Impl()) {}
+
 Registry::~Registry() { delete impl_; }
 
-Registry::Impl& Registry::impl() {
-  if (impl_ == nullptr) impl_ = new Impl();
-  return *impl_;
-}
+Registry::Impl& Registry::impl() { return *impl_; }
 
 Counter* Registry::GetCounter(std::string_view name) {
   auto& m = impl().counters;
+  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -117,6 +139,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 
 Gauge* Registry::GetGauge(std::string_view name) {
   auto& m = impl().gauges;
+  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -127,6 +150,7 @@ Gauge* Registry::GetGauge(std::string_view name) {
 Histogram* Registry::GetHistogram(std::string_view name,
                                   std::vector<double> bounds) {
   auto& m = impl().histograms;
+  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name),
@@ -138,6 +162,7 @@ Histogram* Registry::GetHistogram(std::string_view name,
 
 PhaseTimer* Registry::GetTimer(std::string_view name) {
   auto& m = impl().timers;
+  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name), std::make_unique<PhaseTimer>()).first;
@@ -148,6 +173,7 @@ PhaseTimer* Registry::GetTimer(std::string_view name) {
 Snapshot Registry::TakeSnapshot() const {
   Snapshot snap;
   if (impl_ == nullptr) return snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
   snap.counters.reserve(impl_->counters.size());
   for (const auto& [name, c] : impl_->counters) {
     snap.counters.emplace_back(name, c->value());
@@ -169,6 +195,7 @@ Snapshot Registry::TakeSnapshot() const {
 
 void Registry::ResetAll() {
   if (impl_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
   for (auto& [name, c] : impl_->counters) c->Reset();
   for (auto& [name, g] : impl_->gauges) g->Reset();
   for (auto& [name, h] : impl_->histograms) h->Reset();

@@ -2,6 +2,7 @@
 #define ANNLIB_OBS_OBS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -24,8 +25,12 @@ namespace ann::obs {
 ///  - **Hot-path cost is one pointer-indirect add.** Call sites resolve
 ///    their `Counter*` / `Histogram*` handles once (at construction or
 ///    function entry) and increment through the handle; no name lookup,
-///    no locking (the library is single-threaded, like the rest of the
-///    codebase), no branches beyond the handle's own arithmetic.
+///    no branches beyond the handle's own arithmetic. Counters and gauges
+///    are relaxed atomics so concurrent traversals (the partition-parallel
+///    engine, concurrent buffer-pool readers) sum exactly without locks.
+///    Histograms and timers stay unsynchronized: multi-threaded code
+///    records into context-local instances and folds them into the
+///    registry with Merge() from one thread (see ann::EngineObs).
 ///  - **Kill switch.** Compiling with `-DANNLIB_OBS_DISABLED` turns every
 ///    instrument into an empty inline stub, so the instrumentation can be
 ///    proven free for latency-critical deployments. The define must be
@@ -82,28 +87,31 @@ struct Snapshot {
 
 #ifndef ANNLIB_OBS_DISABLED
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Thread-safe: increments are
+/// relaxed atomic adds, so concurrent writers sum exactly and the hot
+/// path stays a single uncontended RMW.
 class Counter {
  public:
-  void Add(uint64_t n) { value_ += n; }
-  void Increment() { ++value_; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Instantaneous signed level (pool occupancy, worklist depth, ...).
+/// Thread-safe like Counter (Set is a plain store, Add a relaxed add).
 class Gauge {
  public:
-  void Set(int64_t v) { value_ = v; }
-  void Add(int64_t d) { value_ += d; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Fixed-bucket histogram over doubles with a trailing overflow bucket.
@@ -136,6 +144,11 @@ class Histogram {
   void Reset();
   HistogramSnapshot TakeSnapshot(std::string name) const;
 
+  /// Folds another histogram with identical bounds into this one
+  /// (bucket-wise add; min/max/sum/count combine exactly). Used to merge
+  /// context-local instruments into the registry after a parallel run.
+  void Merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<uint64_t> buckets_;  // bounds_.size() + 1, last = overflow
@@ -163,6 +176,10 @@ class PhaseTimer {
 
   void Reset();
   TimerSnapshot TakeSnapshot(std::string name) const;
+
+  /// Folds another timer into this one (calls, total time and the latency
+  /// histogram all combine exactly).
+  void Merge(const PhaseTimer& other);
 
  private:
   uint64_t calls_ = 0;
@@ -203,13 +220,18 @@ class ObsScope {
 /// Process-wide instrument registry. Handles returned by Get* are stable
 /// for the registry's lifetime; Get* with a known name returns the
 /// existing instrument (for histograms the first registration's bounds
-/// win). Not thread-safe, matching the rest of the library.
+/// win). Get* lookups are mutex-guarded so handles may be resolved from
+/// any thread; TakeSnapshot/ResetAll guard the instrument maps too but
+/// read histogram/timer contents unsynchronized — take snapshots from one
+/// thread while no traversal is recording (the engine merges its
+/// context-local instruments before returning, so this is the natural
+/// state between runs).
 class Registry {
  public:
   /// The global registry every built-in instrument registers into.
   static Registry& Global();
 
-  Registry() = default;
+  Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
   ~Registry();
@@ -256,6 +278,7 @@ class Histogram {
   uint64_t count() const { return 0; }
   double sum() const { return 0; }
   void Reset() {}
+  void Merge(const Histogram&) {}
   HistogramSnapshot TakeSnapshot(std::string name) const {
     return HistogramSnapshot{std::move(name), {}, {}, 0, 0, 0, 0};
   }
@@ -268,6 +291,7 @@ class PhaseTimer {
   uint64_t total_ns() const { return 0; }
   double total_seconds() const { return 0; }
   void Reset() {}
+  void Merge(const PhaseTimer&) {}
 };
 
 class ObsScope {

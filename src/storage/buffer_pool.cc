@@ -8,6 +8,7 @@ PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
+    stripe_ = other.stripe_;
     frame_ = other.frame_;
     page_id_ = other.page_id_;
     other.pool_ = nullptr;
@@ -17,34 +18,36 @@ PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
 
 char* PinnedPage::data() {
   assert(valid());
-  return pool_->frames_[frame_].page.data();
+  return pool_->stripes_[stripe_]->frames[frame_].page.data();
 }
 
 const char* PinnedPage::data() const {
   assert(valid());
-  return pool_->frames_[frame_].page.data();
+  return pool_->stripes_[stripe_]->frames[frame_].page.data();
 }
 
 void PinnedPage::MarkDirty() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
+  // Safe without the stripe latch: the frame is pinned by this handle, so
+  // no other thread inspects its dirty bit until it is unpinned.
+  pool_->stripes_[stripe_]->frames[frame_].dirty.store(
+      true, std::memory_order_relaxed);
 }
 
 void PinnedPage::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(stripe_, frame_);
     pool_ = nullptr;
   }
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t num_frames,
-                       Replacement replacement)
+                       Replacement replacement, size_t num_stripes)
     : disk_(disk),
       capacity_(std::max<size_t>(1, num_frames)),
-      replacement_(replacement) {
-  frames_.resize(capacity_);
-  free_frames_.reserve(capacity_);
-  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+      replacement_(replacement),
+      stripes_pref_(std::max<size_t>(1, num_stripes)) {
+  InitStripes();
 }
 
 BufferPool::~BufferPool() {
@@ -52,51 +55,81 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
+void BufferPool::InitStripes() {
+  const size_t n = std::min(stripes_pref_, capacity_);
+  stripes_.clear();
+  stripes_.reserve(n);
+  const size_t base = capacity_ / n;
+  const size_t extra = capacity_ % n;  // first `extra` stripes get one more
+  for (size_t s = 0; s < n; ++s) {
+    auto stripe = std::make_unique<Stripe>();
+    const size_t frames = base + (s < extra ? 1 : 0);
+    stripe->frames = std::vector<Frame>(frames);
+    stripe->free_frames.reserve(frames);
+    for (size_t i = 0; i < frames; ++i) {
+      stripe->free_frames.push_back(frames - 1 - i);
+    }
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
 Result<PinnedPage> BufferPool::Fetch(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++stats_.pool_hits;
+  const size_t si = StripeIndexFor(id);
+  Stripe& stripe = *stripes_[si];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+
+  auto it = stripe.page_table.find(id);
+  if (it != stripe.page_table.end()) {
+    stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
     obs_hits_->Increment();
-    Frame& frame = frames_[it->second];
+    Frame& frame = stripe.frames[it->second];
     if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
+      stripe.lru.erase(frame.lru_pos);
       frame.in_lru = false;
     }
     frame.referenced = true;
     ++frame.pin_count;
-    return PinnedPage(this, it->second, id);
+    return PinnedPage(this, si, it->second, id);
   }
 
-  ++stats_.pool_misses;
+  stats_.pool_misses.fetch_add(1, std::memory_order_relaxed);
   obs_misses_->Increment();
-  ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame());
-  Frame& frame = frames_[fi];
+  ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame(stripe));
+  Frame& frame = stripe.frames[fi];
+  // The disk read happens under the stripe latch: simple, and concurrent
+  // fetches of different pages on other stripes still proceed.
   ANN_RETURN_NOT_OK(disk_->ReadPage(id, &frame.page));
   frame.page_id = id;
   frame.pin_count = 1;
-  frame.dirty = false;
+  frame.dirty.store(false, std::memory_order_relaxed);
   frame.referenced = true;
-  page_table_.emplace(id, fi);
-  return PinnedPage(this, fi, id);
+  stripe.page_table.emplace(id, fi);
+  return PinnedPage(this, si, fi, id);
 }
 
 Result<PinnedPage> BufferPool::NewPage() {
   ANN_ASSIGN_OR_RETURN(const PageId id, disk_->AllocatePage());
-  ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame());
-  Frame& frame = frames_[fi];
+  const size_t si = StripeIndexFor(id);
+  Stripe& stripe = *stripes_[si];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame(stripe));
+  Frame& frame = stripe.frames[fi];
   frame.page.bytes.fill(std::byte{0});
   frame.page_id = id;
   frame.pin_count = 1;
-  frame.dirty = true;
+  frame.dirty.store(true, std::memory_order_relaxed);
   frame.referenced = true;
-  page_table_.emplace(id, fi);
-  return PinnedPage(this, fi, id);
+  stripe.page_table.emplace(id, fi);
+  return PinnedPage(this, si, fi, id);
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPageId) {
-      ANN_RETURN_NOT_OK(FlushFrame(frame));
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (Frame& frame : stripe->frames) {
+      if (frame.page_id != kInvalidPageId) {
+        ANN_RETURN_NOT_OK(FlushFrame(frame));
+      }
     }
   }
   return Status::OK();
@@ -108,60 +141,69 @@ Status BufferPool::Reset(size_t num_frames) {
   }
   ANN_RETURN_NOT_OK(FlushAll());
   capacity_ = std::max<size_t>(1, num_frames);
-  frames_.assign(capacity_, Frame{});
-  free_frames_.clear();
-  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
-  lru_.clear();
-  clock_hand_ = 0;
-  page_table_.clear();
+  InitStripes();
   return Status::OK();
 }
 
 size_t BufferPool::pinned_pages() const {
   size_t n = 0;
-  for (const Frame& frame : frames_) {
-    if (frame.pin_count > 0) ++n;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const Frame& frame : stripe->frames) {
+      if (frame.pin_count > 0) ++n;
+    }
   }
   return n;
 }
 
-void BufferPool::Unpin(size_t frame_index) {
-  Frame& frame = frames_[frame_index];
+size_t BufferPool::cached_pages() const {
+  size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    n += stripe->page_table.size();
+  }
+  return n;
+}
+
+void BufferPool::Unpin(size_t stripe_index, size_t frame_index) {
+  Stripe& stripe = *stripes_[stripe_index];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Frame& frame = stripe.frames[frame_index];
   assert(frame.pin_count > 0);
   if (--frame.pin_count == 0 && replacement_ == Replacement::kLru) {
-    lru_.push_back(frame_index);
-    frame.lru_pos = std::prev(lru_.end());
+    stripe.lru.push_back(frame_index);
+    frame.lru_pos = std::prev(stripe.lru.end());
     frame.in_lru = true;
   }
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    const size_t fi = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::GetVictimFrame(Stripe& stripe) {
+  if (!stripe.free_frames.empty()) {
+    const size_t fi = stripe.free_frames.back();
+    stripe.free_frames.pop_back();
     return fi;
   }
 
   size_t fi;
   if (replacement_ == Replacement::kLru) {
-    if (lru_.empty()) {
+    if (stripe.lru.empty()) {
       return Status::OutOfRange("BufferPool: all frames pinned");
     }
-    fi = lru_.front();
-    lru_.pop_front();
-    frames_[fi].in_lru = false;
+    fi = stripe.lru.front();
+    stripe.lru.pop_front();
+    stripe.frames[fi].in_lru = false;
   } else {
     // CLOCK sweep: skip pinned frames; give referenced frames a second
     // chance. Two full sweeps guarantee a victim unless all are pinned.
     size_t steps = 0;
-    const size_t max_steps = 2 * capacity_ + 1;
+    const size_t max_steps = 2 * stripe.frames.size() + 1;
     while (true) {
       if (steps++ > max_steps) {
         return Status::OutOfRange("BufferPool: all frames pinned");
       }
-      Frame& candidate = frames_[clock_hand_];
-      const size_t current = clock_hand_;
-      clock_hand_ = (clock_hand_ + 1) % capacity_;
+      Frame& candidate = stripe.frames[stripe.clock_hand];
+      const size_t current = stripe.clock_hand;
+      stripe.clock_hand = (stripe.clock_hand + 1) % stripe.frames.size();
       if (candidate.pin_count > 0) continue;
       if (candidate.referenced) {
         candidate.referenced = false;
@@ -172,19 +214,19 @@ Result<size_t> BufferPool::GetVictimFrame() {
     }
   }
 
-  Frame& frame = frames_[fi];
-  ++stats_.evictions;
+  Frame& frame = stripe.frames[fi];
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   obs_evictions_->Increment();
   ANN_RETURN_NOT_OK(FlushFrame(frame));
-  page_table_.erase(frame.page_id);
+  stripe.page_table.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
   return fi;
 }
 
 Status BufferPool::FlushFrame(Frame& frame) {
-  if (frame.dirty) {
+  if (frame.dirty.load(std::memory_order_relaxed)) {
     ANN_RETURN_NOT_OK(disk_->WritePage(frame.page_id, frame.page));
-    frame.dirty = false;
+    frame.dirty.store(false, std::memory_order_relaxed);
     obs_writebacks_->Increment();
   }
   return Status::OK();

@@ -1,8 +1,11 @@
 #ifndef ANNLIB_STORAGE_BUFFER_POOL_H_
 #define ANNLIB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cassert>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -43,10 +46,11 @@ class PinnedPage {
 
  private:
   friend class BufferPool;
-  PinnedPage(BufferPool* pool, size_t frame, PageId id)
-      : pool_(pool), frame_(frame), page_id_(id) {}
+  PinnedPage(BufferPool* pool, size_t stripe, size_t frame, PageId id)
+      : pool_(pool), stripe_(stripe), frame_(frame), page_id_(id) {}
 
   BufferPool* pool_ = nullptr;
+  size_t stripe_ = 0;
   size_t frame_ = 0;
   PageId page_id_ = kInvalidPageId;
 };
@@ -76,50 +80,68 @@ struct BufferPoolStats {
   }
 };
 
-/// \brief Fixed-capacity buffer pool over a DiskManager (LRU or CLOCK).
+/// \brief Fixed-capacity buffer pool over a DiskManager (LRU or CLOCK),
+/// safe under concurrent Fetch/Unpin.
 ///
 /// This is the stand-in for the SHORE buffer manager used in the paper's
 /// experiments (512 KB = 64 frames of 8 KB by default). All index and
 /// baseline page accesses flow through Fetch(), so pool hits/misses — and
 /// therefore the simulated I/O cost — reflect each algorithm's true access
 /// locality. Frames holding pinned pages are never evicted; Fetch fails
-/// with OutOfRange if every frame is pinned.
+/// with OutOfRange if every candidate frame is pinned.
+///
+/// Concurrency: frames are partitioned into `num_stripes` stripes by page
+/// id (`id % num_stripes`), each stripe owning its own latch, page table,
+/// free list and replacement state. A Fetch/Unpin touches exactly one
+/// stripe, so readers on different stripes never contend; I/O counters are
+/// atomic and exact under any interleaving. With the default single stripe
+/// the replacement behaviour is bit-identical to the classic sequential
+/// pool (one global LRU/CLOCK); more stripes trade global LRU fidelity for
+/// concurrency, the standard DBMS latch-striping compromise. FlushAll and
+/// Reset are not safe concurrent with Fetch — call them between runs.
 class BufferPool {
  public:
   /// \param num_frames pool capacity in pages (>= 1).
+  /// \param num_stripes latch stripes (clamped to [1, num_frames]); frames
+  ///   are split evenly across stripes.
   BufferPool(DiskManager* disk, size_t num_frames,
-             Replacement replacement = Replacement::kLru);
+             Replacement replacement = Replacement::kLru,
+             size_t num_stripes = 1);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   ~BufferPool();
 
-  /// Pins page `id`, reading it from disk on a miss.
+  /// Pins page `id`, reading it from disk on a miss. Thread-safe.
   Result<PinnedPage> Fetch(PageId id);
 
   /// Allocates a new page on disk and pins it (zero-filled, marked dirty).
+  /// Thread-safe.
   Result<PinnedPage> NewPage();
 
-  /// Writes back all dirty frames (pages stay cached).
+  /// Writes back all dirty frames (pages stay cached). Not concurrent-safe
+  /// with writers holding pins.
   Status FlushAll();
 
   /// Flushes and drops every cached page, then changes capacity. All pages
   /// must be unpinned. Used by benchmarks to switch between the large
-  /// build-time pool and the small query-time pool.
+  /// build-time pool and the small query-time pool. Keeps the stripe count.
   Status Reset(size_t num_frames);
 
   size_t capacity() const { return capacity_; }
+  size_t num_stripes() const { return stripes_.size(); }
   Replacement replacement() const { return replacement_; }
   size_t pinned_pages() const;
-  size_t cached_pages() const { return page_table_.size(); }
+  size_t cached_pages() const;
 
-  const IoStats& stats() const { return stats_; }
+  IoStats stats() const { return stats_.Load(); }
   void ResetStats() { stats_.Reset(); }
 
   /// Full public statistics snapshot (counters + occupancy).
   BufferPoolStats Stats() const {
-    return BufferPoolStats{stats_, capacity_, cached_pages(), pinned_pages()};
+    return BufferPoolStats{stats(), capacity_, cached_pages(),
+                           pinned_pages()};
   }
 
   DiskManager* disk() const { return disk_; }
@@ -131,27 +153,42 @@ class BufferPool {
     Page page;
     PageId page_id = kInvalidPageId;
     uint32_t pin_count = 0;
-    bool dirty = false;
+    // Atomic because MarkDirty runs without the stripe latch (the frame is
+    // pinned) and concurrent pinners of one page may both set it; eviction
+    // and flushing read it under the latch with no writer possible (only
+    // unpinned frames are flushed). Relaxed is enough for a sticky flag.
+    std::atomic<bool> dirty{false};
     bool in_lru = false;
     bool referenced = false;  // CLOCK second-chance bit
     std::list<size_t>::iterator lru_pos;
   };
 
-  void Unpin(size_t frame_index);
-  // Returns a frame index available for (re)use, evicting the least
-  // recently used unpinned frame if necessary.
-  Result<size_t> GetVictimFrame();
+  /// One latch domain: a fixed slice of the pool's frames plus the lookup
+  /// and replacement state for the pages hashed to it.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::list<size_t> lru;  // front = least recently used, unpinned only
+    size_t clock_hand = 0;
+    std::unordered_map<PageId, size_t> page_table;
+  };
+
+  size_t StripeIndexFor(PageId id) const { return id % stripes_.size(); }
+  void Unpin(size_t stripe_index, size_t frame_index);
+  // Returns a frame index available for (re)use within the stripe,
+  // evicting its least recently used unpinned frame if necessary. Caller
+  // holds the stripe latch.
+  Result<size_t> GetVictimFrame(Stripe& stripe);
   Status FlushFrame(Frame& frame);
+  void InitStripes();
 
   DiskManager* disk_;
   size_t capacity_;
   Replacement replacement_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  // front = least recently used, unpinned only
-  size_t clock_hand_ = 0;
-  std::unordered_map<PageId, size_t> page_table_;
-  IoStats stats_;
+  size_t stripes_pref_;  // requested stripe count, re-clamped on Reset
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  AtomicIoStats stats_;
 
   // Global-registry mirrors of stats_ (handles resolved once, here).
   obs::Counter* obs_hits_ = obs::GetCounter("storage.pool.hits");

@@ -9,34 +9,53 @@
 namespace ann {
 
 Result<PageId> MemDiskManager::AllocatePage() {
+  auto page = std::make_unique<Page>();
+  page->bytes.fill(std::byte{0});
+  std::lock_guard<std::mutex> lock(mu_);
   if (pages_.size() >= kInvalidPageId) {
     return Status::OutOfRange("MemDiskManager: page id space exhausted");
   }
-  auto page = std::make_unique<Page>();
-  page->bytes.fill(std::byte{0});
   pages_.push_back(std::move(page));
   obs_allocs_->Increment();
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status MemDiskManager::ReadPage(PageId id, Page* out) {
-  if (id >= pages_.size()) {
-    return Status::OutOfRange("MemDiskManager: read of unallocated page");
+  // The lock covers only the vector indexing; the 8 KiB copy runs outside
+  // it against the stable heap block (the pin discipline keeps writers
+  // away from pages being read).
+  const Page* src;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= pages_.size()) {
+      return Status::OutOfRange("MemDiskManager: read of unallocated page");
+    }
+    src = pages_[id].get();
   }
-  *out = *pages_[id];
-  ++stats_.physical_reads;
+  *out = *src;
+  stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
   obs_reads_->Increment();
   return Status::OK();
 }
 
 Status MemDiskManager::WritePage(PageId id, const Page& page) {
-  if (id >= pages_.size()) {
-    return Status::OutOfRange("MemDiskManager: write of unallocated page");
+  Page* dst;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= pages_.size()) {
+      return Status::OutOfRange("MemDiskManager: write of unallocated page");
+    }
+    dst = pages_[id].get();
   }
-  *pages_[id] = page;
-  ++stats_.physical_writes;
+  *dst = page;
+  stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
   obs_writes_->Increment();
   return Status::OK();
+}
+
+uint64_t MemDiskManager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
 }
 
 Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Create(
@@ -70,6 +89,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   if (page_count_ >= kInvalidPageId) {
     return Status::OutOfRange("FileDiskManager: page id space exhausted");
   }
@@ -95,7 +115,7 @@ Status FileDiskManager::ReadPage(PageId id, Page* out) {
       static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
   }
-  ++stats_.physical_reads;
+  stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
   obs_reads_->Increment();
   return Status::OK();
 }
@@ -109,7 +129,7 @@ Status FileDiskManager::WritePage(PageId id, const Page& page) {
       static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
   }
-  ++stats_.physical_writes;
+  stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
   obs_writes_->Increment();
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define ANNLIB_STORAGE_DISK_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,11 @@ namespace ann {
 /// and only counts I/O (deterministic, used by benchmarks so simulated I/O
 /// cost is independent of host filesystem behaviour), and FileDiskManager
 /// does real pread/pwrite against a file.
+///
+/// Thread-safety contract: ReadPage/WritePage/AllocatePage may be called
+/// concurrently (the striped buffer pool does) as long as no two callers
+/// touch the same page id with at least one writer — the buffer pool's
+/// pin discipline guarantees that. I/O counters are atomic.
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
@@ -33,11 +39,11 @@ class DiskManager {
   /// Number of pages allocated so far.
   virtual uint64_t page_count() const = 0;
 
-  const IoStats& stats() const { return stats_; }
+  IoStats stats() const { return stats_.Load(); }
   void ResetStats() { stats_.Reset(); }
 
  protected:
-  IoStats stats_;
+  AtomicIoStats stats_;
 
   // Global-registry mirrors shared by all implementations (handles
   // resolved once per manager).
@@ -52,9 +58,13 @@ class MemDiskManager final : public DiskManager {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
-  uint64_t page_count() const override { return pages_.size(); }
+  uint64_t page_count() const override;
 
  private:
+  // Guards the pages_ vector itself (AllocatePage may reallocate it while
+  // readers index into it); page payloads are stable heap blocks copied
+  // outside the lock.
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
 };
 
@@ -78,7 +88,9 @@ class FileDiskManager final : public DiskManager {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
-  uint64_t page_count() const override { return page_count_; }
+  uint64_t page_count() const override {
+    return page_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   FileDiskManager(int fd, std::string path)
@@ -86,7 +98,10 @@ class FileDiskManager final : public DiskManager {
 
   int fd_ = -1;
   std::string path_;
-  uint64_t page_count_ = 0;
+  std::mutex alloc_mu_;  // serializes the grow-file-then-bump sequence
+  // Atomic so concurrent readers can bounds-check against an in-progress
+  // allocation without taking alloc_mu_.
+  std::atomic<uint64_t> page_count_{0};
 };
 
 }  // namespace ann

@@ -2,6 +2,7 @@
 #define ANNLIB_STORAGE_PAGE_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -42,6 +43,36 @@ struct IoStats {
     d.pool_misses = pool_misses - other.pool_misses;
     d.evictions = evictions - other.evictions;
     return d;
+  }
+};
+
+/// Atomic twin of IoStats: the form the disk managers and the buffer pool
+/// maintain internally so concurrent readers (the partition-parallel ANN
+/// engine) count I/O exactly without locks. Relaxed ordering is enough —
+/// the counters are statistics, not synchronization.
+struct AtomicIoStats {
+  std::atomic<uint64_t> physical_reads{0};
+  std::atomic<uint64_t> physical_writes{0};
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
+  std::atomic<uint64_t> evictions{0};
+
+  IoStats Load() const {
+    IoStats s;
+    s.physical_reads = physical_reads.load(std::memory_order_relaxed);
+    s.physical_writes = physical_writes.load(std::memory_order_relaxed);
+    s.pool_hits = pool_hits.load(std::memory_order_relaxed);
+    s.pool_misses = pool_misses.load(std::memory_order_relaxed);
+    s.evictions = evictions.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    physical_reads.store(0, std::memory_order_relaxed);
+    physical_writes.store(0, std::memory_order_relaxed);
+    pool_hits.store(0, std::memory_order_relaxed);
+    pool_misses.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -1,0 +1,251 @@
+// Determinism and cancellation behaviour of the partition-parallel ANN
+// engine: sorted results AND summed PruneStats must be identical at every
+// thread count (the per-LPQ work is order-invariant — see DESIGN.md
+// "Parallel execution"), and a non-OK streaming sink must abort the whole
+// run, cancelling the tasks still in flight.
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/mba.h"
+#include "datagen/gstd.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+enum class IndexKind { kMbrqt, kRstar };
+
+struct BuiltIndex {
+  std::unique_ptr<Mbrqt> qt;
+  std::unique_ptr<RStarTree> rt;
+  std::unique_ptr<MemIndexView> view;
+};
+
+BuiltIndex BuildIndex(IndexKind kind, const Dataset& data) {
+  BuiltIndex out;
+  if (kind == IndexKind::kMbrqt) {
+    MbrqtOptions opts;
+    opts.bucket_capacity = 16;
+    auto res = Mbrqt::Build(data, opts);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    out.qt = std::make_unique<Mbrqt>(std::move(res).value());
+    out.view = std::make_unique<MemIndexView>(&out.qt->Finalize());
+  } else {
+    RStarOptions opts;
+    opts.leaf_capacity = 16;
+    opts.internal_capacity = 8;
+    auto res = RStarTree::BulkLoadStr(data, opts);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    out.rt = std::make_unique<RStarTree>(std::move(res).value());
+    out.view = std::make_unique<MemIndexView>(&out.rt->tree());
+  }
+  return out;
+}
+
+Dataset MakeData(Distribution dist, size_t n) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = n;
+  spec.distribution = dist;
+  spec.seed = 91;
+  auto res = GenerateGstd(spec);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return std::move(res).value();
+}
+
+/// Canonical rendering of a sorted result set, byte-comparable across
+/// runs (%.17g round-trips doubles exactly).
+std::string Render(std::vector<NeighborList> results) {
+  SortByQueryId(&results);
+  std::ostringstream os;
+  char buf[64];
+  for (const NeighborList& list : results) {
+    os << list.r_id << ":";
+    for (const auto& [id, dist] : list.neighbors) {
+      std::snprintf(buf, sizeof(buf), " (%llu, %.17g)",
+                    (unsigned long long)id, dist);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+struct RunOutput {
+  std::string rendered;
+  std::string stats;
+  size_t result_count = 0;
+};
+
+RunOutput RunAt(const MemIndexView& ir, const MemIndexView& is,
+                AnnOptions options, int threads) {
+  options.num_threads = threads;
+  std::vector<NeighborList> out;
+  PruneStats stats;
+  EXPECT_OK(AllNearestNeighbors(ir, is, options, &out, &stats));
+  RunOutput r;
+  r.result_count = out.size();
+  r.rendered = Render(std::move(out));
+  r.stats = stats.ToString();
+  return r;
+}
+
+struct Config {
+  IndexKind index;
+  Distribution dist;
+  AnnOptions options;
+  const char* name;
+};
+
+std::vector<Config> Configs() {
+  std::vector<Config> cs;
+  {
+    Config c{IndexKind::kMbrqt, Distribution::kUniform, AnnOptions{},
+             "mbrqt_uniform_ann"};
+    cs.push_back(c);
+  }
+  {
+    Config c{IndexKind::kRstar, Distribution::kUniform, AnnOptions{},
+             "rstar_uniform_ann"};
+    cs.push_back(c);
+  }
+  {
+    Config c{IndexKind::kMbrqt, Distribution::kClustered, AnnOptions{},
+             "mbrqt_clustered_aknn4"};
+    c.options.k = 4;
+    cs.push_back(c);
+  }
+  {
+    Config c{IndexKind::kRstar, Distribution::kClustered, AnnOptions{},
+             "rstar_clustered_aknn4"};
+    c.options.k = 4;
+    cs.push_back(c);
+  }
+  {
+    // Range-limited: exercises empty-subtree emission (some of it during
+    // partition planning).
+    Config c{IndexKind::kMbrqt, Distribution::kClustered, AnnOptions{},
+             "mbrqt_clustered_maxdist"};
+    c.options.max_distance = 0.01;
+    cs.push_back(c);
+  }
+  return cs;
+}
+
+TEST(AnnParallelTest, ResultsAndStatsIdenticalAcrossThreadCounts) {
+  for (const Config& cfg : Configs()) {
+    SCOPED_TRACE(cfg.name);
+    const Dataset all = MakeData(cfg.dist, 4000);
+    Dataset r, s;
+    SplitHalves(all, &r, &s);
+    const BuiltIndex ir = BuildIndex(cfg.index, r);
+    const BuiltIndex is = BuildIndex(cfg.index, s);
+
+    const RunOutput seq = RunAt(*ir.view, *is.view, cfg.options, 1);
+    EXPECT_EQ(seq.result_count, r.size());
+    for (const int threads : {2, 8}) {
+      SCOPED_TRACE(threads);
+      const RunOutput par = RunAt(*ir.view, *is.view, cfg.options, threads);
+      EXPECT_EQ(par.rendered, seq.rendered);
+      EXPECT_EQ(par.stats, seq.stats);
+    }
+  }
+}
+
+TEST(AnnParallelTest, AutoThreadCountRuns) {
+  const Dataset all = MakeData(Distribution::kUniform, 2000);
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+
+  AnnOptions options;
+  const RunOutput seq = RunAt(*ir.view, *is.view, options, 1);
+  const RunOutput auto_run = RunAt(*ir.view, *is.view, options, 0);
+  EXPECT_EQ(auto_run.rendered, seq.rendered);
+  EXPECT_EQ(auto_run.stats, seq.stats);
+}
+
+TEST(AnnParallelTest, ExplicitPartitionFanoutRuns) {
+  const Dataset all = MakeData(Distribution::kUniform, 2000);
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+
+  AnnOptions options;
+  const RunOutput seq = RunAt(*ir.view, *is.view, options, 1);
+  options.partition_fanout = 3;
+  const RunOutput par = RunAt(*ir.view, *is.view, options, 4);
+  EXPECT_EQ(par.rendered, seq.rendered);
+  EXPECT_EQ(par.stats, seq.stats);
+}
+
+TEST(AnnParallelTest, SmallInputFallsBackToSequential) {
+  // Below the parallel threshold the engine must run the classic path
+  // (and still be correct) whatever num_threads says.
+  const Dataset all = MakeData(Distribution::kUniform, 200);
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+
+  AnnOptions options;
+  const RunOutput seq = RunAt(*ir.view, *is.view, options, 1);
+  const RunOutput par = RunAt(*ir.view, *is.view, options, 8);
+  EXPECT_EQ(par.rendered, seq.rendered);
+  EXPECT_EQ(par.stats, seq.stats);
+}
+
+TEST(AnnParallelTest, SinkErrorAbortsRunAndCancelsOutstandingTasks) {
+  const Dataset all = MakeData(Distribution::kUniform, 4000);
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+
+  AnnOptions options;
+  options.num_threads = 4;
+  std::atomic<int> sink_calls{0};
+  const Status st = AllNearestNeighbors(
+      *ir.view, *is.view, options, [&sink_calls](NeighborList&&) {
+        sink_calls.fetch_add(1);
+        return Status::IOError("sink full");
+      });
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "sink full");
+  // The merge stops at the first sink error; only one result reached it.
+  EXPECT_EQ(sink_calls.load(), 1);
+}
+
+TEST(AnnParallelTest, TaskCountsAreWellBelowQueryCount) {
+  // Sanity-check the partitioner actually split the run into a handful of
+  // subtree tasks rather than degenerating to per-object tasks: the
+  // parallel run must finish with exactly the same result set, which the
+  // main determinism test covers; here we only confirm the parallel path
+  // engages (it must not fall back for 2000 objects).
+  const Dataset all = MakeData(Distribution::kUniform, 4000);
+  Dataset r, s;
+  SplitHalves(all, &r, &s);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+  ASSERT_GE(ir.view->num_objects(), 512u);
+
+  AnnOptions options;
+  options.num_threads = 2;
+  std::vector<NeighborList> out;
+  ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, options, &out));
+  EXPECT_EQ(out.size(), r.size());
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ann {
+namespace {
+
+TEST(ResolveThreadCountTest, MapsOptionToWorkerCount) {
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(4), 4u);
+  EXPECT_GE(ResolveThreadCount(0), 1u);  // auto: hardware concurrency
+  EXPECT_EQ(ResolveThreadCount(-3), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilQueueDrains) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&count] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      count.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 32);
+  // The pool stays usable after a Wait.
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 33);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks that must both be in flight to finish: each waits for the
+  // other's arrival. A single-threaded executor would deadlock, so this
+  // proves real parallelism (with a generous timeout guard).
+  std::atomic<int> arrived{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&arrived] {
+      arrived.fetch_add(1);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (arrived.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  std::vector<int> order;
+  ThreadPool pool(1);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace ann
