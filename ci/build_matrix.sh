@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# Build matrix: prove the library builds and passes its tests both with
-# the obs instrumentation layer compiled in (default) and compiled out
-# (-DANNLIB_OBS_DISABLED=ON). Run from the repository root.
+# Build/verification matrix. Run from the repository root:
 #
-#   ci/build_matrix.sh [extra cmake args...]
+#   ci/build_matrix.sh [config ...]
+#
+# Configs (default: all):
+#   default  plain RelWithDebInfo build + full ctest
+#   obs-off  same, with the obs layer compiled out (-DANNLIB_OBS_DISABLED)
+#   werror   -Werror build of everything incl. benches/examples (no tests)
+#   asan     AddressSanitizer + forced DCHECKs, full ctest at 3x fuzz iters
+#   ubsan    UndefinedBehaviorSanitizer, same coverage as asan
+#   tsan     ThreadSanitizer over the concurrency tests only
+#   tidy     clang-tidy (.clang-tidy) over every TU  [skipped if tool absent]
+#   lint     ci/lint_status_discipline.py
+#   format   ci/check_format.sh (.clang-format)      [skipped if tool absent]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,25 +28,112 @@ run_config() {
   ctest --test-dir "${build_dir}" --output-on-failure -j
 }
 
-run_config build
-run_config build-obs-off -DANNLIB_OBS_DISABLED=ON
+# Sanitizer configs skip benches/examples (no test coverage, just build
+# time) and force DCHECKs so the instrumented run also validates the cheap
+# local invariants. ANNLIB_FUZZ_ITERS buys the fuzz tests a longer walk
+# where the instrumentation can actually catch something.
+run_sanitizer() {
+  local build_dir="$1" flags="$2"
+  echo "=== configure ${build_dir} (${flags})"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${flags}" \
+    -DANNLIB_FORCE_DCHECKS=ON \
+    -DANNLIB_BUILD_BENCHES=OFF \
+    -DANNLIB_BUILD_EXAMPLES=OFF
+  echo "=== build ${build_dir}"
+  cmake --build "${build_dir}" -j
+  echo "=== test ${build_dir} (ANNLIB_FUZZ_ITERS=3)"
+  ANNLIB_FUZZ_ITERS=3 ctest --test-dir "${build_dir}" --output-on-failure -j
+}
 
-# ThreadSanitizer pass over the concurrent subsystems: the striped buffer
-# pool, the thread pool, and the partition-parallel engine. Only the tests
-# that exercise concurrency run here — TSan slows execution ~10x, so the
-# full suite stays in the plain configs above.
-echo "=== configure build-tsan"
-cmake -B build-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-echo "=== build build-tsan (concurrency tests)"
-cmake --build build-tsan -j --target \
-  mba_test buffer_pool_test thread_pool_test \
-  buffer_pool_concurrency_test ann_parallel_test
-echo "=== test build-tsan"
-ctest --test-dir build-tsan --output-on-failure \
-  -R '^(mba_test|buffer_pool_test|thread_pool_test|buffer_pool_concurrency_test|ann_parallel_test)$' \
-  -j 5
+do_default() { run_config build; }
 
-echo "=== build matrix OK"
+do_obs_off() { run_config build-obs-off -DANNLIB_OBS_DISABLED=ON; }
+
+do_werror() {
+  # Compile-only config: proves everything (benches and examples included)
+  # builds warning-free; the test content is identical to `default`.
+  echo "=== configure build-werror"
+  cmake -B build-werror -S . -DANNLIB_WERROR=ON
+  echo "=== build build-werror"
+  cmake --build build-werror -j
+}
+
+do_asan() {
+  run_sanitizer build-asan "-fsanitize=address -fno-omit-frame-pointer"
+}
+
+do_ubsan() {
+  run_sanitizer build-ubsan \
+    "-fsanitize=undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+}
+
+do_tsan() {
+  # ThreadSanitizer pass over the concurrent subsystems: the striped buffer
+  # pool, the thread pool, and the partition-parallel engine. Only the
+  # tests that exercise concurrency run here — TSan slows execution ~10x,
+  # so the full suite stays in the plain configs.
+  echo "=== configure build-tsan"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+    -DANNLIB_BUILD_BENCHES=OFF \
+    -DANNLIB_BUILD_EXAMPLES=OFF
+  echo "=== build build-tsan (concurrency tests)"
+  cmake --build build-tsan -j --target \
+    mba_test buffer_pool_test thread_pool_test \
+    buffer_pool_concurrency_test ann_parallel_test
+  echo "=== test build-tsan"
+  ctest --test-dir build-tsan --output-on-failure \
+    -R '^(mba_test|buffer_pool_test|thread_pool_test|buffer_pool_concurrency_test|ann_parallel_test)$' \
+    -j 5
+}
+
+do_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== tidy: clang-tidy not installed, skipping (profile: .clang-tidy)"
+    return 0
+  fi
+  echo "=== configure build-tidy"
+  cmake -B build-tidy -S . -DANNLIB_CLANG_TIDY=ON \
+    -DANNLIB_BUILD_BENCHES=OFF -DANNLIB_BUILD_EXAMPLES=OFF
+  echo "=== build build-tidy (clang-tidy on every TU)"
+  cmake --build build-tidy -j
+}
+
+do_lint() {
+  echo "=== lint (ci/lint_status_discipline.py)"
+  python3 ci/lint_status_discipline.py
+}
+
+do_format() {
+  ci/check_format.sh
+}
+
+configs=("$@")
+if [ ${#configs[@]} -eq 0 ] || [ "${configs[0]}" = "all" ]; then
+  configs=(default obs-off werror asan ubsan tsan tidy lint format)
+fi
+
+for cfg in "${configs[@]}"; do
+  case "${cfg}" in
+    default) do_default ;;
+    obs-off) do_obs_off ;;
+    werror)  do_werror ;;
+    asan)    do_asan ;;
+    ubsan)   do_ubsan ;;
+    tsan)    do_tsan ;;
+    tidy)    do_tidy ;;
+    lint)    do_lint ;;
+    format)  do_format ;;
+    *)
+      echo "unknown config '${cfg}' (want: default obs-off werror asan ubsan tsan tidy lint format | all)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== build matrix OK (${configs[*]})"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Formatting drift check: clang-format --dry-run -Werror over every tracked
+# C++ source, using the repo's .clang-format profile. Skips (successfully,
+# with a notice) when clang-format is not installed — the builder image is
+# not guaranteed to carry LLVM tooling.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "=== format: clang-format not installed, skipping (profile: .clang-format)"
+  exit 0
+fi
+
+echo "=== format (clang-format --dry-run -Werror)"
+git ls-files -- 'src/**/*.h' 'src/**/*.cc' 'tests/*.h' 'tests/*.cc' \
+    'bench/*.cc' 'examples/*.cc' \
+  | xargs clang-format --dry-run -Werror
+echo "=== format OK"

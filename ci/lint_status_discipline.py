@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Repo-specific lint: Status discipline and library hygiene.
+
+Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
+
+  throw-in-library   `throw` is forbidden in src/**: the library reports
+                     failures through ann::Status / ann::Result<T>, never
+                     exceptions (the engine is compiled to work with
+                     -fno-exceptions consumers).
+  naked-new          `new` outside an ownership wrapper is forbidden
+                     everywhere; a line mentioning make_unique / unique_ptr /
+                     shared_ptr is accepted (factory idiom).
+  rng-discipline     std::random_device, std::mt19937*, srand(, rand(),
+                     time(nullptr)/time(NULL) are forbidden: all randomness
+                     flows through ann::Rng with an explicit seed so every
+                     run is reproducible.
+  swallowed-status   A statement that calls a Status/Result-returning annlib
+                     function and discards the value. The compiler enforces
+                     this too ([[nodiscard]] + -Werror), but the lint also
+                     catches `(void)` casts: those are allowed only with a
+                     justifying comment on the same or preceding line.
+
+Suppress a finding with `// lint-ok: <reason>` on the offending line.
+
+Exit status: 0 clean, 1 violations found.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+LIBRARY_DIRS = ("src",)
+CXX_EXT = (".h", ".cc")
+
+SUPPRESS = re.compile(r"//\s*lint-ok:\s*\S")
+
+# Matches declarations like:
+#   Status Foo(...);   Result<T> Bar(...);   static Status Baz(...)
+# in headers; the captured names seed the swallowed-status rule.
+DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s+)?(?:static\s+|virtual\s+|inline\s+|friend\s+)*"
+    r"(?:ann::)?(?:Status|Result<[^;=]*>)\s+(\w+)\s*\("
+)
+
+# Same shape, non-Status return: a name declared BOTH ways (e.g. Append on
+# Dataset vs NodeStore) is ambiguous per-callsite without type info, so it
+# is dropped from the tracked set — the compiler's [[nodiscard]] still
+# covers those.
+VOID_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|inline\s+|constexpr\s+)*"
+    r"(?:void|bool|int|size_t|uint32_t|uint64_t|int64_t|Scalar|auto|double)"
+    r"\s+(\w+)\s*\("
+)
+
+# A statement that is nothing but a call to NAME(...) — no assignment, no
+# return, no macro wrapper, optionally through ./->/:: of one object.
+BARE_CALL_TMPL = r"^\s*(?:[\w\]\[\.\>\-\:]+(?:\.|->|::))?(?:{names})\s*\("
+
+# (void)-cast of a tracked Status call: allowed only with a comment.
+VOID_CAST_TMPL = r"\(void\)\s*(?:[\w\.\->:]+(?:\.|->|::))?(?:{names})\s*\("
+
+COMMENT_LINE = re.compile(r"^\s*//")
+
+# A line is a fresh statement only if the previous code line closed one;
+# otherwise it is a continuation (macro argument, wrapped call, condition).
+STATEMENT_END = re.compile(r"[;{}:]\s*$|^\s*$|^\s*#")
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments, string and char literals (keeps structure)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def iter_sources(dirs):
+    for d in dirs:
+        root = os.path.join(REPO, d)
+        for dirpath, _, files in os.walk(root):
+            for f in sorted(files):
+                if f.endswith(CXX_EXT):
+                    yield os.path.join(dirpath, f)
+
+
+def collect_status_functions():
+    """Names of Status/Result-returning functions declared in src headers,
+    minus names that some other declaration returns a plain value under."""
+    names, ambiguous = set(), set()
+    for path in iter_sources(LIBRARY_DIRS):
+        if not path.endswith(".h"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                m = DECL_RE.match(line)
+                if m:
+                    names.add(m.group(1))
+                    continue
+                m = VOID_DECL_RE.match(line)
+                if m:
+                    ambiguous.add(m.group(1))
+    return names - ambiguous
+
+
+def main():
+    violations = []
+
+    def report(path, lineno, rule, line):
+        rel = os.path.relpath(path, REPO)
+        violations.append(f"{rel}:{lineno}: [{rule}] {line.strip()}")
+
+    status_fns = collect_status_functions()
+    alternation = "|".join(sorted(status_fns)) if status_fns else None
+    bare_call = re.compile(BARE_CALL_TMPL.format(names=alternation)) \
+        if alternation else None
+    void_cast = re.compile(VOID_CAST_TMPL.format(names=alternation)) \
+        if alternation else None
+
+    for path in iter_sources(SCAN_DIRS):
+        in_library = os.path.relpath(path, REPO).split(os.sep)[0] in LIBRARY_DIRS
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.readlines()
+        in_block_comment = False
+        prev_code = ""  # last non-comment code line seen
+        for lineno, raw in enumerate(raw_lines, start=1):
+            if SUPPRESS.search(raw):
+                continue
+            # Track /* ... */ blocks (rare in this codebase) conservatively.
+            if in_block_comment:
+                if "*/" in raw:
+                    in_block_comment = False
+                continue
+            code = strip_comments_and_strings(raw)
+            if "/*" in code and "*/" not in code:
+                in_block_comment = True
+                code = code[: code.index("/*")]
+            fresh_statement = STATEMENT_END.search(prev_code) is not None \
+                or prev_code == ""
+            if code.strip():
+                prev_code = code
+
+            if in_library and re.search(r"\bthrow\b", code):
+                report(path, lineno, "throw-in-library", raw)
+
+            if re.search(r"\bnew\s+[A-Za-z_(]", code) and not re.search(
+                r"make_unique|make_shared|unique_ptr|shared_ptr|placement",
+                code,
+            ) and fresh_statement:
+                # Continuations inherit the wrapper check from the opener:
+                # `std::unique_ptr<T>(\n  new T(...))` is the factory idiom.
+                report(path, lineno, "naked-new", raw)
+
+            if re.search(
+                r"std::random_device|std::mt19937|\bsrand\s*\(|\brand\s*\(\s*\)"
+                r"|time\s*\(\s*(?:nullptr|NULL|0)\s*\)",
+                code,
+            ):
+                report(path, lineno, "rng-discipline", raw)
+
+            if bare_call and fresh_statement and bare_call.match(code):
+                # `return Foo();` / `x = Foo();` / macro wrappers never match
+                # (pattern anchors at statement start, continuations are
+                # skipped), so a match is a call whose Status hits the floor.
+                report(path, lineno, "swallowed-status", raw)
+
+            if void_cast and void_cast.search(code):
+                prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+                has_comment = "//" in raw or COMMENT_LINE.match(prev)
+                if not has_comment:
+                    report(
+                        path, lineno, "swallowed-status",
+                        raw.rstrip() + "   <- (void) cast needs a justifying"
+                        " comment on this or the preceding line",
+                    )
+
+    if violations:
+        print("lint_status_discipline: %d violation(s)" % len(violations))
+        for v in violations:
+            print("  " + v)
+        return 1
+    print("lint_status_discipline: clean (%d Status functions tracked)"
+          % len(status_fns))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #include "ann/engine_context.h"
 
-#include <cassert>
 #include <cmath>
 #include <utility>
+
+#include "check/check.h"
+#include "check/invariants.h"
 
 namespace ann {
 
@@ -94,7 +96,7 @@ Status EngineContext::RunTask(std::unique_ptr<Lpq> seed) {
 }
 
 Status EngineContext::ExpandNodeLpq(std::unique_ptr<Lpq> lpq) {
-  assert(!lpq->owner().is_object);
+  ANNLIB_DCHECK(!lpq->owner().is_object);
   return ExpandAndPrune(std::move(lpq));
 }
 
@@ -106,6 +108,9 @@ Status EngineContext::ExpandAndPrune(std::unique_ptr<Lpq> lpq) {
 }
 
 Status EngineContext::Gather(Lpq* lpq) {
+  if (options_.paranoid_checks) {
+    ANN_RETURN_NOT_OK(CheckLpqInvariants(*lpq));
+  }
   obs::ObsScope phase(&obs_.gather);
   obs_.lpq_depth.Record(static_cast<double>(lpq->size()));
   const uint64_t evals_before = stats_.distance_evals;
@@ -207,6 +212,20 @@ Status EngineContext::Expand(Lpq* lpq) {
     }
   }
   filter_phase.Stop();
+
+  if (options_.paranoid_checks) {
+    // The parent bound is fixed for the whole Expand stage (only Dequeue
+    // ran on it), so every child — seeded with it and only ever tightened
+    // — must still satisfy Lemma 3.2: child bound <= parent bound.
+    for (const auto& child : child_lpqs_) {
+      ANN_RETURN_NOT_OK(CheckLpqInvariants(*child));
+      if (child->bound2() > lpq->bound2()) {
+        return Status::Internal(
+            "invariant violated: child LPQ bound^2 exceeds parent bound^2 "
+            "(Lemma 3.2 monotonicity)");
+      }
+    }
+  }
 
   // Queue the non-empty child LPQs (line 19 of Algorithm 4). An empty
   // child LPQ can only occur under a max_distance bound (classic ANN

@@ -1,9 +1,10 @@
 #include "ann/lpq.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cinttypes>
 #include <cstdio>
+
+#include "check/check.h"
 
 namespace ann {
 
@@ -71,7 +72,7 @@ void Lpq::InsertLive(Scalar maxd2) {
 void Lpq::EraseLive(Scalar maxd2) {
   const auto it =
       std::lower_bound(live_maxd2_.begin(), live_maxd2_.end(), maxd2);
-  assert(it != live_maxd2_.end() && *it == maxd2);
+  ANNLIB_DCHECK(it != live_maxd2_.end() && *it == maxd2);
   live_maxd2_.erase(it);
 }
 
@@ -145,7 +146,7 @@ bool Lpq::Dequeue(LpqEntry* out) {
 }
 
 void Lpq::Commit(const LpqEntry& e, PruneStats* stats) {
-  assert(e.entry.is_object);
+  ANNLIB_DCHECK(e.entry.is_object);
   ++committed_;
   if (k_ == 1) {
     TightenBound(e.maxd2, stats);

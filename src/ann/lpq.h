@@ -107,6 +107,11 @@ class Lpq {
   void Commit(const LpqEntry& e, PruneStats* stats);
 
  private:
+  // Structural validator and fault injector (src/check): they read (and,
+  // for the test peer, deliberately corrupt) the private queue state.
+  friend Status CheckLpqInvariants(const Lpq& lpq);
+  friend class LpqTestPeer;
+
   /// Lean sort key referencing an entry in storage_.
   struct Key {
     Scalar mind2;

@@ -8,6 +8,7 @@
 
 #include "ann/engine_context.h"
 #include "ann/partition.h"
+#include "check/invariants.h"
 #include "common/thread_pool.h"
 #include "obs/obs.h"
 
@@ -168,6 +169,13 @@ Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
   }
   if (options.max_distance < 0) {
     return Status::InvalidArgument("ANN: max_distance must be >= 0");
+  }
+  if (options.paranoid_checks) {
+    // Full structural validation of both inputs before any traversal; a
+    // corrupted index would otherwise skew results or pruning counters
+    // silently. Per-LPQ checks then run inside the traversal itself.
+    ANN_RETURN_NOT_OK(CheckIndexInvariants(ir));
+    ANN_RETURN_NOT_OK(CheckIndexInvariants(is));
   }
   PruneStats local;
   PruneStats* s = stats ? stats : &local;

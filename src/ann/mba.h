@@ -53,6 +53,16 @@ struct AnnOptions {
   /// num_threads > 1. 0 = auto (8 tasks per worker, enough slack for the
   /// uneven task sizes a space-partitioning tree produces).
   int partition_fanout = 0;
+  /// Runs the structural validators (src/check) during the traversal:
+  /// both indexes are fully validated before the run, every LPQ is
+  /// re-validated at its Gather stage, and each Expand stage checks its
+  /// children's queues plus the Lemma 3.2 bound monotonicity
+  /// (child bound <= parent bound). Violations abort the run with an
+  /// Internal status naming the exact breakage. Works at every thread
+  /// count — the checks are context-local, so the partition-parallel
+  /// engine runs them per task with no cross-thread state. Expect a
+  /// several-fold slowdown; meant for tests, fuzzing and debugging.
+  bool paranoid_checks = false;
 };
 
 /// \brief The MBA / RBA algorithm (Algorithms 2-4).

@@ -1,0 +1,23 @@
+#include "check/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ann {
+namespace check_internal {
+
+void DcheckFail(const char* file, int line, const char* expr,
+                const std::string& detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "%s:%d: ANNLIB_DCHECK failed: %s\n", file, line,
+                 expr);
+  } else {
+    std::fprintf(stderr, "%s:%d: ANNLIB_DCHECK failed: %s (%s)\n", file, line,
+                 expr, detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace ann

@@ -1,0 +1,77 @@
+#ifndef ANNLIB_CHECK_CHECK_H_
+#define ANNLIB_CHECK_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+/// \file
+/// Debug-build invariant assertions (the ANNLIB_DCHECK family).
+///
+/// ANNLIB_DCHECK* compile to nothing in release builds (NDEBUG) unless
+/// ANNLIB_FORCE_DCHECKS is defined — the sanitizer CI configs force them on
+/// so ASan/UBSan runs also validate the cheap local invariants. A failed
+/// check prints `file:line: ANNLIB_DCHECK failed: <expr> (<values>)` to
+/// stderr and aborts; checks are for programming errors, never for
+/// recoverable conditions (those return Status).
+///
+/// The heavyweight structural validators (whole-tree MBR containment, LPQ
+/// bound consistency, buffer-pool bookkeeping) live in check/invariants.h
+/// and are compiled in every configuration.
+
+#if !defined(NDEBUG) || defined(ANNLIB_FORCE_DCHECKS)
+#define ANNLIB_DCHECK_IS_ON 1
+#else
+#define ANNLIB_DCHECK_IS_ON 0
+#endif
+
+namespace ann {
+namespace check_internal {
+
+/// Prints the failure and aborts. Out of line so the macro expansion stays
+/// small at every call site.
+[[noreturn]] void DcheckFail(const char* file, int line, const char* expr,
+                             const std::string& detail);
+
+/// Renders "lhs <op> rhs (got <a> vs <b>)" for the binary comparison
+/// macros. Values are streamed, so any type with operator<< works.
+template <typename A, typename B>
+std::string FormatBinaryFailure(const char* op, const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << "comparison " << op << " failed: " << a << " vs " << b;
+  return oss.str();
+}
+
+}  // namespace check_internal
+}  // namespace ann
+
+#if ANNLIB_DCHECK_IS_ON
+
+#define ANNLIB_DCHECK(cond)                                             \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::ann::check_internal::DcheckFail(__FILE__, __LINE__, #cond, ""))
+
+#define ANNLIB_DCHECK_OP_IMPL(op, a, b)                                   \
+  (((a)op(b))                                                             \
+       ? static_cast<void>(0)                                             \
+       : ::ann::check_internal::DcheckFail(                               \
+             __FILE__, __LINE__, #a " " #op " " #b,                       \
+             ::ann::check_internal::FormatBinaryFailure(#op, (a), (b))))
+
+#else  // ANNLIB_DCHECK_IS_ON
+
+// Disabled checks must not evaluate their arguments but must still "use"
+// them (sizeof keeps the operand unevaluated), so release builds do not
+// trip -Werror=unused-variable on values only referenced by checks.
+#define ANNLIB_DCHECK(cond) static_cast<void>(sizeof(!(cond)))
+#define ANNLIB_DCHECK_OP_IMPL(op, a, b) static_cast<void>(sizeof((a)op(b)))
+
+#endif  // ANNLIB_DCHECK_IS_ON
+
+#define ANNLIB_DCHECK_EQ(a, b) ANNLIB_DCHECK_OP_IMPL(==, a, b)
+#define ANNLIB_DCHECK_NE(a, b) ANNLIB_DCHECK_OP_IMPL(!=, a, b)
+#define ANNLIB_DCHECK_LT(a, b) ANNLIB_DCHECK_OP_IMPL(<, a, b)
+#define ANNLIB_DCHECK_LE(a, b) ANNLIB_DCHECK_OP_IMPL(<=, a, b)
+#define ANNLIB_DCHECK_GT(a, b) ANNLIB_DCHECK_OP_IMPL(>, a, b)
+#define ANNLIB_DCHECK_GE(a, b) ANNLIB_DCHECK_OP_IMPL(>=, a, b)
+
+#endif  // ANNLIB_CHECK_CHECK_H_

@@ -1,0 +1,530 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "ann/lpq.h"
+#include "index/node_format.h"
+#include "metrics/metrics.h"
+#include "storage/buffer_pool.h"
+
+namespace ann {
+
+namespace {
+
+Status Violation(const std::string& msg) {
+  return Status::Internal("invariant violated: " + msg);
+}
+
+/// True iff the rects overlap with positive measure in every dimension
+/// (touching faces are legal between quadtree siblings; interior overlap
+/// is not).
+bool InteriorOverlap(const Rect& a, const Rect& b) {
+  for (int d = 0; d < a.dim; ++d) {
+    if (std::min(a.hi[d], b.hi[d]) - std::max(a.lo[d], b.lo[d]) <= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct MemTreeCheckSpec {
+  const char* name;             ///< "MBRQT" or "R*-tree", for messages
+  bool disjoint_siblings;       ///< quadrant property (MBRQT only)
+  bool uniform_leaf_depth;      ///< balanced tree property (R*-tree only)
+  bool height_exact;            ///< height field == max reachable depth
+};
+
+/// Shared MemTree walker. The MBRQT finalizer may leave unreachable nodes
+/// behind (dropped empty quadrants), so reachability is not required —
+/// but visiting a node twice means a shared subtree or cycle and is always
+/// corruption.
+Status CheckMemTree(const MemTree& tree, const MemTreeCheckSpec& spec) {
+  if (tree.num_objects == 0 && tree.nodes.empty()) return Status::OK();
+  if (tree.dim < 1 || tree.dim > kMaxDim) {
+    std::ostringstream oss;
+    oss << spec.name << ": dimensionality " << tree.dim << " out of range";
+    return Violation(oss.str());
+  }
+  const auto num_nodes = static_cast<int64_t>(tree.nodes.size());
+  if (tree.root < 0 || tree.root >= num_nodes) {
+    std::ostringstream oss;
+    oss << spec.name << ": root index " << tree.root << " out of range [0, "
+        << num_nodes << ")";
+    return Violation(oss.str());
+  }
+
+  struct Item {
+    int32_t node;
+    int depth;  // root = 1
+  };
+  std::vector<bool> visited(tree.nodes.size(), false);
+  std::vector<Item> stack{{tree.root, 1}};
+  uint64_t objects = 0;
+  int max_depth = 0;
+  int leaf_depth = -1;
+
+  while (!stack.empty()) {
+    const auto [ni, depth] = stack.back();
+    stack.pop_back();
+    if (visited[ni]) {
+      std::ostringstream oss;
+      oss << spec.name << ": node " << ni
+          << " reachable twice (shared subtree or cycle)";
+      return Violation(oss.str());
+    }
+    visited[ni] = true;
+    max_depth = std::max(max_depth, depth);
+    const MemNode& node = tree.nodes[ni];
+
+    Rect tight = Rect::Empty(tree.dim);
+    for (size_t e = 0; e < node.entries.size(); ++e) {
+      const MemEntry& entry = node.entries[e];
+      if (entry.mbr.dim != tree.dim) {
+        std::ostringstream oss;
+        oss << spec.name << ": node " << ni << " entry " << e
+            << " has dim " << entry.mbr.dim << ", tree has " << tree.dim;
+        return Violation(oss.str());
+      }
+      tight.ExpandToRect(entry.mbr);
+    }
+    if (!node.entries.empty() && !(tight == node.mbr)) {
+      std::ostringstream oss;
+      oss << spec.name << ": node " << ni
+          << " MBR is not the tight union of its entries (stored "
+          << node.mbr.ToString() << ", tight " << tight.ToString() << ")";
+      return Violation(oss.str());
+    }
+
+    if (node.is_leaf) {
+      if (leaf_depth == -1) leaf_depth = depth;
+      if (spec.uniform_leaf_depth && depth != leaf_depth) {
+        std::ostringstream oss;
+        oss << spec.name << ": leaf node " << ni << " at depth " << depth
+            << ", expected uniform leaf depth " << leaf_depth;
+        return Violation(oss.str());
+      }
+      for (size_t e = 0; e < node.entries.size(); ++e) {
+        const MemEntry& entry = node.entries[e];
+        if (entry.child != -1) {
+          std::ostringstream oss;
+          oss << spec.name << ": leaf node " << ni << " entry " << e
+              << " has child pointer " << entry.child;
+          return Violation(oss.str());
+        }
+        if (!entry.mbr.IsPoint()) {
+          std::ostringstream oss;
+          oss << spec.name << ": leaf node " << ni << " entry " << e
+              << " (object " << entry.id << ") is not a point: "
+              << entry.mbr.ToString();
+          return Violation(oss.str());
+        }
+      }
+      objects += node.entries.size();
+      continue;
+    }
+
+    if (node.entries.empty()) {
+      std::ostringstream oss;
+      oss << spec.name << ": internal node " << ni << " has no entries";
+      return Violation(oss.str());
+    }
+    for (size_t e = 0; e < node.entries.size(); ++e) {
+      const MemEntry& entry = node.entries[e];
+      if (entry.child < 0 || entry.child >= num_nodes) {
+        std::ostringstream oss;
+        oss << spec.name << ": internal node " << ni << " entry " << e
+            << " child index " << entry.child << " out of range";
+        return Violation(oss.str());
+      }
+      if (!(entry.mbr == tree.nodes[entry.child].mbr)) {
+        std::ostringstream oss;
+        oss << spec.name << ": internal node " << ni << " entry " << e
+            << " MBR != child node " << entry.child << " MBR (entry "
+            << entry.mbr.ToString() << ", child "
+            << tree.nodes[entry.child].mbr.ToString() << ")";
+        return Violation(oss.str());
+      }
+      stack.push_back({entry.child, depth + 1});
+    }
+    if (spec.disjoint_siblings) {
+      for (size_t a = 0; a < node.entries.size(); ++a) {
+        for (size_t b = a + 1; b < node.entries.size(); ++b) {
+          if (InteriorOverlap(node.entries[a].mbr, node.entries[b].mbr)) {
+            std::ostringstream oss;
+            oss << spec.name << ": node " << ni << " sibling entries " << a
+                << " and " << b << " have interior-overlapping MBRs ("
+                << node.entries[a].mbr.ToString() << " vs "
+                << node.entries[b].mbr.ToString() << ")";
+            return Violation(oss.str());
+          }
+        }
+      }
+    }
+  }
+
+  if (objects != tree.num_objects) {
+    std::ostringstream oss;
+    oss << spec.name << ": counted " << objects
+        << " objects in leaves, tree advertises " << tree.num_objects;
+    return Violation(oss.str());
+  }
+  if (spec.height_exact ? (tree.height != max_depth)
+                        : (tree.height < max_depth)) {
+    std::ostringstream oss;
+    oss << spec.name << ": height field " << tree.height
+        << " inconsistent with max reachable depth " << max_depth;
+    return Violation(oss.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckMbrqtInvariants(const MemTree& tree) {
+  // Height may legally exceed the reachable depth: empty quadrants are
+  // dropped from the finalized tree but still counted while measuring.
+  return CheckMemTree(tree, {"MBRQT", /*disjoint_siblings=*/true,
+                             /*uniform_leaf_depth=*/false,
+                             /*height_exact=*/false});
+}
+
+Status CheckRstarInvariants(const MemTree& tree) {
+  return CheckMemTree(tree, {"R*-tree", /*disjoint_siblings=*/false,
+                             /*uniform_leaf_depth=*/true,
+                             /*height_exact=*/true});
+}
+
+Status CheckIndexInvariants(const SpatialIndex& index) {
+  const int dim = index.dim();
+  if (dim < 1 || dim > kMaxDim) {
+    std::ostringstream oss;
+    oss << "index: dimensionality " << dim << " out of range";
+    return Violation(oss.str());
+  }
+  if (index.num_objects() == 0) return Status::OK();
+
+  std::vector<IndexEntry> stack{index.Root()};
+  std::vector<IndexEntry> children;
+  uint64_t objects = 0;
+  while (!stack.empty()) {
+    const IndexEntry e = stack.back();
+    stack.pop_back();
+    if (e.mbr.dim != dim) {
+      std::ostringstream oss;
+      oss << "index: entry id " << e.id << " has dim " << e.mbr.dim
+          << ", index has " << dim;
+      return Violation(oss.str());
+    }
+    if (e.is_object) {
+      if (!e.mbr.IsPoint()) {
+        std::ostringstream oss;
+        oss << "index: object " << e.id
+            << " MBR is not a point: " << e.mbr.ToString();
+        return Violation(oss.str());
+      }
+      ++objects;
+      continue;
+    }
+    children.clear();
+    ANN_RETURN_NOT_OK(index.Expand(e, &children));
+    for (const IndexEntry& c : children) {
+      if (c.mbr.dim != dim) {
+        std::ostringstream oss;
+        oss << "index: child of node " << e.id << " has dim " << c.mbr.dim
+            << ", index has " << dim;
+        return Violation(oss.str());
+      }
+      if (!e.mbr.ContainsRect(c.mbr)) {
+        std::ostringstream oss;
+        oss << "index: child " << (c.is_object ? "object " : "node ") << c.id
+            << " MBR " << c.mbr.ToString() << " escapes parent node " << e.id
+            << " MBR " << e.mbr.ToString();
+        return Violation(oss.str());
+      }
+      stack.push_back(c);
+    }
+  }
+  if (objects != index.num_objects()) {
+    std::ostringstream oss;
+    oss << "index: reachable objects " << objects << " != advertised "
+        << index.num_objects();
+    return Violation(oss.str());
+  }
+  return Status::OK();
+}
+
+Status CheckLpqInvariants(const Lpq& lpq) {
+  if (lpq.head_ > lpq.order_.size()) {
+    std::ostringstream oss;
+    oss << "LPQ(owner " << lpq.owner_.id << "): head " << lpq.head_
+        << " past queue end " << lpq.order_.size();
+    return Violation(oss.str());
+  }
+  const size_t queued = lpq.order_.size() - lpq.head_;
+  for (size_t i = lpq.head_; i < lpq.order_.size(); ++i) {
+    const Lpq::Key& key = lpq.order_[i];
+    if (key.index >= lpq.storage_.size()) {
+      std::ostringstream oss;
+      oss << "LPQ(owner " << lpq.owner_.id << "): queue position "
+          << (i - lpq.head_) << " references storage slot " << key.index
+          << " of " << lpq.storage_.size();
+      return Violation(oss.str());
+    }
+    const LpqEntry& entry = lpq.storage_[key.index];
+    if (entry.mind2 != key.mind2 || entry.maxd2 != key.maxd2) {
+      std::ostringstream oss;
+      oss << "LPQ(owner " << lpq.owner_.id << "): queue position "
+          << (i - lpq.head_) << " key (" << key.mind2 << ", " << key.maxd2
+          << ") disagrees with stored entry (" << entry.mind2 << ", "
+          << entry.maxd2 << ")";
+      return Violation(oss.str());
+    }
+    if (i > lpq.head_) {
+      const Lpq::Key& prev = lpq.order_[i - 1];
+      if (prev.mind2 > key.mind2 ||
+          (prev.mind2 == key.mind2 && prev.maxd2 > key.maxd2)) {
+        std::ostringstream oss;
+        oss << "LPQ(owner " << lpq.owner_.id << "): queue not sorted by "
+            << "(MIND, MAXD) at position " << (i - lpq.head_) << " ("
+            << prev.mind2 << ", " << prev.maxd2 << ") > (" << key.mind2
+            << ", " << key.maxd2 << ")";
+        return Violation(oss.str());
+      }
+    }
+    if (ExceedsBound2(key.mind2, lpq.bound2_)) {
+      std::ostringstream oss;
+      oss << "LPQ(owner " << lpq.owner_.id << "): queued entry with MIND^2 "
+          << key.mind2 << " exceeds pruning bound^2 " << lpq.bound2_;
+      return Violation(oss.str());
+    }
+  }
+
+  if (lpq.k_ == 1) {
+    if (!lpq.live_maxd2_.empty()) {
+      std::ostringstream oss;
+      oss << "LPQ(owner " << lpq.owner_.id
+          << "): live-MAXD list nonempty for k=1";
+      return Violation(oss.str());
+    }
+    // Every enqueue/commit tightened the bound with its MAXD, so the bound
+    // can never sit above a queued MAXD.
+    for (size_t i = lpq.head_; i < lpq.order_.size(); ++i) {
+      if (lpq.bound2_ > lpq.order_[i].maxd2) {
+        std::ostringstream oss;
+        oss << "LPQ(owner " << lpq.owner_.id << "): bound^2 " << lpq.bound2_
+            << " looser than queued MAXD^2 " << lpq.order_[i].maxd2
+            << " (bound monotonicity violated)";
+        return Violation(oss.str());
+      }
+    }
+  } else {
+    if (lpq.live_maxd2_.size() != queued + lpq.committed_) {
+      std::ostringstream oss;
+      oss << "LPQ(owner " << lpq.owner_.id << "): live-MAXD count "
+          << lpq.live_maxd2_.size() << " != queued " << queued
+          << " + committed " << lpq.committed_;
+      return Violation(oss.str());
+    }
+    if (!std::is_sorted(lpq.live_maxd2_.begin(), lpq.live_maxd2_.end())) {
+      std::ostringstream oss;
+      oss << "LPQ(owner " << lpq.owner_.id << "): live-MAXD list not sorted";
+      return Violation(oss.str());
+    }
+    for (size_t i = lpq.head_; i < lpq.order_.size(); ++i) {
+      if (!std::binary_search(lpq.live_maxd2_.begin(), lpq.live_maxd2_.end(),
+                              lpq.order_[i].maxd2)) {
+        std::ostringstream oss;
+        oss << "LPQ(owner " << lpq.owner_.id << "): queued MAXD^2 "
+            << lpq.order_[i].maxd2 << " missing from live-MAXD list";
+        return Violation(oss.str());
+      }
+    }
+    if (lpq.live_maxd2_.size() >= static_cast<size_t>(lpq.k_) &&
+        lpq.bound2_ > lpq.live_maxd2_[lpq.k_ - 1]) {
+      std::ostringstream oss;
+      oss << "LPQ(owner " << lpq.owner_.id << "): bound^2 " << lpq.bound2_
+          << " looser than k-th smallest live MAXD^2 "
+          << lpq.live_maxd2_[lpq.k_ - 1] << " (k=" << lpq.k_ << ")";
+      return Violation(oss.str());
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckBufferPoolInvariants(const BufferPool& pool) {
+  size_t total_frames = 0;
+  for (size_t si = 0; si < pool.stripes_.size(); ++si) {
+    const BufferPool::Stripe& stripe = *pool.stripes_[si];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const size_t nframes = stripe.frames.size();
+    total_frames += nframes;
+
+    for (const auto& [id, fi] : stripe.page_table) {
+      if (fi >= nframes) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": page " << id
+            << " maps to frame " << fi << " of " << nframes;
+        return Violation(oss.str());
+      }
+      if (stripe.frames[fi].page_id != id) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": page table maps page " << id
+            << " to frame " << fi << " holding page "
+            << stripe.frames[fi].page_id;
+        return Violation(oss.str());
+      }
+      if (pool.StripeIndexFor(id) != si) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": caches page " << id
+            << " which hashes to stripe " << pool.StripeIndexFor(id);
+        return Violation(oss.str());
+      }
+    }
+
+    size_t invalid_frames = 0;
+    size_t in_lru_frames = 0;
+    for (size_t fi = 0; fi < nframes; ++fi) {
+      const BufferPool::Frame& frame = stripe.frames[fi];
+      if (frame.page_id == kInvalidPageId) {
+        ++invalid_frames;
+        if (frame.pin_count != 0) {
+          std::ostringstream oss;
+          oss << "buffer pool stripe " << si << ": free frame " << fi
+              << " has pin count " << frame.pin_count;
+          return Violation(oss.str());
+        }
+        continue;
+      }
+      const auto it = stripe.page_table.find(frame.page_id);
+      if (it == stripe.page_table.end() || it->second != fi) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": frame " << fi
+            << " holds page " << frame.page_id
+            << " absent from (or misfiled in) the page table";
+        return Violation(oss.str());
+      }
+      if (frame.in_lru) ++in_lru_frames;
+    }
+
+    std::vector<bool> in_free(nframes, false);
+    for (const size_t fi : stripe.free_frames) {
+      if (fi >= nframes) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": free list holds frame "
+            << fi << " of " << nframes;
+        return Violation(oss.str());
+      }
+      if (in_free[fi]) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": frame " << fi
+            << " on the free list twice";
+        return Violation(oss.str());
+      }
+      in_free[fi] = true;
+      if (stripe.frames[fi].page_id != kInvalidPageId) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": free-listed frame " << fi
+            << " still holds page " << stripe.frames[fi].page_id;
+        return Violation(oss.str());
+      }
+    }
+    if (stripe.free_frames.size() != invalid_frames) {
+      std::ostringstream oss;
+      oss << "buffer pool stripe " << si << ": free list size "
+          << stripe.free_frames.size() << " != empty frame count "
+          << invalid_frames;
+      return Violation(oss.str());
+    }
+
+    std::vector<bool> seen_in_lru(nframes, false);
+    for (auto it = stripe.lru.begin(); it != stripe.lru.end(); ++it) {
+      const size_t fi = *it;
+      if (fi >= nframes) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": LRU list holds frame " << fi
+            << " of " << nframes;
+        return Violation(oss.str());
+      }
+      if (seen_in_lru[fi]) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": frame " << fi
+            << " on the LRU list twice";
+        return Violation(oss.str());
+      }
+      seen_in_lru[fi] = true;
+      const BufferPool::Frame& frame = stripe.frames[fi];
+      if (!frame.in_lru) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": frame " << fi
+            << " on the LRU list but not marked in_lru";
+        return Violation(oss.str());
+      }
+      if (frame.lru_pos != it) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": frame " << fi
+            << " has a stale LRU position";
+        return Violation(oss.str());
+      }
+      if (frame.pin_count != 0) {
+        std::ostringstream oss;
+        oss << "buffer pool stripe " << si << ": pinned frame " << fi
+            << " (pin count " << frame.pin_count
+            << ") sits on the LRU list and is evictable";
+        return Violation(oss.str());
+      }
+    }
+    if (in_lru_frames != stripe.lru.size()) {
+      std::ostringstream oss;
+      oss << "buffer pool stripe " << si << ": " << in_lru_frames
+          << " frames marked in_lru but LRU list has " << stripe.lru.size();
+      return Violation(oss.str());
+    }
+    if (nframes > 0 && stripe.clock_hand >= nframes) {
+      std::ostringstream oss;
+      oss << "buffer pool stripe " << si << ": clock hand "
+          << stripe.clock_hand << " past frame count " << nframes;
+      return Violation(oss.str());
+    }
+  }
+  if (total_frames != pool.capacity_) {
+    std::ostringstream oss;
+    oss << "buffer pool: stripes hold " << total_frames
+        << " frames, capacity is " << pool.capacity_;
+    return Violation(oss.str());
+  }
+  return Status::OK();
+}
+
+void LpqTestPeer::SetBound2(Lpq* lpq, Scalar bound2) {
+  lpq->bound2_ = bound2;
+}
+
+void LpqTestPeer::SwapOrderKeys(Lpq* lpq, size_t i, size_t j) {
+  std::swap(lpq->order_.at(lpq->head_ + i), lpq->order_.at(lpq->head_ + j));
+}
+
+bool BufferPoolTestPeer::CorruptLruPinCount(BufferPool* pool) {
+  for (auto& stripe : pool->stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    if (stripe->lru.empty()) continue;
+    stripe->frames[stripe->lru.front()].pin_count = 3;
+    return true;
+  }
+  return false;
+}
+
+bool BufferPoolTestPeer::CorruptPageTable(BufferPool* pool) {
+  for (auto& stripe : pool->stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [id, fi] : stripe->page_table) {
+      stripe->frames[fi].page_id = id + pool->stripes_.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ann

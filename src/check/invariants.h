@@ -1,0 +1,86 @@
+#ifndef ANNLIB_CHECK_INVARIANTS_H_
+#define ANNLIB_CHECK_INVARIANTS_H_
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+/// \file
+/// Structural invariant validators (the paper's correctness argument,
+/// executable).
+///
+/// Every checker walks a live structure and returns Status::OK() or a
+/// Status::Internal whose message pinpoints the first violation (which
+/// node, which frame, expected vs. got). They are compiled in every build
+/// configuration — unlike the ANNLIB_DCHECK macros — so tests, fuzzers and
+/// the `AnnOptions::paranoid_checks` engine mode can call them from release
+/// binaries. None of them mutate the structure; the BufferPool checker
+/// takes each stripe latch in turn and must not race FlushAll/Reset.
+
+namespace ann {
+
+struct MemTree;
+class SpatialIndex;
+class Lpq;
+class BufferPool;
+
+/// Validates a finalized MBRQT (MemTree form): single-visit tree shape,
+/// node MBR == exact union of entry MBRs (tightness), internal entry MBR ==
+/// child node MBR, point-shaped leaf entries, pairwise interior-disjoint
+/// sibling MBRs (quadrant disjointness — the property NXNDIST pruning
+/// leans on), and the object/height bookkeeping fields.
+Status CheckMbrqtInvariants(const MemTree& tree);
+
+/// Validates an R*-tree (MemTree form): same shape/tightness/bookkeeping
+/// checks as the MBRQT, plus uniform leaf depth (== height - 1). Sibling
+/// overlap is legal for an R-tree, so no disjointness is required.
+Status CheckRstarInvariants(const MemTree& tree);
+
+/// Index-agnostic validation through the SpatialIndex interface only:
+/// child MBR containment in the parent MBR, dimensionality consistency,
+/// point-shaped objects, and the advertised object count. Works on any
+/// view, including the paged (disk-resident) forms where the MemTree
+/// checkers cannot reach.
+Status CheckIndexInvariants(const SpatialIndex& index);
+
+/// Validates a Local Priority Queue: keys sorted by (MIND, MAXD) and in
+/// sync with entry storage, no queued entry past the pruning bound, the
+/// live-MAXD list consistent with queued + committed entries, and the
+/// bound no looser than the k-th smallest live MAXD (the Lemma 3.2 /
+/// Section 3.4 upper-bound discipline).
+Status CheckLpqInvariants(const Lpq& lpq);
+
+/// Validates buffer-pool bookkeeping stripe by stripe (taking each stripe
+/// latch): page-table <-> frame agreement, pages hashed to their owning
+/// stripe, free-list exactness, pin-count/LRU-list consistency (no pinned
+/// frame is evictable), and frame-count vs. capacity accounting.
+Status CheckBufferPoolInvariants(const BufferPool& pool);
+
+/// \brief Test-only fault injectors.
+///
+/// The negative tests corrupt a live structure through these peers and
+/// assert the matching checker reports the exact violation. Library code
+/// never calls them.
+class LpqTestPeer {
+ public:
+  /// Overwrites the pruning bound (tightening it below queued MINDs makes
+  /// CheckLpqInvariants report the stale queued entries).
+  static void SetBound2(Lpq* lpq, Scalar bound2);
+  /// Swaps two queue positions, breaking the (MIND, MAXD) sort order.
+  static void SwapOrderKeys(Lpq* lpq, size_t i, size_t j);
+};
+
+class BufferPoolTestPeer {
+ public:
+  /// Forces a nonzero pin count onto a frame currently on an LRU list
+  /// (an evictable-while-pinned state the checker must flag). Returns
+  /// false if no stripe has an LRU resident.
+  static bool CorruptLruPinCount(BufferPool* pool);
+  /// Rewrites the page id of some cached frame so the page table points
+  /// at a frame holding a different page. Returns false if nothing is
+  /// cached.
+  static bool CorruptPageTable(BufferPool* pool);
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_CHECK_INVARIANTS_H_

@@ -29,15 +29,21 @@ enum class StatusCode : int8_t {
 ///
 /// An OK status carries no allocation; error statuses carry a code and a
 /// human-readable message. Status is cheap to move and to test for success.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status hides failures,
+/// so every call site must consume it (propagate, test .ok(), or cast to
+/// void with a justifying comment — ci/lint_status_discipline.py audits
+/// the casts).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
 
   Status(const Status& other)
-      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
   Status& operator=(const Status& other) {
-    state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
     return *this;
   }
   Status(Status&&) = default;
@@ -87,7 +93,7 @@ class Status {
   };
 
   Status(StatusCode code, std::string msg)
-      : state_(new State{code, std::move(msg)}) {}
+      : state_(std::make_unique<State>(code, std::move(msg))) {}
 
   std::unique_ptr<State> state_;  // nullptr means OK
 };
@@ -95,9 +101,11 @@ class Status {
 /// \brief Either a value of type T or an error Status.
 ///
 /// Result never holds both; accessing the value of an errored Result is a
-/// programming error (checked by assert in debug builds).
+/// programming error (checked by assert in debug builds). [[nodiscard]]
+/// for the same reason Status is: dropping a Result discards both the
+/// value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common, successful path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

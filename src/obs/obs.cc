@@ -121,9 +121,9 @@ Registry& Registry::Global() {
 
 // Eager Impl allocation keeps every Get* entry point race-free without a
 // double-checked init in each.
-Registry::Registry() : impl_(new Impl()) {}
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
 
-Registry::~Registry() { delete impl_; }
+Registry::~Registry() = default;
 
 Registry::Impl& Registry::impl() { return *impl_; }
 

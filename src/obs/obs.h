@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -249,7 +250,7 @@ class Registry {
 
  private:
   struct Impl;
-  Impl* impl_ = nullptr;
+  std::unique_ptr<Impl> impl_;  // dtor defined where Impl is complete
   Impl& impl();
 };
 

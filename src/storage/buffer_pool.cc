@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.h"
+
 namespace ann {
 
 PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
@@ -17,17 +19,17 @@ PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
 }
 
 char* PinnedPage::data() {
-  assert(valid());
+  ANNLIB_DCHECK(valid());
   return pool_->stripes_[stripe_]->frames[frame_].page.data();
 }
 
 const char* PinnedPage::data() const {
-  assert(valid());
+  ANNLIB_DCHECK(valid());
   return pool_->stripes_[stripe_]->frames[frame_].page.data();
 }
 
 void PinnedPage::MarkDirty() {
-  assert(valid());
+  ANNLIB_DCHECK(valid());
   // Safe without the stripe latch: the frame is pinned by this handle, so
   // no other thread inspects its dirty bit until it is unpinned.
   pool_->stripes_[stripe_]->frames[frame_].dirty.store(
@@ -169,7 +171,7 @@ void BufferPool::Unpin(size_t stripe_index, size_t frame_index) {
   Stripe& stripe = *stripes_[stripe_index];
   std::lock_guard<std::mutex> lock(stripe.mu);
   Frame& frame = stripe.frames[frame_index];
-  assert(frame.pin_count > 0);
+  ANNLIB_DCHECK_GT(frame.pin_count, 0u);
   if (--frame.pin_count == 0 && replacement_ == Replacement::kLru) {
     stripe.lru.push_back(frame_index);
     frame.lru_pos = std::prev(stripe.lru.end());

@@ -148,6 +148,11 @@ class BufferPool {
 
  private:
   friend class PinnedPage;
+  // Structural validator and fault injector (src/check): they walk (and,
+  // for the test peer, deliberately corrupt) the stripe state under the
+  // stripe latches.
+  friend Status CheckBufferPoolInvariants(const BufferPool& pool);
+  friend class BufferPoolTestPeer;
 
   struct Frame {
     Page page;

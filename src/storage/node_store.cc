@@ -119,7 +119,9 @@ Result<NodeId> NodeStore::Append(const char* data, size_t size) {
     WriteU32(page.data() + free_ptr + 4, chain);
   } else {
     WriteU16(slot + 2, static_cast<uint16_t>(size));
-    std::memcpy(page.data() + free_ptr, data, size);
+    // Zero-length appends carry a null `data`; memcpy forbids null even
+    // for a zero count.
+    if (size != 0) std::memcpy(page.data() + free_ptr, data, size);
   }
   WriteU16(page.data(), static_cast<uint16_t>(slot_count + 1));
   WriteU16(page.data() + 2, free_ptr);
@@ -143,7 +145,8 @@ Status NodeStore::Read(NodeId id, std::vector<char>* out) const {
   }
   if (!(length & kOverflowFlag)) {
     out->resize(length);
-    std::memcpy(out->data(), page.data() + offset, length);
+    // An empty vector's data() may be null; memcpy forbids null args.
+    if (length != 0) std::memcpy(out->data(), page.data() + offset, length);
     return Status::OK();
   }
   const uint32_t total = ReadU32(page.data() + offset);
@@ -188,8 +191,8 @@ Status NodeStore::Update(NodeId id, const char* data, size_t size) {
   }
 
   if (!was_overflow && size <= capacity) {
-    // In-place inline rewrite.
-    std::memcpy(page.data() + offset, data, size);
+    // In-place inline rewrite (null `data` legal when size == 0).
+    if (size != 0) std::memcpy(page.data() + offset, data, size);
     WriteU16(slot + 2, static_cast<uint16_t>(size));
     page.MarkDirty();
     return Status::OK();

@@ -131,13 +131,16 @@ TEST_P(EngineFuzzTest, RandomWorkloadsAllMethodsExact) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Range(1, 25),
+// ANNLIB_FUZZ_ITERS widens the seed range (see FuzzIters in test_util.h);
+// the sanitizer CI configs run with a multiplier above 1.
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
+                         ::testing::Range(1, 1 + FuzzIters(24)),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });
 
 TEST(EngineFuzzTest, GorderRandomWorkloads) {
-  for (int seed = 1; seed <= 8; ++seed) {
+  for (int seed = 1; seed <= FuzzIters(8); ++seed) {
     Rng rng(seed * 104729);
     const int dim = 1 + static_cast<int>(rng.UniformInt(8));
     const Dataset r = RandomWorkload(&rng, dim);

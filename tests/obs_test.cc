@@ -171,7 +171,9 @@ TEST(ObsScopeTest, NestedScopesEachRecordTheirOwnInterval) {
       obs::ObsScope inner_scope(&inner);
       // Burn a little time so the intervals are non-trivial.
       volatile double sink = 0;
-      for (int i = 0; i < 10000; ++i) sink += i * 0.5;
+      // Plain assignment: compound assignment on volatile is deprecated
+      // in C++20.
+      for (int i = 0; i < 10000; ++i) sink = sink + i * 0.5;
     }
   }
   EXPECT_EQ(outer.calls(), 1u);

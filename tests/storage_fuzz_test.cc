@@ -35,7 +35,8 @@ TEST_P(NodeStoreFuzzTest, RandomOpsMatchReferenceModel) {
   std::unordered_map<NodeId, std::vector<char>> model;
   std::vector<NodeId> live;
 
-  for (int step = 0; step < 600; ++step) {
+  const int steps = FuzzIters(600);  // sanitizer CI runs a longer walk
+  for (int step = 0; step < steps; ++step) {
     const uint64_t op = rng.UniformInt(10);
     if (op < 4 || live.empty()) {
       // Append (mix of small, page-sized and multi-page records).
@@ -100,7 +101,8 @@ TEST_P(BufferPoolFuzzTest, RandomPageTrafficMatchesReferenceModel) {
   // Model: page id -> 64-bit stamp written into the page.
   std::map<PageId, uint64_t> model;
 
-  for (int step = 0; step < 2000; ++step) {
+  const int steps = FuzzIters(2000);  // sanitizer CI runs a longer walk
+  for (int step = 0; step < steps; ++step) {
     const uint64_t op = rng.UniformInt(10);
     if (op < 3 || model.empty()) {
       auto res = pool.NewPage();

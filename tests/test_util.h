@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "ann/brute_force.h"
@@ -32,6 +33,20 @@ namespace ann {
   auto tmp = (rexpr);                                       \
   ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();         \
   lhs = std::move(tmp).value()
+
+/// Scales a fuzz test's default iteration count by the ANNLIB_FUZZ_ITERS
+/// environment variable (an integer multiplier, clamped to [1, 1000]).
+/// Sanitizer CI configs set it above 1 to buy extra coverage where the
+/// instrumentation can actually catch something; unset means 1x.
+inline int FuzzIters(int base) {
+  static const int multiplier = [] {
+    const char* env = std::getenv("ANNLIB_FUZZ_ITERS");
+    if (env == nullptr) return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return static_cast<int>(std::clamp(v, 1L, 1000L));
+  }();
+  return base * multiplier;
+}
 
 /// Uniform random points in [0,1]^dim.
 inline Dataset RandomDataset(int dim, size_t n, uint64_t seed) {
