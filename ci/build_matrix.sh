@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Build/verification matrix. Run from the repository root:
 #
-#   ci/build_matrix.sh [config ...]
+#   [STRICT=1] ci/build_matrix.sh [config ...]
 #
 # Configs (default: all):
 #   default  plain RelWithDebInfo build + full ctest
@@ -10,12 +10,35 @@
 #   asan     AddressSanitizer + forced DCHECKs, full ctest at 3x fuzz iters
 #   ubsan    UndefinedBehaviorSanitizer, same coverage as asan
 #   tsan     ThreadSanitizer over the concurrency tests only
+#   tsafety  clang -Wthread-safety -Werror=thread-safety build of every TU
+#            + ci/check_thread_safety.py compile-fail harness
+#                                                 [skipped if clang absent]
 #   tidy     clang-tidy (.clang-tidy) over every TU  [skipped if tool absent]
 #   lint     ci/lint_status_discipline.py
 #   format   ci/check_format.sh (.clang-format)      [skipped if tool absent]
+#
+# STRICT=1 turns every skip-with-notice (missing clang/clang-tidy/
+# clang-format) into a hard failure — use it on CI hosts that are supposed
+# to carry the LLVM toolchain, so a provisioning regression cannot silently
+# hollow out the matrix.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+STRICT="${STRICT:-0}"
+export STRICT  # the helper scripts honor the same knob
+
+# Reports a missing optional tool: a notice (exit 0) normally, an error
+# under STRICT=1.
+skip_or_fail() {
+  local what="$1"
+  if [ "${STRICT}" = "1" ]; then
+    echo "=== ${what} — STRICT=1, failing" >&2
+    return 1
+  fi
+  echo "=== ${what}, skipping"
+  return 0
+}
 
 run_config() {
   local build_dir="$1"
@@ -92,14 +115,37 @@ do_tsan() {
     -j 5
 }
 
+do_tsafety() {
+  # Compile-time lock discipline (clang-only: the capability attributes in
+  # src/common/mutex.h expand to nothing elsewhere). Builds every TU —
+  # benches and examples included — with thread-safety warnings promoted
+  # to errors, then runs the compile-fail harness proving representative
+  # violations are still rejected (tests/thread_safety_fail/*.cc.in).
+  if ! command -v clang++ >/dev/null 2>&1; then
+    skip_or_fail "tsafety: clang++ not installed"
+    return $?
+  fi
+  echo "=== configure build-tsafety"
+  cmake -B build-tsafety -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety"
+  echo "=== build build-tsafety (-Werror=thread-safety on every TU)"
+  cmake --build build-tsafety -j
+  echo "=== compile-fail harness (ci/check_thread_safety.py)"
+  python3 ci/check_thread_safety.py
+}
+
 do_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "=== tidy: clang-tidy not installed, skipping (profile: .clang-tidy)"
-    return 0
+    skip_or_fail "tidy: clang-tidy not installed (profile: .clang-tidy)"
+    return $?
   fi
   echo "=== configure build-tidy"
+  # Benches and examples are analyzed too — they are the library's first
+  # consumers, and tidy findings there are as real as anywhere else.
   cmake -B build-tidy -S . -DANNLIB_CLANG_TIDY=ON \
-    -DANNLIB_BUILD_BENCHES=OFF -DANNLIB_BUILD_EXAMPLES=OFF
+    -DANNLIB_BUILD_BENCHES=ON -DANNLIB_BUILD_EXAMPLES=ON
   echo "=== build build-tidy (clang-tidy on every TU)"
   cmake --build build-tidy -j
 }
@@ -115,7 +161,7 @@ do_format() {
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ] || [ "${configs[0]}" = "all" ]; then
-  configs=(default obs-off werror asan ubsan tsan tidy lint format)
+  configs=(default obs-off werror asan ubsan tsan tsafety tidy lint format)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -126,11 +172,12 @@ for cfg in "${configs[@]}"; do
     asan)    do_asan ;;
     ubsan)   do_ubsan ;;
     tsan)    do_tsan ;;
+    tsafety) do_tsafety ;;
     tidy)    do_tidy ;;
     lint)    do_lint ;;
     format)  do_format ;;
     *)
-      echo "unknown config '${cfg}' (want: default obs-off werror asan ubsan tsan tidy lint format | all)" >&2
+      echo "unknown config '${cfg}' (want: default obs-off werror asan ubsan tsan tsafety tidy lint format | all)" >&2
       exit 2
       ;;
   esac

@@ -8,12 +8,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if ! command -v clang-format >/dev/null 2>&1; then
+  if [ "${STRICT:-0}" = "1" ]; then
+    echo "=== format: clang-format not installed — STRICT=1, failing" >&2
+    exit 1
+  fi
   echo "=== format: clang-format not installed, skipping (profile: .clang-format)"
   exit 0
 fi
 
 echo "=== format (clang-format --dry-run -Werror)"
 git ls-files -- 'src/**/*.h' 'src/**/*.cc' 'tests/*.h' 'tests/*.cc' \
-    'bench/*.cc' 'examples/*.cc' \
+    'bench/*.h' 'bench/*.cc' 'examples/*.cpp' \
   | xargs clang-format --dry-run -Werror
 echo "=== format OK"

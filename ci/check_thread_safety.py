@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the thread-safety annotations (src/common/mutex.h).
+
+A -Wthread-safety build that passes proves the *annotated* code is clean; it
+proves nothing about the annotations themselves. If a macro in mutex.h ever
+degrades to a no-op under clang — a typo in the __has_attribute probe, a
+refactor that drops ANNLIB_GUARDED_BY's expansion — the tsafety config would
+keep passing while checking nothing. This harness closes that hole: each
+fixture in tests/thread_safety_fail/*.cc.in contains one representative
+violation behind `#ifdef ANNLIB_TS_VIOLATION` and must
+
+  1. compile cleanly WITHOUT -DANNLIB_TS_VIOLATION (the fixture itself is
+     valid code — a failure here means the fixture rotted, not that the
+     analysis works), and
+  2. FAIL to compile WITH -DANNLIB_TS_VIOLATION under
+     -Werror=thread-safety, with a diagnostic matching the fixture's
+     `// expect-error:` regex (so we know the *intended* rule fired, not an
+     unrelated error).
+
+Runs only under clang; on hosts without it the script reports a skip notice
+(exit 0), or fails under STRICT=1 — mirroring ci/build_matrix.sh.
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join(REPO, "tests", "thread_safety_fail")
+
+# -Wthread-safety-beta is required for acquired_before/after enforcement
+# (the lock-order fixture); stable clang ships it behind the beta flag.
+CLANG_FLAGS = [
+    "-std=c++20",  # matches CMAKE_CXX_STANDARD
+    "-fsyntax-only",
+    "-I", os.path.join(REPO, "src"),
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror=thread-safety",
+    "-Werror=thread-safety-beta",
+]
+
+EXPECT_RE = re.compile(r"^//\s*expect-error:\s*(.+?)\s*$", re.MULTILINE)
+
+
+def run_clang(clang, path, extra):
+    cmd = [clang] + CLANG_FLAGS + extra + [path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main():
+    clang = shutil.which("clang++")
+    if clang is None:
+        if os.environ.get("STRICT") == "1":
+            print("thread-safety harness: clang++ not installed — STRICT=1,"
+                  " failing", file=sys.stderr)
+            return 1
+        print("thread-safety harness: clang++ not installed, skipping")
+        return 0
+
+    fixtures = sorted(
+        f for f in os.listdir(FIXTURE_DIR) if f.endswith(".cc.in"))
+    if not fixtures:
+        print("thread-safety harness: no fixtures in %s" % FIXTURE_DIR,
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in fixtures:
+        path = os.path.join(FIXTURE_DIR, name)
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+        expect = EXPECT_RE.search(source)
+        if expect is None:
+            failures.append("%s: missing '// expect-error: <regex>' line"
+                            % name)
+            continue
+        expect_pat = expect.group(1)
+
+        # Phase 1: the fixture must be valid code on its own.
+        rc, err = run_clang(clang, path, ["-x", "c++"])
+        if rc != 0:
+            failures.append("%s: baseline (no violation) failed to compile:"
+                            "\n%s" % (name, err))
+            continue
+
+        # Phase 2: enabling the violation must break the build with the
+        # expected thread-safety diagnostic.
+        rc, err = run_clang(clang, path,
+                            ["-x", "c++", "-DANNLIB_TS_VIOLATION"])
+        if rc == 0:
+            failures.append("%s: violation compiled CLEAN — the annotation "
+                            "this fixture covers is not being enforced"
+                            % name)
+        elif not re.search(expect_pat, err):
+            failures.append("%s: violation failed, but not with the expected"
+                            " diagnostic\n  expected: /%s/\n  got:\n%s"
+                            % (name, expect_pat, err))
+        else:
+            print("  OK %s" % name)
+
+    if failures:
+        print("\nthread-safety harness: %d of %d fixtures FAILED"
+              % (len(failures), len(fixtures)), file=sys.stderr)
+        for f in failures:
+            print("  * %s" % f, file=sys.stderr)
+        return 1
+    print("thread-safety harness: all %d fixtures OK" % len(fixtures))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,19 @@ Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
                      this too ([[nodiscard]] + -Werror), but the lint also
                      catches `(void)` casts: those are allowed only with a
                      justifying comment on the same or preceding line.
+  raw-sync-primitive std::mutex / std::condition_variable / std::lock_guard /
+                     std::unique_lock / std::scoped_lock / std::shared_mutex
+                     (and their headers) are forbidden in src/** outside
+                     src/common/mutex.{h,cc}: all library locking goes
+                     through the capability-annotated ann::Mutex surface so
+                     the thread-safety analysis and the runtime lock-order
+                     detector both see every lock.
+  unguarded-mutex    An ann::Mutex member declared in a src/ file that no
+                     ANNLIB_* annotation in the same file references
+                     (GUARDED_BY, PT_GUARDED_BY, REQUIRES, EXCLUDES,
+                     ACQUIRE[D_BEFORE/AFTER], ...). A mutex that guards
+                     nothing the analysis can see is either dead or — worse
+                     — its guarded fields are silently unannotated.
 
 Suppress a finding with `// lint-ok: <reason>` on the offending line.
 
@@ -32,9 +45,26 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCAN_DIRS = ("src", "bench", "examples", "tests")
 LIBRARY_DIRS = ("src",)
-CXX_EXT = (".h", ".cc")
+CXX_EXT = (".h", ".cc", ".cpp")
 
 SUPPRESS = re.compile(r"//\s*lint-ok:\s*\S")
+
+# The one file allowed to touch std synchronization primitives directly.
+MUTEX_WRAPPER_FILES = (
+    os.path.join("src", "common", "mutex.h"),
+    os.path.join("src", "common", "mutex.cc"),
+)
+
+RAW_SYNC_RE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+)
+
+# An ann::Mutex member declaration:  [mutable] [ann::]Mutex name{...};  /  ;
+MUTEX_FIELD_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:ann::)?Mutex\s+(\w+)\s*[;{]")
 
 # Matches declarations like:
 #   Status Foo(...);   Result<T> Bar(...);   static Status Baz(...)
@@ -118,6 +148,33 @@ def collect_status_functions():
     return names - ambiguous
 
 
+def check_mutex_fields(path, raw_lines, report):
+    """File-level pass: every ann::Mutex member must be named by at least
+    one ANNLIB_* annotation somewhere in the same file."""
+    fields = []  # (lineno, name, raw)
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if SUPPRESS.search(raw):
+            continue
+        m = MUTEX_FIELD_RE.match(strip_comments_and_strings(raw))
+        if m:
+            fields.append((lineno, m.group(1), raw))
+    if not fields:
+        return
+    # Annotation argument lists that name the mutex. Member paths like
+    # `stripe.mu` count: \b matches inside them.
+    text = "".join(strip_comments_and_strings(l) for l in raw_lines)
+    annotation_args = " ".join(
+        re.findall(r"ANNLIB_[A-Z_]+\s*\(([^)]*)\)", text))
+    for lineno, name, raw in fields:
+        if not re.search(r"\b%s\b" % re.escape(name), annotation_args):
+            report(
+                path, lineno, "unguarded-mutex",
+                raw.rstrip() + "   <- no ANNLIB_* annotation references"
+                " this mutex; annotate what it guards or add"
+                " // lint-ok: <reason>",
+            )
+
+
 def main():
     violations = []
 
@@ -133,9 +190,13 @@ def main():
         if alternation else None
 
     for path in iter_sources(SCAN_DIRS):
-        in_library = os.path.relpath(path, REPO).split(os.sep)[0] in LIBRARY_DIRS
+        rel = os.path.relpath(path, REPO)
+        in_library = rel.split(os.sep)[0] in LIBRARY_DIRS
+        is_mutex_wrapper = rel in MUTEX_WRAPPER_FILES
         with open(path, encoding="utf-8") as f:
             raw_lines = f.readlines()
+        if in_library and not is_mutex_wrapper:
+            check_mutex_fields(path, raw_lines, report)
         in_block_comment = False
         prev_code = ""  # last non-comment code line seen
         for lineno, raw in enumerate(raw_lines, start=1):
@@ -157,6 +218,9 @@ def main():
 
             if in_library and re.search(r"\bthrow\b", code):
                 report(path, lineno, "throw-in-library", raw)
+
+            if in_library and not is_mutex_wrapper and RAW_SYNC_RE.search(code):
+                report(path, lineno, "raw-sync-primitive", raw)
 
             if re.search(r"\bnew\s+[A-Za-z_(]", code) and not re.search(
                 r"make_unique|make_shared|unique_ptr|shared_ptr|placement",

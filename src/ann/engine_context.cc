@@ -77,7 +77,29 @@ void EngineContext::SeedRoot() {
   worklist_.push_back(std::move(root_lpq));
 }
 
+namespace {
+
+/// RAII arm/disarm of EngineContext::draining_ (see the field comment).
+/// The flag only flips in DCHECK builds — the disabled macro does not
+/// evaluate its operand — so release builds pay one dead store per Drain.
+class ScopedDrainGuard {
+ public:
+  explicit ScopedDrainGuard(std::atomic<bool>* flag) : flag_(flag) {
+    ANNLIB_DCHECK(!flag_->exchange(true, std::memory_order_acquire));
+  }
+  ~ScopedDrainGuard() { flag_->store(false, std::memory_order_release); }
+
+  ScopedDrainGuard(const ScopedDrainGuard&) = delete;
+  ScopedDrainGuard& operator=(const ScopedDrainGuard&) = delete;
+
+ private:
+  std::atomic<bool>* flag_;
+};
+
+}  // namespace
+
 Status EngineContext::Drain() {
+  ScopedDrainGuard confined(&draining_);
   // Algorithm 3 (ANN-DFBI) flattened: depth-first keeps the child LPQs
   // ahead of their siblings (stack discipline), breadth-first appends
   // them behind (queue discipline).

@@ -149,6 +149,13 @@ class EngineContext {
   AnnResultSink sink_;
   const std::atomic<bool>* cancel_;
 
+  // Debug-only confinement flag: a context is single-thread-confined by
+  // contract (all mutable state below is deliberately unsynchronized — no
+  // mutex to annotate), so Drain() trips an ANNLIB_DCHECK if two threads
+  // ever drain one context concurrently. Runtime coverage for the one
+  // concurrency rule here that capability annotations cannot express.
+  mutable std::atomic<bool> draining_{false};
+
   PruneStats stats_;
   std::deque<std::unique_ptr<Lpq>> worklist_;
   std::vector<IndexEntry> scratch_;

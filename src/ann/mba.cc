@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <future>
 #include <memory>
+#include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "ann/engine_context.h"
 #include "ann/partition.h"
@@ -50,14 +52,39 @@ Status RunSequential(const SpatialIndex& ir, const SpatialIndex& is,
 }
 
 /// One partition task in flight: its seed LPQ, its private context (whose
-/// sink buffers into `results`), and the promise the merging thread waits
-/// on. Workers capture a pointer to their slot, so the closures stay
-/// copyable for std::function.
+/// sink buffers into `results`), and the completion latch the merging
+/// thread waits on. Workers capture a pointer to their slot, so the
+/// closures stay copyable for std::function. The latch is an annotated
+/// Mutex/CondVar pair (not std::future) so the worker→merger handshake
+/// sits on the same capability-checked surface as the rest of the
+/// library; `results` needs no guard — the worker writes it strictly
+/// before MarkDone, the merger reads it strictly after WaitDone.
 struct ParallelTask {
   std::unique_ptr<Lpq> seed;
   std::unique_ptr<EngineContext> ctx;
   std::vector<NeighborList> results;
-  std::promise<Status> done;
+
+  Mutex mu{"mba.task.done"};  // leaf lock: unranked, never nests
+  CondVar cv;
+  bool done ANNLIB_GUARDED_BY(mu) = false;
+  Status status ANNLIB_GUARDED_BY(mu);
+
+  /// Worker side: publishes the task's final status and wakes the merger.
+  void MarkDone(Status st) ANNLIB_EXCLUDES(mu) {
+    {
+      MutexLock lock(&mu);
+      status = std::move(st);
+      done = true;
+    }
+    cv.Signal();  // exactly one merger waits
+  }
+
+  /// Merger side: blocks until MarkDone, then claims the status.
+  Status WaitDone() ANNLIB_EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    while (!done) cv.Wait(&mu);
+    return std::move(status);
+  }
 };
 
 /// Partition-parallel MBA. Plans independent subtree tasks, runs them on
@@ -93,9 +120,9 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
     return overall;
   }
 
+  // ParallelTask is pinned in place by its Mutex (non-movable); the vector
+  // is sized once here and never resized.
   std::vector<ParallelTask> tasks(plan.tasks.size());
-  std::vector<std::future<Status>> futures;
-  futures.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
     ParallelTask& t = tasks[i];
     t.seed = std::move(plan.tasks[i]);
@@ -106,7 +133,6 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
           return Status::OK();
         },
         &cancel);
-    futures.push_back(t.done.get_future());
   }
 
   if (overall.ok()) {
@@ -118,7 +144,7 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
                   [](const NeighborList& a, const NeighborList& b) {
                     return a.r_id < b.r_id;
                   });
-        t.done.set_value(std::move(st));
+        t.MarkDone(std::move(st));
       });
     }
 
@@ -126,7 +152,7 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
     // running while task i's results stream out, and an aborting sink
     // cancels everything still in flight.
     for (size_t i = 0; i < tasks.size() && overall.ok(); ++i) {
-      Status task_status = futures[i].get();
+      Status task_status = tasks[i].WaitDone();
       if (!task_status.ok()) {
         if (!IsCancellation(task_status)) overall = std::move(task_status);
         cancel.store(true, std::memory_order_relaxed);

@@ -356,12 +356,29 @@ Status CheckLpqInvariants(const Lpq& lpq) {
 
 Status CheckBufferPoolInvariants(const BufferPool& pool) {
   size_t total_frames = 0;
+  // Stripe contract (see buffer_pool.h): latches are taken one at a time,
+  // in index order — never nested. CheckStripeInvariants documents its
+  // latch dependency with ANNLIB_REQUIRES(stripe.mu), so calling it
+  // without the MutexLock below is a compile error under -Wthread-safety.
   for (size_t si = 0; si < pool.stripes_.size(); ++si) {
     const BufferPool::Stripe& stripe = *pool.stripes_[si];
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    const size_t nframes = stripe.frames.size();
-    total_frames += nframes;
+    MutexLock lock(&stripe.mu);
+    total_frames += stripe.frames.size();
+    ANN_RETURN_NOT_OK(BufferPool::CheckStripeInvariants(pool, si, stripe));
+  }
+  if (total_frames != pool.capacity_) {
+    std::ostringstream oss;
+    oss << "buffer pool: stripes hold " << total_frames
+        << " frames, capacity is " << pool.capacity_;
+    return Violation(oss.str());
+  }
+  return Status::OK();
+}
 
+Status BufferPool::CheckStripeInvariants(const BufferPool& pool, size_t si,
+                                         const Stripe& stripe) {
+  const size_t nframes = stripe.frames.size();
+  {
     for (const auto& [id, fi] : stripe.page_table) {
       if (fi >= nframes) {
         std::ostringstream oss;
@@ -489,12 +506,6 @@ Status CheckBufferPoolInvariants(const BufferPool& pool) {
       return Violation(oss.str());
     }
   }
-  if (total_frames != pool.capacity_) {
-    std::ostringstream oss;
-    oss << "buffer pool: stripes hold " << total_frames
-        << " frames, capacity is " << pool.capacity_;
-    return Violation(oss.str());
-  }
   return Status::OK();
 }
 
@@ -508,7 +519,7 @@ void LpqTestPeer::SwapOrderKeys(Lpq* lpq, size_t i, size_t j) {
 
 bool BufferPoolTestPeer::CorruptLruPinCount(BufferPool* pool) {
   for (auto& stripe : pool->stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    MutexLock lock(&stripe->mu);
     if (stripe->lru.empty()) continue;
     stripe->frames[stripe->lru.front()].pin_count = 3;
     return true;
@@ -518,7 +529,7 @@ bool BufferPoolTestPeer::CorruptLruPinCount(BufferPool* pool) {
 
 bool BufferPoolTestPeer::CorruptPageTable(BufferPool* pool) {
   for (auto& stripe : pool->stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    MutexLock lock(&stripe->mu);
     for (const auto& [id, fi] : stripe->page_table) {
       stripe->frames[fi].page_id = id + pool->stripes_.size();
       return true;

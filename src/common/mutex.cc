@@ -1,0 +1,118 @@
+#include "common/mutex.h"
+
+#if ANNLIB_DCHECK_IS_ON
+#include <algorithm>
+#include <sstream>
+#include <vector>
+#endif
+
+namespace ann {
+
+#if ANNLIB_DCHECK_IS_ON
+
+namespace {
+
+/// Per-thread stack of held ann::Mutexes in acquisition order. Push/pop
+/// bracket the underlying lock/unlock; CondVar::Wait pops for the blocked
+/// interval and re-validates on reacquisition.
+thread_local std::vector<const Mutex*> tls_held_locks;
+
+[[noreturn]] void LockOrderFail(const char* what, const Mutex& acquiring,
+                                const Mutex& held) {
+  std::ostringstream oss;
+  oss << what << ": acquiring \"" << acquiring.name() << "\" (rank "
+      << acquiring.rank() << ") while holding \"" << held.name()
+      << "\" (rank " << held.rank() << ")";
+  check_internal::DcheckFail(__FILE__, __LINE__, "lock-order discipline",
+                             oss.str());
+}
+
+/// Validates that acquiring `mu` respects the rank order against every
+/// lock the thread already holds, then records it as held.
+void CheckOrderAndPush(const Mutex& mu) {
+  for (const Mutex* held : tls_held_locks) {
+    if (held == &mu) {
+      check_internal::DcheckFail(
+          __FILE__, __LINE__, "lock-order discipline",
+          std::string("re-locking already-held mutex \"") + mu.name() +
+              "\" (would self-deadlock)");
+    }
+    // Ranked locks must be acquired in strictly increasing rank order;
+    // equal ranks (e.g. two buffer-pool stripe latches) are inversions
+    // too, because neither lock is ordered before the other.
+    if (mu.rank() != kMutexRankNone && held->rank() != kMutexRankNone &&
+        held->rank() >= mu.rank()) {
+      LockOrderFail("lock-order inversion", mu, *held);
+    }
+  }
+  tls_held_locks.push_back(&mu);
+}
+
+void PopHeld(const Mutex& mu) {
+  auto& held = tls_held_locks;
+  const auto it = std::find(held.rbegin(), held.rend(), &mu);
+  if (it == held.rend()) {
+    check_internal::DcheckFail(
+        __FILE__, __LINE__, "lock-order discipline",
+        std::string("unlocking mutex \"") + mu.name() +
+            "\" not held by this thread");
+  }
+  held.erase(std::next(it).base());
+}
+
+bool HeldByThisThread(const Mutex& mu) {
+  return std::find(tls_held_locks.begin(), tls_held_locks.end(), &mu) !=
+         tls_held_locks.end();
+}
+
+}  // namespace
+
+void Mutex::Lock() {
+  // Validate before blocking so an inversion is reported instead of
+  // becoming an actual deadlock.
+  CheckOrderAndPush(*this);
+  mu_.lock();
+}
+
+void Mutex::Unlock() {
+  PopHeld(*this);
+  mu_.unlock();
+}
+
+void Mutex::AssertHeld() const {
+  if (!HeldByThisThread(*this)) {
+    check_internal::DcheckFail(
+        __FILE__, __LINE__, "lock-order discipline",
+        std::string("AssertHeld: mutex \"") + name_ +
+            "\" is not held by this thread");
+  }
+}
+
+void CondVar::Wait(Mutex* mu) {
+  // The blocked interval must not count as holding `mu` (another thread
+  // legitimately takes it to change the predicate), so pop before the
+  // wait and re-validate the acquisition order after it.
+  PopHeld(*mu);
+  std::unique_lock<std::mutex> adopted(mu->mu_, std::adopt_lock);
+  cv_.wait(adopted);
+  adopted.release();  // ownership returns to the caller's scope
+  CheckOrderAndPush(*mu);
+}
+
+#else  // ANNLIB_DCHECK_IS_ON
+
+void Mutex::Lock() { mu_.lock(); }
+
+void Mutex::Unlock() { mu_.unlock(); }
+
+void Mutex::AssertHeld() const {}
+
+void CondVar::Wait(Mutex* mu) {
+  std::unique_lock<std::mutex> adopted(mu->mu_, std::adopt_lock);
+  cv_.wait(adopted);
+  adopted.release();  // ownership returns to the caller's scope
+}
+
+#endif  // ANNLIB_DCHECK_IS_ON
+
+}  // namespace ann

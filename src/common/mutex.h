@@ -1,0 +1,202 @@
+#ifndef ANNLIB_COMMON_MUTEX_H_
+#define ANNLIB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "check/check.h"
+
+/// \file
+/// Capability-annotated synchronization primitives (the library's only
+/// sanctioned mutex surface — the repo lint flags raw std::mutex /
+/// std::lock_guard anywhere else under src/).
+///
+/// Two enforcement layers share these wrappers:
+///
+/// 1. **Compile time (Clang Thread Safety Analysis).** The ANNLIB_*
+///    macros below expand to Clang's capability attributes, so which
+///    mutex guards which field (`ANNLIB_GUARDED_BY`) and which functions
+///    require a lock held (`ANNLIB_REQUIRES`) are compiler-checked
+///    contracts under `-Wthread-safety -Werror=thread-safety` (the
+///    `tsafety` CI config; `ci/check_thread_safety.py` proves
+///    representative violations still fail to compile). On non-Clang
+///    compilers every macro expands to nothing.
+///
+/// 2. **Run time (debug lock-order detector).** When ANNLIB_DCHECK_IS_ON
+///    (debug builds or -DANNLIB_FORCE_DCHECKS=ON), every ann::Mutex
+///    participates in a thread-local held-lock stack. A mutex may carry a
+///    *rank* (see kMutexRank* below): a thread must acquire ranked locks
+///    in strictly increasing rank order, so acquiring rank r while any
+///    held lock has rank >= r fires an ANNLIB_DCHECK naming both locks.
+///    Equal ranks are deliberately a violation — the buffer pool's stripe
+///    latches all share one rank, which enforces the stripe contract that
+///    at most one stripe latch is ever held (BufferPool::Stats() and the
+///    invariant checkers iterate stripes one latch at a time, never
+///    nested). Re-locking a held mutex is also caught. This gives dynamic
+///    coverage for the lock-order paths static analysis cannot see
+///    (e.g. locks reached through type-erased callbacks).
+
+// --- Clang Thread Safety Analysis attribute macros -----------------------
+// No-ops everywhere except Clang (GCC would warn about unknown
+// attributes). Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#if defined(__clang__) && defined(__has_attribute)
+#define ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define ANNLIB_CAPABILITY(x) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define ANNLIB_SCOPED_CAPABILITY \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field may only be touched with the given capability held.
+#define ANNLIB_GUARDED_BY(x) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be touched with the capability
+/// held (the pointer itself is unguarded).
+#define ANNLIB_PT_GUARDED_BY(x) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Static lock-order declaration: this mutex must be acquired before the
+/// listed ones. Checked by Clang under -Wthread-safety-beta (the
+/// compile-fail harness passes it); the runtime rank detector covers the
+/// same contract in every debug build.
+#define ANNLIB_ACQUIRED_BEFORE(...) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ANNLIB_ACQUIRED_AFTER(...) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held on entry (and does not release).
+#define ANNLIB_REQUIRES(...) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (anti-deadlock).
+#define ANNLIB_EXCLUDES(...) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define ANNLIB_ACQUIRE(...) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ANNLIB_RELEASE(...) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define ANNLIB_TRY_ACQUIRE(...) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability.
+#define ANNLIB_ASSERT_CAPABILITY(x) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define ANNLIB_RETURN_CAPABILITY(x) \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Use only where the
+/// safety argument is a protocol the analysis cannot express (document
+/// it at the site — e.g. the buffer pool's pin discipline).
+#define ANNLIB_NO_THREAD_SAFETY_ANALYSIS \
+  ANNLIB_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace ann {
+
+// --- Lock ranks ----------------------------------------------------------
+// The process-wide acquisition order: a thread may only acquire ranked
+// mutexes in strictly increasing rank order. Gaps leave room for new
+// subsystems. kMutexRankNone opts a mutex out of order checking (leaf
+// locks that never nest with anything).
+inline constexpr int kMutexRankNone = -1;
+/// ThreadPool queue latch — never held while calling into the library.
+inline constexpr int kMutexRankThreadPool = 10;
+/// BufferPool stripe latches (all stripes share the rank: holding two
+/// stripes at once is a contract violation, see class comment).
+inline constexpr int kMutexRankBufferPoolStripe = 20;
+/// DiskManager internal latches — acquired under a stripe latch by
+/// BufferPool::Fetch's read-under-latch path.
+inline constexpr int kMutexRankDiskManager = 30;
+/// obs::Registry map latch — a leaf: registration and snapshots never
+/// call back into locked annlib code.
+inline constexpr int kMutexRankObsRegistry = 40;
+
+class CondVar;
+
+/// \brief Capability-annotated wrapper around std::mutex.
+///
+/// Construction registers an optional diagnostic name and lock rank (the
+/// rank-registration API); both are queryable and fixed for the mutex's
+/// lifetime. See the file comment for the two enforcement layers.
+class ANNLIB_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex", int rank = kMutexRankNone)
+      : name_(name), rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ANNLIB_ACQUIRE();
+  void Unlock() ANNLIB_RELEASE();
+
+  /// DCHECKs that the calling thread holds this mutex (no-op without the
+  /// detector; under Clang it also informs the static analysis).
+  void AssertHeld() const ANNLIB_ASSERT_CAPABILITY(this);
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const char* name_;
+  const int rank_;
+};
+
+/// \brief RAII lock scope (the library's std::lock_guard replacement).
+class ANNLIB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ANNLIB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() ANNLIB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable bound to ann::Mutex.
+///
+/// Wait takes the mutex explicitly (abseil style) so the analysis can
+/// relate the capability the caller holds to the one Wait releases —
+/// with a constructor-bound mutex Clang cannot prove the two expressions
+/// alias. Spurious wakeups happen; always wait in a predicate loop:
+///
+///   MutexLock lock(&mu_);
+///   while (!predicate_on_guarded_state) cv_.Wait(&mu_);
+///
+/// Writing the loop inline (not as a lambda) keeps the predicate's reads
+/// of ANNLIB_GUARDED_BY state visible to the analysis — Clang analyzes a
+/// lambda body without the caller's lock set, so a captured-lambda
+/// predicate would (rightly) be flagged as an unlocked read.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks, and reacquires before returning.
+  void Wait(Mutex* mu) ANNLIB_REQUIRES(mu);
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_MUTEX_H_

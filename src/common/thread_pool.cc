@@ -1,7 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.h"
 
 namespace ann {
 
@@ -22,35 +23,36 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.SignalAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  assert(task);
+  ANNLIB_DCHECK(task);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    assert(!shutting_down_);
+    MutexLock lock(&mu_);
+    ANNLIB_DCHECK(!shutting_down_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  // Predicate loop written inline (not as a wait lambda) so the guarded
+  // reads of queue_/in_flight_ are visibly under mu_ to the analysis.
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || in_flight_ != 0) all_idle_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return !queue_.empty() || shutting_down_; });
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutting_down_) work_available_.Wait(&mu_);
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -58,9 +60,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) all_idle_.SignalAll();
     }
   }
 }

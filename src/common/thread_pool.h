@@ -1,13 +1,13 @@
 #ifndef ANNLIB_COMMON_THREAD_POOL_H_
 #define ANNLIB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace ann {
 
@@ -23,6 +23,10 @@ size_t ResolveThreadCount(int num_threads);
 /// merging anyway), so tasks here are plain `void()` closures. The
 /// destructor waits for every submitted task to finish, which doubles as
 /// the runner's join point.
+///
+/// Lock discipline: `mu_` (rank kMutexRankThreadPool) guards the queue
+/// and both wait predicates; it is never held while a task runs, so tasks
+/// may freely take any other library lock.
 class ThreadPool {
  public:
   /// Spawns exactly `num_threads` workers (>= 1).
@@ -35,23 +39,25 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task. Must not be called after the destructor has begun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ANNLIB_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is mid-flight.
-  void Wait();
+  void Wait() ANNLIB_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ANNLIB_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // tasks popped but not yet finished
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_{"threadpool.queue", kMutexRankThreadPool};
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> queue_ ANNLIB_GUARDED_BY(mu_);
+  // Tasks popped but not yet finished; the Wait/shutdown predicates read
+  // it together with queue_ under mu_.
+  size_t in_flight_ ANNLIB_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ ANNLIB_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only by the constructor
 };
 
 }  // namespace ann

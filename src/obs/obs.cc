@@ -4,7 +4,8 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace ann::obs {
 
@@ -107,11 +108,16 @@ TimerSnapshot PhaseTimer::TakeSnapshot(std::string name) const {
 /// on a hot path; the instruments themselves are either atomic (counters,
 /// gauges) or merged from a single thread (histograms, timers).
 struct Registry::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
-  std::map<std::string, std::unique_ptr<PhaseTimer>, std::less<>> timers;
+  // A leaf lock (highest rank): nothing is acquired while it is held.
+  mutable Mutex mu{"obs.registry", kMutexRankObsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      ANNLIB_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      ANNLIB_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      ANNLIB_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<PhaseTimer>, std::less<>> timers
+      ANNLIB_GUARDED_BY(mu);
 };
 
 Registry& Registry::Global() {
@@ -128,8 +134,8 @@ Registry::~Registry() = default;
 Registry::Impl& Registry::impl() { return *impl_; }
 
 Counter* Registry::GetCounter(std::string_view name) {
+  MutexLock lock(&impl().mu);
   auto& m = impl().counters;
-  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -138,8 +144,8 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
+  MutexLock lock(&impl().mu);
   auto& m = impl().gauges;
-  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -149,8 +155,8 @@ Gauge* Registry::GetGauge(std::string_view name) {
 
 Histogram* Registry::GetHistogram(std::string_view name,
                                   std::vector<double> bounds) {
+  MutexLock lock(&impl().mu);
   auto& m = impl().histograms;
-  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name),
@@ -161,8 +167,8 @@ Histogram* Registry::GetHistogram(std::string_view name,
 }
 
 PhaseTimer* Registry::GetTimer(std::string_view name) {
+  MutexLock lock(&impl().mu);
   auto& m = impl().timers;
-  std::lock_guard<std::mutex> lock(impl().mu);
   auto it = m.find(name);
   if (it == m.end()) {
     it = m.emplace(std::string(name), std::make_unique<PhaseTimer>()).first;
@@ -173,7 +179,7 @@ PhaseTimer* Registry::GetTimer(std::string_view name) {
 Snapshot Registry::TakeSnapshot() const {
   Snapshot snap;
   if (impl_ == nullptr) return snap;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   snap.counters.reserve(impl_->counters.size());
   for (const auto& [name, c] : impl_->counters) {
     snap.counters.emplace_back(name, c->value());
@@ -195,7 +201,7 @@ Snapshot Registry::TakeSnapshot() const {
 
 void Registry::ResetAll() {
   if (impl_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(&impl_->mu);
   for (auto& [name, c] : impl_->counters) c->Reset();
   for (auto& [name, g] : impl_->gauges) g->Reset();
   for (auto& [name, h] : impl_->histograms) h->Reset();

@@ -2,13 +2,12 @@
 #define ANNLIB_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
-#include <cassert>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/obs.h"
 #include "storage/disk_manager.h"
@@ -99,6 +98,14 @@ struct BufferPoolStats {
 /// pool (one global LRU/CLOCK); more stripes trade global LRU fidelity for
 /// concurrency, the standard DBMS latch-striping compromise. FlushAll and
 /// Reset are not safe concurrent with Fetch — call them between runs.
+///
+/// Lock discipline: every stripe latch carries kMutexRankBufferPoolStripe,
+/// so holding two stripe latches at once is a rank violation — full-pool
+/// walkers (Stats()/pinned_pages()/cached_pages()/FlushAll and the
+/// invariant checker) iterate stripes in index order holding ONE latch at
+/// a time, which is why their snapshots are per-stripe-consistent rather
+/// than globally atomic. The disk manager's internal latches rank after
+/// the stripe latch (Fetch reads from disk under the latch).
 class BufferPool {
  public:
   /// \param num_frames pool capacity in pages (>= 1).
@@ -138,7 +145,8 @@ class BufferPool {
   IoStats stats() const { return stats_.Load(); }
   void ResetStats() { stats_.Reset(); }
 
-  /// Full public statistics snapshot (counters + occupancy).
+  /// Full public statistics snapshot (counters + occupancy). Takes each
+  /// stripe latch in index order, one at a time (see class comment).
   BufferPoolStats Stats() const {
     return BufferPoolStats{stats(), capacity_, cached_pages(),
                            pinned_pages()};
@@ -169,24 +177,34 @@ class BufferPool {
   };
 
   /// One latch domain: a fixed slice of the pool's frames plus the lookup
-  /// and replacement state for the pages hashed to it.
+  /// and replacement state for the pages hashed to it. All state hangs off
+  /// `mu`; Frame fields inherit the guard through the `frames` vector
+  /// (except the pin-protocol accesses in PinnedPage, documented there).
   struct Stripe {
-    mutable std::mutex mu;
-    std::vector<Frame> frames;
-    std::vector<size_t> free_frames;
-    std::list<size_t> lru;  // front = least recently used, unpinned only
-    size_t clock_hand = 0;
-    std::unordered_map<PageId, size_t> page_table;
+    mutable Mutex mu{"bufferpool.stripe", kMutexRankBufferPoolStripe};
+    std::vector<Frame> frames ANNLIB_GUARDED_BY(mu);
+    std::vector<size_t> free_frames ANNLIB_GUARDED_BY(mu);
+    // front = least recently used, unpinned only
+    std::list<size_t> lru ANNLIB_GUARDED_BY(mu);
+    size_t clock_hand ANNLIB_GUARDED_BY(mu) = 0;
+    std::unordered_map<PageId, size_t> page_table ANNLIB_GUARDED_BY(mu);
   };
 
   size_t StripeIndexFor(PageId id) const { return id % stripes_.size(); }
   void Unpin(size_t stripe_index, size_t frame_index);
   // Returns a frame index available for (re)use within the stripe,
-  // evicting its least recently used unpinned frame if necessary. Caller
-  // holds the stripe latch.
-  Result<size_t> GetVictimFrame(Stripe& stripe);
-  Status FlushFrame(Frame& frame);
+  // evicting its least recently used unpinned frame if necessary.
+  Result<size_t> GetVictimFrame(Stripe& stripe) ANNLIB_REQUIRES(stripe.mu);
+  Status FlushFrame(Stripe& stripe, Frame& frame)
+      ANNLIB_REQUIRES(stripe.mu);
   void InitStripes();
+
+  /// Validates one stripe's bookkeeping (defined in check/invariants.cc;
+  /// the public entry point CheckBufferPoolInvariants takes the latch and
+  /// loops over stripes).
+  static Status CheckStripeInvariants(const BufferPool& pool, size_t si,
+                                      const Stripe& stripe)
+      ANNLIB_REQUIRES(stripe.mu);
 
   DiskManager* disk_;
   size_t capacity_;

@@ -11,7 +11,7 @@ namespace ann {
 Result<PageId> MemDiskManager::AllocatePage() {
   auto page = std::make_unique<Page>();
   page->bytes.fill(std::byte{0});
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (pages_.size() >= kInvalidPageId) {
     return Status::OutOfRange("MemDiskManager: page id space exhausted");
   }
@@ -26,7 +26,7 @@ Status MemDiskManager::ReadPage(PageId id, Page* out) {
   // away from pages being read).
   const Page* src;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (id >= pages_.size()) {
       return Status::OutOfRange("MemDiskManager: read of unallocated page");
     }
@@ -41,7 +41,7 @@ Status MemDiskManager::ReadPage(PageId id, Page* out) {
 Status MemDiskManager::WritePage(PageId id, const Page& page) {
   Page* dst;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (id >= pages_.size()) {
       return Status::OutOfRange("MemDiskManager: write of unallocated page");
     }
@@ -54,7 +54,7 @@ Status MemDiskManager::WritePage(PageId id, const Page& page) {
 }
 
 uint64_t MemDiskManager::page_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pages_.size();
 }
 
@@ -89,7 +89,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(alloc_mu_);
+  MutexLock lock(&alloc_mu_);
   if (page_count_ >= kInvalidPageId) {
     return Status::OutOfRange("FileDiskManager: page id space exhausted");
   }

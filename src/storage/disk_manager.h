@@ -1,11 +1,12 @@
 #ifndef ANNLIB_STORAGE_DISK_MANAGER_H_
 #define ANNLIB_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/obs.h"
 #include "storage/page.h"
@@ -63,9 +64,10 @@ class MemDiskManager final : public DiskManager {
  private:
   // Guards the pages_ vector itself (AllocatePage may reallocate it while
   // readers index into it); page payloads are stable heap blocks copied
-  // outside the lock.
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Page>> pages_;
+  // outside the lock. Ranks after the buffer-pool stripe latch: Fetch
+  // reads pages from disk while holding its stripe.
+  mutable Mutex mu_{"memdisk.pages", kMutexRankDiskManager};
+  std::vector<std::unique_ptr<Page>> pages_ ANNLIB_GUARDED_BY(mu_);
 };
 
 /// File-backed page store (pread/pwrite on a regular file).
@@ -85,7 +87,8 @@ class FileDiskManager final : public DiskManager {
   FileDiskManager(const FileDiskManager&) = delete;
   FileDiskManager& operator=(const FileDiskManager&) = delete;
 
-  Result<PageId> AllocatePage() override;
+  /// Takes alloc_mu_ internally: callers must not hold it (self-deadlock).
+  Result<PageId> AllocatePage() override ANNLIB_EXCLUDES(alloc_mu_);
   Status ReadPage(PageId id, Page* out) override;
   Status WritePage(PageId id, const Page& page) override;
   uint64_t page_count() const override {
@@ -98,7 +101,9 @@ class FileDiskManager final : public DiskManager {
 
   int fd_ = -1;
   std::string path_;
-  std::mutex alloc_mu_;  // serializes the grow-file-then-bump sequence
+  // Serializes the grow-file-then-bump sequence. Same rank as the
+  // MemDiskManager latch: both nest only under a buffer-pool stripe.
+  Mutex alloc_mu_{"filedisk.alloc", kMutexRankDiskManager};
   // Atomic so concurrent readers can bounds-check against an in-progress
   // allocation without taking alloc_mu_.
   std::atomic<uint64_t> page_count_{0};
