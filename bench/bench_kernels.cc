@@ -1,0 +1,178 @@
+// Hot-path kernel microbenchmark (PR 5): the batched distance kernels in
+// src/metrics/kernels.h versus the scalar per-point/per-entry loops the
+// engine ran before. google-benchmark microbenchmark; ci/run_benches.sh
+// distills the TAC pair below into BENCH_PR5.json.
+//
+// Two families:
+//  - PointBlock*: one query point against a contiguous SoA block, across
+//    dimensionality — the pure kernel-vs-scalar-loop comparison.
+//  - TacGather*: the MBA Gather inner loop on the Fig 3(a) TAC workload
+//    (2-D, clustered), leaf buckets of the MBRQT's capacity. The scalar
+//    variant reproduces the pre-kernel path faithfully: materialize a
+//    degenerate Rect per object (as IndexEntry deserialization did),
+//    evaluate MinMinDist2 against the owner MBR, test the prune bound.
+//    The batched variant is what EngineContext::Gather runs now.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "datagen/real_sim.h"
+#include "metrics/kernels.h"
+#include "metrics/metrics.h"
+
+namespace {
+
+using ann::Dataset;
+using ann::ExceedsBound2;
+using ann::kInf;
+using ann::MakeTacLike;
+using ann::MinMinDist2;
+using ann::PointDist2;
+using ann::Rect;
+using ann::Rng;
+using ann::Scalar;
+
+/// One leaf bucket's worth of points — matches the MBRQT default.
+constexpr size_t kBucket = 64;
+
+std::vector<Scalar> MakeBlock(int dim, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Scalar> pts(count * dim);
+  for (Scalar& v : pts) v = rng.NextDouble();
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: one query vs a contiguous block, dim in {2, 4, 8, 16}.
+
+void BM_PointBlockScalar(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto pts = MakeBlock(dim, 1024, 0x5EED + dim);
+  const auto q = MakeBlock(dim, 1, 0xACE + dim);
+  std::vector<Scalar> out(1024);
+  for (auto _ : state) {
+    for (size_t i = 0; i < 1024; ++i) {
+      out[i] = PointDist2(q.data(), pts.data() + i * dim, dim);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+
+void BM_PointBlockBatched(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const auto pts = MakeBlock(dim, 1024, 0x5EED + dim);
+  const auto q = MakeBlock(dim, 1, 0xACE + dim);
+  std::vector<Scalar> out(1024);
+  for (auto _ : state) {
+    ann::kernels::PointBlockDist2(q.data(), pts.data(), 1024, dim,
+                                  out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+
+void Dims(benchmark::internal::Benchmark* b) {
+  for (int d : {2, 4, 8, 16}) b->Arg(d);
+}
+
+BENCHMARK(BM_PointBlockScalar)->Apply(Dims);
+BENCHMARK(BM_PointBlockBatched)->Apply(Dims);
+
+// ---------------------------------------------------------------------------
+// Family 2: the Gather inner loop on the Fig 3(a) TAC workload.
+//
+// Both variants process the same leaf buckets under the same (tight)
+// prune bound — the regime the engine actually runs in, where ~97% of
+// candidates are pruned on entry. The scalar variant pays what the old
+// code paid per candidate: a 264-byte degenerate-Rect materialization
+// plus a runtime-dim metric call. ci/run_benches.sh reads this pair's
+// cpu_time ratio as the PR's headline speedup.
+
+struct TacWorkload {
+  std::vector<Scalar> pts;    ///< bucketized SoA coordinates
+  std::vector<Scalar> bound2; ///< per-bucket prune bound
+  size_t buckets = 0;
+  int dim = 2;
+};
+
+const TacWorkload& TacGatherWorkload() {
+  static const TacWorkload w = [] {
+    TacWorkload out;
+    auto tac = MakeTacLike(16384, /*seed=*/7);
+    const Dataset& d = *tac;
+    out.dim = d.dim();
+    out.buckets = d.size() / kBucket;
+    out.pts.assign(d.Row(0).data(),
+                   d.Row(0).data() + out.buckets * kBucket * out.dim);
+    // Per-bucket bound: the NN distance (squared) of the bucket's first
+    // point within the bucket, inflated a little — the shape an LPQ's
+    // bound has after its first few admissions.
+    out.bound2.resize(out.buckets);
+    for (size_t b = 0; b < out.buckets; ++b) {
+      const Scalar* base = out.pts.data() + b * kBucket * out.dim;
+      Scalar nn2 = kInf;
+      for (size_t i = 1; i < kBucket; ++i) {
+        nn2 = std::min(nn2, PointDist2(base, base + i * out.dim, out.dim));
+      }
+      out.bound2[b] = nn2 * 4;
+    }
+    return out;
+  }();
+  return w;
+}
+
+void BM_TacGatherScalar(benchmark::State& state) {
+  const TacWorkload& w = TacGatherWorkload();
+  uint64_t admitted = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < w.buckets; ++b) {
+      const Scalar* base = w.pts.data() + b * kBucket * w.dim;
+      const Rect owner = Rect::FromPoint(base, w.dim);
+      const Scalar bound2 = w.bound2[b];
+      for (size_t i = 0; i < kBucket; ++i) {
+        // The pre-PR5 path: Expand materialized each object as an
+        // IndexEntry (degenerate Rect), Gather ran the rect metric on it.
+        const Rect obj = Rect::FromPoint(base + i * w.dim, w.dim);
+        const Scalar mind2 = MinMinDist2(owner, obj);
+        if (!ExceedsBound2(mind2, bound2)) ++admitted;
+      }
+    }
+    benchmark::DoNotOptimize(admitted);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.buckets * kBucket));
+}
+
+void BM_TacGatherBatched(benchmark::State& state) {
+  const TacWorkload& w = TacGatherWorkload();
+  std::vector<Scalar> d2(kBucket);
+  uint64_t admitted = 0;
+  for (auto _ : state) {
+    for (size_t b = 0; b < w.buckets; ++b) {
+      const Scalar* base = w.pts.data() + b * kBucket * w.dim;
+      const Scalar bound2 = w.bound2[b];
+      ann::kernels::PointBlockDist2Bounded(base, base, kBucket, w.dim,
+                                           bound2, d2.data());
+      for (size_t i = 0; i < kBucket; ++i) {
+        if (!ExceedsBound2(d2[i], bound2)) ++admitted;
+      }
+    }
+    benchmark::DoNotOptimize(admitted);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.buckets * kBucket));
+}
+
+BENCHMARK(BM_TacGatherScalar);
+BENCHMARK(BM_TacGatherBatched);
+
+}  // namespace
+
+BENCHMARK_MAIN();

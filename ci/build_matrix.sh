@@ -10,6 +10,8 @@
 #   asan     AddressSanitizer + forced DCHECKs, full ctest at 3x fuzz iters
 #   ubsan    UndefinedBehaviorSanitizer, same coverage as asan
 #   tsan     ThreadSanitizer over the concurrency tests only
+#   native   build-only -march=native config (ANNLIB_ENABLE_NATIVE_ARCH;
+#            proves the host-ISA kernel build stays warning-free)
 #   tsafety  clang -Wthread-safety -Werror=thread-safety build of every TU
 #            + ci/check_thread_safety.py compile-fail harness
 #                                                 [skipped if clang absent]
@@ -108,11 +110,25 @@ do_tsan() {
   echo "=== build build-tsan (concurrency tests)"
   cmake --build build-tsan -j --target \
     mba_test buffer_pool_test thread_pool_test \
-    buffer_pool_concurrency_test ann_parallel_test
+    buffer_pool_concurrency_test ann_parallel_test \
+    kernels_test arena_test
   echo "=== test build-tsan"
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(mba_test|buffer_pool_test|thread_pool_test|buffer_pool_concurrency_test|ann_parallel_test)$' \
+    -R '^(mba_test|buffer_pool_test|thread_pool_test|buffer_pool_concurrency_test|ann_parallel_test|kernels_test|arena_test)$' \
     -j 5
+}
+
+do_native() {
+  # Build-only (like werror): the CI host's ISA is not what users run, so
+  # executing tests here would prove nothing the default config doesn't.
+  # What this config protects is the -march=native build itself — wider
+  # vector ISAs surface different warnings and intrinsics paths.
+  echo "=== configure build-native"
+  cmake -B build-native -S . \
+    -DANNLIB_ENABLE_NATIVE_ARCH=ON \
+    -DANNLIB_WERROR=ON
+  echo "=== build build-native (-march=native, -Werror)"
+  cmake --build build-native -j
 }
 
 do_tsafety() {
@@ -161,7 +177,7 @@ do_format() {
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ] || [ "${configs[0]}" = "all" ]; then
-  configs=(default obs-off werror asan ubsan tsan tsafety tidy lint format)
+  configs=(default obs-off werror asan ubsan tsan native tsafety tidy lint format)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -172,12 +188,13 @@ for cfg in "${configs[@]}"; do
     asan)    do_asan ;;
     ubsan)   do_ubsan ;;
     tsan)    do_tsan ;;
+    native)  do_native ;;
     tsafety) do_tsafety ;;
     tidy)    do_tidy ;;
     lint)    do_lint ;;
     format)  do_format ;;
     *)
-      echo "unknown config '${cfg}' (want: default obs-off werror asan ubsan tsan tsafety tidy lint format | all)" >&2
+      echo "unknown config '${cfg}' (want: default obs-off werror asan ubsan tsan native tsafety tidy lint format | all)" >&2
       exit 2
       ;;
   esac

@@ -32,6 +32,18 @@ Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
                      ACQUIRE[D_BEFORE/AFTER], ...). A mutex that guards
                      nothing the analysis can see is either dead or — worse
                      — its guarded fields are silently unannotated.
+  hot-loop-alloc     Inside a `// lint-hot-loop-begin` ... `// lint-hot-loop-end`
+                     region (the engine's per-candidate inner loops and the
+                     batched kernels), anything that can reach the allocator
+                     is forbidden: new / make_unique / make_shared, container
+                     growth (push_back, emplace*, insert, resize, reserve)
+                     and container declarations. Steady-state traversal must
+                     be allocation-free (DESIGN.md §10) — scratch lives in
+                     the EngineContext arena and is sized OUTSIDE the loop.
+                     Markers must balance, and the hot-path files
+                     src/ann/engine_context.cc and src/metrics/kernels.cc
+                     must each declare at least one region, so the rule
+                     cannot be hollowed out by deleting the markers.
 
 Suppress a finding with `// lint-ok: <reason>` on the offending line.
 
@@ -92,6 +104,23 @@ BARE_CALL_TMPL = r"^\s*(?:[\w\]\[\.\>\-\:]+(?:\.|->|::))?(?:{names})\s*\("
 VOID_CAST_TMPL = r"\(void\)\s*(?:[\w\.\->:]+(?:\.|->|::))?(?:{names})\s*\("
 
 COMMENT_LINE = re.compile(r"^\s*//")
+
+# Hot-loop regions: allocation-free by contract (DESIGN.md §10).
+HOT_LOOP_MARK = re.compile(r"//\s*lint-hot-loop-(begin|end)\b")
+HOT_LOOP_BANNED = re.compile(
+    r"\bnew\b|\bmake_unique\b|\bmake_shared\b"
+    r"|\bpush_back\s*\(|\bpush_front\s*\(|\bemplace_back\s*\("
+    r"|\bemplace\s*\(|\binsert\s*\(|\bresize\s*\(|\breserve\s*\("
+    r"|\b(?:std::)?(?:vector|deque|map|unordered_map|set|unordered_set"
+    r"|string|list)\s*<"
+    r"|\bArenaVector\s*<"
+)
+# Files whose hot loops are the point of the rule: each must carry at
+# least one marked region.
+HOT_LOOP_REQUIRED = (
+    os.path.join("src", "ann", "engine_context.cc"),
+    os.path.join("src", "metrics", "kernels.cc"),
+)
 
 # A line is a fresh statement only if the previous code line closed one;
 # otherwise it is a continuation (macro argument, wrapped call, condition).
@@ -189,6 +218,8 @@ def main():
     void_cast = re.compile(VOID_CAST_TMPL.format(names=alternation)) \
         if alternation else None
 
+    hot_regions = {}  # rel path -> number of marked regions
+
     for path in iter_sources(SCAN_DIRS):
         rel = os.path.relpath(path, REPO)
         in_library = rel.split(os.sep)[0] in LIBRARY_DIRS
@@ -198,6 +229,7 @@ def main():
         if in_library and not is_mutex_wrapper:
             check_mutex_fields(path, raw_lines, report)
         in_block_comment = False
+        in_hot_loop = False
         prev_code = ""  # last non-comment code line seen
         for lineno, raw in enumerate(raw_lines, start=1):
             if SUPPRESS.search(raw):
@@ -207,6 +239,20 @@ def main():
                 if "*/" in raw:
                     in_block_comment = False
                 continue
+            hot_mark = HOT_LOOP_MARK.search(raw)
+            if hot_mark:
+                if hot_mark.group(1) == "begin":
+                    if in_hot_loop:
+                        report(path, lineno, "hot-loop-alloc",
+                               "nested lint-hot-loop-begin")
+                    in_hot_loop = True
+                    hot_regions[rel] = hot_regions.get(rel, 0) + 1
+                else:
+                    if not in_hot_loop:
+                        report(path, lineno, "hot-loop-alloc",
+                               "lint-hot-loop-end without matching begin")
+                    in_hot_loop = False
+                continue
             code = strip_comments_and_strings(raw)
             if "/*" in code and "*/" not in code:
                 in_block_comment = True
@@ -215,6 +261,9 @@ def main():
                 or prev_code == ""
             if code.strip():
                 prev_code = code
+
+            if in_hot_loop and HOT_LOOP_BANNED.search(code):
+                report(path, lineno, "hot-loop-alloc", raw)
 
             if in_library and re.search(r"\bthrow\b", code):
                 report(path, lineno, "throw-in-library", raw)
@@ -252,6 +301,16 @@ def main():
                         raw.rstrip() + "   <- (void) cast needs a justifying"
                         " comment on this or the preceding line",
                     )
+
+        if in_hot_loop:
+            report(path, len(raw_lines), "hot-loop-alloc",
+                   "lint-hot-loop-begin never closed in this file")
+
+    for required in HOT_LOOP_REQUIRED:
+        if hot_regions.get(required, 0) == 0:
+            report(os.path.join(REPO, required), 1, "hot-loop-alloc",
+                   "hot-path file must mark its inner loops with"
+                   " lint-hot-loop-begin/end")
 
     if violations:
         print("lint_status_discipline: %d violation(s)" % len(violations))

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Perf evidence for the batched-kernel hot path (PR 5). Run from the
+# repository root:
+#
+#   [BUILD_DIR=build] [OUT=BENCH_PR5.json] ci/run_benches.sh
+#
+# Runs, in one build tree:
+#   1. bench_kernels (google-benchmark, JSON) — scalar vs batched kernel
+#      microbenchmarks, including the TacGather pair that replays the MBA
+#      Gather inner loop on the Fig 3(a) TAC workload.
+#   2. bench_fig3a_tac_methods with ANN_STATS_JSON — the end-to-end
+#      Fig 3(a) comparison, whose obs snapshot now carries the
+#      mba.kernel_* counters.
+#
+# The two outputs are merged into ${OUT} (default BENCH_PR5.json) with
+# the headline number computed explicitly:
+#
+#   tac_gather_speedup = cpu_time(BM_TacGatherScalar)
+#                      / cpu_time(BM_TacGatherBatched)
+#
+# The PR's acceptance bar is tac_gather_speedup >= 1.5 (single-thread
+# CPU time); the script fails if the bar is missed so CI catches kernel
+# regressions, not just build breaks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_PR5.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+if [ ! -x "${BUILD_DIR}/bench/bench_kernels" ]; then
+  echo "=== building benches (${BUILD_DIR})"
+  cmake -B "${BUILD_DIR}" -S . >/dev/null
+  cmake --build "${BUILD_DIR}" -j --target bench_kernels \
+    bench_fig3a_tac_methods
+fi
+
+echo "=== bench_kernels (google-benchmark JSON)"
+"${BUILD_DIR}/bench/bench_kernels" \
+  --benchmark_format=json \
+  --benchmark_out="${TMP}/kernels.json" \
+  --benchmark_out_format=json
+
+echo "=== bench_fig3a_tac_methods (ANN_STATS_JSON)"
+ANN_STATS_JSON="${TMP}/fig3a_stats.json" \
+  "${BUILD_DIR}/bench/bench_fig3a_tac_methods"
+
+echo "=== merging into ${OUT}"
+python3 - "${TMP}/kernels.json" "${TMP}/fig3a_stats.json" "${OUT}" <<'EOF'
+import json
+import sys
+
+kernels_path, fig3a_path, out_path = sys.argv[1:4]
+with open(kernels_path) as f:
+    kernels = json.load(f)
+with open(fig3a_path) as f:
+    fig3a = json.load(f)
+
+rows = {
+    b["name"]: b
+    for b in kernels.get("benchmarks", [])
+    if b.get("run_type", "iteration") == "iteration"
+}
+
+def cpu(name):
+    row = rows.get(name)
+    if row is None:
+        sys.exit(f"run_benches: benchmark {name!r} missing from output")
+    return float(row["cpu_time"])
+
+speedup = cpu("BM_TacGatherScalar") / cpu("BM_TacGatherBatched")
+point_block = {}
+for dim in (2, 4, 8, 16):
+    scalar = cpu(f"BM_PointBlockScalar/{dim}")
+    batched = cpu(f"BM_PointBlockBatched/{dim}")
+    point_block[f"dim{dim}"] = round(scalar / batched, 3)
+
+doc = {
+    "pr": 5,
+    "headline": {
+        "tac_gather_speedup": round(speedup, 3),
+        "required_min": 1.5,
+        "definition": ("cpu_time(BM_TacGatherScalar) / "
+                       "cpu_time(BM_TacGatherBatched), single thread, "
+                       "Fig 3(a) TAC workload leaf buckets"),
+    },
+    "point_block_speedup": point_block,
+    "kernels_benchmark": kernels,
+    "fig3a": fig3a,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"tac_gather_speedup = {speedup:.2f}x (bar: >= 1.5x)")
+if speedup < 1.5:
+    sys.exit("run_benches: speedup below the 1.5x acceptance bar")
+EOF
+
+echo "=== wrote ${OUT}"

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/kernels.h"
+
 namespace ann {
+
+namespace {
+
+/// Points per kernel batch. Large enough to amortize the call and keep
+/// the auto-vectorized inner loop fed, small enough that the distance
+/// buffer stays L1-resident (256 * 8 B = 2 KiB).
+constexpr size_t kBlock = 256;
+
+}  // namespace
 
 Status BruteForceAknn(const Dataset& r, const Dataset& s, int k,
                       std::vector<NeighborList>* out) {
@@ -15,28 +26,58 @@ Status BruteForceAknn(const Dataset& r, const Dataset& s, int k,
   out->clear();
   out->reserve(r.size());
 
+  // Distances are computed a block at a time, then admitted sequentially,
+  // so the heap/argmin sees exactly the values and order the old per-point
+  // loop produced. The block kernel's bound is the bound at block start —
+  // only ever looser than the evolving one — and an early-exited (partial)
+  // distance is certified to exceed it, so such a candidate is rejected by
+  // the admission test exactly as its full distance would have been.
+  Scalar d2_block[kBlock];
+
   std::vector<std::pair<Scalar, uint64_t>> best;  // max-heap on (dist2, id)
   for (size_t i = 0; i < r.size(); ++i) {
-    const Scalar* q = r.point(i);
+    const Scalar* q = r.Row(i).data();
+    NeighborList list;
+    list.r_id = i;
+
+    if (k == 1) {
+      // All-nearest-neighbor fast path: bound-aware best-of-block argmin,
+      // no heap at all.
+      Scalar best_d2 = kInf;
+      size_t best_idx = 0;
+      bool found = false;
+      for (size_t j0 = 0; j0 < s.size(); j0 += kBlock) {
+        const size_t count = std::min(kBlock, s.size() - j0);
+        kernels::PointBlockDist2Bounded(q, s.Row(j0).data(), count, dim,
+                                        best_d2, d2_block);
+        found |= kernels::BlockBest(d2_block, count, j0, &best_d2, &best_idx);
+      }
+      if (found) list.neighbors.emplace_back(best_idx, std::sqrt(best_d2));
+      out->push_back(std::move(list));
+      continue;
+    }
+
     best.clear();
     Scalar kth2 = kInf;
-    for (size_t j = 0; j < s.size(); ++j) {
-      const Scalar d2 = PointDist2Bounded(q, s.point(j), dim, kth2);
-      const std::pair<Scalar, uint64_t> cand(d2, j);
-      if (static_cast<int>(best.size()) < k) {
-        best.push_back(cand);
-        std::push_heap(best.begin(), best.end());
-        if (static_cast<int>(best.size()) == k) kth2 = best.front().first;
-      } else if (cand < best.front()) {
-        std::pop_heap(best.begin(), best.end());
-        best.back() = cand;
-        std::push_heap(best.begin(), best.end());
-        kth2 = best.front().first;
+    for (size_t j0 = 0; j0 < s.size(); j0 += kBlock) {
+      const size_t count = std::min(kBlock, s.size() - j0);
+      kernels::PointBlockDist2Bounded(q, s.Row(j0).data(), count, dim, kth2,
+                                      d2_block);
+      for (size_t b = 0; b < count; ++b) {
+        const std::pair<Scalar, uint64_t> cand(d2_block[b], j0 + b);
+        if (static_cast<int>(best.size()) < k) {
+          best.push_back(cand);
+          std::push_heap(best.begin(), best.end());
+          if (static_cast<int>(best.size()) == k) kth2 = best.front().first;
+        } else if (cand < best.front()) {
+          std::pop_heap(best.begin(), best.end());
+          best.back() = cand;
+          std::push_heap(best.begin(), best.end());
+          kth2 = best.front().first;
+        }
       }
     }
     std::sort_heap(best.begin(), best.end());
-    NeighborList list;
-    list.r_id = i;
     list.neighbors.reserve(best.size());
     for (const auto& [d2, id] : best) {
       list.neighbors.emplace_back(id, std::sqrt(d2));

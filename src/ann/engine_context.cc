@@ -5,6 +5,7 @@
 
 #include "check/check.h"
 #include "check/invariants.h"
+#include "metrics/kernels.h"
 
 namespace ann {
 
@@ -14,7 +15,10 @@ constexpr const char* kCancelledMessage = "ANN: cancelled";
 
 /// Computes the MIND/MAXD pair of `e` relative to `owner` (the paper's
 /// Distances function). `level` is the depth of `e` in IS (root = 0),
-/// carried along for the per-level access histograms.
+/// carried along for the per-level access histograms. Only the cold seed
+/// path builds entries this way; the traversal loops go through the
+/// batched kernels plus Lpq::EnqueueObject/EnqueueProbe, which reproduce
+/// exactly this arithmetic (see metrics/kernels.h).
 LpqEntry MakeLpqEntry(const IndexEntry& owner, const IndexEntry& e,
                       PruneMetric metric, uint16_t level, PruneStats* stats) {
   ++stats->distance_evals;
@@ -59,9 +63,10 @@ void EngineObs::MergeIntoGlobal() {
 
 EngineContext::EngineContext(const SpatialIndex& ir, const SpatialIndex& is,
                              const AnnOptions& options, AnnResultSink sink,
-                             const std::atomic<bool>* cancel)
+                             const std::atomic<bool>* cancel,
+                             bool arena_backed_lpqs)
     : ir_(ir), is_(is), options_(options), sink_(std::move(sink)),
-      cancel_(cancel) {}
+      cancel_(cancel), pool_(arena_backed_lpqs ? &arena_ : nullptr) {}
 
 void EngineContext::SeedRoot() {
   const Scalar root_bound2 =
@@ -74,7 +79,7 @@ void EngineContext::SeedRoot() {
   const LpqEntry root_entry = MakeLpqEntry(
       root_lpq->owner(), is_.Root(), options_.metric, /*level=*/0, &stats_);
   root_lpq->Enqueue(root_entry, &stats_);
-  worklist_.push_back(std::move(root_lpq));
+  worklist_.PushBack(std::move(root_lpq));
 }
 
 namespace {
@@ -103,17 +108,16 @@ Status EngineContext::Drain() {
   // Algorithm 3 (ANN-DFBI) flattened: depth-first keeps the child LPQs
   // ahead of their siblings (stack discipline), breadth-first appends
   // them behind (queue discipline).
-  while (!worklist_.empty()) {
+  while (!worklist_.Empty()) {
     if (Cancelled()) return CancelledStatus();
-    std::unique_ptr<Lpq> lpq = std::move(worklist_.front());
-    worklist_.pop_front();
+    std::unique_ptr<Lpq> lpq = worklist_.PopFront();
     ANN_RETURN_NOT_OK(ExpandAndPrune(std::move(lpq)));
   }
   return Status::OK();
 }
 
 Status EngineContext::RunTask(std::unique_ptr<Lpq> seed) {
-  worklist_.push_back(std::move(seed));
+  worklist_.PushBack(std::move(seed));
   return Drain();
 }
 
@@ -136,6 +140,7 @@ Status EngineContext::Gather(Lpq* lpq) {
   obs::ObsScope phase(&obs_.gather);
   obs_.lpq_depth.Record(static_cast<double>(lpq->size()));
   const uint64_t evals_before = stats_.distance_evals;
+  const int dim = is_.dim();
   // Best-first kNN completion for a single query object: entries pop in
   // MIND order, so the first k objects popped are the k nearest.
   NeighborList result;
@@ -152,11 +157,52 @@ Status EngineContext::Gather(Lpq* lpq) {
     ++stats_.s_nodes_expanded;
     obs_.s_level.Record(static_cast<double>(n.level));
     scratch_.clear();
-    ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
-    for (const IndexEntry& e : scratch_) {
-      lpq->Enqueue(MakeLpqEntry(lpq->owner(), e, options_.metric,
-                                static_cast<uint16_t>(n.level + 1), &stats_),
-                   &stats_);
+    leaf_block_.Clear();
+    bool is_leaf_block = false;
+    ANN_RETURN_NOT_OK(
+        is_.ExpandBatch(n.entry, &scratch_, &leaf_block_, &is_leaf_block));
+    const uint16_t child_level = static_cast<uint16_t>(n.level + 1);
+    if (is_leaf_block) {
+      // SoA leaf bucket: one batched distance kernel, then a sequential
+      // admission loop. For an object the exact squared distance IS both
+      // MIND^2 and MAXD^2 (bitwise — see metrics/kernels.h), and the
+      // kernel's early exit only fires when pruning is already certain
+      // under the bound captured here, which the admission loop can only
+      // tighten — so results, bound evolution and every PruneStats
+      // counter are identical to the per-entry path this replaces.
+      const size_t count = leaf_block_.size();
+      EnsureDistCapacity(count);
+      stats_.distance_evals += count;
+      ++kernel_stats_.batches;
+      kernel_stats_.points += count;
+      kernel_stats_.early_exits += kernels::PointBlockDist2Bounded(
+          lpq->owner().mbr.lo.data(), leaf_block_.coords.data(), count, dim,
+          lpq->bound2(), mind2_.data());
+      // lint-hot-loop-begin
+      for (size_t i = 0; i < count; ++i) {
+        lpq->EnqueueObject(leaf_block_.ids[i],
+                           leaf_block_.coords.data() + i * dim, dim,
+                           mind2_[i], child_level, &stats_);
+      }
+      // lint-hot-loop-end
+    } else if (!scratch_.empty()) {
+      // Internal children: batch the MIND/MAXD pairs over the entry
+      // block (strided — the MBR is the first member of IndexEntry),
+      // then admit in the original order.
+      const size_t count = scratch_.size();
+      EnsureDistCapacity(count);
+      stats_.distance_evals += count;
+      ++kernel_stats_.batches;
+      kernel_stats_.points += count;
+      kernels::RectBlockBounds2(lpq->owner().mbr, &scratch_[0].mbr,
+                                sizeof(IndexEntry), count, options_.metric,
+                                mind2_.data(), maxd2_.data());
+      // lint-hot-loop-begin
+      for (size_t i = 0; i < count; ++i) {
+        lpq->EnqueueProbe(scratch_[i], mind2_[i], maxd2_[i], child_level,
+                          &stats_);
+      }
+      // lint-hot-loop-end
     }
   }
   obs_.query_evals.Record(
@@ -175,11 +221,18 @@ Status EngineContext::Expand(Lpq* lpq) {
   ANN_RETURN_NOT_OK(ir_.Expand(lpq->owner(), &r_children));
   child_lpqs_.clear();
   child_lpqs_.reserve(r_children.size());
+  owner_mbrs_.clear();
+  owner_mbrs_.reserve(r_children.size());
   for (const IndexEntry& c : r_children) {
     child_lpqs_.push_back(
         pool_.Acquire(c, lpq->bound2(), options_.k, lpq->level() + 1));
+    // Contiguous copy of the owner MBRs: the probe kernel below walks
+    // them as one block instead of chasing Lpq pointers per probe.
+    owner_mbrs_.push_back(c.mbr);
     ++stats_.lpqs_created;
   }
+  const size_t nc = child_lpqs_.size();
+  EnsureDistCapacity(nc);
 
   // When the owner is a leaf, its children are objects: expanding the
   // IS side here would probe every target object against every object
@@ -190,10 +243,13 @@ Status EngineContext::Expand(Lpq* lpq) {
       !r_children.empty() && r_children[0].is_object;
 
   // The probe loop below is the paper's Filter stage: every parent
-  // entry is re-scored against each child LPQ (Lpq::Enqueue applies the
-  // admission test and the bound-tightening eviction). Timed as its own
-  // nested phase so Expand time can be split into structure descent vs.
-  // candidate filtering.
+  // entry is re-scored against each child LPQ (admission test and
+  // bound-tightening eviction inside EnqueueProbe). One OwnerBlockBounds2
+  // call re-scores a probe target against ALL child owners; per-child
+  // admission order matches the old per-entry path, and since sibling
+  // LPQs never interact, precomputing the block changes nothing
+  // observable. Timed as its own nested phase so Expand time can be
+  // split into structure descent vs. candidate filtering.
   obs::ObsScope filter_phase(&obs_.filter);
   LpqEntry n;
   while (lpq->Dequeue(&n)) {
@@ -212,23 +268,62 @@ Status EngineContext::Expand(Lpq* lpq) {
     if (n.entry.is_object || r_children_are_objects ||
         options_.expansion == Expansion::kUnidirectional) {
       // Probe the entry itself against every child LPQ.
-      for (const auto& child : child_lpqs_) {
-        child->Enqueue(MakeLpqEntry(child->owner(), n.entry, options_.metric,
-                                    n.level, &stats_),
-                       &stats_);
+      stats_.distance_evals += nc;
+      ++kernel_stats_.batches;
+      kernel_stats_.points += nc;
+      kernels::OwnerBlockBounds2(owner_mbrs_.data(), nc, n.entry.mbr,
+                                 options_.metric, mind2_.data(),
+                                 maxd2_.data());
+      // lint-hot-loop-begin
+      for (size_t i = 0; i < nc; ++i) {
+        child_lpqs_[i]->EnqueueProbe(n.entry, mind2_[i], maxd2_[i], n.level,
+                                     &stats_);
       }
+      // lint-hot-loop-end
     } else {
       // Bi-directional: descend the IS side too.
       ++stats_.s_nodes_expanded;
       obs_.s_level.Record(static_cast<double>(n.level));
       scratch_.clear();
-      ANN_RETURN_NOT_OK(is_.Expand(n.entry, &scratch_));
-      for (const IndexEntry& e : scratch_) {
-        for (const auto& child : child_lpqs_) {
-          child->Enqueue(
-              MakeLpqEntry(child->owner(), e, options_.metric,
-                           static_cast<uint16_t>(n.level + 1), &stats_),
-              &stats_);
+      leaf_block_.Clear();
+      bool is_leaf_block = false;
+      ANN_RETURN_NOT_OK(
+          is_.ExpandBatch(n.entry, &scratch_, &leaf_block_, &is_leaf_block));
+      const uint16_t child_level = static_cast<uint16_t>(n.level + 1);
+      if (is_leaf_block) {
+        const int dim = is_.dim();
+        for (size_t j = 0; j < leaf_block_.size(); ++j) {
+          // One degenerate entry per leaf point (the old path built one
+          // per point *per child*), probed against all child owners.
+          const IndexEntry obj = IndexEntry::Object(
+              leaf_block_.coords.data() + j * dim, dim, leaf_block_.ids[j]);
+          stats_.distance_evals += nc;
+          ++kernel_stats_.batches;
+          kernel_stats_.points += nc;
+          kernels::OwnerBlockBounds2(owner_mbrs_.data(), nc, obj.mbr,
+                                     options_.metric, mind2_.data(),
+                                     maxd2_.data());
+          // lint-hot-loop-begin
+          for (size_t i = 0; i < nc; ++i) {
+            child_lpqs_[i]->EnqueueProbe(obj, mind2_[i], maxd2_[i],
+                                         child_level, &stats_);
+          }
+          // lint-hot-loop-end
+        }
+      } else {
+        for (const IndexEntry& e : scratch_) {
+          stats_.distance_evals += nc;
+          ++kernel_stats_.batches;
+          kernel_stats_.points += nc;
+          kernels::OwnerBlockBounds2(owner_mbrs_.data(), nc, e.mbr,
+                                     options_.metric, mind2_.data(),
+                                     maxd2_.data());
+          // lint-hot-loop-begin
+          for (size_t i = 0; i < nc; ++i) {
+            child_lpqs_[i]->EnqueueProbe(e, mind2_[i], maxd2_[i],
+                                         child_level, &stats_);
+          }
+          // lint-hot-loop-end
         }
       }
     }
@@ -258,7 +353,7 @@ Status EngineContext::Expand(Lpq* lpq) {
     // previously queued work.
     for (auto it = child_lpqs_.rbegin(); it != child_lpqs_.rend(); ++it) {
       if (!(*it)->empty()) {
-        worklist_.push_front(std::move(*it));
+        worklist_.PushFront(std::move(*it));
       } else {
         const IndexEntry owner = (*it)->owner();
         pool_.Release(std::move(*it));
@@ -268,7 +363,7 @@ Status EngineContext::Expand(Lpq* lpq) {
   } else {
     for (auto& child : child_lpqs_) {
       if (!child->empty()) {
-        worklist_.push_back(std::move(child));
+        worklist_.PushBack(std::move(child));
       } else {
         const IndexEntry owner = child->owner();
         pool_.Release(std::move(child));

@@ -2,13 +2,13 @@
 #define ANNLIB_ANN_ENGINE_CONTEXT_H_
 
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "ann/lpq.h"
 #include "ann/mba.h"
 #include "ann/result.h"
+#include "common/arena.h"
 #include "index/spatial_index.h"
 #include "obs/obs.h"
 
@@ -22,6 +22,24 @@ Status CancelledStatus();
 
 /// True iff `s` is the CancelledStatus() marker.
 bool IsCancellation(const Status& s);
+
+/// Counters for the batched kernel path (metrics/kernels.h). Kept outside
+/// PruneStats — whose fields and ToString are golden-pinned and compared
+/// string-identical across thread counts — and folded into the global obs
+/// registry (`mba.kernel_*`) by the runner, so they appear in
+/// ANN_STATS_JSON / ann_tool --stats-json automatically.
+struct KernelStats {
+  uint64_t batches = 0;      ///< kernel invocations
+  uint64_t points = 0;       ///< elements processed across all batches
+  uint64_t early_exits = 0;  ///< bounded-kernel certified early exits
+
+  KernelStats& operator+=(const KernelStats& o) {
+    batches += o.batches;
+    points += o.points;
+    early_exits += o.early_exits;
+    return *this;
+  }
+};
 
 /// \brief Context-local copies of the engine's histogram and timer
 /// instruments.
@@ -55,13 +73,19 @@ struct EngineObs {
 /// A run creates one LPQ per IR entry — millions at paper scale — but
 /// only O(tree height × fan-out) are alive at once. Recycling through
 /// Lpq::Reset() keeps the container capacity those queues have already
-/// grown, taking the allocator off the traversal hot path.
+/// grown, taking the allocator off the traversal hot path. With a
+/// non-null arena, freshly built queues back their containers with it
+/// (see Lpq); recycled queues keep whatever allocator they were built
+/// with, which is what makes mixing arena-built and heap-built LPQs in
+/// one pool safe.
 class LpqPool {
  public:
+  explicit LpqPool(Arena* arena = nullptr) : arena_(arena) {}
+
   std::unique_ptr<Lpq> Acquire(const IndexEntry& owner, Scalar bound2, int k,
                                int level) {
     if (free_.empty()) {
-      return std::make_unique<Lpq>(owner, bound2, k, level);
+      return std::make_unique<Lpq>(owner, bound2, k, level, arena_);
     }
     std::unique_ptr<Lpq> lpq = std::move(free_.back());
     free_.pop_back();
@@ -72,7 +96,94 @@ class LpqPool {
   void Release(std::unique_ptr<Lpq> lpq) { free_.push_back(std::move(lpq)); }
 
  private:
+  Arena* arena_;
   std::vector<std::unique_ptr<Lpq>> free_;
+};
+
+/// \brief Deque-ordered LPQ worklist with retained-capacity storage.
+///
+/// Replaces std::deque<std::unique_ptr<Lpq>>: a deque's chunked storage
+/// churns the allocator (and, under a no-op-deallocate arena, would leak
+/// a chunk per churn). Two arena-backed vectors reproduce deque order
+/// exactly — the logical sequence is reverse(front_) followed by
+/// back_[head_..] — with amortized O(1) PushFront/PushBack/PopFront and
+/// zero steady-state allocations once warmed.
+class LpqWorklist {
+ public:
+  explicit LpqWorklist(Arena* arena)
+      : front_(ArenaAllocator<std::unique_ptr<Lpq>>(arena)),
+        back_(ArenaAllocator<std::unique_ptr<Lpq>>(arena)) {}
+
+  bool Empty() const { return front_.empty() && head_ >= back_.size(); }
+  size_t Size() const { return front_.size() + (back_.size() - head_); }
+
+  /// Prepends (depth-first discipline).
+  void PushFront(std::unique_ptr<Lpq> lpq) {
+    front_.push_back(std::move(lpq));
+  }
+
+  /// Appends (breadth-first discipline).
+  void PushBack(std::unique_ptr<Lpq> lpq) { back_.push_back(std::move(lpq)); }
+
+  /// Removes and returns the first element (nullptr when empty).
+  std::unique_ptr<Lpq> PopFront() {
+    if (!front_.empty()) {
+      std::unique_ptr<Lpq> out = std::move(front_.back());
+      front_.pop_back();
+      return out;
+    }
+    if (head_ >= back_.size()) return nullptr;
+    std::unique_ptr<Lpq> out = std::move(back_[head_]);
+    ++head_;
+    // Reclaim the dead prefix once it dominates the buffer (same policy
+    // as Lpq::Dequeue over order_).
+    if (head_ > 64 && head_ * 2 > back_.size()) {
+      back_.erase(back_.begin(), back_.begin() + static_cast<long>(head_));
+      head_ = 0;
+    }
+    return out;
+  }
+
+  /// Removes and returns the first node-owned (non-object) LPQ in deque
+  /// order, or nullptr when only object LPQs remain. O(n) scan — used by
+  /// the partition planner only (cold path).
+  std::unique_ptr<Lpq> RemoveFirstNodeOwned() {
+    for (size_t i = front_.size(); i-- > 0;) {
+      if (!front_[i]->owner().is_object) {
+        std::unique_ptr<Lpq> out = std::move(front_[i]);
+        front_.erase(front_.begin() + static_cast<long>(i));
+        return out;
+      }
+    }
+    for (size_t i = head_; i < back_.size(); ++i) {
+      if (!back_[i]->owner().is_object) {
+        std::unique_ptr<Lpq> out = std::move(back_[i]);
+        back_.erase(back_.begin() + static_cast<long>(i));
+        return out;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Moves every element, in deque order, to the end of `*out` and leaves
+  /// the worklist empty (partition-plan hand-off).
+  void DrainTo(std::vector<std::unique_ptr<Lpq>>* out) {
+    out->reserve(out->size() + Size());
+    for (size_t i = front_.size(); i-- > 0;) {
+      out->push_back(std::move(front_[i]));
+    }
+    for (size_t i = head_; i < back_.size(); ++i) {
+      out->push_back(std::move(back_[i]));
+    }
+    front_.clear();
+    back_.clear();
+    head_ = 0;
+  }
+
+ private:
+  ArenaVector<std::unique_ptr<Lpq>> front_;  ///< reversed front segment
+  ArenaVector<std::unique_ptr<Lpq>> back_;   ///< FIFO tail, live from head_
+  size_t head_ = 0;
 };
 
 /// \brief One reentrant traversal of the MBA/RBA core (Algorithms 2-4).
@@ -90,14 +201,27 @@ class LpqPool {
 /// PruneStats, are invariant to how the worklist is ordered or split
 /// across contexts. That confluence is what makes the parallel runner's
 /// stats and results exactly reproducible at any thread count.
+///
+/// Memory: the context owns a bump Arena backing LPQ containers, worklist
+/// storage and kernel distance scratch; everything it hands out dies with
+/// the context, and recycling (LpqPool, retained vector capacity) makes
+/// steady-state traversal allocation-free. The arena is confined to the
+/// context's thread like every other member (see draining_).
 class EngineContext {
  public:
   /// \param cancel optional run-wide abort flag, polled once per worklist
   ///   iteration; when raised the traversal stops and returns
   ///   CancelledStatus().
+  /// \param arena_backed_lpqs when false, LPQs built by this context's
+  ///   pool use the heap instead of the context arena. The partition
+  ///   planner needs this: its seed LPQs migrate to worker threads, and
+  ///   the arena — single-thread-confined — must not be touched from
+  ///   there. Scratch and the worklist still use the arena (they never
+  ///   leave the context).
   EngineContext(const SpatialIndex& ir, const SpatialIndex& is,
                 const AnnOptions& options, AnnResultSink sink,
-                const std::atomic<bool>* cancel = nullptr);
+                const std::atomic<bool>* cancel = nullptr,
+                bool arena_backed_lpqs = true);
 
   /// Algorithm 2 lines 1-3: creates the root LPQ (bounded by
   /// options.max_distance), probes the IS root into it, and queues it.
@@ -112,7 +236,7 @@ class EngineContext {
   // -- Partitioner interface (see partition.h) --------------------------
 
   /// The pending-LPQ worklist (front = next to process).
-  std::deque<std::unique_ptr<Lpq>>& worklist() { return worklist_; }
+  LpqWorklist& worklist() { return worklist_; }
 
   /// Runs the Expand stage on a node-owned LPQ: child LPQs are created,
   /// filtered, and pushed onto the worklist (empty subtrees are emitted to
@@ -123,6 +247,8 @@ class EngineContext {
 
   PruneStats& stats() { return stats_; }
   const PruneStats& stats() const { return stats_; }
+
+  const KernelStats& kernel_stats() const { return kernel_stats_; }
 
   /// Folds this context's histograms/timers into the global registry.
   /// Call from one thread, after the traversal has finished.
@@ -143,6 +269,15 @@ class EngineContext {
   /// Sinks an empty result list for every query object below `entry`.
   Status EmitEmptySubtree(const IndexEntry& entry);
 
+  /// Grows the kernel output buffers to at least `n` elements (retained
+  /// capacity; called outside the hot loops).
+  void EnsureDistCapacity(size_t n) {
+    if (mind2_.size() < n) {
+      mind2_.resize(n);
+      maxd2_.resize(n);
+    }
+  }
+
   const SpatialIndex& ir_;
   const SpatialIndex& is_;
   const AnnOptions& options_;
@@ -156,10 +291,21 @@ class EngineContext {
   // concurrency rule here that capability annotations cannot express.
   mutable std::atomic<bool> draining_{false};
 
+  // Declared before every arena-backed member so it is destroyed after
+  // all of them (members destroy in reverse declaration order).
+  Arena arena_;
+
   PruneStats stats_;
-  std::deque<std::unique_ptr<Lpq>> worklist_;
-  std::vector<IndexEntry> scratch_;
-  std::vector<std::unique_ptr<Lpq>> child_lpqs_;  // Expand-stage scratch
+  KernelStats kernel_stats_;
+  LpqWorklist worklist_{&arena_};
+  std::vector<IndexEntry> scratch_;  ///< Expand() output (API type is fixed)
+  LeafBlock leaf_block_;             ///< SoA leaf bucket, reused
+  ArenaVector<std::unique_ptr<Lpq>> child_lpqs_{
+      ArenaAllocator<std::unique_ptr<Lpq>>(&arena_)};  // Expand-stage scratch
+  ArenaVector<Rect> owner_mbrs_{
+      ArenaAllocator<Rect>(&arena_)};  ///< contiguous child-owner MBRs
+  ArenaVector<Scalar> mind2_{ArenaAllocator<Scalar>(&arena_)};
+  ArenaVector<Scalar> maxd2_{ArenaAllocator<Scalar>(&arena_)};
   LpqPool pool_;
   EngineObs obs_;
 };

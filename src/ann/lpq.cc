@@ -49,8 +49,15 @@ std::string PruneStats::ToString() const {
   return buf;
 }
 
-Lpq::Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level)
-    : owner_(owner), k_(k), level_(level), bound2_(inherited_bound2) {}
+Lpq::Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level,
+         Arena* arena)
+    : owner_(owner),
+      k_(k),
+      level_(level),
+      bound2_(inherited_bound2),
+      live_maxd2_(ArenaAllocator<Scalar>(arena)),
+      storage_(ArenaAllocator<LpqEntry>(arena)),
+      order_(ArenaAllocator<Key>(arena)) {}
 
 void Lpq::Reset(IndexEntry owner, Scalar inherited_bound2, int k, int level) {
   owner_ = owner;
@@ -102,18 +109,11 @@ void Lpq::TightenBound(Scalar candidate2, PruneStats* stats) {
   }
 }
 
-bool Lpq::Enqueue(const LpqEntry& e, PruneStats* stats) {
-  ++stats->enqueue_attempts;
-  if (ExceedsBound2(e.mind2, bound2_)) {
-    ++stats->pruned_on_entry;
-    return false;
-  }
-
-  // The fat entry goes to append-only storage; only a lean key is kept in
+void Lpq::AdmitKey(Scalar mind2, Scalar maxd2, PruneStats* stats) {
+  // The fat entry sits in append-only storage; only a lean key is kept in
   // MIND order (ties broken by smaller MAXD), so ordered inserts move
   // 24-byte keys instead of whole entries.
-  storage_.push_back(e);
-  Key key{e.mind2, e.maxd2, static_cast<uint32_t>(storage_.size() - 1)};
+  Key key{mind2, maxd2, static_cast<uint32_t>(storage_.size() - 1)};
   auto pos = std::upper_bound(order_.begin() + head_, order_.end(), key,
                               [](const Key& a, const Key& b) {
                                 return a.mind2 < b.mind2 ||
@@ -123,11 +123,58 @@ bool Lpq::Enqueue(const LpqEntry& e, PruneStats* stats) {
   order_.insert(pos, key);
   ++stats->enqueued;
   if (k_ == 1) {
-    TightenBound(e.maxd2, stats);
+    TightenBound(maxd2, stats);
   } else {
-    InsertLive(e.maxd2);
+    InsertLive(maxd2);
     RefreshBound(stats);
   }
+}
+
+bool Lpq::Enqueue(const LpqEntry& e, PruneStats* stats) {
+  ++stats->enqueue_attempts;
+  if (ExceedsBound2(e.mind2, bound2_)) {
+    ++stats->pruned_on_entry;
+    return false;
+  }
+  storage_.push_back(e);
+  AdmitKey(e.mind2, e.maxd2, stats);
+  return true;
+}
+
+bool Lpq::EnqueueObject(uint64_t id, const Scalar* p, int dim, Scalar d2,
+                        uint16_t level, PruneStats* stats) {
+  ++stats->enqueue_attempts;
+  if (ExceedsBound2(d2, bound2_)) {
+    ++stats->pruned_on_entry;
+    return false;
+  }
+  // Materialize the entry only now that admission passed. For an object
+  // (degenerate MBR) both MIND^2 and MAXD^2 equal the exact squared
+  // distance, bitwise — see the equivalence notes in metrics/kernels.h.
+  LpqEntry& slot = storage_.emplace_back();
+  slot.entry.mbr = Rect::FromPoint(p, dim);
+  slot.entry.id = id;
+  slot.entry.is_object = true;
+  slot.mind2 = d2;
+  slot.maxd2 = d2;
+  slot.level = level;
+  AdmitKey(d2, d2, stats);
+  return true;
+}
+
+bool Lpq::EnqueueProbe(const IndexEntry& e, Scalar mind2, Scalar maxd2,
+                       uint16_t level, PruneStats* stats) {
+  ++stats->enqueue_attempts;
+  if (ExceedsBound2(mind2, bound2_)) {
+    ++stats->pruned_on_entry;
+    return false;
+  }
+  LpqEntry& slot = storage_.emplace_back();
+  slot.entry = e;
+  slot.mind2 = mind2;
+  slot.maxd2 = maxd2;
+  slot.level = level;
+  AdmitKey(mind2, maxd2, stats);
   return true;
 }
 

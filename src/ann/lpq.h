@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/geometry.h"
 #include "index/spatial_index.h"
 #include "metrics/metrics.h"
@@ -73,7 +74,13 @@ class Lpq {
   /// \param k neighbors requested per query object.
   /// \param level depth of `owner` in IR (root = 0); only observability
   ///   reads it (per-level node-access histograms).
-  Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level = 0);
+  /// \param arena optional bump arena backing the queue's containers
+  ///   (entries, sort keys, live bounds). Null = plain heap, for
+  ///   standalone use and for LPQs that outlive their creating thread
+  ///   (partition seeds). The arena must outlive the Lpq and is confined
+  ///   to the thread using the queue.
+  Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level = 0,
+      Arena* arena = nullptr);
 
   /// Re-initializes the queue for a new owner, keeping the container
   /// capacity. Lets the engine recycle LPQ allocations across the millions
@@ -95,6 +102,22 @@ class Lpq {
   /// entries the refreshed bound kills. Returns whether the entry was
   /// queued.
   bool Enqueue(const LpqEntry& e, PruneStats* stats);
+
+  /// Admission-first Enqueue of a data *object* whose exact squared
+  /// distance to the owner is `d2` (for an object both MIND and MAXD
+  /// collapse to the exact distance). The ~280-byte LpqEntry is
+  /// materialized only AFTER the admission test passes — on the golden
+  /// workloads ~97% of attempts are pruned on entry, so the batched
+  /// gather path never builds entries for them. Stats/bound evolution are
+  /// identical to Enqueue of the equivalent entry.
+  bool EnqueueObject(uint64_t id, const Scalar* p, int dim, Scalar d2,
+                     uint16_t level, PruneStats* stats);
+
+  /// Admission-first Enqueue of a precomputed (MIND, MAXD) probe of `e`
+  /// (the batched kernels produce the pair; see metrics/kernels.h). The
+  /// entry is copied into storage only after admission passes.
+  bool EnqueueProbe(const IndexEntry& e, Scalar mind2, Scalar maxd2,
+                    uint16_t level, PruneStats* stats);
 
   /// Pops the entry with the smallest MIND. Returns false when empty.
   /// The popped entry no longer counts toward the live bound — call
@@ -124,14 +147,19 @@ class Lpq {
   void InsertLive(Scalar maxd2);
   void EraseLive(Scalar maxd2);
 
+  /// Shared admission tail: indexes the just-appended storage_.back() in
+  /// MIND order and refreshes the bound. Every Enqueue* variant funnels
+  /// here so their stats/bound behaviour cannot drift apart.
+  void AdmitKey(Scalar mind2, Scalar maxd2, PruneStats* stats);
+
   IndexEntry owner_;
   int k_;
   int level_;
   Scalar bound2_;
-  std::vector<Scalar> live_maxd2_;  ///< maxd^2 of queued + committed, sorted
+  ArenaVector<Scalar> live_maxd2_;  ///< maxd^2 of queued + committed, sorted
   size_t committed_ = 0;            ///< results already gathered
-  std::vector<LpqEntry> storage_;   ///< append-only entry storage
-  std::vector<Key> order_;          ///< ascending by (mind2, maxd2), from head_
+  ArenaVector<LpqEntry> storage_;   ///< append-only entry storage
+  ArenaVector<Key> order_;          ///< ascending by (mind2, maxd2), from head_
   size_t head_ = 0;
 };
 

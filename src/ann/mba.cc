@@ -38,6 +38,15 @@ void FoldPruneStats(const PruneStats& d) {
   reg.GetCounter("mba.distance_evals")->Add(d.distance_evals);
 }
 
+/// Same, for the batched-kernel counters (they live outside PruneStats so
+/// the golden-pinned PruneStats::ToString stays byte-stable).
+void FoldKernelStats(const KernelStats& d) {
+  obs::Registry& reg = obs::Registry::Global();
+  reg.GetCounter("mba.kernel_batches")->Add(d.batches);
+  reg.GetCounter("mba.kernel_points")->Add(d.points);
+  reg.GetCounter("mba.kernel_early_exits")->Add(d.early_exits);
+}
+
 /// Classic sequential MBA: one context seeded at the root.
 Status RunSequential(const SpatialIndex& ir, const SpatialIndex& is,
                      const AnnOptions& options, const AnnResultSink& sink,
@@ -47,6 +56,7 @@ Status RunSequential(const SpatialIndex& ir, const SpatialIndex& is,
   const Status st = ctx.Drain();
   *stats += ctx.stats();
   FoldPruneStats(ctx.stats());
+  FoldKernelStats(ctx.kernel_stats());
   ctx.MergeObsIntoGlobal();
   return st;
 }
@@ -100,8 +110,13 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
                    PruneStats* stats, size_t num_threads) {
   std::atomic<bool> cancel{false};
   // Planning (and empty-subtree emission) happens on this thread through
-  // the caller's sink, before any worker exists.
-  EngineContext plan_ctx(ir, is, options, sink, &cancel);
+  // the caller's sink, before any worker exists. The seed LPQs it builds
+  // migrate to worker threads, so they must NOT come from the planning
+  // context's single-thread-confined arena — arena_backed_lpqs=false
+  // makes them plain heap queues (each Lpq carries its own allocator, so
+  // workers recycling them later stays safe).
+  EngineContext plan_ctx(ir, is, options, sink, &cancel,
+                         /*arena_backed_lpqs=*/false);
   const size_t target = options.partition_fanout > 0
                             ? static_cast<size_t>(options.partition_fanout)
                             : num_threads * 8;
@@ -111,11 +126,12 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
   if (overall.ok() && plan.tasks.size() < 2) {
     // Too little to split (tiny tree): finish sequentially right here.
     for (std::unique_ptr<Lpq>& task : plan.tasks) {
-      plan_ctx.worklist().push_back(std::move(task));
+      plan_ctx.worklist().PushBack(std::move(task));
     }
     overall = plan_ctx.Drain();
     *stats += plan_ctx.stats();
     FoldPruneStats(plan_ctx.stats());
+    FoldKernelStats(plan_ctx.kernel_stats());
     plan_ctx.MergeObsIntoGlobal();
     return overall;
   }
@@ -172,13 +188,16 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
   }
 
   PruneStats run_total = plan_ctx.stats();
+  KernelStats kernel_total = plan_ctx.kernel_stats();
   plan_ctx.MergeObsIntoGlobal();
   for (ParallelTask& t : tasks) {
     run_total += t.ctx->stats();
+    kernel_total += t.ctx->kernel_stats();
     t.ctx->MergeObsIntoGlobal();
   }
   *stats += run_total;
   FoldPruneStats(run_total);
+  FoldKernelStats(kernel_total);
   return overall;
 }
 

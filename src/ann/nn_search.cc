@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "metrics/kernels.h"
+
 namespace ann {
 
 namespace {
@@ -24,6 +26,7 @@ Status PointKnn(const SpatialIndex& is, const Scalar* q, int k,
                 SearchStats* stats) {
   out->clear();
   if (k < 1) return Status::InvalidArgument("PointKnn: k must be >= 1");
+  const int dim = is.dim();
 
   MinHeap heap;
   const IndexEntry root = is.Root();
@@ -36,6 +39,8 @@ Status PointKnn(const SpatialIndex& is, const Scalar* q, int k,
   Scalar kth2 = bound2;
 
   std::vector<IndexEntry> children;
+  LeafBlock leaf;
+  std::vector<Scalar> dist2;
   while (!heap.empty()) {
     const HeapItem top = heap.top();
     heap.pop();
@@ -54,14 +59,38 @@ Status PointKnn(const SpatialIndex& is, const Scalar* q, int k,
     }
     ++stats->nodes_expanded;
     children.clear();
-    ANN_RETURN_NOT_OK(is.Expand(top.entry, &children));
-    for (const IndexEntry& c : children) {
-      ++stats->distance_evals;
-      const Scalar mind2 = c.is_object ? PointDist2(q, c.mbr.lo.data(), is.dim())
-                                       : PointRectMinDist2(q, c.mbr);
-      if (!ExceedsBound2(mind2, kth2)) {
-        heap.push({mind2, c});
-        ++stats->heap_pushes;
+    leaf.Clear();
+    bool is_leaf_block = false;
+    ANN_RETURN_NOT_OK(
+        is.ExpandBatch(top.entry, &children, &leaf, &is_leaf_block));
+    if (is_leaf_block) {
+      // kth2 is fixed for the whole child scan (it only moves when an
+      // object pops from the heap), so batching the block's distances up
+      // front filters exactly the same children as the per-point loop;
+      // an early-exited (partial) distance is certified to fail the
+      // !ExceedsBound2 push test, and every pushed distance is exact.
+      const size_t count = leaf.size();
+      if (dist2.size() < count) dist2.resize(count);
+      stats->distance_evals += count;
+      kernels::PointBlockDist2Bounded(q, leaf.coords.data(), count, dim,
+                                      kth2, dist2.data());
+      for (size_t i = 0; i < count; ++i) {
+        if (!ExceedsBound2(dist2[i], kth2)) {
+          heap.push({dist2[i],
+                     IndexEntry::Object(leaf.coords.data() + i * dim, dim,
+                                        leaf.ids[i])});
+          ++stats->heap_pushes;
+        }
+      }
+    } else {
+      for (const IndexEntry& c : children) {
+        ++stats->distance_evals;
+        const Scalar mind2 = c.is_object ? PointDist2(q, c.mbr.lo.data(), dim)
+                                         : PointRectMinDist2(q, c.mbr);
+        if (!ExceedsBound2(mind2, kth2)) {
+          heap.push({mind2, c});
+          ++stats->heap_pushes;
+        }
       }
     }
   }
@@ -81,6 +110,7 @@ NnIterator::NnIterator(const SpatialIndex& index, const Scalar* q)
 }
 
 Status NnIterator::Next(bool* has, Neighbor* out) {
+  const int dim = index_.dim();
   while (!heap_.empty()) {
     const HeapItem top = heap_.top();
     heap_.pop();
@@ -93,14 +123,34 @@ Status NnIterator::Next(bool* has, Neighbor* out) {
     }
     ++stats_.nodes_expanded;
     scratch_.clear();
-    ANN_RETURN_NOT_OK(index_.Expand(top.entry, &scratch_));
-    for (const IndexEntry& c : scratch_) {
-      ++stats_.distance_evals;
-      const Scalar mind2 =
-          c.is_object ? PointDist2(q_.data(), c.mbr.lo.data(), index_.dim())
-                      : PointRectMinDist2(q_.data(), c.mbr);
-      heap_.push({mind2, c});
-      ++stats_.heap_pushes;
+    leaf_block_.Clear();
+    bool is_leaf_block = false;
+    ANN_RETURN_NOT_OK(
+        index_.ExpandBatch(top.entry, &scratch_, &leaf_block_,
+                           &is_leaf_block));
+    if (is_leaf_block) {
+      // Every child is pushed with its exact distance (distance browsing
+      // pushes unconditionally), so the unbounded kernel applies.
+      const size_t count = leaf_block_.size();
+      if (dist2_.size() < count) dist2_.resize(count);
+      stats_.distance_evals += count;
+      kernels::PointBlockDist2(q_.data(), leaf_block_.coords.data(), count,
+                               dim, dist2_.data());
+      for (size_t i = 0; i < count; ++i) {
+        heap_.push({dist2_[i],
+                    IndexEntry::Object(leaf_block_.coords.data() + i * dim,
+                                       dim, leaf_block_.ids[i])});
+        ++stats_.heap_pushes;
+      }
+    } else {
+      for (const IndexEntry& c : scratch_) {
+        ++stats_.distance_evals;
+        const Scalar mind2 = c.is_object
+                                 ? PointDist2(q_.data(), c.mbr.lo.data(), dim)
+                                 : PointRectMinDist2(q_.data(), c.mbr);
+        heap_.push({mind2, c});
+        ++stats_.heap_pushes;
+      }
     }
   }
   *has = false;

@@ -71,6 +71,8 @@ class NnIterator {
   std::array<Scalar, kMaxDim> q_;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
   std::vector<IndexEntry> scratch_;
+  LeafBlock leaf_block_;        ///< SoA leaf bucket, reused across Next()
+  std::vector<Scalar> dist2_;   ///< batched kernel output, reused
   SearchStats stats_;
 };
 

@@ -1,6 +1,5 @@
 #include "ann/partition.h"
 
-#include <algorithm>
 #include <utility>
 
 namespace ann {
@@ -8,21 +7,15 @@ namespace ann {
 Status BuildPartitionPlan(EngineContext* ctx, size_t target_tasks,
                           PartitionPlan* out) {
   ctx->SeedRoot();
-  std::deque<std::unique_ptr<Lpq>>& worklist = ctx->worklist();
-  while (worklist.size() < target_tasks) {
-    const auto it = std::find_if(
-        worklist.begin(), worklist.end(),
-        [](const std::unique_ptr<Lpq>& l) { return !l->owner().is_object; });
-    if (it == worklist.end()) break;  // only object LPQs left: cannot split
-    std::unique_ptr<Lpq> lpq = std::move(*it);
-    worklist.erase(it);
+  LpqWorklist& worklist = ctx->worklist();
+  while (worklist.Size() < target_tasks) {
+    // Same scan the old std::deque code did: first node-owned LPQ in
+    // worklist (deque) order, removed in place.
+    std::unique_ptr<Lpq> lpq = worklist.RemoveFirstNodeOwned();
+    if (lpq == nullptr) break;  // only object LPQs left: cannot split
     ANN_RETURN_NOT_OK(ctx->ExpandNodeLpq(std::move(lpq)));
   }
-  out->tasks.reserve(worklist.size());
-  for (std::unique_ptr<Lpq>& lpq : worklist) {
-    out->tasks.push_back(std::move(lpq));
-  }
-  worklist.clear();
+  worklist.DrainTo(&out->tasks);
   return Status::OK();
 }
 

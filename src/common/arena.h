@@ -1,0 +1,210 @@
+#ifndef ANNLIB_COMMON_ARENA_H_
+#define ANNLIB_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "check/check.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ANNLIB_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define ANNLIB_ARENA_ASAN 1
+#endif
+#ifndef ANNLIB_ARENA_ASAN
+#define ANNLIB_ARENA_ASAN 0
+#endif
+
+#if ANNLIB_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace ann {
+
+/// \brief Chunked bump allocator for traversal-scoped memory.
+///
+/// The ANN engine allocates millions of small objects per run — LPQ
+/// entries, sort keys, distance scratch — whose lifetimes all end together
+/// (with the owning EngineContext). A bump arena turns each of those
+/// allocations into a pointer increment and makes consecutive allocations
+/// contiguous, which is what the batched kernels want under their feet.
+///
+/// Properties:
+///  - Allocate() never fails for reasonable sizes: a request larger than
+///    the current block opens a new block of max(min_block_bytes, size).
+///  - Reset() retains every block and rewinds the cursor, so a warmed
+///    arena serves an entire steady-state traversal without touching the
+///    heap again. In DCHECK builds reset memory is filled with 0xCD so
+///    stale reads are loud; under AddressSanitizer it is poisoned so
+///    stale reads are *fatal* (re-unpoisoned lazily by Allocate).
+///  - Individual deallocation is a no-op by design (see ArenaAllocator):
+///    container growth "leaks" superseded buffers into the arena until
+///    the next Reset, which is bounded by the usual doubling argument.
+///
+/// Thread-compatibility: an Arena is confined to one context/thread, like
+/// the EngineContext that owns it (see the draining_ confinement DCHECK
+/// there). It is deliberately unsynchronized.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;  // 64 KiB
+
+  explicit Arena(size_t min_block_bytes = kDefaultBlockBytes)
+      : min_block_bytes_(min_block_bytes == 0 ? kDefaultBlockBytes
+                                              : min_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+#if ANNLIB_ARENA_ASAN
+    // Blocks are about to be freed; ASan requires them unpoisoned.
+    for (const Block& b : blocks_) __asan_unpoison_memory_region(b.data.get(), b.size);
+#endif
+  }
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two,
+  /// at most alignof(std::max_align_t) unless a block is freshly carved).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    ANNLIB_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (current_ < blocks_.size()) {
+        Block& b = blocks_[current_];
+        const size_t aligned = (offset_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+          char* p = b.data.get() + aligned;
+          offset_ = aligned + bytes;
+          allocated_bytes_ += bytes;
+#if ANNLIB_ARENA_ASAN
+          __asan_unpoison_memory_region(p, bytes);
+#endif
+          return p;
+        }
+        // Block exhausted (or request too big for its remainder): move on.
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      NewBlock(bytes + align);
+    }
+  }
+
+  /// Rewinds the cursor to the first block, keeping all blocks for reuse.
+  /// Previously handed-out memory becomes invalid: 0xCD-filled in DCHECK
+  /// builds, poisoned under ASan.
+  void Reset() {
+    for (const Block& b : blocks_) {
+#if ANNLIB_DCHECK_IS_ON && !ANNLIB_ARENA_ASAN
+      std::memset(b.data.get(), 0xCD, b.size);
+#endif
+#if ANNLIB_ARENA_ASAN
+      __asan_poison_memory_region(b.data.get(), b.size);
+#else
+      (void)b;  // silence unused warning when neither branch compiles
+#endif
+    }
+    current_ = 0;
+    offset_ = 0;
+    allocated_bytes_ = 0;
+  }
+
+  /// Bytes handed out since construction / the last Reset().
+  size_t allocated_bytes() const { return allocated_bytes_; }
+
+  /// Total capacity currently held (sum of block sizes).
+  size_t capacity_bytes() const {
+    size_t s = 0;
+    for (const Block& b : blocks_) s += b.size;
+    return s;
+  }
+
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+
+  void NewBlock(size_t at_least) {
+    Block b;
+    b.size = at_least > min_block_bytes_ ? at_least : min_block_bytes_;
+    // Doubling policy: each new block at least matches the previous one,
+    // so the block count stays logarithmic in total demand.
+    if (!blocks_.empty() && blocks_.back().size > b.size) {
+      b.size = blocks_.back().size;
+    }
+    b.data = std::make_unique<char[]>(b.size);
+#if ANNLIB_ARENA_ASAN
+    __asan_poison_memory_region(b.data.get(), b.size);
+#endif
+    current_ = blocks_.size();
+    offset_ = 0;
+    blocks_.push_back(std::move(b));
+  }
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  ///< block the cursor sits in (== size() when none)
+  size_t offset_ = 0;   ///< bump offset inside blocks_[current_]
+  size_t allocated_bytes_ = 0;
+};
+
+/// \brief std-compatible allocator over an Arena, with a heap fallback.
+///
+/// With a non-null arena, allocate() bumps the arena and deallocate() is a
+/// no-op (memory is reclaimed wholesale by Arena::Reset / destruction).
+/// With a null arena it degrades to plain operator new/delete, so types
+/// parameterized on ArenaAllocator (Lpq's containers) also work standalone
+/// — unit tests and the parallel planner construct them arena-less.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena()) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(bytes, alignof(T)));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed in bulk by Reset()/destruction.
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& o) const {
+    return arena_ == o.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& o) const {
+    return !(*this == o);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// Vector whose storage lives in an Arena (heap when arena is null).
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace ann
+
+#endif  // ANNLIB_COMMON_ARENA_H_

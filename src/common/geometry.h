@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -203,6 +204,14 @@ class Dataset {
     return coords_.data() + i * dim_;
   }
 
+  /// The `i`-th point as a bounds-carrying view (dim() scalars). The batched
+  /// distance kernels take `Row(i).data()` with an explicit count, so a row
+  /// span and the raw row-major layout always agree.
+  std::span<const Scalar> Row(size_t i) const {
+    assert(i < size());
+    return {coords_.data() + i * dim_, static_cast<size_t>(dim_)};
+  }
+
   void Append(const Scalar* p) { coords_.insert(coords_.end(), p, p + dim_); }
   void Reserve(size_t n) { coords_.reserve(n * dim_); }
 
@@ -218,8 +227,8 @@ class Dataset {
   /// Returns a dataset containing the points at `indices`, in order.
   Dataset Select(const std::vector<size_t>& indices) const {
     Dataset out(dim_);
-    out.Reserve(indices.size());
-    for (size_t idx : indices) out.Append(point(idx));
+    out.Reserve(indices.size());  // one allocation up front, not one per point
+    for (size_t idx : indices) out.Append(Row(idx).data());
     return out;
   }
 

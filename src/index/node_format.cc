@@ -35,6 +35,35 @@ Status MemIndexView::Expand(const IndexEntry& e,
   return Status::OK();
 }
 
+Status MemIndexView::ExpandBatch(const IndexEntry& e,
+                                 std::vector<IndexEntry>* entries,
+                                 LeafBlock* block, bool* is_leaf_block) const {
+  if (e.is_object) {
+    return Status::InvalidArgument("Expand called on an object entry");
+  }
+  if (e.id >= tree_->nodes.size()) {
+    return Status::OutOfRange("MemIndexView: bad node id");
+  }
+  const MemNode& node = tree_->nodes[e.id];
+  if (!node.is_leaf) {
+    *is_leaf_block = false;
+    return Expand(e, entries);
+  }
+  obs_expands_->Increment();
+  *is_leaf_block = true;
+  block->dim = tree_->dim;
+  block->ids.reserve(block->ids.size() + node.entries.size());
+  block->coords.reserve(block->coords.size() +
+                        node.entries.size() * static_cast<size_t>(tree_->dim));
+  for (const MemEntry& me : node.entries) {
+    block->ids.push_back(me.id);
+    // Object entries carry degenerate MBRs: lo IS the point.
+    block->coords.insert(block->coords.end(), me.mbr.lo.data(),
+                         me.mbr.lo.data() + tree_->dim);
+  }
+  return Status::OK();
+}
+
 Status RangeQuery(const SpatialIndex& index, const Rect& range,
                   std::vector<uint64_t>* out) {
   std::vector<IndexEntry> stack;
@@ -117,6 +146,42 @@ Status DeserializeNodeEntries(const char* data, size_t size, int dim,
       e.is_object = false;
     }
     out->push_back(e);
+    p += entry_size;
+  }
+  return Status::OK();
+}
+
+Status DeserializeLeafBlock(const char* data, size_t size, int dim,
+                            LeafBlock* block, bool* is_leaf) {
+  if (size < kNodeHeaderSize) {
+    return Status::Internal("DeserializeNode: short node record");
+  }
+  uint8_t leaf;
+  uint16_t count;
+  std::memcpy(&leaf, data, 1);
+  std::memcpy(&count, data + 2, 2);
+  if (!leaf) {
+    *is_leaf = false;
+    return Status::OK();
+  }
+  const size_t entry_size = LeafEntrySize(dim);
+  if (size < kNodeHeaderSize + count * entry_size) {
+    return Status::Internal("DeserializeNode: truncated node record");
+  }
+  *is_leaf = true;
+  block->dim = dim;
+  block->ids.reserve(block->ids.size() + count);
+  block->coords.reserve(block->coords.size() +
+                        count * static_cast<size_t>(dim));
+  const char* p = data + kNodeHeaderSize;
+  for (uint16_t i = 0; i < count; ++i) {
+    uint64_t id;
+    std::memcpy(&id, p, 8);
+    block->ids.push_back(id);
+    const size_t at = block->coords.size();
+    block->coords.resize(at + static_cast<size_t>(dim));
+    std::memcpy(block->coords.data() + at, p + 8,
+                static_cast<size_t>(dim) * 8);
     p += entry_size;
   }
   return Status::OK();

@@ -51,6 +51,8 @@ class MemIndexView final : public SpatialIndex {
   }
   Status Expand(const IndexEntry& e,
                 std::vector<IndexEntry>* out) const override;
+  Status ExpandBatch(const IndexEntry& e, std::vector<IndexEntry>* entries,
+                     LeafBlock* block, bool* is_leaf_block) const override;
   uint64_t num_objects() const override { return tree_->num_objects; }
   int height() const override { return tree_->height; }
 
@@ -80,6 +82,14 @@ std::vector<char> SerializeNode(const MemNode& node, int dim,
 /// Parses a serialized node's entries directly into IndexEntries.
 Status DeserializeNodeEntries(const char* data, size_t size, int dim,
                               std::vector<IndexEntry>* out);
+
+/// Leaf-aware parse for the batched gather path: when the record is a leaf
+/// node, appends its objects to `*block` as an SoA coordinate/id block and
+/// sets `*is_leaf = true`; for an internal node it only reports
+/// `*is_leaf = false` (the caller then uses DeserializeNodeEntries on the
+/// same buffer — no second storage read happens).
+Status DeserializeLeafBlock(const char* data, size_t size, int dim,
+                            LeafBlock* block, bool* is_leaf);
 
 /// Writes every node of `tree` into `store` (children before parents) and
 /// returns where the root landed.

@@ -2,19 +2,48 @@
 
 namespace ann {
 
+namespace {
+
+/// Per-thread node read buffer: reused across calls (no allocation on the
+/// hot path) without serializing concurrent expands on one shared member.
+std::vector<char>& NodeScratch() {
+  static thread_local std::vector<char> scratch;
+  return scratch;
+}
+
+}  // namespace
+
 Status PagedIndexView::Expand(const IndexEntry& e,
                               std::vector<IndexEntry>* out) const {
   if (e.is_object) {
     return Status::InvalidArgument("Expand called on an object entry");
   }
-  // Per-thread read buffer: reused across calls (no allocation on the hot
-  // path) without serializing concurrent expands on one shared member.
-  static thread_local std::vector<char> scratch;
+  std::vector<char>& scratch = NodeScratch();
   ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch));
   obs_expands_->Increment();
   obs_bytes_->Add(scratch.size());
   return DeserializeNodeEntries(scratch.data(), scratch.size(), meta_.dim,
                                 out);
+}
+
+Status PagedIndexView::ExpandBatch(const IndexEntry& e,
+                                   std::vector<IndexEntry>* entries,
+                                   LeafBlock* block,
+                                   bool* is_leaf_block) const {
+  if (e.is_object) {
+    return Status::InvalidArgument("Expand called on an object entry");
+  }
+  // One storage read serves both outcomes, so buffer-pool and obs counters
+  // match a plain Expand call exactly.
+  std::vector<char>& scratch = NodeScratch();
+  ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch));
+  obs_expands_->Increment();
+  obs_bytes_->Add(scratch.size());
+  ANN_RETURN_NOT_OK(DeserializeLeafBlock(scratch.data(), scratch.size(),
+                                         meta_.dim, block, is_leaf_block));
+  if (*is_leaf_block) return Status::OK();
+  return DeserializeNodeEntries(scratch.data(), scratch.size(), meta_.dim,
+                                entries);
 }
 
 }  // namespace ann

@@ -32,6 +32,8 @@ class PagedIndexView final : public SpatialIndex {
   }
   Status Expand(const IndexEntry& e,
                 std::vector<IndexEntry>* out) const override;
+  Status ExpandBatch(const IndexEntry& e, std::vector<IndexEntry>* entries,
+                     LeafBlock* block, bool* is_leaf_block) const override;
   uint64_t num_objects() const override { return meta_.num_objects; }
   int height() const override { return meta_.height; }
 

@@ -29,6 +29,25 @@ struct IndexEntry {
   }
 };
 
+/// \brief A leaf node's objects as one structure-of-arrays block.
+///
+/// The batched distance kernels (metrics/kernels.h) consume leaf buckets
+/// as a contiguous row-major coordinate block (`coords[i*dim + d]`) plus a
+/// parallel id array — no per-point Rect or IndexEntry is materialized.
+/// Clear() keeps the capacity, so one LeafBlock reused across Expand calls
+/// allocates only until it has seen the largest leaf.
+struct LeafBlock {
+  int dim = 0;
+  std::vector<Scalar> coords;  ///< size() * dim scalars, row-major
+  std::vector<uint64_t> ids;   ///< object id per point
+
+  size_t size() const { return ids.size(); }
+  void Clear() {
+    coords.clear();
+    ids.clear();
+  }
+};
+
 /// \brief Read interface over a built spatial index.
 ///
 /// The MBA/RBA engine (Algorithms 2-4), the BNN/MNN baselines and the test
@@ -48,6 +67,23 @@ class SpatialIndex {
   /// Appends the children of non-object entry `e` to `*out`.
   virtual Status Expand(const IndexEntry& e,
                         std::vector<IndexEntry>* out) const = 0;
+
+  /// Batch-friendly expansion: exactly ONE of the two outputs is filled
+  /// per call. When `e` is a leaf whose children are objects, an override
+  /// may append them to `*block` as an SoA coordinate/id block and set
+  /// `*is_leaf_block = true`; otherwise the children are appended to
+  /// `*entries` (and `*is_leaf_block` is false) exactly as Expand would.
+  ///
+  /// A single underlying node read serves either outcome, so storage and
+  /// obs counters are identical to one Expand call. The default delegates
+  /// to Expand and never produces a block — callers must handle both
+  /// shapes regardless of index type.
+  virtual Status ExpandBatch(const IndexEntry& e,
+                             std::vector<IndexEntry>* entries,
+                             LeafBlock* /*block*/, bool* is_leaf_block) const {
+    *is_leaf_block = false;
+    return Expand(e, entries);
+  }
 
   /// Number of indexed objects.
   virtual uint64_t num_objects() const = 0;

@@ -1,0 +1,223 @@
+#include "metrics/kernels.h"
+
+#include "check/check.h"
+
+namespace ann {
+namespace kernels {
+
+namespace {
+
+/// Compile-time-dim inner loops. The dimension loop fully unrolls and the
+/// point loop runs over contiguous rows, which is the shape the
+/// auto-vectorizer handles well; per-point accumulation stays strictly
+/// dimension-ordered (d = 0, 1, ...) so each out[i] is bitwise identical
+/// to the scalar PointDist2.
+template <int DIM>
+void PointBlockDist2Impl(const Scalar* q, const Scalar* pts, size_t count,
+                         Scalar* out) {
+  // lint-hot-loop-begin
+  for (size_t i = 0; i < count; ++i) {
+    const Scalar* p = pts + i * DIM;
+    Scalar s = 0;
+    for (int d = 0; d < DIM; ++d) {
+      const Scalar diff = q[d] - p[d];
+      s += diff * diff;
+    }
+    out[i] = s;
+  }
+  // lint-hot-loop-end
+}
+
+template <int DIM>
+size_t PointBlockDist2BoundedImpl(const Scalar* q, const Scalar* pts,
+                                  size_t count, Scalar bound2, Scalar* out) {
+  size_t exits = 0;
+  // lint-hot-loop-begin
+  for (size_t i = 0; i < count; ++i) {
+    const Scalar* p = pts + i * DIM;
+    Scalar s = 0;
+    if constexpr (DIM <= 4) {
+      // Too few lanes for a checkpoint to pay for itself.
+      for (int d = 0; d < DIM; ++d) {
+        const Scalar diff = q[d] - p[d];
+        s += diff * diff;
+      }
+    } else {
+      // Checkpoint every 4 dimensions. The chunks accumulate into the one
+      // running sum in dimension order, so rounding is unchanged; the exit
+      // test is the engine's own prune predicate, which makes an exit a
+      // *certified* prune (see header contract).
+      int d = 0;
+      while (true) {
+        const int stop = d + 4 < DIM ? d + 4 : DIM;
+        for (; d < stop; ++d) {
+          const Scalar diff = q[d] - p[d];
+          s += diff * diff;
+        }
+        if (d == DIM) break;
+        if (ExceedsBound2(s, bound2)) {
+          ++exits;
+          break;
+        }
+      }
+    }
+    out[i] = s;
+  }
+  // lint-hot-loop-end
+  return exits;
+}
+
+/// Runtime-dim fallbacks (dim is validated <= kMaxDim everywhere upstream,
+/// so these only run if dispatch is ever extended past the switch below).
+void PointBlockDist2Dyn(const Scalar* q, const Scalar* pts, size_t count,
+                        int dim, Scalar* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = PointDist2(q, pts + i * static_cast<size_t>(dim), dim);
+  }
+}
+
+size_t PointBlockDist2BoundedDyn(const Scalar* q, const Scalar* pts,
+                                 size_t count, int dim, Scalar bound2,
+                                 Scalar* out) {
+  size_t exits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Scalar* p = pts + i * static_cast<size_t>(dim);
+    Scalar s = 0;
+    int d = 0;
+    while (true) {
+      const int stop = d + 4 < dim ? d + 4 : dim;
+      for (; d < stop; ++d) {
+        const Scalar diff = q[d] - p[d];
+        s += diff * diff;
+      }
+      if (d == dim) break;
+      if (ExceedsBound2(s, bound2)) {
+        ++exits;
+        break;
+      }
+    }
+    out[i] = s;
+  }
+  return exits;
+}
+
+}  // namespace
+
+void PointBlockDist2(const Scalar* q, const Scalar* pts, size_t count,
+                     int dim, Scalar* out) {
+  ANNLIB_DCHECK(dim >= 1 && dim <= kMaxDim);
+  switch (dim) {
+    case 1: return PointBlockDist2Impl<1>(q, pts, count, out);
+    case 2: return PointBlockDist2Impl<2>(q, pts, count, out);
+    case 3: return PointBlockDist2Impl<3>(q, pts, count, out);
+    case 4: return PointBlockDist2Impl<4>(q, pts, count, out);
+    case 5: return PointBlockDist2Impl<5>(q, pts, count, out);
+    case 6: return PointBlockDist2Impl<6>(q, pts, count, out);
+    case 7: return PointBlockDist2Impl<7>(q, pts, count, out);
+    case 8: return PointBlockDist2Impl<8>(q, pts, count, out);
+    case 9: return PointBlockDist2Impl<9>(q, pts, count, out);
+    case 10: return PointBlockDist2Impl<10>(q, pts, count, out);
+    case 11: return PointBlockDist2Impl<11>(q, pts, count, out);
+    case 12: return PointBlockDist2Impl<12>(q, pts, count, out);
+    case 13: return PointBlockDist2Impl<13>(q, pts, count, out);
+    case 14: return PointBlockDist2Impl<14>(q, pts, count, out);
+    case 15: return PointBlockDist2Impl<15>(q, pts, count, out);
+    case 16: return PointBlockDist2Impl<16>(q, pts, count, out);
+    default: return PointBlockDist2Dyn(q, pts, count, dim, out);
+  }
+}
+
+size_t PointBlockDist2Bounded(const Scalar* q, const Scalar* pts,
+                              size_t count, int dim, Scalar bound2,
+                              Scalar* out) {
+  ANNLIB_DCHECK(dim >= 1 && dim <= kMaxDim);
+  switch (dim) {
+    case 1: return PointBlockDist2BoundedImpl<1>(q, pts, count, bound2, out);
+    case 2: return PointBlockDist2BoundedImpl<2>(q, pts, count, bound2, out);
+    case 3: return PointBlockDist2BoundedImpl<3>(q, pts, count, bound2, out);
+    case 4: return PointBlockDist2BoundedImpl<4>(q, pts, count, bound2, out);
+    case 5: return PointBlockDist2BoundedImpl<5>(q, pts, count, bound2, out);
+    case 6: return PointBlockDist2BoundedImpl<6>(q, pts, count, bound2, out);
+    case 7: return PointBlockDist2BoundedImpl<7>(q, pts, count, bound2, out);
+    case 8: return PointBlockDist2BoundedImpl<8>(q, pts, count, bound2, out);
+    case 9: return PointBlockDist2BoundedImpl<9>(q, pts, count, bound2, out);
+    case 10:
+      return PointBlockDist2BoundedImpl<10>(q, pts, count, bound2, out);
+    case 11:
+      return PointBlockDist2BoundedImpl<11>(q, pts, count, bound2, out);
+    case 12:
+      return PointBlockDist2BoundedImpl<12>(q, pts, count, bound2, out);
+    case 13:
+      return PointBlockDist2BoundedImpl<13>(q, pts, count, bound2, out);
+    case 14:
+      return PointBlockDist2BoundedImpl<14>(q, pts, count, bound2, out);
+    case 15:
+      return PointBlockDist2BoundedImpl<15>(q, pts, count, bound2, out);
+    case 16:
+      return PointBlockDist2BoundedImpl<16>(q, pts, count, bound2, out);
+    default:
+      return PointBlockDist2BoundedDyn(q, pts, count, dim, bound2, out);
+  }
+}
+
+void RectBlockBounds2(const Rect& m, const Rect* first, size_t stride_bytes,
+                      size_t count, PruneMetric metric, Scalar* mind2,
+                      Scalar* maxd2) {
+  const char* base = reinterpret_cast<const char*>(first);
+  // The metric branch is hoisted: one predictable loop per metric, each
+  // literally calling the scalar inline metrics (exactness by identity).
+  if (metric == PruneMetric::kNxnDist) {
+    // lint-hot-loop-begin
+    for (size_t i = 0; i < count; ++i) {
+      const Rect& n = *reinterpret_cast<const Rect*>(base + i * stride_bytes);
+      mind2[i] = MinMinDist2(m, n);
+      maxd2[i] = NxnDist2(m, n);
+    }
+    // lint-hot-loop-end
+  } else {
+    // lint-hot-loop-begin
+    for (size_t i = 0; i < count; ++i) {
+      const Rect& n = *reinterpret_cast<const Rect*>(base + i * stride_bytes);
+      mind2[i] = MinMinDist2(m, n);
+      maxd2[i] = MaxMaxDist2(m, n);
+    }
+    // lint-hot-loop-end
+  }
+}
+
+void OwnerBlockBounds2(const Rect* owners, size_t count, const Rect& n,
+                       PruneMetric metric, Scalar* mind2, Scalar* maxd2) {
+  if (metric == PruneMetric::kNxnDist) {
+    // lint-hot-loop-begin
+    for (size_t i = 0; i < count; ++i) {
+      mind2[i] = MinMinDist2(owners[i], n);
+      maxd2[i] = NxnDist2(owners[i], n);
+    }
+    // lint-hot-loop-end
+  } else {
+    // lint-hot-loop-begin
+    for (size_t i = 0; i < count; ++i) {
+      mind2[i] = MinMinDist2(owners[i], n);
+      maxd2[i] = MaxMaxDist2(owners[i], n);
+    }
+    // lint-hot-loop-end
+  }
+}
+
+bool BlockBest(const Scalar* d2, size_t count, size_t base_index,
+               Scalar* best_d2, size_t* best_index) {
+  bool improved = false;
+  // lint-hot-loop-begin
+  for (size_t i = 0; i < count; ++i) {
+    if (d2[i] < *best_d2) {  // strict: ties keep the earlier index
+      *best_d2 = d2[i];
+      *best_index = base_index + i;
+      improved = true;
+    }
+  }
+  // lint-hot-loop-end
+  return improved;
+}
+
+}  // namespace kernels
+}  // namespace ann

@@ -1,0 +1,97 @@
+#ifndef ANNLIB_METRICS_KERNELS_H_
+#define ANNLIB_METRICS_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/geometry.h"
+#include "metrics/metrics.h"
+
+namespace ann {
+namespace kernels {
+
+/// \file
+/// Batched distance kernels for the ANN hot path (DESIGN.md §10).
+///
+/// Every kernel is a block-shaped re-statement of a scalar routine from
+/// metrics.h / geometry.h, subject to one non-negotiable contract:
+///
+///   EXACT EQUIVALENCE — for each element of a block, the kernel performs
+///   the same floating-point operations in the same order as the scalar
+///   routine it replaces, so each output is *bitwise* equal to the scalar
+///   result. The engine's pruning counters (PruneStats) are pinned by
+///   golden tests and must be reproducible at any thread count and any
+///   batch size; a kernel that re-associates a sum would silently shift
+///   prune decisions at bound boundaries.
+///
+/// The speed therefore comes from shape, not from re-associated math: one
+/// call amortizes per-entry call overhead over a whole leaf bucket, the
+/// inner dimension loop is a compile-time constant (fully unrolled,
+/// auto-vectorizable across the trip), inputs are contiguous or strided
+/// row-major blocks, and distances land in a flat output array that the
+/// admission loop consumes without materializing per-point Rect /
+/// IndexEntry temporaries.
+///
+/// Bounded kernels may stop a point's accumulation early, but only once
+/// pruning is already *certain* under the caller's bound (the partial sum
+/// fails ExceedsBound2, and squared-distance partial sums only grow), so
+/// an early-exited output — while partial — provably triggers the same
+/// prune decision as the full value. Callers must treat early-exited
+/// outputs as "certified prunable", never as distances.
+
+/// Squared Euclidean distance from `q` to each of `count` points stored
+/// row-major in `pts` (point i at pts + i*dim).
+///
+/// out[i] == PointDist2(q, pts + i*dim, dim) bitwise.
+void PointBlockDist2(const Scalar* q, const Scalar* pts, size_t count,
+                     int dim, Scalar* out);
+
+/// Bounded variant of PointBlockDist2. For dim > 4 the accumulation is
+/// checked against `bound2` every four dimensions; a point whose partial
+/// sum already exceeds the bound (per ExceedsBound2, i.e. pruning is
+/// certain) stops accumulating and stores the partial sum. Returns the
+/// number of early-exited points.
+///
+/// For every point NOT early-exited, out[i] is bitwise equal to
+/// PointDist2(q, pts + i*dim, dim). For an early-exited point, out[i] is a
+/// partial prefix sum with ExceedsBound2(out[i], bound2) true — and since
+/// partial <= full, ExceedsBound2(full, b) also holds for every b >=
+/// bound2's tightening, so the caller's admission test rejects the point
+/// exactly as it would have rejected the full distance.
+size_t PointBlockDist2Bounded(const Scalar* q, const Scalar* pts,
+                              size_t count, int dim, Scalar bound2,
+                              Scalar* out);
+
+/// MIND/MAXD pairs of one query-side MBR `m` against `count` target MBRs
+/// laid out with byte stride `stride_bytes` starting at `first` (stride
+/// lets the engine pass `&entries[0].mbr` with sizeof(IndexEntry) without
+/// this layer depending on the index types).
+///
+///   mind2[i] == MinMinDist2(m, rect_i)           bitwise
+///   maxd2[i] == UpperBound2(metric, m, rect_i)   bitwise
+///
+/// (The loop literally calls those inline functions; the metric branch is
+/// hoisted out of the loop.)
+void RectBlockBounds2(const Rect& m, const Rect* first, size_t stride_bytes,
+                      size_t count, PruneMetric metric, Scalar* mind2,
+                      Scalar* maxd2);
+
+/// MIND/MAXD pairs of `count` contiguous query-side MBRs (the Expand
+/// stage's child-LPQ owners) against one target entry MBR `n`:
+///
+///   mind2[i] == MinMinDist2(owners[i], n)           bitwise
+///   maxd2[i] == UpperBound2(metric, owners[i], n)   bitwise
+void OwnerBlockBounds2(const Rect* owners, size_t count, const Rect& n,
+                       PruneMetric metric, Scalar* mind2, Scalar* maxd2);
+
+/// Bound-aware best-of-block reduction: scans `d2[0..count)` and updates
+/// (*best_d2, *best_index) on strict improvement (`d2[i] < *best_d2`; ties
+/// keep the earlier index, matching the sequential argmin the brute-force
+/// k=1 path replaces; indices reported as base_index + i). Returns whether
+/// anything improved.
+bool BlockBest(const Scalar* d2, size_t count, size_t base_index,
+               Scalar* best_d2, size_t* best_index);
+
+}  // namespace kernels
+}  // namespace ann
+
+#endif  // ANNLIB_METRICS_KERNELS_H_

@@ -41,8 +41,8 @@ namespace ann::obs {
 ///    render byte-identically (tested).
 ///
 /// Naming convention: `subsystem.metric` (dots as separators, lowercase,
-/// e.g. `storage.pool.hits`, `mba.phase.gather`). See DESIGN.md
-/// "Observability".
+/// e.g. `storage.pool.hits`, `mba.phase.gather`, `mba.kernel_batches`).
+/// See DESIGN.md "Observability".
 
 /// `count` ascending bucket upper bounds starting at `first`, each
 /// `factor` times the previous (factor > 1). For latency histograms.

@@ -1,0 +1,325 @@
+#include "metrics/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/random.h"
+#include "metrics/metrics.h"
+
+namespace ann {
+namespace {
+
+// The kernels' contract (kernels.h) is EXACT equivalence: each output must
+// be *bitwise* equal to the scalar routine it replaces, because the
+// engine's golden-pinned prune counters sit downstream of comparisons at
+// bound boundaries. So these tests compare with EXPECT_EQ on Scalar
+// values (bit-level for finite doubles), never EXPECT_NEAR.
+
+std::vector<Scalar> RandomBlock(Rng* rng, int dim, size_t count,
+                                Scalar scale = 1.0) {
+  std::vector<Scalar> pts(count * dim);
+  for (Scalar& v : pts) v = (rng->NextDouble() - 0.5) * scale;
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// PointBlockDist2
+// ---------------------------------------------------------------------------
+
+TEST(PointBlockDist2Test, BitwiseEqualToScalarAcrossDims) {
+  Rng rng(42);
+  for (int dim = 1; dim <= kMaxDim; ++dim) {
+    const size_t count = 257;  // not a multiple of any likely unroll width
+    const auto pts = RandomBlock(&rng, dim, count);
+    const auto q = RandomBlock(&rng, dim, 1);
+    std::vector<Scalar> out(count, -1);
+    kernels::PointBlockDist2(q.data(), pts.data(), count, dim, out.data());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i], PointDist2(q.data(), pts.data() + i * dim, dim))
+          << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+TEST(PointBlockDist2Test, AdversarialInputs) {
+  // Negative zero, exact duplicates of the query, huge/tiny magnitude mix:
+  // the cases where a re-associated or fused accumulation would diverge
+  // from the scalar loop.
+  const int dim = 4;
+  const Scalar q[dim] = {0.0, -0.0, 1e150, 1e-150};
+  const std::vector<Scalar> pts = {
+      0.0,  -0.0, 1e150,  1e-150,  // identical to q: distance exactly 0
+      -0.0, 0.0,  1e150,  1e-150,  // -0 vs +0: still exactly 0
+      1.0,  2.0,  -1e150, 3e-150,  // huge intermediate
+      1e-9, 1e-9, 1e150,  0.0,     // tiny differences next to huge terms
+  };
+  const size_t count = pts.size() / dim;
+  std::vector<Scalar> out(count, -1);
+  kernels::PointBlockDist2(q, pts.data(), count, dim, out.data());
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(out[i], PointDist2(q, pts.data() + i * dim, dim)) << i;
+  }
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(PointBlockDist2Test, EmptyAndSinglePointBlocks) {
+  const Scalar q[2] = {0.25, 0.75};
+  const Scalar p[2] = {1.25, 0.75};
+  Scalar sentinel = -7;
+  kernels::PointBlockDist2(q, p, 0, 2, &sentinel);  // must not write
+  EXPECT_EQ(sentinel, -7);
+  Scalar out = -1;
+  kernels::PointBlockDist2(q, p, 1, 2, &out);
+  EXPECT_EQ(out, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// PointBlockDist2Bounded
+// ---------------------------------------------------------------------------
+
+TEST(PointBlockDist2BoundedTest, LowDimNeverEarlyExits) {
+  // dim <= 4 runs the straight loop: every output is the full distance.
+  Rng rng(43);
+  for (int dim = 1; dim <= 4; ++dim) {
+    const size_t count = 100;
+    const auto pts = RandomBlock(&rng, dim, count);
+    const auto q = RandomBlock(&rng, dim, 1);
+    std::vector<Scalar> out(count, -1);
+    const size_t exits = kernels::PointBlockDist2Bounded(
+        q.data(), pts.data(), count, dim, /*bound2=*/0.01, out.data());
+    EXPECT_EQ(exits, 0u) << dim;
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i], PointDist2(q.data(), pts.data() + i * dim, dim));
+    }
+  }
+}
+
+TEST(PointBlockDist2BoundedTest, EarlyExitIsCertifiedPrunable) {
+  Rng rng(44);
+  for (int dim = 5; dim <= kMaxDim; ++dim) {
+    const size_t count = 300;
+    const auto pts = RandomBlock(&rng, dim, count);
+    const auto q = RandomBlock(&rng, dim, 1);
+    // A tight bound so a large fraction of points exits mid-accumulation.
+    const Scalar bound2 = 0.05;
+    std::vector<Scalar> out(count, -1);
+    const size_t exits = kernels::PointBlockDist2Bounded(
+        q.data(), pts.data(), count, dim, bound2, out.data());
+    size_t observed_exits = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const Scalar full = PointDist2(q.data(), pts.data() + i * dim, dim);
+      if (out[i] == full) {
+        // Treated as not-exited: the value is exact, usable as a distance.
+        continue;
+      }
+      // Early-exited: a partial prefix sum, strictly below the full value
+      // and already certainly-prunable, so the caller's admission test
+      // makes the same decision it would have made on the full distance.
+      ++observed_exits;
+      EXPECT_LT(out[i], full) << "dim=" << dim << " i=" << i;
+      EXPECT_TRUE(ExceedsBound2(out[i], bound2));
+      EXPECT_TRUE(ExceedsBound2(full, bound2));
+    }
+    EXPECT_EQ(exits, observed_exits) << dim;
+    EXPECT_GT(exits, 0u) << dim;  // the bound above must actually bite
+    // The prune decision is identical for every point, exited or not.
+    for (size_t i = 0; i < count; ++i) {
+      const Scalar full = PointDist2(q.data(), pts.data() + i * dim, dim);
+      EXPECT_EQ(ExceedsBound2(out[i], bound2), ExceedsBound2(full, bound2));
+    }
+  }
+}
+
+TEST(PointBlockDist2BoundedTest, InfiniteBoundMatchesUnbounded) {
+  Rng rng(45);
+  const int dim = 8;
+  const size_t count = 64;
+  const auto pts = RandomBlock(&rng, dim, count);
+  const auto q = RandomBlock(&rng, dim, 1);
+  std::vector<Scalar> bounded(count), unbounded(count);
+  const size_t exits = kernels::PointBlockDist2Bounded(
+      q.data(), pts.data(), count, dim, kInf, bounded.data());
+  kernels::PointBlockDist2(q.data(), pts.data(), count, dim,
+                           unbounded.data());
+  EXPECT_EQ(exits, 0u);
+  EXPECT_EQ(bounded, unbounded);
+}
+
+TEST(PointBlockDist2BoundedTest, EmptyBlock) {
+  const Scalar q[8] = {0};
+  Scalar sentinel = -7;
+  EXPECT_EQ(kernels::PointBlockDist2Bounded(q, q, 0, 8, 1.0, &sentinel), 0u);
+  EXPECT_EQ(sentinel, -7);
+}
+
+// ---------------------------------------------------------------------------
+// RectBlockBounds2 / OwnerBlockBounds2
+// ---------------------------------------------------------------------------
+
+Rect RandomRect(Rng* rng, int dim) {
+  Rect r;
+  r.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    Scalar a = rng->NextDouble(), b = rng->NextDouble();
+    if (a > b) std::swap(a, b);
+    r.lo[d] = a;
+    r.hi[d] = b;
+  }
+  return r;
+}
+
+/// Mimics the engine's real layout: the Rect is the head of a larger
+/// record (IndexEntry), so the kernel must honor an arbitrary byte stride.
+struct PaddedRect {
+  Rect mbr;
+  char pad[24];
+};
+
+TEST(RectBlockBounds2Test, StridedBlockMatchesPerEntryMetrics) {
+  Rng rng(46);
+  for (const PruneMetric metric :
+       {PruneMetric::kMaxMaxDist, PruneMetric::kNxnDist}) {
+    for (int dim : {1, 2, 3, 7, kMaxDim}) {
+      const Rect m = RandomRect(&rng, dim);
+      std::vector<PaddedRect> entries(33);
+      for (PaddedRect& e : entries) e.mbr = RandomRect(&rng, dim);
+      std::vector<Scalar> mind2(entries.size()), maxd2(entries.size());
+      kernels::RectBlockBounds2(m, &entries[0].mbr, sizeof(PaddedRect),
+                                entries.size(), metric, mind2.data(),
+                                maxd2.data());
+      for (size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(mind2[i], MinMinDist2(m, entries[i].mbr));
+        EXPECT_EQ(maxd2[i], UpperBound2(metric, m, entries[i].mbr));
+      }
+    }
+  }
+}
+
+TEST(RectBlockBounds2Test, DegenerateRectsEqualPointDistances) {
+  // Object entries are degenerate rects (lo == hi); all rect metrics then
+  // collapse to the exact point distance — the identity the Gather stage's
+  // exact-equivalence argument rests on.
+  Rng rng(47);
+  const int dim = 3;
+  const auto qp = RandomBlock(&rng, dim, 1);
+  const auto pts = RandomBlock(&rng, dim, 16);
+  const Rect m = Rect::FromPoint(qp.data(), dim);
+  std::vector<Rect> rects(16);
+  for (size_t i = 0; i < rects.size(); ++i) {
+    rects[i] = Rect::FromPoint(pts.data() + i * dim, dim);
+  }
+  std::vector<Scalar> mind2(rects.size()), maxd2(rects.size());
+  kernels::RectBlockBounds2(m, rects.data(), sizeof(Rect), rects.size(),
+                            PruneMetric::kNxnDist, mind2.data(),
+                            maxd2.data());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    const Scalar d2 = PointDist2(qp.data(), pts.data() + i * dim, dim);
+    EXPECT_EQ(mind2[i], d2);
+    EXPECT_EQ(maxd2[i], d2);
+  }
+}
+
+TEST(OwnerBlockBounds2Test, MatchesPerOwnerMetrics) {
+  Rng rng(48);
+  for (const PruneMetric metric :
+       {PruneMetric::kMaxMaxDist, PruneMetric::kNxnDist}) {
+    const int dim = 5;
+    const Rect n = RandomRect(&rng, dim);
+    std::vector<Rect> owners(21);
+    for (Rect& o : owners) o = RandomRect(&rng, dim);
+    std::vector<Scalar> mind2(owners.size()), maxd2(owners.size());
+    kernels::OwnerBlockBounds2(owners.data(), owners.size(), n, metric,
+                               mind2.data(), maxd2.data());
+    for (size_t i = 0; i < owners.size(); ++i) {
+      EXPECT_EQ(mind2[i], MinMinDist2(owners[i], n));
+      EXPECT_EQ(maxd2[i], UpperBound2(metric, owners[i], n));
+    }
+  }
+}
+
+TEST(RectBlockBounds2Test, EmptyBlock) {
+  Rng rng(49);
+  const Rect m = RandomRect(&rng, 2);
+  Scalar sentinel_min = -7, sentinel_max = -7;
+  kernels::RectBlockBounds2(m, nullptr, sizeof(Rect), 0,
+                            PruneMetric::kNxnDist, &sentinel_min,
+                            &sentinel_max);
+  kernels::OwnerBlockBounds2(nullptr, 0, m, PruneMetric::kNxnDist,
+                             &sentinel_min, &sentinel_max);
+  EXPECT_EQ(sentinel_min, -7);
+  EXPECT_EQ(sentinel_max, -7);
+}
+
+// ---------------------------------------------------------------------------
+// BlockBest
+// ---------------------------------------------------------------------------
+
+TEST(BlockBestTest, TiesKeepTheEarliestIndex) {
+  const Scalar d2[5] = {3, 1, 1, 2, 1};
+  Scalar best = kInf;
+  size_t idx = 999;
+  EXPECT_TRUE(kernels::BlockBest(d2, 5, 100, &best, &idx));
+  EXPECT_EQ(best, 1);
+  EXPECT_EQ(idx, 101u);  // first of the tied minima
+
+  // A later block with an equal value must NOT displace the incumbent.
+  const Scalar d2b[2] = {1, 1};
+  EXPECT_FALSE(kernels::BlockBest(d2b, 2, 200, &best, &idx));
+  EXPECT_EQ(idx, 101u);
+
+  // A strict improvement does.
+  const Scalar d2c[1] = {0.5};
+  EXPECT_TRUE(kernels::BlockBest(d2c, 1, 300, &best, &idx));
+  EXPECT_EQ(best, 0.5);
+  EXPECT_EQ(idx, 300u);
+}
+
+TEST(BlockBestTest, EmptyBlockReportsNoImprovement) {
+  Scalar best = 2;
+  size_t idx = 7;
+  EXPECT_FALSE(kernels::BlockBest(nullptr, 0, 0, &best, &idx));
+  EXPECT_EQ(best, 2);
+  EXPECT_EQ(idx, 7u);
+}
+
+TEST(BlockBestTest, BlockedArgminEqualsSequentialArgmin) {
+  // The brute-force k=1 path: bounded kernel + BlockBest over odd-sized
+  // blocks must reproduce the sequential strict-< argmin exactly —
+  // same index (ties earliest) and same bitwise distance. Early-exited
+  // partials can't win: they exceed the running best by construction.
+  Rng rng(50);
+  const int dim = 8;
+  const size_t n = 1000;
+  const auto pts = RandomBlock(&rng, dim, n);
+  const auto q = RandomBlock(&rng, dim, 1);
+
+  Scalar seq_best = kInf;
+  size_t seq_idx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Scalar d2 = PointDist2(q.data(), pts.data() + i * dim, dim);
+    if (d2 < seq_best) {
+      seq_best = d2;
+      seq_idx = i;
+    }
+  }
+
+  Scalar blk_best = kInf;
+  size_t blk_idx = 0;
+  const size_t kBlock = 7;
+  std::vector<Scalar> d2(kBlock);
+  for (size_t j0 = 0; j0 < n; j0 += kBlock) {
+    const size_t count = std::min(kBlock, n - j0);
+    kernels::PointBlockDist2Bounded(q.data(), pts.data() + j0 * dim, count,
+                                    dim, blk_best, d2.data());
+    kernels::BlockBest(d2.data(), count, j0, &blk_best, &blk_idx);
+  }
+  EXPECT_EQ(blk_best, seq_best);
+  EXPECT_EQ(blk_idx, seq_idx);
+}
+
+}  // namespace
+}  // namespace ann
