@@ -3,15 +3,23 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "obs/export.h"
+#include "obs/export/trace_json.h"
+#include "obs/export/trace_summary.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace ann::bench {
 
 namespace {
 // -1 = --threads not given (fall through to ANN_THREADS, then 1).
 int g_threads_flag = -1;
+
+// Non-null while ANN_TRACE_JSON tracing is recording (started by
+// InitBenchArgs, finished by MaybeDumpStatsJson).
+std::unique_ptr<obs::TraceSession> g_trace_session;
 }  // namespace
 
 void InitBenchArgs(int argc, char** argv) {
@@ -21,6 +29,11 @@ void InitBenchArgs(int argc, char** argv) {
       g_threads_flag = std::atoi(arg + 10);
       if (g_threads_flag < 0) g_threads_flag = -1;
     }
+  }
+  if (!TraceJsonPathFromEnv().empty() && g_trace_session == nullptr) {
+    obs::SetCurrentThreadTraceName("main");
+    g_trace_session = std::make_unique<obs::TraceSession>();
+    g_trace_session->Start();
   }
 }
 
@@ -164,14 +177,49 @@ std::string StatsJsonPathFromEnv() {
   return env == nullptr ? std::string() : std::string(env);
 }
 
+std::string TraceJsonPathFromEnv() {
+  const char* env = std::getenv("ANN_TRACE_JSON");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+namespace {
+
+// Stops the ANN_TRACE_JSON session, writes the trace-event JSON, and
+// returns the per-phase summary for the stats artifact (empty string when
+// tracing is off).
+std::string MaybeFinishTrace() {
+  if (g_trace_session == nullptr) return std::string();
+  g_trace_session->Stop();
+  const obs::Trace trace = g_trace_session->TakeTrace();
+  g_trace_session.reset();
+  const std::string path = TraceJsonPathFromEnv();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ANN_TRACE_JSON: cannot open %s\n", path.c_str());
+  } else {
+    const std::string json = obs::TraceEventsJson(trace);
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu spans to %s\n", trace.spans.size(),
+                 path.c_str());
+  }
+  return obs::TraceSummaryJson(trace);
+}
+
+}  // namespace
+
 void MaybeDumpStatsJson(const std::string& bench_name) {
+  const std::string trace_summary = MaybeFinishTrace();
   const std::string path = StatsJsonPathFromEnv();
   if (path.empty()) return;
   const obs::Snapshot snap = obs::Registry::Global().TakeSnapshot();
-  const std::string json = "{\"bench\": \"" + obs::JsonEscape(bench_name) +
-                           "\", \"threads\": " +
-                           std::to_string(BenchThreads()) +
-                           ", \"obs\": " + obs::ToJson(snap) + "}";
+  std::string json = "{\"bench\": \"" + obs::JsonEscape(bench_name) +
+                     "\", \"threads\": " + std::to_string(BenchThreads()) +
+                     ", \"obs\": " + obs::ToJson(snap);
+  if (!trace_summary.empty()) {
+    json += ", \"trace_summary\": " + trace_summary;
+  }
+  json += "}";
   if (path == "-") {
     std::printf("%s\n", json.c_str());
     return;

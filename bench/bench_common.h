@@ -155,12 +155,22 @@ uint64_t FlatFilePages(size_t n, int dim);
 /// "-" for stdout, or unset (empty string) for off.
 std::string StatsJsonPathFromEnv();
 
+/// Trace destination from the ANN_TRACE_JSON env var (unset = tracing
+/// off). When set, InitBenchArgs starts a span-trace session covering the
+/// whole bench run; MaybeDumpStatsJson stops it, writes the
+/// Chrome/Perfetto trace-event JSON to this path, and folds the per-phase
+/// self-time summary into the stats artifact as "trace_summary".
+std::string TraceJsonPathFromEnv();
+
 /// Dumps the global obs registry snapshot as one JSON object
 /// `{"bench": <name>, "threads": N, "obs": {...}}` to the ANN_STATS_JSON
 /// destination
 /// (no-op when unset). Every bench calls this last, so bench artifacts
 /// carry the engine-internal counters — buffer-pool hits/misses, MBA
-/// phase timings, pruning counters — not just wall-clock numbers.
+/// phase timings, pruning counters — not just wall-clock numbers. With
+/// ANN_TRACE_JSON set, also finishes and writes the span trace (see
+/// TraceJsonPathFromEnv) and appends `"trace_summary": {...}` to the
+/// stats object.
 void MaybeDumpStatsJson(const std::string& bench_name);
 
 /// ---- table printing -------------------------------------------------

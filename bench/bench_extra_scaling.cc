@@ -9,11 +9,17 @@
 //
 // Thread counts are fixed per row (this bench ignores --threads, which
 // would make the rows meaningless).
+//
+// The gather p50/p99 columns are per-call latency percentiles of the
+// engine's Gather phase (interpolated from the mba.phase.gather latency
+// histogram), isolated per row by resetting the obs registry before each
+// run — tail latency shows contention effects wall-clock means hide.
 
 #include <cstdio>
 
 #include "bench_common.h"
 #include "datagen/gstd.h"
+#include "obs/obs.h"
 
 using namespace ann;
 using namespace ann::bench;
@@ -33,7 +39,8 @@ int main(int argc, char** argv) {
   PrintHeader("Extra: thread scaling of partition-parallel MBA",
               "ANN (k=1, NXNDIST, DF) over MBRQTs, seeded uniform data, "
               "16-stripe 512 KB pool. CPU seconds and speedup vs 1 thread.");
-  PrintColumns({"threads", "CPU(s)", "I/O(s)", "speedup"});
+  PrintColumns(
+      {"threads", "CPU(s)", "I/O(s)", "speedup", "gat p50(ms)", "gat p99(ms)"});
 
   Workspace ws(Replacement::kLru, /*pool_stripes=*/16);
   auto r_meta = ws.AddIndex(IndexKind::kMbrqt, r);
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
   double base_cpu = 0;
   for (const int threads : {1, 2, 4, 8}) {
     if (!ws.Prepare(kPool512K).ok()) return 1;
+    obs::Registry::Global().ResetAll();  // per-row latency percentiles
     AnnOptions opts;
     opts.num_threads = threads;
     std::vector<NeighborList> out;
@@ -58,7 +66,16 @@ int main(int argc, char** argv) {
     const double io_s = ws.QueryPageIos() * IoMillisFromEnv() / 1000.0;
     if (threads == 1) base_cpu = cpu_s;
     const double speedup = cpu_s > 0 ? base_cpu / cpu_s : 0;
-    PrintRow(std::to_string(threads), {cpu_s, io_s, speedup});
+    double gather_p50_ms = 0, gather_p99_ms = 0;
+    for (const obs::TimerSnapshot& t :
+         obs::Registry::Global().TakeSnapshot().timers) {
+      if (t.name == "mba.phase.gather") {
+        gather_p50_ms = t.latency.Percentile(0.5) * 1e-6;
+        gather_p99_ms = t.latency.Percentile(0.99) * 1e-6;
+      }
+    }
+    PrintRow(std::to_string(threads),
+             {cpu_s, io_s, speedup, gather_p50_ms, gather_p99_ms});
   }
   MaybeDumpStatsJson("bench_extra_scaling");
   return 0;

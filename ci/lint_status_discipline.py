@@ -32,6 +32,13 @@ Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
                      ACQUIRE[D_BEFORE/AFTER], ...). A mutex that guards
                      nothing the analysis can see is either dead or — worse
                      — its guarded fields are silently unannotated.
+  clock-discipline   std::chrono::{steady,system,high_resolution}_clock::now()
+                     is forbidden in src/** outside src/obs/: all timing in
+                     library code flows through the obs timers (ObsScope) and
+                     trace spans (ANNLIB_TRACE_SPAN), so latency accounting
+                     has one auditable clock and the tracing/stats layers
+                     cannot silently disagree with ad-hoc measurements.
+                     Bench, example and test code may read clocks directly.
   hot-loop-alloc     Inside a `// lint-hot-loop-begin` ... `// lint-hot-loop-end`
                      region (the engine's per-candidate inner loops and the
                      batched kernels), anything that can reach the allocator
@@ -104,6 +111,14 @@ BARE_CALL_TMPL = r"^\s*(?:[\w\]\[\.\>\-\:]+(?:\.|->|::))?(?:{names})\s*\("
 VOID_CAST_TMPL = r"\(void\)\s*(?:[\w\.\->:]+(?:\.|->|::))?(?:{names})\s*\("
 
 COMMENT_LINE = re.compile(r"^\s*//")
+
+# Raw clock reads in library code (clock-discipline). src/obs/ is the one
+# place allowed to touch the clock: the timers and trace spans everything
+# else is supposed to use live there.
+CLOCK_RE = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"::now\s*\(")
+CLOCK_ALLOWED_PREFIX = os.path.join("src", "obs") + os.sep
 
 # Hot-loop regions: allocation-free by contract (DESIGN.md §10).
 HOT_LOOP_MARK = re.compile(r"//\s*lint-hot-loop-(begin|end)\b")
@@ -270,6 +285,10 @@ def main():
 
             if in_library and not is_mutex_wrapper and RAW_SYNC_RE.search(code):
                 report(path, lineno, "raw-sync-primitive", raw)
+
+            if in_library and not rel.startswith(CLOCK_ALLOWED_PREFIX) \
+                    and CLOCK_RE.search(code):
+                report(path, lineno, "clock-discipline", raw)
 
             if re.search(r"\bnew\s+[A-Za-z_(]", code) and not re.search(
                 r"make_unique|make_shared|unique_ptr|shared_ptr|placement",

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Structural validator for annlib trace-event JSON (PR 6).
+
+Checks that a file produced by obs::TraceEventsJson (ann_tool --trace=...
+or ANN_TRACE_JSON=...) is a well-formed Chrome/Perfetto trace whose span
+graph is internally consistent:
+
+  schema        top level is {"displayTimeUnit": "ns", "traceEvents": [...]};
+                every event is ph "M" (metadata) or "X" (complete span);
+                X events carry name/cat/pid/tid/ts/dur and an args object
+                with integer span_id >= 1 and parent_id >= 0.
+  ids           span_ids are unique; every non-zero parent_id resolves to
+                an existing span; parent chains are acyclic.
+  lanes         every tid used by an X event has a thread_name metadata
+                event; per tid, events appear in the file in non-decreasing
+                ts order (the exporter's documented sort).
+  nesting       per tid, span intervals nest: each span is either disjoint
+                from or fully contained in the spans on the open stack
+                (balanced nesting — overlap without containment is a bug in
+                span scoping).
+  attribution   when a root span (default category.name "mba.query", see
+                --root) is present: the self-times of the root's same-lane
+                subtree sum to the root's duration within --tolerance
+                (default 5%). This is the latency-attribution identity from
+                obs/export/trace_summary.h: with the merge wait recorded as
+                its own span, per-lane self-times telescope exactly, so a
+                big miss means a phase span leaks or overlaps.
+  stats         with --stats STATS.json: the artifact's trace_summary
+                agrees with the trace (span count matches, phase counts sum
+                to the span count).
+
+Usage:
+  ci/validate_trace.py TRACE.json [--root mba.query] [--require-root]
+                       [--tolerance 0.05] [--stats STATS.json]
+
+Exit status: 0 valid, 1 violations found (each printed with context).
+"""
+
+import argparse
+import json
+import sys
+
+# ts/dur are decimal microseconds with exactly three digits (nanosecond
+# resolution); half a nanosecond absorbs float parsing noise.
+EPS_US = 0.0005
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", help="trace-event JSON file to validate")
+    ap.add_argument("--root", default="mba.query",
+                    help="category.name of the per-query root span")
+    ap.add_argument("--require-root", action="store_true",
+                    help="fail if no root span is present in the trace")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative error allowed by the attribution check")
+    ap.add_argument("--stats", default=None,
+                    help="ANN_STATS_JSON artifact to cross-check")
+    args = ap.parse_args()
+
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"validate_trace: cannot load {args.trace}: {e}")
+
+    # ---- schema ----------------------------------------------------------
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        sys.exit("validate_trace: top level must be an object with"
+                 " 'traceEvents'")
+    if doc.get("displayTimeUnit") != "ns":
+        err("displayTimeUnit is not 'ns'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        sys.exit("validate_trace: 'traceEvents' must be a list")
+
+    spans = []        # (index, event) for ph == "X"
+    named_tids = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            err(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add(ev.get("tid"))
+            continue
+        if ph != "X":
+            err(f"{where}: unexpected ph {ph!r} (only M and X are emitted)")
+            continue
+        for key, typ in (("name", str), ("cat", str), ("pid", int),
+                         ("tid", int), ("ts", (int, float)),
+                         ("dur", (int, float)), ("args", dict)):
+            if not isinstance(ev.get(key), typ):
+                err(f"{where}: missing or mistyped {key!r}")
+                break
+        else:
+            a = ev["args"]
+            if not isinstance(a.get("span_id"), int) or a["span_id"] < 1:
+                err(f"{where}: args.span_id must be an integer >= 1")
+            elif not isinstance(a.get("parent_id"), int) or a["parent_id"] < 0:
+                err(f"{where}: args.parent_id must be an integer >= 0")
+            elif ev["dur"] < 0:
+                err(f"{where}: negative dur")
+            else:
+                spans.append((i, ev))
+
+    # ---- ids -------------------------------------------------------------
+    by_id = {}
+    for i, ev in spans:
+        sid = ev["args"]["span_id"]
+        if sid in by_id:
+            err(f"traceEvents[{i}]: duplicate span_id {sid}")
+        else:
+            by_id[sid] = ev
+    for i, ev in spans:
+        pid = ev["args"]["parent_id"]
+        if pid != 0 and pid not in by_id:
+            err(f"traceEvents[{i}]: parent_id {pid} does not resolve")
+        if pid == ev["args"]["span_id"]:
+            err(f"traceEvents[{i}]: span is its own parent")
+    # Acyclic parent chains (ids are unique by construction above).
+    for sid, ev in by_id.items():
+        seen = set()
+        cur = sid
+        while cur != 0:
+            if cur in seen:
+                err(f"span {sid}: parent chain contains a cycle at {cur}")
+                break
+            seen.add(cur)
+            nxt = by_id.get(cur)
+            cur = nxt["args"]["parent_id"] if nxt is not None else 0
+
+    # ---- lanes: metadata coverage and per-tid monotone ts ----------------
+    last_ts = {}
+    for i, ev in spans:
+        tid = ev["tid"]
+        if tid not in named_tids:
+            err(f"traceEvents[{i}]: tid {tid} has no thread_name metadata")
+            named_tids.add(tid)  # report once per tid
+        if tid in last_ts and ev["ts"] < last_ts[tid] - EPS_US:
+            err(f"traceEvents[{i}]: ts {ev['ts']} out of order on tid {tid}"
+                f" (previous {last_ts[tid]})")
+        last_ts[tid] = max(last_ts.get(tid, ev["ts"]), ev["ts"])
+
+    # ---- nesting + per-span same-lane self time --------------------------
+    # One stack walk per tid over file order (= start order, longer-first
+    # on ties). self[sid] = dur minus same-lane direct children; under[sid]
+    # = ids of same-lane spans whose innermost open ancestor is sid.
+    self_us = {}
+    stack_parent = {}  # sid -> innermost same-lane ancestor sid (or None)
+    stacks = {}        # tid -> list of (end_ts, sid)
+    for i, ev in spans:
+        tid, ts, dur = ev["tid"], ev["ts"], ev["dur"]
+        sid = ev["args"]["span_id"]
+        end = ts + dur
+        stack = stacks.setdefault(tid, [])
+        while stack and stack[-1][0] <= ts + EPS_US:
+            stack.pop()
+        if stack:
+            parent_end, parent_sid = stack[-1]
+            if end > parent_end + EPS_US:
+                err(f"traceEvents[{i}]: span {sid} [{ts}, {end}] overlaps"
+                    f" but is not contained in open span {parent_sid}"
+                    f" (ends {parent_end}) on tid {tid}")
+            self_us[parent_sid] -= dur
+            stack_parent[sid] = parent_sid
+        else:
+            stack_parent[sid] = None
+        self_us[sid] = dur
+        stack.append((end, sid))
+
+    # ---- attribution: root subtree self-times == root duration -----------
+    roots = [ev for _, ev in spans
+             if f"{ev['cat']}.{ev['name']}" == args.root]
+    if args.require_root and not roots:
+        err(f"no {args.root!r} root span found (--require-root)")
+    for root in roots:
+        rid = root["args"]["span_id"]
+        # Same-lane subtree: follow stack parents up to the root.
+        total_self = 0.0
+        members = 0
+        for sid in self_us:
+            cur = sid
+            while cur is not None and cur != rid:
+                cur = stack_parent.get(cur)
+            if cur == rid:
+                total_self += self_us[sid]
+                members += 1
+        dur = root["dur"]
+        if dur <= 0:
+            err(f"root span {rid}: non-positive duration {dur}")
+            continue
+        rel = abs(total_self - dur) / dur
+        print(f"validate_trace: root span {rid} ({args.root}): dur"
+              f" {dur:.3f} us, subtree self-time {total_self:.3f} us over"
+              f" {members} spans (rel err {rel:.4f})")
+        if rel > args.tolerance:
+            err(f"root span {rid}: subtree self-times sum to"
+                f" {total_self:.3f} us but the root lasted {dur:.3f} us"
+                f" ({rel:.1%} > {args.tolerance:.1%}): a phase span leaks"
+                f" or overlaps")
+
+    # ---- optional stats artifact cross-check -----------------------------
+    if args.stats is not None:
+        try:
+            with open(args.stats, encoding="utf-8") as f:
+                stats = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"validate_trace: cannot load {args.stats}: {e}")
+        summary = stats.get("trace_summary")
+        if summary is None:
+            err(f"{args.stats}: no trace_summary object")
+        else:
+            if summary.get("spans") != len(spans):
+                err(f"{args.stats}: trace_summary.spans ="
+                    f" {summary.get('spans')} but the trace has"
+                    f" {len(spans)} X events")
+            phase_count = sum(p.get("count", 0)
+                              for p in summary.get("phases", {}).values())
+            if phase_count != len(spans):
+                err(f"{args.stats}: phase counts sum to {phase_count},"
+                    f" expected {len(spans)}")
+
+    if errors:
+        print(f"validate_trace: {len(errors)} violation(s) in {args.trace}")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print(f"validate_trace: {args.trace} OK ({len(spans)} spans,"
+          f" {len(named_tids)} lanes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,9 @@
 // writes the AkNN result as CSV; with a cache path the indexes persist in
 // an IndexFile and later runs skip the build.
 //
-//   ann_tool [--stats-json[=PATH]] [--threads=N] <queries.csv>
-//            <targets.csv> [k] [output.csv] [cache.ann]
+//   ann_tool [--stats-json[=PATH]] [--trace=PATH] [--slow-ms=N]
+//            [--threads=N] <queries.csv> <targets.csv> [k] [output.csv]
+//            [cache.ann]
 //
 // Input rows are comma-separated coordinates (one point per line, same
 // column count everywhere; a non-numeric first line is skipped as a
@@ -20,6 +21,14 @@
 // "-". Invoked with no input files, --stats-json runs a built-in seeded
 // demo workload through the disk-resident engine so the emitted counters
 // exercise every layer.
+//
+// --trace=PATH records a structured span trace of the run and writes it
+// as Chrome trace-event JSON — load PATH in ui.perfetto.dev (or
+// chrome://tracing) to see the query as a per-thread flame chart. The
+// slow-op log (the slowest spans per category) prints to stderr on exit,
+// and a per-phase self-time summary is folded into the --stats-json
+// artifact under "trace_summary". --slow-ms=N additionally flags every
+// span of at least N milliseconds as a threshold breach.
 
 #include <cctype>
 #include <cstdio>
@@ -38,7 +47,10 @@
 #include "index/mbrqt/mbrqt.h"
 #include "index/paged_index_view.h"
 #include "obs/export.h"
+#include "obs/export/trace_json.h"
+#include "obs/export/trace_summary.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/node_store.h"
@@ -145,10 +157,19 @@ ann::Status RunQuery(const ann::Dataset& queries, const ann::Dataset& targets,
 }
 
 // Writes the global obs snapshot as one JSON object to `path` ("-" =
-// stdout).
-ann::Status DumpStatsJson(const std::string& path) {
-  const std::string json =
+// stdout). When `trace_summary` is non-empty it is spliced in as one
+// extra top-level key, so the stats artifact carries the per-phase
+// self-times alongside the registry counters.
+ann::Status DumpStatsJson(const std::string& path,
+                          const std::string& trace_summary = "") {
+  std::string json =
       ann::obs::ToJson(ann::obs::Registry::Global().TakeSnapshot());
+  if (!trace_summary.empty()) {
+    json.pop_back();  // ToJson always ends with the closing '}'
+    json += ", \"trace_summary\": ";
+    json += trace_summary;
+    json += "}";
+  }
   if (path == "-") {
     std::printf("%s\n", json.c_str());
     return ann::Status::OK();
@@ -204,10 +225,46 @@ ann::Status RunStatsDemo() {
   return ann::Status::OK();
 }
 
+// Stops the trace session, writes the Chrome/Perfetto trace-event JSON to
+// `path`, prints the slow-op log (and any --slow-ms breaches) to stderr,
+// and returns the per-phase self-time summary for the stats artifact.
+std::string FinishTrace(ann::obs::TraceSession* session,
+                        const std::string& path) {
+  session->Stop();
+  const ann::obs::Trace trace = session->TakeTrace();
+  const std::string json = ann::obs::TraceEventsJson(trace);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+  } else {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "wrote %zu spans to %s (load in ui.perfetto.dev)\n",
+                 trace.spans.size(), path.c_str());
+    if (trace.dropped > 0) {
+      std::fprintf(stderr, "trace buffer full: %llu spans dropped\n",
+                   (unsigned long long)trace.dropped);
+    }
+  }
+  const std::vector<ann::obs::SpanRecord> breaches =
+      session->ThresholdBreaches();
+  if (!breaches.empty()) {
+    std::fprintf(stderr, "%zu spans breached the --slow-ms threshold\n",
+                 breaches.size());
+  }
+  const std::string slow =
+      ann::obs::SlowOpLogToText(ann::obs::BuildSlowOpLog(trace));
+  if (!slow.empty()) std::fprintf(stderr, "%s", slow.c_str());
+  return ann::obs::TraceSummaryJson(trace);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string stats_json_path;  // empty = off, "-" = stdout
+  std::string trace_path;       // empty = tracing off
+  double slow_ms = 0;
   int num_threads = 1;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -216,6 +273,10 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
       stats_json_path = argv[i] + 13;
       if (stats_json_path.empty()) stats_json_path = "-";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
+      slow_ms = std::atof(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = std::atoi(argv[i] + 10);
       if (num_threads < 0) num_threads = 1;
@@ -224,6 +285,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  ann::obs::SetCurrentThreadTraceName("main");
+  std::unique_ptr<ann::obs::TraceSession> trace_session;
+  if (!trace_path.empty()) {
+    ann::obs::TraceSession::Options topt;
+    if (slow_ms > 0) {
+      topt.slow_op_ns = static_cast<uint64_t>(slow_ms * 1e6);
+    }
+    trace_session = std::make_unique<ann::obs::TraceSession>(topt);
+    trace_session->Start();
+  }
+  std::string trace_summary;
+
   if (args.size() < 2 && !stats_json_path.empty()) {
     // No input files: run the built-in demo workload and dump the stats.
     const ann::Status st = RunStatsDemo();
@@ -231,7 +304,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "demo failed: %s\n", st.ToString().c_str());
       return 1;
     }
-    const ann::Status ds = DumpStatsJson(stats_json_path);
+    if (trace_session != nullptr) {
+      trace_summary = FinishTrace(trace_session.get(), trace_path);
+    }
+    const ann::Status ds = DumpStatsJson(stats_json_path, trace_summary);
     if (!ds.ok()) {
       std::fprintf(stderr, "%s\n", ds.ToString().c_str());
       return 1;
@@ -241,7 +317,8 @@ int main(int argc, char** argv) {
 
   if (args.size() < 2) {
     std::fprintf(stderr,
-                 "usage: %s [--stats-json[=PATH]] [--threads=N] "
+                 "usage: %s [--stats-json[=PATH]] [--trace=PATH] "
+                 "[--slow-ms=N] [--threads=N] "
                  "<queries.csv> <targets.csv> [k] [output.csv] [cache.ann]\n"
                  "       %s --stats-json   (built-in demo workload)\n",
                  argv[0], argv[0]);
@@ -296,8 +373,11 @@ int main(int argc, char** argv) {
   if (out_path) std::fclose(out);
   std::fprintf(stderr, "wrote %zu result lists\n", results.size());
 
+  if (trace_session != nullptr) {
+    trace_summary = FinishTrace(trace_session.get(), trace_path);
+  }
   if (!stats_json_path.empty()) {
-    const ann::Status ds = DumpStatsJson(stats_json_path);
+    const ann::Status ds = DumpStatsJson(stats_json_path, trace_summary);
     if (!ds.ok()) {
       std::fprintf(stderr, "%s\n", ds.ToString().c_str());
       return 1;

@@ -6,6 +6,7 @@
 #include "check/check.h"
 #include "check/invariants.h"
 #include "metrics/kernels.h"
+#include "obs/trace.h"
 
 namespace ann {
 
@@ -117,8 +118,13 @@ Status EngineContext::Drain() {
 }
 
 Status EngineContext::RunTask(std::unique_ptr<Lpq> seed) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "mba", "task");
   worklist_.PushBack(std::move(seed));
-  return Drain();
+  const Status st = Drain();
+  span.AddArg("s_nodes_expanded", stats_.s_nodes_expanded);
+  span.AddArg("distance_evals", stats_.distance_evals);
+  span.AddArg("enqueued", stats_.enqueued);
+  return st;
 }
 
 Status EngineContext::ExpandNodeLpq(std::unique_ptr<Lpq> lpq) {
@@ -138,8 +144,10 @@ Status EngineContext::Gather(Lpq* lpq) {
     ANN_RETURN_NOT_OK(CheckLpqInvariants(*lpq));
   }
   obs::ObsScope phase(&obs_.gather);
+  ANNLIB_TRACE_SPAN_NAMED(span, "mba", "gather");
   obs_.lpq_depth.Record(static_cast<double>(lpq->size()));
   const uint64_t evals_before = stats_.distance_evals;
+  const uint64_t s_before = stats_.s_nodes_expanded;
   const int dim = is_.dim();
   // Best-first kNN completion for a single query object: entries pop in
   // MIND order, so the first k objects popped are the k nearest.
@@ -171,6 +179,9 @@ Status EngineContext::Gather(Lpq* lpq) {
       // tighten — so results, bound evolution and every PruneStats
       // counter are identical to the per-entry path this replaces.
       const size_t count = leaf_block_.size();
+      ANNLIB_TRACE_SPAN_NAMED(bulk_span, "lpq", "bulk_admit");
+      bulk_span.AddArg("points", count);
+      const uint64_t enqueued_before = stats_.enqueued;
       EnsureDistCapacity(count);
       stats_.distance_evals += count;
       ++kernel_stats_.batches;
@@ -185,6 +196,7 @@ Status EngineContext::Gather(Lpq* lpq) {
                            mind2_[i], child_level, &stats_);
       }
       // lint-hot-loop-end
+      bulk_span.AddArg("enqueued", stats_.enqueued - enqueued_before);
     } else if (!scratch_.empty()) {
       // Internal children: batch the MIND/MAXD pairs over the entry
       // block (strided — the MBR is the first member of IndexEntry),
@@ -207,12 +219,16 @@ Status EngineContext::Gather(Lpq* lpq) {
   }
   obs_.query_evals.Record(
       static_cast<double>(stats_.distance_evals - evals_before));
+  span.AddArg("s_nodes_expanded", stats_.s_nodes_expanded - s_before);
+  span.AddArg("distance_evals", stats_.distance_evals - evals_before);
+  span.Stop();  // mirror phase.Stop(): the sink is the caller's time
   phase.Stop();  // the sink is the caller's code, not Gather time
   return sink_(std::move(result));
 }
 
 Status EngineContext::Expand(Lpq* lpq) {
   obs::ObsScope phase(&obs_.expand);
+  ANNLIB_TRACE_SPAN_NAMED(span, "mba", "expand");
   // Expand the owner (IR side): each child gets a fresh LPQ seeded with
   // the parent bound (sound by Lemma 3.2).
   ++stats_.r_nodes_expanded;
@@ -232,6 +248,7 @@ Status EngineContext::Expand(Lpq* lpq) {
     ++stats_.lpqs_created;
   }
   const size_t nc = child_lpqs_.size();
+  span.AddArg("children", nc);
   EnsureDistCapacity(nc);
 
   // When the owner is a leaf, its children are objects: expanding the
@@ -251,6 +268,7 @@ Status EngineContext::Expand(Lpq* lpq) {
   // observable. Timed as its own nested phase so Expand time can be
   // split into structure descent vs. candidate filtering.
   obs::ObsScope filter_phase(&obs_.filter);
+  ANNLIB_TRACE_SPAN_NAMED(filter_span, "mba", "filter");
   LpqEntry n;
   while (lpq->Dequeue(&n)) {
     // An IS entry can only matter if its MIND beats some child's bound.
@@ -328,6 +346,7 @@ Status EngineContext::Expand(Lpq* lpq) {
       }
     }
   }
+  filter_span.Stop();
   filter_phase.Stop();
 
   if (options_.paranoid_checks) {

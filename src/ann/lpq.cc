@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "check/check.h"
+#include "obs/trace.h"
 
 namespace ann {
 
@@ -186,6 +187,10 @@ bool Lpq::Dequeue(LpqEntry* out) {
   ++head_;
   // Reclaim the dead prefix once it dominates the buffer.
   if (head_ > 64 && head_ * 2 > order_.size()) {
+    // Cold branch (amortized O(1) per dequeue), so a span here cannot
+    // flood the trace the way per-entry instrumentation would.
+    ANNLIB_TRACE_SPAN_NAMED(span, "lpq", "compact");
+    span.AddArg("reclaimed", head_);
     order_.erase(order_.begin(), order_.begin() + head_);
     head_ = 0;
   }

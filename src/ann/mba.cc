@@ -13,6 +13,7 @@
 #include "check/invariants.h"
 #include "common/thread_pool.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace ann {
 
@@ -51,6 +52,7 @@ void FoldKernelStats(const KernelStats& d) {
 Status RunSequential(const SpatialIndex& ir, const SpatialIndex& is,
                      const AnnOptions& options, const AnnResultSink& sink,
                      PruneStats* stats) {
+  ANNLIB_TRACE_SPAN("mba", "drain");
   EngineContext ctx(ir, is, options, sink);
   ctx.SeedRoot();
   const Status st = ctx.Drain();
@@ -152,6 +154,13 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
   }
 
   if (overall.ok()) {
+    // One span for the whole submit+merge+join window: the pool's
+    // destructor (the join point) runs inside this scope, so the span's
+    // duration is the query's full parallel section, and everything the
+    // workers record parents under the enclosing "mba.query" span via
+    // the context Submit captures.
+    ANNLIB_TRACE_SPAN_NAMED(merge_span, "mba", "merge");
+    merge_span.AddArg("tasks", tasks.size());
     ThreadPool pool(std::min(num_threads, tasks.size()));
     for (ParallelTask& t : tasks) {
       pool.Submit([&t] {
@@ -225,6 +234,10 @@ Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
   PruneStats local;
   PruneStats* s = stats ? stats : &local;
   const size_t num_threads = ResolveThreadCount(options.num_threads);
+  ANNLIB_TRACE_SPAN_NAMED(query_span, "mba", "query");
+  query_span.AddArg("k", static_cast<uint64_t>(options.k));
+  query_span.AddArg("r_objects", ir.num_objects());
+  query_span.AddArg("threads", num_threads);
   if (num_threads <= 1 || ir.num_objects() < kMinParallelObjects) {
     return RunSequential(ir, is, options, sink, s);
   }

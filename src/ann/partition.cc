@@ -2,10 +2,13 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace ann {
 
 Status BuildPartitionPlan(EngineContext* ctx, size_t target_tasks,
                           PartitionPlan* out) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "mba", "plan");
   ctx->SeedRoot();
   LpqWorklist& worklist = ctx->worklist();
   while (worklist.Size() < target_tasks) {
@@ -16,6 +19,7 @@ Status BuildPartitionPlan(EngineContext* ctx, size_t target_tasks,
     ANN_RETURN_NOT_OK(ctx->ExpandNodeLpq(std::move(lpq)));
   }
   worklist.DrainTo(&out->tasks);
+  span.AddArg("tasks", out->tasks.size());
   return Status::OK();
 }
 

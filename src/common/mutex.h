@@ -120,6 +120,11 @@ inline constexpr int kMutexRankDiskManager = 30;
 /// obs::Registry map latch — a leaf: registration and snapshots never
 /// call back into locked annlib code.
 inline constexpr int kMutexRankObsRegistry = 40;
+/// obs::TraceSession cold-path latch (thread-lane registration and the
+/// slow-op ring). Spans close inside storage code that may still hold a
+/// stripe or disk-manager latch, so the trace latch ranks after both; it
+/// is a leaf like the registry latch.
+inline constexpr int kMutexRankObsTrace = 50;
 
 class CondVar;
 

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "check/check.h"
 
@@ -17,7 +18,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::SetCurrentThreadTraceName("pool-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -32,10 +36,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   ANNLIB_DCHECK(task);
+  // Capture before taking mu_: the context read touches only TLS and one
+  // atomic, but keeping it outside keeps the critical section minimal.
+  Task item{std::move(task), obs::CaptureTraceContext()};
   {
     MutexLock lock(&mu_);
     ANNLIB_DCHECK(!shutting_down_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(item));
   }
   work_available_.Signal();
 }
@@ -49,7 +56,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       MutexLock lock(&mu_);
       while (queue_.empty() && !shutting_down_) work_available_.Wait(&mu_);
@@ -58,7 +65,13 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    {
+      // Re-root this worker under the submitter's current span, so the
+      // task span (and everything it opens) joins the query's tree.
+      obs::ScopedTraceContext trace_ctx(task.trace);
+      ANNLIB_TRACE_SPAN("threadpool", "task");
+      task.fn();
+    }
     {
       MutexLock lock(&mu_);
       --in_flight_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "obs/trace.h"
 
 namespace ann {
 
@@ -23,6 +24,12 @@ size_t ResolveThreadCount(int num_threads);
 /// merging anyway), so tasks here are plain `void()` closures. The
 /// destructor waits for every submitted task to finish, which doubles as
 /// the runner's join point.
+///
+/// Tracing: Submit captures the submitting thread's trace context and the
+/// worker re-installs it around the task, so spans a task opens parent
+/// under the span that was current at submit time — a partition-parallel
+/// query renders as one tree in the exported trace. When no trace session
+/// is active the capture is a single atomic load.
 ///
 /// Lock discipline: `mu_` (rank kMutexRankThreadPool) guards the queue
 /// and both wait predicates; it is never held while a task runs, so tasks
@@ -47,12 +54,18 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
+  /// A queued closure plus the trace context captured at Submit time.
+  struct Task {
+    std::function<void()> fn;
+    obs::TraceContext trace;
+  };
+
   void WorkerLoop() ANNLIB_EXCLUDES(mu_);
 
   Mutex mu_{"threadpool.queue", kMutexRankThreadPool};
   CondVar work_available_;
   CondVar all_idle_;
-  std::deque<std::function<void()>> queue_ ANNLIB_GUARDED_BY(mu_);
+  std::deque<Task> queue_ ANNLIB_GUARDED_BY(mu_);
   // Tasks popped but not yet finished; the Wait/shutdown predicates read
   // it together with queue_ under mu_.
   size_t in_flight_ ANNLIB_GUARDED_BY(mu_) = 0;

@@ -6,11 +6,6 @@
 
 namespace ann::obs {
 
-namespace {
-
-/// Shortest decimal that round-trips a double; JSON has no inf/nan, so
-/// those render as very large sentinels (never produced by snapshots —
-/// min/max are zeroed for empty histograms).
 void AppendDouble(std::string* out, double v) {
   if (!std::isfinite(v)) {
     out->append(v > 0 ? "1e308" : "-1e308");
@@ -24,6 +19,8 @@ void AppendDouble(std::string* out, double v) {
   if (parsed != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
   out->append(buf);
 }
+
+namespace {
 
 void AppendUint(std::string* out, uint64_t v) {
   char buf[24];
@@ -131,6 +128,12 @@ std::string ToJson(const Snapshot& snapshot) {
     AppendDouble(&out, h.min);
     out.append(", \"max\": ");
     AppendDouble(&out, h.max);
+    out.append(", \"p50\": ");
+    AppendDouble(&out, h.Percentile(0.5));
+    out.append(", \"p90\": ");
+    AppendDouble(&out, h.Percentile(0.9));
+    out.append(", \"p99\": ");
+    AppendDouble(&out, h.Percentile(0.99));
     out.append(", \"bounds\": ");
     AppendDoubleArray(&out, h.bounds);
     out.append(", \"buckets\": ");
@@ -146,6 +149,16 @@ std::string ToJson(const Snapshot& snapshot) {
     AppendUint(&out, t.calls);
     out.append(", \"total_ms\": ");
     AppendDouble(&out, static_cast<double>(t.total_ns) * 1e-6);
+    out.append(", \"mean_ms\": ");
+    AppendDouble(&out, t.calls > 0 ? static_cast<double>(t.total_ns) * 1e-6 /
+                                         static_cast<double>(t.calls)
+                                   : 0.0);
+    out.append(", \"p50_ms\": ");
+    AppendDouble(&out, t.latency.Percentile(0.5) * 1e-6);
+    out.append(", \"p90_ms\": ");
+    AppendDouble(&out, t.latency.Percentile(0.9) * 1e-6);
+    out.append(", \"p99_ms\": ");
+    AppendDouble(&out, t.latency.Percentile(0.99) * 1e-6);
     out.append(", \"latency_bounds_ns\": ");
     AppendDoubleArray(&out, t.latency.bounds);
     out.append(", \"latency_buckets\": ");
@@ -178,9 +191,11 @@ std::string ToText(const Snapshot& snapshot) {
   if (!snapshot.histograms.empty()) {
     out.append("histograms:\n");
     for (const HistogramSnapshot& h : snapshot.histograms) {
-      std::snprintf(buf, sizeof(buf),
-                    "  %-40s count=%" PRIu64 " sum=%g min=%g max=%g\n",
-                    h.name.c_str(), h.count, h.sum, h.min, h.max);
+      std::snprintf(
+          buf, sizeof(buf),
+          "  %-40s count=%" PRIu64 " sum=%g min=%g max=%g p50=%g p99=%g\n",
+          h.name.c_str(), h.count, h.sum, h.min, h.max, h.Percentile(0.5),
+          h.Percentile(0.99));
       out.append(buf);
       for (size_t i = 0; i < h.buckets.size(); ++i) {
         if (h.buckets[i] == 0) continue;
@@ -198,10 +213,11 @@ std::string ToText(const Snapshot& snapshot) {
   if (!snapshot.timers.empty()) {
     out.append("timers:\n");
     for (const TimerSnapshot& t : snapshot.timers) {
+      const double total_ms = static_cast<double>(t.total_ns) * 1e-6;
       std::snprintf(buf, sizeof(buf),
-                    "  %-40s calls=%" PRIu64 " total=%.3f ms\n",
-                    t.name.c_str(), t.calls,
-                    static_cast<double>(t.total_ns) * 1e-6);
+                    "  %-40s calls=%" PRIu64 " total=%.3f ms mean=%.3f ms\n",
+                    t.name.c_str(), t.calls, total_ms,
+                    t.calls > 0 ? total_ms / static_cast<double>(t.calls) : 0.0);
       out.append(buf);
     }
   }

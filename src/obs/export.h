@@ -17,15 +17,26 @@ namespace ann::obs {
 /// as \uXXXX). Exposed for the exporter tests.
 std::string JsonEscape(std::string_view s);
 
+/// Appends the shortest decimal that parses back to exactly `v` (JSON has
+/// no inf/nan, so non-finite values render as ±1e308 sentinels). Shared
+/// by every JSON renderer in obs (snapshots, trace summaries).
+void AppendDouble(std::string* out, double v);
+
 /// Renders the snapshot as a single JSON object:
 ///
 ///   {"counters": {"name": n, ...},
 ///    "gauges": {"name": n, ...},
 ///    "histograms": {"name": {"count": n, "sum": x, "min": x, "max": x,
+///                            "p50": x, "p90": x, "p99": x,
 ///                            "bounds": [...], "buckets": [...]}, ...},
-///    "timers": {"name": {"calls": n, "total_ms": x,
+///    "timers": {"name": {"calls": n, "total_ms": x, "mean_ms": x,
+///                        "p50_ms": x, "p90_ms": x, "p99_ms": x,
 ///                        "latency_bounds_ns": [...],
 ///                        "latency_buckets": [...]}, ...}}
+///
+/// Percentiles are interpolated from the bucket bounds (see
+/// HistogramSnapshot::Percentile); timer percentiles convert the
+/// nanosecond latency histogram to milliseconds.
 ///
 /// Keys are sorted (snapshots are name-sorted), numbers use shortest
 /// round-trip formatting, output has no trailing newline — suitable for

@@ -1,0 +1,85 @@
+#include "obs/export/trace_json.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace ann::obs {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+/// Nanoseconds rendered as decimal microseconds (the trace-event time
+/// unit) without going through floating point, so timestamps stay exact
+/// and per-lane monotonicity survives the serialization.
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string TraceEventsJson(const Trace& trace) {
+  // One resorted copy: TakeTrace already orders this way, but exporters
+  // must not rely on hand-built traces (tests) being pre-sorted.
+  std::vector<SpanRecord> spans = trace.spans;
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.id < b.id;
+            });
+
+  std::string out;
+  out.reserve(128 + spans.size() * 160);
+  out.append("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+  out.append(
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"args\": {\"name\": \"annlib\"}}");
+  for (size_t i = 0; i < trace.lanes.size(); ++i) {
+    out.append(
+        ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": ");
+    AppendU64(&out, i);
+    out.append(", \"args\": {\"name\": \"");
+    out.append(JsonEscape(trace.lanes[i]));
+    out.append("\"}}");
+  }
+  for (const SpanRecord& s : spans) {
+    out.append(",\n{\"name\": \"");
+    out.append(JsonEscape(s.name));
+    out.append("\", \"cat\": \"");
+    out.append(JsonEscape(s.category));
+    out.append("\", \"ph\": \"X\", \"pid\": 1, \"tid\": ");
+    AppendU64(&out, s.lane);
+    out.append(", \"ts\": ");
+    AppendMicros(&out, s.start_ns);
+    out.append(", \"dur\": ");
+    AppendMicros(&out, s.dur_ns);
+    out.append(", \"args\": {\"span_id\": ");
+    AppendU64(&out, s.id);
+    out.append(", \"parent_id\": ");
+    AppendU64(&out, s.parent);
+    for (uint32_t a = 0; a < s.num_args && a < kMaxSpanArgs; ++a) {
+      out.append(", \"");
+      out.append(JsonEscape(s.args[a].key));
+      out.append("\": ");
+      AppendU64(&out, s.args[a].value);
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace ann::obs

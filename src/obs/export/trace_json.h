@@ -1,0 +1,35 @@
+#ifndef ANNLIB_OBS_EXPORT_TRACE_JSON_H_
+#define ANNLIB_OBS_EXPORT_TRACE_JSON_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace ann::obs {
+
+/// \file
+/// Chrome trace-event renderer for Trace (the format ui.perfetto.dev and
+/// chrome://tracing load natively). Pure function of the Trace, so it
+/// works identically in the ANNLIB_OBS_DISABLED build (on the empty
+/// trace that build produces).
+
+/// Renders `trace` as a JSON Trace Event object:
+///
+///   {"displayTimeUnit": "ns",
+///    "traceEvents": [
+///      {"name": "process_name", "ph": "M", ...},
+///      {"name": "thread_name", "ph": "M", "tid": <lane>, ...},
+///      {"name": "gather", "cat": "mba", "ph": "X", "pid": 1,
+///       "tid": <lane>, "ts": <us>, "dur": <us>,
+///       "args": {"span_id": n, "parent_id": n, <span args>...}}, ...]}
+///
+/// Every span becomes one complete ("X") event; ts/dur are microseconds
+/// with nanosecond decimals. Events are ordered by (lane, start,
+/// longer-first), so per-lane timestamps are monotone and a parent
+/// always precedes its same-lane children — properties
+/// ci/validate_trace.py checks on emitted files.
+std::string TraceEventsJson(const Trace& trace);
+
+}  // namespace ann::obs
+
+#endif  // ANNLIB_OBS_EXPORT_TRACE_JSON_H_

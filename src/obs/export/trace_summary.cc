@@ -1,0 +1,161 @@
+#include "obs/export/trace_summary.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "obs/export.h"
+
+namespace ann::obs {
+
+namespace {
+
+std::string PhaseKey(const SpanRecord& s) {
+  std::string key = s.category;
+  key += '.';
+  key += s.name;
+  return key;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+struct PhaseAccum {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  int64_t self_ns = 0;  ///< signed while accumulating, clamped on output
+};
+
+}  // namespace
+
+std::vector<PhaseSelfTime> SummarizeSelfTimes(const Trace& trace) {
+  // Sort a copy so hand-built traces (tests) need no particular order:
+  // lane, then start ascending, then longer-first. Within one lane that
+  // puts every span after its enclosing spans, so a stack walk can
+  // subtract each span's duration from its innermost same-lane ancestor.
+  std::vector<SpanRecord> spans = trace.spans;
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.id < b.id;
+            });
+
+  std::map<std::string, PhaseAccum> phases;
+  // Per-lane stack of open intervals: (end_ns, phase key). Rebuilt at
+  // each lane boundary.
+  std::vector<std::pair<uint64_t, std::string>> stack;
+  uint32_t lane = 0;
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (first || s.lane != lane) {
+      stack.clear();
+      lane = s.lane;
+      first = false;
+    }
+    const uint64_t end = s.start_ns + s.dur_ns;
+    while (!stack.empty() && stack.back().first <= s.start_ns) {
+      stack.pop_back();
+    }
+    const std::string key = PhaseKey(s);
+    PhaseAccum& acc = phases[key];
+    ++acc.count;
+    acc.total_ns += s.dur_ns;
+    acc.self_ns += static_cast<int64_t>(s.dur_ns);
+    if (!stack.empty()) {
+      // Direct same-lane parent: its self-time excludes this child.
+      phases[stack.back().second].self_ns -= static_cast<int64_t>(s.dur_ns);
+    }
+    stack.emplace_back(end, key);
+  }
+
+  std::vector<PhaseSelfTime> out;
+  out.reserve(phases.size());
+  for (const auto& [key, acc] : phases) {
+    PhaseSelfTime p;
+    p.phase = key;
+    p.count = acc.count;
+    p.total_ns = acc.total_ns;
+    p.self_ns = acc.self_ns > 0 ? static_cast<uint64_t>(acc.self_ns) : 0;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::string TraceSummaryJson(const Trace& trace) {
+  const std::vector<PhaseSelfTime> phases = SummarizeSelfTimes(trace);
+  std::string out;
+  out.reserve(64 + phases.size() * 96);
+  out.append("{\"spans\": ");
+  AppendU64(&out, trace.spans.size());
+  out.append(", \"dropped\": ");
+  AppendU64(&out, trace.dropped);
+  out.append(", \"phases\": {");
+  bool sep = false;
+  for (const PhaseSelfTime& p : phases) {
+    if (sep) out.append(", ");
+    sep = true;
+    out.push_back('"');
+    out.append(JsonEscape(p.phase));
+    out.append("\": {\"count\": ");
+    AppendU64(&out, p.count);
+    out.append(", \"total_ms\": ");
+    AppendDouble(&out, static_cast<double>(p.total_ns) * 1e-6);
+    out.append(", \"self_ms\": ");
+    AppendDouble(&out, static_cast<double>(p.self_ns) * 1e-6);
+    out.append("}");
+  }
+  out.append("}}");
+  return out;
+}
+
+SlowOpLog BuildSlowOpLog(const Trace& trace, size_t per_category) {
+  SlowOpLog log;
+  if (per_category == 0) return log;
+  std::map<std::string, std::vector<SpanRecord>> by_category;
+  for (const SpanRecord& s : trace.spans) {
+    by_category[s.category].push_back(s);
+  }
+  for (auto& [category, spans] : by_category) {
+    const size_t keep = std::min(per_category, spans.size());
+    std::partial_sort(spans.begin(), spans.begin() + keep, spans.end(),
+                      [](const SpanRecord& a, const SpanRecord& b) {
+                        if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+                        return a.id < b.id;
+                      });
+    spans.resize(keep);
+    log.categories.emplace_back(category, std::move(spans));
+  }
+  return log;
+}
+
+std::string SlowOpLogToText(const SlowOpLog& log) {
+  std::string out;
+  for (const auto& [category, spans] : log.categories) {
+    out.append("slowest in category '");
+    out.append(category);
+    out.append("':\n");
+    for (const SpanRecord& s : spans) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "  %10.3f ms  %s.%s  (span %" PRIu64 ")",
+                    static_cast<double>(s.dur_ns) * 1e-6, s.category, s.name,
+                    s.id);
+      out.append(buf);
+      for (uint32_t a = 0; a < s.num_args && a < kMaxSpanArgs; ++a) {
+        out.append("  ");
+        out.append(s.args[a].key);
+        out.push_back('=');
+        AppendU64(&out, s.args[a].value);
+      }
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace ann::obs

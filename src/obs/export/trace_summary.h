@@ -1,0 +1,64 @@
+#ifndef ANNLIB_OBS_EXPORT_TRACE_SUMMARY_H_
+#define ANNLIB_OBS_EXPORT_TRACE_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ann::obs {
+
+/// \file
+/// Aggregation exporters over a Trace: the per-phase self-time summary
+/// folded into ANN_STATS_JSON artifacts, and the slow-op log (the N
+/// slowest spans per category with their arg payloads). Pure functions
+/// of the Trace, identical in both build flavors.
+
+/// Wall time attributed to one phase (category.name pair) across the
+/// whole trace.
+struct PhaseSelfTime {
+  std::string phase;      ///< "category.name"
+  uint64_t count = 0;     ///< spans of this phase
+  uint64_t total_ns = 0;  ///< summed span durations (children included)
+  uint64_t self_ns = 0;   ///< total minus same-lane direct children
+};
+
+/// Per-phase totals and self-times, sorted by phase name. Self-time
+/// subtracts only SAME-LANE direct children, so per lane the self-times
+/// telescope exactly: summed over one lane's spans they equal that
+/// lane's top-level span coverage. In particular, with the merge wait
+/// recorded as its own span, the phases under a root "mba.query" span
+/// sum to the root's duration on its lane — the identity
+/// ci/validate_trace.py checks to within rounding. Cross-lane children
+/// (ThreadPool tasks) are deliberately NOT subtracted from their
+/// parent: they overlap the parent's wall time on other cores, so their
+/// time is attributed on their own lane instead.
+std::vector<PhaseSelfTime> SummarizeSelfTimes(const Trace& trace);
+
+/// Renders the summary as one JSON object (embeddable in stats
+/// artifacts next to obs::ToJson output):
+///
+///   {"spans": n, "dropped": n,
+///    "phases": {"mba.gather": {"count": n, "total_ms": x,
+///                              "self_ms": x}, ...}}
+std::string TraceSummaryJson(const Trace& trace);
+
+/// The N slowest spans per category, slowest first within each category;
+/// categories sorted by name.
+struct SlowOpLog {
+  std::vector<std::pair<std::string, std::vector<SpanRecord>>> categories;
+
+  bool empty() const { return categories.empty(); }
+};
+
+SlowOpLog BuildSlowOpLog(const Trace& trace, size_t per_category = 8);
+
+/// Human-readable slow-op listing (one span per line with its args),
+/// what ann_tool dumps on exit when tracing is on.
+std::string SlowOpLogToText(const SlowOpLog& log);
+
+}  // namespace ann::obs
+
+#endif  // ANNLIB_OBS_EXPORT_TRACE_SUMMARY_H_

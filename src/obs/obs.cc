@@ -30,6 +30,32 @@ std::vector<double> LinearBounds(double first, double step, int count) {
   return bounds;
 }
 
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  if (q <= 0) return min;
+  if (q >= 1) return max;
+  // Rank of the target sample in [0, count], then the bucket whose
+  // cumulative count first covers it.
+  const double rank = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  size_t i = 0;
+  for (; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= rank && buckets[i] > 0) break;
+  }
+  if (i >= buckets.size()) return max;
+  // Interpolate within the bucket, clipping its nominal range to the
+  // observed [min, max]: bucket i spans [bounds[i-1], bounds[i]) with the
+  // first bucket open below and the last (overflow) open above.
+  double lo = i == 0 ? min : std::max(bounds[i - 1], min);
+  double hi = i == bounds.size() ? max : std::min(bounds[i], max);
+  if (hi < lo) hi = lo;
+  const uint64_t below = cum - buckets[i];
+  const double frac =
+      (rank - static_cast<double>(below)) / static_cast<double>(buckets[i]);
+  return lo + (hi - lo) * frac;
+}
+
 #ifndef ANNLIB_OBS_DISABLED
 
 namespace {

@@ -63,6 +63,14 @@ struct HistogramSnapshot {
   double sum = 0;
   double min = 0;
   double max = 0;
+
+  /// Estimated q-quantile (q in [0, 1]) interpolated linearly within the
+  /// bucket holding rank q*count, with the bucket's range clipped to the
+  /// observed [min, max] — so the first bucket interpolates from `min`,
+  /// not from an implicit 0, and the overflow bucket interpolates up to
+  /// `max`. Exact when samples are uniform within their bucket; always
+  /// within one bucket width of the true quantile. Returns 0 when empty.
+  double Percentile(double q) const;
 };
 
 /// Point-in-time value of one phase timer.

@@ -1,0 +1,234 @@
+#include "obs/trace.h"
+
+#ifndef ANNLIB_OBS_DISABLED
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "check/check.h"
+
+namespace ann::obs {
+
+namespace internal {
+std::atomic<TraceSession*> g_active_session{nullptr};
+}  // namespace internal
+
+namespace {
+
+/// Process-wide session generation: every Start() gets a fresh epoch, so
+/// a thread-local binding from a previous session (or a previous Start
+/// of the same session) can never be mistaken for a current one.
+std::atomic<uint64_t> g_epoch{0};
+
+/// Slow-op breach ring capacity (per session, across categories). Small
+/// by design: the full per-category slowest-N log is computed exactly
+/// from the trace at export time (see obs/export/trace_summary.h); the
+/// ring only exists so threshold breaches survive in long-running
+/// processes whose span buffers hit the cap.
+constexpr size_t kBreachRingCapacity = 64;
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The calling thread's binding to the active session. Rebound lazily on
+/// the first span (or context install) after a session starts.
+struct TraceTls {
+  TraceSession* session = nullptr;
+  uint64_t epoch = 0;
+  TraceSession::ThreadBuffer* buffer = nullptr;
+  uint64_t current_span = 0;
+  std::string pending_name;  ///< applied at lane registration
+};
+
+thread_local TraceTls g_tls;
+
+}  // namespace
+
+TraceSession::TraceSession() : TraceSession(Options()) {}
+
+TraceSession::TraceSession(Options options) : options_(options) {
+  if (options_.max_spans == 0) options_.max_spans = 1;
+}
+
+TraceSession::~TraceSession() { Stop(); }
+
+void TraceSession::Start() {
+  epoch_ = g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  TraceSession* expected = nullptr;
+  const bool installed = internal::g_active_session.compare_exchange_strong(
+      expected, this, std::memory_order_release, std::memory_order_relaxed);
+  // One active session at a time; a competing Start loses and records
+  // nothing (its spans see the other session).
+  ANNLIB_DCHECK(installed);
+  (void)installed;
+}
+
+void TraceSession::Stop() {
+  TraceSession* expected = this;
+  internal::g_active_session.compare_exchange_strong(
+      expected, nullptr, std::memory_order_acq_rel,
+      std::memory_order_relaxed);
+}
+
+TraceSession::ThreadBuffer* TraceSession::RegisterCurrentThread() {
+  MutexLock lock(&mu_);
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->lane = static_cast<uint32_t>(buffers_.size());
+  if (!g_tls.pending_name.empty()) {
+    buf->name = g_tls.pending_name;
+  } else {
+    buf->name = "thread-" + std::to_string(buf->lane);
+  }
+  ThreadBuffer* out = buf.get();
+  buffers_.push_back(std::move(buf));
+  return out;
+}
+
+void TraceSession::Record(ThreadBuffer* buf, const SpanRecord& rec) {
+  if (total_spans_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_spans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf->spans.push_back(rec);
+  if (options_.slow_op_ns > 0 && rec.dur_ns >= options_.slow_op_ns) {
+    MutexLock lock(&mu_);
+    if (breaches_.size() < kBreachRingCapacity) {
+      breaches_.push_back(rec);
+    } else {
+      breaches_[breach_next_ % kBreachRingCapacity] = rec;
+    }
+    ++breach_next_;
+  }
+}
+
+Trace TraceSession::TakeTrace() {
+  ANNLIB_DCHECK(!active());
+  Trace out;
+  MutexLock lock(&mu_);
+  size_t total = 0;
+  for (const auto& b : buffers_) total += b->spans.size();
+  out.spans.reserve(total);
+  out.lanes.reserve(buffers_.size());
+  for (const auto& b : buffers_) {
+    out.lanes.push_back(b->name);
+    out.spans.insert(out.spans.end(), b->spans.begin(), b->spans.end());
+  }
+  out.dropped = dropped_.load(std::memory_order_relaxed);
+  uint64_t origin = std::numeric_limits<uint64_t>::max();
+  for (const SpanRecord& s : out.spans) origin = std::min(origin, s.start_ns);
+  if (!out.spans.empty()) {
+    for (SpanRecord& s : out.spans) s.start_ns -= origin;
+  }
+  // Deterministic order, parents before their same-lane children: lane,
+  // then start, then longer-first (ties by id).
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<SpanRecord> TraceSession::ThresholdBreaches() const {
+  MutexLock lock(&mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(breaches_.size());
+  // Oldest first: the ring wraps at kBreachRingCapacity, with
+  // breach_next_ pointing one past the newest entry.
+  const size_t n = breaches_.size();
+  const size_t start = n < kBreachRingCapacity ? 0 : breach_next_ % n;
+  for (size_t i = 0; i < n; ++i) out.push_back(breaches_[(start + i) % n]);
+  return out;
+}
+
+void SpanScope::Open(TraceSession* session, const char* category,
+                     const char* name) {
+  TraceTls& tls = g_tls;
+  if (tls.session != session || tls.epoch != session->epoch()) {
+    tls.buffer = session->RegisterCurrentThread();
+    tls.session = session;
+    tls.epoch = session->epoch();
+    tls.current_span = 0;
+  }
+  session_ = session;
+  buffer_ = tls.buffer;
+  category_ = category;
+  name_ = name;
+  id_ = session->next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  parent_ = tls.current_span;
+  tls.current_span = id_;
+  start_ns_ = NowNanos();
+}
+
+void SpanScope::Close() {
+  const uint64_t end_ns = NowNanos();
+  TraceTls& tls = g_tls;
+  // Scopes close LIFO per thread; the guard only matters if a different
+  // session started mid-span and rebound this thread's TLS.
+  if (tls.session == session_ && tls.current_span == id_) {
+    tls.current_span = parent_;
+  }
+  SpanRecord rec;
+  rec.id = id_;
+  rec.parent = parent_;
+  rec.category = category_;
+  rec.name = name_;
+  rec.start_ns = start_ns_;
+  rec.dur_ns = end_ns - start_ns_;
+  rec.lane = buffer_->lane;
+  rec.num_args = num_args_;
+  for (uint32_t i = 0; i < num_args_; ++i) rec.args[i] = args_[i];
+  session_->Record(buffer_, rec);
+  session_ = nullptr;
+}
+
+TraceContext CaptureTraceContext() {
+  TraceSession* s = TraceSession::Active();
+  if (s == nullptr) return TraceContext{};
+  const TraceTls& tls = g_tls;
+  if (tls.session != s || tls.epoch != s->epoch()) {
+    // Capturing thread has no binding yet: propagate a root context.
+    return TraceContext{s, s->epoch(), 0};
+  }
+  return TraceContext{s, tls.epoch, tls.current_span};
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) {
+  if (ctx.session == nullptr) return;
+  TraceSession* s = TraceSession::Active();
+  if (s != ctx.session || s->epoch() != ctx.epoch) return;
+  TraceTls& tls = g_tls;
+  if (tls.session != s || tls.epoch != s->epoch()) {
+    tls.buffer = s->RegisterCurrentThread();
+    tls.session = s;
+    tls.epoch = s->epoch();
+    tls.current_span = 0;
+  }
+  saved_ = tls.current_span;
+  tls.current_span = ctx.parent_span;
+  installed_ = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  if (installed_) g_tls.current_span = saved_;
+}
+
+void SetCurrentThreadTraceName(std::string name) {
+  g_tls.pending_name = std::move(name);
+  if (g_tls.buffer != nullptr && g_tls.session == TraceSession::Active() &&
+      !g_tls.pending_name.empty()) {
+    g_tls.buffer->name = g_tls.pending_name;
+  }
+}
+
+}  // namespace ann::obs
+
+#endif  // ANNLIB_OBS_DISABLED

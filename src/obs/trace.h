@@ -1,0 +1,323 @@
+#ifndef ANNLIB_OBS_TRACE_H_
+#define ANNLIB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace ann::obs {
+
+/// \file
+/// Structured per-query tracing: answers "where did THIS query's time
+/// go" where obs.h's process-wide counters only answer "how much work
+/// happened overall". The design constraints mirror obs.h:
+///
+///  - **Idle cost is one atomic load.** Every `ANNLIB_TRACE_SPAN` site
+///    starts with a single acquire load of the active-session pointer;
+///    with no session installed nothing else runs. bench_trace_overhead
+///    holds this under the documented <2% wall-clock bar on a span
+///    granularity far finer than production call sites.
+///  - **Recording is lock-free on the hot path.** Each thread appends
+///    closed spans to its own `TraceSession` lane buffer; the session
+///    mutex is only taken on first touch per thread (lane registration)
+///    and when a span breaches the slow-op threshold.
+///  - **Kill switch.** Under `ANNLIB_OBS_DISABLED` every type below is an
+///    empty inline stub and the macros compile to nothing.
+///
+/// Span model: a span is an interval [start, start+dur) on one thread
+/// (lane) with a category + name (string literals), a session-unique id,
+/// the id of the span that was current when it opened (parent), and up
+/// to kMaxSpanArgs key/value args attached before it closes. Parents may
+/// live on another lane: `ThreadPool::Submit` captures the submitting
+/// thread's context via CaptureTraceContext() and the worker re-installs
+/// it with ScopedTraceContext, so a partition-parallel query renders as
+/// one tree rooted at the driver's "mba.query" span.
+///
+/// Lifetime contract (same spirit as Registry::TakeSnapshot): the
+/// session must outlive every span opened while it was active — stop it
+/// only after the traced workload has joined its worker threads, and
+/// call TakeTrace() after Stop(). Category, name and arg-key strings
+/// must have static storage duration (string literals); values are
+/// copied, keys are not.
+
+/// Maximum key/value args attachable to one span (excess args are
+/// silently dropped — AddArg never allocates).
+inline constexpr uint32_t kMaxSpanArgs = 4;
+
+/// One key/value argument attached to a span. `key` must be a string
+/// literal (the record stores the pointer, not a copy).
+struct SpanArg {
+  const char* key = nullptr;
+  uint64_t value = 0;
+};
+
+/// A closed span. Shared between the instrumented and the disabled build
+/// (like the Snapshot structs in obs.h) so exporters and tests compile
+/// in both.
+struct SpanRecord {
+  uint64_t id = 0;        ///< session-unique, starts at 1
+  uint64_t parent = 0;    ///< 0 = root (no enclosing span)
+  const char* category = "";
+  const char* name = "";
+  uint64_t start_ns = 0;  ///< relative to the trace origin after TakeTrace
+  uint64_t dur_ns = 0;
+  uint32_t lane = 0;      ///< session-assigned thread index
+  uint32_t num_args = 0;
+  SpanArg args[kMaxSpanArgs];
+};
+
+/// Everything a finished session recorded: spans sorted by (lane, start,
+/// longer-first), one display name per lane, and the count of spans
+/// dropped after the session's max_spans cap was hit.
+struct Trace {
+  std::vector<SpanRecord> spans;
+  std::vector<std::string> lanes;
+  uint64_t dropped = 0;
+
+  bool empty() const { return spans.empty(); }
+};
+
+#ifndef ANNLIB_OBS_DISABLED
+
+class TraceSession;
+class SpanScope;
+class ScopedTraceContext;
+
+namespace internal {
+/// The process-wide active session (at most one). The acquire load of
+/// this pointer is the entire per-span cost when tracing is idle.
+extern std::atomic<TraceSession*> g_active_session;
+}  // namespace internal
+
+/// Owns the per-thread span buffers for one recording window. Create,
+/// Start(), run the workload, Stop() after all traced threads joined,
+/// then TakeTrace(). At most one session is active at a time (Start on a
+/// second session is a DCHECK failure and a no-op in release builds).
+class TraceSession {
+ public:
+  struct Options {
+    /// Hard cap on recorded spans; further closes count as `dropped`.
+    size_t max_spans = 1 << 20;
+    /// When > 0, spans with dur >= this are also copied into a small
+    /// mutex-guarded ring (ThresholdBreaches()) as they close, so a
+    /// long-running process can dump breaches without a full trace walk.
+    uint64_t slow_op_ns = 0;
+  };
+
+  // Two constructors (not one defaulted argument): Options carries
+  // member initializers, which GCC refuses to use as a default argument
+  // inside the enclosing class.
+  TraceSession();
+  explicit TraceSession(Options options);
+  ~TraceSession();  ///< stops first if still active
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Installs this session as the process-wide recording target.
+  void Start();
+
+  /// Uninstalls (idempotent). Traced threads must have joined before the
+  /// trace is read; see the file comment's lifetime contract.
+  void Stop();
+
+  /// The currently recording session, or nullptr.
+  static TraceSession* Active() {
+    return internal::g_active_session.load(std::memory_order_acquire);
+  }
+
+  bool active() const { return Active() == this; }
+
+  /// Collects every lane's spans into one normalized Trace (earliest
+  /// span start becomes t=0). Call after Stop(); does not clear the
+  /// buffers, so it is repeatable.
+  Trace TakeTrace();
+
+  /// Spans that breached options.slow_op_ns, oldest first (bounded ring;
+  /// start_ns is NOT normalized — only relative order is meaningful).
+  std::vector<SpanRecord> ThresholdBreaches() const;
+
+  uint64_t epoch() const { return epoch_; }
+
+  /// One lane's append-only span buffer. Public only because the
+  /// thread-local binding in trace.cc needs the type; not part of the
+  /// supported API surface.
+  struct ThreadBuffer {
+    std::vector<SpanRecord> spans;  ///< written by the owning thread only
+    std::string name;
+    uint32_t lane = 0;
+  };
+
+ private:
+  friend class SpanScope;
+  friend class ScopedTraceContext;
+
+  /// Binds the calling thread to a fresh lane (cold: once per thread per
+  /// session).
+  ThreadBuffer* RegisterCurrentThread() ANNLIB_EXCLUDES(mu_);
+
+  /// Appends one closed span to `buf` (lock-free unless it breaches the
+  /// slow-op threshold).
+  void Record(ThreadBuffer* buf, const SpanRecord& rec) ANNLIB_EXCLUDES(mu_);
+
+  Options options_;
+  uint64_t epoch_ = 0;  ///< bumped by Start(); invalidates stale TLS bindings
+  std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<uint64_t> total_spans_{0};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable Mutex mu_{"obs.trace.session", kMutexRankObsTrace};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ ANNLIB_GUARDED_BY(mu_);
+  std::vector<SpanRecord> breaches_ ANNLIB_GUARDED_BY(mu_);  ///< bounded ring
+  size_t breach_next_ ANNLIB_GUARDED_BY(mu_) = 0;
+};
+
+/// RAII span: opens on construction when a session is active, closes
+/// (and records) on destruction or an early Stop(). `category` and
+/// `name` must be string literals. Prefer the ANNLIB_TRACE_SPAN macros.
+class SpanScope {
+ public:
+  SpanScope(const char* category, const char* name) {
+    TraceSession* s = TraceSession::Active();
+    if (s != nullptr) Open(s, category, name);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() {
+    if (session_ != nullptr) Close();
+  }
+
+  /// Attaches a key/value arg (kept with the record; key must be a
+  /// string literal). No-op when idle or already holding kMaxSpanArgs.
+  void AddArg(const char* key, uint64_t value) {
+    if (session_ != nullptr && num_args_ < kMaxSpanArgs) {
+      args_[num_args_] = SpanArg{key, value};
+      ++num_args_;
+    }
+  }
+
+  /// Closes and records now (idempotent) — for excluding tail work, like
+  /// ObsScope::Stop.
+  void Stop() {
+    if (session_ != nullptr) Close();
+  }
+
+  /// True when this scope is recording into an active session.
+  bool recording() const { return session_ != nullptr; }
+
+ private:
+  void Open(TraceSession* session, const char* category, const char* name);
+  void Close();
+
+  TraceSession* session_ = nullptr;
+  TraceSession::ThreadBuffer* buffer_ = nullptr;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  uint64_t start_ns_ = 0;
+  uint32_t num_args_ = 0;
+  SpanArg args_[kMaxSpanArgs];
+};
+
+/// Snapshot of the calling thread's trace position, cheap enough to take
+/// unconditionally (one atomic load when idle). Pass it across a thread
+/// boundary and re-install with ScopedTraceContext so spans opened by
+/// the receiving thread parent under the capturing thread's span.
+struct TraceContext {
+  TraceSession* session = nullptr;
+  uint64_t epoch = 0;
+  uint64_t parent_span = 0;
+};
+
+TraceContext CaptureTraceContext();
+
+/// Installs `ctx.parent_span` as the calling thread's current span for
+/// this scope (restoring the previous one on destruction). No-op when
+/// the context is empty or its session is no longer the active one.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  uint64_t saved_ = 0;
+  bool installed_ = false;
+};
+
+/// Display name for the calling thread's lane in exported traces (takes
+/// effect for the current and any future session binding).
+void SetCurrentThreadTraceName(std::string name);
+
+#else  // ANNLIB_OBS_DISABLED: stubs; the macros compile to nothing.
+
+class TraceSession {
+ public:
+  struct Options {
+    size_t max_spans = 0;
+    uint64_t slow_op_ns = 0;
+  };
+
+  TraceSession() {}
+  explicit TraceSession(Options) {}
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  void Start() {}
+  void Stop() {}
+  static TraceSession* Active() { return nullptr; }
+  bool active() const { return false; }
+  Trace TakeTrace() { return Trace{}; }
+  std::vector<SpanRecord> ThresholdBreaches() const { return {}; }
+  uint64_t epoch() const { return 0; }
+};
+
+class SpanScope {
+ public:
+  SpanScope(const char*, const char*) {}
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  void AddArg(const char*, uint64_t) {}
+  void Stop() {}
+  bool recording() const { return false; }
+};
+
+struct TraceContext {};
+
+inline TraceContext CaptureTraceContext() { return TraceContext{}; }
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext&) {}
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+};
+
+inline void SetCurrentThreadTraceName(std::string) {}
+
+#endif  // ANNLIB_OBS_DISABLED
+
+// The macro pair call sites use. ANNLIB_TRACE_SPAN covers the enclosing
+// scope anonymously; the _NAMED form binds the scope to `var` so args
+// can be attached (var.AddArg(...)) or the span stopped early. In the
+// disabled build both expand to an empty stub object that optimizes away.
+#define ANNLIB_TRACE_CONCAT_INNER_(a, b) a##b
+#define ANNLIB_TRACE_CONCAT_(a, b) ANNLIB_TRACE_CONCAT_INNER_(a, b)
+#define ANNLIB_TRACE_SPAN(category, name)            \
+  ::ann::obs::SpanScope ANNLIB_TRACE_CONCAT_(        \
+      annlib_trace_span_, __LINE__)((category), (name))
+#define ANNLIB_TRACE_SPAN_NAMED(var, category, name) \
+  ::ann::obs::SpanScope var((category), (name))
+
+}  // namespace ann::obs
+
+#endif  // ANNLIB_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/check.h"
+#include "obs/trace.h"
 
 namespace ann {
 
@@ -105,6 +106,12 @@ Result<PinnedPage> BufferPool::Fetch(PageId id) {
 
   stats_.pool_misses.fetch_add(1, std::memory_order_relaxed);
   obs_misses_->Increment();
+  // Miss span covers victim selection (possible dirty write-back) plus
+  // the disk read — the query's IO stall time. Opening/closing a span
+  // under the stripe latch is rank-safe: the trace latch (50) ranks
+  // after the stripe latch (20).
+  ANNLIB_TRACE_SPAN_NAMED(span, "storage", "pool_miss");
+  span.AddArg("page", id);
   ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame(stripe));
   Frame& frame = stripe.frames[fi];
   // The disk read happens under the stripe latch: simple, and concurrent
@@ -232,6 +239,8 @@ Result<size_t> BufferPool::GetVictimFrame(Stripe& stripe) {
   Frame& frame = stripe.frames[fi];
   stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   obs_evictions_->Increment();
+  ANNLIB_TRACE_SPAN_NAMED(span, "storage", "evict");
+  span.AddArg("page", frame.page_id);
   ANN_RETURN_NOT_OK(FlushFrame(stripe, frame));
   stripe.page_table.erase(frame.page_id);
   frame.page_id = kInvalidPageId;

@@ -6,9 +6,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace ann {
 
 Result<PageId> MemDiskManager::AllocatePage() {
+  ANNLIB_TRACE_SPAN("io", "alloc");
   auto page = std::make_unique<Page>();
   page->bytes.fill(std::byte{0});
   MutexLock lock(&mu_);
@@ -21,6 +24,8 @@ Result<PageId> MemDiskManager::AllocatePage() {
 }
 
 Status MemDiskManager::ReadPage(PageId id, Page* out) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "io", "read");
+  span.AddArg("page", id);
   // The lock covers only the vector indexing; the 8 KiB copy runs outside
   // it against the stable heap block (the pin discipline keeps writers
   // away from pages being read).
@@ -39,6 +44,8 @@ Status MemDiskManager::ReadPage(PageId id, Page* out) {
 }
 
 Status MemDiskManager::WritePage(PageId id, const Page& page) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "io", "write");
+  span.AddArg("page", id);
   Page* dst;
   {
     MutexLock lock(&mu_);
@@ -89,6 +96,10 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
+  // Span constructed before the latch, so its destructor runs after the
+  // latch releases — strict LIFO with the alloc latch either way, and the
+  // span covers the zero-fill write.
+  ANNLIB_TRACE_SPAN("io", "alloc");
   MutexLock lock(&alloc_mu_);
   if (page_count_ >= kInvalidPageId) {
     return Status::OutOfRange("FileDiskManager: page id space exhausted");
@@ -107,6 +118,8 @@ Result<PageId> FileDiskManager::AllocatePage() {
 }
 
 Status FileDiskManager::ReadPage(PageId id, Page* out) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "io", "read");
+  span.AddArg("page", id);
   if (id >= page_count_) {
     return Status::OutOfRange("FileDiskManager: read of unallocated page");
   }
@@ -121,6 +134,8 @@ Status FileDiskManager::ReadPage(PageId id, Page* out) {
 }
 
 Status FileDiskManager::WritePage(PageId id, const Page& page) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "io", "write");
+  span.AddArg("page", id);
   if (id >= page_count_) {
     return Status::OutOfRange("FileDiskManager: write of unallocated page");
   }

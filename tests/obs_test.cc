@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "ann/mba.h"
@@ -25,6 +30,41 @@ TEST(ObsExportTest, JsonEscape) {
   EXPECT_EQ(obs::JsonEscape(std::string_view("\x01\x1f", 2)),
             "\\u0001\\u001f");
   EXPECT_EQ(obs::JsonEscape("\b\f"), "\\b\\f");
+}
+
+TEST(ObsExportTest, JsonEscapeEmbeddedNul) {
+  // A NUL inside the view must become a backslash-u0000 escape, not terminate
+  // the string.
+  EXPECT_EQ(obs::JsonEscape(std::string_view("a\0b", 3)), "a\\u0000b");
+  EXPECT_EQ(obs::JsonEscape(std::string_view("\0", 1)), "\\u0000");
+}
+
+TEST(ObsExportTest, JsonEscapeUtf8MultibytePassesThrough) {
+  // JSON strings carry UTF-8 natively; bytes >= 0x80 must not be escaped
+  // (escaping per byte would corrupt multibyte sequences).
+  EXPECT_EQ(obs::JsonEscape("héllo"), "héllo");
+  EXPECT_EQ(obs::JsonEscape("\xE2\x82\xAC"), "\xE2\x82\xAC");  // €
+  EXPECT_EQ(obs::JsonEscape("\xF0\x9F\x90\x9B"), "\xF0\x9F\x90\x9B");
+}
+
+TEST(ObsExportTest, JsonEscapeLoneSurrogateBytesPassThrough) {
+  // CESU-style encoding of a lone surrogate (ED A0 80 = U+D800): invalid
+  // UTF-8, but the escaper is byte-transparent above 0x1f — garbage in,
+  // the same garbage out, never a mangled mix.
+  const std::string lone("\xED\xA0\x80", 3);
+  EXPECT_EQ(obs::JsonEscape(lone), lone);
+}
+
+TEST(ObsExportTest, JsonEscapeAllControlChars) {
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const std::string out = obs::JsonEscape(in);
+    // Every control char is escaped one way or another...
+    EXPECT_GE(out.size(), 2u) << "char " << c;
+    EXPECT_EQ(out[0], '\\') << "char " << c;
+  }
+  // ...and DEL (0x7f) is not a JSON-mandated escape: passes through.
+  EXPECT_EQ(obs::JsonEscape("\x7f"), "\x7f");
 }
 
 obs::Snapshot MakeSnapshot() {
@@ -55,10 +95,128 @@ TEST(ObsExportTest, JsonShape) {
             "{\"counters\": {\"a.hits\": 3, \"b.misses\": 0}, "
             "\"gauges\": {\"pool.frames\": -2}, "
             "\"histograms\": {\"lat\\\"ency\": {\"count\": 5, \"sum\": 7.5, "
-            "\"min\": 0.5, \"max\": 3, \"bounds\": [1, 2.5], "
+            "\"min\": 0.5, \"max\": 3, "
+            "\"p50\": 0.8125, \"p90\": 2.75, \"p99\": 2.975, "
+            "\"bounds\": [1, 2.5], "
             "\"buckets\": [4, 0, 1]}}, "
             "\"timers\": {\"phase.x\": {\"calls\": 2, \"total_ms\": 3, "
+            "\"mean_ms\": 1.5, "
+            "\"p50_ms\": 0, \"p90_ms\": 0, \"p99_ms\": 0, "
             "\"latency_bounds_ns\": [], \"latency_buckets\": []}}}");
+}
+
+// ---- percentile estimation on HistogramSnapshot (shared struct, both
+// builds): interpolated within the covering bucket, clipped to [min, max].
+
+TEST(ObsPercentileTest, UniformSamplesMatchAnalyticQuantiles) {
+  // 1000 samples 0..999, 100 per bucket (bounds 100, 200, ..., 900 plus
+  // the overflow bucket). The estimator is exact at bucket edges and
+  // within one bucket width elsewhere.
+  obs::HistogramSnapshot h;
+  h.bounds = obs::LinearBounds(100, 100, 9);
+  h.buckets.assign(10, 100);
+  h.count = 1000;
+  h.min = 0;
+  h.max = 999;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 500.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.9), 900.0);
+  // p99 lands in the overflow bucket, interpolated up to max:
+  // 900 + 0.9 * (999 - 900) = 989.1 (true p99 of the sample is 989).
+  EXPECT_NEAR(h.Percentile(0.99), 989.1, 1e-9);
+  EXPECT_NEAR(h.Percentile(0.25), 250.0, 1e-9);
+}
+
+TEST(ObsPercentileTest, ClipsToObservedRange) {
+  // All five samples sit in one bucket whose nominal range [0, 10) is far
+  // wider than the observed [2, 4]: interpolation must use min/max, not
+  // the bucket edges.
+  obs::HistogramSnapshot h;
+  h.bounds = {10.0};
+  h.buckets = {5, 0};
+  h.count = 5;
+  h.min = 2;
+  h.max = 4;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 3.0);
+  EXPECT_GE(h.Percentile(0.99), 2.0);
+  EXPECT_LE(h.Percentile(0.99), 4.0);
+}
+
+TEST(ObsPercentileTest, EmptyHistogramReturnsZero) {
+  obs::HistogramSnapshot h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  h.bounds = {1.0, 2.0};
+  h.buckets = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(ObsPercentileTest, SkipsEmptyBucketsAndIsMonotone) {
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 3.0};
+  h.buckets = {2, 0, 0, 2};  // bimodal: low bucket and overflow only
+  h.count = 4;
+  h.min = 0.5;
+  h.max = 3.5;
+  double prev = h.Percentile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = h.Percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, h.min);
+    EXPECT_LE(v, h.max);
+    prev = v;
+  }
+  // The median must come from a non-empty bucket: at q=0.5 the rank (2)
+  // is covered by the first bucket, giving its upper edge.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 1.0);
+}
+
+// ---- AppendDouble: shortest representation that parses back to the
+// exact same bits (falls back to %.17g when %g loses precision).
+
+std::string RenderDouble(double v) {
+  std::string out;
+  obs::AppendDouble(&out, v);
+  return out;
+}
+
+TEST(ObsAppendDoubleTest, ShortValuesStayShort) {
+  EXPECT_EQ(RenderDouble(0.0), "0");
+  EXPECT_EQ(RenderDouble(1.0), "1");
+  EXPECT_EQ(RenderDouble(0.5), "0.5");
+  EXPECT_EQ(RenderDouble(0.1), "0.1");  // %g "0.1" parses back exactly
+  EXPECT_EQ(RenderDouble(-2.5), "-2.5");
+}
+
+TEST(ObsAppendDoubleTest, RoundTripsExactBits) {
+  const double cases[] = {
+      1.0 / 3.0,                  // needs 17 significant digits
+      0.1 + 0.2,                  // famously != 0.3
+      4.9406564584124654e-324,    // smallest positive denormal
+      2.2250738585072014e-308,    // smallest positive normal
+      1.7976931348623157e308,     // DBL_MAX
+      -0.0,                       // sign must survive
+      123456789.123456789,
+  };
+  for (const double v : cases) {
+    const std::string s = RenderDouble(v);
+    const double parsed = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&parsed, &v, sizeof v), 0)
+        << "rendered \"" << s << "\" for " << v;
+  }
+  // -0.0 keeps its sign bit through the round trip.
+  EXPECT_EQ(RenderDouble(-0.0)[0], '-');
+}
+
+TEST(ObsAppendDoubleTest, NonFiniteClampsToJsonSafeValues) {
+  // JSON has no Infinity/NaN tokens; the exporter substitutes huge
+  // finite sentinels so the document stays parseable.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(RenderDouble(inf), "1e308");
+  EXPECT_EQ(RenderDouble(-inf), "-1e308");
+  const std::string nan_s = RenderDouble(std::numeric_limits<double>::quiet_NaN());
+  const double parsed = std::strtod(nan_s.c_str(), nullptr);
+  EXPECT_TRUE(std::isfinite(parsed));
 }
 
 TEST(ObsExportTest, JsonIsDeterministic) {
