@@ -1,0 +1,328 @@
+// PR 7 evidence: incremental All-NN maintenance vs full recomputation
+// under S-side update batches, and reader-tail latency while a writer
+// commits copy-on-write batches concurrently.
+//
+// Phase 1 (sequential): for batch sizes of 0.1%, 0.5% and 1% of |S|
+// (half inserts, half deletes), measure the time to repair the standing
+// result with MaintainAllNn against the time of a fresh
+// AllNearestNeighbors over the post-batch index. Every repaired result is
+// checked id-for-id against the recomputation, so the speedup is measured
+// on verified-correct output. The headline `incremental_speedup` is the
+// median-of-reps speedup at the largest (1%) batch — the binding case,
+// since more updates affect more lists.
+//
+// Phase 2 (concurrent): reader threads issue point-kNN queries through
+// snapshots at a fixed per-thread QPS while the writer commits batches;
+// per-query wall latencies give read_p50_ms / read_p99_ms. At quiesce the
+// pool must have reclaimed every retired page (quiesce_ok=1) — the
+// epoch-GC leak check.
+//
+// Output is `key=value` lines consumed by ci/run_benches.sh, which gates
+// incremental_speedup >= 3 and folds everything into BENCH_PR7.json.
+//
+// ANN_BENCH_SCALE scales the cardinalities (default 0.1 => R=20K,
+// S=40K — this experiment's base is 10x the paper-relative default, so
+// the usual env values keep it CI-sized).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ann/maintain.h"
+#include "ann/mba.h"
+#include "ann/nn_search.h"
+#include "bench_common.h"
+#include "datagen/gstd.h"
+#include "index/dynamic_index.h"
+#include "index/update_batch.h"
+#include "storage/buffer_pool.h"
+
+namespace ann::bench {
+namespace {
+
+constexpr int kK = 2;
+constexpr int kRepsPerSize = 3;
+constexpr int kReaderThreads = 4;
+constexpr double kReaderQps = 400;     // per thread
+constexpr int kWriterBatches = 20;
+constexpr int kWriterBatchOps = 100;   // half inserts, half deletes
+
+struct Mix {
+  Dataset r;
+  Dataset s;
+  Dataset inserts;  ///< pre-generated pool of future insert points
+};
+
+Mix MakeMix(size_t nr, size_t ns, size_t n_inserts) {
+  Mix m;
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.distribution = Distribution::kClustered;
+  spec.count = nr;
+  spec.seed = 71;
+  m.r = *GenerateGstd(spec);
+  spec.count = ns;
+  spec.seed = 72;
+  m.s = *GenerateGstd(spec);
+  spec.count = n_inserts;
+  spec.seed = 73;
+  m.inserts = *GenerateGstd(spec);
+  return m;
+}
+
+/// Mutable S-side state shared by both phases: the dynamic index plus the
+/// live id -> coords map batches draw deletes from.
+struct DynState {
+  std::unique_ptr<MemDiskManager> disk;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<NodeStore> store;
+  std::unique_ptr<DynamicIndex> index;
+  std::unordered_map<uint64_t, std::vector<Scalar>> live;
+  uint64_t next_id = 0;
+  size_t next_insert = 0;  ///< cursor into Mix::inserts
+};
+
+DynState MakeDynState(const Mix& m) {
+  DynState st;
+  st.disk = std::make_unique<MemDiskManager>();
+  st.pool = std::make_unique<BufferPool>(st.disk.get(), size_t{1} << 14);
+  st.store = std::make_unique<NodeStore>(st.pool.get());
+
+  Rect box;
+  box.dim = 2;
+  for (int d = 0; d < 2; ++d) {
+    box.lo[d] = kInf;
+    box.hi[d] = -kInf;
+  }
+  const auto widen = [&](const Scalar* p) {
+    for (int d = 0; d < 2; ++d) {
+      box.lo[d] = std::min(box.lo[d], p[d]);
+      box.hi[d] = std::max(box.hi[d], p[d]);
+    }
+  };
+  for (size_t i = 0; i < m.s.size(); ++i) widen(m.s.point(i));
+  for (size_t i = 0; i < m.inserts.size(); ++i) widen(m.inserts.point(i));
+
+  Mbrqt builder(Mbrqt::CubicCell(box));
+  for (size_t i = 0; i < m.s.size(); ++i) {
+    if (!builder.Insert(m.s.point(i), i).ok()) std::abort();
+    st.live.emplace(i, std::vector<Scalar>(m.s.point(i), m.s.point(i) + 2));
+  }
+  auto created = DynamicIndex::Create(std::move(builder), st.store.get());
+  if (!created.ok()) {
+    std::fprintf(stderr, "index build failed: %s\n",
+                 created.status().ToString().c_str());
+    std::abort();
+  }
+  st.index = std::move(created).value();
+  st.next_id = m.s.size();
+  return st;
+}
+
+/// Half fresh inserts, half deletes of random live ids.
+UpdateBatch MakeBatch(const Mix& m, DynState* st, size_t ops, Rng* rng) {
+  UpdateBatch batch(2);
+  const size_t n_del = ops / 2;
+  for (size_t i = 0; i < n_del; ++i) {
+    // live is never close to empty here; retry on the rare collision.
+    while (true) {
+      auto it = st->live.begin();
+      std::advance(it, rng->Next() % st->live.size());
+      batch.AddDelete(it->second.data(), it->first);
+      st->live.erase(it);
+      break;
+    }
+  }
+  for (size_t i = n_del; i < ops; ++i) {
+    const Scalar* p = m.inserts.point(st->next_insert++ % m.inserts.size());
+    batch.AddInsert(p, st->next_id);
+    st->live.emplace(st->next_id,
+                     std::vector<Scalar>(p, p + 2));
+    ++st->next_id;
+  }
+  return batch;
+}
+
+bool SameIds(const std::vector<NeighborList>& a,
+             const std::vector<NeighborList>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].r_id != b[i].r_id ||
+        a[i].neighbors.size() != b[i].neighbors.size()) {
+      return false;
+    }
+    for (size_t j = 0; j < a[i].neighbors.size(); ++j) {
+      if (a[i].neighbors[j].first != b[i].neighbors[j].first) return false;
+    }
+  }
+  return true;
+}
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  const size_t idx = static_cast<size_t>(p * (v->size() - 1));
+  return (*v)[idx];
+}
+
+}  // namespace
+}  // namespace ann::bench
+
+int main(int argc, char** argv) {
+  using namespace ann;
+  using namespace ann::bench;
+  InitBenchArgs(argc, argv);
+
+  const double scale = ScaleFromEnv() * 10;  // base: R=20K, S=40K
+  const size_t nr = std::max<size_t>(2000, 20000 * scale);
+  const size_t ns = std::max<size_t>(4000, 40000 * scale);
+  const Mix mix = MakeMix(nr, ns, /*n_inserts=*/ns);
+  std::fprintf(stderr, "update mix: |R|=%zu |S|=%zu k=%d\n", mix.r.size(),
+               mix.s.size(), kK);
+
+  auto built = Mbrqt::Build(mix.r);
+  if (!built.ok()) return 1;
+  Mbrqt qt_r = std::move(built).value();
+  const MemIndexView ir(&qt_r.Finalize());
+
+  AnnOptions opts;
+  opts.k = kK;
+
+  // --- Phase 1: incremental repair vs full recompute ---------------------
+  DynState st = MakeDynState(mix);
+  std::vector<NeighborList> results;
+  if (!AllNearestNeighbors(ir, *st.index, opts, &results).ok()) return 1;
+  SortByQueryId(&results);
+
+  Rng rng(99);
+  const double pcts[] = {0.001, 0.005, 0.01};
+  double headline = 0;
+  for (const double pct : pcts) {
+    const size_t ops = std::max<size_t>(2, mix.s.size() * pct);
+    std::vector<double> speedups;
+    MaintainStats last_stats;
+    for (int rep = 0; rep < kRepsPerSize; ++rep) {
+      const UpdateBatch batch = MakeBatch(mix, &st, ops, &rng);
+      Timer t_apply;
+      if (!st.index->ApplyBatch(batch).ok()) return 1;
+      const double apply_s = t_apply.Seconds();
+
+      Timer t_inc;
+      MaintainStats mstats;
+      if (!MaintainAllNn(ir, *st.index, opts, batch, &results, &mstats)
+               .ok()) {
+        return 1;
+      }
+      const double inc_s = t_inc.Seconds();
+      last_stats = mstats;
+
+      Timer t_full;
+      std::vector<NeighborList> full;
+      if (!AllNearestNeighbors(ir, *st.index, opts, &full).ok()) return 1;
+      const double full_s = t_full.Seconds();
+      SortByQueryId(&full);
+      SortByQueryId(&results);
+      if (!SameIds(results, full)) {
+        std::fprintf(stderr, "FAIL: incremental result diverged at "
+                             "batch=%zu rep=%d\n", ops, rep);
+        return 1;
+      }
+      speedups.push_back(full_s / inc_s);
+      std::fprintf(stderr,
+                   "  batch=%zu rep=%d apply=%.1fms maintain=%.1fms "
+                   "full=%.1fms speedup=%.1fx\n",
+                   ops, rep, apply_s * 1e3, inc_s * 1e3, full_s * 1e3,
+                   full_s / inc_s);
+    }
+    std::sort(speedups.begin(), speedups.end());
+    const double median = speedups[speedups.size() / 2];
+    std::printf("speedup_pct%.1f=%.3f\n", pct * 100, median);
+    std::fprintf(stderr, "  batch %.1f%% of |S|: median speedup %.1fx "
+                         "(%s)\n",
+                 pct * 100, median, last_stats.ToString().c_str());
+    headline = median;  // last size (1%) is the binding case
+  }
+  std::printf("incremental_speedup=%.3f\n", headline);
+
+  // --- Phase 2: reader tail latency under a concurrent writer -----------
+  DynState st2 = MakeDynState(mix);
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::vector<double>> lat_ms(kReaderThreads);
+
+  auto reader = [&](int tid) {
+    Rng qrng(1000 + tid);
+    const auto interval = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 / kReaderQps));
+    auto next = std::chrono::steady_clock::now();
+    while (!writer_done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_until(next);
+      next += interval;
+      const Scalar* q = mix.r.point(qrng.Next() % mix.r.size());
+      const auto t0 = std::chrono::steady_clock::now();
+      auto snap = st2.index->OpenSnapshot();
+      if (!snap.ok()) {
+        failed.store(true);
+        return;
+      }
+      const SnapshotView view(st2.index.get(), std::move(snap).value());
+      std::vector<Neighbor> out;
+      SearchStats sstats;
+      if (!PointKnn(view, q, kK, kInf, &out, &sstats).ok()) {
+        failed.store(true);
+        return;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      lat_ms[tid].push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaderThreads; ++t) readers.emplace_back(reader, t);
+  {
+    Rng wrng(555);
+    for (int b = 0; b < kWriterBatches && !failed.load(); ++b) {
+      const UpdateBatch batch = MakeBatch(mix, &st2, kWriterBatchOps, &wrng);
+      if (!st2.index->ApplyBatch(batch).ok()) {
+        failed.store(true);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    writer_done.store(true, std::memory_order_release);
+  }
+  for (auto& t : readers) t.join();
+  if (failed.load()) {
+    std::fprintf(stderr, "FAIL: concurrent phase hit an error\n");
+    return 1;
+  }
+
+  std::vector<double> all;
+  for (const auto& v : lat_ms) all.insert(all.end(), v.begin(), v.end());
+  std::printf("read_queries=%zu\n", all.size());
+  std::printf("read_p50_ms=%.4f\n", Percentile(&all, 0.50));
+  std::printf("read_p99_ms=%.4f\n", Percentile(&all, 0.99));
+
+  // Quiesce: no snapshot is live anymore, so epoch GC must have returned
+  // every retired page to the free list.
+  const VersionStats vs = st2.pool->version_stats();
+  const bool quiesce_ok =
+      vs.pages_retired == vs.pages_reclaimed && vs.retired_pending == 0;
+  std::printf("quiesce_ok=%d\n", quiesce_ok ? 1 : 0);
+  std::printf("pages_retired=%llu\n", (unsigned long long)vs.pages_retired);
+  std::printf("cow_clones=%llu\n", (unsigned long long)vs.cow_clones);
+  if (!quiesce_ok) {
+    std::fprintf(stderr, "FAIL: retired=%llu reclaimed=%llu pending=%zu\n",
+                 (unsigned long long)vs.pages_retired,
+                 (unsigned long long)vs.pages_reclaimed, vs.retired_pending);
+    return 1;
+  }
+  return 0;
+}

@@ -111,10 +111,10 @@ do_tsan() {
   cmake --build build-tsan -j --target \
     mba_test buffer_pool_test thread_pool_test \
     buffer_pool_concurrency_test ann_parallel_test \
-    kernels_test arena_test trace_test
+    kernels_test arena_test trace_test snapshot_isolation_test
   echo "=== test build-tsan"
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(mba_test|buffer_pool_test|thread_pool_test|buffer_pool_concurrency_test|ann_parallel_test|kernels_test|arena_test|trace_test)$' \
+    -R '^(mba_test|buffer_pool_test|thread_pool_test|buffer_pool_concurrency_test|ann_parallel_test|kernels_test|arena_test|trace_test|snapshot_isolation_test)$' \
     -j 5
 }
 

@@ -39,6 +39,13 @@ Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
                      has one auditable clock and the tracing/stats layers
                      cannot silently disagree with ad-hoc measurements.
                      Bench, example and test code may read clocks directly.
+  cow-discipline     PinnedPage::MarkDirty is forbidden in src/index/**:
+                     index mutations go through the buffer pool's
+                     copy-on-write write path (BeginWriteBatch +
+                     FetchForWrite, which marks the clone dirty itself) so
+                     a snapshot reader can never observe a half-applied
+                     structural change. Only the storage layer — which
+                     implements that path — touches the dirty bit.
   hot-loop-alloc     Inside a `// lint-hot-loop-begin` ... `// lint-hot-loop-end`
                      region (the engine's per-candidate inner loops and the
                      batched kernels), anything that can reach the allocator
@@ -119,6 +126,11 @@ CLOCK_RE = re.compile(
     r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
     r"::now\s*\(")
 CLOCK_ALLOWED_PREFIX = os.path.join("src", "obs") + os.sep
+
+# Direct dirty-bit writes are a storage-layer privilege: index code must
+# mutate pages through the COW write path (cow-discipline).
+COW_BANNED_PREFIX = os.path.join("src", "index") + os.sep
+COW_RE = re.compile(r"\bMarkDirty\s*\(")
 
 # Hot-loop regions: allocation-free by contract (DESIGN.md §10).
 HOT_LOOP_MARK = re.compile(r"//\s*lint-hot-loop-(begin|end)\b")
@@ -289,6 +301,9 @@ def main():
             if in_library and not rel.startswith(CLOCK_ALLOWED_PREFIX) \
                     and CLOCK_RE.search(code):
                 report(path, lineno, "clock-discipline", raw)
+
+            if rel.startswith(COW_BANNED_PREFIX) and COW_RE.search(code):
+                report(path, lineno, "cow-discipline", raw)
 
             if re.search(r"\bnew\s+[A-Za-z_(]", code) and not re.search(
                 r"make_unique|make_shared|unique_ptr|shared_ptr|placement",

@@ -3,7 +3,7 @@
 # overhead bar (PR 6). Run from the repository root:
 #
 #   [BUILD_DIR=build] [OUT=BENCH_PR5.json] [OUT6=BENCH_PR6.json] \
-#     ci/run_benches.sh
+#     [OUT7=BENCH_PR7.json] ci/run_benches.sh
 #
 # Runs, in one build tree:
 #   1. bench_kernels (google-benchmark, JSON) — scalar vs batched kernel
@@ -50,7 +50,7 @@ if [ ! -x "${BUILD_DIR}/bench/bench_kernels" ] ||
   echo "=== building benches (${BUILD_DIR})"
   cmake -B "${BUILD_DIR}" -S . >/dev/null
   cmake --build "${BUILD_DIR}" -j --target bench_kernels \
-    bench_fig3a_tac_methods bench_trace_overhead
+    bench_fig3a_tac_methods bench_trace_overhead bench_update_mix
 fi
 
 echo "=== bench_kernels (google-benchmark JSON)"
@@ -200,3 +200,82 @@ if idle_overhead_pct > 2.0:
 EOF
 
 echo "=== wrote ${OUT6}"
+
+# --- PR 7: incremental All-NN maintenance + snapshot-read tail latency ----
+#   5. runs bench_update_mix (incremental repair vs full recompute at
+#      0.1/0.5/1% batch sizes, with id-for-id verification of every
+#      repaired result, then the concurrent reader/writer phase) and
+#      fails unless the 1%-batch median speedup clears the documented
+#      >=3x bar and the pool reports a clean epoch-GC quiesce;
+# distilled into ${OUT7} (default BENCH_PR7.json).
+OUT7="${OUT7:-BENCH_PR7.json}"
+
+if [ ! -x "${BUILD_DIR}/bench/bench_update_mix" ]; then
+  cmake --build "${BUILD_DIR}" -j --target bench_update_mix
+fi
+
+echo "=== bench_update_mix (incremental maintenance + concurrent reads)"
+"${BUILD_DIR}/bench/bench_update_mix" | tee "${TMP}/update_mix.txt"
+
+echo "=== merging into ${OUT7}"
+python3 - "${TMP}/update_mix.txt" "${OUT7}" <<'EOF'
+import json
+import re
+import sys
+
+mix_path, out_path = sys.argv[1:3]
+kv = {}
+with open(mix_path) as f:
+    for line in f:
+        # Only the machine-readable lines are bare key=value; the human
+        # progress lines also contain '=' but have spaces around it.
+        m = re.fullmatch(r"([A-Za-z_][\w.]*)=(-?[\d.]+)", line.strip())
+        if m:
+            kv[m.group(1)] = float(m.group(2))
+
+def need(key):
+    if key not in kv:
+        sys.exit(f"run_benches: {key!r} missing from bench_update_mix")
+    return kv[key]
+
+speedup = need("incremental_speedup")
+doc = {
+    "pr": 7,
+    "headline": {
+        "incremental_speedup": speedup,
+        "required_min": 3.0,
+        "definition": ("median over 3 reps of full-AkNN-recompute time /"
+                       " MaintainAllNn repair time for a 1%-of-|S| update"
+                       " batch (half inserts, half deletes), R=20K S=40K"
+                       " clustered 2-D, k=2; every repaired result is"
+                       " verified id-for-id against the recomputation"),
+    },
+    "speedup_by_batch_pct": {
+        "0.1": kv.get("speedup_pct0.1"),
+        "0.5": kv.get("speedup_pct0.5"),
+        "1.0": kv.get("speedup_pct1.0"),
+    },
+    "concurrent_reads": {
+        "queries": need("read_queries"),
+        "p50_ms": need("read_p50_ms"),
+        "p99_ms": need("read_p99_ms"),
+    },
+    "quiesce": {
+        "ok": need("quiesce_ok") == 1,
+        "pages_retired": kv.get("pages_retired"),
+        "cow_clones": kv.get("cow_clones"),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"incremental maintenance speedup = {speedup:.2f}x (bar: >= 3x); "
+      f"read p99 = {need('read_p99_ms'):.3f} ms")
+if speedup < 3.0:
+    sys.exit("run_benches: incremental speedup below the 3x bar")
+if need("quiesce_ok") != 1:
+    sys.exit("run_benches: buffer pool failed the epoch-GC quiesce check")
+EOF
+
+echo "=== wrote ${OUT7}"

@@ -29,7 +29,26 @@
 // and a per-phase self-time summary is folded into the --stats-json
 // artifact under "trace_summary". --slow-ms=N additionally flags every
 // span of at least N milliseconds as a threshold breach.
+//
+// --update-replay=PATH switches to the dynamic workload: the targets go
+// into an updatable disk-resident index (DynamicIndex) and PATH scripts
+// interleaved mutations against the standing All-NN result. One op per
+// line ('#' starts a comment):
+//
+//   i <id> <c0> ... <cD-1>   queue an insert of a new target point
+//   d <id>                   queue a delete of a live target id
+//   q                        commit queued ops as one atomic batch and
+//                            repair the result incrementally (MaintainAllNn)
+//   f                        commit queued ops, then recompute the result
+//                            from scratch — the full-requery baseline
+//
+// Pending ops at end-of-file commit as a final 'q'. Initial target rows
+// carry ids 0..n-1; replayed ids must not collide with a live id. Combine
+// with --trace: each commit runs under "replay/apply_batch" and either
+// "ann/maintain" or "replay/full_requery" spans, so the trace summary and
+// slow-op log attribute per-op latency to the apply/repair phases.
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -40,12 +59,17 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
+#include "ann/maintain.h"
 #include "ann/mba.h"
 #include "common/status.h"
 #include "datagen/gstd.h"
+#include "index/dynamic_index.h"
 #include "index/index_file.h"
 #include "index/mbrqt/mbrqt.h"
 #include "index/paged_index_view.h"
+#include "index/update_batch.h"
 #include "obs/export.h"
 #include "obs/export/trace_json.h"
 #include "obs/export/trace_summary.h"
@@ -109,9 +133,184 @@ ann::Result<ann::Dataset> LoadCsv(const std::string& path) {
   return data;
 }
 
+struct ReplayOp {
+  char kind;  // 'i', 'd', 'q', 'f'
+  uint64_t id = 0;
+  ann::Scalar p[ann::kMaxDim] = {};
+};
+
+ann::Status ParseReplay(const std::string& path, int dim,
+                        std::vector<ReplayOp>* ops) {
+  std::ifstream in(path);
+  if (!in) return ann::Status::IOError("cannot open " + path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::stringstream row(line);
+    std::string tok;
+    if (!(row >> tok) || tok[0] == '#') continue;
+    const auto bad = [&](const std::string& why) {
+      return ann::Status::InvalidArgument(path + ":" +
+                                          std::to_string(line_no) + ": " +
+                                          why);
+    };
+    ReplayOp op;
+    if (tok == "q" || tok == "f") {
+      op.kind = tok[0];
+    } else if (tok == "i" || tok == "d") {
+      op.kind = tok[0];
+      if (!(row >> op.id)) return bad("expected an object id");
+      if (op.kind == 'i') {
+        for (int d = 0; d < dim; ++d) {
+          if (!(row >> op.p[d])) {
+            return bad("expected " + std::to_string(dim) + " coordinates");
+          }
+        }
+      }
+    } else {
+      return bad("unknown op '" + tok + "' (want i, d, q or f)");
+    }
+    std::string extra;
+    if (row >> extra && extra[0] != '#') return bad("trailing tokens");
+    ops->push_back(op);
+  }
+  return ann::Status::OK();
+}
+
 }  // namespace
 
 namespace {
+
+// The dynamic workload: targets live in a DynamicIndex whose batches
+// commit through the buffer pool's copy-on-write path, and the standing
+// result list is repaired incrementally (or recomputed, for 'f' ops) after
+// each commit.
+ann::Status RunUpdateReplay(const ann::Dataset& queries,
+                            const ann::Dataset& targets,
+                            const ann::AnnOptions& options,
+                            const std::string& replay_path,
+                            std::vector<ann::NeighborList>* results) {
+  const int dim = targets.dim();
+  std::vector<ReplayOp> ops;
+  ANN_RETURN_NOT_OK(ParseReplay(replay_path, dim, &ops));
+
+  // The quadtree cell space must contain every point the script will ever
+  // insert, so derive it from the initial targets AND the replay inserts.
+  ann::Rect box;
+  box.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    box.lo[d] = ann::kInf;
+    box.hi[d] = -ann::kInf;
+  }
+  const auto widen = [&](const ann::Scalar* p) {
+    for (int d = 0; d < dim; ++d) {
+      box.lo[d] = std::min(box.lo[d], p[d]);
+      box.hi[d] = std::max(box.hi[d], p[d]);
+    }
+  };
+  for (size_t i = 0; i < targets.size(); ++i) widen(targets.point(i));
+  for (const ReplayOp& op : ops) {
+    if (op.kind == 'i') widen(op.p);
+  }
+
+  ANN_ASSIGN_OR_RETURN(ann::Mbrqt qt_r, ann::Mbrqt::Build(queries));
+  const ann::MemIndexView ir(&qt_r.Finalize());
+
+  ann::MemDiskManager disk;
+  ann::BufferPool pool(&disk, 1u << 14);
+  ann::NodeStore store(&pool);
+  ann::Mbrqt builder(ann::Mbrqt::CubicCell(box));
+  std::unordered_map<uint64_t, std::vector<ann::Scalar>> live;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ANN_RETURN_NOT_OK(builder.Insert(targets.point(i), i));
+    live.emplace(i, std::vector<ann::Scalar>(targets.point(i),
+                                             targets.point(i) + dim));
+  }
+  ANN_ASSIGN_OR_RETURN(std::unique_ptr<ann::DynamicIndex> index,
+                       ann::DynamicIndex::Create(std::move(builder), &store));
+
+  ANN_RETURN_NOT_OK(ann::AllNearestNeighbors(ir, *index, options, results));
+  ann::SortByQueryId(results);
+
+  ann::UpdateBatch batch(dim);
+  size_t commits = 0;
+  const auto commit = [&](bool incremental) -> ann::Status {
+    if (batch.num_inserts() == 0 && batch.num_deletes() == 0) {
+      return ann::Status::OK();
+    }
+    {
+      ANNLIB_TRACE_SPAN("replay", "apply_batch");
+      ANN_RETURN_NOT_OK(index->ApplyBatch(batch));
+    }
+    if (incremental) {
+      ann::MaintainStats mstats;
+      ANN_RETURN_NOT_OK(ann::MaintainAllNn(ir, *index, options, batch,
+                                           results, &mstats));
+      std::fprintf(stderr, "commit %zu (+%zu/-%zu) maintained: %s\n",
+                   commits, batch.num_inserts(), batch.num_deletes(),
+                   mstats.ToString().c_str());
+    } else {
+      ANNLIB_TRACE_SPAN("replay", "full_requery");
+      results->clear();
+      ANN_RETURN_NOT_OK(
+          ann::AllNearestNeighbors(ir, *index, options, results));
+      ann::SortByQueryId(results);
+      std::fprintf(stderr, "commit %zu (+%zu/-%zu) fully recomputed\n",
+                   commits, batch.num_inserts(), batch.num_deletes());
+    }
+    ++commits;
+    batch = ann::UpdateBatch(dim);
+    return ann::Status::OK();
+  };
+
+  for (const ReplayOp& op : ops) {
+    switch (op.kind) {
+      case 'i': {
+        if (live.count(op.id) != 0) {
+          return ann::Status::InvalidArgument(
+              "replay: insert of live id " + std::to_string(op.id));
+        }
+        batch.AddInsert(op.p, op.id);
+        live.emplace(op.id, std::vector<ann::Scalar>(op.p, op.p + dim));
+        break;
+      }
+      case 'd': {
+        const auto it = live.find(op.id);
+        if (it == live.end()) {
+          return ann::Status::InvalidArgument(
+              "replay: delete of unknown id " + std::to_string(op.id));
+        }
+        for (size_t i = 0; i < batch.num_inserts(); ++i) {
+          if (batch.insert_ids[i] == op.id) {
+            return ann::Status::InvalidArgument(
+                "replay: id " + std::to_string(op.id) +
+                " deleted in the same batch that inserts it; commit "
+                "(q or f) between the two ops");
+          }
+        }
+        batch.AddDelete(it->second.data(), op.id);
+        live.erase(it);
+        break;
+      }
+      case 'q':
+        ANN_RETURN_NOT_OK(commit(/*incremental=*/true));
+        break;
+      case 'f':
+        ANN_RETURN_NOT_OK(commit(/*incremental=*/false));
+        break;
+      default:
+        return ann::Status::Internal("replay: bad op kind");
+    }
+  }
+  ANN_RETURN_NOT_OK(commit(/*incremental=*/true));
+  std::fprintf(stderr,
+               "replayed %zu ops (%zu commits); index now holds %llu "
+               "targets at epoch %llu\n",
+               ops.size(), commits, (unsigned long long)index->num_objects(),
+               (unsigned long long)index->committed_epoch());
+  return ann::Status::OK();
+}
 
 // Runs the query either over freshly built in-memory indexes or over a
 // persistent IndexFile cache (built on first use).
@@ -264,6 +463,7 @@ std::string FinishTrace(ann::obs::TraceSession* session,
 int main(int argc, char** argv) {
   std::string stats_json_path;  // empty = off, "-" = stdout
   std::string trace_path;       // empty = tracing off
+  std::string replay_path;      // empty = static mode
   double slow_ms = 0;
   int num_threads = 1;
   std::vector<char*> args;
@@ -277,6 +477,8 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
       slow_ms = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--update-replay=", 16) == 0) {
+      replay_path = argv[i] + 16;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = std::atoi(argv[i] + 10);
       if (num_threads < 0) num_threads = 1;
@@ -318,7 +520,7 @@ int main(int argc, char** argv) {
   if (args.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s [--stats-json[=PATH]] [--trace=PATH] "
-                 "[--slow-ms=N] [--threads=N] "
+                 "[--slow-ms=N] [--threads=N] [--update-replay=PATH] "
                  "<queries.csv> <targets.csv> [k] [output.csv] [cache.ann]\n"
                  "       %s --stats-json   (built-in demo workload)\n",
                  argv[0], argv[0]);
@@ -350,7 +552,10 @@ int main(int argc, char** argv) {
   options.num_threads = num_threads;
   std::vector<ann::NeighborList> results;
   const ann::Status st =
-      RunQuery(*queries, *targets, options, cache_path, &results);
+      replay_path.empty()
+          ? RunQuery(*queries, *targets, options, cache_path, &results)
+          : RunUpdateReplay(*queries, *targets, options, replay_path,
+                            &results);
   if (!st.ok()) {
     std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
     return 1;

@@ -63,22 +63,29 @@ void EngineObs::MergeIntoGlobal() {
 }
 
 EngineContext::EngineContext(const SpatialIndex& ir, const SpatialIndex& is,
+                             IndexSnapshot ir_snap, IndexSnapshot is_snap,
                              const AnnOptions& options, AnnResultSink sink,
                              const std::atomic<bool>* cancel,
                              bool arena_backed_lpqs)
-    : ir_(ir), is_(is), options_(options), sink_(std::move(sink)),
-      cancel_(cancel), pool_(arena_backed_lpqs ? &arena_ : nullptr) {}
+    : ir_(ir), is_(is), ir_snap_(std::move(ir_snap)),
+      is_snap_(std::move(is_snap)), options_(options),
+      sink_(std::move(sink)), cancel_(cancel),
+      pool_(arena_backed_lpqs ? &arena_ : nullptr) {}
 
 void EngineContext::SeedRoot() {
   const Scalar root_bound2 =
       options_.max_distance == kInf
           ? kInf
           : options_.max_distance * options_.max_distance;
+  // The roots come from the snapshots, not the live indexes: a dynamic
+  // index's Root() may already point past the version this context's
+  // pins resolve.
   std::unique_ptr<Lpq> root_lpq =
-      pool_.Acquire(ir_.Root(), root_bound2, options_.k, /*level=*/0);
+      pool_.Acquire(ir_snap_.root, root_bound2, options_.k, /*level=*/0);
   ++stats_.lpqs_created;
   const LpqEntry root_entry = MakeLpqEntry(
-      root_lpq->owner(), is_.Root(), options_.metric, /*level=*/0, &stats_);
+      root_lpq->owner(), is_snap_.root, options_.metric, /*level=*/0,
+      &stats_);
   root_lpq->Enqueue(root_entry, &stats_);
   worklist_.PushBack(std::move(root_lpq));
 }
@@ -168,7 +175,8 @@ Status EngineContext::Gather(Lpq* lpq) {
     leaf_block_.Clear();
     bool is_leaf_block = false;
     ANN_RETURN_NOT_OK(
-        is_.ExpandBatch(n.entry, &scratch_, &leaf_block_, &is_leaf_block));
+        is_.ExpandBatch(is_snap_, n.entry, &scratch_, &leaf_block_,
+                        &is_leaf_block));
     const uint16_t child_level = static_cast<uint16_t>(n.level + 1);
     if (is_leaf_block) {
       // SoA leaf bucket: one batched distance kernel, then a sequential
@@ -234,7 +242,7 @@ Status EngineContext::Expand(Lpq* lpq) {
   ++stats_.r_nodes_expanded;
   obs_.r_level.Record(static_cast<double>(lpq->level()));
   std::vector<IndexEntry> r_children;
-  ANN_RETURN_NOT_OK(ir_.Expand(lpq->owner(), &r_children));
+  ANN_RETURN_NOT_OK(ir_.Expand(ir_snap_, lpq->owner(), &r_children));
   child_lpqs_.clear();
   child_lpqs_.reserve(r_children.size());
   owner_mbrs_.clear();
@@ -306,7 +314,8 @@ Status EngineContext::Expand(Lpq* lpq) {
       leaf_block_.Clear();
       bool is_leaf_block = false;
       ANN_RETURN_NOT_OK(
-          is_.ExpandBatch(n.entry, &scratch_, &leaf_block_, &is_leaf_block));
+          is_.ExpandBatch(is_snap_, n.entry, &scratch_, &leaf_block_,
+                        &is_leaf_block));
       const uint16_t child_level = static_cast<uint16_t>(n.level + 1);
       if (is_leaf_block) {
         const int dim = is_.dim();
@@ -407,7 +416,7 @@ Status EngineContext::EmitEmptySubtree(const IndexEntry& entry) {
       continue;
     }
     children.clear();
-    ANN_RETURN_NOT_OK(ir_.Expand(e, &children));
+    ANN_RETURN_NOT_OK(ir_.Expand(ir_snap_, e, &children));
     for (const IndexEntry& c : children) stack.push_back(c);
   }
   return Status::OK();

@@ -209,6 +209,13 @@ class LpqWorklist {
 /// context's thread like every other member (see draining_).
 class EngineContext {
  public:
+  /// \param ir_snap / is_snap the read views every traversal step goes
+  ///   through. The run opens each index's snapshot ONCE and hands copies
+  ///   to every context (copies share the storage pin), so all partitions
+  ///   of one query observe the same committed version of a dynamic index
+  ///   — results and PruneStats stay deterministic even while a writer
+  ///   commits batches mid-query. Static indexes pass the default
+  ///   (pin-free) snapshot and behave exactly as before.
   /// \param cancel optional run-wide abort flag, polled once per worklist
   ///   iteration; when raised the traversal stops and returns
   ///   CancelledStatus().
@@ -219,6 +226,7 @@ class EngineContext {
   ///   there. Scratch and the worklist still use the arena (they never
   ///   leave the context).
   EngineContext(const SpatialIndex& ir, const SpatialIndex& is,
+                IndexSnapshot ir_snap, IndexSnapshot is_snap,
                 const AnnOptions& options, AnnResultSink sink,
                 const std::atomic<bool>* cancel = nullptr,
                 bool arena_backed_lpqs = true);
@@ -280,6 +288,8 @@ class EngineContext {
 
   const SpatialIndex& ir_;
   const SpatialIndex& is_;
+  const IndexSnapshot ir_snap_;  ///< pinned read view of ir_ (shared pin)
+  const IndexSnapshot is_snap_;  ///< pinned read view of is_ (shared pin)
   const AnnOptions& options_;
   AnnResultSink sink_;
   const std::atomic<bool>* cancel_;

@@ -1,0 +1,356 @@
+#include "ann/maintain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "ann/nn_search.h"
+#include "metrics/metrics.h"
+#include "obs/trace.h"
+
+namespace ann {
+
+namespace {
+
+/// One child slot of the probe skeleton: either an internal IR node (node
+/// >= 0, indexing Skeleton::nodes) or a query object (node < 0, `list`
+/// indexing the result vector). `max_b2` is the largest Lemma 3.2 bound
+/// at or below the child, so an insert probe can discard the whole
+/// subtree when its MINDIST already exceeds it.
+struct ProbeChild {
+  Rect mbr;
+  Scalar max_b2 = 0;
+  int32_t node = -1;
+  size_t list = 0;
+};
+
+struct ProbeNode {
+  std::vector<ProbeChild> children;
+};
+
+/// In-memory aggregate view of the (static) query index IR, built by one
+/// traversal and then probed once per inserted point. Doubles as the
+/// coordinate table for the query objects, which the re-query path needs.
+struct Skeleton {
+  std::vector<ProbeNode> nodes;
+  int32_t root = -1;        ///< -1 while IR has a bare object root
+  ProbeChild root_object;   ///< used instead when IR is a single object
+  bool root_is_object = false;
+  std::vector<Scalar> r_coords;  ///< num lists * dim, row-major
+  std::vector<bool> r_seen;      ///< list index found in IR
+};
+
+/// Per-list repair bookkeeping derived from `results` before the probes.
+struct ListState {
+  Scalar bound2 = 0;  ///< squared Lemma 3.2 bound for admission tests
+  bool delete_affected = false;
+  std::vector<Neighbor> candidates;  ///< admitted inserts, unordered
+};
+
+Scalar SquaredOrInf(Scalar d) { return d == kInf ? kInf : d * d; }
+
+/// Registers one query object encountered during the IR walk: resolves
+/// its result list, records its coordinates, and emits the ProbeChild.
+Status AddObjectChild(uint64_t r_id, const Scalar* coords, int dim,
+                      const std::unordered_map<uint64_t, size_t>& by_id,
+                      const std::vector<ListState>& lists,
+                      Skeleton* skel, ProbeChild* out) {
+  auto it = by_id.find(r_id);
+  if (it == by_id.end()) {
+    return Status::InvalidArgument(
+        "MaintainAllNn: IR object " + std::to_string(r_id) +
+        " has no result list");
+  }
+  const size_t li = it->second;
+  if (skel->r_seen[li]) {
+    return Status::InvalidArgument(
+        "MaintainAllNn: duplicate IR object id " + std::to_string(r_id));
+  }
+  skel->r_seen[li] = true;
+  std::copy(coords, coords + dim,
+            skel->r_coords.begin() +
+                static_cast<ptrdiff_t>(li) * static_cast<ptrdiff_t>(dim));
+  out->mbr = Rect::FromPoint(coords, dim);
+  out->max_b2 = lists[li].bound2;
+  out->node = -1;
+  out->list = li;
+  return Status::OK();
+}
+
+/// Builds the probe skeleton by a postorder walk of IR, aggregating each
+/// child's subtree-max bound on the way back up.
+Status BuildSkeleton(const SpatialIndex& ir,
+                     const std::unordered_map<uint64_t, size_t>& by_id,
+                     const std::vector<ListState>& lists, Skeleton* skel) {
+  const int dim = ir.dim();
+  skel->r_coords.assign(lists.size() * static_cast<size_t>(dim), 0);
+  skel->r_seen.assign(lists.size(), false);
+
+  const IndexEntry root = ir.Root();
+  if (root.is_object) {
+    skel->root_is_object = true;
+    return AddObjectChild(root.id, root.mbr.lo.data(), dim, by_id, lists,
+                          skel, &skel->root_object);
+  }
+
+  // Frame: an IR node whose children are fetched on first visit; `slot`
+  // walks the internal children, recursing into each before the node's
+  // own max bound is final.
+  struct Frame {
+    int32_t skel_node;        ///< index into skel->nodes
+    size_t slot = 0;          ///< next child of `entries` to descend into
+    std::vector<IndexEntry> entries;  ///< internal/object children
+  };
+  std::vector<Frame> stack;
+  std::vector<IndexEntry> children;
+  LeafBlock leaf;
+
+  // Expands `e` into a fresh skeleton node, filling object children
+  // immediately and leaving internal children to the DFS.
+  auto open_node = [&](const IndexEntry& e, Frame* frame) -> Status {
+    children.clear();
+    leaf.Clear();
+    bool is_leaf_block = false;
+    ANN_RETURN_NOT_OK(ir.ExpandBatch(e, &children, &leaf, &is_leaf_block));
+    frame->skel_node = static_cast<int32_t>(skel->nodes.size());
+    skel->nodes.emplace_back();
+    ProbeNode& pn = skel->nodes.back();
+    if (is_leaf_block) {
+      pn.children.resize(leaf.size());
+      for (size_t i = 0; i < leaf.size(); ++i) {
+        ANN_RETURN_NOT_OK(AddObjectChild(
+            leaf.ids[i], leaf.coords.data() + i * static_cast<size_t>(dim),
+            dim, by_id, lists, skel, &pn.children[i]));
+      }
+      return Status::OK();
+    }
+    pn.children.reserve(children.size());
+    frame->entries.reserve(children.size());
+    for (const IndexEntry& c : children) {
+      if (c.is_object) {
+        pn.children.emplace_back();
+        ANN_RETURN_NOT_OK(AddObjectChild(c.id, c.mbr.lo.data(), dim, by_id,
+                                         lists, skel, &pn.children.back()));
+      } else {
+        frame->entries.push_back(c);
+      }
+    }
+    return Status::OK();
+  };
+
+  stack.emplace_back();
+  ANN_RETURN_NOT_OK(open_node(root, &stack.back()));
+  skel->root = stack.back().skel_node;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.slot < top.entries.size()) {
+      const IndexEntry e = top.entries[top.slot];
+      ++top.slot;
+      stack.emplace_back();  // may invalidate `top`; e was copied out
+      ANN_RETURN_NOT_OK(open_node(e, &stack.back()));
+      // Link the child into its parent now that its index is known.
+      Frame& parent = stack[stack.size() - 2];
+      ProbeChild pc;
+      pc.mbr = e.mbr;
+      pc.node = stack.back().skel_node;
+      skel->nodes[parent.skel_node].children.push_back(pc);
+      continue;
+    }
+    // All children resolved: finalize this node's subtree-max bound into
+    // the parent's ProbeChild slot.
+    Scalar max_b2 = 0;
+    for (const ProbeChild& c : skel->nodes[top.skel_node].children) {
+      max_b2 = std::max(max_b2, c.max_b2);
+    }
+    const int32_t done = top.skel_node;
+    stack.pop_back();
+    if (!stack.empty()) {
+      for (ProbeChild& c : skel->nodes[stack.back().skel_node].children) {
+        if (c.node == done) {
+          c.max_b2 = max_b2;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t li = 0; li < lists.size(); ++li) {
+    if (!skel->r_seen[li]) {
+      return Status::InvalidArgument(
+          "MaintainAllNn: result list has no matching object in IR");
+    }
+  }
+  return Status::OK();
+}
+
+/// Descends the skeleton for one inserted point, collecting every list
+/// the insertion can change (Lemma 3.2 admission, subtree-max pruning).
+void ProbeInsert(const Skeleton& skel, const Scalar* s, uint64_t s_id,
+                 int dim, std::vector<ListState>* lists,
+                 MaintainStats* stats) {
+  auto try_object = [&](const ProbeChild& c) {
+    const Scalar* r = skel.r_coords.data() +
+                      c.list * static_cast<size_t>(dim);
+    const Scalar d2 = PointDist2(s, r, dim);
+    ListState& ls = (*lists)[c.list];
+    if (!ExceedsBound2(d2, ls.bound2)) {
+      ls.candidates.emplace_back(s_id, std::sqrt(d2));
+    }
+  };
+  if (skel.root_is_object) {
+    try_object(skel.root_object);
+    return;
+  }
+  std::vector<int32_t> todo;
+  todo.push_back(skel.root);
+  while (!todo.empty()) {
+    const ProbeNode& node = skel.nodes[todo.back()];
+    todo.pop_back();
+    ++stats->probe_node_visits;
+    for (const ProbeChild& c : node.children) {
+      if (c.node < 0) {
+        try_object(c);
+        continue;
+      }
+      if (ExceedsBound2(PointRectMinDist2(s, c.mbr), c.max_b2)) {
+        ++stats->probe_node_prunes;
+        continue;
+      }
+      todo.push_back(c.node);
+    }
+  }
+}
+
+}  // namespace
+
+std::string MaintainStats::ToString() const {
+  std::ostringstream os;
+  os << "queries=" << queries << " delete_affected=" << delete_affected
+     << " insert_affected=" << insert_affected
+     << " requeried=" << requeried << " merged=" << merged
+     << " probe_node_visits=" << probe_node_visits
+     << " probe_node_prunes=" << probe_node_prunes;
+  return os.str();
+}
+
+Status MaintainAllNn(const SpatialIndex& ir, const SpatialIndex& is_new,
+                     const AnnOptions& options, const UpdateBatch& batch,
+                     std::vector<NeighborList>* results,
+                     MaintainStats* stats) {
+  if (results == nullptr) {
+    return Status::InvalidArgument("MaintainAllNn: results is null");
+  }
+  MaintainStats local;
+  local.queries = results->size();
+  if (batch.empty()) {
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  const int dim = ir.dim();
+  if (batch.dim != dim || is_new.dim() != dim) {
+    return Status::InvalidArgument(
+        "MaintainAllNn: dimensionality mismatch");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("MaintainAllNn: k must be >= 1");
+  }
+  ANNLIB_TRACE_SPAN_NAMED(span, "ann", "maintain");
+  span.AddArg("queries", results->size());
+  span.AddArg("inserts", batch.num_inserts());
+  span.AddArg("deletes", batch.num_deletes());
+
+  const size_t k = static_cast<size_t>(options.k);
+  const Scalar maxd2 = SquaredOrInf(options.max_distance);
+
+  // Index the lists by query id and derive each list's Lemma 3.2 bound:
+  // the k-th neighbor distance once the list is full, else max_distance
+  // (a short list means everything beyond it was out of range, so only a
+  // point within max_distance can extend it).
+  std::unordered_map<uint64_t, size_t> by_id;
+  by_id.reserve(results->size());
+  std::vector<ListState> lists(results->size());
+  for (size_t i = 0; i < results->size(); ++i) {
+    const NeighborList& nl = (*results)[i];
+    if (!by_id.emplace(nl.r_id, i).second) {
+      return Status::InvalidArgument(
+          "MaintainAllNn: duplicate result list for id " +
+          std::to_string(nl.r_id));
+    }
+    lists[i].bound2 = nl.neighbors.size() < k
+                          ? maxd2
+                          : SquaredOrInf(nl.neighbors.back().second);
+  }
+
+  // Deletes: any list naming a deleted id loses a neighbor and must be
+  // re-queried (the replacement can be anywhere in the new S).
+  if (batch.num_deletes() > 0) {
+    std::unordered_set<uint64_t> deleted(batch.delete_ids.begin(),
+                                         batch.delete_ids.end());
+    for (size_t i = 0; i < results->size(); ++i) {
+      for (const Neighbor& n : (*results)[i].neighbors) {
+        if (deleted.count(n.first) != 0) {
+          lists[i].delete_affected = true;
+          ++local.delete_affected;
+          break;
+        }
+      }
+    }
+  }
+
+  // Inserts: one aggregate-pruned probe into IR per new point (the
+  // reverse-nearest-neighbor direction — find the queries whose bound
+  // admits the point rather than the neighbors of the point).
+  Skeleton skel;
+  if (batch.num_inserts() > 0) {
+    ANN_RETURN_NOT_OK(BuildSkeleton(ir, by_id, lists, &skel));
+    for (size_t i = 0; i < batch.num_inserts(); ++i) {
+      ProbeInsert(skel, batch.insert_point(i), batch.insert_ids[i], dim,
+                  &lists, &local);
+    }
+  } else if (local.delete_affected > 0) {
+    // The re-query path still needs query coordinates; a bound-free walk
+    // of IR collects them without any probing.
+    ANN_RETURN_NOT_OK(BuildSkeleton(ir, by_id, lists, &skel));
+  }
+
+  // Repair pass. Delete-affected lists take a fresh kNN search against
+  // the post-batch S index; insert-only lists merge the admitted
+  // candidates into the still-valid old list — no index search at all.
+  SearchStats search_stats;
+  for (size_t i = 0; i < results->size(); ++i) {
+    ListState& ls = lists[i];
+    if (!ls.candidates.empty()) ++local.insert_affected;
+    NeighborList& nl = (*results)[i];
+    if (ls.delete_affected) {
+      const Scalar* r = skel.r_coords.data() +
+                        i * static_cast<size_t>(dim);
+      ANN_RETURN_NOT_OK(PointKnn(is_new, r, options.k, maxd2,
+                                 &nl.neighbors, &search_stats));
+      ++local.requeried;
+      continue;
+    }
+    if (ls.candidates.empty()) continue;
+    // Sorted merge by (distance, id), truncated to k: exactly the top-k
+    // of old-S ∪ inserts, since every insert that could place is a
+    // candidate and the old list already is the top-k of old S.
+    nl.neighbors.insert(nl.neighbors.end(), ls.candidates.begin(),
+                        ls.candidates.end());
+    std::sort(nl.neighbors.begin(), nl.neighbors.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.second != b.second ? a.second < b.second
+                                            : a.first < b.first;
+              });
+    if (nl.neighbors.size() > k) nl.neighbors.resize(k);
+    ++local.merged;
+  }
+  span.AddArg("requeried", local.requeried);
+  span.AddArg("merged", local.merged);
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace ann

@@ -1,0 +1,65 @@
+#ifndef ANNLIB_ANN_MAINTAIN_H_
+#define ANNLIB_ANN_MAINTAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ann/mba.h"
+#include "ann/result.h"
+#include "index/spatial_index.h"
+#include "index/update_batch.h"
+
+namespace ann {
+
+/// Counters for one incremental-maintenance pass.
+struct MaintainStats {
+  uint64_t queries = 0;          ///< result lists examined
+  uint64_t delete_affected = 0;  ///< lists that contained a deleted id
+  uint64_t insert_affected = 0;  ///< lists an inserted point fell inside
+  uint64_t requeried = 0;        ///< lists repaired by a fresh kNN search
+  uint64_t merged = 0;           ///< lists repaired by a sorted merge
+  uint64_t probe_node_visits = 0;  ///< IR nodes visited by insert probes
+  uint64_t probe_node_prunes = 0;  ///< IR subtrees pruned by Lemma 3.2
+
+  std::string ToString() const;
+};
+
+/// \brief Incremental All-kNN maintenance under an S-side update batch
+/// (Lemma 3.2 applied in reverse).
+///
+/// Given the result lists of a completed AkNN run and a batch of S
+/// inserts/deletes, repairs exactly the lists the batch can affect and
+/// leaves every other list untouched:
+///
+/// - A list is *delete-affected* when it contains a deleted id; its
+///   neighbors must be recomputed, so it is re-queried against `is_new`
+///   with a fresh best-first kNN search.
+/// - A list is *insert-affected* when some inserted point s satisfies
+///   d(r, s) < bound(r), where bound(r) is the list's k-th neighbor
+///   distance (or max_distance while the list is short) — the Lemma 3.2
+///   monotone bound test. By monotonicity the same test prunes whole IR
+///   subtrees: an insert probe descends the query index skipping any node
+///   whose MINDIST to s is at least the *maximum* bound below it, the
+///   reverse-nearest-neighbor pruning of Cheong et al. accelerated by a
+///   per-node bound aggregate in the spirit of the Cascading Metric Tree.
+///   Insert-only repairs are a sorted merge of the old list with the
+///   admitted candidates — no index search at all.
+///
+/// `ir` is the (unchanged) query index the results came from; `is_new` is
+/// the S index AFTER the batch (e.g. the DynamicIndex itself, or a
+/// SnapshotView of its post-commit snapshot). `options` must be the ones
+/// the original run used (k, max_distance and metric semantics carry
+/// over). Lists keep their position in `results`; each repaired list's
+/// neighbors are ascending by distance, ties by id.
+///
+/// Every object indexed by `ir` must have a list in `results` (the
+/// function indexes them by r_id).
+Status MaintainAllNn(const SpatialIndex& ir, const SpatialIndex& is_new,
+                     const AnnOptions& options, const UpdateBatch& batch,
+                     std::vector<NeighborList>* results,
+                     MaintainStats* stats = nullptr);
+
+}  // namespace ann
+
+#endif  // ANNLIB_ANN_MAINTAIN_H_

@@ -50,10 +50,12 @@ void FoldKernelStats(const KernelStats& d) {
 
 /// Classic sequential MBA: one context seeded at the root.
 Status RunSequential(const SpatialIndex& ir, const SpatialIndex& is,
+                     const IndexSnapshot& ir_snap,
+                     const IndexSnapshot& is_snap,
                      const AnnOptions& options, const AnnResultSink& sink,
                      PruneStats* stats) {
   ANNLIB_TRACE_SPAN("mba", "drain");
-  EngineContext ctx(ir, is, options, sink);
+  EngineContext ctx(ir, is, ir_snap, is_snap, options, sink);
   ctx.SeedRoot();
   const Status st = ctx.Drain();
   *stats += ctx.stats();
@@ -108,16 +110,20 @@ struct ParallelTask {
 /// it at their next worklist iteration and return the cancellation
 /// marker, which the merge loop ignores so the triggering error wins.
 Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
-                   const AnnOptions& options, const AnnResultSink& sink,
-                   PruneStats* stats, size_t num_threads) {
+                   const IndexSnapshot& ir_snap,
+                   const IndexSnapshot& is_snap, const AnnOptions& options,
+                   const AnnResultSink& sink, PruneStats* stats,
+                   size_t num_threads) {
   std::atomic<bool> cancel{false};
   // Planning (and empty-subtree emission) happens on this thread through
   // the caller's sink, before any worker exists. The seed LPQs it builds
   // migrate to worker threads, so they must NOT come from the planning
   // context's single-thread-confined arena — arena_backed_lpqs=false
   // makes them plain heap queues (each Lpq carries its own allocator, so
-  // workers recycling them later stays safe).
-  EngineContext plan_ctx(ir, is, options, sink, &cancel,
+  // workers recycling them later stays safe). Every context below copies
+  // the same two snapshots, so the whole run — planner and all workers —
+  // reads one committed version of each index.
+  EngineContext plan_ctx(ir, is, ir_snap, is_snap, options, sink, &cancel,
                          /*arena_backed_lpqs=*/false);
   const size_t target = options.partition_fanout > 0
                             ? static_cast<size_t>(options.partition_fanout)
@@ -145,7 +151,7 @@ Status RunParallel(const SpatialIndex& ir, const SpatialIndex& is,
     ParallelTask& t = tasks[i];
     t.seed = std::move(plan.tasks[i]);
     t.ctx = std::make_unique<EngineContext>(
-        ir, is, options,
+        ir, is, ir_snap, is_snap, options,
         [&t](NeighborList&& list) {
           t.results.push_back(std::move(list));
           return Status::OK();
@@ -231,17 +237,25 @@ Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
     ANN_RETURN_NOT_OK(CheckIndexInvariants(ir));
     ANN_RETURN_NOT_OK(CheckIndexInvariants(is));
   }
+  // One snapshot per index for the whole run: every context (sequential,
+  // planner, or parallel worker) traverses these exact versions, so a
+  // dynamic index committing batches mid-query cannot tear the result or
+  // perturb the deterministic PruneStats. For static indexes this is the
+  // default pin-free snapshot and costs nothing.
+  ANN_ASSIGN_OR_RETURN(IndexSnapshot ir_snap, ir.OpenSnapshot());
+  ANN_ASSIGN_OR_RETURN(IndexSnapshot is_snap, is.OpenSnapshot());
   PruneStats local;
   PruneStats* s = stats ? stats : &local;
   const size_t num_threads = ResolveThreadCount(options.num_threads);
   ANNLIB_TRACE_SPAN_NAMED(query_span, "mba", "query");
   query_span.AddArg("k", static_cast<uint64_t>(options.k));
-  query_span.AddArg("r_objects", ir.num_objects());
+  query_span.AddArg("r_objects", ir_snap.num_objects);
   query_span.AddArg("threads", num_threads);
-  if (num_threads <= 1 || ir.num_objects() < kMinParallelObjects) {
-    return RunSequential(ir, is, options, sink, s);
+  if (num_threads <= 1 || ir_snap.num_objects < kMinParallelObjects) {
+    return RunSequential(ir, is, ir_snap, is_snap, options, sink, s);
   }
-  return RunParallel(ir, is, options, sink, s, num_threads);
+  return RunParallel(ir, is, ir_snap, is_snap, options, sink, s,
+                     num_threads);
 }
 
 Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "ann/lpq.h"
@@ -371,6 +372,124 @@ Status CheckBufferPoolInvariants(const BufferPool& pool) {
     oss << "buffer pool: stripes hold " << total_frames
         << " frames, capacity is " << pool.capacity_;
     return Violation(oss.str());
+  }
+  {
+    // Version latch (rank 15) is taken on its own, never nested with a
+    // stripe latch (rank 20) — same one-at-a-time discipline as above.
+    MutexLock vlock(&pool.version_mu_);
+    ANN_RETURN_NOT_OK(BufferPool::CheckVersionInvariants(pool));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::CheckVersionInvariants(const BufferPool& pool) {
+  const uint64_t current = pool.current_epoch_.load(std::memory_order_acquire);
+  if (!pool.has_versions_.load(std::memory_order_acquire)) {
+    if (!pool.versions_.empty() || !pool.retired_.empty() ||
+        !pool.free_physical_.empty() || pool.batch_open_) {
+      return Violation(
+          "buffer pool: version state exists but has_versions_ is false");
+    }
+    return Status::OK();
+  }
+
+  // Every physical page plays exactly one role: chain link, free-list
+  // slot, or batch-private clone. A duplicate means two logical pages
+  // (or a logical page and the allocator) share backing storage.
+  std::unordered_set<PageId> physicals;
+  auto claim = [&](PageId physical, const char* role) -> Status {
+    if (!physicals.insert(physical).second) {
+      std::ostringstream oss;
+      oss << "buffer pool: physical page " << physical << " (" << role
+          << ") backs two owners";
+      return Violation(oss.str());
+    }
+    return Status::OK();
+  };
+
+  for (const auto& [logical, chain] : pool.versions_) {
+    if (chain.empty()) {
+      std::ostringstream oss;
+      oss << "buffer pool: logical page " << logical
+          << " has an empty version chain";
+      return Violation(oss.str());
+    }
+    uint64_t prev_epoch = 0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0 && chain[i].epoch <= prev_epoch) {
+        std::ostringstream oss;
+        oss << "buffer pool: version chain of page " << logical
+            << " is not strictly increasing at epoch " << chain[i].epoch;
+        return Violation(oss.str());
+      }
+      prev_epoch = chain[i].epoch;
+      ANN_RETURN_NOT_OK(claim(chain[i].physical, "chain link"));
+    }
+    if (chain.back().epoch > current) {
+      std::ostringstream oss;
+      oss << "buffer pool: page " << logical << " current version epoch "
+          << chain.back().epoch << " is past committed epoch " << current;
+      return Violation(oss.str());
+    }
+  }
+  for (const PageId physical : pool.free_physical_) {
+    ANN_RETURN_NOT_OK(claim(physical, "free list"));
+  }
+  for (const auto& [logical, physical] : pool.batch_shadow_) {
+    ANN_RETURN_NOT_OK(claim(physical, "batch shadow"));
+  }
+
+  // Retired pages still sit in their chains (the chain link is trimmed at
+  // reclaim time), so they must be claimed already — and their retire
+  // epoch must be a committed one.
+  for (const BufferPool::RetiredPage& r : pool.retired_) {
+    if (physicals.count(r.physical) == 0) {
+      std::ostringstream oss;
+      oss << "buffer pool: retired physical page " << r.physical
+          << " is in no version chain";
+      return Violation(oss.str());
+    }
+    if (r.retire_epoch > current) {
+      std::ostringstream oss;
+      oss << "buffer pool: page " << r.physical << " retired at epoch "
+          << r.retire_epoch << " past committed epoch " << current;
+      return Violation(oss.str());
+    }
+  }
+  if (pool.pages_retired_ !=
+      pool.pages_reclaimed_ + pool.retired_.size()) {
+    std::ostringstream oss;
+    oss << "buffer pool: retired " << pool.pages_retired_ << " != reclaimed "
+        << pool.pages_reclaimed_ << " + pending " << pool.retired_.size();
+    return Violation(oss.str());
+  }
+
+  for (const auto& [epoch, refs] : pool.active_epochs_) {
+    if (refs == 0) {
+      std::ostringstream oss;
+      oss << "buffer pool: epoch " << epoch << " pinned with refcount 0";
+      return Violation(oss.str());
+    }
+    if (epoch > current) {
+      std::ostringstream oss;
+      oss << "buffer pool: snapshot pins epoch " << epoch
+          << " past committed epoch " << current;
+      return Violation(oss.str());
+    }
+  }
+
+  if (!pool.batch_open_ &&
+      (!pool.batch_shadow_.empty() || !pool.batch_created_.empty())) {
+    return Violation("buffer pool: batch state left over after close");
+  }
+  for (const auto& [logical, physical] : pool.batch_shadow_) {
+    if (pool.batch_created_.count(logical) != 0) {
+      std::ostringstream oss;
+      oss << "buffer pool: page " << logical
+          << " is both batch-created and batch-shadowed";
+      return Violation(oss.str());
+    }
+    (void)physical;  // lint-ok: structured binding, only the key matters
   }
   return Status::OK();
 }

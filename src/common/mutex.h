@@ -111,6 +111,18 @@ namespace ann {
 inline constexpr int kMutexRankNone = -1;
 /// ThreadPool queue latch — never held while calling into the library.
 inline constexpr int kMutexRankThreadPool = 10;
+/// DynamicIndex writer latch — held across a whole update batch, which
+/// nests the meta latch, the buffer pool's version and stripe latches and
+/// the disk manager, so it ranks before all of them.
+inline constexpr int kMutexRankDynamicIndexWriter = 12;
+/// DynamicIndex meta latch — guards the committed root/meta; snapshot
+/// opens hold it while pinning a storage epoch (version latch nests).
+inline constexpr int kMutexRankDynamicIndexMeta = 13;
+/// BufferPool version-table latch — logical-to-physical page resolution,
+/// epoch refcounts and the COW retire/reclaim lists. Acquired before any
+/// stripe latch (Fetch resolves the version first, then pins the frame;
+/// epoch GC purges stripe cache entries under it).
+inline constexpr int kMutexRankBufferPoolVersion = 15;
 /// BufferPool stripe latches (all stripes share the rank: holding two
 /// stripes at once is a contract violation, see class comment).
 inline constexpr int kMutexRankBufferPoolStripe = 20;

@@ -1,0 +1,307 @@
+#include "index/dynamic_index.h"
+
+#include <utility>
+
+#include "check/check.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+
+namespace ann {
+
+namespace {
+
+/// Per-thread node read buffer (same pattern as PagedIndexView: reuse
+/// without serializing concurrent snapshot readers).
+std::vector<char>& NodeScratch() {
+  static thread_local std::vector<char> scratch;
+  return scratch;
+}
+
+const PageSnapshot* StorageSnap(const IndexSnapshot& snap) {
+  return static_cast<const PageSnapshot*>(snap.pin.get());
+}
+
+}  // namespace
+
+class DynamicIndex::MbrqtBuilder final : public DynamicIndex::Builder {
+ public:
+  explicit MbrqtBuilder(Mbrqt tree) : tree_(std::move(tree)) {}
+  Status Insert(const Scalar* p, uint64_t id) override {
+    return tree_.Insert(p, id);
+  }
+  Status Delete(const Scalar* p, uint64_t id) override {
+    return tree_.Delete(p, id);
+  }
+  const MemTree& Tree() override { return tree_.Finalize(); }
+  Status Check() const override { return tree_.CheckInvariants(); }
+  int Dim() const override { return tree_.dim(); }
+
+ private:
+  Mbrqt tree_;
+};
+
+class DynamicIndex::RStarBuilder final : public DynamicIndex::Builder {
+ public:
+  explicit RStarBuilder(RStarTree tree) : tree_(std::move(tree)) {}
+  Status Insert(const Scalar* p, uint64_t id) override {
+    return tree_.Insert(p, id);
+  }
+  Status Delete(const Scalar* p, uint64_t id) override {
+    return tree_.Delete(p, id);
+  }
+  const MemTree& Tree() override { return tree_.tree(); }
+  Status Check() const override { return tree_.CheckInvariants(); }
+  int Dim() const override { return tree_.dim(); }
+
+ private:
+  RStarTree tree_;
+};
+
+DynamicIndex::DynamicIndex(std::unique_ptr<Builder> builder,
+                           NodeStore* store)
+    : builder_(std::move(builder)), store_(store), dim_(builder_->Dim()) {}
+
+Result<std::unique_ptr<DynamicIndex>> DynamicIndex::Create(
+    Mbrqt builder, NodeStore* store) {
+  return CreateImpl(std::make_unique<MbrqtBuilder>(std::move(builder)),
+                    store);
+}
+
+Result<std::unique_ptr<DynamicIndex>> DynamicIndex::Create(
+    RStarTree builder, NodeStore* store) {
+  return CreateImpl(std::make_unique<RStarBuilder>(std::move(builder)),
+                    store);
+}
+
+Result<std::unique_ptr<DynamicIndex>> DynamicIndex::CreateImpl(
+    std::unique_ptr<Builder> builder, NodeStore* store) {
+  std::unique_ptr<DynamicIndex> index(
+      new DynamicIndex(std::move(builder), store));
+  // The initial persist is an ApplyBatch with no updates: the content map
+  // starts empty, so every node of the builder's current tree is written.
+  ANN_RETURN_NOT_OK(index->ApplyBatch(UpdateBatch(index->dim_)));
+  return index;
+}
+
+Status DynamicIndex::ApplyBatch(const UpdateBatch& batch,
+                                ApplyStats* stats) {
+  MutexLock wl(&writer_mu_);
+  ANN_RETURN_NOT_OK(poisoned_);
+  if (!batch.empty() && batch.dim != dim_) {
+    return Status::InvalidArgument(
+        "DynamicIndex::ApplyBatch: batch dimensionality mismatch");
+  }
+  ANNLIB_TRACE_SPAN_NAMED(span, "index", "apply_batch");
+  span.AddArg("inserts", batch.num_inserts());
+  span.AddArg("deletes", batch.num_deletes());
+
+  // 1. Mutate the in-memory tree (deletes first: a batch may re-insert a
+  // moved object under the same id). A failed mutation means the batch
+  // was invalid; the builder may have applied a prefix, so the writer is
+  // poisoned rather than left silently diverged from storage.
+  for (size_t i = 0; i < batch.num_deletes(); ++i) {
+    Status st = builder_->Delete(batch.delete_point(i), batch.delete_ids[i]);
+    if (!st.ok()) {
+      poisoned_ = st;
+      return st;
+    }
+  }
+  for (size_t i = 0; i < batch.num_inserts(); ++i) {
+    Status st = builder_->Insert(batch.insert_point(i), batch.insert_ids[i]);
+    if (!st.ok()) {
+      poisoned_ = st;
+      return st;
+    }
+  }
+
+  // 2.+3. Persist through COW and publish atomically.
+  ApplyStats local;
+  Status st = PersistAndPublish(&local);
+  if (!st.ok()) {
+    poisoned_ = st;
+    return st;
+  }
+  obs_batches_->Increment();
+  obs_written_->Add(local.nodes_written);
+  obs_reused_->Add(local.nodes_reused);
+  obs_freed_->Add(local.nodes_freed);
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status DynamicIndex::PersistAndPublish(ApplyStats* stats) {
+  BufferPool* pool = store_->pool();
+  ANN_RETURN_NOT_OK(pool->BeginWriteBatch());
+  const MemTree& tree = builder_->Tree();
+  PersistedIndexMeta meta;
+  Status st = PersistDelta(tree, &meta, stats);
+  if (!st.ok()) {
+    // Best effort: recycle the batch's clones. The store bookkeeping is
+    // already out of sync, which is why the caller poisons the writer.
+    (void)pool->AbortWriteBatch();  // lint-ok: swallowed-status — the
+    // persist error below is the primary failure being reported.
+    return st;
+  }
+  // Publish under the meta latch so a concurrent OpenSnapshot pairs the
+  // epoch it pins with exactly the root committed for that epoch.
+  MutexLock ml(&meta_mu_);
+  ANN_RETURN_NOT_OK(pool->CommitWriteBatch());
+  committed_ = meta;
+  committed_epoch_ = pool->current_epoch();
+  stats->epoch = committed_epoch_;
+  return Status::OK();
+}
+
+Status DynamicIndex::PersistDelta(const MemTree& tree,
+                                  PersistedIndexMeta* meta,
+                                  ApplyStats* stats) {
+  if (tree.root < 0 || tree.nodes.empty()) {
+    return Status::InvalidArgument("DynamicIndex: empty tree");
+  }
+  ANNLIB_TRACE_SPAN_NAMED(span, "index", "persist_delta");
+  // Children must carry NodeIds before their parents serialize (child ids
+  // are part of the parent's bytes) — same postorder walk as
+  // PersistMemTree.
+  std::vector<NodeId> node_ids(tree.nodes.size(), kInvalidNodeId);
+  std::vector<int32_t> order;
+  order.reserve(tree.nodes.size());
+  {
+    std::vector<std::pair<int32_t, size_t>> stack;  // (node, next child)
+    stack.emplace_back(tree.root, 0);
+    while (!stack.empty()) {
+      auto& [ni, slot] = stack.back();
+      const MemNode& node = tree.nodes[ni];
+      if (node.is_leaf || slot >= node.entries.size()) {
+        order.push_back(ni);
+        stack.pop_back();
+        continue;
+      }
+      const int32_t child = node.entries[slot].child;
+      ++slot;
+      stack.emplace_back(child, 0);
+    }
+  }
+
+  // Content-addressed delta: identical bytes (hence identical subtree)
+  // reuse the stored record; everything else is appended fresh. Records
+  // left unconsumed in the old map no longer exist in the new tree.
+  std::unordered_map<std::string, std::vector<NodeId>> next;
+  next.reserve(order.size());
+  for (int32_t ni : order) {
+    const std::vector<char> buf =
+        SerializeNode(tree.nodes[ni], tree.dim, node_ids);
+    std::string key(buf.data(), buf.size());
+    auto it = persisted_.find(key);
+    if (it != persisted_.end() && !it->second.empty()) {
+      node_ids[ni] = it->second.back();
+      it->second.pop_back();
+      ++stats->nodes_reused;
+    } else {
+      ANN_ASSIGN_OR_RETURN(node_ids[ni],
+                           store_->Append(buf.data(), buf.size()));
+      ++stats->nodes_written;
+    }
+    next[std::move(key)].push_back(node_ids[ni]);
+  }
+  for (const auto& [key, ids] : persisted_) {
+    for (const NodeId id : ids) {
+      ANN_RETURN_NOT_OK(store_->Free(id));
+      ++stats->nodes_freed;
+    }
+  }
+  persisted_ = std::move(next);
+  span.AddArg("written", stats->nodes_written);
+  span.AddArg("reused", stats->nodes_reused);
+  span.AddArg("freed", stats->nodes_freed);
+
+  meta->root = node_ids[tree.root];
+  meta->root_mbr = tree.nodes[tree.root].mbr;
+  meta->dim = tree.dim;
+  meta->height = tree.height;
+  meta->num_objects = tree.num_objects;
+  meta->num_nodes = static_cast<uint64_t>(order.size());
+  return Status::OK();
+}
+
+int DynamicIndex::dim() const { return dim_; }
+
+IndexEntry DynamicIndex::Root() const {
+  MutexLock lock(&meta_mu_);
+  return IndexEntry::Node(committed_.root_mbr, committed_.root);
+}
+
+uint64_t DynamicIndex::num_objects() const {
+  MutexLock lock(&meta_mu_);
+  return committed_.num_objects;
+}
+
+int DynamicIndex::height() const {
+  MutexLock lock(&meta_mu_);
+  return committed_.height;
+}
+
+PersistedIndexMeta DynamicIndex::meta() const {
+  MutexLock lock(&meta_mu_);
+  return committed_;
+}
+
+uint64_t DynamicIndex::committed_epoch() const {
+  MutexLock lock(&meta_mu_);
+  return committed_epoch_;
+}
+
+Result<IndexSnapshot> DynamicIndex::OpenSnapshot() const {
+  // Holding the meta latch across the epoch pin pairs the root with its
+  // epoch: PersistAndPublish commits the storage batch and swaps the meta
+  // under the same latch, so the pinned epoch always resolves this root's
+  // nodes.
+  MutexLock lock(&meta_mu_);
+  ANN_ASSIGN_OR_RETURN(PageSnapshot snap, store_->pool()->OpenSnapshot());
+  IndexSnapshot out;
+  out.root = IndexEntry::Node(committed_.root_mbr, committed_.root);
+  out.height = committed_.height;
+  out.num_objects = committed_.num_objects;
+  out.epoch = snap.epoch();
+  out.pin = std::make_shared<PageSnapshot>(std::move(snap));
+  return out;
+}
+
+Status DynamicIndex::Expand(const IndexSnapshot& snap, const IndexEntry& e,
+                            std::vector<IndexEntry>* out) const {
+  if (e.is_object) {
+    return Status::InvalidArgument("Expand called on an object entry");
+  }
+  std::vector<char>& scratch = NodeScratch();
+  ANN_RETURN_NOT_OK(
+      store_->Read(static_cast<NodeId>(e.id), &scratch, StorageSnap(snap)));
+  obs_expands_->Increment();
+  obs_bytes_->Add(scratch.size());
+  return DeserializeNodeEntries(scratch.data(), scratch.size(), dim_, out);
+}
+
+Status DynamicIndex::ExpandBatch(const IndexSnapshot& snap,
+                                 const IndexEntry& e,
+                                 std::vector<IndexEntry>* entries,
+                                 LeafBlock* block,
+                                 bool* is_leaf_block) const {
+  if (e.is_object) {
+    return Status::InvalidArgument("Expand called on an object entry");
+  }
+  std::vector<char>& scratch = NodeScratch();
+  ANN_RETURN_NOT_OK(
+      store_->Read(static_cast<NodeId>(e.id), &scratch, StorageSnap(snap)));
+  obs_expands_->Increment();
+  obs_bytes_->Add(scratch.size());
+  ANN_RETURN_NOT_OK(DeserializeLeafBlock(scratch.data(), scratch.size(),
+                                         dim_, block, is_leaf_block));
+  if (*is_leaf_block) return Status::OK();
+  return DeserializeNodeEntries(scratch.data(), scratch.size(), dim_,
+                                entries);
+}
+
+Status DynamicIndex::CheckBuilderInvariants() const {
+  MutexLock lock(&writer_mu_);
+  return builder_->Check();
+}
+
+}  // namespace ann

@@ -1,0 +1,162 @@
+#ifndef ANNLIB_INDEX_DYNAMIC_INDEX_H_
+#define ANNLIB_INDEX_DYNAMIC_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/node_format.h"
+#include "index/rstar/rstar_tree.h"
+#include "index/spatial_index.h"
+#include "index/update_batch.h"
+#include "obs/obs.h"
+#include "storage/node_store.h"
+
+namespace ann {
+
+/// \brief Updatable, disk-resident spatial index with snapshot-isolated
+/// reads.
+///
+/// Pairs an in-memory tree builder (MBRQT or R*-tree — the single writer's
+/// authoritative structure, where splits, forced reinsertion and underflow
+/// handling happen) with a persisted image in a NodeStore that readers
+/// traverse through the SpatialIndex interface. ApplyBatch routes every
+/// storage mutation through the buffer pool's copy-on-write write batch,
+/// so a concurrent reader holding an IndexSnapshot keeps seeing the exact
+/// pre-batch tree, and the new root is published atomically with the
+/// storage commit: a reader observes entirely the old or entirely the new
+/// index, never a torn state.
+///
+/// Persistence is incremental and content-addressed: nodes are serialized
+/// bottom-up, and a node whose bytes are identical to one already stored
+/// (which, child NodeIds being part of the bytes, implies its whole
+/// subtree is unchanged) reuses that NodeId instead of being rewritten.
+/// Only the O(changed-leaves * height) spine of modified nodes costs new
+/// records per batch; vanished nodes are freed inside the same batch.
+///
+/// Concurrency: ApplyBatch is serialized by an internal writer latch;
+/// reads (OpenSnapshot + snapshot-relative Expand) may run from any
+/// thread concurrently with a writer. A persist failure mid-batch leaves
+/// the store's bookkeeping unreconstructible, so it poisons the writer —
+/// further ApplyBatch calls fail with the original error while readers
+/// keep serving the last committed state.
+class DynamicIndex final : public SpatialIndex {
+ public:
+  /// Builds the persisted image of `builder`'s current tree (inside an
+  /// initial write batch) and returns the index. The NodeStore should be
+  /// dedicated to this index; `store` must outlive the returned object.
+  static Result<std::unique_ptr<DynamicIndex>> Create(Mbrqt builder,
+                                                      NodeStore* store);
+  static Result<std::unique_ptr<DynamicIndex>> Create(RStarTree builder,
+                                                      NodeStore* store);
+
+  DynamicIndex(const DynamicIndex&) = delete;
+  DynamicIndex& operator=(const DynamicIndex&) = delete;
+
+  /// Incremental-persist accounting for one committed batch.
+  struct ApplyStats {
+    uint64_t nodes_written = 0;  ///< new node records appended
+    uint64_t nodes_reused = 0;   ///< unchanged nodes kept in place
+    uint64_t nodes_freed = 0;    ///< superseded node records freed
+    uint64_t epoch = 0;          ///< storage epoch the batch committed as
+  };
+
+  /// Applies `batch` (deletes first, then inserts) to the tree and
+  /// publishes the result as one atomic storage commit. Single writer:
+  /// concurrent callers serialize. The batch must be valid — deleting an
+  /// absent point or any persist failure poisons the writer (see class
+  /// comment).
+  Status ApplyBatch(const UpdateBatch& batch, ApplyStats* stats = nullptr);
+
+  // --- SpatialIndex ------------------------------------------------------
+  int dim() const override;
+  IndexEntry Root() const override;
+  uint64_t num_objects() const override;
+  int height() const override;
+
+  /// Pins the current committed epoch together with the matching root, so
+  /// traversals through the snapshot are isolated from later batches.
+  Result<IndexSnapshot> OpenSnapshot() const override;
+
+  Status Expand(const IndexSnapshot& snap, const IndexEntry& e,
+                std::vector<IndexEntry>* out) const override;
+  Status ExpandBatch(const IndexSnapshot& snap, const IndexEntry& e,
+                     std::vector<IndexEntry>* entries, LeafBlock* block,
+                     bool* is_leaf_block) const override;
+  using SpatialIndex::Expand;
+  using SpatialIndex::ExpandBatch;
+
+  /// Last committed persisted-tree shape.
+  PersistedIndexMeta meta() const;
+  /// Storage epoch of the last committed batch.
+  uint64_t committed_epoch() const;
+
+  const NodeStore* store() const { return store_; }
+
+  /// Structural check of the in-memory builder tree (delegates to the
+  /// builder's own CheckInvariants). Takes the writer latch.
+  Status CheckBuilderInvariants() const;
+
+ private:
+  /// Uniform writer-side interface over the two tree builders.
+  class Builder {
+   public:
+    virtual ~Builder() = default;
+    virtual Status Insert(const Scalar* p, uint64_t id) = 0;
+    virtual Status Delete(const Scalar* p, uint64_t id) = 0;
+    /// Current finished tree (may rebuild; reference valid until the next
+    /// mutation).
+    virtual const MemTree& Tree() = 0;
+    virtual Status Check() const = 0;
+    virtual int Dim() const = 0;
+  };
+  class MbrqtBuilder;
+  class RStarBuilder;
+
+  DynamicIndex(std::unique_ptr<Builder> builder, NodeStore* store);
+
+  static Result<std::unique_ptr<DynamicIndex>> CreateImpl(
+      std::unique_ptr<Builder> builder, NodeStore* store);
+
+  /// Serializes the builder's tree bottom-up into the store inside the
+  /// already-open pool write batch, reusing content-identical records and
+  /// freeing vanished ones. Fills `*meta` with the new shape.
+  Status PersistDelta(const MemTree& tree, PersistedIndexMeta* meta,
+                      ApplyStats* stats) ANNLIB_REQUIRES(writer_mu_);
+
+  /// Shared tail of Create and ApplyBatch: persist + atomic publish.
+  Status PersistAndPublish(ApplyStats* stats) ANNLIB_REQUIRES(writer_mu_);
+
+  mutable Mutex writer_mu_{"dynamicindex.writer",
+                           kMutexRankDynamicIndexWriter};
+  mutable Mutex meta_mu_{"dynamicindex.meta", kMutexRankDynamicIndexMeta};
+
+  std::unique_ptr<Builder> builder_ ANNLIB_GUARDED_BY(writer_mu_);
+  NodeStore* store_;
+  const int dim_;  // fixed at construction
+
+  /// Content-addressed record map of the last persisted tree: serialized
+  /// node bytes -> NodeIds currently storing exactly those bytes.
+  std::unordered_map<std::string, std::vector<NodeId>> persisted_
+      ANNLIB_GUARDED_BY(writer_mu_);
+  Status poisoned_ ANNLIB_GUARDED_BY(writer_mu_);
+
+  PersistedIndexMeta committed_ ANNLIB_GUARDED_BY(meta_mu_);
+  uint64_t committed_epoch_ ANNLIB_GUARDED_BY(meta_mu_) = 0;
+
+  obs::Counter* obs_expands_ = obs::GetCounter("index.dynamic.expands");
+  obs::Counter* obs_bytes_ = obs::GetCounter("index.dynamic.node_bytes");
+  obs::Counter* obs_batches_ = obs::GetCounter("index.dynamic.batches");
+  obs::Counter* obs_written_ =
+      obs::GetCounter("index.dynamic.nodes_written");
+  obs::Counter* obs_reused_ = obs::GetCounter("index.dynamic.nodes_reused");
+  obs::Counter* obs_freed_ = obs::GetCounter("index.dynamic.nodes_freed");
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_DYNAMIC_INDEX_H_

@@ -131,11 +131,22 @@ Result<std::unique_ptr<IndexFile>> IndexFile::Open(const std::string& path,
 }
 
 Status IndexFile::WriteSuperblock(NodeId catalog_id) {
-  ANN_ASSIGN_OR_RETURN(PinnedPage super, pool_.Fetch(0));
-  std::memcpy(super.data(), kMagic, sizeof(kMagic));
-  std::memcpy(super.data() + 8, &catalog_id, 4);
-  super.MarkDirty();
-  return Status::OK();
+  // The superblock flip rides the pool's COW write path like every other
+  // index mutation (FetchForWrite marks the clone dirty itself — index
+  // code never calls MarkDirty directly; ci/lint enforces this). Readers
+  // holding a snapshot keep resolving the previous superblock until the
+  // commit publishes the new version.
+  ANN_RETURN_NOT_OK(pool_.BeginWriteBatch());
+  Result<PinnedPage> super = pool_.FetchForWrite(0);
+  if (!super.ok()) {
+    (void)pool_.AbortWriteBatch();  // lint-ok: swallowed-status — the
+    // fetch failure is the primary error being reported.
+    return super.status();
+  }
+  std::memcpy(super.value().data(), kMagic, sizeof(kMagic));
+  std::memcpy(super.value().data() + 8, &catalog_id, 4);
+  super.value().Release();
+  return pool_.CommitWriteBatch();
 }
 
 Status IndexFile::LoadCatalog() {

@@ -14,7 +14,10 @@ size_t InternalEntrySize(int dim) { return 8 + static_cast<size_t>(dim) * 16; }
 
 }  // namespace
 
-Status MemIndexView::Expand(const IndexEntry& e,
+// A MemTree has exactly one state, so the snapshot argument is vacuous:
+// every snapshot of a MemIndexView reads the same nodes.
+Status MemIndexView::Expand(const IndexSnapshot& /*snap*/,
+                            const IndexEntry& e,
                             std::vector<IndexEntry>* out) const {
   if (e.is_object) {
     return Status::InvalidArgument("Expand called on an object entry");
@@ -35,7 +38,8 @@ Status MemIndexView::Expand(const IndexEntry& e,
   return Status::OK();
 }
 
-Status MemIndexView::ExpandBatch(const IndexEntry& e,
+Status MemIndexView::ExpandBatch(const IndexSnapshot& snap,
+                                 const IndexEntry& e,
                                  std::vector<IndexEntry>* entries,
                                  LeafBlock* block, bool* is_leaf_block) const {
   if (e.is_object) {
@@ -47,7 +51,7 @@ Status MemIndexView::ExpandBatch(const IndexEntry& e,
   const MemNode& node = tree_->nodes[e.id];
   if (!node.is_leaf) {
     *is_leaf_block = false;
-    return Expand(e, entries);
+    return Expand(snap, e, entries);
   }
   obs_expands_->Increment();
   *is_leaf_block = true;

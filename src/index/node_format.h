@@ -49,10 +49,13 @@ class MemIndexView final : public SpatialIndex {
     const MemNode& root = tree_->nodes[tree_->root];
     return IndexEntry::Node(root.mbr, static_cast<uint64_t>(tree_->root));
   }
-  Status Expand(const IndexEntry& e,
+  Status Expand(const IndexSnapshot& snap, const IndexEntry& e,
                 std::vector<IndexEntry>* out) const override;
-  Status ExpandBatch(const IndexEntry& e, std::vector<IndexEntry>* entries,
-                     LeafBlock* block, bool* is_leaf_block) const override;
+  Status ExpandBatch(const IndexSnapshot& snap, const IndexEntry& e,
+                     std::vector<IndexEntry>* entries, LeafBlock* block,
+                     bool* is_leaf_block) const override;
+  using SpatialIndex::Expand;
+  using SpatialIndex::ExpandBatch;
   uint64_t num_objects() const override { return tree_->num_objects; }
   int height() const override { return tree_->height; }
 

@@ -1,5 +1,9 @@
 #include "index/paged_index_view.h"
 
+#include <memory>
+
+#include "storage/buffer_pool.h"
+
 namespace ann {
 
 namespace {
@@ -11,22 +15,38 @@ std::vector<char>& NodeScratch() {
   return scratch;
 }
 
+/// Recovers the storage snapshot from an IndexSnapshot's opaque pin. The
+/// pin is only ever populated (here and in DynamicIndex) with a
+/// PageSnapshot, so the cast is the inverse of our own type erasure.
+const PageSnapshot* StorageSnap(const IndexSnapshot& snap) {
+  return static_cast<const PageSnapshot*>(snap.pin.get());
+}
+
 }  // namespace
 
-Status PagedIndexView::Expand(const IndexEntry& e,
+Result<IndexSnapshot> PagedIndexView::OpenSnapshot() const {
+  ANN_ASSIGN_OR_RETURN(PageSnapshot snap, store_->pool()->OpenSnapshot());
+  const uint64_t epoch = snap.epoch();
+  return IndexSnapshot{Root(), meta_.height, meta_.num_objects, epoch,
+                       std::make_shared<PageSnapshot>(std::move(snap))};
+}
+
+Status PagedIndexView::Expand(const IndexSnapshot& snap, const IndexEntry& e,
                               std::vector<IndexEntry>* out) const {
   if (e.is_object) {
     return Status::InvalidArgument("Expand called on an object entry");
   }
   std::vector<char>& scratch = NodeScratch();
-  ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch));
+  ANN_RETURN_NOT_OK(
+      store_->Read(static_cast<NodeId>(e.id), &scratch, StorageSnap(snap)));
   obs_expands_->Increment();
   obs_bytes_->Add(scratch.size());
   return DeserializeNodeEntries(scratch.data(), scratch.size(), meta_.dim,
                                 out);
 }
 
-Status PagedIndexView::ExpandBatch(const IndexEntry& e,
+Status PagedIndexView::ExpandBatch(const IndexSnapshot& snap,
+                                   const IndexEntry& e,
                                    std::vector<IndexEntry>* entries,
                                    LeafBlock* block,
                                    bool* is_leaf_block) const {
@@ -36,7 +56,8 @@ Status PagedIndexView::ExpandBatch(const IndexEntry& e,
   // One storage read serves both outcomes, so buffer-pool and obs counters
   // match a plain Expand call exactly.
   std::vector<char>& scratch = NodeScratch();
-  ANN_RETURN_NOT_OK(store_->Read(static_cast<NodeId>(e.id), &scratch));
+  ANN_RETURN_NOT_OK(
+      store_->Read(static_cast<NodeId>(e.id), &scratch, StorageSnap(snap)));
   obs_expands_->Increment();
   obs_bytes_->Add(scratch.size());
   ANN_RETURN_NOT_OK(DeserializeLeafBlock(scratch.data(), scratch.size(),

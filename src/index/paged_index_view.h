@@ -30,10 +30,16 @@ class PagedIndexView final : public SpatialIndex {
   IndexEntry Root() const override {
     return IndexEntry::Node(meta_.root_mbr, meta_.root);
   }
-  Status Expand(const IndexEntry& e,
+  /// Pins the pool's current epoch, so the view's pages survive even if a
+  /// DynamicIndex sharing the same store commits update batches.
+  Result<IndexSnapshot> OpenSnapshot() const override;
+  Status Expand(const IndexSnapshot& snap, const IndexEntry& e,
                 std::vector<IndexEntry>* out) const override;
-  Status ExpandBatch(const IndexEntry& e, std::vector<IndexEntry>* entries,
-                     LeafBlock* block, bool* is_leaf_block) const override;
+  Status ExpandBatch(const IndexSnapshot& snap, const IndexEntry& e,
+                     std::vector<IndexEntry>* entries, LeafBlock* block,
+                     bool* is_leaf_block) const override;
+  using SpatialIndex::Expand;
+  using SpatialIndex::ExpandBatch;
   uint64_t num_objects() const override { return meta_.num_objects; }
   int height() const override { return meta_.height; }
 

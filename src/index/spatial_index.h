@@ -2,6 +2,7 @@
 #define ANNLIB_INDEX_SPATIAL_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/geometry.h"
@@ -48,12 +49,39 @@ struct LeafBlock {
   }
 };
 
+/// \brief A consistent read view of a SpatialIndex.
+///
+/// Captures the root entry and the summary statistics as of one moment,
+/// plus an opaque storage pin that keeps that moment's pages alive (for
+/// disk-resident dynamic indexes the pin holds a storage PageSnapshot;
+/// static indexes leave it null). Traversals that pass the snapshot to
+/// Expand/ExpandBatch see the index exactly as it was when the snapshot
+/// was opened, regardless of concurrent committed update batches.
+/// Copyable and cheap; a default-constructed (or pin-less) snapshot on a
+/// static index simply reads the current state.
+struct IndexSnapshot {
+  IndexEntry root;
+  int height = 0;
+  uint64_t num_objects = 0;
+  uint64_t epoch = 0;  ///< storage epoch (0 for static indexes)
+  std::shared_ptr<const void> pin;  ///< storage-layer epoch pin (opaque)
+};
+
 /// \brief Read interface over a built spatial index.
 ///
 /// The MBA/RBA engine (Algorithms 2-4), the BNN/MNN baselines and the test
 /// harness all traverse indexes exclusively through this interface, so the
 /// identical algorithm code runs over an MBRQT (MBA) and over an R*-tree
 /// (RBA) — isolating index-structure effects exactly as the paper does.
+///
+/// Reads are snapshot-relative: OpenSnapshot() captures a consistent view
+/// and the virtual Expand/ExpandBatch take the snapshot they should read
+/// at. Static index views have exactly one state, so their OpenSnapshot is
+/// free and snapshot-relative reads equal current-state reads; dynamic
+/// indexes (DynamicIndex) pin storage epochs so traversals are isolated
+/// from concurrent update batches. The non-virtual Expand/ExpandBatch
+/// overloads without a snapshot read the current state (they pass an empty
+/// snapshot, which every implementation must treat as "latest").
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -64,8 +92,17 @@ class SpatialIndex {
   /// The root entry (never an object for a non-trivial index).
   virtual IndexEntry Root() const = 0;
 
-  /// Appends the children of non-object entry `e` to `*out`.
-  virtual Status Expand(const IndexEntry& e,
+  /// Captures a consistent view of the index. The default is for static
+  /// indexes: no pin, current root. Thread-safe for implementations that
+  /// support concurrent updates.
+  virtual Result<IndexSnapshot> OpenSnapshot() const {
+    return IndexSnapshot{Root(), height(), num_objects(), 0, nullptr};
+  }
+
+  /// Appends the children of non-object entry `e` to `*out`, reading at
+  /// `snap` (an empty/pin-less snapshot reads the current state; `e` must
+  /// come from the same snapshot's traversal).
+  virtual Status Expand(const IndexSnapshot& snap, const IndexEntry& e,
                         std::vector<IndexEntry>* out) const = 0;
 
   /// Batch-friendly expansion: exactly ONE of the two outputs is filled
@@ -78,11 +115,20 @@ class SpatialIndex {
   /// obs counters are identical to one Expand call. The default delegates
   /// to Expand and never produces a block — callers must handle both
   /// shapes regardless of index type.
-  virtual Status ExpandBatch(const IndexEntry& e,
+  virtual Status ExpandBatch(const IndexSnapshot& snap, const IndexEntry& e,
                              std::vector<IndexEntry>* entries,
                              LeafBlock* /*block*/, bool* is_leaf_block) const {
     *is_leaf_block = false;
-    return Expand(e, entries);
+    return Expand(snap, e, entries);
+  }
+
+  /// Current-state conveniences (equivalent to passing an empty snapshot).
+  Status Expand(const IndexEntry& e, std::vector<IndexEntry>* out) const {
+    return Expand(IndexSnapshot{}, e, out);
+  }
+  Status ExpandBatch(const IndexEntry& e, std::vector<IndexEntry>* entries,
+                     LeafBlock* block, bool* is_leaf_block) const {
+    return ExpandBatch(IndexSnapshot{}, e, entries, block, is_leaf_block);
   }
 
   /// Number of indexed objects.
@@ -90,6 +136,45 @@ class SpatialIndex {
 
   /// Tree height (a single leaf root has height 1).
   virtual int height() const = 0;
+};
+
+/// \brief Binds a SpatialIndex to one of its snapshots.
+///
+/// Adapts (index, snapshot) back into the plain SpatialIndex interface so
+/// snapshot-oblivious consumers — the kNN search used by incremental
+/// maintenance, baselines, RangeQuery — can traverse a frozen view. Root
+/// and the summary accessors come from the snapshot, and every expansion
+/// is forwarded with it. The adapter borrows `index`; the snapshot's pin
+/// keeps the underlying pages alive.
+class SnapshotView final : public SpatialIndex {
+ public:
+  SnapshotView(const SpatialIndex* index, IndexSnapshot snap)
+      : index_(index), snap_(std::move(snap)) {}
+
+  int dim() const override { return index_->dim(); }
+  IndexEntry Root() const override { return snap_.root; }
+  int height() const override { return snap_.height; }
+  uint64_t num_objects() const override { return snap_.num_objects; }
+
+  Result<IndexSnapshot> OpenSnapshot() const override { return snap_; }
+
+  Status Expand(const IndexSnapshot& snap, const IndexEntry& e,
+                std::vector<IndexEntry>* out) const override {
+    return index_->Expand(snap.pin != nullptr ? snap : snap_, e, out);
+  }
+  Status ExpandBatch(const IndexSnapshot& snap, const IndexEntry& e,
+                     std::vector<IndexEntry>* entries, LeafBlock* block,
+                     bool* is_leaf_block) const override {
+    return index_->ExpandBatch(snap.pin != nullptr ? snap : snap_, e,
+                               entries, block, is_leaf_block);
+  }
+
+  using SpatialIndex::Expand;
+  using SpatialIndex::ExpandBatch;
+
+ private:
+  const SpatialIndex* index_;
+  IndexSnapshot snap_;
 };
 
 /// Collects every object in the subtree of `e` whose point intersects

@@ -1,0 +1,51 @@
+#ifndef ANNLIB_INDEX_UPDATE_BATCH_H_
+#define ANNLIB_INDEX_UPDATE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace ann {
+
+/// \brief One batch of point inserts and deletes against a dynamic index.
+///
+/// Stored SoA (row-major coordinate blocks plus parallel id arrays) so
+/// the incremental-maintenance pass can stream the points through the
+/// batched distance kernels. Deletes carry their coordinates because both
+/// tree builders locate the victim leaf geometrically. Within a batch,
+/// deletes are applied before inserts.
+struct UpdateBatch {
+  UpdateBatch() = default;
+  explicit UpdateBatch(int dim) : dim(dim) {}
+
+  int dim = 0;
+  std::vector<uint64_t> insert_ids;
+  std::vector<Scalar> insert_coords;  ///< num_inserts() * dim, row-major
+  std::vector<uint64_t> delete_ids;
+  std::vector<Scalar> delete_coords;  ///< num_deletes() * dim, row-major
+
+  size_t num_inserts() const { return insert_ids.size(); }
+  size_t num_deletes() const { return delete_ids.size(); }
+  bool empty() const { return insert_ids.empty() && delete_ids.empty(); }
+
+  void AddInsert(const Scalar* p, uint64_t id) {
+    insert_ids.push_back(id);
+    insert_coords.insert(insert_coords.end(), p, p + dim);
+  }
+  void AddDelete(const Scalar* p, uint64_t id) {
+    delete_ids.push_back(id);
+    delete_coords.insert(delete_coords.end(), p, p + dim);
+  }
+
+  const Scalar* insert_point(size_t i) const {
+    return insert_coords.data() + i * static_cast<size_t>(dim);
+  }
+  const Scalar* delete_point(size_t i) const {
+    return delete_coords.data() + i * static_cast<size_t>(dim);
+  }
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_INDEX_UPDATE_BATCH_H_

@@ -1,11 +1,28 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 
 #include "check/check.h"
 #include "obs/trace.h"
 
 namespace ann {
+
+/// Shared epoch reference: the last copy of a snapshot releases the
+/// epoch, which may trigger GC of pages retired while it was pinned.
+/// Snapshots must not outlive the pool that issued them.
+struct PageSnapshot::EpochPin {
+  EpochPin(BufferPool* pool, uint64_t epoch) : pool(pool), epoch(epoch) {}
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+  ~EpochPin() { pool->ReleaseEpoch(epoch); }
+
+  BufferPool* pool;
+  uint64_t epoch;
+};
+
+uint64_t PageSnapshot::epoch() const { return pin_ ? pin_->epoch : 0; }
 
 PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
   if (this != &other) {
@@ -14,33 +31,13 @@ PinnedPage& PinnedPage::operator=(PinnedPage&& other) noexcept {
     stripe_ = other.stripe_;
     frame_ = other.frame_;
     page_id_ = other.page_id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
     other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.dirty_ = nullptr;
   }
   return *this;
-}
-
-// The three pin-protocol accessors below run without the stripe latch by
-// design: the pin held by this handle keeps the frame resident, nothing
-// can evict or flush it, and the page payload is private to the pinners.
-// That guarantee comes from the pin protocol, not a capability the
-// analysis can see, so thread-safety analysis is disabled rather than
-// faked with a lock acquisition.
-char* PinnedPage::data() ANNLIB_NO_THREAD_SAFETY_ANALYSIS {
-  ANNLIB_DCHECK(valid());
-  return pool_->stripes_[stripe_]->frames[frame_].page.data();
-}
-
-const char* PinnedPage::data() const ANNLIB_NO_THREAD_SAFETY_ANALYSIS {
-  ANNLIB_DCHECK(valid());
-  return pool_->stripes_[stripe_]->frames[frame_].page.data();
-}
-
-void PinnedPage::MarkDirty() ANNLIB_NO_THREAD_SAFETY_ANALYSIS {
-  ANNLIB_DCHECK(valid());
-  // Safe without the stripe latch: the frame is pinned by this handle, so
-  // no other thread inspects its dirty bit until it is unpinned.
-  pool_->stripes_[stripe_]->frames[frame_].dirty.store(
-      true, std::memory_order_relaxed);
 }
 
 void PinnedPage::Release() {
@@ -86,11 +83,55 @@ void BufferPool::InitStripes() ANNLIB_NO_THREAD_SAFETY_ANALYSIS {
 }
 
 Result<PinnedPage> BufferPool::Fetch(PageId id) {
-  const size_t si = StripeIndexFor(id);
+  // Static pools (no batch ever opened) skip the version latch entirely:
+  // a reader that races the very first BeginWriteBatch and misses the
+  // flag still reads the identity mapping, which is exactly the newest
+  // committed state at that point.
+  if (!has_versions_.load(std::memory_order_acquire)) {
+    return PinPhysical(id, id);
+  }
+  ANN_ASSIGN_OR_RETURN(const PageId physical, ResolveRead(id, nullptr));
+  return PinPhysical(physical, id);
+}
+
+Result<PinnedPage> BufferPool::Fetch(PageId id, const PageSnapshot& snap) {
+  if (!snap.valid()) return Fetch(id);
+  ANN_ASSIGN_OR_RETURN(const PageId physical, ResolveRead(id, &snap));
+  return PinPhysical(physical, id);
+}
+
+Result<PageId> BufferPool::ResolveRead(PageId logical,
+                                       const PageSnapshot* snap) {
+  MutexLock lock(&version_mu_);
+  const bool at_snapshot = snap != nullptr && snap->valid();
+  // Read-your-writes: the batch owner's current-state reads resolve to
+  // its private clones. Snapshot reads are point-in-time and never do.
+  if (!at_snapshot && batch_open_ &&
+      std::this_thread::get_id() == batch_owner_) {
+    auto it = batch_shadow_.find(logical);
+    if (it != batch_shadow_.end()) return it->second;
+  }
+  auto it = versions_.find(logical);
+  if (it == versions_.end()) return logical;
+  const std::vector<PageVersion>& chain = it->second;
+  ANNLIB_DCHECK(!chain.empty());
+  if (at_snapshot) {
+    const uint64_t epoch = snap->epoch();
+    for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+      if (rit->epoch <= epoch) return rit->physical;
+    }
+    return Status::Internal(
+        "BufferPool: snapshot reads below the oldest retained version");
+  }
+  return chain.back().physical;
+}
+
+Result<PinnedPage> BufferPool::PinPhysical(PageId physical, PageId logical) {
+  const size_t si = StripeIndexFor(physical);
   Stripe& stripe = *stripes_[si];
   MutexLock lock(&stripe.mu);
 
-  auto it = stripe.page_table.find(id);
+  auto it = stripe.page_table.find(physical);
   if (it != stripe.page_table.end()) {
     stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
     obs_hits_->Increment();
@@ -101,7 +142,8 @@ Result<PinnedPage> BufferPool::Fetch(PageId id) {
     }
     frame.referenced = true;
     ++frame.pin_count;
-    return PinnedPage(this, si, it->second, id);
+    return PinnedPage(this, si, it->second, logical, frame.page.data(),
+                      &frame.dirty);
   }
 
   stats_.pool_misses.fetch_add(1, std::memory_order_relaxed);
@@ -111,26 +153,50 @@ Result<PinnedPage> BufferPool::Fetch(PageId id) {
   // under the stripe latch is rank-safe: the trace latch (50) ranks
   // after the stripe latch (20).
   ANNLIB_TRACE_SPAN_NAMED(span, "storage", "pool_miss");
-  span.AddArg("page", id);
+  span.AddArg("page", physical);
   ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame(stripe));
   Frame& frame = stripe.frames[fi];
   // The disk read happens under the stripe latch: simple, and concurrent
   // fetches of different pages on other stripes still proceed. (The disk
   // manager's internal latches rank after the stripe latch for exactly
   // this nesting.)
-  ANN_RETURN_NOT_OK(disk_->ReadPage(id, &frame.page));
-  frame.page_id = id;
+  ANN_RETURN_NOT_OK(disk_->ReadPage(physical, &frame.page));
+  frame.page_id = physical;
   frame.pin_count = 1;
   frame.dirty.store(false, std::memory_order_relaxed);
   frame.referenced = true;
-  stripe.page_table.emplace(id, fi);
-  return PinnedPage(this, si, fi, id);
+  stripe.page_table.emplace(physical, fi);
+  return PinnedPage(this, si, fi, logical, frame.page.data(), &frame.dirty);
+}
+
+Result<PinnedPage> BufferPool::PinFresh(PageId physical, PageId logical) {
+  const size_t si = StripeIndexFor(physical);
+  Stripe& stripe = *stripes_[si];
+  MutexLock lock(&stripe.mu);
+  // A recycled clone target was purged from the cache when reclaimed, and
+  // a disk-fresh one was never cached.
+  ANNLIB_DCHECK(stripe.page_table.find(physical) ==
+                stripe.page_table.end());
+  ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame(stripe));
+  Frame& frame = stripe.frames[fi];
+  frame.page_id = physical;
+  frame.pin_count = 1;
+  frame.dirty.store(false, std::memory_order_relaxed);
+  frame.referenced = true;
+  stripe.page_table.emplace(physical, fi);
+  return PinnedPage(this, si, fi, logical, frame.page.data(), &frame.dirty);
 }
 
 Result<PinnedPage> BufferPool::NewPage() {
   // AllocatePage takes (and releases) the disk manager's allocation latch
   // before the stripe latch is acquired — no nesting on this path.
   ANN_ASSIGN_OR_RETURN(const PageId id, disk_->AllocatePage());
+  {
+    MutexLock lock(&version_mu_);
+    if (batch_open_ && std::this_thread::get_id() == batch_owner_) {
+      batch_created_.emplace(id, true);
+    }
+  }
   const size_t si = StripeIndexFor(id);
   Stripe& stripe = *stripes_[si];
   MutexLock lock(&stripe.mu);
@@ -142,7 +208,245 @@ Result<PinnedPage> BufferPool::NewPage() {
   frame.dirty.store(true, std::memory_order_relaxed);
   frame.referenced = true;
   stripe.page_table.emplace(id, fi);
-  return PinnedPage(this, si, fi, id);
+  return PinnedPage(this, si, fi, id, frame.page.data(), &frame.dirty);
+}
+
+Result<PinnedPage> BufferPool::FetchForWrite(PageId id) {
+  PageId source = kInvalidPageId;
+  PageId target = kInvalidPageId;
+  {
+    MutexLock lock(&version_mu_);
+    if (!batch_open_) {
+      return Status::InvalidArgument(
+          "BufferPool::FetchForWrite without an open write batch");
+    }
+    if (std::this_thread::get_id() != batch_owner_) {
+      return Status::InvalidArgument(
+          "BufferPool::FetchForWrite from a thread that did not open the "
+          "batch");
+    }
+    if (batch_created_.count(id) != 0) {
+      // Allocated inside this batch: already private, no clone needed.
+      target = id;
+    } else if (auto it = batch_shadow_.find(id);
+               it != batch_shadow_.end()) {
+      target = it->second;
+    } else {
+      source = id;
+      if (auto vit = versions_.find(id); vit != versions_.end()) {
+        source = vit->second.back().physical;
+      }
+      ANN_ASSIGN_OR_RETURN(target, AcquirePhysicalLocked());
+      batch_shadow_.emplace(id, target);
+      ++cow_clones_;
+      obs_cow_clones_->Increment();
+    }
+  }
+  if (source == kInvalidPageId) return PinPhysical(target, id);
+
+  // First touch of this logical page in the batch: copy the committed
+  // contents into the private clone.
+  ANNLIB_TRACE_SPAN_NAMED(span, "storage", "cow_clone");
+  span.AddArg("page", id);
+  Result<PinnedPage> src_pin = PinPhysical(source, id);
+  Result<PinnedPage> dst_pin =
+      src_pin.ok() ? PinFresh(target, id) : Result<PinnedPage>(src_pin.status());
+  if (!src_pin.ok() || !dst_pin.ok()) {
+    // Roll the reservation back so the batch is not left pointing at an
+    // uninitialized clone.
+    MutexLock lock(&version_mu_);
+    batch_shadow_.erase(id);
+    --cow_clones_;
+    free_physical_.push_back(target);
+    return src_pin.ok() ? dst_pin.status() : src_pin.status();
+  }
+  std::memcpy(dst_pin.value().data(), src_pin.value().data(), kPageSize);
+  dst_pin.value().MarkDirty();
+  return std::move(dst_pin.value());
+}
+
+Status BufferPool::BeginWriteBatch() {
+  MutexLock lock(&version_mu_);
+  if (batch_open_) {
+    return Status::InvalidArgument(
+        "BufferPool::BeginWriteBatch: a write batch is already open "
+        "(single-writer contract)");
+  }
+  batch_open_ = true;
+  batch_owner_ = std::this_thread::get_id();
+  // From here on every Fetch resolves through the version table.
+  has_versions_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status BufferPool::CommitWriteBatch() {
+  MutexLock lock(&version_mu_);
+  if (!batch_open_) {
+    return Status::InvalidArgument(
+        "BufferPool::CommitWriteBatch without an open write batch");
+  }
+  if (std::this_thread::get_id() != batch_owner_) {
+    return Status::InvalidArgument(
+        "BufferPool::CommitWriteBatch from a thread that did not open "
+        "the batch");
+  }
+  ANNLIB_TRACE_SPAN_NAMED(span, "storage", "batch_commit");
+  span.AddArg("pages", static_cast<uint64_t>(batch_shadow_.size()));
+  const uint64_t next = current_epoch_.load(std::memory_order_relaxed) + 1;
+  for (const auto& [logical, physical] : batch_shadow_) {
+    std::vector<PageVersion>& chain = versions_[logical];
+    if (chain.empty()) chain.push_back(PageVersion{0, logical});
+    retired_.push_back(RetiredPage{logical, chain.back().physical, next});
+    ++pages_retired_;
+    obs_retired_->Increment();
+    chain.push_back(PageVersion{next, physical});
+  }
+  batch_shadow_.clear();
+  batch_created_.clear();
+  batch_open_ = false;
+  ++batches_committed_;
+  obs_batches_->Increment();
+  current_epoch_.store(next, std::memory_order_release);
+  RunGcLocked();
+  return Status::OK();
+}
+
+Status BufferPool::AbortWriteBatch() {
+  MutexLock lock(&version_mu_);
+  if (!batch_open_) {
+    return Status::InvalidArgument(
+        "BufferPool::AbortWriteBatch without an open write batch");
+  }
+  if (std::this_thread::get_id() != batch_owner_) {
+    return Status::InvalidArgument(
+        "BufferPool::AbortWriteBatch from a thread that did not open the "
+        "batch");
+  }
+  for (const auto& [logical, physical] : batch_shadow_) {
+    (void)logical;
+    const bool purged = PurgeCachedPage(physical);
+    ANNLIB_DCHECK(purged);  // no pins may outlive the batch
+    free_physical_.push_back(physical);
+  }
+  for (const auto& [logical, unused] : batch_created_) {
+    (void)unused;
+    const bool purged = PurgeCachedPage(logical);
+    ANNLIB_DCHECK(purged);
+    free_physical_.push_back(logical);
+  }
+  batch_shadow_.clear();
+  batch_created_.clear();
+  batch_open_ = false;
+  return Status::OK();
+}
+
+Result<PageSnapshot> BufferPool::OpenSnapshot() {
+  MutexLock lock(&version_mu_);
+  const uint64_t epoch = current_epoch_.load(std::memory_order_relaxed);
+  ++active_epochs_[epoch];
+  ++snapshots_opened_;
+  obs_snapshots_->Increment();
+  return PageSnapshot(std::make_shared<const PageSnapshot::EpochPin>(
+      this, epoch));
+}
+
+void BufferPool::ReleaseEpoch(uint64_t epoch) {
+  MutexLock lock(&version_mu_);
+  auto it = active_epochs_.find(epoch);
+  ANNLIB_DCHECK(it != active_epochs_.end());
+  if (it == active_epochs_.end()) return;
+  if (--it->second == 0) {
+    active_epochs_.erase(it);
+    RunGcLocked();
+  }
+}
+
+void BufferPool::RunGcLocked() {
+  if (retired_.empty()) return;
+  const uint64_t min_active =
+      active_epochs_.empty() ? std::numeric_limits<uint64_t>::max()
+                             : active_epochs_.begin()->first;
+  ANNLIB_TRACE_SPAN_NAMED(span, "storage", "epoch_gc");
+  uint64_t reclaimed_here = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < retired_.size(); ++i) {
+    const RetiredPage rp = retired_[i];
+    // A page retired at epoch r is needed only by snapshots whose epoch
+    // precedes r; a pinned frame defers reclamation to the next pass.
+    if (rp.retire_epoch > min_active || !PurgeCachedPage(rp.physical)) {
+      retired_[kept++] = rp;
+      continue;
+    }
+    auto it = versions_.find(rp.logical);
+    if (it != versions_.end()) {
+      std::vector<PageVersion>& chain = it->second;
+      chain.erase(std::remove_if(chain.begin(), chain.end(),
+                                 [&](const PageVersion& v) {
+                                   return v.physical == rp.physical;
+                                 }),
+                  chain.end());
+    }
+    free_physical_.push_back(rp.physical);
+    ++pages_reclaimed_;
+    obs_reclaimed_->Increment();
+    ++reclaimed_here;
+  }
+  retired_.resize(kept);
+  span.AddArg("reclaimed", reclaimed_here);
+  span.AddArg("pending", static_cast<uint64_t>(kept));
+}
+
+Result<PageId> BufferPool::AcquirePhysicalLocked() {
+  if (!free_physical_.empty()) {
+    const PageId id = free_physical_.back();
+    free_physical_.pop_back();
+    return id;
+  }
+  // Rank-safe: the disk allocation latch (30) nests under the version
+  // latch (15).
+  return disk_->AllocatePage();
+}
+
+bool BufferPool::PurgeCachedPage(PageId physical) {
+  const size_t si = StripeIndexFor(physical);
+  Stripe& stripe = *stripes_[si];
+  MutexLock lock(&stripe.mu);
+  auto it = stripe.page_table.find(physical);
+  if (it == stripe.page_table.end()) return true;
+  Frame& frame = stripe.frames[it->second];
+  if (frame.pin_count > 0) return false;
+  if (frame.in_lru) {
+    stripe.lru.erase(frame.lru_pos);
+    frame.in_lru = false;
+  }
+  // Dropped without write-back on purpose: the page is either retired
+  // (no snapshot can reach it) or an aborted clone.
+  frame.dirty.store(false, std::memory_order_relaxed);
+  frame.page_id = kInvalidPageId;
+  frame.referenced = false;
+  stripe.free_frames.push_back(it->second);
+  stripe.page_table.erase(it);
+  return true;
+}
+
+bool BufferPool::write_batch_open() const {
+  MutexLock lock(&version_mu_);
+  return batch_open_;
+}
+
+VersionStats BufferPool::version_stats() const {
+  MutexLock lock(&version_mu_);
+  VersionStats vs;
+  vs.epoch = current_epoch_.load(std::memory_order_relaxed);
+  vs.batches_committed = batches_committed_;
+  vs.cow_clones = cow_clones_;
+  vs.snapshots_opened = snapshots_opened_;
+  vs.pages_retired = pages_retired_;
+  vs.pages_reclaimed = pages_reclaimed_;
+  vs.live_chains = versions_.size();
+  vs.retired_pending = retired_.size();
+  vs.free_physical = free_physical_.size();
+  return vs;
 }
 
 Status BufferPool::FlushAll() {
@@ -154,12 +458,45 @@ Status BufferPool::FlushAll() {
       }
     }
   }
+  // The version table is in-memory only, so a reopened file resolves every
+  // page through the identity mapping. Mirror each chain's newest
+  // committed bytes back to the logical id's own disk page, making the
+  // on-disk image self-describing. Only safe at quiesce: a live snapshot
+  // may still need version 0's bytes, which live at exactly that disk
+  // location (chains start at identity), and an open batch's newest
+  // version is not committed yet.
+  if (has_versions_.load(std::memory_order_acquire)) {
+    MutexLock vlock(&version_mu_);
+    if (!batch_open_ && active_epochs_.empty()) {
+      Page tmp;
+      for (const auto& [logical, chain] : versions_) {
+        if (chain.back().physical == logical) continue;
+        ANN_RETURN_NOT_OK(disk_->ReadPage(chain.back().physical, &tmp));
+        ANN_RETURN_NOT_OK(disk_->WritePage(logical, tmp));
+      }
+    }
+  }
   return Status::OK();
 }
 
 Status BufferPool::Reset(size_t num_frames) {
   if (pinned_pages() != 0) {
     return Status::InvalidArgument("BufferPool::Reset with pinned pages");
+  }
+  {
+    // The version table itself survives a Reset (it maps ids, not
+    // frames), but dropping the cache under an open batch or a live
+    // snapshot would discard uncommitted clones' only copies.
+    MutexLock lock(&version_mu_);
+    if (batch_open_) {
+      return Status::InvalidArgument(
+          "BufferPool::Reset with an open write batch");
+    }
+    if (!active_epochs_.empty()) {
+      return Status::InvalidArgument(
+          "BufferPool::Reset with live snapshots");
+    }
+    RunGcLocked();
   }
   ANN_RETURN_NOT_OK(FlushAll());
   capacity_ = std::max<size_t>(1, num_frames);

@@ -38,12 +38,17 @@ size_t PayloadReserve(size_t len) { return std::max(len, kMinPayload); }
 
 }  // namespace
 
+Result<PinnedPage> NodeStore::FetchMut(PageId id) {
+  if (pool_->write_batch_open()) return pool_->FetchForWrite(id);
+  return pool_->Fetch(id);
+}
+
 Result<PageId> NodeStore::AllocatePage() {
   if (!free_pages_.empty()) {
     const PageId id = free_pages_.back();
     free_pages_.pop_back();
     // Re-zero the header so the page reads as empty.
-    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(id));
+    ANN_ASSIGN_OR_RETURN(PinnedPage page, FetchMut(id));
     std::memset(page.data(), 0, kPageHeaderSize);
     page.MarkDirty();
     return id;
@@ -61,7 +66,7 @@ Result<PageId> NodeStore::WriteChain(const char* data, size_t size) {
     const size_t begin = i * kOverflowPayload;
     const size_t chunk = std::min(kOverflowPayload, size - begin);
     ANN_ASSIGN_OR_RETURN(const PageId pid, AllocatePage());
-    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(pid));
+    ANN_ASSIGN_OR_RETURN(PinnedPage page, FetchMut(pid));
     WriteU32(page.data(), next);
     std::memcpy(page.data() + 4, data + begin, chunk);
     page.MarkDirty();
@@ -86,24 +91,27 @@ Result<NodeId> NodeStore::Append(const char* data, size_t size) {
   const bool overflow = size > kMaxInline;
   const size_t payload = overflow ? kMinPayload : PayloadReserve(size);
 
-  // Find (or start) a fill page with room for slot + payload.
-  PinnedPage page;
+  // Find (or start) a fill page with room for slot + payload. The peek
+  // is a read fetch (the batch owner sees its own clones), so a full
+  // fill page is not needlessly COW-cloned just to be rejected.
   if (fill_page_ != kInvalidPageId) {
-    ANN_ASSIGN_OR_RETURN(page, pool_->Fetch(fill_page_));
-    const uint16_t slot_count = ReadU16(page.data());
-    const uint16_t free_ptr = ReadU16(page.data() + 2);
+    ANN_ASSIGN_OR_RETURN(PinnedPage peek, pool_->Fetch(fill_page_));
+    const uint16_t slot_count = ReadU16(peek.data());
+    const uint16_t free_ptr = ReadU16(peek.data() + 2);
     const size_t slots_end = kPageHeaderSize + (slot_count + 1) * kSlotSize;
     if (slot_count >= 0xFFF || slots_end + payload > free_ptr) {
-      page.Release();
       fill_page_ = kInvalidPageId;
     }
   }
+  PinnedPage page;
   if (fill_page_ == kInvalidPageId) {
     ANN_ASSIGN_OR_RETURN(const PageId pid, AllocatePage());
-    ANN_ASSIGN_OR_RETURN(page, pool_->Fetch(pid));
+    ANN_ASSIGN_OR_RETURN(page, FetchMut(pid));
     WriteU16(page.data(), 0);
     WriteU16(page.data() + 2, static_cast<uint16_t>(kPageSize));
     fill_page_ = pid;
+  } else {
+    ANN_ASSIGN_OR_RETURN(page, FetchMut(fill_page_));
   }
 
   uint16_t slot_count = ReadU16(page.data());
@@ -130,8 +138,11 @@ Result<NodeId> NodeStore::Append(const char* data, size_t size) {
   return MakeNodeId(page.page_id(), slot_count);
 }
 
-Status NodeStore::Read(NodeId id, std::vector<char>* out) const {
-  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(NodePage(id)));
+Status NodeStore::Read(NodeId id, std::vector<char>* out,
+                       const PageSnapshot* snap) const {
+  ANN_ASSIGN_OR_RETURN(
+      PinnedPage page, snap != nullptr ? pool_->Fetch(NodePage(id), *snap)
+                                       : pool_->Fetch(NodePage(id)));
   const uint16_t slot_count = ReadU16(page.data());
   const uint16_t slot_index = NodeSlot(id);
   if (slot_index >= slot_count) {
@@ -158,7 +169,10 @@ Status NodeStore::Read(NodeId id, std::vector<char>* out) const {
     if (current == kInvalidPageId) {
       return Status::Internal("NodeStore: truncated overflow chain");
     }
-    ANN_ASSIGN_OR_RETURN(PinnedPage chain_page, pool_->Fetch(current));
+    ANN_ASSIGN_OR_RETURN(
+        PinnedPage chain_page, snap != nullptr
+                                   ? pool_->Fetch(current, *snap)
+                                   : pool_->Fetch(current));
     const size_t chunk = std::min(kOverflowPayload, total - pos);
     std::memcpy(out->data() + pos, chain_page.data() + 4, chunk);
     current = ReadU32(chain_page.data());
@@ -168,7 +182,7 @@ Status NodeStore::Read(NodeId id, std::vector<char>* out) const {
 }
 
 Status NodeStore::Update(NodeId id, const char* data, size_t size) {
-  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(NodePage(id)));
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, FetchMut(NodePage(id)));
   const uint16_t slot_count = ReadU16(page.data());
   const uint16_t slot_index = NodeSlot(id);
   if (slot_index >= slot_count) {
@@ -209,7 +223,7 @@ Status NodeStore::Update(NodeId id, const char* data, size_t size) {
 }
 
 Status NodeStore::Free(NodeId id) {
-  ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->Fetch(NodePage(id)));
+  ANN_ASSIGN_OR_RETURN(PinnedPage page, FetchMut(NodePage(id)));
   const uint16_t slot_count = ReadU16(page.data());
   const uint16_t slot_index = NodeSlot(id);
   if (slot_index >= slot_count) {

@@ -36,6 +36,18 @@ inline constexpr NodeId kInvalidNodeId = 0xFFFFFFFFu;
 /// Append clusters consecutive records onto the same fill page, so a tree
 /// persisted in one pass gets sibling nodes co-located — the layout a real
 /// storage manager produces for a bulk-built index.
+///
+/// **Versioned stores.** When the owning pool has a write batch open (see
+/// BufferPool::BeginWriteBatch), every mutation routes its page writes
+/// through FetchForWrite, so the whole Append/Update/Free sequence is
+/// copy-on-write: invisible to concurrent snapshot readers until the pool
+/// commits. Read() takes an optional PageSnapshot and then resolves every
+/// page of the record — slotted page and overflow chain alike — at that
+/// snapshot's epoch. The NodeStore's own bookkeeping (fill page, free
+/// list, record count) is single-writer state owned by whoever drives the
+/// batch; a failed mid-batch mutation leaves it out of sync with an
+/// aborted pool batch, which is why DynamicIndex treats persist errors as
+/// poisoning (see dynamic_index.h).
 class NodeStore {
  public:
   explicit NodeStore(BufferPool* pool) : pool_(pool) {}
@@ -46,8 +58,10 @@ class NodeStore {
   /// Appends a new record; returns its NodeId.
   Result<NodeId> Append(const char* data, size_t size);
 
-  /// Reads record `id` into `*out` (resized to the record length).
-  Status Read(NodeId id, std::vector<char>* out) const;
+  /// Reads record `id` into `*out` (resized to the record length). With a
+  /// valid `snap`, reads the record as of that snapshot's epoch.
+  Status Read(NodeId id, std::vector<char>* out,
+              const PageSnapshot* snap = nullptr) const;
 
   /// Overwrites record `id` with new contents (possibly a different
   /// size). In-place when the new payload fits the slot's current
@@ -69,6 +83,11 @@ class NodeStore {
 
  private:
   static constexpr uint16_t kOverflowFlag = 0x8000;  // set in slot length
+
+  /// Pins a page for mutation: FetchForWrite when the pool has a write
+  /// batch open (COW), plain Fetch otherwise (direct writes, as during an
+  /// initial bulk persist with no readers).
+  Result<PinnedPage> FetchMut(PageId id);
 
   Result<PageId> AllocatePage();
   Status FreeChain(PageId first);

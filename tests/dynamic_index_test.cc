@@ -1,0 +1,218 @@
+// DynamicIndex: persisted reads must track the in-memory builder exactly
+// across update batches, snapshots must freeze the pre-batch tree, and
+// the content-addressed delta must reuse unchanged subtrees.
+
+#include "index/dynamic_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "ann/nn_search.h"
+#include "check/invariants.h"
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+Rect UnitSpace(int dim) {
+  Rect space;
+  space.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    space.lo[d] = 0;
+    space.hi[d] = 1;
+  }
+  return space;
+}
+
+class DynamicIndexTest : public ::testing::Test {
+ protected:
+  MemDiskManager disk_;
+  BufferPool pool_{&disk_, 256};
+  NodeStore store_{&pool_};
+};
+
+std::unique_ptr<DynamicIndex> MakeMbrqtIndex(const Dataset& data,
+                                             NodeStore* store) {
+  MbrqtOptions opts;
+  opts.bucket_capacity = 8;
+  Mbrqt tree(UnitSpace(data.dim()), opts);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_OK(tree.Insert(data.point(i), i));
+  }
+  auto created = DynamicIndex::Create(std::move(tree), store);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created).value();
+}
+
+std::vector<uint64_t> AllIds(const SpatialIndex& index, int dim) {
+  std::vector<uint64_t> ids;
+  EXPECT_OK(RangeQuery(index, UnitSpace(dim), &ids));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST_F(DynamicIndexTest, PersistedReadsMatchBuilder) {
+  const Dataset data = RandomDataset(2, 300, 51);
+  std::unique_ptr<DynamicIndex> index = MakeMbrqtIndex(data, &store_);
+  EXPECT_EQ(index->num_objects(), data.size());
+  EXPECT_EQ(index->dim(), 2);
+
+  std::vector<uint64_t> want(data.size());
+  for (size_t i = 0; i < want.size(); ++i) want[i] = i;
+  EXPECT_EQ(AllIds(*index, 2), want);
+
+  // Nearest-neighbor through the persisted pages agrees with brute force.
+  const Scalar q[2] = {0.37, 0.61};
+  std::vector<Neighbor> got;
+  SearchStats sstats;
+  ASSERT_OK(PointKnn(*index, q, 3, kInf, &got, &sstats));
+  ASSERT_EQ(got.size(), 3u);
+  Scalar best = kInf;
+  uint64_t best_id = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Scalar d2 = PointDist2(q, data.point(i), 2);
+    if (d2 < best) {
+      best = d2;
+      best_id = i;
+    }
+  }
+  EXPECT_EQ(got[0].first, best_id);
+}
+
+TEST_F(DynamicIndexTest, ApplyBatchUpdatesPersistedState) {
+  const Dataset data = RandomDataset(2, 200, 53);
+  std::unique_ptr<DynamicIndex> index = MakeMbrqtIndex(data, &store_);
+  const uint64_t epoch0 = index->committed_epoch();
+
+  UpdateBatch batch(2);
+  const Scalar ins[2] = {0.111, 0.222};
+  batch.AddInsert(ins, 9000);
+  batch.AddDelete(data.point(0), 0);
+  DynamicIndex::ApplyStats stats;
+  ASSERT_OK(index->ApplyBatch(batch, &stats));
+  ASSERT_OK(index->CheckBuilderInvariants());
+
+  EXPECT_GT(stats.epoch, epoch0);
+  EXPECT_EQ(index->committed_epoch(), stats.epoch);
+  EXPECT_EQ(index->num_objects(), data.size());  // -1 +1
+  // A two-point batch over a 200-point tree touches one spine; nearly
+  // everything must be reused, and the superseded spine must be freed.
+  EXPECT_GT(stats.nodes_reused, 0u);
+  EXPECT_GT(stats.nodes_written, 0u);
+  EXPECT_GT(stats.nodes_freed, 0u);
+  EXPECT_LT(stats.nodes_written, index->meta().num_nodes);
+
+  std::vector<uint64_t> ids = AllIds(*index, 2);
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 9000u));
+  EXPECT_FALSE(std::binary_search(ids.begin(), ids.end(), 0u));
+}
+
+TEST_F(DynamicIndexTest, SnapshotFreezesPreBatchTree) {
+  const Dataset data = RandomDataset(2, 150, 55);
+  std::unique_ptr<DynamicIndex> index = MakeMbrqtIndex(data, &store_);
+
+  ASSERT_OK_AND_ASSIGN(const IndexSnapshot snap, index->OpenSnapshot());
+  const SnapshotView frozen(index.get(), snap);
+  const std::vector<uint64_t> before = AllIds(frozen, 2);
+
+  UpdateBatch batch(2);
+  const Scalar ins[2] = {0.9, 0.9};
+  batch.AddInsert(ins, 7777);
+  batch.AddDelete(data.point(3), 3);
+  ASSERT_OK(index->ApplyBatch(batch));
+
+  // The frozen view still reads the pre-batch pages; the live index reads
+  // the new ones.
+  EXPECT_EQ(AllIds(frozen, 2), before);
+  std::vector<uint64_t> after = AllIds(*index, 2);
+  EXPECT_TRUE(std::binary_search(after.begin(), after.end(), 7777u));
+  EXPECT_FALSE(std::binary_search(after.begin(), after.end(), 3u));
+  EXPECT_EQ(snap.num_objects, index->num_objects());
+  EXPECT_LT(snap.epoch, index->committed_epoch());
+}
+
+TEST_F(DynamicIndexTest, RStarBuilderRoundtrips) {
+  const Dataset data = RandomDataset(2, 150, 57);
+  RStarOptions opts;
+  opts.leaf_capacity = 8;
+  opts.internal_capacity = 8;
+  RStarTree tree(2, opts);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DynamicIndex> index,
+                       DynamicIndex::Create(std::move(tree), &store_));
+  EXPECT_EQ(index->num_objects(), data.size());
+  UpdateBatch batch(2);
+  const Scalar ins[2] = {0.42, 0.43};
+  batch.AddInsert(ins, 8888);
+  ASSERT_OK(index->ApplyBatch(batch));
+  ASSERT_OK(index->CheckBuilderInvariants());
+  std::vector<uint64_t> ids = AllIds(*index, 2);
+  EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), 8888u));
+}
+
+TEST_F(DynamicIndexTest, InvalidBatchPoisonsTheWriter) {
+  const Dataset data = RandomDataset(2, 80, 59);
+  std::unique_ptr<DynamicIndex> index = MakeMbrqtIndex(data, &store_);
+
+  UpdateBatch bad(2);
+  const Scalar nowhere[2] = {0.123, 0.456};
+  bad.AddDelete(nowhere, 999999);  // not in the tree
+  const Status first = index->ApplyBatch(bad);
+  ASSERT_FALSE(first.ok());
+
+  // The writer is poisoned: even a valid batch now fails with the original
+  // error, while reads keep serving the last committed tree.
+  UpdateBatch good(2);
+  const Scalar ins[2] = {0.5, 0.5};
+  good.AddInsert(ins, 1234);
+  const Status second = index->ApplyBatch(good);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), first.code());
+  EXPECT_EQ(index->num_objects(), data.size());
+  EXPECT_EQ(AllIds(*index, 2).size(), data.size());
+}
+
+TEST_F(DynamicIndexTest, DimensionMismatchRejected) {
+  const Dataset data = RandomDataset(2, 50, 61);
+  std::unique_ptr<DynamicIndex> index = MakeMbrqtIndex(data, &store_);
+  UpdateBatch batch(3);
+  const Scalar p[3] = {0.1, 0.2, 0.3};
+  batch.AddInsert(p, 1);
+  const Status st = index->ApplyBatch(batch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  // A contract violation caught before any mutation must NOT poison.
+  UpdateBatch ok_batch(2);
+  const Scalar q[2] = {0.1, 0.2};
+  ok_batch.AddInsert(q, 4321);
+  EXPECT_OK(index->ApplyBatch(ok_batch));
+}
+
+TEST_F(DynamicIndexTest, PoolInvariantsHoldAfterBatches) {
+  const Dataset data = RandomDataset(2, 120, 63);
+  std::unique_ptr<DynamicIndex> index = MakeMbrqtIndex(data, &store_);
+  Rng rng(3);
+  for (int b = 0; b < 5; ++b) {
+    UpdateBatch batch(2);
+    for (int i = 0; i < 4; ++i) {
+      Scalar p[2] = {rng.NextDouble(), rng.NextDouble()};
+      batch.AddInsert(p, 5000 + b * 10 + i);
+    }
+    ASSERT_OK(index->ApplyBatch(batch));
+    ASSERT_OK(CheckBufferPoolInvariants(pool_));
+  }
+  // No snapshot is live, so every superseded page must have been
+  // reclaimed by the commit-time GC passes.
+  const VersionStats vs = pool_.version_stats();
+  EXPECT_EQ(vs.pages_retired, vs.pages_reclaimed);
+  EXPECT_EQ(vs.retired_pending, 0u);
+}
+
+}  // namespace
+}  // namespace ann

@@ -1,0 +1,184 @@
+// Single-threaded insert/delete coverage for both tree builders: every
+// mutation is followed by a full structural CheckInvariants pass, and the
+// capacities are tuned so the sequences exercise leaf splits, forced
+// reinsertion (R*), underflow merging, and root collapse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "index/mbrqt/mbrqt.h"
+#include "index/node_format.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+Rect UnitSpace(int dim) {
+  Rect space;
+  space.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    space.lo[d] = 0;
+    space.hi[d] = 1;
+  }
+  return space;
+}
+
+/// The full point/id set the tree is supposed to hold, verified via a
+/// whole-space RangeQuery after every phase.
+void ExpectExactContents(const MemTree& tree,
+                         const std::unordered_set<uint64_t>& expect) {
+  MemIndexView view(&tree);
+  std::vector<uint64_t> got;
+  ASSERT_OK(RangeQuery(view, UnitSpace(tree.dim), &got));
+  std::sort(got.begin(), got.end());
+  std::vector<uint64_t> want(expect.begin(), expect.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+class MbrqtUpdateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MbrqtUpdateTest, InsertThenDeleteAllWithInvariantChecks) {
+  const int bucket = GetParam();
+  MbrqtOptions opts;
+  opts.bucket_capacity = bucket;
+  Mbrqt tree(UnitSpace(2), opts);
+  const Dataset data = RandomDataset(2, 300, /*seed=*/41);
+
+  std::unordered_set<uint64_t> live;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+    ASSERT_OK(tree.CheckInvariants());
+    live.insert(i);
+  }
+  EXPECT_EQ(tree.num_objects(), data.size());
+  ExpectExactContents(tree.Finalize(), live);
+
+  // Delete in a shuffled order so merges hit interior cells, not just the
+  // insertion frontier.
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(7);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Next() % i]);
+  }
+  for (const size_t i : order) {
+    ASSERT_OK(tree.Delete(data.point(i), i));
+    ASSERT_OK(tree.CheckInvariants());
+    live.erase(i);
+  }
+  EXPECT_EQ(tree.num_objects(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MbrqtUpdateTest,
+                         ::testing::Values(2, 4, 16));
+
+TEST(MbrqtUpdateTest, DeleteMissingFails) {
+  Mbrqt tree(UnitSpace(2));
+  const Scalar p[2] = {0.5, 0.5};
+  ASSERT_OK(tree.Insert(p, 1));
+  const Scalar q[2] = {0.25, 0.25};
+  EXPECT_FALSE(tree.Delete(q, 99).ok());
+  // The failed delete must not have corrupted anything.
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.num_objects(), 1u);
+}
+
+TEST(MbrqtUpdateTest, MixedChurnKeepsExactContents) {
+  MbrqtOptions opts;
+  opts.bucket_capacity = 4;
+  Mbrqt tree(UnitSpace(2), opts);
+  const Dataset data = RandomDataset(2, 400, /*seed=*/42);
+  std::unordered_set<uint64_t> live;
+  Rng rng(11);
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t id = rng.Next() % data.size();
+    if (live.count(id) != 0) {
+      ASSERT_OK(tree.Delete(data.point(id), id));
+      live.erase(id);
+    } else {
+      ASSERT_OK(tree.Insert(data.point(id), id));
+      live.insert(id);
+    }
+    ASSERT_OK(tree.CheckInvariants());
+    ASSERT_EQ(tree.num_objects(), live.size());
+  }
+  ExpectExactContents(tree.Finalize(), live);
+}
+
+class RStarUpdateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RStarUpdateTest, InsertThenDeleteAllWithInvariantChecks) {
+  RStarOptions opts;
+  opts.leaf_capacity = GetParam();
+  opts.internal_capacity = GetParam();
+  RStarTree tree(2, opts);
+  const Dataset data = RandomDataset(2, 300, /*seed=*/43);
+
+  std::unordered_set<uint64_t> live;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_OK(tree.Insert(data.point(i), i));
+    // Underflow from deletes triggers re-insertion of orphans, which can
+    // transiently violate min-fill nowhere — a full check must hold after
+    // EVERY mutation, min-fill included.
+    ASSERT_OK(tree.CheckInvariants());
+    live.insert(i);
+  }
+  EXPECT_EQ(tree.num_objects(), data.size());
+  ExpectExactContents(tree.tree(), live);
+
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(9);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Next() % i]);
+  }
+  for (const size_t i : order) {
+    ASSERT_OK(tree.Delete(data.point(i), i));
+    ASSERT_OK(tree.CheckInvariants());
+    live.erase(i);
+  }
+  EXPECT_EQ(tree.num_objects(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RStarUpdateTest,
+                         ::testing::Values(4, 8, 16));
+
+TEST(RStarUpdateTest, DeleteMissingFails) {
+  RStarTree tree(2);
+  const Scalar p[2] = {0.5, 0.5};
+  ASSERT_OK(tree.Insert(p, 1));
+  EXPECT_FALSE(tree.Delete(p, 99).ok());
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.num_objects(), 1u);
+}
+
+TEST(RStarUpdateTest, MixedChurnKeepsExactContents) {
+  RStarOptions opts;
+  opts.leaf_capacity = 6;
+  opts.internal_capacity = 6;
+  RStarTree tree(2, opts);
+  const Dataset data = RandomDataset(2, 400, /*seed=*/44);
+  std::unordered_set<uint64_t> live;
+  Rng rng(13);
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t id = rng.Next() % data.size();
+    if (live.count(id) != 0) {
+      ASSERT_OK(tree.Delete(data.point(id), id));
+      live.erase(id);
+    } else {
+      ASSERT_OK(tree.Insert(data.point(id), id));
+      live.insert(id);
+    }
+    ASSERT_OK(tree.CheckInvariants());
+    ASSERT_EQ(tree.num_objects(), live.size());
+  }
+  ExpectExactContents(tree.tree(), live);
+}
+
+}  // namespace
+}  // namespace ann

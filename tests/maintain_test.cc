@@ -1,0 +1,218 @@
+// Equivalence tests for incremental All-NN maintenance: repairing the
+// affected result lists after an S-side update batch must reproduce a
+// full recomputation against the post-batch index, list for list.
+
+#include "ann/maintain.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "ann/mba.h"
+#include "index/mbrqt/mbrqt.h"
+#include "index/node_format.h"
+#include "index/rstar/rstar_tree.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+constexpr uint64_t kInsertIdBase = 10000;
+
+/// R is a static MBRQT view; S is an R*-tree mutated in place (the
+/// MemIndexView reads whatever the tree currently holds, so the same view
+/// serves as `is_old` before the batch and `is_new` after it).
+struct MaintainFixture {
+  Dataset r_data;
+  Dataset s_data;
+  std::unique_ptr<Mbrqt> r_tree;
+  std::unique_ptr<MemIndexView> ir;
+  std::unique_ptr<RStarTree> s_tree;
+  std::unique_ptr<MemIndexView> is;
+};
+
+MaintainFixture MakeFixture(size_t nr, size_t ns, uint64_t seed) {
+  MaintainFixture f;
+  f.r_data = RandomDataset(2, nr, seed);
+  f.s_data = RandomDataset(2, ns, seed + 1);
+  MbrqtOptions qopts;
+  qopts.bucket_capacity = 8;
+  auto built = Mbrqt::Build(f.r_data, qopts);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  f.r_tree = std::make_unique<Mbrqt>(std::move(built).value());
+  f.ir = std::make_unique<MemIndexView>(&f.r_tree->Finalize());
+  RStarOptions ropts;
+  ropts.leaf_capacity = 8;
+  ropts.internal_capacity = 8;
+  f.s_tree = std::make_unique<RStarTree>(2, ropts);
+  for (size_t i = 0; i < ns; ++i) {
+    EXPECT_OK(f.s_tree->Insert(f.s_data.point(i), i));
+  }
+  f.is = std::make_unique<MemIndexView>(&f.s_tree->tree());
+  return f;
+}
+
+/// Builds a batch of `num_del` distinct existing deletes and `num_ins`
+/// fresh-id inserts, and applies it to the S tree.
+UpdateBatch MakeAndApplyBatch(MaintainFixture* f, size_t num_del,
+                              size_t num_ins, uint64_t seed) {
+  UpdateBatch batch(2);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> picked;
+  while (picked.size() < num_del) {
+    const uint64_t id = rng.Next() % f->s_data.size();
+    if (picked.insert(id).second) {
+      batch.AddDelete(f->s_data.point(id), id);
+    }
+  }
+  for (size_t i = 0; i < num_ins; ++i) {
+    Scalar p[2] = {rng.NextDouble(), rng.NextDouble()};
+    batch.AddInsert(p, kInsertIdBase + i);
+  }
+  for (size_t i = 0; i < batch.num_deletes(); ++i) {
+    EXPECT_OK(f->s_tree->Delete(batch.delete_point(i), batch.delete_ids[i]));
+  }
+  for (size_t i = 0; i < batch.num_inserts(); ++i) {
+    EXPECT_OK(f->s_tree->Insert(batch.insert_point(i), batch.insert_ids[i]));
+  }
+  return batch;
+}
+
+void ExpectSameResults(const std::vector<NeighborList>& got,
+                       const std::vector<NeighborList>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].r_id, want[i].r_id);
+    ASSERT_EQ(got[i].neighbors.size(), want[i].neighbors.size())
+        << "list " << got[i].r_id;
+    for (size_t j = 0; j < got[i].neighbors.size(); ++j) {
+      EXPECT_EQ(got[i].neighbors[j].first, want[i].neighbors[j].first)
+          << "list " << got[i].r_id << " slot " << j;
+      EXPECT_NEAR(got[i].neighbors[j].second, want[i].neighbors[j].second,
+                  1e-12)
+          << "list " << got[i].r_id << " slot " << j;
+    }
+  }
+}
+
+void RunCase(int k, Scalar max_distance, size_t num_del, size_t num_ins,
+             uint64_t seed, MaintainStats* stats_out = nullptr) {
+  MaintainFixture f = MakeFixture(/*nr=*/250, /*ns=*/400, seed);
+  AnnOptions opts;
+  opts.k = k;
+  opts.max_distance = max_distance;
+
+  std::vector<NeighborList> results;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &results));
+  SortByQueryId(&results);
+
+  const UpdateBatch batch = MakeAndApplyBatch(&f, num_del, num_ins, seed + 2);
+
+  MaintainStats stats;
+  ASSERT_OK(MaintainAllNn(*f.ir, *f.is, opts, batch, &results, &stats));
+  EXPECT_EQ(stats.queries, f.r_data.size());
+
+  std::vector<NeighborList> expected;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &expected));
+  SortByQueryId(&expected);
+  SortByQueryId(&results);
+  ExpectSameResults(results, expected);
+  if (stats_out != nullptr) *stats_out = stats;
+}
+
+TEST(MaintainTest, InsertsOnlyK1) {
+  RunCase(/*k=*/1, kInf, /*num_del=*/0, /*num_ins=*/12, /*seed=*/101);
+}
+
+TEST(MaintainTest, InsertsOnlyK4) {
+  MaintainStats stats;
+  RunCase(/*k=*/4, kInf, /*num_del=*/0, /*num_ins=*/12, /*seed=*/103,
+          &stats);
+  // Insert-only damage repairs by merge; nothing may trigger a re-query.
+  EXPECT_EQ(stats.requeried, 0u);
+  EXPECT_GT(stats.merged, 0u);
+  EXPECT_EQ(stats.merged, stats.insert_affected);
+  // The aggregate bound must prune most of IR for a 12-point batch.
+  EXPECT_GT(stats.probe_node_prunes, 0u);
+}
+
+TEST(MaintainTest, DeletesOnlyK1) {
+  MaintainStats stats;
+  RunCase(/*k=*/1, kInf, /*num_del=*/15, /*num_ins=*/0, /*seed=*/105,
+          &stats);
+  EXPECT_EQ(stats.merged, 0u);
+  EXPECT_GT(stats.requeried, 0u);
+  EXPECT_EQ(stats.requeried, stats.delete_affected);
+}
+
+TEST(MaintainTest, DeletesOnlyK4) {
+  RunCase(/*k=*/4, kInf, /*num_del=*/15, /*num_ins=*/0, /*seed=*/107);
+}
+
+TEST(MaintainTest, MixedK3) {
+  RunCase(/*k=*/3, kInf, /*num_del=*/10, /*num_ins=*/10, /*seed=*/109);
+}
+
+TEST(MaintainTest, MixedBoundedMaxDistance) {
+  // Short lists (bound = max_distance) must grow when an in-range point
+  // arrives and never admit out-of-range ones.
+  RunCase(/*k=*/3, /*max_distance=*/0.05, /*num_del=*/10, /*num_ins=*/10,
+          /*seed=*/111);
+}
+
+TEST(MaintainTest, LargeBatchMixed) {
+  RunCase(/*k=*/2, kInf, /*num_del=*/60, /*num_ins=*/60, /*seed=*/113);
+}
+
+TEST(MaintainTest, EmptyBatchIsANoOp) {
+  MaintainFixture f = MakeFixture(100, 150, 117);
+  AnnOptions opts;
+  opts.k = 2;
+  std::vector<NeighborList> results;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &results));
+  std::vector<NeighborList> before = results;
+  MaintainStats stats;
+  ASSERT_OK(MaintainAllNn(*f.ir, *f.is, opts, UpdateBatch(2), &results,
+                          &stats));
+  SortByQueryId(&before);
+  SortByQueryId(&results);
+  ExpectSameResults(results, before);
+  EXPECT_EQ(stats.requeried, 0u);
+  EXPECT_EQ(stats.merged, 0u);
+}
+
+TEST(MaintainTest, MissingResultListFails) {
+  MaintainFixture f = MakeFixture(50, 80, 119);
+  AnnOptions opts;
+  std::vector<NeighborList> results;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &results));
+  SortByQueryId(&results);
+  results.pop_back();  // orphan one IR object
+  UpdateBatch batch(2);
+  const Scalar p[2] = {0.5, 0.5};
+  batch.AddInsert(p, kInsertIdBase);
+  ASSERT_OK(f.s_tree->Insert(p, kInsertIdBase));
+  const Status st = MaintainAllNn(*f.ir, *f.is, opts, batch, &results);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(MaintainTest, DuplicateResultListFails) {
+  MaintainFixture f = MakeFixture(50, 80, 121);
+  AnnOptions opts;
+  std::vector<NeighborList> results;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &results));
+  results.push_back(results.front());
+  UpdateBatch batch(2);
+  const Scalar p[2] = {0.5, 0.5};
+  batch.AddInsert(p, kInsertIdBase);
+  ASSERT_OK(f.s_tree->Insert(p, kInsertIdBase));
+  const Status st = MaintainAllNn(*f.ir, *f.is, opts, batch, &results);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace ann

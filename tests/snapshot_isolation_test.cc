@@ -1,0 +1,460 @@
+// Versioned buffer pool (copy-on-write batches + epoch snapshots) and
+// end-to-end snapshot isolation through DynamicIndex, including the
+// concurrent writer/reader contract: a query racing update batches
+// returns results bit-identical to SOME committed state — entirely
+// pre-batch or entirely post-batch, never a mixture.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ann/nn_search.h"
+#include "check/invariants.h"
+#include "index/dynamic_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/node_store.h"
+#include "test_util.h"
+
+namespace ann {
+namespace {
+
+Rect UnitSpace(int dim) {
+  Rect space;
+  space.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    space.lo[d] = 0;
+    space.hi[d] = 1;
+  }
+  return space;
+}
+
+void FillPage(PinnedPage* page, char value) {
+  std::memset(page->data(), value, kPageSize);
+  page->MarkDirty();
+}
+
+class VersionedPoolTest : public ::testing::Test {
+ protected:
+  MemDiskManager disk_;
+  BufferPool pool_{&disk_, 32};
+};
+
+TEST_F(VersionedPoolTest, SnapshotKeepsPreBatchBytes) {
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'A');
+  }
+  ASSERT_OK_AND_ASSIGN(const PageSnapshot snap, pool_.OpenSnapshot());
+  EXPECT_TRUE(snap.valid());
+
+  ASSERT_OK(pool_.BeginWriteBatch());
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+    EXPECT_EQ(page.page_id(), id);
+    EXPECT_EQ(page.data()[0], 'A') << "clone must start from the source";
+    FillPage(&page, 'B');
+  }
+  // Owner read-your-writes: a plain Fetch from the batch thread resolves
+  // to the shadow clone before commit.
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.Fetch(id));
+    EXPECT_EQ(page.data()[0], 'B');
+  }
+  ASSERT_OK(pool_.CommitWriteBatch());
+
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.Fetch(id));
+    EXPECT_EQ(page.data()[0], 'B');
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.Fetch(id, snap));
+    EXPECT_EQ(page.data()[0], 'A') << "snapshot must freeze the old bytes";
+  }
+  const VersionStats vs = pool_.version_stats();
+  EXPECT_EQ(vs.cow_clones, 1u);
+  EXPECT_EQ(vs.batches_committed, 1u);
+  EXPECT_EQ(vs.pages_retired, 1u);
+  EXPECT_EQ(vs.pages_reclaimed, 0u) << "snapshot pins the old version";
+  ASSERT_OK(CheckBufferPoolInvariants(pool_));
+}
+
+TEST_F(VersionedPoolTest, EpochGcReclaimsAfterLastRelease) {
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'A');
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(const PageSnapshot snap, pool_.OpenSnapshot());
+    ASSERT_OK(pool_.BeginWriteBatch());
+    {
+      ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+      FillPage(&page, 'B');
+    }
+    ASSERT_OK(pool_.CommitWriteBatch());
+    EXPECT_EQ(pool_.version_stats().retired_pending, 1u);
+    // snap dies here: the last reference to epoch 0 drains.
+  }
+  const VersionStats vs = pool_.version_stats();
+  EXPECT_EQ(vs.pages_retired, vs.pages_reclaimed);
+  EXPECT_EQ(vs.retired_pending, 0u);
+  EXPECT_EQ(vs.free_physical, 1u);
+  ASSERT_OK(CheckBufferPoolInvariants(pool_));
+
+  // The reclaimed physical page backs the next clone instead of fresh
+  // disk space.
+  ASSERT_OK(pool_.BeginWriteBatch());
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+    FillPage(&page, 'C');
+  }
+  ASSERT_OK(pool_.CommitWriteBatch());
+  EXPECT_EQ(pool_.version_stats().free_physical, 1u)
+      << "clone target must come from the free list, freeing the old page";
+  ASSERT_OK(CheckBufferPoolInvariants(pool_));
+}
+
+TEST_F(VersionedPoolTest, SnapshotsSeeTheirOwnEpochAcrossManyCommits) {
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'a');
+  }
+  std::vector<PageSnapshot> snaps;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(PageSnapshot snap, pool_.OpenSnapshot());
+    snaps.push_back(std::move(snap));
+    ASSERT_OK(pool_.BeginWriteBatch());
+    {
+      ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+      FillPage(&page, static_cast<char>('b' + i));
+    }
+    ASSERT_OK(pool_.CommitWriteBatch());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.Fetch(id, snaps[i]));
+    EXPECT_EQ(page.data()[0], static_cast<char>('a' + i))
+        << "snapshot " << i;
+  }
+  ASSERT_OK(CheckBufferPoolInvariants(pool_));
+  snaps.clear();
+  const VersionStats vs = pool_.version_stats();
+  EXPECT_EQ(vs.pages_retired, vs.pages_reclaimed);
+  EXPECT_EQ(vs.retired_pending, 0u);
+}
+
+TEST_F(VersionedPoolTest, AbortDiscardsTheClones) {
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'A');
+  }
+  ASSERT_OK(pool_.BeginWriteBatch());
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+    FillPage(&page, 'Z');
+  }
+  ASSERT_OK(pool_.AbortWriteBatch());
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.Fetch(id));
+    EXPECT_EQ(page.data()[0], 'A');
+  }
+  EXPECT_EQ(pool_.version_stats().batches_committed, 0u);
+  EXPECT_GT(pool_.version_stats().free_physical, 0u);
+  ASSERT_OK(CheckBufferPoolInvariants(pool_));
+}
+
+TEST_F(VersionedPoolTest, BatchContractViolations) {
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'A');
+  }
+  // No batch open: FetchForWrite and Commit/Abort must fail.
+  EXPECT_FALSE(pool_.FetchForWrite(id).ok());
+  EXPECT_FALSE(pool_.CommitWriteBatch().ok());
+  EXPECT_FALSE(pool_.AbortWriteBatch().ok());
+
+  ASSERT_OK(pool_.BeginWriteBatch());
+  EXPECT_FALSE(pool_.BeginWriteBatch().ok()) << "single writer";
+  ASSERT_OK(pool_.AbortWriteBatch());
+}
+
+TEST_F(VersionedPoolTest, ResetRefusedUnderSnapshotOrBatch) {
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    FillPage(&page, 'A');
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(const PageSnapshot snap, pool_.OpenSnapshot());
+    EXPECT_FALSE(pool_.Reset(32).ok());
+  }
+  ASSERT_OK(pool_.BeginWriteBatch());
+  EXPECT_FALSE(pool_.Reset(32).ok());
+  ASSERT_OK(pool_.AbortWriteBatch());
+  EXPECT_OK(pool_.Reset(32));
+}
+
+TEST_F(VersionedPoolTest, FlushAllMirrorsNewestVersionToCanonicalPage) {
+  // The version table is in-memory only: after FlushAll on a quiesced
+  // pool, the newest committed bytes must sit at the logical id's own
+  // disk page, or a reopened file would read a stale version. Three
+  // commits guarantee the newest version lives on a non-canonical
+  // physical page (clone targets alternate via the free list).
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'A');
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(pool_.BeginWriteBatch());
+    {
+      ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+      FillPage(&page, static_cast<char>('B' + i));
+    }
+    ASSERT_OK(pool_.CommitWriteBatch());
+  }
+  ASSERT_OK(pool_.FlushAll());
+  Page raw;
+  ASSERT_OK(disk_.ReadPage(id, &raw));
+  EXPECT_EQ(raw.data()[0], 'D')
+      << "canonical disk page must hold the newest committed version";
+}
+
+TEST_F(VersionedPoolTest, NewPageInsideBatchIsPrivateUntilCommit) {
+  ASSERT_OK(pool_.BeginWriteBatch());
+  PageId id;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'N');
+  }
+  {
+    // The creating batch can rewrite its own page without a clone.
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+    EXPECT_EQ(page.data()[0], 'N');
+  }
+  EXPECT_EQ(pool_.version_stats().cow_clones, 0u);
+  ASSERT_OK(pool_.CommitWriteBatch());
+  ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.Fetch(id));
+  EXPECT_EQ(page.data()[0], 'N');
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: concurrent readers vs a writer applying batches must each
+// observe one committed state, bit for bit.
+// ---------------------------------------------------------------------------
+
+constexpr int kNumBatches = 6;
+constexpr int kInsertsPerBatch = 5;
+constexpr int kDeletesPerBatch = 2;
+constexpr int kK = 3;
+constexpr int kNumQueries = 6;
+
+struct UpdateScript {
+  Dataset initial;                  ///< ids 0..n-1
+  std::vector<UpdateBatch> batches;
+  std::vector<Scalar> queries;      ///< kNumQueries * 2
+};
+
+/// The whole experiment is a deterministic function of the seed, so two
+/// indexes built from the same script are page-for-page identical.
+UpdateScript MakeScript(uint64_t seed) {
+  UpdateScript script;
+  script.initial = RandomDataset(2, 200, seed);
+  Rng rng(seed + 1);
+  uint64_t next_id = script.initial.size();
+  // Deletes target ids inserted by an earlier batch (or the initial set),
+  // chosen so no id is deleted twice: batch b deletes from the range
+  // batch b-1 inserted.
+  std::vector<uint64_t> last_inserted;
+  for (size_t i = 0; i < script.initial.size(); ++i) {
+    last_inserted.push_back(i);
+  }
+  std::vector<Scalar> last_coords(script.initial.coords());
+  for (int b = 0; b < kNumBatches; ++b) {
+    UpdateBatch batch(2);
+    for (int d = 0; d < kDeletesPerBatch; ++d) {
+      const size_t pick = rng.Next() % last_inserted.size();
+      batch.AddDelete(last_coords.data() + pick * 2, last_inserted[pick]);
+      last_inserted.erase(last_inserted.begin() + pick);
+      last_coords.erase(last_coords.begin() + pick * 2,
+                        last_coords.begin() + pick * 2 + 2);
+    }
+    std::vector<uint64_t> inserted;
+    std::vector<Scalar> coords;
+    for (int i = 0; i < kInsertsPerBatch; ++i) {
+      Scalar p[2] = {rng.NextDouble(), rng.NextDouble()};
+      batch.AddInsert(p, next_id);
+      inserted.push_back(next_id);
+      coords.insert(coords.end(), p, p + 2);
+      ++next_id;
+    }
+    last_inserted = std::move(inserted);
+    last_coords = std::move(coords);
+    script.batches.push_back(std::move(batch));
+  }
+  for (int q = 0; q < kNumQueries; ++q) {
+    script.queries.push_back(rng.NextDouble());
+    script.queries.push_back(rng.NextDouble());
+  }
+  return script;
+}
+
+std::unique_ptr<DynamicIndex> BuildFromScript(const UpdateScript& script,
+                                              NodeStore* store) {
+  MbrqtOptions opts;
+  opts.bucket_capacity = 8;
+  Mbrqt tree(UnitSpace(2), opts);
+  for (size_t i = 0; i < script.initial.size(); ++i) {
+    EXPECT_OK(tree.Insert(script.initial.point(i), i));
+  }
+  auto created = DynamicIndex::Create(std::move(tree), store);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return std::move(created).value();
+}
+
+/// kNN answers for every scripted query against one committed state.
+using StateResults = std::vector<std::vector<Neighbor>>;
+
+/// No gtest assertions here: this also runs on reader threads, where a
+/// failing ASSERT/EXPECT is not thread-safe. Callers check the Status.
+Status QueryState(const SpatialIndex& view, const UpdateScript& script,
+                  StateResults* out) {
+  out->assign(kNumQueries, {});
+  for (int q = 0; q < kNumQueries; ++q) {
+    SearchStats stats;
+    const Status st = PointKnn(view, script.queries.data() + q * 2, kK,
+                               kInf, &(*out)[q], &stats);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+bool SameResults(const StateResults& a, const StateResults& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].size() != b[q].size()) return false;
+    for (size_t i = 0; i < a[q].size(); ++i) {
+      // Bit-identical: same neighbor ids AND the exact same doubles.
+      if (a[q][i].first != b[q][i].first) return false;
+      if (a[q][i].second != b[q][i].second) return false;
+    }
+  }
+  return true;
+}
+
+void RunConcurrentIsolation(size_t num_readers) {
+  const UpdateScript script = MakeScript(/*seed=*/777);
+
+  // Stage 1 (sequential): the expected answers for every committed state,
+  // keyed by the state's object count (each batch nets +3, so counts are
+  // unique per state).
+  std::map<uint64_t, StateResults> expected;
+  {
+    MemDiskManager disk;
+    BufferPool pool(&disk, 256);
+    NodeStore store(&pool);
+    std::unique_ptr<DynamicIndex> index = BuildFromScript(script, &store);
+    ASSERT_OK(QueryState(*index, script, &expected[index->num_objects()]));
+    for (const UpdateBatch& batch : script.batches) {
+      ASSERT_OK(index->ApplyBatch(batch));
+      ASSERT_OK(QueryState(*index, script, &expected[index->num_objects()]));
+    }
+    ASSERT_EQ(expected.size(), static_cast<size_t>(kNumBatches + 1))
+        << "object counts must identify states uniquely";
+  }
+
+  // Stage 2: an identical index, now with the batches applied by a writer
+  // thread while readers query through snapshots.
+  MemDiskManager disk;
+  BufferPool pool(&disk, 256);
+  NodeStore store(&pool);
+  std::unique_ptr<DynamicIndex> index = BuildFromScript(script, &store);
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> unknown_states{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> open_failures{0};
+
+  auto reader = [&] {
+    while (true) {
+      // Sample the flag BEFORE opening the snapshot: if the writer had
+      // already finished, this iteration necessarily reads the final
+      // committed state, so every reader exercises it at least once.
+      const bool final_pass = writer_done.load(std::memory_order_acquire);
+      auto snap = index->OpenSnapshot();
+      if (!snap.ok()) {
+        ++open_failures;
+      } else {
+        const IndexSnapshot isnap = std::move(snap).value();
+        const SnapshotView view(index.get(), isnap);
+        const auto it = expected.find(isnap.num_objects);
+        if (it == expected.end()) {
+          ++unknown_states;
+        } else {
+          StateResults got;
+          if (!QueryState(view, script, &got).ok() ||
+              !SameResults(got, it->second)) {
+            ++mismatches;
+          }
+          ++reads;
+        }
+      }
+      if (final_pass) break;
+    }
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(num_readers);
+  for (size_t i = 0; i < num_readers; ++i) readers.emplace_back(reader);
+  std::thread writer([&] {
+    for (const UpdateBatch& batch : script.batches) {
+      const Status st = index->ApplyBatch(batch);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(unknown_states.load(), 0u)
+      << "every snapshot must correspond to a committed state";
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "snapshot reads must be bit-identical to their committed state";
+  EXPECT_EQ(open_failures.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Quiesce: with all snapshots released, epoch GC must have reclaimed
+  // every retired page.
+  const VersionStats vs = pool.version_stats();
+  EXPECT_EQ(vs.pages_retired, vs.pages_reclaimed);
+  EXPECT_EQ(vs.retired_pending, 0u);
+  ASSERT_OK(CheckBufferPoolInvariants(pool));
+}
+
+TEST(SnapshotIsolationTest, ConcurrentReadersOneThread) {
+  RunConcurrentIsolation(1);
+}
+
+TEST(SnapshotIsolationTest, ConcurrentReadersEightThreads) {
+  RunConcurrentIsolation(8);
+}
+
+}  // namespace
+}  // namespace ann
