@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "check/check.h"
 #include "obs/trace.h"
@@ -90,12 +93,33 @@ Result<PinnedPage> BufferPool::Fetch(PageId id) {
   if (!has_versions_.load(std::memory_order_acquire)) {
     return PinPhysical(id, id);
   }
-  ANN_ASSIGN_OR_RETURN(const PageId physical, ResolveRead(id, nullptr));
-  return PinPhysical(physical, id);
+  // Resolve-then-pin is not atomic: between ResolveRead and PinPhysical a
+  // racing commit + epoch GC can retire, reclaim, and recycle `physical`
+  // as a clone target for an arbitrary logical page, so the pin could
+  // land on recycled storage mid-overwrite. A pinned frame, however, can
+  // no longer be purged or recycled, so re-resolving after the pin closes
+  // the window: a stable answer proves the pinned bytes are a fully
+  // committed version of `id` (even in the recycle-for-the-same-page ABA
+  // case, the republishing commit's mutations happen-before its
+  // version_mu_ release, which happens-before the re-resolve), and an
+  // unstable answer drops the pin — whose bytes were never read — and
+  // retries. Each extra iteration requires a full commit+GC cycle inside
+  // the window, so the loop terminates in practice.
+  for (;;) {
+    ANN_ASSIGN_OR_RETURN(const PageId physical, ResolveRead(id, nullptr));
+    ANN_ASSIGN_OR_RETURN(PinnedPage pin, PinPhysical(physical, id));
+    ANN_ASSIGN_OR_RETURN(const PageId check, ResolveRead(id, nullptr));
+    if (check == physical) return pin;
+  }
 }
 
 Result<PinnedPage> BufferPool::Fetch(PageId id, const PageSnapshot& snap) {
   if (!snap.valid()) return Fetch(id);
+  // No revalidation needed here: the snapshot's epoch pin keeps every
+  // version it can resolve off the free list (a version visible at epoch
+  // e is retired at some epoch r > e, and GC requires r <= min active
+  // epoch <= e), so the resolved physical page cannot be recycled while
+  // the snapshot is alive.
   ANN_ASSIGN_OR_RETURN(const PageId physical, ResolveRead(id, &snap));
   return PinPhysical(physical, id);
 }
@@ -173,10 +197,26 @@ Result<PinnedPage> BufferPool::PinFresh(PageId physical, PageId logical) {
   const size_t si = StripeIndexFor(physical);
   Stripe& stripe = *stripes_[si];
   MutexLock lock(&stripe.mu);
-  // A recycled clone target was purged from the cache when reclaimed, and
-  // a disk-fresh one was never cached.
-  ANNLIB_DCHECK(stripe.page_table.find(physical) ==
-                stripe.page_table.end());
+  // A recycled clone target was purged from the cache when reclaimed (and
+  // a disk-fresh one was never cached), but a racing non-snapshot Fetch
+  // that resolved the page before its retirement may have transiently
+  // re-cached it from disk in the window before that Fetch's post-pin
+  // revalidation fails. Adopt such a frame in place: the caller fully
+  // overwrites the payload, and the only possible pinners are those
+  // doomed readers, which never dereference the bytes.
+  if (auto it = stripe.page_table.find(physical);
+      it != stripe.page_table.end()) {
+    Frame& frame = stripe.frames[it->second];
+    if (frame.in_lru) {
+      stripe.lru.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.dirty.store(false, std::memory_order_relaxed);
+    frame.referenced = true;
+    ++frame.pin_count;
+    return PinnedPage(this, si, it->second, logical, frame.page.data(),
+                      &frame.dirty);
+  }
   ANN_ASSIGN_OR_RETURN(const size_t fi, GetVictimFrame(stripe));
   Frame& frame = stripe.frames[fi];
   frame.page_id = physical;
@@ -238,8 +278,9 @@ Result<PinnedPage> BufferPool::FetchForWrite(PageId id) {
       }
       ANN_ASSIGN_OR_RETURN(target, AcquirePhysicalLocked());
       batch_shadow_.emplace(id, target);
-      ++cow_clones_;
-      obs_cow_clones_->Increment();
+      // Clone accounting is deferred until the copy succeeds: the obs
+      // mirror counter is append-only, so incrementing here would leave
+      // it permanently ahead of cow_clones_ if the pins below fail.
     }
   }
   if (source == kInvalidPageId) return PinPhysical(target, id);
@@ -256,12 +297,16 @@ Result<PinnedPage> BufferPool::FetchForWrite(PageId id) {
     // uninitialized clone.
     MutexLock lock(&version_mu_);
     batch_shadow_.erase(id);
-    --cow_clones_;
     free_physical_.push_back(target);
     return src_pin.ok() ? dst_pin.status() : src_pin.status();
   }
   std::memcpy(dst_pin.value().data(), src_pin.value().data(), kPageSize);
   dst_pin.value().MarkDirty();
+  {
+    MutexLock lock(&version_mu_);
+    ++cow_clones_;
+  }
+  obs_cow_clones_->Increment();
   return std::move(dst_pin.value());
 }
 
@@ -322,16 +367,20 @@ Status BufferPool::AbortWriteBatch() {
         "BufferPool::AbortWriteBatch from a thread that did not open the "
         "batch");
   }
+  // Purge is best-effort: the batch's own pins must be released before
+  // Abort, but a racing non-snapshot Fetch may hold a transient pin on a
+  // recycled clone frame (it resolved the page before retirement and is
+  // doomed to fail revalidation without reading the bytes). A frame that
+  // survives the purge is adopted in place when PinFresh next hands the
+  // page out as a clone target.
   for (const auto& [logical, physical] : batch_shadow_) {
     (void)logical;
-    const bool purged = PurgeCachedPage(physical);
-    ANNLIB_DCHECK(purged);  // no pins may outlive the batch
+    (void)PurgeCachedPage(physical);
     free_physical_.push_back(physical);
   }
   for (const auto& [logical, unused] : batch_created_) {
     (void)unused;
-    const bool purged = PurgeCachedPage(logical);
-    ANNLIB_DCHECK(purged);
+    (void)PurgeCachedPage(logical);
     free_physical_.push_back(logical);
   }
   batch_shadow_.clear();
@@ -465,14 +514,27 @@ Status BufferPool::FlushAll() {
   // may still need version 0's bytes, which live at exactly that disk
   // location (chains start at identity), and an open batch's newest
   // version is not committed yet.
+  //
+  // The mirror must be two-phase. Epoch GC recycles a logical page's
+  // retired identity page through free_physical_, where FetchForWrite can
+  // adopt it as a clone target for a DIFFERENT logical page — so chain
+  // A's newest bytes may physically live on chain B's canonical disk
+  // page, and mutual adoption makes cycles possible, which admit no safe
+  // in-place write order. Reading every chain's newest bytes into memory
+  // before writing any canonical page makes the pass order-independent.
   if (has_versions_.load(std::memory_order_acquire)) {
     MutexLock vlock(&version_mu_);
     if (!batch_open_ && active_epochs_.empty()) {
-      Page tmp;
+      std::vector<std::pair<PageId, std::unique_ptr<Page>>> mirror;
+      mirror.reserve(versions_.size());
       for (const auto& [logical, chain] : versions_) {
         if (chain.back().physical == logical) continue;
-        ANN_RETURN_NOT_OK(disk_->ReadPage(chain.back().physical, &tmp));
-        ANN_RETURN_NOT_OK(disk_->WritePage(logical, tmp));
+        auto tmp = std::make_unique<Page>();
+        ANN_RETURN_NOT_OK(disk_->ReadPage(chain.back().physical, tmp.get()));
+        mirror.emplace_back(logical, std::move(tmp));
+      }
+      for (const auto& [logical, page] : mirror) {
+        ANN_RETURN_NOT_OK(disk_->WritePage(logical, *page));
       }
     }
   }

@@ -195,12 +195,15 @@ struct BufferPoolStats {
 /// clones) as soon as no snapshot's epoch precedes their retire epoch.
 ///
 /// Concurrency contract for versioned pools: one writer at a time (a
-/// second BeginWriteBatch fails), and once a pool has committed a batch,
-/// concurrent readers must read through snapshots — a plain Fetch racing
-/// a commit may see either version, and racing GC is only safe for the
-/// batch owner itself (read-your-writes resolves to the batch's shadow
-/// pages). Static pools (no batches ever) are unaffected: Fetch takes a
-/// lock-free fast path straight to the stripes.
+/// second BeginWriteBatch fails). Readers that need a stable point-in-
+/// time image must read through snapshots; a plain Fetch racing a commit
+/// returns SOME fully committed version of the page (pre- or post-batch,
+/// never torn or recycled bytes — the pin is revalidated against the
+/// version table and retried if a commit+GC cycle recycled the resolved
+/// physical page underneath it), and the batch owner's own Fetch
+/// resolves to its uncommitted shadow pages (read-your-writes). Static
+/// pools (no batches ever) are unaffected: Fetch takes a lock-free fast
+/// path straight to the stripes.
 class BufferPool {
  public:
   /// \param num_frames pool capacity in pages (>= 1).

@@ -17,6 +17,7 @@
 #include "ann/nn_search.h"
 #include "check/invariants.h"
 #include "index/dynamic_index.h"
+#include "obs/obs.h"
 #include "storage/buffer_pool.h"
 #include "storage/node_store.h"
 #include "test_util.h"
@@ -232,6 +233,197 @@ TEST_F(VersionedPoolTest, FlushAllMirrorsNewestVersionToCanonicalPage) {
   ASSERT_OK(disk_.ReadPage(id, &raw));
   EXPECT_EQ(raw.data()[0], 'D')
       << "canonical disk page must hold the newest committed version";
+}
+
+TEST_F(VersionedPoolTest, FlushAllMirrorsCrossAdoptedCanonicalPages) {
+  // Epoch GC recycles retired identity pages through the free list, and
+  // FetchForWrite adopts them as clone targets for OTHER logical pages —
+  // so one chain's newest bytes can physically live on another chain's
+  // canonical disk page. Three single-page batches build a mutual cycle
+  // deterministically (the free list holds exactly one page at each
+  // adoption): batch 1 retires a's identity page, batch 2 adopts it as
+  // b's clone target, batch 3 adopts b's freshly retired identity page
+  // as a's target. After that, a's newest bytes sit on disk page b and
+  // vice versa; an in-place mirror would overwrite one chain's newest
+  // bytes before reading them in EITHER iteration order, so only the
+  // two-phase (read-all-then-write-all) mirror preserves both.
+  PageId a, b;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    a = page.page_id();
+    FillPage(&page, 'A');
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.NewPage());
+    b = page.page_id();
+    FillPage(&page, 'B');
+  }
+  auto rewrite = [&](PageId id, char value) {
+    ASSERT_OK(pool_.BeginWriteBatch());
+    {
+      ASSERT_OK_AND_ASSIGN(PinnedPage page, pool_.FetchForWrite(id));
+      FillPage(&page, value);
+    }
+    ASSERT_OK(pool_.CommitWriteBatch());
+  };
+  rewrite(a, 'C');
+  rewrite(b, 'D');
+  rewrite(a, 'E');
+  ASSERT_OK(pool_.FlushAll());
+  Page raw;
+  ASSERT_OK(disk_.ReadPage(a, &raw));
+  EXPECT_EQ(raw.data()[0], 'E')
+      << "canonical page of a must hold a's newest version";
+  EXPECT_EQ(raw.data()[kPageSize - 1], 'E');
+  ASSERT_OK(disk_.ReadPage(b, &raw));
+  EXPECT_EQ(raw.data()[0], 'D')
+      << "canonical page of b must hold b's newest version";
+  EXPECT_EQ(raw.data()[kPageSize - 1], 'D');
+}
+
+TEST(VersionedPoolEdgeTest, FailedCloneLeavesCloneCountersInSync) {
+  // A FetchForWrite whose clone-target pin fails must roll back without
+  // counting the clone anywhere: the obs mirror counter is append-only,
+  // so an increment-then-compensate scheme would leave it permanently
+  // ahead of version_stats().cow_clones.
+  MemDiskManager disk;
+  BufferPool pool(&disk, 2);  // two frames: held pins can starve the clone
+  PageId id, other;
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool.NewPage());
+    id = page.page_id();
+    FillPage(&page, 'A');
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool.NewPage());
+    other = page.page_id();
+    FillPage(&page, 'X');
+  }
+  const uint64_t obs_before = obs::GetCounter("storage.cow_clones")->value();
+  ASSERT_OK(pool.BeginWriteBatch());
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage held1, pool.Fetch(id));
+    ASSERT_OK_AND_ASSIGN(PinnedPage held2, pool.Fetch(other));
+    // The source pin hits held1's frame; the clone-target pin then finds
+    // every frame pinned and fails.
+    EXPECT_FALSE(pool.FetchForWrite(id).ok());
+  }
+  const VersionStats vs = pool.version_stats();
+  EXPECT_EQ(vs.cow_clones, 0u);
+  EXPECT_EQ(obs::GetCounter("storage.cow_clones")->value(), obs_before)
+      << "obs mirror must not diverge from version_stats on a failed clone";
+  // The rollback left the batch healthy: the clone works once the frames
+  // free up, and the reserved physical page was returned for reuse.
+  {
+    ASSERT_OK_AND_ASSIGN(PinnedPage page, pool.FetchForWrite(id));
+    FillPage(&page, 'B');
+  }
+  ASSERT_OK(pool.CommitWriteBatch());
+  EXPECT_EQ(pool.version_stats().cow_clones, 1u);
+  EXPECT_EQ(obs::GetCounter("storage.cow_clones")->value(), obs_before + 1);
+  ASSERT_OK(CheckBufferPoolInvariants(pool));
+}
+
+TEST(SnapshotIsolationTest, PlainFetchRacingCommitsSeesCommittedBytes) {
+  // Non-snapshot Fetch revalidates its pin against the version table, so
+  // even racing commit+GC cycles that retire, reclaim, and recycle the
+  // resolved physical page must never surface torn or recycled bytes: a
+  // reader sees SOME fully committed fill value, and successive reads on
+  // one thread never go backwards in commit order.
+  MemDiskManager disk;
+  BufferPool pool(&disk, 8);
+  PageId id;
+  {
+    auto created = pool.NewPage();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    PinnedPage page = std::move(created).value();
+    id = page.page_id();
+    FillPage(&page, 0);
+  }
+  // Fill values are single signed-char bytes, so stay within [1, 127].
+  constexpr int kCommits = 120;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> writer_failures{0};
+  std::atomic<uint64_t> reader_failures{0};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> regressions{0};
+  std::atomic<uint64_t> reads{0};
+
+  auto reader = [&] {
+    int last_seen = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      auto pinned = pool.Fetch(id);
+      if (!pinned.ok()) {
+        ++reader_failures;
+        continue;
+      }
+      const char* data = pinned.value().data();
+      const char first = data[0];
+      bool uniform = true;
+      for (size_t i = 1; i < kPageSize; ++i) {
+        if (data[i] != first) {
+          uniform = false;
+          break;
+        }
+      }
+      const int value = static_cast<int>(first);
+      if (!uniform || value < 0 || value > kCommits) {
+        ++torn;
+      } else if (value < last_seen) {
+        ++regressions;
+      } else {
+        last_seen = value;
+      }
+      ++reads;
+    }
+  };
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) readers.emplace_back(reader);
+  std::thread writer([&] {
+    for (int i = 1; i <= kCommits; ++i) {
+      if (!pool.BeginWriteBatch().ok()) {
+        ++writer_failures;
+        break;
+      }
+      {
+        auto clone = pool.FetchForWrite(id);
+        if (!clone.ok()) {
+          ++writer_failures;
+          // Best-effort cleanup; the failure count above fails the test.
+          (void)pool.AbortWriteBatch();
+          break;
+        }
+        FillPage(&clone.value(), static_cast<char>(i));
+      }
+      if (!pool.CommitWriteBatch().ok()) {
+        ++writer_failures;
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(writer_failures.load(), 0u);
+  EXPECT_EQ(reader_failures.load(), 0u);
+  EXPECT_EQ(torn.load(), 0u)
+      << "plain Fetch must only ever surface fully committed bytes";
+  EXPECT_EQ(regressions.load(), 0u)
+      << "revalidated reads must not travel backwards in commit order";
+  EXPECT_GT(reads.load(), 0u);
+
+  // GC runs at commit and epoch release; a transient reader pin at the
+  // final commit can defer one reclamation past the last trigger. Open
+  // and drop a snapshot to run one more pass now that all pins are gone,
+  // then the quiesce invariant must hold exactly.
+  {
+    ASSERT_OK_AND_ASSIGN(const PageSnapshot snap, pool.OpenSnapshot());
+  }
+  const VersionStats vs = pool.version_stats();
+  EXPECT_EQ(vs.pages_retired, vs.pages_reclaimed);
+  EXPECT_EQ(vs.retired_pending, 0u);
+  ASSERT_OK(CheckBufferPoolInvariants(pool));
 }
 
 TEST_F(VersionedPoolTest, NewPageInsideBatchIsPrivateUntilCommit) {
