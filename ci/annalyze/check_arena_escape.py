@@ -1,0 +1,81 @@
+"""arena-escape: arena-backed values must stay inside their thread and
+their EngineContext's lifetime.
+
+The PR 5 arena is thread-confined and reset between runs. Two escape
+shapes are checked on the AST:
+
+  1. A lambda passed (at any argument depth — std::function conversions
+     interpose nodes) to ThreadPool::Submit that refers to a variable of
+     an arena-backed type declared OUTSIDE the lambda. Reference and
+     by-copy captures are both flagged: copying an ArenaVector copies its
+     allocator, so the copy bump-allocates from the same confined arena.
+  2. A class member of arena-backed type outside the arena-owning classes
+     themselves — an object that stores an ArenaVector can outlive the
+     EngineContext that owns the arena behind it.
+
+Known limit (documented in DESIGN.md §13): the type test is one level
+deep. A struct that *contains* an Lpq is not itself arena-backed; moving
+heap-backed partition seeds through a ParallelTask is the sanctioned way
+to cross threads.
+"""
+
+import project
+
+RULE = "arena-escape"
+
+
+def _submit_lambdas(ctx, call):
+    """LAMBDA_EXPRs appearing anywhere in the argument subtree of a
+    ThreadPool::Submit call."""
+    decl = ctx.callee(call)
+    if decl is None or decl.spelling != project.THREAD_POOL_SUBMIT:
+        return []
+    if ctx.callee_class(decl) != project.THREAD_POOL_CLASS:
+        return []
+    return [c for c in ctx.walk(call) if c.kind == ctx.ck.LAMBDA_EXPR]
+
+
+def _escaping_refs(ctx, lam):
+    """DECL_REF_EXPRs inside `lam` to arena-backed variables declared
+    outside the lambda's extent (i.e. captured)."""
+    for c in ctx.walk(lam):
+        if c.kind != ctx.ck.DECL_REF_EXPR:
+            continue
+        ref = c.referenced
+        if ref is None or ref.kind not in (ctx.ck.VAR_DECL,
+                                           ctx.ck.PARM_DECL):
+            continue
+        if ctx.in_extent(ref.location, lam.extent):
+            continue  # a local of the lambda itself
+        if ctx.type_mentions(ref.type, project.ARENA_BACKED_TYPES):
+            yield c, ref
+
+
+def collect(tu, ctx):
+    for cursor in ctx.walk(tu.cursor):
+        if ctx.rel(cursor) is None:
+            continue
+
+        if cursor.kind == ctx.ck.CALL_EXPR:
+            for lam in _submit_lambdas(ctx, cursor):
+                for use, ref in _escaping_refs(ctx, lam):
+                    yield ctx.finding(
+                        RULE, use,
+                        "'%s' (%s) is captured by a ThreadPool::Submit "
+                        "lambda; arena-backed storage is thread-confined "
+                        "to its EngineContext" % (
+                            ref.spelling, ctx.canonical(ref.type)))
+
+        elif cursor.kind == ctx.ck.FIELD_DECL:
+            if not ctx.type_mentions(cursor.type,
+                                     project.ARENA_BACKED_TYPES):
+                continue
+            owner = ctx.enclosing_class_name(cursor)
+            if owner in project.ARENA_OWNER_CLASSES:
+                continue
+            yield ctx.finding(
+                RULE, cursor,
+                "member '%s' of arena-backed type %s in class '%s' can "
+                "outlive the owning EngineContext's arena" % (
+                    cursor.spelling, ctx.canonical(cursor.type),
+                    owner or "<anonymous>"))

@@ -1,0 +1,76 @@
+"""hot-loop-alloc: nothing inside a lint-hot-loop region may reach the
+allocator, checked on resolved callees instead of token spellings.
+
+The regions are the same `// lint-hot-loop-begin/end` markers the
+textual lint still balance-checks (and still requires in
+engine_context.cc / kernels.cc, so the rule cannot be hollowed out by
+deleting markers). What changed versus the retired regex scan: instead
+of banning a token list, the AST check flags
+
+  * any new-expression in a region,
+  * any call whose resolved callee is a known allocating entry point
+    (operator new, malloc, container growth methods, make_unique/shared)
+    regardless of how the call is spelled, and
+  * any call whose callee's *definition is visible in the TU* and whose
+    body (one level deep — the contract in ISSUE/DESIGN) contains a
+    new-expression or a call to a known allocating entry point.
+
+Arena bumps (Arena::Allocate and the ArenaVector fast path) are the
+sanctioned mechanism inside hot loops and are not in the banned set; the
+steady-state contract that the arena itself stops chunk-allocating is
+enforced at runtime by arena_test's counting-operator-new pass.
+"""
+
+import project
+
+RULE = "hot-loop-alloc"
+
+
+def _alloc_reason(ctx, decl):
+    """Why a resolved callee reaches the allocator, or None."""
+    name = decl.spelling
+    if name in project.ALLOCATING_NAMES:
+        return "callee '%s' is an allocating entry point" % name
+    defn = decl.get_definition()
+    if defn is None or not defn.is_definition():
+        return None
+    for c in ctx.walk(defn):
+        if c.kind == ctx.ck.CXX_NEW_EXPR:
+            return "callee '%s' contains a new-expression" % name
+        if c.kind == ctx.ck.CALL_EXPR:
+            inner = ctx.callee(c)
+            if inner is not None and \
+                    inner.spelling in project.ALLOCATING_NAMES:
+                return "callee '%s' calls allocating '%s'" % (
+                    name, inner.spelling)
+    return None
+
+
+def collect(tu, ctx):
+    for cursor in ctx.walk(tu.cursor):
+        rel = ctx.rel(cursor)
+        if rel is None:
+            continue
+        if cursor.kind not in (ctx.ck.CXX_NEW_EXPR, ctx.ck.CALL_EXPR):
+            continue
+        sf = ctx.source(cursor)
+        if not sf.in_hot_region(cursor.location.line):
+            continue
+
+        if cursor.kind == ctx.ck.CXX_NEW_EXPR:
+            yield ctx.finding(
+                RULE, cursor,
+                "new-expression inside a lint-hot-loop region; hot-path "
+                "scratch lives in the EngineContext arena and is sized "
+                "outside the loop")
+            continue
+
+        decl = ctx.callee(cursor)
+        if decl is None:
+            continue
+        reason = _alloc_reason(ctx, decl)
+        if reason is not None:
+            yield ctx.finding(
+                RULE, cursor,
+                "%s — expressions inside a lint-hot-loop region must not "
+                "reach operator new" % reason)

@@ -1,0 +1,64 @@
+"""pin-lifetime: PinnedPage and PageSnapshot are scope-bound handles.
+
+A PinnedPage keeps a buffer-pool frame pinned (unevictable); a
+PageSnapshot keeps a storage epoch alive (its retired page versions
+unreclaimable). Both are designed to live on the stack for the duration
+of one traversal. Stored in a class member or on the heap, the pin's
+release is decoupled from any scope and a single leaked object quietly
+disables eviction or epoch GC.
+
+Flagged shapes, anywhere in the scanned tree:
+
+  * a FIELD_DECL whose type involves a pin type (directly, or inside a
+    container/smart-pointer — `std::vector<PinnedPage>`,
+    `std::shared_ptr<PageSnapshot>`), outside the implementing classes;
+  * `new PinnedPage(...)` / `make_unique` / `make_shared` of a pin type.
+
+Deliberate heap ownership (the IndexSnapshot's type-erased epoch pin is
+exactly that) is annotated at the site:
+`// annalyze-ok: pin-lifetime — <why this lifetime is bounded>`.
+"""
+
+import project
+
+RULE = "pin-lifetime"
+
+_MAKERS = ("make_unique", "make_shared")
+
+
+def collect(tu, ctx):
+    for cursor in ctx.walk(tu.cursor):
+        if ctx.rel(cursor) is None:
+            continue
+
+        if cursor.kind == ctx.ck.FIELD_DECL:
+            if not ctx.type_mentions(cursor.type, project.PIN_TYPES):
+                continue
+            owner = ctx.enclosing_class_name(cursor)
+            if owner in project.PIN_OWNER_CLASSES:
+                continue
+            yield ctx.finding(
+                RULE, cursor,
+                "member '%s' of type %s stores a page pin in class '%s'; "
+                "pins must be locals or parameters so release is "
+                "scope-bound" % (cursor.spelling,
+                                 ctx.canonical(cursor.type),
+                                 owner or "<anonymous>"))
+
+        elif cursor.kind == ctx.ck.CXX_NEW_EXPR:
+            if ctx.type_mentions(cursor.type, project.PIN_TYPES):
+                yield ctx.finding(
+                    RULE, cursor,
+                    "heap allocation of %s detaches the pin's lifetime "
+                    "from any scope" % ctx.canonical(cursor.type))
+
+        elif cursor.kind == ctx.ck.CALL_EXPR:
+            decl = ctx.callee(cursor)
+            if decl is None or decl.spelling not in _MAKERS:
+                continue
+            if ctx.type_mentions(cursor.type, project.PIN_TYPES):
+                yield ctx.finding(
+                    RULE, cursor,
+                    "%s of a pin type (%s) heap-owns the pin; annotate "
+                    "if the owning handle's lifetime is itself bounded"
+                    % (decl.spelling, ctx.canonical(cursor.type)))

@@ -1,0 +1,55 @@
+"""snapshot-discipline: engine and index code read pages through
+IndexSnapshot / NodeStore, never the raw buffer pool.
+
+Inside src/ann/ and src/index/, a call to BufferPool::Fetch or
+PinnedPage::MarkDirty bypasses the PR 7 versioning layer: a raw Fetch
+can observe a version newer than the traversal's snapshot, and a direct
+dirty-bit write mutates a page snapshot readers may be traversing. The
+storage layer (src/storage/, outside the banned dirs) is the one place
+that implements the sanctioned paths.
+
+This is the AST version of the retired `cow-discipline` regex: it
+resolves the callee, so `pool_.Fetch(...)`, `store->pool()->Fetch(...)`
+and calls hidden behind macros or line breaks all count, while an
+unrelated method that happens to be named Fetch on some other class does
+not.
+
+Allowlisted maintenance internals live in project.SNAPSHOT_ALLOWLIST
+(file-level, justification required); one-off sites use
+`// annalyze-ok: snapshot-discipline — <why>`.
+"""
+
+import project
+
+RULE = "snapshot-discipline"
+
+
+def _in_banned_dir(rel):
+    return rel is not None and any(
+        rel.startswith(d + "/") or rel.startswith(d + "\\")
+        for d in project.SNAPSHOT_BANNED_DIRS)
+
+
+def collect(tu, ctx):
+    for cursor in ctx.walk(tu.cursor):
+        if cursor.kind != ctx.ck.CALL_EXPR:
+            continue
+        rel = ctx.rel(cursor)
+        if not _in_banned_dir(rel):
+            continue
+        if rel in project.SNAPSHOT_ALLOWLIST:
+            continue
+        decl = ctx.callee(cursor)
+        if decl is None:
+            continue
+        name = decl.spelling
+        cls = ctx.callee_class(decl)
+        for banned_cls, banned_name in project.SNAPSHOT_BANNED_CALLS:
+            if name == banned_name and cls == banned_cls:
+                yield ctx.finding(
+                    RULE, cursor,
+                    "%s::%s called in %s — engine/index code reads "
+                    "through IndexSnapshot (OpenSnapshot + snapshot-"
+                    "relative Expand) or mutates via the NodeStore COW "
+                    "batch" % (banned_cls, banned_name, rel))
+                break

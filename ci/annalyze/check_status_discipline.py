@@ -1,0 +1,84 @@
+"""status-discipline on the AST: a discarded ann::Status / ann::Result<T>
+is a violation no matter how the source is formatted.
+
+The regex rule in ci/lint_status_discipline.py anchors at the start of a
+physical line, so a swallowed call split across lines or produced by a
+macro expansion could escape it (now mitigated by its folded-statement
+pre-pass, but still a text-level approximation). Here the test is
+semantic: a CALL_EXPR whose result type is Status/Result appearing as a
+discarded-value expression — a direct child of a compound statement —
+is flagged wherever the tokens came from.
+
+`(void)` casts keep the established contract: allowed only with a
+justifying comment on the same or the preceding line (or an
+`// annalyze-ok: status-discipline — <why>`).
+
+Non-violations by construction: `return Foo();`, initializations,
+ANN_RETURN_NOT_OK(Foo()) and friends — in all of them the call is not in
+discarded-value position after macro expansion.
+"""
+
+RULE = "status-discipline"
+
+
+def _call_name(ctx, call):
+    decl = ctx.callee(call)
+    if decl is not None and decl.spelling:
+        return decl.spelling
+    return call.spelling or "<call>"
+
+
+def _void_cast_payload(ctx, expr):
+    """If `expr` is a cast-to-void, returns the Status-typed CALL_EXPR
+    inside it (or None)."""
+    cast_kinds = (ctx.ck.CSTYLE_CAST_EXPR, ctx.ck.CXX_STATIC_CAST_EXPR,
+                  ctx.ck.CXX_FUNCTIONAL_CAST_EXPR)
+    if expr.kind not in cast_kinds:
+        return None
+    try:
+        if expr.type.get_canonical().kind != ctx.tk.VOID:
+            return None
+    except Exception:
+        return None
+    for c in ctx.walk(expr):
+        if c.kind == ctx.ck.CALL_EXPR and ctx.is_status_type(c.type):
+            return c
+    return None
+
+
+def collect(tu, ctx):
+    ck = ctx.ck
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            if cursor.kind == ck.COMPOUND_STMT:
+                expr = ctx.unwrap(child)
+                if expr is not None:
+                    for f in check_stmt(expr):
+                        yield f
+            for f in visit(child):
+                yield f
+
+    def check_stmt(expr):
+        rel = ctx.rel(expr)
+        if rel is None:
+            return
+        if expr.kind == ck.CALL_EXPR and ctx.is_status_type(expr.type):
+            yield ctx.finding(
+                RULE, expr,
+                "call to '%s' returning %s is a discarded-value "
+                "expression; propagate it, test .ok(), or (void)-cast "
+                "with a justifying comment" % (
+                    _call_name(ctx, expr), ctx.canonical(expr.type)))
+            return
+        call = _void_cast_payload(ctx, expr)
+        if call is not None:
+            sf = ctx.source(expr)
+            if not sf.has_comment_near(expr.location.line):
+                yield ctx.finding(
+                    RULE, expr,
+                    "(void)-cast of '%s' (%s) without a justifying "
+                    "comment on this or the preceding line" % (
+                        _call_name(ctx, call), ctx.canonical(call.type)))
+
+    return visit(tu.cursor)

@@ -1,0 +1,171 @@
+"""Shared analysis context and cursor utilities for the annalyze checks.
+
+A check module is a flat Python file exposing
+
+    RULE = "<rule-id>"            # key into project.RULES
+    def collect(tu, ctx): ...     # yields findings.Finding
+
+`ctx` is the AnalysisContext below: it owns the cindex module handle (so
+check modules import cleanly without libclang), the repo mapping, the
+source-file cache, and the type/cursor helpers every check shares.
+"""
+
+import os
+import re
+
+import findings as F
+import project
+
+
+class AnalysisContext:
+    def __init__(self, cindex, repo_root, pretend_map=None):
+        self.ci = cindex
+        self.ck = cindex.CursorKind
+        self.tk = cindex.TypeKind
+        self.repo = os.path.abspath(repo_root)
+        # abs fixture path -> repo-relative path to analyze it AS (the
+        # harness pretends a fixture lives in src/index/ so dir-scoped
+        # rules apply to it).
+        self.pretend = dict(pretend_map or {})
+        self.cache = F.FileCache(project.HOT_LOOP_BEGIN,
+                                 project.HOT_LOOP_END)
+        self._type_name_re = {}
+
+    # -- paths --------------------------------------------------------------
+
+    def rel(self, cursor_or_file):
+        """Repo-relative effective path of a cursor's file, or None when
+        the location is outside the repo (system headers, builtins)."""
+        f = getattr(cursor_or_file, "location", None)
+        f = f.file if f is not None else cursor_or_file
+        if f is None:
+            return None
+        path = os.path.abspath(str(getattr(f, "name", f)))
+        if path in self.pretend:
+            return self.pretend[path]
+        if path.startswith(self.repo + os.sep):
+            return os.path.relpath(path, self.repo)
+        return None
+
+    def abs_for(self, rel_path):
+        """Inverse of rel() for suppression lookup: the on-disk file whose
+        comments govern findings reported at `rel_path`."""
+        for abs_path, pretended in self.pretend.items():
+            if pretended == rel_path:
+                return abs_path
+        return os.path.join(self.repo, rel_path)
+
+    def source(self, cursor):
+        """SourceFile for the cursor's (real, on-disk) file."""
+        loc = cursor.location
+        return self.cache.get(str(loc.file.name))
+
+    # -- types --------------------------------------------------------------
+
+    def canonical(self, t):
+        try:
+            return t.get_canonical().spelling
+        except Exception:
+            return t.spelling
+
+    def type_mentions(self, t, names):
+        """True if the canonical spelling of `t` names any of `names` as a
+        whole token (ArenaVector<int>*, std::shared_ptr<ann::PageSnapshot>,
+        const Lpq& all match; LpqWorklist does NOT match Lpq)."""
+        spelling = self.canonical(t)
+        for n in names:
+            pat = self._type_name_re.get(n)
+            if pat is None:
+                pat = re.compile(r"\b%s\b" % re.escape(n))
+                self._type_name_re[n] = pat
+            if pat.search(spelling):
+                return True
+        return False
+
+    def is_status_type(self, t):
+        s = self.canonical(t)
+        return s in project.STATUS_TYPES or any(
+            s.startswith(p) for p in project.RESULT_TYPE_PREFIXES)
+
+    # -- cursors ------------------------------------------------------------
+
+    def walk(self, cursor):
+        """Preorder walk (cursor itself excluded)."""
+        for child in cursor.get_children():
+            yield child
+            for c in self.walk(child):
+                yield c
+
+    def unwrap(self, cursor):
+        """Strips UNEXPOSED_EXPR wrappers (ExprWithCleanups, implicit
+        casts) that cindex interposes between a statement and its
+        payload expression."""
+        c = cursor
+        while c is not None and c.kind == self.ck.UNEXPOSED_EXPR:
+            kids = list(c.get_children())
+            if len(kids) != 1:
+                break
+            c = kids[0]
+        return c
+
+    def callee(self, call):
+        """The referenced declaration of a CALL_EXPR, or None."""
+        try:
+            return call.referenced
+        except Exception:
+            return None
+
+    def callee_class(self, decl):
+        """Name of the class a method declaration belongs to, or None."""
+        if decl is None:
+            return None
+        parent = decl.semantic_parent
+        while parent is not None and parent.kind in (
+                self.ck.FUNCTION_TEMPLATE,):
+            parent = parent.semantic_parent
+        if parent is not None and parent.kind in (
+                self.ck.CLASS_DECL, self.ck.STRUCT_DECL,
+                self.ck.CLASS_TEMPLATE,
+                self.ck.CLASS_TEMPLATE_PARTIAL_SPECIALIZATION):
+            return parent.spelling
+        return None
+
+    def enclosing_class_name(self, cursor):
+        """Spelling of the nearest enclosing class/struct of a cursor."""
+        p = cursor.semantic_parent
+        while p is not None:
+            if p.kind in (self.ck.CLASS_DECL, self.ck.STRUCT_DECL,
+                          self.ck.CLASS_TEMPLATE,
+                          self.ck.CLASS_TEMPLATE_PARTIAL_SPECIALIZATION):
+                return p.spelling
+            p = p.semantic_parent
+        return None
+
+    def in_extent(self, location, extent):
+        """True when `location` falls inside `extent` (same file)."""
+        try:
+            if location.file is None or extent.start.file is None:
+                return False
+            if str(location.file.name) != str(extent.start.file.name):
+                return False
+            return extent.start.offset <= location.offset \
+                <= extent.end.offset
+        except Exception:
+            return False
+
+    def finding(self, rule, cursor, message):
+        loc = cursor.location
+        return F.Finding(rule, self.rel(cursor), loc.line, loc.column,
+                         message)
+
+
+def run_checks(tus, ctx, check_modules):
+    """Runs every check over every TU; returns deduped findings restricted
+    to in-repo files."""
+    out = []
+    for tu in tus:
+        for mod in check_modules:
+            for f in mod.collect(tu, ctx):
+                if f.path is not None:
+                    out.append(f)
+    return F.dedupe(out)

@@ -1,0 +1,179 @@
+"""Finding model, source-file cache, and suppression handling for annalyze.
+
+Pure Python — importable (and unit-testable via selftest.py) on hosts
+without libclang.
+
+Machine-readable finding format, one per line:
+
+    <repo-relative-path>:<line>:<col>: [<rule>] <message>
+
+Suppression syntax, on the finding's line or the line directly above:
+
+    // annalyze-ok: <rule> — <one-line justification>
+
+The justification is mandatory: a suppression without one does not
+suppress — it surfaces as a `bad-suppression` finding instead, so a bare
+rubber stamp can never pass CI. `:`, `-`, `—` or parentheses all work as
+the separator.
+"""
+
+import os
+import re
+
+
+class Finding:
+    """One analyzer finding, anchored to a repo-relative location."""
+
+    __slots__ = ("rule", "path", "line", "col", "message")
+
+    def __init__(self, rule, path, line, col, message):
+        self.rule = rule
+        self.path = path
+        self.line = int(line)
+        self.col = int(col)
+        self.message = message
+
+    def render(self):
+        return "%s:%d:%d: [%s] %s" % (
+            self.path, self.line, self.col, self.rule, self.message)
+
+    def key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+SUPPRESS_RE = re.compile(
+    r"//\s*annalyze-ok:\s*([a-z0-9-]+)\s*(?:[-—:(]\s*(.*?)\s*\)?)?\s*$")
+
+
+def parse_suppression(line_text):
+    """Returns (rule, justification-or-None) or None if no marker."""
+    m = SUPPRESS_RE.search(line_text)
+    if m is None:
+        return None
+    reason = m.group(2)
+    if reason is not None and not reason.strip():
+        reason = None
+    return (m.group(1), reason)
+
+
+class SourceFile:
+    """Cached view of one source file: lines, suppressions, hot regions."""
+
+    def __init__(self, path, text, begin_marker, end_marker):
+        self.path = path
+        self.lines = text.splitlines()
+        # lineno (1-based) -> (rule, justification-or-None)
+        self.suppressions = {}
+        for i, line in enumerate(self.lines, start=1):
+            parsed = parse_suppression(line)
+            if parsed is not None:
+                self.suppressions[i] = parsed
+        self.hot_regions = self._extract_regions(begin_marker, end_marker)
+
+    def _extract_regions(self, begin_marker, end_marker):
+        """[(begin_line, end_line)] of marked regions, 1-based inclusive.
+
+        Imbalance is the textual lint's job (marker-balance rule); here an
+        unclosed begin conservatively extends to end of file and a stray
+        end is ignored, so the AST check never under-scans.
+        """
+        regions = []
+        open_line = None
+        for i, line in enumerate(self.lines, start=1):
+            if begin_marker in line:
+                if open_line is None:
+                    open_line = i
+            elif end_marker in line:
+                if open_line is not None:
+                    regions.append((open_line, i))
+                    open_line = None
+        if open_line is not None:
+            regions.append((open_line, len(self.lines)))
+        return regions
+
+    def in_hot_region(self, line):
+        return any(b <= line <= e for b, e in self.hot_regions)
+
+    def suppression_for(self, line):
+        """Suppression covering `line`: same line, or the line above."""
+        for at in (line, line - 1):
+            if at in self.suppressions:
+                return self.suppressions[at]
+        return None
+
+    def has_comment_near(self, line):
+        """True if `line` carries a // comment or the previous line is a
+        pure comment line (the (void)-cast justification contract)."""
+        idx = line - 1  # 0-based index of the finding line
+        if 0 <= idx < len(self.lines) and "//" in self.lines[idx]:
+            return True
+        prev = idx - 1
+        if 0 <= prev < len(self.lines) and \
+                self.lines[prev].lstrip().startswith("//"):
+            return True
+        return False
+
+
+class FileCache:
+    """Lazily-loaded SourceFile cache keyed by absolute path."""
+
+    def __init__(self, begin_marker, end_marker):
+        self._files = {}
+        self._begin = begin_marker
+        self._end = end_marker
+
+    def get(self, path):
+        path = os.path.abspath(path)
+        sf = self._files.get(path)
+        if sf is None:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    text = f.read()
+            except OSError:
+                text = ""
+            sf = SourceFile(path, text, self._begin, self._end)
+            self._files[path] = sf
+        return sf
+
+
+def apply_suppressions(findings, cache, path_to_abs):
+    """Splits findings into (kept, suppressed, bad_suppression_findings).
+
+    `path_to_abs` maps a finding's repo-relative path back to the on-disk
+    file the suppression comments live in (identity for normal runs; the
+    fixture file for --pretend runs).
+    """
+    kept, suppressed, bad = [], [], []
+    for f in findings:
+        sf = cache.get(path_to_abs(f.path))
+        sup = sf.suppression_for(f.line)
+        if sup is None or sup[0] != f.rule:
+            kept.append(f)
+            continue
+        if sup[1] is None:
+            bad.append(Finding(
+                "bad-suppression", f.path, f.line, f.col,
+                "annalyze-ok for [%s] has no justification — write "
+                "'// annalyze-ok: %s — <why>'" % (f.rule, f.rule)))
+            continue
+        suppressed.append(f)
+    return kept, suppressed, bad
+
+
+def dedupe(findings):
+    seen = set()
+    out = []
+    for f in sorted(findings, key=lambda f: f.key()):
+        if f.key() not in seen:
+            seen.add(f.key())
+            out.append(f)
+    return out

@@ -1,0 +1,123 @@
+"""libclang frontend for annalyze: binding discovery, compile_commands
+parsing, and TU construction.
+
+The clang Python bindings are optional on dev machines — every entry
+point degrades to a skip-with-notice (or a hard failure under STRICT=1),
+the same contract ci/build_matrix.sh applies to clang-tidy and
+clang-format. Everything in this module except parse_tu() works without
+them, so the selftest can cover the argument munging.
+"""
+
+import glob
+import json
+import os
+import shlex
+
+
+# Candidate libclang shared objects, tried in order when the bindings
+# import but cannot locate their library on their own. ANNALYZE_LIBCLANG
+# overrides everything.
+LIBCLANG_GLOBS = (
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang.so*",
+    "/usr/local/lib/libclang.so*",
+)
+
+# Arguments stripped from a compile command before handing it to the
+# parser: output/input bookkeeping, plus GCC-only flags clang's frontend
+# rejects outright (unknown -W/-f spellings only warn and stay).
+DROP_WITH_VALUE = ("-o", "-MF", "-MT", "-MQ")
+DROP_BARE = ("-c", "-MD", "-MMD", "-MP",
+             "-fno-canonical-system-headers",
+             "-mno-avx256-split-unaligned-load",
+             "-mno-avx256-split-unaligned-store")
+
+# Appended to every parse: diagnostics we do not act on stay quiet, and
+# a deliberately high error limit keeps one broken TU from hiding the
+# rest of its problems.
+EXTRA_ARGS = ("-Wno-unknown-warning-option", "-ferror-limit=50")
+
+
+def load_cindex():
+    """Returns (clang.cindex module, None) or (None, reason string)."""
+    try:
+        import clang.cindex as cindex  # noqa: deferred, optional dep
+    except ImportError:
+        return None, "python bindings (clang.cindex) not installed"
+
+    override = os.environ.get("ANNALYZE_LIBCLANG")
+    candidates = [override] if override else [None]
+    if not override:
+        for pattern in LIBCLANG_GLOBS:
+            candidates.extend(sorted(glob.glob(pattern), reverse=True))
+
+    last_error = "no libclang shared library found"
+    for cand in candidates:
+        try:
+            if cand is not None:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(cand)
+            cindex.Index.create()
+            return cindex, None
+        except Exception as e:  # LibclangError subclasses vary by version
+            last_error = str(e).splitlines()[0] if str(e) else repr(e)
+            continue
+    return None, "bindings present but unusable: %s" % last_error
+
+
+def load_compile_commands(build_dir):
+    """Parses compile_commands.json from a CMake build directory."""
+    path = os.path.join(build_dir, "compile_commands.json")
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def clang_args_from_entry(entry):
+    """Extracts parser arguments from one compile_commands entry.
+
+    Drops the compiler itself, the source file, and output bookkeeping;
+    keeps include paths, defines, standard and optimization flags.
+    """
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    src = os.path.normpath(
+        os.path.join(entry.get("directory", "."), entry["file"]))
+    out = []
+    skip_next = False
+    for i, a in enumerate(argv):
+        if i == 0:  # the compiler
+            continue
+        if skip_next:
+            skip_next = False
+            continue
+        if a in DROP_WITH_VALUE:
+            skip_next = True
+            continue
+        if a in DROP_BARE:
+            continue
+        if a == entry["file"] or os.path.normpath(
+                os.path.join(entry.get("directory", "."), a)) == src:
+            continue
+        out.append(a)
+    out.extend(EXTRA_ARGS)
+    return src, out
+
+
+def parse_tu(cindex, path, args):
+    """Parses one TU. Returns (tu, error_lines) — error_lines non-empty
+    means the AST is untrustworthy and the caller should fail the run."""
+    index = cindex.Index.create()
+    try:
+        tu = index.parse(path, args=list(args))
+    except cindex.TranslationUnitLoadError as e:
+        return None, ["%s: failed to parse: %s" % (path, e)]
+    errors = []
+    for d in tu.diagnostics:
+        if d.severity >= cindex.Diagnostic.Error:
+            where = "%s:%s" % (d.location.file, d.location.line) \
+                if d.location.file else path
+            errors.append("%s: %s" % (where, d.spelling))
+    return tu, errors

@@ -1,0 +1,137 @@
+"""Project rule configuration for annalyze (the AST-grade analyzer).
+
+Everything repo-specific lives here — the checks themselves are generic
+cursor walks parameterized by these tables. Keeping the policy in one
+module means a new arena-backed type or a new allowlisted maintenance
+file is a one-line diff, reviewed next to its justification.
+
+Allowlist entries REQUIRE a justification string; an empty one fails the
+selftest, mirroring the `// annalyze-ok: <rule> — <reason>` contract for
+inline suppressions.
+"""
+
+# Directories whose translation units are analyzed (repo-relative).
+SCAN_ROOTS = ("src", "bench", "examples")
+
+# ---------------------------------------------------------------------------
+# arena-escape
+# ---------------------------------------------------------------------------
+# Types whose storage lives in (or may live in) an EngineContext's bump
+# arena. The arena is thread-confined and reset per run, so a value of one
+# of these types must never be captured by a lambda handed to
+# ThreadPool::Submit (it would be read from another thread, possibly after
+# the owning context died) or stored in an object that outlives the
+# context. `Lpq` is listed even though a null-arena Lpq is heap-backed:
+# whether the arena is null is a runtime property, so the static rule is
+# conservative and the legal heap-backed crossings (partition seeds moved
+# through a ParallelTask the pool task owns) are expressed by NOT naming
+# the carrier struct here rather than by suppression.
+ARENA_BACKED_TYPES = ("ArenaVector", "LpqWorklist", "Lpq")
+
+# Classes allowed to hold arena-backed members: the arena-owning context
+# itself and the arena containers' own internals.
+ARENA_OWNER_CLASSES = (
+    "EngineContext",
+    "Lpq",
+    "LpqWorklist",
+    "ArenaVector",
+    "ArenaAllocator",
+)
+
+# The submit surface whose lambdas are escape hatches to other threads.
+THREAD_POOL_CLASS = "ThreadPool"
+THREAD_POOL_SUBMIT = "Submit"
+
+# ---------------------------------------------------------------------------
+# snapshot-discipline
+# ---------------------------------------------------------------------------
+# Engine and index code read pages exclusively through IndexSnapshot /
+# NodeStore (src/storage mediates every pin), so raw buffer-pool reads and
+# direct dirty-bit writes are banned in these subtrees (DESIGN.md §12).
+SNAPSHOT_BANNED_DIRS = ("src/ann", "src/index")
+
+# (class, method) pairs that constitute a violation inside the banned dirs.
+SNAPSHOT_BANNED_CALLS = (
+    ("BufferPool", "Fetch"),
+    ("PinnedPage", "MarkDirty"),
+)
+
+# File-level allowlist: snapshot/maintenance internals that legitimately
+# touch the raw pool. Path -> justification (non-empty, selftest-checked).
+SNAPSHOT_ALLOWLIST = {
+    "src/index/index_file.cc":
+        "IndexFile open/save superblock IO runs before any snapshot or "
+        "write batch exists; it IS the maintenance internal the rule "
+        "carves out",
+}
+
+# ---------------------------------------------------------------------------
+# pin-lifetime
+# ---------------------------------------------------------------------------
+# RAII page pins: a PinnedPage keeps a frame pinned, a PageSnapshot keeps
+# an epoch alive. Both are meant to be scoped to a traversal — storing one
+# in a class member or on the heap detaches its lifetime from any scope
+# and can pin a frame (or an epoch's retired pages) forever.
+PIN_TYPES = ("PinnedPage", "PageSnapshot")
+
+# The implementing layer itself may hold pins structurally.
+PIN_OWNER_CLASSES = ("BufferPool", "PinnedPage", "PageSnapshot")
+
+# ---------------------------------------------------------------------------
+# status-discipline
+# ---------------------------------------------------------------------------
+# Canonical result-type spellings treated as must-not-discard. Bare
+# spellings cover fixture mocks parsed without the real headers.
+STATUS_TYPES = ("ann::Status", "Status")
+RESULT_TYPE_PREFIXES = ("ann::Result<", "Result<")
+
+# ---------------------------------------------------------------------------
+# hot-loop-alloc
+# ---------------------------------------------------------------------------
+# Markers shared with the textual lint (which still enforces balance and
+# the required-files list). The AST check owns the allocation semantics.
+HOT_LOOP_BEGIN = "lint-hot-loop-begin"
+HOT_LOOP_END = "lint-hot-loop-end"
+
+# Callee names that reach the allocator by contract. A callee NOT in this
+# set but with a visible definition is scanned one level deep for
+# new-expressions / calls to these.
+ALLOCATING_NAMES = frozenset({
+    "operator new",
+    "operator new[]",
+    "malloc",
+    "calloc",
+    "realloc",
+    "make_unique",
+    "make_shared",
+    "push_back",
+    "push_front",
+    "emplace_back",
+    "emplace_front",
+    "emplace",
+    "insert",
+    "resize",
+    "reserve",
+    "assign",
+    "append",
+})
+
+# Every rule the analyzer can emit, and the one-line contract shown in
+# --list-checks. check modules must agree (selftest-verified).
+RULES = {
+    "arena-escape":
+        "arena-backed values must not cross into ThreadPool::Submit "
+        "lambdas or long-lived members",
+    "snapshot-discipline":
+        "src/ann + src/index read through IndexSnapshot, never raw "
+        "BufferPool::Fetch / PinnedPage::MarkDirty",
+    "pin-lifetime":
+        "PinnedPage/PageSnapshot are locals or parameters, never members "
+        "or heap-owned",
+    "status-discipline":
+        "a discarded call returning ann::Status / ann::Result<T> is a "
+        "violation, macros and line breaks notwithstanding",
+    "hot-loop-alloc":
+        "no expression inside a lint-hot-loop region may reach operator "
+        "new (one callee level deep)",
+}

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""annalyze — AST-grade project analyzer for the annlib invariants.
+
+Parses every translation unit named by a CMake compile_commands.json
+through the clang Python bindings and enforces the project rules on the
+real AST (see --list-checks, DESIGN.md §13). Findings are printed one
+per line, machine-readable:
+
+    <path>:<line>:<col>: [<rule>] <message>
+
+Usage:
+    ci/annalyze/run.py --compdb <build-dir> [--json out.json]
+    ci/annalyze/run.py --single <file> [--pretend <repo-rel-path>] \
+        [--json out.json] [--] [clang args...]
+    ci/annalyze/run.py --probe        # 0 = frontend usable, 3 = not
+    ci/annalyze/run.py --list-checks
+
+Suppress a finding with `// annalyze-ok: <rule> — <justification>` on
+the finding's line or the line directly above; the justification is
+mandatory.
+
+Exit codes: 0 clean · 1 findings (or parse errors) · 2 usage error ·
+3 frontend unavailable (plain run prints a skip notice and exits 0
+unless STRICT=1, matching ci/build_matrix.sh's tidy/format contract;
+--probe always reports 3).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import engine                      # noqa: E402
+import findings as F               # noqa: E402
+import frontend                    # noqa: E402
+import project                     # noqa: E402
+import check_arena_escape          # noqa: E402
+import check_hot_loop_alloc        # noqa: E402
+import check_pin_lifetime          # noqa: E402
+import check_snapshot_discipline   # noqa: E402
+import check_status_discipline     # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+CHECKS = (
+    check_arena_escape,
+    check_snapshot_discipline,
+    check_pin_lifetime,
+    check_status_discipline,
+    check_hot_loop_alloc,
+)
+
+
+def in_scan_roots(rel_path):
+    return any(rel_path == r or rel_path.startswith(r + os.sep)
+               for r in project.SCAN_ROOTS)
+
+
+def analyze_file(cindex, path, args, pretend=None):
+    """Analyzes one standalone file; returns (kept, suppressed, errors).
+
+    Shared with ci/check_annalyze.py, which feeds it the fail fixtures
+    with a --pretend path so directory-scoped rules apply.
+    """
+    path = os.path.abspath(path)
+    pretend_map = {path: pretend} if pretend else None
+    ctx = engine.AnalysisContext(cindex, REPO, pretend_map)
+    if pretend:
+        # Findings land at the pretend path but in_repo() must accept the
+        # fixture file itself even when it is outside SCAN_ROOTS.
+        ctx.pretend[path] = pretend
+    tu, errors = frontend.parse_tu(cindex, path, args)
+    if tu is None:
+        return [], [], errors
+    found = engine.run_checks([tu], ctx, CHECKS)
+    kept, suppressed, bad = F.apply_suppressions(
+        found, ctx.cache, ctx.abs_for)
+    return kept + bad, suppressed, errors
+
+
+def analyze_compdb(cindex, build_dir, json_out=None):
+    ctx = engine.AnalysisContext(cindex, REPO)
+    try:
+        entries = frontend.load_compile_commands(build_dir)
+    except OSError as e:
+        print("annalyze: cannot read compile_commands.json: %s" % e,
+              file=sys.stderr)
+        return 2
+
+    all_findings = []
+    parse_errors = []
+    tus = 0
+    for entry in entries:
+        src, args = frontend.clang_args_from_entry(entry)
+        rel = os.path.relpath(os.path.abspath(src), REPO)
+        if rel.startswith("..") or not in_scan_roots(rel):
+            continue
+        tu, errors = frontend.parse_tu(cindex, src, args)
+        if errors:
+            parse_errors.extend(errors)
+        if tu is None:
+            continue
+        tus += 1
+        all_findings.extend(engine.run_checks([tu], ctx, CHECKS))
+
+    all_findings = F.dedupe(all_findings)
+    kept, suppressed, bad = F.apply_suppressions(
+        all_findings, ctx.cache, ctx.abs_for)
+    kept = kept + bad
+
+    if json_out is not None:
+        payload = {
+            "tus": tus,
+            "findings": [f.to_dict() for f in kept],
+            "suppressed": len(suppressed),
+            "parse_errors": parse_errors,
+        }
+        with open(json_out, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    for line in parse_errors:
+        print("annalyze: parse error: %s" % line, file=sys.stderr)
+    for f in kept:
+        print(f.render())
+    if kept or parse_errors:
+        print("annalyze: %d finding(s), %d suppressed, %d TU(s), "
+              "%d parse error(s)" % (len(kept), len(suppressed), tus,
+                                     len(parse_errors)),
+              file=sys.stderr)
+        return 1
+    print("annalyze: clean — %d TU(s), %d finding(s) suppressed with "
+          "justification, %d checks (%s)" % (
+              tus, len(suppressed), len(CHECKS),
+              " ".join(m.RULE for m in CHECKS)))
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="annalyze", add_help=True)
+    ap.add_argument("--compdb", metavar="BUILD_DIR")
+    ap.add_argument("--single", metavar="FILE")
+    ap.add_argument("--pretend", metavar="REPO_REL_PATH")
+    ap.add_argument("--json", metavar="OUT")
+    ap.add_argument("--probe", action="store_true")
+    ap.add_argument("--list-checks", action="store_true")
+    args, extra = ap.parse_known_args(argv)
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+
+    if args.list_checks:
+        for mod in CHECKS:
+            print("%-20s %s" % (mod.RULE, project.RULES[mod.RULE]))
+        return 0
+
+    cindex, reason = frontend.load_cindex()
+    if args.probe:
+        if cindex is None:
+            print("annalyze: frontend unavailable — %s" % reason)
+            return 3
+        print("annalyze: frontend ready")
+        return 0
+    if cindex is None:
+        if os.environ.get("STRICT") == "1":
+            print("annalyze: %s — STRICT=1, failing" % reason,
+                  file=sys.stderr)
+            return 3
+        print("annalyze: %s, skipping" % reason)
+        return 0
+
+    if args.single:
+        clang_args = extra if extra else ["-std=c++20"]
+        kept, suppressed, errors = analyze_file(
+            cindex, args.single, clang_args, args.pretend)
+        for line in errors:
+            print("annalyze: parse error: %s" % line, file=sys.stderr)
+        for f in kept:
+            print(f.render())
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as f:
+                json.dump([x.to_dict() for x in kept], f, indent=2)
+        return 1 if (kept or errors) else 0
+
+    if not args.compdb:
+        ap.error("one of --compdb, --single, --probe, --list-checks "
+                 "is required")
+    return analyze_compdb(cindex, args.compdb, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

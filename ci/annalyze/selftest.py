@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Pure-Python selftest for the annalyze package.
+
+Covers everything that does NOT need libclang — suppression parsing, hot
+regions, compile-command munging, the rule registry, the allowlist
+contract, and the fail-fixture inventory — so ctest exercises the
+analyzer's plumbing even on hosts where the clang bindings are absent
+and the AST harness (ci/check_annalyze.py) skips.
+"""
+
+import os
+import re
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+sys.path.insert(0, HERE)
+
+import findings as F     # noqa: E402
+import frontend          # noqa: E402
+import project           # noqa: E402
+import run as runner     # noqa: E402
+
+
+def make_source(text):
+    return F.SourceFile("<mem>", text,
+                        project.HOT_LOOP_BEGIN, project.HOT_LOOP_END)
+
+
+class SuppressionParsing(unittest.TestCase):
+    def test_separator_forms(self):
+        for line in (
+                "x(); // annalyze-ok: pin-lifetime — cache owns the pool",
+                "x(); // annalyze-ok: pin-lifetime - cache owns the pool",
+                "x(); // annalyze-ok: pin-lifetime: cache owns the pool",
+                "x(); // annalyze-ok: pin-lifetime (cache owns the pool)"):
+            rule, why = F.parse_suppression(line)
+            self.assertEqual(rule, "pin-lifetime", line)
+            self.assertEqual(why, "cache owns the pool", line)
+
+    def test_missing_justification_is_not_a_suppression(self):
+        rule, why = F.parse_suppression("// annalyze-ok: arena-escape")
+        self.assertEqual(rule, "arena-escape")
+        self.assertIsNone(why)
+        rule, why = F.parse_suppression("// annalyze-ok: arena-escape —  ")
+        self.assertIsNone(why)
+
+    def test_non_marker_lines(self):
+        self.assertIsNone(F.parse_suppression("int x = 0;  // plain"))
+        self.assertIsNone(F.parse_suppression("// lint-ok: naked-new x"))
+
+
+class SourceFileModel(unittest.TestCase):
+    def test_hot_regions_and_membership(self):
+        sf = make_source("\n".join([
+            "a",                          # 1
+            "// lint-hot-loop-begin",     # 2
+            "b",                          # 3
+            "// lint-hot-loop-end",       # 4
+            "c",                          # 5
+            "// lint-hot-loop-begin",     # 6 (unclosed -> EOF)
+            "d",                          # 7
+        ]))
+        self.assertEqual(sf.hot_regions, [(2, 4), (6, 7)])
+        self.assertFalse(sf.in_hot_region(1))
+        self.assertTrue(sf.in_hot_region(3))
+        self.assertFalse(sf.in_hot_region(5))
+        self.assertTrue(sf.in_hot_region(7))
+
+    def test_suppression_for_same_and_previous_line(self):
+        sf = make_source("\n".join([
+            "// annalyze-ok: pin-lifetime — view outlives every pin",
+            "cache_ = pin;",
+            "other();",
+        ]))
+        self.assertEqual(sf.suppression_for(2)[0], "pin-lifetime")
+        self.assertIsNone(sf.suppression_for(3))
+
+    def test_has_comment_near(self):
+        sf = make_source("\n".join([
+            "// why the discard is deliberate",
+            "(void)store.Flush();",
+            "(void)store.Flush();  // inline why",
+            "(void)store.Flush();",
+        ]))
+        self.assertTrue(sf.has_comment_near(2))   # pure comment above
+        self.assertTrue(sf.has_comment_near(3))   # trailing comment
+        self.assertFalse(sf.has_comment_near(4))  # code above, no comment
+
+
+class ApplySuppressions(unittest.TestCase):
+    def _run(self, text, finding):
+        cache = F.FileCache(project.HOT_LOOP_BEGIN, project.HOT_LOOP_END)
+        sf = make_source(text)
+        cache._files[os.path.abspath("mem.cc")] = sf
+        return F.apply_suppressions([finding], cache, lambda p: "mem.cc")
+
+    def test_justified_suppression_suppresses(self):
+        kept, suppressed, bad = self._run(
+            "// annalyze-ok: arena-escape — seed vector is heap-backed\n"
+            "pool.Submit([&v] { use(v); });\n",
+            F.Finding("arena-escape", "src/x.cc", 2, 15, "captured"))
+        self.assertEqual((len(kept), len(suppressed), len(bad)), (0, 1, 0))
+
+    def test_bare_suppression_becomes_bad_suppression(self):
+        kept, suppressed, bad = self._run(
+            "// annalyze-ok: arena-escape\n"
+            "pool.Submit([&v] { use(v); });\n",
+            F.Finding("arena-escape", "src/x.cc", 2, 15, "captured"))
+        self.assertEqual((len(kept), len(suppressed)), (0, 0))
+        self.assertEqual(bad[0].rule, "bad-suppression")
+        self.assertIn("no justification", bad[0].message)
+
+    def test_wrong_rule_does_not_suppress(self):
+        kept, suppressed, bad = self._run(
+            "// annalyze-ok: pin-lifetime — wrong rule named\n"
+            "pool.Submit([&v] { use(v); });\n",
+            F.Finding("arena-escape", "src/x.cc", 2, 15, "captured"))
+        self.assertEqual((len(kept), len(suppressed), len(bad)), (1, 0, 0))
+
+
+class FindingModel(unittest.TestCase):
+    def test_render_is_machine_readable(self):
+        f = F.Finding("pin-lifetime", "src/index/x.cc", 31, 3, "stored pin")
+        self.assertEqual(f.render(),
+                         "src/index/x.cc:31:3: [pin-lifetime] stored pin")
+        m = re.match(r"^(\S+):(\d+):(\d+): \[([a-z-]+)\] (.+)$", f.render())
+        self.assertIsNotNone(m)
+
+    def test_dedupe_is_stable_and_keyed(self):
+        a = F.Finding("r", "p", 1, 1, "m")
+        b = F.Finding("r", "p", 1, 1, "m")
+        c = F.Finding("r", "p", 2, 1, "m")
+        out = F.dedupe([c, a, b])
+        self.assertEqual([f.key() for f in out], [a.key(), c.key()])
+
+
+class CompileCommandMunging(unittest.TestCase):
+    def test_drops_bookkeeping_keeps_semantics(self):
+        entry = {
+            "directory": "/b",
+            "file": "../src/ann/engine.cc",
+            "command": "/usr/bin/c++ -I/b/include -DNDEBUG -O2 -std=gnu++20"
+                       " -MD -MT x.o -MF x.o.d -o x.o -c ../src/ann/engine.cc",
+        }
+        src, args = frontend.clang_args_from_entry(entry)
+        self.assertEqual(src, os.path.normpath("/b/../src/ann/engine.cc"))
+        for kept in ("-I/b/include", "-DNDEBUG", "-O2", "-std=gnu++20"):
+            self.assertIn(kept, args)
+        for dropped in ("-c", "-o", "x.o", "-MF", "x.o.d", "-MT", "-MD",
+                        "/usr/bin/c++", "../src/ann/engine.cc"):
+            self.assertNotIn(dropped, args)
+        for extra in frontend.EXTRA_ARGS:
+            self.assertIn(extra, args)
+
+    def test_arguments_array_form(self):
+        entry = {
+            "directory": "/b",
+            "file": "main.cc",
+            "arguments": ["clang++", "-std=c++20", "-c", "main.cc",
+                          "-o", "main.o"],
+        }
+        src, args = frontend.clang_args_from_entry(entry)
+        self.assertEqual(src, os.path.normpath("/b/main.cc"))
+        self.assertEqual(
+            args, ["-std=c++20"] + list(frontend.EXTRA_ARGS))
+
+
+class Registry(unittest.TestCase):
+    def test_rules_and_check_modules_agree(self):
+        module_rules = {m.RULE for m in runner.CHECKS}
+        self.assertEqual(module_rules, set(project.RULES.keys()))
+        self.assertEqual(len(runner.CHECKS), len(project.RULES))
+
+    def test_scan_roots(self):
+        self.assertTrue(runner.in_scan_roots("src/ann/engine.cc"))
+        self.assertTrue(runner.in_scan_roots("bench/bench_main.cc"))
+        self.assertFalse(runner.in_scan_roots("tests/maintain_test.cc"))
+        self.assertFalse(runner.in_scan_roots("srcfoo/x.cc"))
+
+    def test_allowlist_entries_are_justified_and_exist(self):
+        for rel, why in project.SNAPSHOT_ALLOWLIST.items():
+            self.assertTrue(why and why.strip(),
+                            "%s: empty allowlist justification" % rel)
+            self.assertTrue(os.path.exists(os.path.join(REPO, rel)),
+                            "%s: allowlisted path missing" % rel)
+
+
+class FixtureInventory(unittest.TestCase):
+    FIXTURE_DIR = os.path.join(REPO, "tests", "annalyze_fail")
+    EXPECT_RE = re.compile(
+        r"^//\s*annalyze-expect:\s*([a-z-]+):\s*(.+?)\s*$", re.MULTILINE)
+
+    def _fixtures(self):
+        return sorted(f for f in os.listdir(self.FIXTURE_DIR)
+                      if f.endswith(".cc.in"))
+
+    def test_every_rule_has_a_must_fail_fixture(self):
+        covered = set()
+        for name in self._fixtures():
+            with open(os.path.join(self.FIXTURE_DIR, name),
+                      encoding="utf-8") as f:
+                text = f.read()
+            m = self.EXPECT_RE.search(text)
+            self.assertIsNotNone(m, "%s: missing annalyze-expect" % name)
+            self.assertIn(m.group(1), project.RULES,
+                          "%s: unknown rule '%s'" % (name, m.group(1)))
+            re.compile(m.group(2))  # expect regex must be valid
+            self.assertIn("#ifdef ANNALYZE_VIOLATION", text,
+                          "%s: no violation block" % name)
+            covered.add(m.group(1))
+        self.assertEqual(covered, set(project.RULES.keys()),
+                         "rules without fixtures: %s"
+                         % (set(project.RULES.keys()) - covered))
+
+    def test_fixtures_are_hermetic(self):
+        # Fixtures must parse with no project headers: self-contained
+        # mocks only, so the harness works on any host with libclang.
+        for name in self._fixtures():
+            with open(os.path.join(self.FIXTURE_DIR, name),
+                      encoding="utf-8") as f:
+                text = f.read()
+            self.assertNotIn('#include "', text,
+                             "%s: fixtures must not include repo headers"
+                             % name)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

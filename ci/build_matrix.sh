@@ -16,7 +16,12 @@
 #            + ci/check_thread_safety.py compile-fail harness
 #                                                 [skipped if clang absent]
 #   tidy     clang-tidy (.clang-tidy) over every TU  [skipped if tool absent]
-#   lint     ci/lint_status_discipline.py
+#   analyze  ci/annalyze AST analyzer: selftest (always), then the full
+#            compdb run + ci/check_annalyze.py analysis-fail harness
+#                                        [AST part skipped if libclang absent]
+#   scanbuild advisory clang static analyzer with a checked-in bug-count
+#            ratchet (ci/scan_build_baseline.txt) [skipped if tool absent]
+#   lint     ci/lint_status_discipline.py + its regression selftest
 #   format   ci/check_format.sh (.clang-format)      [skipped if tool absent]
 #
 # STRICT=1 turns every skip-with-notice (missing clang/clang-tidy/
@@ -166,7 +171,37 @@ do_tidy() {
   cmake --build build-tidy -j
 }
 
+do_analyze() {
+  # AST-grade project analyzer (ci/annalyze, DESIGN.md §13). The pure-
+  # Python selftest always runs — it needs no LLVM and covers the
+  # suppression/fixture/registry plumbing. The AST pass itself needs the
+  # clang Python bindings; run.py --probe reports their availability so
+  # the skip honors the same STRICT contract as tsafety/tidy.
+  echo "=== annalyze selftest (ci/annalyze/selftest.py)"
+  python3 ci/annalyze/selftest.py
+  if ! python3 ci/annalyze/run.py --probe >/dev/null 2>&1; then
+    skip_or_fail "analyze: libclang python bindings unavailable"
+    return $?
+  fi
+  echo "=== configure build-analyze (compile_commands.json)"
+  cmake -B build-analyze -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DANNLIB_BUILD_BENCHES=ON -DANNLIB_BUILD_EXAMPLES=ON
+  echo "=== annalyze (ci/annalyze/run.py --compdb build-analyze)"
+  python3 ci/annalyze/run.py --compdb build-analyze
+  echo "=== analysis-fail harness (ci/check_annalyze.py)"
+  python3 ci/check_annalyze.py
+}
+
+do_scanbuild() {
+  echo "=== scan-build advisory pass (ci/check_scan_build.py)"
+  python3 ci/check_scan_build.py build-scanbuild
+}
+
 do_lint() {
+  echo "=== lint selftest (ci/test_lint_status_discipline.py)"
+  python3 ci/test_lint_status_discipline.py
   echo "=== lint (ci/lint_status_discipline.py)"
   python3 ci/lint_status_discipline.py
 }
@@ -177,7 +212,7 @@ do_format() {
 
 configs=("$@")
 if [ ${#configs[@]} -eq 0 ] || [ "${configs[0]}" = "all" ]; then
-  configs=(default obs-off werror asan ubsan tsan native tsafety tidy lint format)
+  configs=(default obs-off werror asan ubsan tsan native tsafety tidy analyze scanbuild lint format)
 fi
 
 for cfg in "${configs[@]}"; do
@@ -191,10 +226,12 @@ for cfg in "${configs[@]}"; do
     native)  do_native ;;
     tsafety) do_tsafety ;;
     tidy)    do_tidy ;;
+    analyze)   do_analyze ;;
+    scanbuild) do_scanbuild ;;
     lint)    do_lint ;;
     format)  do_format ;;
     *)
-      echo "unknown config '${cfg}' (want: default obs-off werror asan ubsan tsan native tsafety tidy lint format | all)" >&2
+      echo "unknown config '${cfg}' (want: default obs-off werror asan ubsan tsan native tsafety tidy analyze scanbuild lint format | all)" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Analysis-fail harness for ci/annalyze (mirrors check_thread_safety.py).
+
+A clean `ci/annalyze/run.py --compdb` run proves the *tree* is clean; it
+proves nothing about the checks. If a cursor-walk refactor ever makes a
+check degrade to a no-op, the analyze config would keep passing while
+checking nothing. Each fixture in tests/annalyze_fail/*.cc.in therefore
+must:
+
+  1. analyze CLEAN without -DANNALYZE_VIOLATION (zero findings from ANY
+     check — a failure here means the fixture rotted or a check grew a
+     false positive), and
+  2. produce at least one finding WITH -DANNALYZE_VIOLATION whose rule
+     and message match the fixture's `// annalyze-expect: <rule>: <regex>`
+     line (so we know the *intended* rule fired, not an unrelated one).
+
+Fixtures carrying `// annalyze-pretend: <repo-rel path>` are analyzed as
+if they lived at that path, so directory-scoped rules apply.
+
+Runs only where the libclang Python bindings are usable; otherwise a
+skip notice (exit 0), or a hard failure under STRICT=1 — the same
+contract as ci/build_matrix.sh's other LLVM-dependent configs.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURE_DIR = os.path.join(REPO, "tests", "annalyze_fail")
+
+sys.path.insert(0, os.path.join(REPO, "ci", "annalyze"))
+
+import frontend  # noqa: E402
+import run as annalyze_run  # noqa: E402
+
+EXPECT_RE = re.compile(
+    r"^//\s*annalyze-expect:\s*([a-z-]+):\s*(.+?)\s*$", re.MULTILINE)
+PRETEND_RE = re.compile(
+    r"^//\s*annalyze-pretend:\s*(\S+)\s*$", re.MULTILINE)
+
+BASE_ARGS = ["-std=c++20"]
+
+
+def main():
+    cindex, reason = frontend.load_cindex()
+    if cindex is None:
+        if os.environ.get("STRICT") == "1":
+            print("annalyze harness: %s — STRICT=1, failing" % reason,
+                  file=sys.stderr)
+            return 1
+        print("annalyze harness: %s, skipping" % reason)
+        return 0
+
+    fixtures = sorted(
+        f for f in os.listdir(FIXTURE_DIR) if f.endswith(".cc.in"))
+    if not fixtures:
+        print("annalyze harness: no fixtures in %s" % FIXTURE_DIR,
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    covered_rules = set()
+    for name in fixtures:
+        path = os.path.join(FIXTURE_DIR, name)
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+        expect = EXPECT_RE.search(source)
+        if expect is None:
+            failures.append(
+                "%s: missing '// annalyze-expect: <rule>: <regex>'" % name)
+            continue
+        rule, pattern = expect.group(1), expect.group(2)
+        covered_rules.add(rule)
+        pretend_m = PRETEND_RE.search(source)
+        pretend = pretend_m.group(1) if pretend_m else None
+
+        # Phase 1: the fixture on its own must be finding-free.
+        kept, _, errors = annalyze_run.analyze_file(
+            cindex, path, BASE_ARGS, pretend)
+        if errors:
+            failures.append("%s: baseline failed to parse:\n  %s"
+                            % (name, "\n  ".join(errors)))
+            continue
+        if kept:
+            failures.append(
+                "%s: baseline (no violation) is not clean:\n  %s"
+                % (name, "\n  ".join(f.render() for f in kept)))
+            continue
+
+        # Phase 2: enabling the violation must trip the intended rule.
+        kept, _, errors = annalyze_run.analyze_file(
+            cindex, path, BASE_ARGS + ["-DANNALYZE_VIOLATION"], pretend)
+        if errors:
+            failures.append("%s: violation build failed to parse:\n  %s"
+                            % (name, "\n  ".join(errors)))
+            continue
+        hits = [f for f in kept if f.rule == rule
+                and re.search(pattern, f.message)]
+        if not hits:
+            got = "\n  ".join(f.render() for f in kept) or "  (none)"
+            failures.append(
+                "%s: violation produced no [%s] finding matching /%s/ — "
+                "the check degraded to a no-op?\n  got:\n  %s"
+                % (name, rule, pattern, got))
+        else:
+            print("  OK %s (%s)" % (name, rule))
+
+    missing = set(m.RULE for m in annalyze_run.CHECKS) - covered_rules
+    if missing:
+        failures.append("no must-fail fixture covers: %s"
+                        % ", ".join(sorted(missing)))
+
+    if failures:
+        print("\nannalyze harness: %d failure(s) across %d fixtures"
+              % (len(failures), len(fixtures)), file=sys.stderr)
+        for f in failures:
+            print("  * %s" % f, file=sys.stderr)
+        return 1
+    print("annalyze harness: all %d fixtures OK (%d rules covered)"
+          % (len(fixtures), len(covered_rules)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Advisory scan-build (clang static analyzer) pass with a ratchet.
+
+Runs `scan-build` over a fresh CMake configure+build and compares the
+reported bug count against the checked-in baseline in
+ci/scan_build_baseline.txt. The pass is advisory: a count AT or BELOW
+the baseline passes; a count above it fails so new analyzer bugs cannot
+land silently, while pre-existing ones don't block work. When a cleanup
+lowers the count, re-record with:
+
+    ANNLIB_UPDATE_SCAN_BASELINE=1 ci/check_scan_build.py <build-dir>
+
+Where scan-build is not installed this skips with a notice (exit 0), or
+fails under STRICT=1 — the contract shared by the other LLVM-dependent
+configs in ci/build_matrix.sh.
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO, "ci", "scan_build_baseline.txt")
+
+# scan-build's end-of-run summary, stable across LLVM releases:
+#   "scan-build: 3 bugs found." / "scan-build: No bugs found."
+COUNT_RE = re.compile(r"scan-build:\s+(\d+)\s+bugs?\s+found", re.IGNORECASE)
+NONE_RE = re.compile(r"scan-build:\s+No bugs found", re.IGNORECASE)
+
+
+def read_baseline():
+    with open(BASELINE, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                return int(line)
+    raise ValueError("no count line in %s" % BASELINE)
+
+
+def write_baseline(count):
+    with open(BASELINE, "w", encoding="utf-8") as f:
+        f.write(
+            "# clang static analyzer (scan-build) bug-count ratchet.\n"
+            "# A run above this count fails the `scanbuild` config; at or\n"
+            "# below passes. Re-record after a cleanup with\n"
+            "# ANNLIB_UPDATE_SCAN_BASELINE=1 ci/check_scan_build.py "
+            "<build-dir>.\n"
+            "%d\n" % count)
+
+
+def main(argv):
+    if len(argv) != 1:
+        print("usage: check_scan_build.py <build-dir>", file=sys.stderr)
+        return 2
+    build_dir = argv[0]
+
+    scan_build = shutil.which("scan-build")
+    if scan_build is None:
+        if os.environ.get("STRICT") == "1":
+            print("scan-build not installed — STRICT=1, failing",
+                  file=sys.stderr)
+            return 1
+        print("scan-build not installed, skipping advisory analyzer pass")
+        return 0
+
+    os.makedirs(build_dir, exist_ok=True)
+    steps = (
+        [scan_build, "--status-bugs", "cmake", "-S", REPO, "-B", build_dir,
+         "-DCMAKE_BUILD_TYPE=Debug"],
+        [scan_build, "--status-bugs", "cmake", "--build", build_dir,
+         "--parallel"],
+    )
+    output = []
+    for cmd in steps:
+        proc = subprocess.run(cmd, cwd=REPO, capture_output=True, text=True)
+        output.append(proc.stdout + proc.stderr)
+        # --status-bugs makes scan-build exit non-zero when bugs exist;
+        # that is expected while the baseline is non-zero. A genuine
+        # build failure has no scan-build summary line — fail on those.
+        if proc.returncode != 0 and not COUNT_RE.search(output[-1]) \
+                and not NONE_RE.search(output[-1]):
+            print(output[-1], file=sys.stderr)
+            print("scan-build: underlying build failed", file=sys.stderr)
+            return 1
+
+    text = "\n".join(output)
+    counts = [int(m) for m in COUNT_RE.findall(text)]
+    count = max(counts) if counts else 0
+
+    if os.environ.get("ANNLIB_UPDATE_SCAN_BASELINE") == "1":
+        write_baseline(count)
+        print("scan-build: baseline re-recorded at %d bug(s)" % count)
+        return 0
+
+    baseline = read_baseline()
+    if count > baseline:
+        print(text, file=sys.stderr)
+        print("scan-build: %d bug(s) found, baseline is %d — new analyzer "
+              "findings; fix them or re-record the baseline with a "
+              "justification in the commit" % (count, baseline),
+              file=sys.stderr)
+        return 1
+    print("scan-build: %d bug(s) found (baseline %d) — OK"
+          % (count, baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

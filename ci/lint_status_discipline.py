@@ -1,6 +1,12 @@
 #!/usr/bin/env python3
 """Repo-specific lint: Status discipline and library hygiene.
 
+This is the *textual* half of the project's static checking: rules that
+are reliably decidable from source text. The semantic rules that used to
+live here as regex approximations (COW/snapshot discipline, hot-loop
+allocation reachability) moved to the AST analyzer in ci/annalyze
+(DESIGN.md §13) — this lint keeps only what text can answer exactly.
+
 Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
 
   throw-in-library   `throw` is forbidden in src/**: the library reports
@@ -15,10 +21,15 @@ Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
                      flows through ann::Rng with an explicit seed so every
                      run is reproducible.
   swallowed-status   A statement that calls a Status/Result-returning annlib
-                     function and discards the value. The compiler enforces
-                     this too ([[nodiscard]] + -Werror), but the lint also
-                     catches `(void)` casts: those are allowed only with a
-                     justifying comment on the same or preceding line.
+                     function and discards the value. Statements are folded
+                     across physical lines first, so a call split as
+                     `store\\n  .Flush(a,\\n   b);` is seen as one statement
+                     (the old per-line scan missed exactly that shape). The
+                     compiler enforces the plain case too ([[nodiscard]] +
+                     -Werror), but the lint also catches `(void)` casts:
+                     those are allowed only with a justifying comment on the
+                     same or preceding line. ci/annalyze's status-discipline
+                     check re-proves this on the AST where available.
   raw-sync-primitive std::mutex / std::condition_variable / std::lock_guard /
                      std::unique_lock / std::scoped_lock / std::shared_mutex
                      (and their headers) are forbidden in src/** outside
@@ -39,27 +50,21 @@ Rules (library code = src/**, callers = src/ bench/ examples/ tests/):
                      has one auditable clock and the tracing/stats layers
                      cannot silently disagree with ad-hoc measurements.
                      Bench, example and test code may read clocks directly.
-  cow-discipline     PinnedPage::MarkDirty is forbidden in src/index/**:
-                     index mutations go through the buffer pool's
-                     copy-on-write write path (BeginWriteBatch +
-                     FetchForWrite, which marks the clone dirty itself) so
-                     a snapshot reader can never observe a half-applied
-                     structural change. Only the storage layer — which
-                     implements that path — touches the dirty bit.
-  hot-loop-alloc     Inside a `// lint-hot-loop-begin` ... `// lint-hot-loop-end`
-                     region (the engine's per-candidate inner loops and the
-                     batched kernels), anything that can reach the allocator
-                     is forbidden: new / make_unique / make_shared, container
-                     growth (push_back, emplace*, insert, resize, reserve)
-                     and container declarations. Steady-state traversal must
-                     be allocation-free (DESIGN.md §10) — scratch lives in
-                     the EngineContext arena and is sized OUTSIDE the loop.
-                     Markers must balance, and the hot-path files
+  hot-loop-alloc     `// lint-hot-loop-begin` / `// lint-hot-loop-end`
+                     markers must balance, and the hot-path files
                      src/ann/engine_context.cc and src/metrics/kernels.cc
-                     must each declare at least one region, so the rule
-                     cannot be hollowed out by deleting the markers.
+                     must each declare at least one region — so the marker
+                     vocabulary the AST check consumes cannot be hollowed
+                     out by deleting markers. The allocation scan itself
+                     (what can reach operator new inside a region) is
+                     AST-only now: ci/annalyze/check_hot_loop_alloc.py.
 
-Suppress a finding with `// lint-ok: <reason>` on the offending line.
+  Retired: cow-discipline (MarkDirty-in-src/index regex) is subsumed by
+  ci/annalyze's snapshot-discipline check, which resolves the callee's
+  class on the AST instead of string-matching the method name.
+
+Suppress a finding with `// lint-ok: <reason>` on the offending line (for
+folded statements: on any line of the statement).
 
 Exit status: 0 clean, 1 violations found.
 """
@@ -112,6 +117,8 @@ VOID_DECL_RE = re.compile(
 
 # A statement that is nothing but a call to NAME(...) — no assignment, no
 # return, no macro wrapper, optionally through ./->/:: of one object.
+# Applied to FOLDED statements (see fold_statements), so line breaks
+# inside the call cannot hide it.
 BARE_CALL_TMPL = r"^\s*(?:[\w\]\[\.\>\-\:]+(?:\.|->|::))?(?:{names})\s*\("
 
 # (void)-cast of a tracked Status call: allowed only with a comment.
@@ -127,21 +134,9 @@ CLOCK_RE = re.compile(
     r"::now\s*\(")
 CLOCK_ALLOWED_PREFIX = os.path.join("src", "obs") + os.sep
 
-# Direct dirty-bit writes are a storage-layer privilege: index code must
-# mutate pages through the COW write path (cow-discipline).
-COW_BANNED_PREFIX = os.path.join("src", "index") + os.sep
-COW_RE = re.compile(r"\bMarkDirty\s*\(")
-
-# Hot-loop regions: allocation-free by contract (DESIGN.md §10).
+# Hot-loop regions: marker balance only — the allocation semantics live in
+# ci/annalyze/check_hot_loop_alloc.py, which resolves callees on the AST.
 HOT_LOOP_MARK = re.compile(r"//\s*lint-hot-loop-(begin|end)\b")
-HOT_LOOP_BANNED = re.compile(
-    r"\bnew\b|\bmake_unique\b|\bmake_shared\b"
-    r"|\bpush_back\s*\(|\bpush_front\s*\(|\bemplace_back\s*\("
-    r"|\bemplace\s*\(|\binsert\s*\(|\bresize\s*\(|\breserve\s*\("
-    r"|\b(?:std::)?(?:vector|deque|map|unordered_map|set|unordered_set"
-    r"|string|list)\s*<"
-    r"|\bArenaVector\s*<"
-)
 # Files whose hot loops are the point of the rule: each must carry at
 # least one marked region.
 HOT_LOOP_REQUIRED = (
@@ -152,6 +147,11 @@ HOT_LOOP_REQUIRED = (
 # A line is a fresh statement only if the previous code line closed one;
 # otherwise it is a continuation (macro argument, wrapped call, condition).
 STATEMENT_END = re.compile(r"[;{}:]\s*$|^\s*$|^\s*#")
+
+# Folded statements longer than this many physical lines are discarded
+# unmatched — nothing the swallowed-status rule targets is that long, and
+# the cap keeps a brace-initializer table from folding into one blob.
+MAX_FOLD_LINES = 12
 
 
 def strip_comments_and_strings(line):
@@ -174,6 +174,75 @@ def strip_comments_and_strings(line):
         out.append(c)
         i += 1
     return "".join(out)
+
+
+def normalize_statement(folded):
+    """Collapses whitespace and closes up member/scope/call punctuation so
+    the statement regexes see `store.Flush(` however the source wrapped."""
+    s = re.sub(r"\s+", " ", folded).strip()
+    return re.sub(r"\s*(->|::|\.(?!\d)|\()\s*", r"\1", s)
+
+
+def fold_statements(raw_lines):
+    """Pre-pass for the swallowed-status rule: folds physical lines into
+    statements. Yields (first_lineno, normalized_text, suppressed,
+    has_comment) per statement.
+
+    A statement accumulates until a code line ends in ; { } or a label
+    colon. Blank, comment-only and preprocessor lines finalize (discard)
+    the buffer — they separate statements in this codebase's style. A
+    `// lint-ok:` on ANY line of the statement suppresses it.
+    `has_comment` is true if any statement line carries a // comment or
+    the line preceding the statement is a pure comment line (the
+    (void)-cast justification contract).
+    """
+    buf = []          # (lineno, stripped code)
+    suppressed = False
+    has_comment = False
+    in_block_comment = False
+
+    def flush():
+        nonlocal buf, suppressed, has_comment
+        out = None
+        if buf and len(buf) <= MAX_FOLD_LINES:
+            out = (buf[0][0],
+                   normalize_statement(" ".join(c for _, c in buf)),
+                   suppressed, has_comment)
+        buf, suppressed, has_comment = [], False, False
+        return out
+
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if in_block_comment:
+            if "*/" in raw:
+                in_block_comment = False
+            continue
+        code = strip_comments_and_strings(raw)
+        if "/*" in code and "*/" not in code:
+            in_block_comment = True
+            code = code[: code.index("/*")]
+        if not code.strip() or code.lstrip().startswith("#"):
+            stmt = flush()
+            if stmt:
+                yield stmt
+            continue
+        if not buf:
+            # Statement opener: a pure comment line directly above counts
+            # as its justification comment.
+            prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if COMMENT_LINE.match(prev):
+                has_comment = True
+        if SUPPRESS.search(raw):
+            suppressed = True
+        if "//" in raw:
+            has_comment = True
+        buf.append((lineno, code))
+        if STATEMENT_END.search(code):
+            stmt = flush()
+            if stmt:
+                yield stmt
+    stmt = flush()
+    if stmt:
+        yield stmt
 
 
 def iter_sources(dirs):
@@ -204,7 +273,16 @@ def collect_status_functions():
     return names - ambiguous
 
 
-def check_mutex_fields(path, raw_lines, report):
+def compile_status_patterns(status_fns):
+    """(bare_call, void_cast) compiled regexes, or (None, None)."""
+    if not status_fns:
+        return None, None
+    alternation = "|".join(sorted(status_fns))
+    return (re.compile(BARE_CALL_TMPL.format(names=alternation)),
+            re.compile(VOID_CAST_TMPL.format(names=alternation)))
+
+
+def check_mutex_fields(raw_lines, report):
     """File-level pass: every ann::Mutex member must be named by at least
     one ANNLIB_* annotation somewhere in the same file."""
     fields = []  # (lineno, name, raw)
@@ -224,127 +302,135 @@ def check_mutex_fields(path, raw_lines, report):
     for lineno, name, raw in fields:
         if not re.search(r"\b%s\b" % re.escape(name), annotation_args):
             report(
-                path, lineno, "unguarded-mutex",
+                lineno, "unguarded-mutex",
                 raw.rstrip() + "   <- no ANNLIB_* annotation references"
                 " this mutex; annotate what it guards or add"
                 " // lint-ok: <reason>",
             )
 
 
+def lint_file(rel, raw_lines, report, bare_call=None, void_cast=None):
+    """Lints one file's lines. `rel` is the repo-relative path (drives the
+    per-directory rule scoping); `report(lineno, rule, line)` collects
+    findings. Returns the number of hot-loop regions the file declares.
+    Split out of main() so ci/test_lint_status_discipline.py can feed it
+    synthetic files."""
+    in_library = rel.split(os.sep)[0] in LIBRARY_DIRS
+    is_mutex_wrapper = rel in MUTEX_WRAPPER_FILES
+
+    if in_library and not is_mutex_wrapper:
+        check_mutex_fields(raw_lines, report)
+
+    hot_regions = 0
+    in_block_comment = False
+    in_hot_loop = False
+    prev_code = ""  # last non-comment code line seen
+    for lineno, raw in enumerate(raw_lines, start=1):
+        if SUPPRESS.search(raw):
+            continue
+        # Track /* ... */ blocks (rare in this codebase) conservatively.
+        if in_block_comment:
+            if "*/" in raw:
+                in_block_comment = False
+            continue
+        hot_mark = HOT_LOOP_MARK.search(raw)
+        if hot_mark:
+            if hot_mark.group(1) == "begin":
+                if in_hot_loop:
+                    report(lineno, "hot-loop-alloc",
+                           "nested lint-hot-loop-begin")
+                in_hot_loop = True
+                hot_regions += 1
+            else:
+                if not in_hot_loop:
+                    report(lineno, "hot-loop-alloc",
+                           "lint-hot-loop-end without matching begin")
+                in_hot_loop = False
+            continue
+        code = strip_comments_and_strings(raw)
+        if "/*" in code and "*/" not in code:
+            in_block_comment = True
+            code = code[: code.index("/*")]
+        fresh_statement = STATEMENT_END.search(prev_code) is not None \
+            or prev_code == ""
+        if code.strip():
+            prev_code = code
+
+        if in_library and re.search(r"\bthrow\b", code):
+            report(lineno, "throw-in-library", raw)
+
+        if in_library and not is_mutex_wrapper and RAW_SYNC_RE.search(code):
+            report(lineno, "raw-sync-primitive", raw)
+
+        if in_library and not rel.startswith(CLOCK_ALLOWED_PREFIX) \
+                and CLOCK_RE.search(code):
+            report(lineno, "clock-discipline", raw)
+
+        if re.search(r"\bnew\s+[A-Za-z_(]", code) and not re.search(
+            r"make_unique|make_shared|unique_ptr|shared_ptr|placement",
+            code,
+        ) and fresh_statement:
+            # Continuations inherit the wrapper check from the opener:
+            # `std::unique_ptr<T>(\n  new T(...))` is the factory idiom.
+            report(lineno, "naked-new", raw)
+
+        if re.search(
+            r"std::random_device|std::mt19937|\bsrand\s*\(|\brand\s*\(\s*\)"
+            r"|time\s*\(\s*(?:nullptr|NULL|0)\s*\)",
+            code,
+        ):
+            report(lineno, "rng-discipline", raw)
+
+    if in_hot_loop:
+        report(len(raw_lines), "hot-loop-alloc",
+               "lint-hot-loop-begin never closed in this file")
+
+    # Swallowed-status runs on folded statements so a call wrapped across
+    # physical lines is matched exactly like its single-line spelling.
+    if bare_call or void_cast:
+        for first, text, suppressed, has_comment in \
+                fold_statements(raw_lines):
+            if suppressed:
+                continue
+            if bare_call and bare_call.match(text):
+                # `return Foo();` / `x = Foo();` / macro wrappers never
+                # match (the pattern anchors at statement start), so a
+                # match is a call whose Status hits the floor.
+                report(first, "swallowed-status", text)
+            elif void_cast and void_cast.search(text) and not has_comment:
+                report(
+                    first, "swallowed-status",
+                    text + "   <- (void) cast needs a justifying comment"
+                    " on this or the preceding line",
+                )
+
+    return hot_regions
+
+
 def main():
     violations = []
 
-    def report(path, lineno, rule, line):
-        rel = os.path.relpath(path, REPO)
-        violations.append(f"{rel}:{lineno}: [{rule}] {line.strip()}")
-
     status_fns = collect_status_functions()
-    alternation = "|".join(sorted(status_fns)) if status_fns else None
-    bare_call = re.compile(BARE_CALL_TMPL.format(names=alternation)) \
-        if alternation else None
-    void_cast = re.compile(VOID_CAST_TMPL.format(names=alternation)) \
-        if alternation else None
+    bare_call, void_cast = compile_status_patterns(status_fns)
 
     hot_regions = {}  # rel path -> number of marked regions
 
     for path in iter_sources(SCAN_DIRS):
         rel = os.path.relpath(path, REPO)
-        in_library = rel.split(os.sep)[0] in LIBRARY_DIRS
-        is_mutex_wrapper = rel in MUTEX_WRAPPER_FILES
+
+        def report(lineno, rule, line, rel=rel):
+            violations.append(f"{rel}:{lineno}: [{rule}] {line.strip()}")
+
         with open(path, encoding="utf-8") as f:
             raw_lines = f.readlines()
-        if in_library and not is_mutex_wrapper:
-            check_mutex_fields(path, raw_lines, report)
-        in_block_comment = False
-        in_hot_loop = False
-        prev_code = ""  # last non-comment code line seen
-        for lineno, raw in enumerate(raw_lines, start=1):
-            if SUPPRESS.search(raw):
-                continue
-            # Track /* ... */ blocks (rare in this codebase) conservatively.
-            if in_block_comment:
-                if "*/" in raw:
-                    in_block_comment = False
-                continue
-            hot_mark = HOT_LOOP_MARK.search(raw)
-            if hot_mark:
-                if hot_mark.group(1) == "begin":
-                    if in_hot_loop:
-                        report(path, lineno, "hot-loop-alloc",
-                               "nested lint-hot-loop-begin")
-                    in_hot_loop = True
-                    hot_regions[rel] = hot_regions.get(rel, 0) + 1
-                else:
-                    if not in_hot_loop:
-                        report(path, lineno, "hot-loop-alloc",
-                               "lint-hot-loop-end without matching begin")
-                    in_hot_loop = False
-                continue
-            code = strip_comments_and_strings(raw)
-            if "/*" in code and "*/" not in code:
-                in_block_comment = True
-                code = code[: code.index("/*")]
-            fresh_statement = STATEMENT_END.search(prev_code) is not None \
-                or prev_code == ""
-            if code.strip():
-                prev_code = code
-
-            if in_hot_loop and HOT_LOOP_BANNED.search(code):
-                report(path, lineno, "hot-loop-alloc", raw)
-
-            if in_library and re.search(r"\bthrow\b", code):
-                report(path, lineno, "throw-in-library", raw)
-
-            if in_library and not is_mutex_wrapper and RAW_SYNC_RE.search(code):
-                report(path, lineno, "raw-sync-primitive", raw)
-
-            if in_library and not rel.startswith(CLOCK_ALLOWED_PREFIX) \
-                    and CLOCK_RE.search(code):
-                report(path, lineno, "clock-discipline", raw)
-
-            if rel.startswith(COW_BANNED_PREFIX) and COW_RE.search(code):
-                report(path, lineno, "cow-discipline", raw)
-
-            if re.search(r"\bnew\s+[A-Za-z_(]", code) and not re.search(
-                r"make_unique|make_shared|unique_ptr|shared_ptr|placement",
-                code,
-            ) and fresh_statement:
-                # Continuations inherit the wrapper check from the opener:
-                # `std::unique_ptr<T>(\n  new T(...))` is the factory idiom.
-                report(path, lineno, "naked-new", raw)
-
-            if re.search(
-                r"std::random_device|std::mt19937|\bsrand\s*\(|\brand\s*\(\s*\)"
-                r"|time\s*\(\s*(?:nullptr|NULL|0)\s*\)",
-                code,
-            ):
-                report(path, lineno, "rng-discipline", raw)
-
-            if bare_call and fresh_statement and bare_call.match(code):
-                # `return Foo();` / `x = Foo();` / macro wrappers never match
-                # (pattern anchors at statement start, continuations are
-                # skipped), so a match is a call whose Status hits the floor.
-                report(path, lineno, "swallowed-status", raw)
-
-            if void_cast and void_cast.search(code):
-                prev = raw_lines[lineno - 2] if lineno >= 2 else ""
-                has_comment = "//" in raw or COMMENT_LINE.match(prev)
-                if not has_comment:
-                    report(
-                        path, lineno, "swallowed-status",
-                        raw.rstrip() + "   <- (void) cast needs a justifying"
-                        " comment on this or the preceding line",
-                    )
-
-        if in_hot_loop:
-            report(path, len(raw_lines), "hot-loop-alloc",
-                   "lint-hot-loop-begin never closed in this file")
+        hot_regions[rel] = lint_file(rel, raw_lines, report,
+                                     bare_call, void_cast)
 
     for required in HOT_LOOP_REQUIRED:
         if hot_regions.get(required, 0) == 0:
-            report(os.path.join(REPO, required), 1, "hot-loop-alloc",
-                   "hot-path file must mark its inner loops with"
-                   " lint-hot-loop-begin/end")
+            violations.append(
+                f"{required}:1: [hot-loop-alloc] hot-path file must mark"
+                " its inner loops with lint-hot-loop-begin/end")
 
     if violations:
         print("lint_status_discipline: %d violation(s)" % len(violations))

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Regression tests for ci/lint_status_discipline.py.
+
+The load-bearing case is the folded-statement swallowed-status scan: the
+old per-line matcher missed a discarded Status call as soon as the call
+was wrapped across physical lines (`store\n  .Flush(a,\n   b);`). These
+tests pin the fixed behavior, the statement-folding semantics, and the
+rules that stayed textual — and pin the *retirements*: MarkDirty in
+src/index (now annalyze's snapshot-discipline) and allocation calls
+inside hot-loop regions (now annalyze's hot-loop-alloc) must NOT be
+reported by the textual lint anymore.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint_status_discipline as lint  # noqa: E402
+
+BARE, VOID = lint.compile_status_patterns({"Flush", "ApplyBatch"})
+
+
+def run_lint(rel, text, with_status=True):
+    """Runs lint_file on synthetic content; returns list of (line, rule)."""
+    got = []
+    lines = [l + "\n" for l in text.split("\n")]
+    lint.lint_file(rel, lines,
+                   lambda lineno, rule, line: got.append((lineno, rule)),
+                   BARE if with_status else None,
+                   VOID if with_status else None)
+    return got
+
+
+def rules(found):
+    return [r for _, r in found]
+
+
+class FoldStatements(unittest.TestCase):
+    def fold(self, text):
+        return list(lint.fold_statements([l + "\n" for l in text.split("\n")]))
+
+    def test_multiline_call_folds_to_one_statement(self):
+        stmts = self.fold("store\n    .Flush(5,\n           6);")
+        self.assertEqual(len(stmts), 1)
+        first, text, suppressed, _ = stmts[0]
+        self.assertEqual(first, 1)
+        self.assertEqual(text, "store.Flush(5, 6);")
+        self.assertFalse(suppressed)
+
+    def test_blank_and_preprocessor_lines_break_statements(self):
+        stmts = self.fold("a = b\n\n#include <x>\nc();")
+        # "a = b" never terminates but the blank line flushes it;
+        # the #include flushes nothing; "c();" stands alone.
+        self.assertEqual([s[1] for s in stmts], ["a = b", "c();"])
+
+    def test_suppression_on_any_line_marks_statement(self):
+        stmts = self.fold(
+            "store\n    .Flush(1,  // lint-ok: drained at shutdown\n 2);")
+        self.assertEqual(len(stmts), 1)
+        self.assertTrue(stmts[0][2])
+
+    def test_comment_above_or_inline_sets_has_comment(self):
+        above = self.fold("// deliberate: best-effort flush\n(void)Flush();")
+        self.assertTrue(above[0][3])
+        inline = self.fold("(void)Flush();  // best effort")
+        self.assertTrue(inline[0][3])
+        naked = self.fold("x = 1;\n(void)Flush();")
+        self.assertFalse(naked[1][3])
+
+    def test_overlong_fold_is_discarded(self):
+        text = "f(" + "\n".join(["arg,"] * (lint.MAX_FOLD_LINES + 2)) + "\nend);"
+        self.assertEqual(self.fold(text), [])
+
+
+class SwallowedStatus(unittest.TestCase):
+    def test_single_line_discard_still_caught(self):
+        found = run_lint("src/ann/x.cc", "void F(Store& s) {\n  s.Flush(1);\n}")
+        self.assertEqual(found, [(2, "swallowed-status")])
+
+    def test_multiline_discard_caught_at_first_line(self):
+        # THE regression: the old per-line scan reported nothing here.
+        found = run_lint(
+            "src/ann/x.cc",
+            "void F(Store& s) {\n  s\n      .Flush(1,\n             2);\n}")
+        self.assertEqual(found, [(2, "swallowed-status")])
+
+    def test_consumed_and_wrapped_calls_are_fine(self):
+        clean = ("void F(Store& s) {\n"
+                 "  ann::Status st = s.Flush(1);\n"
+                 "  ANN_RETURN_NOT_OK(s.Flush(2));\n"
+                 "  return s.Flush(3);\n"
+                 "  if (!s.Flush(4).ok()) return;\n"
+                 "}")
+        self.assertEqual(run_lint("src/ann/x.cc", clean), [])
+
+    def test_void_cast_needs_comment(self):
+        found = run_lint("src/ann/x.cc",
+                         "void F(Store& s) {\n  (void)s.Flush(1);\n}")
+        self.assertEqual(found, [(2, "swallowed-status")])
+        commented = ("void F(Store& s) {\n"
+                     "  // best-effort: shutdown path\n"
+                     "  (void)s.Flush(1);\n"
+                     "}")
+        self.assertEqual(run_lint("src/ann/x.cc", commented), [])
+
+    def test_multiline_void_cast_caught(self):
+        found = run_lint(
+            "src/ann/x.cc",
+            "void F(Store& s) {\n  (void)s.Flush(\n      1);\n}")
+        self.assertEqual(found, [(2, "swallowed-status")])
+
+    def test_lint_ok_suppresses_folded_statement(self):
+        text = ("void F(Store& s) {\n"
+                "  s.Flush(  // lint-ok: status recorded via side channel\n"
+                "      1);\n"
+                "}")
+        self.assertEqual(run_lint("src/ann/x.cc", text), [])
+
+
+class RetiredRules(unittest.TestCase):
+    def test_markdirty_in_src_index_is_no_longer_textual(self):
+        # cow-discipline moved to annalyze (snapshot-discipline): the
+        # textual lint must not fire on the method name.
+        found = run_lint("src/index/x.cc",
+                         "void F(PinnedPage& p) {\n  p.MarkDirty();\n}")
+        self.assertNotIn("cow-discipline", rules(found))
+
+    def test_hot_region_alloc_calls_are_ast_only_now(self):
+        text = ("void F(std::vector<int>& v) {\n"
+                "  // lint-hot-loop-begin\n"
+                "  v.push_back(1);\n"
+                "  // lint-hot-loop-end\n"
+                "}")
+        self.assertEqual(run_lint("src/ann/x.cc", text), [])
+
+
+class MarkerBalance(unittest.TestCase):
+    def test_balanced_region_counts(self):
+        regions = lint.lint_file(
+            "src/ann/x.cc",
+            ["// lint-hot-loop-begin\n", "x;\n", "// lint-hot-loop-end\n"],
+            lambda *a: None)
+        self.assertEqual(regions, 1)
+
+    def test_nested_begin_reported(self):
+        found = run_lint("src/ann/x.cc",
+                         "// lint-hot-loop-begin\n// lint-hot-loop-begin\n"
+                         "// lint-hot-loop-end")
+        self.assertEqual(rules(found), ["hot-loop-alloc"])
+
+    def test_end_without_begin_reported(self):
+        found = run_lint("src/ann/x.cc", "// lint-hot-loop-end")
+        self.assertEqual(rules(found), ["hot-loop-alloc"])
+
+    def test_unclosed_begin_reported(self):
+        found = run_lint("src/ann/x.cc", "// lint-hot-loop-begin\nx;")
+        self.assertEqual(rules(found), ["hot-loop-alloc"])
+
+
+class TextualRulesStillFire(unittest.TestCase):
+    def test_throw_only_in_library(self):
+        text = "void F() {\n  throw 1;\n}"
+        self.assertEqual(rules(run_lint("src/ann/x.cc", text)),
+                         ["throw-in-library"])
+        self.assertEqual(run_lint("tests/x_test.cc", text), [])
+
+    def test_naked_new_everywhere_factory_ok(self):
+        self.assertEqual(rules(run_lint("tests/x.cc", "auto* p = new T();")),
+                         ["naked-new"])
+        self.assertEqual(
+            run_lint("tests/x.cc", "auto p = std::make_unique<T>();"), [])
+
+    def test_rng_and_clock(self):
+        self.assertEqual(rules(run_lint("src/a.cc", "std::mt19937 g;")),
+                         ["rng-discipline"])
+        clock = "auto t = std::chrono::steady_clock::now();"
+        self.assertEqual(rules(run_lint("src/a.cc", clock)),
+                         ["clock-discipline"])
+        self.assertEqual(run_lint(os.path.join("src", "obs", "t.cc"), clock),
+                         [])
+
+    def test_unguarded_mutex(self):
+        guarded = ("class C {\n  ann::Mutex mu_;\n"
+                   "  int x ANNLIB_GUARDED_BY(mu_);\n};")
+        self.assertEqual(run_lint("src/c.h", guarded), [])
+        unguarded = "class C {\n  ann::Mutex mu_;\n  int x;\n};"
+        self.assertEqual(rules(run_lint("src/c.h", unguarded)),
+                         ["unguarded-mutex"])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -320,16 +320,26 @@ Status MaintainAllNn(const SpatialIndex& ir, const SpatialIndex& is_new,
   // Repair pass. Delete-affected lists take a fresh kNN search against
   // the post-batch S index; insert-only lists merge the admitted
   // candidates into the still-valid old list — no index search at all.
+  //
+  // Repairs are STAGED: nothing in *results is touched until every
+  // affected list has been recomputed. A kNN failure halfway through
+  // (the index poisoned, IO error, ...) must leave the standing results
+  // exactly as they were — all-or-nothing, like ApplyBatch itself —
+  // so the caller can retry against a recovered index without first
+  // rebuilding the answer set from scratch.
   SearchStats search_stats;
+  std::vector<std::pair<size_t, std::vector<Neighbor>>> staged;
   for (size_t i = 0; i < results->size(); ++i) {
     ListState& ls = lists[i];
     if (!ls.candidates.empty()) ++local.insert_affected;
-    NeighborList& nl = (*results)[i];
+    const NeighborList& nl = (*results)[i];
     if (ls.delete_affected) {
       const Scalar* r = skel.r_coords.data() +
                         i * static_cast<size_t>(dim);
-      ANN_RETURN_NOT_OK(PointKnn(is_new, r, options.k, maxd2,
-                                 &nl.neighbors, &search_stats));
+      std::vector<Neighbor> fresh;
+      ANN_RETURN_NOT_OK(PointKnn(is_new, r, options.k, maxd2, &fresh,
+                                 &search_stats));
+      staged.emplace_back(i, std::move(fresh));
       ++local.requeried;
       continue;
     }
@@ -337,15 +347,21 @@ Status MaintainAllNn(const SpatialIndex& ir, const SpatialIndex& is_new,
     // Sorted merge by (distance, id), truncated to k: exactly the top-k
     // of old-S ∪ inserts, since every insert that could place is a
     // candidate and the old list already is the top-k of old S.
-    nl.neighbors.insert(nl.neighbors.end(), ls.candidates.begin(),
-                        ls.candidates.end());
-    std::sort(nl.neighbors.begin(), nl.neighbors.end(),
+    std::vector<Neighbor> merged = nl.neighbors;
+    merged.insert(merged.end(), ls.candidates.begin(),
+                  ls.candidates.end());
+    std::sort(merged.begin(), merged.end(),
               [](const Neighbor& a, const Neighbor& b) {
                 return a.second != b.second ? a.second < b.second
                                             : a.first < b.first;
               });
-    if (nl.neighbors.size() > k) nl.neighbors.resize(k);
+    if (merged.size() > k) merged.resize(k);
+    staged.emplace_back(i, std::move(merged));
     ++local.merged;
+  }
+  // Every repair succeeded: commit (pure moves, cannot fail).
+  for (auto& repair : staged) {
+    (*results)[repair.first].neighbors = std::move(repair.second);
   }
   span.AddArg("requeried", local.requeried);
   span.AddArg("merged", local.merged);

@@ -55,6 +55,14 @@ struct MaintainStats {
 ///
 /// Every object indexed by `ir` must have a list in `results` (the
 /// function indexes them by r_id).
+///
+/// **Atomicity**: on any error — argument validation, a failed skeleton
+/// walk, or a kNN search failing mid-repair (e.g. `is_new` is a poisoned
+/// DynamicIndex) — `*results` is left byte-for-byte as it was passed in.
+/// Repairs are staged internally and committed only after every affected
+/// list has been recomputed, so a failed maintenance pass can simply be
+/// retried once the index recovers; there is no partially-merged state
+/// to undo.
 Status MaintainAllNn(const SpatialIndex& ir, const SpatialIndex& is_new,
                      const AnnOptions& options, const UpdateBatch& batch,
                      std::vector<NeighborList>* results,

@@ -262,6 +262,7 @@ Result<IndexSnapshot> DynamicIndex::OpenSnapshot() const {
   out.height = committed_.height;
   out.num_objects = committed_.num_objects;
   out.epoch = snap.epoch();
+  // annalyze-ok: pin-lifetime — IndexSnapshot.pin IS the designed epoch-pin carrier; traversal scope bounds it
   out.pin = std::make_shared<PageSnapshot>(std::move(snap));
   return out;
 }

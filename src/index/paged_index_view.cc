@@ -28,6 +28,7 @@ Result<IndexSnapshot> PagedIndexView::OpenSnapshot() const {
   ANN_ASSIGN_OR_RETURN(PageSnapshot snap, store_->pool()->OpenSnapshot());
   const uint64_t epoch = snap.epoch();
   return IndexSnapshot{Root(), meta_.height, meta_.num_objects, epoch,
+                       // annalyze-ok: pin-lifetime — IndexSnapshot.pin IS the designed epoch-pin carrier; traversal scope bounds it
                        std::make_shared<PageSnapshot>(std::move(snap))};
 }
 

@@ -6,14 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "ann/mba.h"
+#include "index/dynamic_index.h"
 #include "index/mbrqt/mbrqt.h"
 #include "index/node_format.h"
 #include "index/rstar/rstar_tree.h"
+#include "storage/buffer_pool.h"
 #include "test_util.h"
 
 namespace ann {
@@ -212,6 +215,216 @@ TEST(MaintainTest, DuplicateResultListFails) {
   const Status st = MaintainAllNn(*f.ir, *f.is, opts, batch, &results);
   EXPECT_FALSE(st.ok());
   EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Error-path atomicity: a maintenance pass that fails partway must leave
+// the standing results byte-for-byte untouched (maintain.h contract).
+// ---------------------------------------------------------------------------
+
+/// Forwards to an inner index but fails every expansion past a budget
+/// with Status::Internal — an index going bad mid-maintenance. `used()`
+/// after an unlimited run tells a test how many expansions a successful
+/// pass needs, so a second run can be made to fail at any chosen point.
+class FailAfterExpand final : public SpatialIndex {
+ public:
+  FailAfterExpand(const SpatialIndex* inner, size_t budget)
+      : inner_(inner), budget_(budget) {}
+
+  int dim() const override { return inner_->dim(); }
+  IndexEntry Root() const override { return inner_->Root(); }
+  int height() const override { return inner_->height(); }
+  uint64_t num_objects() const override { return inner_->num_objects(); }
+  Result<IndexSnapshot> OpenSnapshot() const override {
+    return inner_->OpenSnapshot();
+  }
+
+  Status Expand(const IndexSnapshot& snap, const IndexEntry& e,
+                std::vector<IndexEntry>* out) const override {
+    ANN_RETURN_NOT_OK(Charge());
+    return inner_->Expand(snap, e, out);
+  }
+  Status ExpandBatch(const IndexSnapshot& snap, const IndexEntry& e,
+                     std::vector<IndexEntry>* entries, LeafBlock* block,
+                     bool* is_leaf_block) const override {
+    ANN_RETURN_NOT_OK(Charge());
+    return inner_->ExpandBatch(snap, e, entries, block, is_leaf_block);
+  }
+  using SpatialIndex::Expand;
+  using SpatialIndex::ExpandBatch;
+
+  size_t used() const { return used_; }
+
+ private:
+  Status Charge() const {
+    if (used_ >= budget_) {
+      return Status::Internal("injected expand failure");
+    }
+    ++used_;
+    return Status::OK();
+  }
+
+  const SpatialIndex* inner_;
+  size_t budget_;
+  mutable size_t used_ = 0;
+};
+
+/// Exact comparison, distances by memcmp: "untouched" means bit-identical,
+/// not merely numerically close.
+void ExpectBitIdentical(const std::vector<NeighborList>& got,
+                        const std::vector<NeighborList>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].r_id, want[i].r_id);
+    const std::vector<Neighbor>& g = got[i].neighbors;
+    const std::vector<Neighbor>& w = want[i].neighbors;
+    ASSERT_EQ(g.size(), w.size()) << "list " << got[i].r_id;
+    for (size_t j = 0; j < g.size(); ++j) {
+      EXPECT_EQ(g[j].first, w[j].first)
+          << "list " << got[i].r_id << " slot " << j;
+      EXPECT_EQ(std::memcmp(&g[j].second, &w[j].second, sizeof(Scalar)), 0)
+          << "list " << got[i].r_id << " slot " << j;
+    }
+  }
+}
+
+TEST(MaintainTest, ErrorMidRequeryLeavesResultsUntouched) {
+  MaintainFixture f = MakeFixture(120, 200, 131);
+  AnnOptions opts;
+  opts.k = 3;
+  std::vector<NeighborList> results;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &results));
+  SortByQueryId(&results);
+  const std::vector<NeighborList> before = results;
+
+  const UpdateBatch batch =
+      MakeAndApplyBatch(&f, /*num_del=*/12, /*num_ins=*/0, 133);
+
+  // Count the S-side expansions one successful pass needs.
+  FailAfterExpand counting(f.is.get(), static_cast<size_t>(-1));
+  std::vector<NeighborList> repaired = before;
+  ASSERT_OK(MaintainAllNn(*f.ir, counting, opts, batch, &repaired));
+  ASSERT_GT(counting.used(), 1u);
+
+  // Fail on the very first expand, mid-pass, and on the last one (every
+  // earlier requery already staged): the standing results must come back
+  // bit-identical in all three cases.
+  for (size_t budget :
+       {static_cast<size_t>(0), counting.used() / 2, counting.used() - 1}) {
+    FailAfterExpand failing(f.is.get(), budget);
+    std::vector<NeighborList> standing = before;
+    const Status st = MaintainAllNn(*f.ir, failing, opts, batch, &standing);
+    ASSERT_FALSE(st.ok()) << "budget=" << budget;
+    EXPECT_TRUE(st.IsInternal()) << st.ToString();
+    ExpectBitIdentical(standing, before);
+  }
+}
+
+TEST(MaintainTest, ErrorMidRepairDoesNotPartiallyMerge) {
+  MaintainFixture f = MakeFixture(150, 250, 137);
+  AnnOptions opts;
+  opts.k = 2;
+  std::vector<NeighborList> results;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &results));
+  SortByQueryId(&results);
+  const std::vector<NeighborList> before = results;
+
+  // Mixed batch: some lists repair by requery (which expands S and can
+  // fail), others by a pure sorted merge (which cannot). A failure in the
+  // last requery must not leak the merges staged alongside it either.
+  const UpdateBatch batch =
+      MakeAndApplyBatch(&f, /*num_del=*/10, /*num_ins=*/10, 139);
+
+  FailAfterExpand counting(f.is.get(), static_cast<size_t>(-1));
+  std::vector<NeighborList> repaired = before;
+  MaintainStats stats;
+  ASSERT_OK(MaintainAllNn(*f.ir, counting, opts, batch, &repaired, &stats));
+  ASSERT_GT(stats.merged, 0u);     // both repair kinds must be in play
+  ASSERT_GT(stats.requeried, 0u);
+
+  FailAfterExpand failing(f.is.get(), counting.used() - 1);
+  std::vector<NeighborList> standing = before;
+  const Status st = MaintainAllNn(*f.ir, failing, opts, batch, &standing);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+  ExpectBitIdentical(standing, before);
+
+  // Because nothing was partially merged, the same pass simply retries
+  // once the index behaves — and lands on the full recomputation.
+  ASSERT_OK(MaintainAllNn(*f.ir, *f.is, opts, batch, &standing));
+  std::vector<NeighborList> expected;
+  ASSERT_OK(AllNearestNeighbors(*f.ir, *f.is, opts, &expected));
+  SortByQueryId(&expected);
+  SortByQueryId(&standing);
+  ExpectSameResults(standing, expected);
+}
+
+TEST(MaintainTest, PoisonedWriterKeepsStandingResultsUsable) {
+  MemDiskManager disk;
+  BufferPool pool(&disk, 256);
+  NodeStore store(&pool);
+
+  Rect space;
+  space.dim = 2;
+  for (int d = 0; d < 2; ++d) {
+    space.lo[d] = 0;
+    space.hi[d] = 1;
+  }
+
+  const Dataset r_data = RandomDataset(2, 80, 141);
+  MbrqtOptions qopts;
+  qopts.bucket_capacity = 8;
+  auto built = Mbrqt::Build(r_data, qopts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Mbrqt r_tree = std::move(built).value();
+  const MemIndexView ir(&r_tree.Finalize());
+
+  const Dataset s_data = RandomDataset(2, 120, 142);
+  MbrqtOptions sopts;
+  sopts.bucket_capacity = 8;
+  Mbrqt s_builder(space, sopts);
+  for (size_t i = 0; i < s_data.size(); ++i) {
+    ASSERT_OK(s_builder.Insert(s_data.point(i), i));
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DynamicIndex> s_index,
+                       DynamicIndex::Create(std::move(s_builder), &store));
+
+  AnnOptions opts;
+  opts.k = 3;
+  std::vector<NeighborList> results;
+  ASSERT_OK(AllNearestNeighbors(ir, *s_index, opts, &results));
+  SortByQueryId(&results);
+  const std::vector<NeighborList> before = results;
+
+  // A batch that fails mid-apply: the first delete is valid (and mutates
+  // the builder), the second names an absent id. The writer poisons
+  // without publishing, so committed reads keep serving the old tree.
+  UpdateBatch bad(2);
+  bad.AddDelete(s_data.point(0), 0);
+  const Scalar nowhere[2] = {0.321, 0.654};
+  bad.AddDelete(nowhere, 999999);
+  const Status first = s_index->ApplyBatch(bad);
+  ASSERT_FALSE(first.ok());
+
+  // A fresh All-NN recomputation over the poisoned index reproduces the
+  // standing results bit-for-bit: reads are unaffected by the poison.
+  std::vector<NeighborList> recomputed;
+  ASSERT_OK(AllNearestNeighbors(ir, *s_index, opts, &recomputed));
+  SortByQueryId(&recomputed);
+  ExpectBitIdentical(recomputed, before);
+
+  // The failed batch never committed, so it must NOT be fed to
+  // MaintainAllNn; the no-change maintenance pass is an exact no-op.
+  ASSERT_OK(MaintainAllNn(ir, *s_index, opts, UpdateBatch(2), &results));
+  ExpectBitIdentical(results, before);
+
+  // And the writer stays poisoned with the original error code.
+  UpdateBatch good(2);
+  const Scalar p[2] = {0.5, 0.5};
+  good.AddInsert(p, kInsertIdBase);
+  const Status second = s_index->ApplyBatch(good);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), first.code());
 }
 
 }  // namespace
