@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Engine-only microbenchmark for the interprocedural annalyze core.
+
+The headline PR 9 number — cold vs warm `run.py --compdb` wall clock,
+where warm re-runs hit the disk cache instead of re-parsing — needs a
+working clang frontend. In containers without one, ci/run_benches.sh
+falls back to this script, which times the parts that run everywhere
+and that selftest.py proves correct:
+
+  * summarize + call-graph fixpoint over a synthetic layered program
+    (the phase-2 backbone: every TU re-analysis pays this),
+  * witness-path reconstruction for every transitively-reaching node,
+  * the four phase-2 checks over that program, and
+  * a disk-cache store/load round trip of the same function IR.
+
+These are honest engine numbers, NOT the end-to-end cache speedup; the
+emitted JSON says so. Usage:
+
+    python3 ci/annalyze/bench_engine.py [--out FILE] [--functions N]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cache as cache_mod  # noqa: E402
+import check_batch_lifecycle  # noqa: E402
+import check_hot_loop_alloc  # noqa: E402
+import check_pin_across_wait  # noqa: E402
+import check_snapshot_lifetime  # noqa: E402
+import ir  # noqa: E402
+from callgraph import Program  # noqa: E402
+
+CHAINS = 8
+REPS = 3
+HOT_FILE = "bench/synthetic_chain0.cc"
+
+_PHASE2 = (check_batch_lifecycle, check_snapshot_lifetime,
+           check_pin_across_wait, check_hot_loop_alloc)
+
+
+def _usr(chain, depth):
+    return "c:@F@chain%d_f%d" % (chain, depth)
+
+
+def build_program_functions(n_functions):
+    """A layered synthetic program: CHAINS chains of equal depth, each
+    function calling the next in its chain plus a cross-edge into the
+    neighbor chain. The deepest frame of every chain allocates; chain 0
+    also reaches CommitWriteBatch and CondVar::Wait mid-chain, and its
+    root holds tracked locals across those calls — so every phase-2
+    check has real work and real findings to produce."""
+    depth = max(4, n_functions // CHAINS)
+    fns = []
+    for c in range(CHAINS):
+        rel = "bench/synthetic_chain%d.cc" % c
+        for d in range(depth):
+            line = 10 * d + 2
+            items = []
+            if d + 1 < depth:
+                items.append(ir.loop(line, header=[], body=ir.seq([
+                    ir.call(line + 1, "chain%d_f%d" % (c, d + 1),
+                            usr=_usr(c, d + 1)),
+                ])))
+                items.append(ir.if_(line + 2, ir.seq([
+                    ir.call(line + 3,
+                            "chain%d_f%d" % ((c + 1) % CHAINS, d + 1),
+                            usr=_usr((c + 1) % CHAINS, d + 1)),
+                ])))
+            else:
+                items.append(ir.new(line + 1, "int"))
+            if c == 0 and d == depth // 2:
+                items.append(ir.call(line + 4, "CommitWriteBatch",
+                                     cls="BufferPool"))
+                items.append(ir.call(line + 5, "Wait", cls="CondVar"))
+            if c == 0 and d == 0:
+                # Root: a snapshot and a pin alive across the chain call
+                # (which transitively reaches commit and wait), plus a
+                # call from inside a hot region (lines 1000..1009 of
+                # this file are marked hot below).
+                items = [
+                    ir.born(line, var=1, name="snap", tclass="snapshot"),
+                    ir.born(line, var=2, name="pin", tclass="pin"),
+                ] + items + [
+                    ir.loop(1000, header=[], body=ir.seq([
+                        ir.call(1001, "chain0_f1", usr=_usr(0, 1)),
+                    ])),
+                    ir.dies(1), ir.dies(2),
+                ]
+            fns.append(ir.func(_usr(c, d), "chain%d_f%d" % (c, d),
+                               rel, line, ir.seq(items)))
+    return fns
+
+
+def timed(thunk, reps=REPS):
+    """Min wall clock over `reps` runs; returns (seconds, last result)."""
+    best, result = None, None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = thunk()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best, result
+
+
+def bench(n_functions):
+    fns = build_program_functions(n_functions)
+
+    def build_and_fix():
+        prog = Program()
+        for fn in fns:
+            prog.add_function(fn)
+        prog.fixpoint()
+        return prog
+
+    fixpoint_s, prog = timed(build_and_fix)
+    prog.hot = (lambda rel, line:
+                rel == HOT_FILE and 1000 <= line < 1010)
+
+    reaching = [u for u in prog.by_usr
+                if prog.get(u).reaches_alloc is not None]
+
+    def all_witnesses():
+        return [prog.witness(u, "reaches_alloc") for u in reaching]
+
+    witness_s, witnesses = timed(all_witnesses)
+
+    def run_phase2():
+        found = []
+        for mod in _PHASE2:
+            found.extend(mod.collect(prog))
+        return found
+
+    phase2_s, findings = timed(run_phase2)
+
+    tmpdir = tempfile.mkdtemp(prefix="annalyze-bench-")
+    try:
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        store = cache_mod.Cache(os.path.join(tmpdir, "cache"), repo_root)
+        by_tu = {}
+        for fn in fns:
+            by_tu.setdefault(fn["file"], []).append(fn)
+
+        def store_all():
+            for rel, tu_fns in sorted(by_tu.items()):
+                store.store(rel, "bench-args", {}, tu_fns, [])
+
+        store_s, _ = timed(store_all)
+
+        def load_all():
+            loaded = 0
+            for rel in sorted(by_tu):
+                if store.load(rel, "bench-args") is not None:
+                    loaded += 1
+            return loaded
+
+        load_s, loaded = timed(load_all)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    stats = prog.stats()
+    return {
+        "schema": "annalyze-engine-bench-v1",
+        "note": ("pure-Python engine timings (no clang frontend"
+                 " required); min wall clock over %d reps each. These"
+                 " are NOT the end-to-end cold/warm cache speedup —"
+                 " that needs a compile_commands.json run." % REPS),
+        "program": {
+            "functions": stats["functions"],
+            "edges": stats["edges"],
+            "reaching_alloc": len(reaching),
+            "phase2_findings": len(findings),
+            "tus": len(by_tu),
+        },
+        "seconds": {
+            "summarize_and_fixpoint": round(fixpoint_s, 4),
+            "witness_reconstruction": round(witness_s, 4),
+            "phase2_checks": round(phase2_s, 4),
+            "cache_store": round(store_s, 4),
+            "cache_load_validate": round(load_s, 4),
+        },
+        "sanity": {
+            "witnesses_resolved": sum(1 for w in witnesses if w),
+            "cache_loads_ok": loaded == len(by_tu),
+        },
+    }
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--out", metavar="FILE")
+    ap.add_argument("--functions", type=int, default=1200)
+    args = ap.parse_args(argv)
+
+    doc = bench(args.functions)
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+
+    sane = doc["sanity"]
+    if doc["program"]["phase2_findings"] == 0 or \
+            not sane["cache_loads_ok"] or not sane["witnesses_resolved"]:
+        print("bench_engine: sanity check failed: %r" % sane,
+              file=sys.stderr)
+        return 1
+    secs = doc["seconds"]
+    print("engine: %d fns / %d edges; fixpoint %.1f ms, phase2 %.1f ms,"
+          " cache store %.1f ms / load %.1f ms" % (
+              doc["program"]["functions"], doc["program"]["edges"],
+              secs["summarize_and_fixpoint"] * 1e3,
+              secs["phase2_checks"] * 1e3,
+              secs["cache_store"] * 1e3,
+              secs["cache_load_validate"] * 1e3), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

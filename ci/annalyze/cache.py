@@ -1,0 +1,143 @@
+"""Disk cache of per-TU analysis results for incremental re-analysis.
+
+One JSON entry per translation unit, keyed by:
+
+  * the TU's repo-relative path (entry filename = sha1 of path),
+  * a policy hash — sha256 over the analyzer's own sources (project.py
+    and every module that shapes the IR or findings), so editing a rule
+    invalidates everything without a manual version bump,
+  * an args hash over the TU's compile command, and
+  * a deps map {repo-relative include -> sha256 of content} captured at
+    parse time; any drifted hash invalidates the entry.
+
+What is cached is everything the *parse* produced: the lowered
+function IR (validated with ir.validate on load — a truncated entry is
+re-parsed, not trusted) and the phase-1 AST findings *pre-suppression*.
+Suppression matching, stale-suppression detection, and the whole
+phase-2 interprocedural pass always run fresh: they are cheap pure
+Python, and caching them would let an edited `// annalyze-ok` comment
+in a header go unnoticed by an unchanged TU.
+"""
+
+import hashlib
+import json
+import os
+
+import ir
+
+SCHEMA = "annalyze-cache-v1"
+
+# Analyzer sources whose content participates in the policy hash.
+_POLICY_MODULES = (
+    "project.py", "ir.py", "cfg.py", "summaries.py", "callgraph.py",
+    "lower.py", "engine.py", "findings.py", "cache.py",
+    "check_arena_escape.py", "check_snapshot_discipline.py",
+    "check_pin_lifetime.py", "check_status_discipline.py",
+    "check_hot_loop_alloc.py", "check_batch_lifecycle.py",
+    "check_snapshot_lifetime.py", "check_pin_across_wait.py",
+)
+
+
+def sha256_file(path):
+    h = hashlib.sha256()
+    try:
+        with open(path, "rb") as f:
+            for chunk in iter(lambda: f.read(1 << 16), b""):
+                h.update(chunk)
+    except OSError:
+        return None
+    return h.hexdigest()
+
+
+def policy_hash():
+    here = os.path.dirname(os.path.abspath(__file__))
+    h = hashlib.sha256()
+    for name in _POLICY_MODULES:
+        digest = sha256_file(os.path.join(here, name))
+        h.update(name.encode())
+        h.update((digest or "missing").encode())
+    return h.hexdigest()
+
+
+def args_hash(args):
+    return hashlib.sha256("\x00".join(args).encode()).hexdigest()
+
+
+class Cache:
+    """Per-TU entry store under `root` (created lazily)."""
+
+    def __init__(self, root, repo_root):
+        self.root = root
+        self.repo_root = repo_root
+        self.policy = policy_hash()
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, rel):
+        name = hashlib.sha1(rel.encode()).hexdigest() + ".json"
+        return os.path.join(self.root, name)
+
+    def _deps_fresh(self, deps):
+        for rel, digest in deps.items():
+            if sha256_file(os.path.join(self.repo_root, rel)) != digest:
+                return False
+        return True
+
+    def load(self, rel, arg_hash):
+        """Returns {"functions": [...], "ast_findings": [...],
+        "deps": {...}} or None on any mismatch/corruption."""
+        path = self._entry_path(rel)
+        try:
+            with open(path) as f:
+                entry = json.load(f)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            if entry["schema"] != SCHEMA or \
+                    entry["policy"] != self.policy or \
+                    entry["tu"] != rel or \
+                    entry["args"] != arg_hash or \
+                    not self._deps_fresh(entry["deps"]):
+                self.misses += 1
+                return None
+            for fn in entry["functions"]:
+                ir.validate(fn)
+            payload = {"functions": entry["functions"],
+                       "ast_findings": entry["ast_findings"],
+                       "deps": entry["deps"]}
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, rel, arg_hash, deps, functions, ast_findings):
+        os.makedirs(self.root, exist_ok=True)
+        entry = {
+            "schema": SCHEMA,
+            "policy": self.policy,
+            "tu": rel,
+            "args": arg_hash,
+            "deps": deps,
+            "functions": functions,
+            "ast_findings": ast_findings,
+        }
+        path = self._entry_path(rel)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(entry, f)
+        os.replace(tmp, path)
+
+    def clear(self):
+        if not os.path.isdir(self.root):
+            return
+        for name in os.listdir(self.root):
+            if name.endswith(".json") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                except OSError:
+                    pass
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses}

@@ -1,0 +1,93 @@
+"""Whole-program call graph: Summary assembly across TUs + fixpoint.
+
+A Program is the dedicated owner of the usr -> Summary map. Functions
+defined in headers are seen by every TU that includes them; the first
+definition wins (summaries of the same USR are identical by
+construction — same tokens, same lowering — so dedupe is safe).
+Lambdas get synthetic USRs namespaced by their enclosing function, so
+two TUs seeing the same header lambda also dedupe.
+
+`export_json` emits the artifact `ci/build_matrix.sh` archives and
+`selftest.py --validate-callgraph` checks: nodes (qual, file, line,
+facts + witness chains) and edges (caller usr, callee usr, call line),
+sorted for byte-stable output.
+"""
+
+import json
+
+import summaries
+
+
+class Program:
+    def __init__(self):
+        self.by_usr = {}   # usr -> summaries.Summary
+        self.fns = {}      # usr -> ir.py function dict (same dedupe)
+        self.fixed = False
+        # Injected by the runner: (repo-relative path, line) -> bool,
+        # true inside a lint-hot-loop region. Checks never read files.
+        self.hot = lambda rel, line: False
+
+    def add_function(self, fn):
+        """Adds one ir.py function dict; duplicate USRs dedupe."""
+        usr = fn["usr"]
+        if usr and usr in self.by_usr:
+            return
+        self.by_usr[usr] = summaries.summarize(fn)
+        self.fns[usr] = fn
+
+    def fixpoint(self):
+        summaries.compute_fixpoint(self.by_usr)
+        self.fixed = True
+
+    def get(self, usr):
+        return self.by_usr.get(usr)
+
+    def witness(self, usr, attr):
+        return summaries.witness_path(self.by_usr, usr, attr)
+
+    def stats(self):
+        edges = sum(1 for s in self.by_usr.values()
+                    for c in s.calls if c[0] in self.by_usr)
+        return {"functions": len(self.by_usr), "edges": edges}
+
+    def export_json(self, path):
+        nodes = []
+        edges = []
+        for usr in sorted(self.by_usr):
+            s = self.by_usr[usr]
+            node = {
+                "usr": usr,
+                "qual": s.qual,
+                "file": s.file,
+                "line": s.line,
+                "facts": {},
+            }
+            for attr in ("reaches_alloc", "reaches_commit",
+                         "reaches_wait"):
+                fact = getattr(s, attr)
+                if fact is not None:
+                    node["facts"][attr] = {
+                        "witness": summaries.witness_path(
+                            self.by_usr, usr, attr),
+                    }
+            if s.net_open:
+                node["facts"]["net_open"] = True
+            if s.net_close:
+                node["facts"]["net_close"] = True
+            nodes.append(node)
+            for callee_usr, name, cls, line in s.calls:
+                if callee_usr and callee_usr in self.by_usr:
+                    edges.append({"caller": usr, "callee": callee_usr,
+                                  "line": line})
+        edges.sort(key=lambda e: (e["caller"], e["callee"], e["line"]))
+        doc = {
+            "schema": "annalyze-callgraph-v1",
+            "functions": len(nodes),
+            "edges": len(edges),
+            "nodes": nodes,
+            "edge_list": edges,
+        }
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        return doc

@@ -1,0 +1,227 @@
+"""Control-flow graph construction and the path-sensitive walker the
+lifecycle checks share.
+
+Pure Python over the ir.py dicts — selftest.py drives every branch of
+this module with synthetic functions, so the dataflow core is proven on
+hosts with no LLVM at all.
+
+CFG model
+---------
+Blocks are integer-indexed lists of events. Block 0 is the entry; the
+exit is a dedicated empty block (`Cfg.exit`). A `ret` statement appends
+a synthetic {"k": "ret", "line": L} event to its block and edges it to
+the exit, so a check sees *which* return a state reached. Statements
+after an unconditional transfer land in a fresh unreachable block the
+walker simply never visits.
+
+Path walker
+-----------
+`walk_paths` runs a worklist over (block, state-key) pairs:
+
+  * a check supplies `step(state, event, emit)` returning the list of
+    successor states (usually one); `emit(finding)` fires mid-transfer;
+  * a State is (key, trail): `key` is the hashable abstract state —
+    convergence and deduplication happen on keys alone; `trail` is the
+    first-seen breadcrumb list (line/why tuples) kept OUT of the key so
+    loops terminate even though every path's history differs;
+  * states reaching the exit block come back as `exit_states`.
+
+Path-sensitivity here means: states are *never joined* — a block holds
+a set of distinct keys, so "batch open" and "batch closed" survive as
+separate facts through a diamond instead of smearing into "maybe".
+`max_states_per_block` bounds the powerset (beyond it the walker keeps
+the states it has — a documented under-approximation that has never
+triggered on this codebase's CFGs; the cap is surfaced in the result so
+a check can report it).
+"""
+
+import ir
+
+
+class Cfg:
+    __slots__ = ("blocks", "succ", "exit")
+
+    def __init__(self):
+        self.blocks = [[]]   # block id -> [event, ...]
+        self.succ = [[]]     # block id -> [block id, ...]
+        self.exit = None
+
+    def new_block(self):
+        self.blocks.append([])
+        self.succ.append([])
+        return len(self.blocks) - 1
+
+    def edge(self, a, b):
+        if b not in self.succ[a]:
+            self.succ[a].append(b)
+
+
+def build(fn):
+    """Builds the Cfg for one ir.py function dict."""
+    cfg = Cfg()
+    cfg.exit = cfg.new_block()
+    # (break_target, continue_target) stacks; switch pushes a break
+    # target only.
+    break_stack = []
+    cont_stack = []
+
+    def lower(node, cur):
+        """Lowers `node` starting in block `cur`; returns the block that
+        control falls out of, or None if the statement never falls
+        through (return/break/continue on every path)."""
+        if node is None:
+            return cur
+        if ir.is_event(node):
+            cfg.blocks[cur].append(node)
+            return cur
+        kind = node["s"]
+        if kind == "seq":
+            items = node["items"]
+            for i, item in enumerate(items):
+                cur = lower(item, cur)
+                if cur is None:
+                    # Unreachable continuation: keep lowering the rest
+                    # into fresh predecessor-less blocks (so nested
+                    # structure stays well-formed) but report no
+                    # fallthrough.
+                    dead = cfg.new_block()
+                    for rest in items[i + 1:]:
+                        dead = lower(rest, dead)
+                        if dead is None:
+                            dead = cfg.new_block()
+                    return None
+            return cur
+        if kind == "if":
+            then_b = cfg.new_block()
+            cfg.edge(cur, then_b)
+            then_out = lower(node["then"], then_b)
+            if node["else"] is not None:
+                else_b = cfg.new_block()
+                cfg.edge(cur, else_b)
+                else_out = lower(node["else"], else_b)
+            else:
+                else_out = cur
+            if then_out is None and else_out is None:
+                return None
+            join = cfg.new_block()
+            if then_out is not None:
+                cfg.edge(then_out, join)
+            if else_out is not None:
+                cfg.edge(else_out, join)
+            return join
+        if kind == "loop":
+            header = cfg.new_block()
+            cfg.blocks[header].extend(node["header"])
+            cfg.edge(cur, header)
+            after = cfg.new_block()
+            cfg.edge(header, after)      # zero-iteration path
+            body_b = cfg.new_block()
+            cfg.edge(header, body_b)
+            break_stack.append(after)
+            cont_stack.append(header)
+            body_out = lower(node["body"], body_b)
+            cont_stack.pop()
+            break_stack.pop()
+            if body_out is not None:
+                cfg.edge(body_out, header)  # back edge
+            return after
+        if kind == "switch":
+            after = cfg.new_block()
+            break_stack.append(after)
+            for case in node["cases"]:
+                case_b = cfg.new_block()
+                cfg.edge(cur, case_b)
+                case_out = lower(case, case_b)
+                if case_out is not None:
+                    cfg.edge(case_out, after)
+            break_stack.pop()
+            if not node["default"] or not node["cases"]:
+                cfg.edge(cur, after)     # no-match path
+            return after
+        if kind == "ret":
+            cfg.blocks[cur].append({"k": "ret", "line": node["line"]})
+            cfg.edge(cur, cfg.exit)
+            return None
+        if kind == "break":
+            if break_stack:
+                cfg.edge(cur, break_stack[-1])
+            else:
+                cfg.edge(cur, cfg.exit)  # malformed input; stay sound
+            return None
+        if kind == "cont":
+            if cont_stack:
+                cfg.edge(cur, cont_stack[-1])
+            else:
+                cfg.edge(cur, cfg.exit)
+            return None
+        raise ValueError("unknown stmt kind %r" % kind)
+
+    out = lower(fn["body"], 0)
+    if out is not None:
+        # Implicit return at the closing brace.
+        cfg.blocks[out].append({"k": "ret", "line": fn["line"]})
+        cfg.edge(out, cfg.exit)
+    return cfg
+
+
+class State:
+    """One abstract path state: hashable `key` + first-seen `trail`."""
+
+    __slots__ = ("key", "trail")
+
+    def __init__(self, key, trail=()):
+        self.key = key
+        self.trail = tuple(trail)
+
+    def with_key(self, key, note=None):
+        trail = self.trail + (note,) if note is not None else self.trail
+        return State(key, trail)
+
+
+class WalkResult:
+    __slots__ = ("exit_states", "findings", "capped")
+
+    def __init__(self):
+        self.exit_states = []
+        self.findings = []
+        self.capped = False
+
+
+def walk_paths(cfg, init_key, step, max_states_per_block=256):
+    """Path-sensitive worklist over `cfg`.
+
+    `step(state, event, emit)` -> list of successor State objects (use
+    state.with_key). `emit(x)` records a finding-ish payload into the
+    result. Returns a WalkResult with the distinct states that reached
+    the exit block.
+    """
+    result = WalkResult()
+    emit = result.findings.append
+
+    seen = [dict() for _ in cfg.blocks]  # block -> {key: State}
+    work = [(0, State(init_key))]
+    seen[0][init_key] = work[0][1]
+
+    while work:
+        block, state = work.pop()
+        states = [state]
+        for event in cfg.blocks[block]:
+            nxt = []
+            for s in states:
+                nxt.extend(step(s, event, emit))
+            states = nxt
+            if not states:
+                break
+        for succ in cfg.succ[block]:
+            bucket = seen[succ]
+            for s in states:
+                if s.key in bucket:
+                    continue
+                if len(bucket) >= max_states_per_block:
+                    result.capped = True
+                    continue
+                bucket[s.key] = s
+                work.append((succ, s))
+
+    result.exit_states = list(seen[cfg.exit].values())
+    return result

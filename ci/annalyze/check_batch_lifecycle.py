@@ -1,0 +1,119 @@
+"""batch-lifecycle: every BufferPool::BeginWriteBatch reaches exactly
+one Commit or Abort on EVERY control-flow path.
+
+Path-sensitive walk over each function's CFG with a three-state machine
+per path: virgin -> open (Begin) -> closed (Commit/Abort). Two findings
+fall out:
+
+  * a path that reaches a return while open — the leaked batch that
+    makes the single-writer pool reject every later writer — UNLESS
+    every path exits open, which is a deliberate opener helper: its
+    callers account for it through the summary's net_open bit, exactly
+    like a raw Begin;
+  * a Commit on an already-closed path (double-commit).
+
+Calls to functions whose summaries net-open or net-close a batch count
+as Begin/close at the call site, so a `CommitOrRollback(st)` helper
+participates. A Begin while already open is deliberately NOT flagged:
+with loops in the CFG the second traversal of a header would fabricate
+it, and the runtime pool rejects nested Begin with kAlreadyExists
+anyway. A Commit/Abort on a virgin path is a net-closer helper, not a
+finding.
+
+Functions of the lifecycle-implementing classes themselves
+(project.LIFECYCLE_IMPL_CLASSES) are exempt — their bodies ARE the
+primitives.
+"""
+
+import cfg as cfg_mod
+import findings as F
+import project
+
+RULE = "batch-lifecycle"
+
+_VIRGIN, _OPEN, _CLOSED = "virgin", "open", "closed"
+
+
+def _classify(event, prog):
+    """('begin'|'commit'|'abort'|None) for a call event, summaries
+    included."""
+    if event["k"] != "call":
+        return None
+    name, cls = event["name"], event.get("cls")
+    if cls == project.BATCH_CLASS:
+        if name == project.BATCH_BEGIN:
+            return "begin"
+        if name in project.BATCH_CLOSERS:
+            return "commit" if name == project.BATCH_COMMIT else "abort"
+    callee = prog.by_usr.get(event.get("usr", ""))
+    if callee is not None:
+        if callee.net_open:
+            return "begin"
+        if callee.net_close:
+            return "commit"
+    return None
+
+
+def _check_fn(fn, prog):
+    graph = cfg_mod.build(fn)
+    leaks = []      # (begin_line, ret_line)
+    doubles = []    # (first_commit_line, second_commit_line)
+
+    def step(state, event, emit):
+        status, begin_line, close_line = state.key
+        if event["k"] == "ret":
+            if status == _OPEN:
+                emit(("leak", begin_line, event["line"]))
+            return [state]
+        eff = _classify(event, prog)
+        if eff is None:
+            return [state]
+        if eff == "begin":
+            if status == _OPEN:
+                return [state]  # nested begin: runtime's problem
+            return [state.with_key((_OPEN, event["line"], None))]
+        # commit / abort
+        if status == _OPEN:
+            return [state.with_key((_CLOSED, begin_line,
+                                    event["line"]))]
+        if status == _CLOSED and eff == "commit":
+            emit(("double", close_line, event["line"]))
+            return [state]
+        return [state]  # virgin closer: net-close helper
+
+    res = cfg_mod.walk_paths(graph, (_VIRGIN, None, None), step)
+    for kind, a, b in res.findings:
+        (leaks if kind == "leak" else doubles).append((a, b))
+
+    out = []
+    exit_keys = [s.key[0] for s in res.exit_states]
+    opener = exit_keys and all(k == _OPEN for k in exit_keys)
+    if not opener:
+        for begin_line, ret_line in sorted(set(leaks)):
+            out.append(F.Finding(
+                RULE, fn["file"], ret_line, 1,
+                "BeginWriteBatch at line %d is still open at the "
+                "return on line %d — every path must reach "
+                "CommitWriteBatch or AbortWriteBatch (in %s)"
+                % (begin_line, ret_line, fn["qual"])))
+    for first, second in sorted(set(doubles)):
+        out.append(F.Finding(
+            RULE, fn["file"], second, 1,
+            "double-commit: the batch was already closed at line %d "
+            "when CommitWriteBatch runs again on line %d (in %s)"
+            % (first, second, fn["qual"])))
+    return out
+
+
+def collect(prog):
+    for usr, fn in prog.fns.items():
+        if fn.get("cls") in project.LIFECYCLE_IMPL_CLASSES:
+            continue
+        s = prog.by_usr[usr]
+        if not (s.begins or s.commits or s.aborts or
+                any(_classify({"k": "call", "name": n, "cls": c,
+                               "usr": u, "line": ln}, prog)
+                    for u, n, c, ln in s.calls)):
+            continue
+        for f in _check_fn(fn, prog):
+            yield f

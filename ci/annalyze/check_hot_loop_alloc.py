@@ -1,76 +1,70 @@
-"""hot-loop-alloc: nothing inside a lint-hot-loop region may reach the
-allocator, checked on resolved callees instead of token spellings.
+"""hot-loop-alloc: nothing inside a lint-hot-loop region may reach
+operator new through ANY call chain.
 
-The regions are the same `// lint-hot-loop-begin/end` markers the
-textual lint still balance-checks (and still requires in
-engine_context.cc / kernels.cc, so the rule cannot be hollowed out by
-deleting markers). What changed versus the retired regex scan: instead
-of banning a token list, the AST check flags
+Upgraded in PR 9 from one-callee-deep AST matching to transitive
+reachability over the whole-program summary graph (phase 2). The
+regions are still the `// lint-hot-loop-begin/end` markers the textual
+lint balance-checks and requires in engine_context.cc / kernels.cc.
+Flagged inside a region:
 
-  * any new-expression in a region,
-  * any call whose resolved callee is a known allocating entry point
-    (operator new, malloc, container growth methods, make_unique/shared)
-    regardless of how the call is spelled, and
-  * any call whose callee's *definition is visible in the TU* and whose
-    body (one level deep — the contract in ISSUE/DESIGN) contains a
-    new-expression or a call to a known allocating entry point.
+  * any new-expression,
+  * any call to a known allocating entry point by name
+    (project.ALLOCATING_NAMES) on a non-sanctioned class — the
+    contract set, checked even when the callee body is invisible,
+  * any call whose summary reaches_alloc through the fixpoint — the
+    finding prints the per-edge witness path, so a three-helper-deep
+    push_back is as actionable as a literal `new`.
 
-Arena bumps (Arena::Allocate and the ArenaVector fast path) are the
-sanctioned mechanism inside hot loops and are not in the banned set; the
-steady-state contract that the arena itself stops chunk-allocating is
-enforced at runtime by arena_test's counting-operator-new pass.
+The arena layer (project.HOT_LOOP_SANCTIONED_CLASSES) is the sanctioned
+carve-out: traversal stops at call edges INTO those classes (the
+fixpoint never propagates reaches_alloc through them, and this check
+re-applies the test on the direct edge). Steady-state allocation
+freedom of the arena itself is a runtime property arena_test enforces
+with a counting operator new.
 """
 
+import findings as F
+import ir
 import project
 
 RULE = "hot-loop-alloc"
 
+_TAIL = ("expressions inside a lint-hot-loop region must not "
+         "reach operator new")
 
-def _alloc_reason(ctx, decl):
-    """Why a resolved callee reaches the allocator, or None."""
-    name = decl.spelling
+
+def _event_reason(event, prog):
+    """Why this event allocates, or None."""
+    if event["k"] == "new":
+        return "new-expression in the region"
+    if event["k"] != "call":
+        return None
+    name, cls = event["name"], event.get("cls")
+    if cls in project.HOT_LOOP_SANCTIONED_CLASSES:
+        return None
     if name in project.ALLOCATING_NAMES:
         return "callee '%s' is an allocating entry point" % name
-    defn = decl.get_definition()
-    if defn is None or not defn.is_definition():
-        return None
-    for c in ctx.walk(defn):
-        if c.kind == ctx.ck.CXX_NEW_EXPR:
-            return "callee '%s' contains a new-expression" % name
-        if c.kind == ctx.ck.CALL_EXPR:
-            inner = ctx.callee(c)
-            if inner is not None and \
-                    inner.spelling in project.ALLOCATING_NAMES:
-                return "callee '%s' calls allocating '%s'" % (
-                    name, inner.spelling)
+    usr = event.get("usr", "")
+    callee = prog.by_usr.get(usr)
+    if callee is not None and callee.reaches_alloc is not None:
+        return ("call to '%s' reaches the allocator: %s"
+                % (callee.qual, prog.witness(usr, "reaches_alloc")))
     return None
 
 
-def collect(tu, ctx):
-    for cursor in ctx.walk(tu.cursor):
-        rel = ctx.rel(cursor)
-        if rel is None:
-            continue
-        if cursor.kind not in (ctx.ck.CXX_NEW_EXPR, ctx.ck.CALL_EXPR):
-            continue
-        sf = ctx.source(cursor)
-        if not sf.in_hot_region(cursor.location.line):
-            continue
-
-        if cursor.kind == ctx.ck.CXX_NEW_EXPR:
-            yield ctx.finding(
-                RULE, cursor,
-                "new-expression inside a lint-hot-loop region; hot-path "
-                "scratch lives in the EngineContext arena and is sized "
-                "outside the loop")
-            continue
-
-        decl = ctx.callee(cursor)
-        if decl is None:
-            continue
-        reason = _alloc_reason(ctx, decl)
-        if reason is not None:
-            yield ctx.finding(
-                RULE, cursor,
-                "%s — expressions inside a lint-hot-loop region must not "
-                "reach operator new" % reason)
+def collect(prog):
+    for usr, fn in prog.fns.items():
+        results = []
+        for event in ir.walk_events(fn["body"]):
+            if event["k"] not in ("call", "new"):
+                continue
+            if not prog.hot(fn["file"], event["line"]):
+                continue
+            reason = _event_reason(event, prog)
+            if reason is not None:
+                results.append(F.Finding(
+                    RULE, fn["file"], event["line"],
+                    event.get("col", 1),
+                    "%s — %s" % (reason, _TAIL)))
+        for f in sorted(results, key=lambda f: f.key()):
+            yield f

@@ -1,0 +1,87 @@
+"""pin-across-wait: no PinnedPage may be held across a scheduling
+barrier — CondVar::Wait, ThreadPool::Submit/Wait — directly or through
+any transitive callee.
+
+A pinned frame is unevictable; holding one while blocking on another
+task's progress turns memory pressure into deadlock risk (the eviction
+scan cannot make room for the page the other task needs). Same CFG
+live-range walk as snapshot-lifetime, with two traversal carve-outs:
+
+  * calls into project.WAIT_TRAVERSAL_OPAQUE_CLASSES never count, even
+    when their summaries reach a wait — their waits are bounded
+    implementation latching, not task barriers (the fixpoint already
+    refuses to propagate reaches_wait THROUGH those edges; this check
+    re-applies the same test for the direct edge);
+  * functions of the lifecycle-implementing classes are exempt.
+"""
+
+import cfg as cfg_mod
+import findings as F
+import project
+
+RULE = "pin-across-wait"
+TCLASS = "pin"
+
+
+def _wait_reason(event, prog):
+    """None, or ('direct', 'Cls::Name') / ('via', callee_usr)."""
+    if event["k"] != "call":
+        return None
+    name, cls = event["name"], event.get("cls")
+    if (cls, name) in project.WAIT_CALLS:
+        return ("direct", "%s::%s" % (cls, name))
+    if cls in project.WAIT_TRAVERSAL_OPAQUE_CLASSES:
+        return None
+    callee = prog.by_usr.get(event.get("usr", ""))
+    if callee is not None and callee.reaches_wait is not None:
+        return ("via", event["usr"])
+    return None
+
+
+def collect(prog):
+    from check_snapshot_lifetime import _vars_of
+    for usr, fn in prog.fns.items():
+        if fn.get("cls") in project.LIFECYCLE_IMPL_CLASSES:
+            continue
+        tracked = _vars_of(fn, TCLASS)
+        if not tracked:
+            continue
+        graph = cfg_mod.build(fn)
+        emitted = set()
+        results = []
+
+        def step(state, event, emit, tracked=tracked, prog=prog):
+            live = state.key
+            k = event["k"]
+            if k == "born" and event["var"] in tracked:
+                return [state.with_key(live | {event["var"]})]
+            if k == "dies" and event["var"] in live:
+                return [state.with_key(live - {event["var"]})]
+            if k == "call" and live:
+                reason = _wait_reason(event, prog)
+                if reason is not None:
+                    for var in live:
+                        emit((var, event["line"], reason))
+            return [state]
+
+        res = cfg_mod.walk_paths(graph, frozenset(), step)
+        for var, line, reason in res.findings:
+            key = (var, line)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            name, born_line = tracked[var]
+            if reason[0] == "direct":
+                how = "%s on line %d" % (reason[1], line)
+            else:
+                how = ("the call on line %d, which reaches a wait: %s"
+                       % (line, prog.witness(reason[1],
+                                             "reaches_wait")))
+            results.append(F.Finding(
+                RULE, fn["file"], line, 1,
+                "PinnedPage '%s' (born line %d) is held across %s — "
+                "a pin across a scheduling barrier blocks eviction for "
+                "an unbounded wait (in %s)"
+                % (name, born_line, how, fn["qual"])))
+        for f in sorted(results, key=lambda f: f.key()):
+            yield f

@@ -1,0 +1,98 @@
+"""snapshot-lifetime: no PageSnapshot/IndexSnapshot may be alive across
+a CommitWriteBatch — in the same function or any transitive callee.
+
+The commit bumps the pool's version epoch; an epoch-pinned snapshot
+alive at that moment pins every page version retired by the commit, so
+GC stalls exactly when write load is highest (DESIGN.md §12). The
+lowering emits born/dies events for locals of the snapshot types; this
+check walks the CFG with the live-variable set as the path state and
+fires when a path crosses
+
+  * a direct BufferPool::CommitWriteBatch, or
+  * a call whose summary reaches_commit — the witness chain from the
+    fixpoint is printed so a two-callee-deep commit is as actionable
+    as a direct one.
+
+Functions of the lifecycle-implementing classes are exempt (their
+internals manipulate versions under their own latches).
+"""
+
+import cfg as cfg_mod
+import findings as F
+import project
+
+RULE = "snapshot-lifetime"
+TCLASS = "snapshot"
+
+
+def _commit_reason(event, prog):
+    """None, or ('direct', None) / ('via', callee_usr)."""
+    if event["k"] != "call":
+        return None
+    if event.get("cls") == project.BATCH_CLASS and \
+            event["name"] == project.BATCH_COMMIT:
+        return ("direct", None)
+    usr = event.get("usr", "")
+    callee = prog.by_usr.get(usr)
+    if callee is not None and \
+            callee.cls not in project.LIFECYCLE_IMPL_CLASSES and \
+            callee.reaches_commit is not None:
+        return ("via", usr)
+    return None
+
+
+def _vars_of(fn, tclass):
+    """var id -> (name, born line) for the tracked class."""
+    import ir
+    out = {}
+    for e in ir.walk_events(fn["body"]):
+        if e["k"] == "born" and e["tclass"] == tclass:
+            out[e["var"]] = (e["name"], e["line"])
+    return out
+
+def collect(prog):
+    for usr, fn in prog.fns.items():
+        if fn.get("cls") in project.LIFECYCLE_IMPL_CLASSES:
+            continue
+        tracked = _vars_of(fn, TCLASS)
+        if not tracked:
+            continue
+        graph = cfg_mod.build(fn)
+        emitted = set()
+        results = []
+
+        def step(state, event, emit, tracked=tracked, prog=prog):
+            live = state.key
+            k = event["k"]
+            if k == "born" and event["var"] in tracked:
+                return [state.with_key(live | {event["var"]})]
+            if k == "dies" and event["var"] in live:
+                return [state.with_key(live - {event["var"]})]
+            if k == "call" and live:
+                reason = _commit_reason(event, prog)
+                if reason is not None:
+                    for var in live:
+                        emit((var, event["line"], reason))
+            return [state]
+
+        res = cfg_mod.walk_paths(graph, frozenset(), step)
+        for var, line, reason in res.findings:
+            key = (var, line)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            name, born_line = tracked[var]
+            if reason[0] == "direct":
+                how = "CommitWriteBatch on line %d" % line
+            else:
+                how = ("the call on line %d, which reaches "
+                       "CommitWriteBatch: %s"
+                       % (line, prog.witness(reason[1],
+                                             "reaches_commit")))
+            results.append(F.Finding(
+                RULE, fn["file"], line, 1,
+                "snapshot '%s' (born line %d) is alive across %s — "
+                "an epoch-pinned snapshot across a commit stalls GC "
+                "(in %s)" % (name, born_line, how, fn["qual"])))
+        for f in sorted(results, key=lambda f: f.key()):
+            yield f

@@ -169,6 +169,44 @@ def apply_suppressions(findings, cache, path_to_abs):
     return kept, suppressed, bad
 
 
+def detect_stale(fired, cache, files, known_rules):
+    """Stale-suppression findings: an `// annalyze-ok` marker whose rule
+    did not fire where the marker can reach.
+
+    A marker on line M suppresses findings at M and M+1 (the inverse of
+    suppression_for), so it is stale iff `fired` — every finding BEFORE
+    suppression filtering — has no finding with that rule at either
+    line. A marker naming a rule the analyzer does not know is stale by
+    definition. `files` is [(repo-relative path, on-disk path)] for
+    every analyzed file; markers in files the run did not analyze are
+    not judged. Stale findings are unsuppressible (like
+    bad-suppression): the fix is deleting the marker, not excusing it.
+    """
+    live = set()
+    for f in fired:
+        live.add((f.path, f.line, f.rule))
+    out = []
+    for rel, abs_path in files:
+        sf = cache.get(abs_path)
+        for lineno in sorted(sf.suppressions):
+            rule, _why = sf.suppressions[lineno]
+            if rule not in known_rules:
+                out.append(Finding(
+                    "stale-suppression", rel, lineno, 1,
+                    "annalyze-ok names unknown rule '%s' — it can "
+                    "never suppress anything; delete it" % rule))
+                continue
+            if (rel, lineno, rule) in live or \
+                    (rel, lineno + 1, rule) in live:
+                continue
+            out.append(Finding(
+                "stale-suppression", rel, lineno, 1,
+                "annalyze-ok for [%s] no longer suppresses anything "
+                "here — the rule does not fire on this line; delete "
+                "the marker" % rule))
+    return out
+
+
 def dedupe(findings):
     seen = set()
     out = []

@@ -1,0 +1,185 @@
+"""Function-level intermediate representation for the interprocedural
+annalyze passes.
+
+The libclang lowering (lower.py) turns each function body into a small
+statement tree of plain dicts — no cindex objects survive, so the IR is
+
+  * picklable (workers in the parse pool return it to the parent),
+  * JSON-serializable as-is (the summary cache stores it verbatim), and
+  * constructible by hand (selftest.py builds synthetic functions and
+    exercises the CFG/dataflow/fixpoint layers with zero LLVM).
+
+Shape
+-----
+A *statement* dict carries an "s" key; an *event* dict carries a "k"
+key. Sequences mix both.
+
+  {"s": "seq",    "items": [stmt-or-event, ...]}
+  {"s": "if",     "line": L, "then": seq, "else": seq-or-None}
+  {"s": "loop",   "line": L, "header": [event, ...], "body": seq}
+      one shape for for/while/do/range-for: entry -> header -> body ->
+      header (back edge) -> after. A do-while(false) — every
+      ANN_RETURN_NOT_OK expansion — is lowered as a plain seq instead,
+      so macro plumbing does not fabricate back edges.
+  {"s": "switch", "line": L, "cases": [seq, ...], "default": bool}
+      each case branches independently from the header (fallthrough is
+      not modeled; documented approximation).
+  {"s": "ret",    "line": L}
+  {"s": "break"}
+  {"s": "cont"}
+
+  {"k": "call", "line": L, "col": C, "usr": U, "name": N, "cls": K}
+      K is the callee's class name or None for free functions; U may be
+      "" when the callee does not resolve (dependent/template code).
+  {"k": "new",  "line": L, "col": C, "type": T}
+  {"k": "born", "line": L, "col": C, "var": id, "name": N, "tclass": G}
+      a tracked local came alive; G names the policy group the type
+      matched ("snapshot" / "pin"). `var` is unique within the function.
+  {"k": "dies", "var": id}
+      scope exit for a tracked local. Paths that return early simply
+      never reach the event — a live range ends at return naturally.
+
+A *function* dict:
+
+  {"usr": U, "name": N, "qual": "Class::Name", "cls": K-or-None,
+   "file": repo-relative-path, "line": L, "body": seq,
+   "is_lambda": bool}
+
+Constructors below are conveniences; checks and the CFG builder consume
+the raw dicts.
+"""
+
+
+def seq(items=None):
+    return {"s": "seq", "items": list(items or [])}
+
+
+def if_(line, then, els=None):
+    return {"s": "if", "line": line, "then": then, "else": els}
+
+
+def loop(line, header=None, body=None):
+    return {"s": "loop", "line": line, "header": list(header or []),
+            "body": body or seq()}
+
+
+def switch(line, cases, default=False):
+    return {"s": "switch", "line": line, "cases": list(cases),
+            "default": bool(default)}
+
+
+def ret(line):
+    return {"s": "ret", "line": line}
+
+
+def brk():
+    return {"s": "break"}
+
+
+def cont():
+    return {"s": "cont"}
+
+
+def call(line, name, cls=None, usr="", col=1):
+    return {"k": "call", "line": line, "col": col,
+            "usr": usr or "", "name": name, "cls": cls}
+
+
+def new(line, type_spelling, col=1):
+    return {"k": "new", "line": line, "col": col, "type": type_spelling}
+
+
+def born(line, var, name, tclass, col=1):
+    return {"k": "born", "line": line, "col": col, "var": var,
+            "name": name, "tclass": tclass}
+
+
+def dies(var):
+    return {"k": "dies", "var": var}
+
+
+def func(usr, name, file, line, body, cls=None, is_lambda=False):
+    qual = "%s::%s" % (cls, name) if cls else name
+    return {"usr": usr, "name": name, "qual": qual, "cls": cls,
+            "file": file, "line": line, "body": body,
+            "is_lambda": is_lambda}
+
+
+def is_stmt(node):
+    return isinstance(node, dict) and "s" in node
+
+
+def is_event(node):
+    return isinstance(node, dict) and "k" in node
+
+
+def walk_events(node):
+    """Every event in a statement subtree, in source order (loop headers
+    before bodies)."""
+    if node is None:
+        return
+    if is_event(node):
+        yield node
+        return
+    kind = node.get("s")
+    if kind == "seq":
+        for item in node["items"]:
+            for e in walk_events(item):
+                yield e
+    elif kind == "if":
+        for e in walk_events(node["then"]):
+            yield e
+        for e in walk_events(node["else"]):
+            yield e
+    elif kind == "loop":
+        for e in node["header"]:
+            yield e
+        for e in walk_events(node["body"]):
+            yield e
+    elif kind == "switch":
+        for case in node["cases"]:
+            for e in walk_events(case):
+                yield e
+    # ret / break / cont carry no events
+
+
+_STMT_KINDS = ("seq", "if", "loop", "switch", "ret", "break", "cont")
+_EVENT_KINDS = ("call", "new", "born", "dies")
+
+
+def validate(fn):
+    """Raises ValueError on a malformed function dict. The cache calls
+    this on load so a truncated or hand-edited entry is rejected (and
+    re-parsed) instead of silently dropping events."""
+    for key in ("usr", "name", "qual", "file", "line", "body"):
+        if key not in fn:
+            raise ValueError("function missing %r" % key)
+
+    def check(node, where):
+        if node is None:
+            return
+        if not isinstance(node, dict):
+            raise ValueError("%s: not a dict: %r" % (where, node))
+        if "k" in node:
+            if node["k"] not in _EVENT_KINDS:
+                raise ValueError("%s: bad event kind %r" % (where, node["k"]))
+            return
+        kind = node.get("s")
+        if kind not in _STMT_KINDS:
+            raise ValueError("%s: bad stmt kind %r" % (where, kind))
+        if kind == "seq":
+            for item in node["items"]:
+                check(item, where + "/seq")
+        elif kind == "if":
+            check(node["then"], where + "/then")
+            check(node["else"], where + "/else")
+        elif kind == "loop":
+            for e in node["header"]:
+                check(e, where + "/header")
+            check(node["body"], where + "/body")
+        elif kind == "switch":
+            for case in node["cases"]:
+                check(case, where + "/case")
+
+    check(fn["body"], fn.get("qual", "?"))
+    return fn

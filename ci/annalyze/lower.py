@@ -1,0 +1,391 @@
+"""libclang cursor -> ir.py lowering for the interprocedural passes.
+
+This is the ONLY interprocedural module that touches cindex objects; it
+runs inside the parse worker and returns plain dicts, so everything
+downstream (cfg, summaries, callgraph, the phase-2 checks) is pure
+Python and selftest-proven on hosts with no LLVM.
+
+Lowering decisions (all are approximations in the safe direction and
+are documented in DESIGN.md §13):
+
+  * if: else-branch detection is by an `else` token inside the
+    statement's extent that lies OUTSIDE every child extent — child
+    counting is ambiguous once init-statements and condition
+    declarations enter the picture.
+  * do { ... } while (false|0) — every ANN_RETURN_NOT_OK expansion —
+    lowers to a plain sequence: macro plumbing must not fabricate back
+    edges (a back edge would make one Begin look like two).
+  * for/while/range-for: the body is the last child, everything else
+    becomes loop-header events (an init-statement's events execute once
+    but are modeled per-iteration; reachability facts are unaffected).
+  * switch: cases branch independently from the header; fallthrough is
+    not modeled.
+  * try/catch and any unrecognized statement kind flatten to their
+    events in source order — conservative: every event is still seen.
+  * lambdas are lowered as separate functions (synthetic USR namespaced
+    by the enclosing function) plus a `call` event at the definition
+    site, so facts flow through Submit-style indirection without
+    modeling the pool.
+  * locals of the tracked lifecycle types get born/dies events at
+    declaration and enclosing-compound exit; early returns simply never
+    reach the dies — a live range ends at return naturally. Pointers
+    and references to tracked types are non-owning and not tracked.
+"""
+
+import os
+
+import ir
+import project
+
+_TRACKED = (
+    ("snapshot", project.SNAPSHOT_LIFETIME_TYPES),
+    ("pin", project.PIN_ACROSS_WAIT_TYPES),
+)
+
+
+class _Lowerer:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.ck = ctx.ck
+        self.functions = []
+        self._var_ids = 0
+        self._cur_usr = ""
+
+    # -- helpers ------------------------------------------------------------
+
+    def _loc(self, cursor):
+        return cursor.location.line, cursor.location.column
+
+    def _tclass_of(self, type_obj):
+        spelling = self.ctx.canonical(type_obj)
+        if "*" in spelling or "&" in spelling:
+            return None
+        for tclass, names in _TRACKED:
+            if self.ctx.type_mentions(type_obj, names):
+                return tclass
+        return None
+
+    def _call_event(self, cursor):
+        decl = self.ctx.callee(cursor)
+        line, col = self._loc(cursor)
+        if decl is None:
+            return ir.call(line, cursor.spelling or "<unresolved>",
+                           None, "", col)
+        usr = ""
+        try:
+            usr = decl.get_usr() or ""
+        except Exception:
+            pass
+        return ir.call(line, decl.spelling,
+                       self.ctx.callee_class(decl), usr, col)
+
+    def _events_of(self, cursor, out):
+        """Flattens an expression subtree into events (source order),
+        without descending into lambda bodies (those become their own
+        functions plus a call event)."""
+        if cursor is None:
+            return
+        if cursor.kind == self.ck.LAMBDA_EXPR:
+            out.append(self._lower_lambda(cursor))
+            return
+        if cursor.kind == self.ck.CALL_EXPR:
+            # Arguments evaluate before the call.
+            for child in cursor.get_children():
+                self._events_of(child, out)
+            out.append(self._call_event(cursor))
+            return
+        if cursor.kind == self.ck.CXX_NEW_EXPR:
+            line, col = self._loc(cursor)
+            for child in cursor.get_children():
+                self._events_of(child, out)
+            out.append(ir.new(line, self.ctx.canonical(cursor.type), col))
+            return
+        for child in cursor.get_children():
+            self._events_of(child, out)
+
+    def _lower_lambda(self, cursor):
+        """Lowers a lambda as its own function; returns the call event
+        for the definition site."""
+        line, col = self._loc(cursor)
+        usr = "lambda:%s:%d:%d" % (self._cur_usr, line, col)
+        body = None
+        for child in cursor.get_children():
+            if child.kind == self.ck.COMPOUND_STMT:
+                body = child
+        saved, self._cur_usr = self._cur_usr, usr
+        lowered = self._stmt(body) if body is not None else ir.seq()
+        self._cur_usr = saved
+        rel = self.ctx.rel(cursor) or "<out-of-repo>"
+        self.functions.append(ir.func(
+            usr, "<lambda>", rel, line,
+            lowered if ir.is_stmt(lowered) else ir.seq([lowered]),
+            cls=None, is_lambda=True))
+        return ir.call(line, "<lambda>", None, usr, col)
+
+    def _has_else_token(self, cursor, children):
+        extents = []
+        for c in children:
+            try:
+                extents.append((c.extent.start.offset, c.extent.end.offset))
+            except Exception:
+                pass
+        try:
+            tokens = cursor.get_tokens()
+        except Exception:
+            return False
+        for tok in tokens:
+            if tok.spelling != "else":
+                continue
+            off = tok.extent.start.offset
+            if not any(a <= off <= b for a, b in extents):
+                return True
+        return False
+
+    def _cond_is_constant_false(self, cond):
+        try:
+            toks = [t.spelling for t in cond.get_tokens()]
+        except Exception:
+            return False
+        return toks in (["false"], ["0"], ["(", "false", ")"],
+                        ["(", "0", ")"])
+
+    # -- statements ---------------------------------------------------------
+
+    def _stmt(self, cursor):
+        """Lowers one statement cursor to an ir statement or event list
+        wrapped in a seq."""
+        ck = self.ck
+        kind = cursor.kind
+        line, _ = self._loc(cursor)
+
+        if kind == ck.COMPOUND_STMT:
+            items = []
+            born_vars = []
+            for child in cursor.get_children():
+                lowered = self._stmt(child)
+                items.append(lowered)
+                if ir.is_stmt(lowered) and lowered["s"] == "seq":
+                    for ev in lowered["items"]:
+                        if ir.is_event(ev) and ev["k"] == "born":
+                            born_vars.append(ev["var"])
+            for var in reversed(born_vars):
+                items.append(ir.dies(var))
+            return ir.seq(items)
+
+        if kind == ck.DECL_STMT:
+            events = []
+            for child in cursor.get_children():
+                if child.kind != ck.VAR_DECL:
+                    self._events_of(child, events)
+                    continue
+                for init in child.get_children():
+                    self._events_of(init, events)
+                tclass = self._tclass_of(child.type)
+                if tclass is not None:
+                    self._var_ids += 1
+                    vline, vcol = self._loc(child)
+                    events.append(ir.born(vline, self._var_ids,
+                                          child.spelling, tclass, vcol))
+            return ir.seq(events)
+
+        if kind == ck.IF_STMT:
+            children = list(cursor.get_children())
+            if not children:
+                return ir.seq()
+            has_else = len(children) >= 3 or (
+                len(children) >= 2 and
+                self._has_else_token(cursor, children))
+            if has_else and len(children) >= 3:
+                cond_children = children[:-2]
+                then_c, else_c = children[-2], children[-1]
+            elif has_else:
+                cond_children, then_c, else_c = [], children[-2], \
+                    children[-1]
+            else:
+                cond_children, then_c, else_c = children[:-1], \
+                    children[-1], None
+            events = []
+            for c in cond_children:
+                self._events_of(c, events)
+            then_s = self._stmt(then_c)
+            else_s = self._stmt(else_c) if else_c is not None else None
+            return ir.seq(events + [ir.if_(line, then_s, else_s)])
+
+        if kind in (ck.WHILE_STMT, ck.FOR_STMT, ck.CXX_FOR_RANGE_STMT):
+            children = list(cursor.get_children())
+            if not children:
+                return ir.seq()
+            body_c = children[-1]
+            header = []
+            for c in children[:-1]:
+                self._events_of(c, header)
+            return ir.loop(line, header, self._stmt(body_c))
+
+        if kind == ck.DO_STMT:
+            children = list(cursor.get_children())
+            if not children:
+                return ir.seq()
+            body_c = children[0]
+            cond_c = children[-1] if len(children) > 1 else None
+            if cond_c is not None and \
+                    self._cond_is_constant_false(cond_c):
+                return self._stmt(body_c)
+            header = []
+            if cond_c is not None:
+                self._events_of(cond_c, header)
+            return ir.loop(line, header, self._stmt(body_c))
+
+        if kind == ck.SWITCH_STMT:
+            children = list(cursor.get_children())
+            if not children:
+                return ir.seq()
+            events = []
+            for c in children[:-1]:
+                self._events_of(c, events)
+            cases, default = self._lower_switch_body(children[-1])
+            return ir.seq(events + [ir.switch(line, cases, default)])
+
+        if kind == ck.RETURN_STMT:
+            events = []
+            for child in cursor.get_children():
+                self._events_of(child, events)
+            return ir.seq(events + [ir.ret(line)])
+
+        if kind == ck.BREAK_STMT:
+            return ir.seq([ir.brk()])
+        if kind == ck.CONTINUE_STMT:
+            return ir.seq([ir.cont()])
+
+        if kind == ck.NULL_STMT:
+            return ir.seq()
+
+        # Everything else — expression statements, try/catch, asm,
+        # labels — flattens to its events in source order.
+        events = []
+        self._events_of(cursor, events)
+        return ir.seq(events)
+
+    def _lower_switch_body(self, body):
+        """Returns ([case-seq, ...], has_default) from a switch body.
+
+        libclang nests the first statement of a case under CASE_STMT and
+        leaves the rest as siblings; each label starts a fresh case here
+        (fallthrough not modeled)."""
+        cases = []
+        default = False
+        current = None
+        ck = self.ck
+        if body.kind != ck.COMPOUND_STMT:
+            body_children = [body]
+        else:
+            body_children = list(body.get_children())
+        for child in body_children:
+            while child.kind in (ck.CASE_STMT, ck.DEFAULT_STMT):
+                if child.kind == ck.DEFAULT_STMT:
+                    default = True
+                current = ir.seq()
+                cases.append(current)
+                kids = list(child.get_children())
+                # CASE_STMT children: [value-expr, stmt]; DEFAULT: [stmt]
+                stmt_kids = [k for k in kids
+                             if not self._is_expression(k)]
+                if not stmt_kids:
+                    child = None
+                    break
+                child = stmt_kids[-1]
+            if child is None:
+                continue
+            lowered = self._stmt(child)
+            if current is None:
+                current = ir.seq()
+                cases.append(current)
+            current["items"].append(lowered)
+        return cases, default
+
+    def _is_expression(self, cursor):
+        try:
+            return cursor.kind.is_expression()
+        except Exception:
+            return False
+
+    # -- functions ----------------------------------------------------------
+
+    def lower_function(self, cursor):
+        """Lowers one function/method definition cursor."""
+        body = None
+        for child in cursor.get_children():
+            if child.kind == self.ck.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+        try:
+            usr = cursor.get_usr() or ""
+        except Exception:
+            usr = ""
+        if not usr:
+            usr = "anon:%s:%d" % (self.ctx.rel(cursor) or "?",
+                                  cursor.location.line)
+        self._cur_usr = usr
+        self._var_ids = 0
+        lowered = self._stmt(body)
+        rel = self.ctx.rel(cursor) or "<out-of-repo>"
+        cls = self.ctx.enclosing_class_name(cursor)
+        fn = ir.func(usr, cursor.spelling, rel, cursor.location.line,
+                     lowered, cls=cls)
+        self.functions.append(fn)
+
+
+_FUNC_KINDS = ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR",
+               "DESTRUCTOR", "CONVERSION_FUNCTION")
+
+
+def lower_tu(tu, ctx):
+    """Lowers every function DEFINED in a repo file of this TU; returns
+    a list of ir.py function dicts (lambdas included as separate
+    entries). Header-defined functions are lowered by every including
+    TU and deduped by USR in callgraph.Program."""
+    low = _Lowerer(ctx)
+    func_kinds = tuple(getattr(ctx.ck, k) for k in _FUNC_KINDS
+                       if hasattr(ctx.ck, k))
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            if child.kind in func_kinds and child.is_definition():
+                if ctx.rel(child) is not None:
+                    low.lower_function(child)
+                continue
+            if child.kind in (ctx.ck.NAMESPACE, ctx.ck.CLASS_DECL,
+                              ctx.ck.STRUCT_DECL, ctx.ck.CLASS_TEMPLATE,
+                              ctx.ck.FUNCTION_TEMPLATE,
+                              ctx.ck.UNEXPOSED_DECL,
+                              ctx.ck.LINKAGE_SPEC):
+                if child.kind == ctx.ck.FUNCTION_TEMPLATE:
+                    if child.is_definition() and \
+                            ctx.rel(child) is not None:
+                        low.lower_function(child)
+                    continue
+                visit(child)
+
+    visit(tu.cursor)
+    return low.functions
+
+
+def tu_deps(tu, repo_root):
+    """Repo-relative paths of every file this TU read (main file +
+    in-repo includes) — the cache's dep set."""
+    deps = set()
+    main = os.path.abspath(str(tu.spelling))
+    if main.startswith(repo_root + os.sep):
+        deps.add(os.path.relpath(main, repo_root))
+    try:
+        includes = tu.get_includes()
+    except Exception:
+        includes = ()
+    for inc in includes:
+        try:
+            path = os.path.abspath(str(inc.include.name))
+        except Exception:
+            continue
+        if path.startswith(repo_root + os.sep):
+            deps.add(os.path.relpath(path, repo_root))
+    return sorted(deps)

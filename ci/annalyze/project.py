@@ -86,12 +86,104 @@ STATUS_TYPES = ("ann::Status", "Status")
 RESULT_TYPE_PREFIXES = ("ann::Result<", "Result<")
 
 # ---------------------------------------------------------------------------
+# batch-lifecycle (interprocedural, PR 9)
+# ---------------------------------------------------------------------------
+# The COW write-batch protocol (DESIGN.md §12): every BeginWriteBatch
+# must reach exactly one Commit or Abort on EVERY control-flow path —
+# an early `return status` that skips both leaks the batch, and the
+# single-writer pool then rejects every later writer. The check is a
+# path-sensitive must-release walk over each function's CFG; calls to
+# functions whose summaries open or close a batch (net effect) count.
+BATCH_CLASS = "BufferPool"
+BATCH_BEGIN = "BeginWriteBatch"
+BATCH_CLOSERS = ("CommitWriteBatch", "AbortWriteBatch")
+BATCH_COMMIT = "CommitWriteBatch"
+
+# Classes whose own member functions are exempt from the lifecycle
+# rules: they IMPLEMENT the primitives, so their internals manipulate
+# raw versions/pins/epochs under their own latches. Justification
+# required (selftest-checked), mirroring SNAPSHOT_ALLOWLIST.
+LIFECYCLE_IMPL_CLASSES = {
+    "BufferPool":
+        "implements Begin/Commit/Abort and epoch GC itself; its bodies "
+        "ARE the primitives the rules classify at call sites",
+    "PageSnapshot":
+        "the epoch pin's own ctor/dtor manage the pin they model",
+    "PinnedPage":
+        "the frame pin's own ctor/dtor manage the pin they model",
+}
+
+# ---------------------------------------------------------------------------
+# snapshot-lifetime (interprocedural, PR 9)
+# ---------------------------------------------------------------------------
+# An epoch-pinned snapshot that lives across a CommitWriteBatch — in the
+# same function or any transitive callee — straddles the commit's epoch
+# bump: the retired page versions it pins cannot be reclaimed until it
+# dies, so a snapshot held across a write loop stalls GC exactly when
+# the write load is highest (the GC-quiesce hazard, DESIGN.md §12).
+# Locals of these types are tracked as live ranges on the CFG.
+SNAPSHOT_LIFETIME_TYPES = ("PageSnapshot", "IndexSnapshot")
+
+# ---------------------------------------------------------------------------
+# pin-across-wait (interprocedural, PR 9)
+# ---------------------------------------------------------------------------
+# A PinnedPage held across a scheduling barrier keeps its frame
+# unevictable for an unbounded wait: CondVar::Wait blocks on another
+# thread's progress, and ThreadPool::Submit hands work to a queue the
+# pin-holder may then wait on. Under memory pressure a pinned frame
+# blocks eviction; a pin held across a barrier turns that into a
+# deadlock risk (ROADMAP: the ANN-service layer multiplies these paths).
+PIN_ACROSS_WAIT_TYPES = ("PinnedPage",)
+
+# (class, method) call sites that constitute a scheduling barrier.
+WAIT_CALLS = (
+    ("CondVar", "Wait"),
+    ("ThreadPool", "Submit"),
+    ("ThreadPool", "Wait"),
+)
+
+# Classes whose internals the reaches-wait traversal does NOT descend
+# into: their waits are bounded implementation latching (a stripe latch
+# hand-off, an IO completion), not cross-task scheduling barriers, and
+# descending into them would flag every pin-holding read path.
+# Justification required (selftest-checked).
+WAIT_TRAVERSAL_OPAQUE_CLASSES = {
+    "BufferPool":
+        "internal stripe latching and eviction hand-offs are bounded "
+        "waits the pool's own lock ranks order; not task barriers",
+    "DiskManager":
+        "IO-completion waits are bounded by the device, not by another "
+        "task's progress",
+    "FileDiskManager":
+        "see DiskManager — the file-backed implementation",
+    "MemDiskManager":
+        "see DiskManager — the in-memory implementation",
+}
+
+# ---------------------------------------------------------------------------
 # hot-loop-alloc
 # ---------------------------------------------------------------------------
 # Markers shared with the textual lint (which still enforces balance and
 # the required-files list). The AST check owns the allocation semantics.
 HOT_LOOP_BEGIN = "lint-hot-loop-begin"
 HOT_LOOP_END = "lint-hot-loop-end"
+
+# Classes the transitive allocation-reachability traversal treats as
+# NON-allocating by design: the arena is the sanctioned hot-loop memory
+# mechanism (DESIGN.md §10) — Arena::Allocate does reach operator new
+# on chunk exhaustion, but that growth is amortized away by Reset
+# retention and proven allocation-free at steady state by arena_test's
+# counting-operator-new pass. Listing a class here stops the traversal
+# at the call edge INTO it. Justification required (selftest-checked).
+HOT_LOOP_SANCTIONED_CLASSES = {
+    "Arena":
+        "chunked bump allocator; steady-state allocation-freedom is "
+        "enforced at runtime by arena_test's counting operator new",
+    "ArenaVector":
+        "arena-backed container; its growth path is Arena::Allocate",
+    "ArenaAllocator":
+        "the allocator adapter over Arena::Allocate",
+}
 
 # Callee names that reach the allocator by contract. A callee NOT in this
 # set but with a visible definition is scanned one level deep for
@@ -133,5 +225,16 @@ RULES = {
         "violation, macros and line breaks notwithstanding",
     "hot-loop-alloc":
         "no expression inside a lint-hot-loop region may reach operator "
-        "new (one callee level deep)",
+        "new through ANY call chain (transitive over the summary graph; "
+        "the arena layer is the sanctioned carve-out)",
+    "batch-lifecycle":
+        "every BufferPool::BeginWriteBatch reaches exactly one Commit "
+        "or Abort on every control-flow path, early returns included",
+    "snapshot-lifetime":
+        "no PageSnapshot/IndexSnapshot lives across a CommitWriteBatch "
+        "in the same function or a transitive callee (GC-quiesce "
+        "hazard)",
+    "pin-across-wait":
+        "no PinnedPage is held across CondVar::Wait or "
+        "ThreadPool::Submit/Wait, directly or through a callee",
 }

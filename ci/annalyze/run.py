@@ -1,15 +1,31 @@
 #!/usr/bin/env python3
-"""annalyze — AST-grade project analyzer for the annlib invariants.
+"""annalyze — AST-grade and interprocedural project analyzer for the
+annlib invariants.
 
 Parses every translation unit named by a CMake compile_commands.json
-through the clang Python bindings and enforces the project rules on the
-real AST (see --list-checks, DESIGN.md §13). Findings are printed one
-per line, machine-readable:
+through the clang Python bindings and enforces the project rules in two
+phases (see --list-checks, DESIGN.md §13):
+
+  phase 1 — per-cursor AST checks inside each TU (arena-escape,
+            snapshot-discipline, pin-lifetime, status-discipline);
+  phase 2 — whole-program checks over per-function summaries computed
+            to a fixpoint across all TUs (batch-lifecycle,
+            snapshot-lifetime, pin-across-wait, hot-loop-alloc).
+
+Parsing is the expensive part, so it runs in a process pool (--jobs /
+ANNALYZE_JOBS) and its products — the lowered function IR plus phase-1
+findings — are cached on disk keyed by file content hashes; a no-change
+re-run re-parses nothing. Phase 2 and suppression handling always run
+fresh (pure Python, cheap, and they must see comment edits).
+
+Findings are printed one per line, machine-readable:
 
     <path>:<line>:<col>: [<rule>] <message>
 
 Usage:
     ci/annalyze/run.py --compdb <build-dir> [--json out.json]
+        [--jobs N] [--no-cache] [--clear-cache] [--cache-dir DIR]
+        [--callgraph-json out.json] [--timing-json out.json]
     ci/annalyze/run.py --single <file> [--pretend <repo-rel-path>] \
         [--json out.json] [--] [clang args...]
     ci/annalyze/run.py --probe        # 0 = frontend usable, 3 = not
@@ -17,7 +33,9 @@ Usage:
 
 Suppress a finding with `// annalyze-ok: <rule> — <justification>` on
 the finding's line or the line directly above; the justification is
-mandatory.
+mandatory, and a marker whose rule no longer fires there becomes a
+`stale-suppression` finding (the inventory stays honest as rules
+deepen).
 
 Exit codes: 0 clean · 1 findings (or parse errors) · 2 usage error ·
 3 frontend unavailable (plain run prints a skip notice and exits 0
@@ -29,29 +47,45 @@ import argparse
 import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import cache as cache_mod          # noqa: E402
+import callgraph                   # noqa: E402
 import engine                      # noqa: E402
 import findings as F               # noqa: E402
 import frontend                    # noqa: E402
 import project                     # noqa: E402
 import check_arena_escape          # noqa: E402
+import check_batch_lifecycle       # noqa: E402
 import check_hot_loop_alloc        # noqa: E402
+import check_pin_across_wait       # noqa: E402
 import check_pin_lifetime          # noqa: E402
 import check_snapshot_discipline   # noqa: E402
+import check_snapshot_lifetime     # noqa: E402
 import check_status_discipline     # noqa: E402
 
 REPO = os.path.dirname(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))))
 
-CHECKS = (
+# Phase 1: collect(tu, ctx) cursor walks within one TU.
+AST_CHECKS = (
     check_arena_escape,
     check_snapshot_discipline,
     check_pin_lifetime,
     check_status_discipline,
+)
+
+# Phase 2: collect(prog) over the whole-program summary graph.
+PROGRAM_CHECKS = (
+    check_batch_lifecycle,
+    check_snapshot_lifetime,
+    check_pin_across_wait,
     check_hot_loop_alloc,
 )
+
+CHECKS = AST_CHECKS + PROGRAM_CHECKS
 
 
 def in_scan_roots(rel_path):
@@ -59,29 +93,110 @@ def in_scan_roots(rel_path):
                for r in project.SCAN_ROOTS)
 
 
+def _default_jobs():
+    env = os.environ.get("ANNALYZE_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_program_checks(prog, ctx):
+    """Fixpoint + phase-2 checks; findings restricted to in-repo files."""
+    prog.fixpoint()
+    prog.hot = lambda rel, line: \
+        ctx.cache.get(ctx.abs_for(rel)).in_hot_region(line)
+    out = []
+    for mod in PROGRAM_CHECKS:
+        for f in mod.collect(prog):
+            if f.path and not f.path.startswith("<"):
+                out.append(f)
+    return out
+
+
+def _finish(found, ctx, analyzed_files):
+    """Suppressions + stale detection over the pre-suppression set."""
+    found = F.dedupe(found)
+    kept, suppressed, bad = F.apply_suppressions(
+        found, ctx.cache, ctx.abs_for)
+    stale = F.detect_stale(found, ctx.cache,
+                           [(rel, ctx.abs_for(rel))
+                            for rel in sorted(analyzed_files)],
+                           set(project.RULES))
+    return kept + bad + stale, suppressed
+
+
 def analyze_file(cindex, path, args, pretend=None):
-    """Analyzes one standalone file; returns (kept, suppressed, errors).
+    """Analyzes one standalone file (both phases, single-TU program);
+    returns (kept, suppressed, errors).
 
     Shared with ci/check_annalyze.py, which feeds it the fail fixtures
     with a --pretend path so directory-scoped rules apply.
     """
+    import lower
     path = os.path.abspath(path)
     pretend_map = {path: pretend} if pretend else None
     ctx = engine.AnalysisContext(cindex, REPO, pretend_map)
-    if pretend:
-        # Findings land at the pretend path but in_repo() must accept the
-        # fixture file itself even when it is outside SCAN_ROOTS.
-        ctx.pretend[path] = pretend
     tu, errors = frontend.parse_tu(cindex, path, args)
     if tu is None:
         return [], [], errors
-    found = engine.run_checks([tu], ctx, CHECKS)
-    kept, suppressed, bad = F.apply_suppressions(
-        found, ctx.cache, ctx.abs_for)
-    return kept + bad, suppressed, errors
+    found = engine.run_checks([tu], ctx, AST_CHECKS)
+
+    prog = callgraph.Program()
+    for fn in lower.lower_tu(tu, ctx):
+        prog.add_function(fn)
+    found = found + _run_program_checks(prog, ctx)
+
+    rel = pretend if pretend else ctx.rel(tu.cursor)
+    analyzed = {rel} if rel else set()
+    kept, suppressed = _finish(found, ctx, analyzed)
+    return kept, suppressed, errors
 
 
-def analyze_compdb(cindex, build_dir, json_out=None):
+def _parse_one(cindex, src, args, rel):
+    """Parses one TU; returns the picklable per-TU payload (also the
+    worker body in the process pool)."""
+    import lower
+    ctx = engine.AnalysisContext(cindex, REPO)
+    tu, errors = frontend.parse_tu(cindex, src, args)
+    if tu is None:
+        return {"rel": rel, "errors": errors, "functions": [],
+                "ast_findings": [], "deps": {}}
+    ast = [f.to_dict() for f in engine.run_checks([tu], ctx, AST_CHECKS)]
+    functions = lower.lower_tu(tu, ctx)
+    deps = {}
+    for dep_rel in lower.tu_deps(tu, REPO):
+        digest = cache_mod.sha256_file(os.path.join(REPO, dep_rel))
+        if digest is not None:
+            deps[dep_rel] = digest
+    return {"rel": rel, "errors": errors, "functions": functions,
+            "ast_findings": ast, "deps": deps}
+
+
+_WORKER_CINDEX = None
+
+
+def _pool_init():
+    global _WORKER_CINDEX
+    _WORKER_CINDEX, _ = frontend.load_cindex()
+
+
+def _pool_job(job):
+    src, args, rel = job
+    if _WORKER_CINDEX is None:
+        return {"rel": rel, "errors": ["worker: frontend unavailable"],
+                "functions": [], "ast_findings": [], "deps": {}}
+    try:
+        return _parse_one(_WORKER_CINDEX, src, args, rel)
+    except Exception as e:  # a dying worker must not hang the run
+        return {"rel": rel, "errors": ["worker: %r" % e],
+                "functions": [], "ast_findings": [], "deps": {}}
+
+
+def analyze_compdb(cindex, build_dir, opts):
+    t0 = time.monotonic()
     ctx = engine.AnalysisContext(cindex, REPO)
     try:
         entries = frontend.load_compile_commands(build_dir)
@@ -90,35 +205,100 @@ def analyze_compdb(cindex, build_dir, json_out=None):
               file=sys.stderr)
         return 2
 
-    all_findings = []
-    parse_errors = []
-    tus = 0
+    cache_dir = opts.cache_dir or os.path.join(
+        build_dir, ".annalyze-cache")
+    cache = cache_mod.Cache(cache_dir, REPO)
+    if opts.clear_cache:
+        cache.clear()
+
+    jobs = []
+    seen_rel = set()
     for entry in entries:
         src, args = frontend.clang_args_from_entry(entry)
         rel = os.path.relpath(os.path.abspath(src), REPO)
         if rel.startswith("..") or not in_scan_roots(rel):
             continue
-        tu, errors = frontend.parse_tu(cindex, src, args)
-        if errors:
-            parse_errors.extend(errors)
-        if tu is None:
+        if rel in seen_rel:
+            continue
+        seen_rel.add(rel)
+        jobs.append((src, args, rel, cache_mod.args_hash(args)))
+
+    payloads = []
+    to_parse = []
+    for src, args, rel, ahash in jobs:
+        hit = None if opts.no_cache else cache.load(rel, ahash)
+        if hit is not None:
+            hit["rel"] = rel
+            hit["errors"] = []
+            payloads.append(hit)
+        else:
+            to_parse.append((src, args, rel, ahash))
+
+    nworkers = min(opts.jobs, len(to_parse)) if to_parse else 0
+    if nworkers > 1:
+        import multiprocessing
+        with multiprocessing.Pool(nworkers,
+                                  initializer=_pool_init) as pool:
+            fresh = pool.map(
+                _pool_job, [(s, a, r) for s, a, r, _ in to_parse])
+    else:
+        fresh = [_parse_one(cindex, s, a, r)
+                 for s, a, r, _ in to_parse]
+
+    for payload, (_, _, rel, ahash) in zip(fresh, to_parse):
+        if not payload["errors"] and not opts.no_cache:
+            cache.store(rel, ahash, payload["deps"],
+                        payload["functions"], payload["ast_findings"])
+        payloads.append(payload)
+
+    all_findings = []
+    parse_errors = []
+    analyzed_files = set()
+    prog = callgraph.Program()
+    tus = 0
+    for payload in payloads:
+        parse_errors.extend(payload["errors"])
+        if payload["errors"] and not payload["functions"]:
             continue
         tus += 1
-        all_findings.extend(engine.run_checks([tu], ctx, CHECKS))
+        analyzed_files.add(payload["rel"])
+        analyzed_files.update(payload["deps"])
+        for d in payload["ast_findings"]:
+            all_findings.append(F.Finding(
+                d["rule"], d["path"], d["line"], d["col"],
+                d["message"]))
+        for fn in payload["functions"]:
+            prog.add_function(fn)
 
-    all_findings = F.dedupe(all_findings)
-    kept, suppressed, bad = F.apply_suppressions(
-        all_findings, ctx.cache, ctx.abs_for)
-    kept = kept + bad
+    all_findings.extend(_run_program_checks(prog, ctx))
+    kept, suppressed = _finish(all_findings, ctx, analyzed_files)
+    wall = time.monotonic() - t0
 
-    if json_out is not None:
+    if opts.callgraph_json:
+        prog.export_json(opts.callgraph_json)
+    if opts.timing_json:
+        doc = {
+            "wall_s": round(wall, 4),
+            "tus": tus,
+            "parsed": len(to_parse),
+            "cache": cache.stats(),
+            "functions": len(prog.fns),
+            "findings": len(kept),
+            "suppressed": len(suppressed),
+            "parse_errors": len(parse_errors),
+            "jobs": opts.jobs,
+        }
+        with open(opts.timing_json, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if opts.json_out is not None:
         payload = {
             "tus": tus,
             "findings": [f.to_dict() for f in kept],
             "suppressed": len(suppressed),
             "parse_errors": parse_errors,
         }
-        with open(json_out, "w", encoding="utf-8") as f:
+        with open(opts.json_out, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
             f.write("\n")
 
@@ -127,15 +307,18 @@ def analyze_compdb(cindex, build_dir, json_out=None):
     for f in kept:
         print(f.render())
     if kept or parse_errors:
-        print("annalyze: %d finding(s), %d suppressed, %d TU(s), "
-              "%d parse error(s)" % (len(kept), len(suppressed), tus,
-                                     len(parse_errors)),
+        print("annalyze: %d finding(s), %d suppressed, %d TU(s) "
+              "(%d parsed, %d cached), %d parse error(s), %.2fs"
+              % (len(kept), len(suppressed), tus, len(to_parse),
+                 cache.stats()["hits"], len(parse_errors), wall),
               file=sys.stderr)
         return 1
-    print("annalyze: clean — %d TU(s), %d finding(s) suppressed with "
-          "justification, %d checks (%s)" % (
-              tus, len(suppressed), len(CHECKS),
-              " ".join(m.RULE for m in CHECKS)))
+    print("annalyze: clean — %d TU(s) (%d parsed, %d cached), "
+          "%d finding(s) suppressed with justification, %d checks "
+          "(%s), %.2fs" % (
+              tus, len(to_parse), cache.stats()["hits"],
+              len(suppressed), len(CHECKS),
+              " ".join(m.RULE for m in CHECKS), wall))
     return 0
 
 
@@ -144,16 +327,24 @@ def main(argv):
     ap.add_argument("--compdb", metavar="BUILD_DIR")
     ap.add_argument("--single", metavar="FILE")
     ap.add_argument("--pretend", metavar="REPO_REL_PATH")
-    ap.add_argument("--json", metavar="OUT")
+    ap.add_argument("--json", dest="json_out", metavar="OUT")
     ap.add_argument("--probe", action="store_true")
     ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--jobs", type=int, default=_default_jobs())
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--clear-cache", action="store_true")
+    ap.add_argument("--cache-dir", metavar="DIR")
+    ap.add_argument("--callgraph-json", metavar="OUT")
+    ap.add_argument("--timing-json", metavar="OUT")
     args, extra = ap.parse_known_args(argv)
     if extra and extra[0] == "--":
         extra = extra[1:]
 
     if args.list_checks:
         for mod in CHECKS:
-            print("%-20s %s" % (mod.RULE, project.RULES[mod.RULE]))
+            phase = 2 if mod in PROGRAM_CHECKS else 1
+            print("%-20s [phase %d] %s"
+                  % (mod.RULE, phase, project.RULES[mod.RULE]))
         return 0
 
     cindex, reason = frontend.load_cindex()
@@ -179,15 +370,15 @@ def main(argv):
             print("annalyze: parse error: %s" % line, file=sys.stderr)
         for f in kept:
             print(f.render())
-        if args.json:
-            with open(args.json, "w", encoding="utf-8") as f:
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as f:
                 json.dump([x.to_dict() for x in kept], f, indent=2)
         return 1 if (kept or errors) else 0
 
     if not args.compdb:
         ap.error("one of --compdb, --single, --probe, --list-checks "
                  "is required")
-    return analyze_compdb(cindex, args.compdb, args.json)
+    return analyze_compdb(cindex, args.compdb, args)
 
 
 if __name__ == "__main__":

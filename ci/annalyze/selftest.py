@@ -3,24 +3,43 @@
 
 Covers everything that does NOT need libclang — suppression parsing, hot
 regions, compile-command munging, the rule registry, the allowlist
-contract, and the fail-fixture inventory — so ctest exercises the
-analyzer's plumbing even on hosts where the clang bindings are absent
-and the AST harness (ci/check_annalyze.py) skips.
+contract, the fail-fixture inventory, and (since PR 9) the whole
+interprocedural core: CFG construction, the path-sensitive walker, the
+summary fixpoint with witness chains, all four phase-2 checks driven by
+synthetic IR, the disk cache, stale-suppression detection, and the
+callgraph JSON schema — so ctest proves the dataflow engine even on
+hosts where the clang bindings are absent and the AST harness
+(ci/check_annalyze.py) skips.
+
+Also the validator for the CI callgraph artifact:
+
+    selftest.py --validate-callgraph <file.json>
 """
 
+import json
 import os
 import re
 import sys
+import tempfile
 import unittest
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(os.path.dirname(HERE))
 sys.path.insert(0, HERE)
 
-import findings as F     # noqa: E402
-import frontend          # noqa: E402
-import project           # noqa: E402
-import run as runner     # noqa: E402
+import cache as cache_mod    # noqa: E402
+import callgraph             # noqa: E402
+import cfg as cfg_mod        # noqa: E402
+import findings as F         # noqa: E402
+import frontend              # noqa: E402
+import ir                    # noqa: E402
+import project               # noqa: E402
+import run as runner         # noqa: E402
+import summaries             # noqa: E402
+import check_batch_lifecycle as cbl      # noqa: E402
+import check_hot_loop_alloc as chla      # noqa: E402
+import check_pin_across_wait as cpw      # noqa: E402
+import check_snapshot_lifetime as csl    # noqa: E402
 
 
 def make_source(text):
@@ -186,6 +205,24 @@ class Registry(unittest.TestCase):
             self.assertTrue(os.path.exists(os.path.join(REPO, rel)),
                             "%s: allowlisted path missing" % rel)
 
+    def test_class_carveouts_are_justified(self):
+        for table_name in ("LIFECYCLE_IMPL_CLASSES",
+                           "WAIT_TRAVERSAL_OPAQUE_CLASSES",
+                           "HOT_LOOP_SANCTIONED_CLASSES"):
+            table = getattr(project, table_name)
+            self.assertIsInstance(table, dict, table_name)
+            for cls, why in table.items():
+                self.assertTrue(why and why.strip(),
+                                "%s[%s]: empty justification"
+                                % (table_name, cls))
+
+    def test_phase_split_covers_all_checks(self):
+        self.assertEqual(
+            set(runner.CHECKS),
+            set(runner.AST_CHECKS) | set(runner.PROGRAM_CHECKS))
+        self.assertFalse(
+            set(runner.AST_CHECKS) & set(runner.PROGRAM_CHECKS))
+
 
 class FixtureInventory(unittest.TestCase):
     FIXTURE_DIR = os.path.join(REPO, "tests", "annalyze_fail")
@@ -226,5 +263,569 @@ class FixtureInventory(unittest.TestCase):
                              % name)
 
 
+# ---------------------------------------------------------------------------
+# Interprocedural core (PR 9) — synthetic IR, no libclang required
+# ---------------------------------------------------------------------------
+
+def _bp(line, name, usr=""):
+    return ir.call(line, name, "BufferPool", usr or "u:" + name)
+
+
+class CfgConstruction(unittest.TestCase):
+    def test_straight_line_gets_implicit_return(self):
+        fn = ir.func("u", "f", "src/a.cc", 1,
+                     ir.seq([ir.call(2, "g")]))
+        g = cfg_mod.build(fn)
+        rets = [e for b in g.blocks for e in b if e["k"] == "ret"]
+        self.assertEqual(len(rets), 1)
+        self.assertTrue(g.succ[0] or g.blocks[0])
+
+    def test_if_without_else_falls_through(self):
+        fn = ir.func("u", "f", "src/a.cc", 1, ir.seq([
+            ir.if_(2, ir.seq([ir.call(3, "g")])),
+            ir.call(5, "h"), ir.ret(6)]))
+        g = cfg_mod.build(fn)
+        seen = [e["name"] for b in g.blocks for e in b
+                if e.get("k") == "call"]
+        self.assertIn("g", seen)
+        self.assertIn("h", seen)
+
+    def test_loop_has_zero_iteration_path(self):
+        # A call only inside the loop body must NOT be on every path.
+        fn = ir.func("u", "f", "src/a.cc", 1, ir.seq([
+            ir.loop(2, [], ir.seq([ir.call(3, "g")])), ir.ret(5)]))
+        g = cfg_mod.build(fn)
+
+        def step(state, event, emit):
+            if event["k"] == "call":
+                return [state.with_key(True)]
+            return [state]
+        res = cfg_mod.walk_paths(g, False, step)
+        keys = {s.key for s in res.exit_states}
+        self.assertEqual(keys, {False, True})
+
+    def test_break_exits_loop_continue_reenters(self):
+        fn = ir.func("u", "f", "src/a.cc", 1, ir.seq([
+            ir.loop(2, [], ir.seq([
+                ir.if_(3, ir.seq([ir.brk()])),
+                ir.if_(4, ir.seq([ir.cont()])),
+                ir.call(5, "g")])),
+            ir.ret(7)]))
+        g = cfg_mod.build(fn)  # must terminate and stay well-formed
+        res = cfg_mod.walk_paths(g, 0, lambda s, e, emit: [s])
+        self.assertTrue(res.exit_states)
+
+    def test_switch_no_default_has_no_match_path(self):
+        fn = ir.func("u", "f", "src/a.cc", 1, ir.seq([
+            ir.switch(2, [ir.seq([ir.call(3, "g")])], default=False),
+            ir.ret(5)]))
+        g = cfg_mod.build(fn)
+
+        def step(state, event, emit):
+            if event["k"] == "call":
+                return [state.with_key(True)]
+            return [state]
+        res = cfg_mod.walk_paths(g, False, step)
+        self.assertEqual({s.key for s in res.exit_states},
+                         {False, True})
+
+    def test_dead_code_after_return_is_unreachable(self):
+        fn = ir.func("u", "f", "src/a.cc", 1, ir.seq([
+            ir.ret(2), ir.call(3, "g")]))
+        g = cfg_mod.build(fn)
+
+        def step(state, event, emit):
+            if event["k"] == "call":
+                emit(event["name"])
+            return [state]
+        res = cfg_mod.walk_paths(g, 0, step)
+        self.assertNotIn("g", res.findings)
+
+    def test_state_cap_is_reported(self):
+        body = [ir.if_(i, ir.seq([ir.call(i, "g%d" % i)]))
+                for i in range(12)]
+        fn = ir.func("u", "f", "src/a.cc", 1,
+                     ir.seq(body + [ir.ret(99)]))
+        g = cfg_mod.build(fn)
+
+        def step(state, event, emit):
+            if event["k"] == "call":
+                return [state.with_key(state.key + (event["name"],))]
+            return [state]
+        res = cfg_mod.walk_paths(g, (), step, max_states_per_block=8)
+        self.assertTrue(res.capped)
+
+    def test_validate_rejects_malformed(self):
+        with self.assertRaises(ValueError):
+            ir.validate({"usr": "u", "name": "f", "qual": "f",
+                         "file": "a", "line": 1,
+                         "body": {"s": "nope"}})
+
+
+class SummaryFixpoint(unittest.TestCase):
+    def _prog(self, *fns):
+        prog = callgraph.Program()
+        for fn in fns:
+            prog.add_function(fn)
+        prog.fixpoint()
+        return prog
+
+    def test_transitive_alloc_with_witness(self):
+        grow = ir.func("u:g", "Grow", "src/h.cc", 3,
+                       ir.seq([ir.new(3, "int[]"), ir.ret(3)]))
+        mid = ir.func("u:m", "Mid", "src/h.cc", 5,
+                      ir.seq([ir.call(5, "Grow", None, "u:g"),
+                              ir.ret(5)]))
+        top = ir.func("u:t", "Top", "src/h.cc", 7,
+                      ir.seq([ir.call(7, "Mid", None, "u:m"),
+                              ir.ret(7)]))
+        prog = self._prog(grow, mid, top)
+        self.assertIsNotNone(prog.by_usr["u:t"].reaches_alloc)
+        path = prog.witness("u:t", "reaches_alloc")
+        self.assertIn("Top", path)
+        self.assertIn("Mid", path)
+        self.assertIn("new-expression", path)
+
+    def test_recursion_terminates(self):
+        a = ir.func("u:a", "A", "src/r.cc", 1,
+                    ir.seq([ir.call(1, "B", None, "u:b"), ir.ret(1)]))
+        b = ir.func("u:b", "B", "src/r.cc", 2,
+                    ir.seq([ir.call(2, "A", None, "u:a"),
+                            ir.new(2, "int"), ir.ret(2)]))
+        prog = self._prog(a, b)
+        self.assertIsNotNone(prog.by_usr["u:a"].reaches_alloc)
+        self.assertIsNotNone(prog.by_usr["u:b"].reaches_alloc)
+
+    def test_sanctioned_arena_edge_stops_alloc(self):
+        arena = ir.func("u:aa", "Allocate", "src/h.cc", 2,
+                        ir.seq([ir.new(2, "char[]"), ir.ret(2)]),
+                        cls="Arena")
+        user = ir.func("u:u", "User", "src/h.cc", 5,
+                       ir.seq([ir.call(5, "Allocate", "Arena", "u:aa"),
+                               ir.ret(5)]))
+        prog = self._prog(arena, user)
+        self.assertIsNotNone(prog.by_usr["u:aa"].reaches_alloc)
+        self.assertIsNone(prog.by_usr["u:u"].reaches_alloc)
+
+    def test_opaque_class_edge_stops_wait(self):
+        fetch = ir.func("u:f", "FetchSlow", "src/p.cc", 2,
+                        ir.seq([ir.call(2, "Wait", "CondVar", "u:w"),
+                                ir.ret(2)]), cls="BufferPool")
+        user = ir.func("u:u", "User", "src/p.cc", 5,
+                       ir.seq([ir.call(5, "FetchSlow", "BufferPool",
+                                       "u:f"), ir.ret(5)]))
+        prog = self._prog(fetch, user)
+        self.assertIsNotNone(prog.by_usr["u:f"].reaches_wait)
+        self.assertIsNone(prog.by_usr["u:u"].reaches_wait)
+
+    def test_net_open_and_net_close(self):
+        opener = ir.func("u:o", "Open", "src/b.cc", 1, ir.seq([
+            _bp(1, project.BATCH_BEGIN), ir.ret(1)]))
+        closer = ir.func("u:c", "Close", "src/b.cc", 3, ir.seq([
+            _bp(3, project.BATCH_COMMIT), ir.ret(3)]))
+        balanced = ir.func("u:b", "Both", "src/b.cc", 5, ir.seq([
+            _bp(5, project.BATCH_BEGIN), _bp(6, project.BATCH_COMMIT),
+            ir.ret(7)]))
+        prog = self._prog(opener, closer, balanced)
+        self.assertTrue(prog.by_usr["u:o"].net_open)
+        self.assertTrue(prog.by_usr["u:c"].net_close)
+        self.assertFalse(prog.by_usr["u:b"].net_open)
+        self.assertFalse(prog.by_usr["u:b"].net_close)
+
+    def test_summary_roundtrip(self):
+        fn = ir.func("u:x", "X", "src/s.cc", 1, ir.seq([
+            _bp(2, project.BATCH_BEGIN), ir.call(3, "push_back", None),
+            ir.call(4, "Wait", "CondVar"), _bp(5, project.BATCH_COMMIT),
+            ir.ret(6)]))
+        s = summaries.summarize(fn)
+        s2 = summaries.Summary.from_dict(
+            json.loads(json.dumps(s.to_dict())))
+        self.assertEqual(s.calls, s2.calls)
+        self.assertEqual(s.alloc, s2.alloc)
+        self.assertEqual((s.begins, s.commits, s.waits),
+                         (s2.begins, s2.commits, s2.waits))
+        self.assertEqual((s.net_open, s.net_close),
+                         (s2.net_open, s2.net_close))
+
+
+class BatchLifecycleCheck(unittest.TestCase):
+    def _collect(self, *fns):
+        prog = callgraph.Program()
+        for fn in fns:
+            prog.add_function(fn)
+        prog.fixpoint()
+        return list(cbl.collect(prog)), prog
+
+    def test_leak_on_early_return(self):
+        fn = ir.func("u:v", "V", "src/x.cc", 10, ir.seq([
+            _bp(11, project.BATCH_BEGIN),
+            ir.if_(12, ir.seq([ir.ret(13)])),
+            _bp(15, project.BATCH_COMMIT), ir.ret(16)]))
+        fs, _ = self._collect(fn)
+        self.assertEqual([f.line for f in fs], [13])
+        self.assertIn("still open", fs[0].message)
+
+    def test_balanced_and_abort_paths_are_clean(self):
+        fn = ir.func("u:b", "B", "src/x.cc", 20, ir.seq([
+            _bp(21, project.BATCH_BEGIN),
+            ir.if_(22, ir.seq([_bp(23, "AbortWriteBatch"),
+                               ir.ret(24)])),
+            _bp(25, project.BATCH_COMMIT), ir.ret(26)]))
+        fs, _ = self._collect(fn)
+        self.assertEqual(fs, [])
+
+    def test_double_commit(self):
+        fn = ir.func("u:d", "D", "src/x.cc", 30, ir.seq([
+            _bp(31, project.BATCH_BEGIN), _bp(32, project.BATCH_COMMIT),
+            ir.if_(33, ir.seq([_bp(34, project.BATCH_COMMIT)])),
+            ir.ret(35)]))
+        fs, _ = self._collect(fn)
+        self.assertEqual(len(fs), 1)
+        self.assertIn("double-commit", fs[0].message)
+        self.assertEqual(fs[0].line, 34)
+
+    def test_deliberate_opener_is_summarized_not_flagged(self):
+        opener = ir.func("u:o", "Open", "src/x.cc", 40, ir.seq([
+            _bp(41, project.BATCH_BEGIN), ir.ret(42)]))
+        fs, prog = self._collect(opener)
+        self.assertEqual(fs, [])
+        self.assertTrue(prog.by_usr["u:o"].net_open)
+
+    def test_leak_through_net_open_callee(self):
+        opener = ir.func("u:o", "Open", "src/x.cc", 40, ir.seq([
+            _bp(41, project.BATCH_BEGIN), ir.ret(42)]))
+        caller = ir.func("u:c", "Caller", "src/x.cc", 50, ir.seq([
+            ir.call(51, "Open", None, "u:o"),
+            ir.if_(52, ir.seq([ir.ret(53)])),
+            _bp(54, project.BATCH_COMMIT), ir.ret(55)]))
+        fs, _ = self._collect(opener, caller)
+        self.assertEqual([f.line for f in fs], [53])
+
+    def test_impl_class_is_exempt(self):
+        fn = ir.func("u:i", "CommitWriteBatch", "src/x.cc", 60,
+                     ir.seq([_bp(61, project.BATCH_BEGIN), ir.ret(62)]),
+                     cls="BufferPool")
+        fs, _ = self._collect(fn)
+        self.assertEqual(fs, [])
+
+    def test_loop_does_not_fabricate_leak(self):
+        fn = ir.func("u:l", "L", "src/x.cc", 70, ir.seq([
+            ir.loop(71, [], ir.seq([
+                _bp(72, project.BATCH_BEGIN),
+                _bp(73, project.BATCH_COMMIT)])),
+            ir.ret(75)]))
+        fs, _ = self._collect(fn)
+        self.assertEqual(fs, [])
+
+
+class LiveRangeChecks(unittest.TestCase):
+    def _prog(self, *fns):
+        prog = callgraph.Program()
+        for fn in fns:
+            prog.add_function(fn)
+        prog.fixpoint()
+        return prog
+
+    def test_snapshot_across_direct_commit(self):
+        fn = ir.func("u:v", "V", "src/y.cc", 1, ir.seq([
+            ir.born(2, 1, "snap", "snapshot"),
+            _bp(3, project.BATCH_COMMIT),
+            ir.dies(1), ir.ret(4)]))
+        fs = list(csl.collect(self._prog(fn)))
+        self.assertEqual(len(fs), 1)
+        self.assertIn("snap", fs[0].message)
+
+    def test_snapshot_dead_before_commit_is_clean(self):
+        fn = ir.func("u:b", "B", "src/y.cc", 1, ir.seq([
+            ir.born(2, 1, "snap", "snapshot"), ir.dies(1),
+            _bp(4, project.BATCH_COMMIT), ir.ret(5)]))
+        self.assertEqual(list(csl.collect(self._prog(fn))), [])
+
+    def test_snapshot_across_transitive_commit_prints_witness(self):
+        leaf = ir.func("u:l", "FlushLeaf", "src/y.cc", 1, ir.seq([
+            _bp(1, project.BATCH_COMMIT), ir.ret(1)]))
+        mid = ir.func("u:m", "Publish", "src/y.cc", 3, ir.seq([
+            ir.call(3, "FlushLeaf", None, "u:l"), ir.ret(3)]))
+        top = ir.func("u:t", "T", "src/y.cc", 5, ir.seq([
+            ir.born(6, 1, "snap", "snapshot"),
+            ir.call(7, "Publish", None, "u:m"),
+            ir.dies(1), ir.ret(8)]))
+        fs = list(csl.collect(self._prog(leaf, mid, top)))
+        self.assertEqual(len(fs), 1)
+        self.assertIn("Publish", fs[0].message)
+        self.assertIn("FlushLeaf", fs[0].message)
+
+    def test_early_return_branch_does_not_cross(self):
+        fn = ir.func("u:e", "E", "src/y.cc", 1, ir.seq([
+            ir.born(2, 1, "snap", "snapshot"),
+            ir.if_(3, ir.seq([ir.dies(1), ir.ret(4)])),
+            ir.dies(1),
+            _bp(6, project.BATCH_COMMIT), ir.ret(7)]))
+        self.assertEqual(list(csl.collect(self._prog(fn))), [])
+
+    def test_pin_across_direct_and_via_wait(self):
+        chk = ir.func("u:c", "Checkpoint", "src/z.cc", 1, ir.seq([
+            ir.call(1, "Wait", "CondVar"), ir.ret(1)]))
+        direct = ir.func("u:d", "D", "src/z.cc", 3, ir.seq([
+            ir.born(4, 1, "pin", "pin"),
+            ir.call(5, "Submit", "ThreadPool"),
+            ir.dies(1), ir.ret(6)]))
+        via = ir.func("u:v", "V", "src/z.cc", 8, ir.seq([
+            ir.born(9, 1, "pin", "pin"),
+            ir.call(10, "Checkpoint", None, "u:c"),
+            ir.dies(1), ir.ret(11)]))
+        fs = list(cpw.collect(self._prog(chk, direct, via)))
+        self.assertEqual(sorted(f.line for f in fs), [5, 10])
+
+    def test_pin_across_opaque_pool_call_is_clean(self):
+        fetch = ir.func("u:f", "FetchSlow", "src/z.cc", 1, ir.seq([
+            ir.call(1, "Wait", "CondVar"), ir.ret(1)]),
+            cls="BufferPool")
+        user = ir.func("u:u", "U", "src/z.cc", 3, ir.seq([
+            ir.born(4, 1, "pin", "pin"),
+            ir.call(5, "FetchSlow", "BufferPool", "u:f"),
+            ir.dies(1), ir.ret(6)]))
+        self.assertEqual(list(cpw.collect(self._prog(fetch, user))), [])
+
+
+class HotLoopTransitive(unittest.TestCase):
+    def _prog(self, *fns):
+        prog = callgraph.Program()
+        for fn in fns:
+            prog.add_function(fn)
+        prog.fixpoint()
+        return prog
+
+    def test_transitive_chain_flagged_with_witness(self):
+        grow = ir.func("u:g", "Grow", "src/h.cc", 1,
+                       ir.seq([ir.new(1, "int[]"), ir.ret(1)]))
+        res = ir.func("u:r", "Reserve", "src/h.cc", 3,
+                      ir.seq([ir.call(3, "Grow", None, "u:g"),
+                              ir.ret(3)]))
+        hot = ir.func("u:h", "Hot", "src/h.cc", 5, ir.seq([
+            ir.loop(6, [], ir.seq([
+                ir.call(7, "Reserve", None, "u:r")])),
+            ir.ret(9)]))
+        prog = self._prog(grow, res, hot)
+        prog.hot = lambda rel, line: line == 7
+        fs = list(chla.collect(prog))
+        self.assertEqual(len(fs), 1)
+        self.assertIn("Reserve", fs[0].message)
+        self.assertIn("Grow", fs[0].message)
+        self.assertIn("reach operator new", fs[0].message)
+
+    def test_arena_call_in_region_is_sanctioned(self):
+        arena = ir.func("u:a", "Allocate", "src/h.cc", 1,
+                        ir.seq([ir.new(1, "char[]"), ir.ret(1)]),
+                        cls="Arena")
+        hot = ir.func("u:h", "Hot", "src/h.cc", 3, ir.seq([
+            ir.loop(4, [], ir.seq([
+                ir.call(5, "Allocate", "Arena", "u:a")])),
+            ir.ret(7)]))
+        prog = self._prog(arena, hot)
+        prog.hot = lambda rel, line: line == 5
+        self.assertEqual(list(chla.collect(prog)), [])
+
+    def test_allocating_name_without_definition_flagged(self):
+        hot = ir.func("u:h", "Hot", "src/h.cc", 3, ir.seq([
+            ir.loop(4, [], ir.seq([
+                ir.call(5, "push_back", "vector")])),
+            ir.ret(7)]))
+        prog = self._prog(hot)
+        prog.hot = lambda rel, line: line == 5
+        fs = list(chla.collect(prog))
+        self.assertEqual(len(fs), 1)
+        self.assertIn("allocating entry point", fs[0].message)
+
+    def test_outside_region_is_clean(self):
+        grow = ir.func("u:g", "Grow", "src/h.cc", 1,
+                       ir.seq([ir.new(1, "int[]"), ir.ret(1)]))
+        cold = ir.func("u:c", "Cold", "src/h.cc", 3, ir.seq([
+            ir.call(4, "Grow", None, "u:g"), ir.ret(5)]))
+        prog = self._prog(grow, cold)
+        self.assertEqual(list(chla.collect(prog)), [])
+
+
+class StaleSuppressions(unittest.TestCase):
+    def _detect(self, text, fired):
+        cache = F.FileCache(project.HOT_LOOP_BEGIN, project.HOT_LOOP_END)
+        cache._files[os.path.abspath("mem.cc")] = make_source(text)
+        return F.detect_stale(fired, cache, [("src/x.cc", "mem.cc")],
+                              set(project.RULES))
+
+    def test_live_marker_not_stale(self):
+        out = self._detect(
+            "// annalyze-ok: arena-escape — justified\n"
+            "pool.Submit([&v] { use(v); });\n",
+            [F.Finding("arena-escape", "src/x.cc", 2, 1, "m")])
+        self.assertEqual(out, [])
+
+    def test_marker_without_finding_is_stale(self):
+        out = self._detect(
+            "// annalyze-ok: arena-escape — was needed once\n"
+            "int x = 0;\n", [])
+        self.assertEqual(len(out), 1)
+        self.assertEqual(out[0].rule, "stale-suppression")
+        self.assertIn("no longer suppresses", out[0].message)
+
+    def test_wrong_rule_marker_is_stale(self):
+        out = self._detect(
+            "// annalyze-ok: pin-lifetime — wrong rule\n"
+            "pool.Submit([&v] { use(v); });\n",
+            [F.Finding("arena-escape", "src/x.cc", 2, 1, "m")])
+        self.assertEqual(len(out), 1)
+
+    def test_unknown_rule_is_stale(self):
+        out = self._detect("// annalyze-ok: no-such-rule — huh\n", [])
+        self.assertEqual(len(out), 1)
+        self.assertIn("unknown rule", out[0].message)
+
+    def test_unanalyzed_files_not_judged(self):
+        cache = F.FileCache(project.HOT_LOOP_BEGIN, project.HOT_LOOP_END)
+        out = F.detect_stale([], cache, [], set(project.RULES))
+        self.assertEqual(out, [])
+
+
+class DiskCache(unittest.TestCase):
+    def _fn(self):
+        return ir.func("u:f", "F", "src/a.cc", 1,
+                       ir.seq([ir.call(2, "g"), ir.ret(3)]))
+
+    def test_roundtrip_hit_and_content_invalidation(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            repo = os.path.join(tmp, "repo")
+            os.makedirs(os.path.join(repo, "src"))
+            dep = os.path.join(repo, "src", "a.cc")
+            with open(dep, "w") as f:
+                f.write("int x;\n")
+            c = cache_mod.Cache(os.path.join(tmp, "cache"), repo)
+            deps = {"src/a.cc": cache_mod.sha256_file(dep)}
+            c.store("src/a.cc", "ah", deps, [self._fn()],
+                    [{"rule": "r", "path": "src/a.cc", "line": 1,
+                      "col": 1, "message": "m"}])
+            hit = c.load("src/a.cc", "ah")
+            self.assertIsNotNone(hit)
+            self.assertEqual(hit["functions"][0]["usr"], "u:f")
+            self.assertIsNone(c.load("src/a.cc", "other-args"))
+            with open(dep, "w") as f:
+                f.write("int y;\n")  # content drift invalidates
+            self.assertIsNone(c.load("src/a.cc", "ah"))
+            self.assertEqual(c.stats()["hits"], 1)
+            self.assertEqual(c.stats()["misses"], 2)
+
+    def test_corrupt_entry_is_a_miss(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            c = cache_mod.Cache(os.path.join(tmp, "cache"), tmp)
+            c.store("src/a.cc", "ah", {}, [self._fn()], [])
+            path = c._entry_path("src/a.cc")
+            with open(path, "w") as f:
+                f.write("{not json")
+            self.assertIsNone(c.load("src/a.cc", "ah"))
+
+    def test_malformed_ir_is_a_miss(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            c = cache_mod.Cache(os.path.join(tmp, "cache"), tmp)
+            bad = self._fn()
+            bad["body"] = {"s": "bogus"}
+            c.store("src/a.cc", "ah", {}, [bad], [])
+            self.assertIsNone(c.load("src/a.cc", "ah"))
+
+    def test_policy_hash_covers_project_py(self):
+        h = cache_mod.policy_hash()
+        self.assertEqual(len(h), 64)
+        self.assertIn("project.py", cache_mod._POLICY_MODULES)
+
+    def test_clear_removes_entries(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            c = cache_mod.Cache(os.path.join(tmp, "cache"), tmp)
+            c.store("src/a.cc", "ah", {}, [self._fn()], [])
+            c.clear()
+            self.assertIsNone(c.load("src/a.cc", "ah"))
+
+
+class CallgraphExport(unittest.TestCase):
+    def test_export_matches_validator(self):
+        prog = callgraph.Program()
+        grow = ir.func("u:g", "Grow", "src/h.cc", 1,
+                       ir.seq([ir.new(1, "int[]"), ir.ret(1)]))
+        top = ir.func("u:t", "Top", "src/h.cc", 3,
+                      ir.seq([ir.call(3, "Grow", None, "u:g"),
+                              ir.ret(3)]))
+        prog.add_function(grow)
+        prog.add_function(top)
+        prog.fixpoint()
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "cg.json")
+            doc = prog.export_json(out)
+            self.assertEqual(validate_callgraph(out), [])
+            self.assertEqual(doc["functions"], 2)
+            self.assertEqual(doc["edges"], 1)
+            node = [n for n in doc["nodes"] if n["usr"] == "u:t"][0]
+            self.assertIn("reaches_alloc", node["facts"])
+            self.assertIn("Grow", node["facts"]["reaches_alloc"]
+                          ["witness"])
+
+
+# ---------------------------------------------------------------------------
+# Callgraph artifact validation (used by ci/build_matrix.sh)
+# ---------------------------------------------------------------------------
+
+def validate_callgraph(path):
+    """Returns a list of problems with a --callgraph-json artifact
+    (empty = valid)."""
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["unreadable: %s" % e]
+    if doc.get("schema") != "annalyze-callgraph-v1":
+        problems.append("bad schema: %r" % doc.get("schema"))
+        return problems
+    nodes = doc.get("nodes")
+    edges = doc.get("edge_list")
+    if not isinstance(nodes, list) or not isinstance(edges, list):
+        return ["nodes/edge_list missing or not lists"]
+    if doc.get("functions") != len(nodes):
+        problems.append("functions count %r != %d nodes"
+                        % (doc.get("functions"), len(nodes)))
+    if doc.get("edges") != len(edges):
+        problems.append("edges count %r != %d edge_list entries"
+                        % (doc.get("edges"), len(edges)))
+    usrs = set()
+    for n in nodes:
+        for key in ("usr", "qual", "file", "line", "facts"):
+            if key not in n:
+                problems.append("node missing %r: %r" % (key, n))
+                break
+        else:
+            usrs.add(n["usr"])
+            for fact, val in n["facts"].items():
+                if fact.startswith("reaches_") and \
+                        not val.get("witness"):
+                    problems.append("%s: %s without witness"
+                                    % (n["usr"], fact))
+    for e in edges:
+        if e.get("caller") not in usrs or e.get("callee") not in usrs:
+            problems.append("dangling edge: %r" % e)
+    return problems
+
+
+def main_validate(path):
+    problems = validate_callgraph(path)
+    if problems:
+        print("callgraph artifact INVALID: %s" % path, file=sys.stderr)
+        for p in problems:
+            print("  * %s" % p, file=sys.stderr)
+        return 1
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    print("callgraph artifact OK: %d function(s), %d edge(s)"
+          % (doc["functions"], doc["edges"]))
+    return 0
+
+
 if __name__ == "__main__":
+    if len(sys.argv) >= 3 and sys.argv[1] == "--validate-callgraph":
+        sys.exit(main_validate(sys.argv[2]))
     unittest.main(verbosity=2)

@@ -1,0 +1,263 @@
+"""Per-function summaries and the whole-program fixpoint.
+
+A summary compresses one function's IR into the facts the
+interprocedural rules consume:
+
+  direct facts (computed from the IR alone, cached with the TU):
+    calls          [(usr, name, cls, line), ...] — every call site
+    alloc          (line, reason) if the body allocates directly
+                   (new-expression, or a call to a known allocating
+                   entry point outside the sanctioned arena classes)
+    begins/commits/aborts  direct BufferPool batch call-site lines
+    waits          [(line, "Cls::Name"), ...] direct barrier sites
+    net_open       True when SOME path exits the function with a batch
+                   it opened still open while closing on others is the
+                   batch-lifecycle finding itself; a function whose
+                   EVERY path exits open is a deliberate opener and is
+                   summarized (not flagged) so callers account for it
+    net_close      True when some path closes a batch the function did
+                   not open (a closer/committer helper)
+
+  transitive facts (the fixpoint below):
+    reaches_alloc / reaches_commit / reaches_wait, each with a witness:
+        ("self", line, detail)                   — the fact is local
+        ("via", callee_usr, line)                — through this call
+    so a finding can print the exact call chain edge by edge.
+
+The fixpoint is a reverse-edge worklist: when f gains a fact, every
+caller of f re-evaluates. Monotone over a finite lattice (three bits
+per function), so it terminates; recursion is handled for free.
+Traversal policy (sanctioned arena classes for alloc, opaque storage
+classes for wait) is applied on the EDGE, not the node, mirroring how
+a human reads the call: `arena.Allocate()` is sanctioned, a free
+function that happens to share a name is not.
+"""
+
+import ir
+import project
+
+
+def _classify_batch(name, cls):
+    if cls == project.BATCH_CLASS and name == project.BATCH_BEGIN:
+        return "begin"
+    if cls == project.BATCH_CLASS and name in project.BATCH_CLOSERS:
+        return "commit" if name == project.BATCH_COMMIT else "abort"
+    return None
+
+
+def _is_wait_call(name, cls):
+    return (cls, name) in project.WAIT_CALLS
+
+
+def _is_alloc_entry(name, cls):
+    if cls in project.HOT_LOOP_SANCTIONED_CLASSES:
+        return False
+    return name in project.ALLOCATING_NAMES
+
+
+class Summary:
+    __slots__ = ("usr", "name", "qual", "cls", "file", "line", "calls",
+                 "alloc", "begins", "commits", "aborts", "waits",
+                 "net_open", "net_close",
+                 "reaches_alloc", "reaches_commit", "reaches_wait")
+
+    def __init__(self, usr, name, qual, cls, file, line):
+        self.usr = usr
+        self.name = name
+        self.qual = qual
+        self.cls = cls
+        self.file = file
+        self.line = line
+        self.calls = []
+        self.alloc = None
+        self.begins = []
+        self.commits = []
+        self.aborts = []
+        self.waits = []
+        self.net_open = False
+        self.net_close = False
+        # witness: ("self", line, detail) | ("via", callee_usr, line)
+        self.reaches_alloc = None
+        self.reaches_commit = None
+        self.reaches_wait = None
+
+    def to_dict(self):
+        return {
+            "usr": self.usr, "name": self.name, "qual": self.qual,
+            "cls": self.cls, "file": self.file, "line": self.line,
+            "calls": [list(c) for c in self.calls],
+            "alloc": list(self.alloc) if self.alloc else None,
+            "begins": self.begins, "commits": self.commits,
+            "aborts": self.aborts,
+            "waits": [list(w) for w in self.waits],
+            "net_open": self.net_open, "net_close": self.net_close,
+        }
+
+    @classmethod
+    def from_dict(cls_, d):
+        s = cls_(d["usr"], d["name"], d["qual"], d["cls"], d["file"],
+                 d["line"])
+        s.calls = [tuple(c) for c in d["calls"]]
+        s.alloc = tuple(d["alloc"]) if d["alloc"] else None
+        s.begins = list(d["begins"])
+        s.commits = list(d["commits"])
+        s.aborts = list(d["aborts"])
+        s.waits = [tuple(w) for w in d["waits"]]
+        s.net_open = bool(d["net_open"])
+        s.net_close = bool(d["net_close"])
+        return s
+
+
+def _net_batch_effect(fn):
+    """(net_open, net_close): does some path exit with a self-opened
+    batch still open / with a caller's batch closed? Uses the same CFG
+    walk as the batch-lifecycle check but with calls ignored — the net
+    effect is a DIRECT-events property by contract (a wrapper of a
+    wrapper is out of scope, documented in DESIGN.md §13)."""
+    import cfg as cfg_mod
+    graph = cfg_mod.build(fn)
+
+    # key = signed open depth, clamped; "closed-below-zero" tracked as
+    # a separate bit so `commit` helpers summarize as net_close.
+    def step(state, event, emit):
+        depth, closed_foreign = state.key
+        if event["k"] == "call":
+            eff = _classify_batch(event["name"], event.get("cls"))
+            if eff == "begin":
+                return [state.with_key((min(depth + 1, 2),
+                                        closed_foreign))]
+            if eff in ("commit", "abort"):
+                if depth > 0:
+                    return [state.with_key((depth - 1, closed_foreign))]
+                return [state.with_key((depth, True))]
+        return [state]
+
+    res = cfg_mod.walk_paths(graph, (0, False), step)
+    net_open = any(s.key[0] > 0 for s in res.exit_states)
+    net_close = any(s.key[1] for s in res.exit_states)
+    return net_open, net_close
+
+
+def summarize(fn):
+    """Builds the direct-facts Summary for one ir.py function dict."""
+    s = Summary(fn["usr"], fn["name"], fn["qual"], fn.get("cls"),
+                fn["file"], fn["line"])
+    for event in ir.walk_events(fn["body"]):
+        k = event["k"]
+        if k == "call":
+            name, cls = event["name"], event.get("cls")
+            s.calls.append((event.get("usr", ""), name, cls,
+                            event["line"]))
+            eff = _classify_batch(name, cls)
+            if eff == "begin":
+                s.begins.append(event["line"])
+            elif eff == "commit":
+                s.commits.append(event["line"])
+            elif eff == "abort":
+                s.aborts.append(event["line"])
+            if _is_wait_call(name, cls):
+                s.waits.append((event["line"],
+                                "%s::%s" % (cls, name)))
+            if s.alloc is None and _is_alloc_entry(name, cls):
+                s.alloc = (event["line"],
+                           "calls allocating '%s'" % name)
+        elif k == "new":
+            if s.alloc is None:
+                s.alloc = (event["line"], "new-expression")
+    if s.begins or s.commits or s.aborts:
+        s.net_open, s.net_close = _net_batch_effect(fn)
+    return s
+
+
+def _seed(summary):
+    """Initial transitive facts from the summary's own body."""
+    if summary.alloc is not None:
+        summary.reaches_alloc = ("self", summary.alloc[0],
+                                 summary.alloc[1])
+    if summary.commits:
+        summary.reaches_commit = ("self", summary.commits[0],
+                                  "CommitWriteBatch")
+    if summary.waits:
+        summary.reaches_wait = ("self", summary.waits[0][0],
+                                summary.waits[0][1])
+
+
+def _edge_propagates(attr, callee):
+    """Does a call edge INTO `callee` propagate `attr` to the caller?"""
+    if callee is None:
+        return False
+    if attr == "reaches_alloc" and \
+            callee.cls in project.HOT_LOOP_SANCTIONED_CLASSES:
+        return False
+    if attr == "reaches_wait" and \
+            callee.cls in project.WAIT_TRAVERSAL_OPAQUE_CLASSES:
+        return False
+    return getattr(callee, attr) is not None
+
+
+def compute_fixpoint(by_usr):
+    """Fills reaches_* on every Summary in `by_usr` (usr -> Summary).
+
+    Reverse-edge worklist: recompute a function when any callee's facts
+    changed. The lattice per function is three independent
+    None -> witness bits, monotone, so each function re-enters the
+    worklist a bounded number of times.
+    """
+    callers = {}  # usr -> set of caller usrs
+    for s in by_usr.values():
+        _seed(s)
+        for callee_usr, _, _, _ in s.calls:
+            if callee_usr and callee_usr in by_usr:
+                callers.setdefault(callee_usr, set()).add(s.usr)
+
+    work = list(by_usr.keys())
+    in_work = set(work)
+    while work:
+        usr = work.pop()
+        in_work.discard(usr)
+        s = by_usr[usr]
+        changed = False
+        for attr in ("reaches_alloc", "reaches_commit", "reaches_wait"):
+            if getattr(s, attr) is not None:
+                continue
+            for callee_usr, _, _, line in s.calls:
+                callee = by_usr.get(callee_usr)
+                if _edge_propagates(attr, callee):
+                    setattr(s, attr, ("via", callee_usr, line))
+                    changed = True
+                    break
+        if changed:
+            for caller in callers.get(usr, ()):
+                if caller not in in_work:
+                    in_work.add(caller)
+                    work.append(caller)
+
+
+def witness_path(by_usr, usr, attr, max_hops=16):
+    """Renders the call chain behind a transitive fact:
+
+        Foo (src/a.cc:12) -> Bar (src/b.cc:30) -> new-expression
+
+    Follows the `via` chain recorded by the fixpoint; cycles or missing
+    links terminate with '...'."""
+    hops = []
+    seen = set()
+    cur = usr
+    while cur and cur not in seen and len(hops) < max_hops:
+        seen.add(cur)
+        s = by_usr.get(cur)
+        if s is None:
+            hops.append("...")
+            break
+        fact = getattr(s, attr)
+        if fact is None:
+            hops.append("...")
+            break
+        if fact[0] == "self":
+            hops.append("%s (%s:%d: %s)" % (s.qual, s.file, fact[1],
+                                            fact[2]))
+            break
+        _, callee_usr, line = fact
+        hops.append("%s (%s:%d)" % (s.qual, s.file, line))
+        cur = callee_usr
+    return " -> ".join(hops)

@@ -16,9 +16,10 @@
 #            + ci/check_thread_safety.py compile-fail harness
 #                                                 [skipped if clang absent]
 #   tidy     clang-tidy (.clang-tidy) over every TU  [skipped if tool absent]
-#   analyze  ci/annalyze AST analyzer: selftest (always), then the full
-#            compdb run + ci/check_annalyze.py analysis-fail harness
-#                                        [AST part skipped if libclang absent]
+#   analyze  ci/annalyze interprocedural analyzer: selftest (always), then
+#            the whole-program compdb run (STRICT, call-graph artifact
+#            exported + validated) + ci/check_annalyze.py analysis-fail
+#            harness              [clang part skipped if libclang absent]
 #   scanbuild advisory clang static analyzer with a checked-in bug-count
 #            ratchet (ci/scan_build_baseline.txt) [skipped if tool absent]
 #   lint     ci/lint_status_discipline.py + its regression selftest
@@ -172,14 +173,23 @@ do_tidy() {
 }
 
 do_analyze() {
-  # AST-grade project analyzer (ci/annalyze, DESIGN.md §13). The pure-
-  # Python selftest always runs — it needs no LLVM and covers the
-  # suppression/fixture/registry plumbing. The AST pass itself needs the
-  # clang Python bindings; run.py --probe reports their availability so
-  # the skip honors the same STRICT contract as tsafety/tidy.
+  # Interprocedural project analyzer (ci/annalyze, DESIGN.md §13). The
+  # pure-Python selftest always runs — it needs no LLVM and covers the
+  # CFG/fixpoint/cache/suppression/fixture/registry plumbing. The
+  # whole-program pass needs the clang Python bindings; when the probe
+  # finds them, this config self-promotes to STRICT so a later
+  # provisioning regression fails loudly instead of skipping. The
+  # compdb run also exports the call-graph artifact
+  # (build-analyze/callgraph.json) and validates its schema, witness
+  # chains, and edge endpoints via selftest.py --validate-callgraph.
   echo "=== annalyze selftest (ci/annalyze/selftest.py)"
   python3 ci/annalyze/selftest.py
-  if ! python3 ci/annalyze/run.py --probe >/dev/null 2>&1; then
+  if python3 ci/annalyze/run.py --probe >/dev/null 2>&1; then
+    # Scoped to the annalyze commands only — the rest of the matrix
+    # keeps the caller's STRICT so a missing clang-format elsewhere
+    # still skips politely.
+    echo "=== analyze: frontend present — running STRICT"
+  else
     skip_or_fail "analyze: libclang python bindings unavailable"
     return $?
   fi
@@ -189,9 +199,13 @@ do_analyze() {
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
     -DANNLIB_BUILD_BENCHES=ON -DANNLIB_BUILD_EXAMPLES=ON
   echo "=== annalyze (ci/annalyze/run.py --compdb build-analyze)"
-  python3 ci/annalyze/run.py --compdb build-analyze
+  STRICT=1 python3 ci/annalyze/run.py --compdb build-analyze \
+    --callgraph-json build-analyze/callgraph.json
+  echo "=== call-graph artifact check (--validate-callgraph)"
+  python3 ci/annalyze/selftest.py \
+    --validate-callgraph build-analyze/callgraph.json
   echo "=== analysis-fail harness (ci/check_annalyze.py)"
-  python3 ci/check_annalyze.py
+  STRICT=1 python3 ci/check_annalyze.py
 }
 
 do_scanbuild() {

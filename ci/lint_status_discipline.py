@@ -154,26 +154,87 @@ STATEMENT_END = re.compile(r"[;{}:]\s*$|^\s*$|^\s*#")
 MAX_FOLD_LINES = 12
 
 
+# Opening of a raw string literal at a candidate position: optional
+# encoding prefix, R, quote, delimiter (no spaces/parens/backslashes,
+# max 16 chars per the standard), opening paren.
+_RAW_OPEN_RE = re.compile(r'(?:u8|[uUL])?R"([^\s()\\"]{0,16})\(')
+
+
+class LineStripper:
+    """Stateful comment/string stripper. One instance per file; feed the
+    physical lines in order.
+
+    Removes // comments, /* */ block comments (inline or spanning
+    lines), ordinary string and char literals (quotes kept as structural
+    placeholders), and raw string literals R"delim(...)delim" —
+    including multi-line ones. Raw strings are the case the old
+    stateless per-line stripper got wrong: an R"(...)" containing
+    `Status(` or an unbalanced quote corrupted the statement fold for
+    the rest of the file.
+    """
+
+    def __init__(self):
+        self.in_block = False     # inside /* ... */
+        self.raw_delim = None     # delimiter of an open raw string
+
+    def mid_literal(self):
+        """True between lines while inside a block comment or a raw
+        string — the caller treats such lines as non-code."""
+        return self.in_block or self.raw_delim is not None
+
+    def strip(self, line):
+        out = []
+        i, n = 0, len(line)
+        while i < n:
+            if self.in_block:
+                j = line.find("*/", i)
+                if j < 0:
+                    break
+                self.in_block = False
+                i = j + 2
+                continue
+            if self.raw_delim is not None:
+                closer = ")" + self.raw_delim + '"'
+                j = line.find(closer, i)
+                if j < 0:
+                    break
+                self.raw_delim = None
+                out.append('""')  # structural placeholder
+                i = j + len(closer)
+                continue
+            c = line[i]
+            if c == "/" and i + 1 < n and line[i + 1] == "/":
+                break
+            if c == "/" and i + 1 < n and line[i + 1] == "*":
+                self.in_block = True
+                i += 2
+                continue
+            if c in "RuUL":
+                at_boundary = i == 0 or not (
+                    line[i - 1].isalnum() or line[i - 1] == "_")
+                m = _RAW_OPEN_RE.match(line, i) if at_boundary else None
+                if m is not None:
+                    self.raw_delim = m.group(1)
+                    i = m.end()
+                    continue
+            if c in "\"'":
+                quote = c
+                out.append(quote)
+                i += 1
+                while i < n and line[i] != quote:
+                    i += 2 if line[i] == "\\" else 1
+                out.append(quote)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        return "".join(out)
+
+
 def strip_comments_and_strings(line):
-    """Removes // comments, string and char literals (keeps structure)."""
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n and line[i] != quote:
-                i += 2 if line[i] == "\\" else 1
-            out.append(quote)
-            i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out)
+    """Stateless single-line convenience over LineStripper (used by the
+    per-line field scans, where multi-line literals cannot start)."""
+    return LineStripper().strip(line)
 
 
 def normalize_statement(folded):
@@ -199,7 +260,7 @@ def fold_statements(raw_lines):
     buf = []          # (lineno, stripped code)
     suppressed = False
     has_comment = False
-    in_block_comment = False
+    stripper = LineStripper()
 
     def flush():
         nonlocal buf, suppressed, has_comment
@@ -212,14 +273,12 @@ def fold_statements(raw_lines):
         return out
 
     for lineno, raw in enumerate(raw_lines, start=1):
-        if in_block_comment:
-            if "*/" in raw:
-                in_block_comment = False
+        was_mid = stripper.mid_literal()
+        code = stripper.strip(raw)
+        if was_mid and not code.strip():
+            # Wholly inside a block comment or raw string: neither code
+            # nor a statement boundary — the open statement continues.
             continue
-        code = strip_comments_and_strings(raw)
-        if "/*" in code and "*/" not in code:
-            in_block_comment = True
-            code = code[: code.index("/*")]
         if not code.strip() or code.lstrip().startswith("#"):
             stmt = flush()
             if stmt:
@@ -322,16 +381,19 @@ def lint_file(rel, raw_lines, report, bare_call=None, void_cast=None):
         check_mutex_fields(raw_lines, report)
 
     hot_regions = 0
-    in_block_comment = False
     in_hot_loop = False
+    stripper = LineStripper()
     prev_code = ""  # last non-comment code line seen
     for lineno, raw in enumerate(raw_lines, start=1):
+        # The stripper must see every line to track multi-line literals,
+        # even ones an early `continue` below skips for the rules.
+        was_mid = stripper.mid_literal()
+        code = stripper.strip(raw)
         if SUPPRESS.search(raw):
             continue
-        # Track /* ... */ blocks (rare in this codebase) conservatively.
-        if in_block_comment:
-            if "*/" in raw:
-                in_block_comment = False
+        if was_mid and not code.strip():
+            # Wholly inside a block comment or raw string: markers and
+            # rule patterns in there are data, not directives.
             continue
         hot_mark = HOT_LOOP_MARK.search(raw)
         if hot_mark:
@@ -347,10 +409,6 @@ def lint_file(rel, raw_lines, report, bare_call=None, void_cast=None):
                            "lint-hot-loop-end without matching begin")
                 in_hot_loop = False
             continue
-        code = strip_comments_and_strings(raw)
-        if "/*" in code and "*/" not in code:
-            in_block_comment = True
-            code = code[: code.index("/*")]
         fresh_statement = STATEMENT_END.search(prev_code) is not None \
             or prev_code == ""
         if code.strip():

@@ -3,7 +3,7 @@
 # overhead bar (PR 6). Run from the repository root:
 #
 #   [BUILD_DIR=build] [OUT=BENCH_PR5.json] [OUT6=BENCH_PR6.json] \
-#     [OUT7=BENCH_PR7.json] ci/run_benches.sh
+#     [OUT7=BENCH_PR7.json] [OUT9=BENCH_PR9.json] ci/run_benches.sh
 #
 # Runs, in one build tree:
 #   1. bench_kernels (google-benchmark, JSON) — scalar vs batched kernel
@@ -279,3 +279,109 @@ if need("quiesce_ok") != 1:
 EOF
 
 echo "=== wrote ${OUT7}"
+
+# --- PR 9: interprocedural annalyze — cache speedup evidence ------------
+#   6. when a clang frontend is present: configure a compdb tree, run
+#      `annalyze/run.py --compdb` cold (--clear-cache) and again warm,
+#      and fail unless warm wall clock is >= 5x faster (the summary
+#      cache skipping every re-parse); finding counts ride along.
+#      Without a frontend (this container ships only g++), falls back
+#      to annalyze/bench_engine.py — pure-Python fixpoint/check/cache
+#      timings, honestly labeled "skipped": true for the headline.
+# distilled into ${OUT9} (default BENCH_PR9.json).
+OUT9="${OUT9:-BENCH_PR9.json}"
+
+echo "=== PR 9: annalyze interprocedural analysis"
+if python3 ci/annalyze/run.py --probe >/dev/null 2>&1; then
+  ANALYZE_DIR="${TMP}/build-annalyze"
+  cmake -B "${ANALYZE_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    >/dev/null
+  echo "=== annalyze cold run (cache cleared)"
+  python3 ci/annalyze/run.py --compdb "${ANALYZE_DIR}" --clear-cache \
+    --timing-json "${TMP}/annalyze_cold.json" \
+    --callgraph-json "${TMP}/annalyze_callgraph.json"
+  python3 ci/annalyze/selftest.py \
+    --validate-callgraph "${TMP}/annalyze_callgraph.json"
+  echo "=== annalyze warm run (cache intact, no source changes)"
+  python3 ci/annalyze/run.py --compdb "${ANALYZE_DIR}" \
+    --timing-json "${TMP}/annalyze_warm.json"
+
+  python3 - "${TMP}/annalyze_cold.json" "${TMP}/annalyze_warm.json" \
+    "${OUT9}" <<'EOF'
+import json
+import sys
+
+cold_path, warm_path, out_path = sys.argv[1:4]
+with open(cold_path) as f:
+    cold = json.load(f)
+with open(warm_path) as f:
+    warm = json.load(f)
+
+speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+doc = {
+    "pr": 9,
+    "headline": {
+        "cache_speedup": round(speedup, 2),
+        "required_min": 5.0,
+        "skipped": False,
+        "definition": ("wall clock of `annalyze/run.py --compdb` with"
+                       " the summary cache cleared / wall clock of the"
+                       " immediate re-run with no source changes (all"
+                       " TUs served from the per-TU IR cache; phase-2"
+                       " fixpoint and checks still run fresh both"
+                       " times)"),
+    },
+    "cold": cold,
+    "warm": warm,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"annalyze cache speedup = {speedup:.1f}x (bar: >= 5x); "
+      f"cold {cold['wall_s']:.2f}s / warm {warm['wall_s']:.2f}s; "
+      f"warm cache hits {warm['cache']['hits']}/{warm['tus']}")
+if warm["cache"]["hits"] != warm["tus"]:
+    sys.exit("run_benches: warm run missed the cache on some TUs")
+if speedup < 5.0:
+    sys.exit("run_benches: cache speedup below the 5x acceptance bar")
+EOF
+else
+  echo "=== no clang frontend: engine-only fallback (bench_engine.py)"
+  python3 ci/annalyze/bench_engine.py --out "${TMP}/engine_bench.json" \
+    --functions 1200
+
+  python3 - "${TMP}/engine_bench.json" "${OUT9}" <<'EOF'
+import json
+import sys
+
+engine_path, out_path = sys.argv[1:3]
+with open(engine_path) as f:
+    engine = json.load(f)
+
+doc = {
+    "pr": 9,
+    "headline": {
+        "cache_speedup": None,
+        "required_min": 5.0,
+        "skipped": True,
+        "reason": ("no clang frontend (clang.cindex/libclang) in this"
+                   " environment — the cold/warm compdb comparison"
+                   " needs one; engine-only timings below are the"
+                   " fallback evidence"),
+    },
+    "engine_bench": engine,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+secs = engine["seconds"]
+print(f"engine fallback: fixpoint {secs['summarize_and_fixpoint']*1e3:.1f} ms,"
+      f" phase2 {secs['phase2_checks']*1e3:.1f} ms over"
+      f" {engine['program']['functions']} synthetic functions"
+      f" (headline cache_speedup skipped: no frontend)")
+EOF
+fi
+
+echo "=== wrote ${OUT9}"

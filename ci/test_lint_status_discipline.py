@@ -74,6 +74,73 @@ class FoldStatements(unittest.TestCase):
         self.assertEqual(self.fold(text), [])
 
 
+class StripperRegressions(unittest.TestCase):
+    """The PR 9 satellite fix: raw string literals and block comments
+    must be stripped before the fold (and the per-line rules) match."""
+
+    def fold(self, text):
+        return list(lint.fold_statements([l + "\n" for l in text.split("\n")]))
+
+    def test_raw_string_containing_status_call_does_not_confuse_fold(self):
+        # The old stateless stripper treated R"(Flush()" as an open
+        # ordinary string and corrupted every later statement.
+        stmts = self.fold('auto s = R"(s.Flush(1);)";\ns.Flush(2);')
+        self.assertEqual([s[1] for s in stmts],
+                         ['auto s = "";', "s.Flush(2);"])
+
+    def test_multiline_raw_string_is_one_statement(self):
+        stmts = self.fold(
+            'auto q = R"sql(\n  SELECT Flush(\n  1);\n)sql";\nc();')
+        self.assertEqual([s[1] for s in stmts],
+                         ['auto q = "";', "c();"])
+
+    def test_raw_string_with_quotes_inside(self):
+        stmts = self.fold('Log(R"(say "hi" and Flush())");\nc();')
+        self.assertEqual([s[1] for s in stmts],
+                         ['Log("");', "c();"])
+
+    def test_inline_block_comment_is_stripped(self):
+        stmts = self.fold("f(/* Flush( */ 1);")
+        self.assertEqual([s[1] for s in stmts], ["f(1);"])
+
+    def test_block_comment_spanning_lines_inside_statement(self):
+        stmts = self.fold("f(a, /* why\n   not */ b);")
+        self.assertEqual([s[1] for s in stmts], ["f(a, b);"])
+
+    def test_identifier_ending_in_R_is_not_a_raw_string(self):
+        stmts = self.fold('CHR"x"; c();')
+        # CHR is an identifier followed by an ordinary string literal.
+        self.assertEqual([s[1] for s in stmts], ['CHR""; c();'])
+
+    def test_raw_string_swallowed_status_not_reported(self):
+        text = ('void F(Store& s) {\n'
+                '  auto doc = R"(\n'
+                '    s.Flush(1);\n'
+                '  )";\n'
+                '  Use(doc);\n'
+                '}')
+        self.assertEqual(run_lint("src/ann/x.cc", text), [])
+
+    def test_rule_patterns_inside_raw_strings_do_not_fire(self):
+        text = ('void F() {\n'
+                '  auto msg = R"(use std::mutex and new Foo and\n'
+                'std::mt19937 here)";\n'
+                '  Use(msg);\n'
+                '}')
+        self.assertEqual(run_lint("src/ann/x.cc", text), [])
+
+    def test_markers_inside_raw_strings_are_data(self):
+        text = ('auto help = R"(\n'
+                '// lint-hot-loop-end\n'
+                ')";')
+        self.assertEqual(run_lint("src/ann/x.cc", text), [])
+
+    def test_stateless_wrapper_still_strips_single_line(self):
+        self.assertEqual(
+            lint.strip_comments_and_strings('f("a//b", \'c\'); // x'),
+            'f("", \'\'); ')
+
+
 class SwallowedStatus(unittest.TestCase):
     def test_single_line_discard_still_caught(self):
         found = run_lint("src/ann/x.cc", "void F(Store& s) {\n  s.Flush(1);\n}")
