@@ -1,0 +1,440 @@
+/// \file
+/// Out-of-core sweep (PR 10): mmap vs pread storage backends, async
+/// prefetch on/off, at buffer pools far smaller than the working set —
+/// the Fig 3(b)-style experiment pushed past RAM.
+///
+/// The bench
+///   1. streams a synthetic dataset to a raw points file
+///      (GenerateGstdToFile — bounded memory at any size) and reads it
+///      back,
+///   2. times Mbrqt::BulkLoad against the insertion build (the STR-style
+///      bulk load must be the cheap way to build the query index),
+///   3. persists R and S MBR-quadtrees into a FILE-backed workspace and
+///      runs All-NN under each {pool size} x {pread, mmap} x
+///      {prefetch off, on} configuration, reading the io.stall and
+///      prefetch counters around every run,
+///   4. verifies the result checksum is identical across all
+///      configurations (prefetch and the storage backend are pure
+///      performance knobs).
+///
+/// Knobs (environment):
+///   ANN_OOC_POINTS      total points before the R/S split (default 600K;
+///                       67108864 at dim 8 is the 4 GiB paper-scale run)
+///   ANN_OOC_BUILD_POINTS  points for the bulk-load-vs-insert timing only
+///                       (default: ANN_OOC_POINTS). The insert path's
+///                       cache misses grow with N, so the >=5x contrast
+///                       needs a few million points to show — more than
+///                       the IO sweep needs to saturate a 16 MiB pool.
+///   ANN_OOC_DIM         dimensionality (default 4)
+///   ANN_OOC_POOLS_MIB   comma list of pool sizes in MiB (default
+///                       "16,32,64")
+///   ANN_IO_DELAY_US     synthetic per-ReadPage device latency in
+///                       microseconds (default 150; 0 = raw device). The
+///                       delay is injected below the buffer pool, so
+///                       demand stalls and background prefetch both pay
+///                       it — exactly like a real disk.
+///
+/// Machine-readable output: `key=value` lines consumed by
+/// ci/run_benches.sh to produce BENCH_PR10.json and enforce the >=2x
+/// stall-reduction and >=5x bulk-load gates.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/gstd.h"
+#include "storage/prefetcher.h"
+
+namespace ann::bench {
+namespace {
+
+size_t PointsFromEnv() {
+  const char* env = std::getenv("ANN_OOC_POINTS");
+  if (env == nullptr) return 600000;
+  const long long v = std::atoll(env);
+  return v > 16 ? static_cast<size_t>(v) : 600000;
+}
+
+size_t BuildPointsFromEnv(size_t sweep_points) {
+  const char* env = std::getenv("ANN_OOC_BUILD_POINTS");
+  if (env == nullptr) return sweep_points;
+  const long long v = std::atoll(env);
+  return v > 16 ? static_cast<size_t>(v) : sweep_points;
+}
+
+int DimFromEnv() {
+  const char* env = std::getenv("ANN_OOC_DIM");
+  if (env == nullptr) return 4;
+  const int v = std::atoi(env);
+  return v >= 1 && v <= kMaxDim ? v : 4;
+}
+
+int DelayMicrosFromEnv() {
+  const char* env = std::getenv("ANN_IO_DELAY_US");
+  if (env == nullptr) return 150;
+  const int v = std::atoi(env);
+  return v >= 0 ? v : 150;
+}
+
+std::vector<size_t> PoolsMibFromEnv() {
+  const char* env = std::getenv("ANN_OOC_POOLS_MIB");
+  std::string spec = env == nullptr ? "16,32,64" : env;
+  std::vector<size_t> pools;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const long v = std::atol(tok.c_str());
+    if (v > 0) pools.push_back(static_cast<size_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (pools.empty()) pools = {16, 32, 64};
+  return pools;
+}
+
+std::string TmpPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir == nullptr ? "/tmp" : dir) + "/" + name;
+}
+
+/// DiskManager decorator charging a fixed device latency per page READ —
+/// the knob that turns the in-RAM backing store into a "disk" whose
+/// stalls are worth prefetching around. Writes are not delayed (the
+/// sweep's runs are read-only traversals; build-time writes would only
+/// slow setup). Allocation, page count and I/O counters delegate to the
+/// wrapped manager.
+class DelayDiskManager final : public DiskManager {
+ public:
+  DelayDiskManager(DiskManager* inner, int delay_us)
+      : inner_(inner), delay_us_(delay_us) {}
+
+  Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
+  Status ReadPage(PageId id, Page* out) override {
+    if (delay_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+    }
+    return inner_->ReadPage(id, out);
+  }
+  Status WritePage(PageId id, const Page& page) override {
+    return inner_->WritePage(id, page);
+  }
+  uint64_t page_count() const override { return inner_->page_count(); }
+
+ private:
+  DiskManager* const inner_;
+  const int delay_us_;
+};
+
+/// File-backed analogue of bench_common::Workspace (which hard-codes an
+/// in-memory disk): one real page file under the chosen backend, wrapped
+/// in the latency decorator, one pool, one node store.
+struct OocWorkspace {
+  std::unique_ptr<DiskManager> file_disk;
+  std::unique_ptr<DelayDiskManager> delay;
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<NodeStore> store;
+  std::string path;
+
+  static Result<std::unique_ptr<OocWorkspace>> Create(StorageBackend backend,
+                                                      int delay_us) {
+    auto ws = std::make_unique<OocWorkspace>();
+    ws->path = TmpPath(std::string("bench_ooc_") +
+                       StorageBackendName(backend) + ".pages");
+    ANN_ASSIGN_OR_RETURN(ws->file_disk,
+                         CreateFileBackedDiskManager(backend, ws->path));
+    ws->delay =
+        std::make_unique<DelayDiskManager>(ws->file_disk.get(), delay_us);
+    // Build-size pool; each measured run shrinks it with Reset().
+    ws->pool = std::make_unique<BufferPool>(ws->delay.get(), size_t{1} << 16);
+    ws->store = std::make_unique<NodeStore>(ws->pool.get());
+    return ws;
+  }
+
+  ~OocWorkspace() {
+    store.reset();
+    pool.reset();
+    file_disk.reset();
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+/// Order-independent digest of an All-NN result stream: FNV-1a per list
+/// (query id, then each neighbor id and the raw distance bits), combined
+/// by addition so arrival order is irrelevant. Bitwise-equal result sets
+/// — and only those — produce equal digests.
+struct ResultDigest {
+  uint64_t sum = 0;
+  uint64_t lists = 0;
+  uint64_t neighbors = 0;
+
+  Status Add(NeighborList&& list) {
+    uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(list.r_id);
+    for (const Neighbor& n : list.neighbors) {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(n.second));
+      std::memcpy(&bits, &n.second, sizeof(bits));
+      mix(n.first);
+      mix(bits);
+      ++neighbors;
+    }
+    sum += h;
+    ++lists;
+    return Status::OK();
+  }
+};
+
+struct RunResult {
+  double wall_s = 0;
+  double stall_ms = 0;
+  uint64_t stall_reads = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_dropped = 0;
+  ResultDigest digest;
+};
+
+uint64_t CounterValue(const char* name) {
+  return obs::GetCounter(name)->value();
+}
+
+Result<RunResult> RunSweepPoint(OocWorkspace* ws,
+                                const PersistedIndexMeta& r_meta,
+                                const PersistedIndexMeta& s_meta,
+                                size_t frames, bool prefetch) {
+  ANN_RETURN_NOT_OK(ws->pool->Reset(frames));
+  ws->pool->ResetStats();
+
+  PagedIndexView ir(ws->store.get(), r_meta);
+  PagedIndexView is(ws->store.get(), s_meta);
+  std::unique_ptr<Prefetcher> prefetcher;
+  if (prefetch) {
+    prefetcher = std::make_unique<Prefetcher>(ws->pool.get());
+    ir.AttachPrefetcher(prefetcher.get());
+    is.AttachPrefetcher(prefetcher.get());
+  }
+
+  const uint64_t stall_ns0 = CounterValue("storage.io.stall_ns");
+  const uint64_t stall_reads0 = CounterValue("storage.io.stall_reads");
+  const uint64_t hits0 = CounterValue("storage.prefetch.hits");
+
+  RunResult run;
+  AnnOptions options;
+  options.k = 1;
+  const Timer timer;
+  ANN_RETURN_NOT_OK(AllNearestNeighbors(
+      ir, is, options,
+      [&run](NeighborList&& list) { return run.digest.Add(std::move(list)); },
+      nullptr));
+  run.wall_s = timer.Seconds();
+
+  if (prefetcher != nullptr) {
+    prefetcher->Stop();
+    run.prefetch_issued = prefetcher->issued();
+    run.prefetch_dropped = prefetcher->dropped();
+    run.prefetch_hits = CounterValue("storage.prefetch.hits") - hits0;
+  }
+  run.stall_ms =
+      (CounterValue("storage.io.stall_ns") - stall_ns0) / 1e6;
+  run.stall_reads = CounterValue("storage.io.stall_reads") - stall_reads0;
+  return run;
+}
+
+int Main() {
+  const size_t points = PointsFromEnv();
+  const int dim = DimFromEnv();
+  const int delay_us = DelayMicrosFromEnv();
+  const std::vector<size_t> pools_mib = PoolsMibFromEnv();
+
+  PrintHeader("Out-of-core sweep: storage backend x prefetch x pool size",
+              "All-NN over file-backed MBR-quadtrees; pools far below the "
+              "working set. ANN_OOC_POINTS / ANN_OOC_DIM / "
+              "ANN_OOC_POOLS_MIB / ANN_IO_DELAY_US to vary.");
+  std::printf("points=%zu\n", points);
+  std::printf("dim=%d\n", dim);
+  std::printf("io_delay_us=%d\n", delay_us);
+
+  // --- 1. dataset: streamed to a raw file, then loaded -------------------
+  GstdSpec spec;
+  spec.dim = dim;
+  spec.count = points;
+  spec.distribution = Distribution::kClustered;
+  spec.clusters = 64;
+  spec.seed = 10;
+  const std::string data_path = TmpPath("bench_ooc_points.f64");
+  {
+    const Timer gen_timer;
+    const Status st = GenerateGstdToFile(spec, data_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "datagen: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("datagen_file_s=%.3f\n", gen_timer.Seconds());
+  }
+  auto data_or = ReadPointsFile(data_path, dim);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "read: %s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset data = std::move(data_or).value();
+  std::printf("dataset_bytes=%zu\n",
+              data.size() * static_cast<size_t>(dim) * sizeof(Scalar));
+
+  // --- 2. STR bulk load vs insertion build -------------------------------
+  // Timed on its own dataset (possibly larger than the sweep's): the
+  // contrast the gate cares about is build cost at index scales where the
+  // insert path's pointer-chasing falls out of cache.
+  const size_t build_points = BuildPointsFromEnv(points);
+  const Dataset* build_data = &data;
+  Dataset build_data_storage;
+  if (build_points != points) {
+    GstdSpec build_spec = spec;
+    build_spec.count = build_points;
+    auto build_or = GenerateGstd(build_spec);
+    if (!build_or.ok()) {
+      std::fprintf(stderr, "datagen(build): %s\n",
+                   build_or.status().ToString().c_str());
+      return 1;
+    }
+    build_data_storage = std::move(build_or).value();
+    build_data = &build_data_storage;
+  }
+  std::printf("build_points=%zu\n", build_points);
+  double insert_s = 0, bulk_s = 0;
+  {
+    const Timer t;
+    auto built = Mbrqt::Build(*build_data);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    insert_s = t.Seconds();
+  }
+  {
+    const Timer t;
+    auto built = Mbrqt::BulkLoad(*build_data);
+    if (!built.ok()) {
+      std::fprintf(stderr, "bulk: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    bulk_s = t.Seconds();
+  }
+  build_data_storage = Dataset();
+  std::printf("build_insert_s=%.3f\n", insert_s);
+  std::printf("build_bulk_s=%.3f\n", bulk_s);
+  std::printf("bulk_speedup=%.2f\n", insert_s / std::max(bulk_s, 1e-9));
+
+  Dataset r, s;
+  SplitHalves(data, &r, &s);
+
+  // --- 3. the sweep ------------------------------------------------------
+  PrintColumns({"config", "wall s", "stall ms", "pf hits"});
+  bool digests_agree = true;
+  uint64_t reference_digest = 0;
+  bool have_reference = false;
+
+  for (const StorageBackend backend :
+       {StorageBackend::kPread, StorageBackend::kMmap}) {
+    auto ws_or = OocWorkspace::Create(backend, delay_us);
+    if (!ws_or.ok()) {
+      std::fprintf(stderr, "workspace: %s\n",
+                   ws_or.status().ToString().c_str());
+      return 1;
+    }
+    auto ws = std::move(ws_or).value();
+
+    // Persist both trees via the STR bulk load (step 2 just showed why).
+    PersistedIndexMeta r_meta, s_meta;
+    for (const auto& [dataset, meta] :
+         {std::pair<const Dataset*, PersistedIndexMeta*>{&r, &r_meta},
+          {&s, &s_meta}}) {
+      auto qt = Mbrqt::BulkLoad(*dataset);
+      if (!qt.ok()) {
+        std::fprintf(stderr, "bulk: %s\n", qt.status().ToString().c_str());
+        return 1;
+      }
+      auto persisted = PersistMemTree(qt->Finalize(), ws->store.get());
+      if (!persisted.ok()) {
+        std::fprintf(stderr, "persist: %s\n",
+                     persisted.status().ToString().c_str());
+        return 1;
+      }
+      *meta = std::move(persisted).value();
+    }
+    const Status flushed = ws->pool->FlushAll();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "flush: %s\n", flushed.ToString().c_str());
+      return 1;
+    }
+    std::printf("index_pages_%s=%llu\n", StorageBackendName(backend),
+                static_cast<unsigned long long>(ws->file_disk->page_count()));
+
+    for (const size_t mib : pools_mib) {
+      const size_t frames = FramesForPoolBytes(mib << 20);
+      for (const bool prefetch : {false, true}) {
+        auto run_or =
+            RunSweepPoint(ws.get(), r_meta, s_meta, frames, prefetch);
+        if (!run_or.ok()) {
+          std::fprintf(stderr, "run: %s\n",
+                       run_or.status().ToString().c_str());
+          return 1;
+        }
+        const RunResult& run = *run_or;
+        const std::string tag = std::string(StorageBackendName(backend)) +
+                                "_pool" + std::to_string(mib) +
+                                (prefetch ? "_prefetch" : "_sync");
+        PrintRow(tag, {run.wall_s, run.stall_ms,
+                       static_cast<double>(run.prefetch_hits)});
+        std::printf("wall_s_%s=%.4f\n", tag.c_str(), run.wall_s);
+        std::printf("stall_ms_%s=%.4f\n", tag.c_str(), run.stall_ms);
+        std::printf("stall_reads_%s=%llu\n", tag.c_str(),
+                    static_cast<unsigned long long>(run.stall_reads));
+        if (prefetch) {
+          std::printf("prefetch_issued_%s=%llu\n", tag.c_str(),
+                      static_cast<unsigned long long>(run.prefetch_issued));
+          std::printf("prefetch_hits_%s=%llu\n", tag.c_str(),
+                      static_cast<unsigned long long>(run.prefetch_hits));
+          std::printf("prefetch_dropped_%s=%llu\n", tag.c_str(),
+                      static_cast<unsigned long long>(run.prefetch_dropped));
+        }
+        if (!have_reference) {
+          reference_digest = run.digest.sum;
+          have_reference = true;
+          std::printf("result_lists=%llu\n",
+                      static_cast<unsigned long long>(run.digest.lists));
+          std::printf("result_neighbors=%llu\n",
+                      static_cast<unsigned long long>(run.digest.neighbors));
+        } else if (run.digest.sum != reference_digest) {
+          digests_agree = false;
+          std::fprintf(stderr,
+                       "DIGEST MISMATCH at %s: results are not "
+                       "bit-identical across configurations\n",
+                       tag.c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("identical_results=%d\n", digests_agree ? 1 : 0);
+  std::remove(data_path.c_str());
+  MaybeDumpStatsJson("out_of_core");
+  return digests_agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ann::bench
+
+int main(int argc, char** argv) {
+  ann::bench::InitBenchArgs(argc, argv);
+  return ann::bench::Main();
+}

@@ -158,6 +158,14 @@ WAIT_TRAVERSAL_OPAQUE_CLASSES = {
         "see DiskManager — the file-backed implementation",
     "MemDiskManager":
         "see DiskManager — the in-memory implementation",
+    "MmapDiskManager":
+        "see DiskManager — the mmap-backed implementation; page faults "
+        "resolve against the kernel page cache, not another task",
+    "Prefetcher":
+        "Enqueue is non-blocking by contract (a full queue drops the "
+        "hint) and the CondVar inside is the worker thread's own queue "
+        "latch — the sanctioned wait-edge of the background IO thread, "
+        "never a barrier for the hinting traversal (DESIGN.md §14)",
 }
 
 # ---------------------------------------------------------------------------

@@ -3,7 +3,8 @@
 # overhead bar (PR 6). Run from the repository root:
 #
 #   [BUILD_DIR=build] [OUT=BENCH_PR5.json] [OUT6=BENCH_PR6.json] \
-#     [OUT7=BENCH_PR7.json] [OUT9=BENCH_PR9.json] ci/run_benches.sh
+#     [OUT7=BENCH_PR7.json] [OUT9=BENCH_PR9.json] \
+#     [OUT10=BENCH_PR10.json] ci/run_benches.sh
 #
 # Runs, in one build tree:
 #   1. bench_kernels (google-benchmark, JSON) — scalar vs batched kernel
@@ -385,3 +386,88 @@ EOF
 fi
 
 echo "=== wrote ${OUT9}"
+
+# --- PR 10: out-of-core — io.stall reduction + STR bulk-load speedup ----
+#   7. builds bench_out_of_core and runs it at the pinned CI scale: a
+#      600K-point sweep against a 16 MiB pool (working set ~30 MiB of
+#      index pages, 150 us synthetic device latency) plus a 4.8M-point
+#      build-timing contrast. Gates: prefetch must cut obs-measured
+#      io.stall by >= 2x vs the synchronous run on BOTH storage
+#      backends, Mbrqt::BulkLoad must beat the insert build by >= 5x,
+#      and the All-NN result digest must be bit-identical across all
+#      {pread, mmap} x {sync, prefetch} configurations (the bench
+#      itself exits nonzero on a digest mismatch).
+# distilled into ${OUT10} (default BENCH_PR10.json).
+OUT10="${OUT10:-BENCH_PR10.json}"
+
+echo "=== PR 10: out-of-core sweep (storage backend x prefetch)"
+if [ ! -x "${BUILD_DIR}/bench/bench_out_of_core" ]; then
+  cmake --build "${BUILD_DIR}" -j --target bench_out_of_core
+fi
+ANN_OOC_POINTS=600000 ANN_OOC_BUILD_POINTS=4800000 ANN_OOC_DIM=4 \
+  ANN_OOC_POOLS_MIB=16 ANN_IO_DELAY_US=150 \
+  "${BUILD_DIR}/bench/bench_out_of_core" | tee "${TMP}/ooc.txt"
+
+python3 - "${TMP}/ooc.txt" "${OUT10}" <<'EOF'
+import json
+import re
+import sys
+
+ooc_path, out_path = sys.argv[1:3]
+kv = {}
+with open(ooc_path) as f:
+    for line in f:
+        m = re.match(r"([A-Za-z_][\w.]*)=(-?[\d.]+)\s*$", line)
+        if m:
+            kv[m.group(1)] = float(m.group(2))
+
+def need(key):
+    if key not in kv:
+        sys.exit(f"run_benches: bench_out_of_core did not emit {key}")
+    return kv[key]
+
+reductions = {}
+for backend in ("pread", "mmap"):
+    sync = need(f"stall_ms_{backend}_pool16_sync")
+    pf = need(f"stall_ms_{backend}_pool16_prefetch")
+    reductions[backend] = sync / max(pf, 1e-9)
+
+bulk_speedup = need("bulk_speedup")
+identical = int(need("identical_results"))
+
+doc = {
+    "pr": 10,
+    "headline": {
+        "stall_reduction": {k: round(v, 2) for k, v in reductions.items()},
+        "required_min_stall_reduction": 2.0,
+        "bulk_speedup": round(bulk_speedup, 2),
+        "required_min_bulk_speedup": 5.0,
+        "identical_results": identical,
+        "definition": ("stall_reduction: obs storage.io.stall_ns of the"
+                       " synchronous run / the prefetch run, per storage"
+                       " backend, 16 MiB pool, 150 us device latency."
+                       " bulk_speedup: Mbrqt insert-path build wall"
+                       " clock / Mbrqt::BulkLoad wall clock at 4.8M"
+                       " points, dim 4. identical_results: 1 iff the"
+                       " All-NN digest matched across all 4 configs."),
+    },
+    "raw": kv,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+for backend, r in reductions.items():
+    print(f"{backend}: io.stall reduction {r:.2f}x (bar: >= 2x)")
+print(f"bulk load speedup {bulk_speedup:.2f}x (bar: >= 5x); "
+      f"identical_results={identical}")
+if identical != 1:
+    sys.exit("run_benches: results differ across storage/prefetch configs")
+for backend, r in reductions.items():
+    if r < 2.0:
+        sys.exit(f"run_benches: {backend} stall reduction below the 2x bar")
+if bulk_speedup < 5.0:
+    sys.exit("run_benches: bulk-load speedup below the 5x acceptance bar")
+EOF
+
+echo "=== wrote ${OUT10}"

@@ -20,7 +20,9 @@
 // object after the run — to PATH, or to stdout when PATH is omitted or
 // "-". Invoked with no input files, --stats-json runs a built-in seeded
 // demo workload through the disk-resident engine so the emitted counters
-// exercise every layer.
+// exercise every layer. --storage=mem|pread|mmap picks the demo's page
+// store: in-memory (default), pread/pwrite on a scratch file, or the
+// mmap-backed manager.
 //
 // --trace=PATH records a structured span trace of the run and writes it
 // as Chrome trace-event JSON — load PATH in ui.perfetto.dev (or
@@ -47,6 +49,8 @@
 // with --trace: each commit runs under "replay/apply_batch" and either
 // "ann/maintain" or "replay/full_requery" spans, so the trace summary and
 // slow-op log attribute per-op latency to the apply/repair phases.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
@@ -385,8 +389,10 @@ ann::Status DumpStatsJson(const std::string& path,
 // MBRQTs, persists them into a NodeStore, queries through a small buffer
 // pool (so hits, misses and evictions all occur), and runs Ak2N. Every
 // obs-instrumented layer reports counters, making the emitted snapshot a
-// one-command demonstration of the observability surface.
-ann::Status RunStatsDemo() {
+// one-command demonstration of the observability surface. `storage` picks
+// the page store beneath the pool: "mem" (default), or "pread"/"mmap" for
+// the file-backed backends against a scratch file.
+ann::Status RunStatsDemo(const std::string& storage) {
   ann::GstdSpec spec;
   spec.dim = 2;
   spec.count = 20000;
@@ -396,8 +402,22 @@ ann::Status RunStatsDemo() {
   ann::Dataset r, s;
   ann::SplitHalves(data, &r, &s);
 
-  ann::MemDiskManager disk;
-  ann::BufferPool pool(&disk, 1u << 14);
+  ann::MemDiskManager mem_disk;
+  std::unique_ptr<ann::DiskManager> file_disk;
+  ann::DiskManager* disk = &mem_disk;
+  std::string scratch_path;
+  if (storage != "mem") {
+    ANN_ASSIGN_OR_RETURN(const ann::StorageBackend backend,
+                         ann::ParseStorageBackend(storage));
+    scratch_path = "/tmp/ann_tool_demo_" +
+                   std::to_string(static_cast<long>(::getpid())) + ".pages";
+    ANN_ASSIGN_OR_RETURN(file_disk, ann::CreateFileBackedDiskManager(
+                                        backend, scratch_path));
+    disk = file_disk.get();
+    std::fprintf(stderr, "demo storage: %s (%s)\n",
+                 ann::StorageBackendName(backend), scratch_path.c_str());
+  }
+  ann::BufferPool pool(disk, 1u << 14);
   ann::NodeStore store(&pool);
   ANN_ASSIGN_OR_RETURN(ann::Mbrqt qt_r, ann::Mbrqt::Build(r));
   ANN_ASSIGN_OR_RETURN(ann::Mbrqt qt_s, ann::Mbrqt::Build(s));
@@ -421,6 +441,9 @@ ann::Status RunStatsDemo() {
                results.size(), (unsigned long long)ps.io.pool_hits,
                (unsigned long long)ps.io.pool_misses,
                (unsigned long long)ps.io.evictions, 100 * ps.hit_rate());
+  // Unlink the scratch page file (the manager's open fd keeps it readable
+  // until the pool above is torn down).
+  if (!scratch_path.empty()) std::remove(scratch_path.c_str());
   return ann::Status::OK();
 }
 
@@ -464,6 +487,7 @@ int main(int argc, char** argv) {
   std::string stats_json_path;  // empty = off, "-" = stdout
   std::string trace_path;       // empty = tracing off
   std::string replay_path;      // empty = static mode
+  std::string storage = "mem";  // demo page store: mem | pread | mmap
   double slow_ms = 0;
   int num_threads = 1;
   std::vector<char*> args;
@@ -473,6 +497,14 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
       stats_json_path = argv[i] + 13;
       if (stats_json_path.empty()) stats_json_path = "-";
+    } else if (std::strncmp(argv[i], "--storage=", 10) == 0) {
+      storage = argv[i] + 10;
+      if (storage != "mem" && !ann::ParseStorageBackend(storage).ok()) {
+        std::fprintf(stderr,
+                     "bad --storage=%s (expected mem, pread or mmap)\n",
+                     storage.c_str());
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
@@ -501,7 +533,7 @@ int main(int argc, char** argv) {
 
   if (args.size() < 2 && !stats_json_path.empty()) {
     // No input files: run the built-in demo workload and dump the stats.
-    const ann::Status st = RunStatsDemo();
+    const ann::Status st = RunStatsDemo(storage);
     if (!st.ok()) {
       std::fprintf(stderr, "demo failed: %s\n", st.ToString().c_str());
       return 1;
@@ -522,7 +554,8 @@ int main(int argc, char** argv) {
                  "usage: %s [--stats-json[=PATH]] [--trace=PATH] "
                  "[--slow-ms=N] [--threads=N] [--update-replay=PATH] "
                  "<queries.csv> <targets.csv> [k] [output.csv] [cache.ann]\n"
-                 "       %s --stats-json   (built-in demo workload)\n",
+                 "       %s --stats-json [--storage=mem|pread|mmap]   "
+                 "(built-in demo workload)\n",
                  argv[0], argv[0]);
     return 2;
   }

@@ -70,7 +70,7 @@ EngineContext::EngineContext(const SpatialIndex& ir, const SpatialIndex& is,
     : ir_(ir), is_(is), ir_snap_(std::move(ir_snap)),
       is_snap_(std::move(is_snap)), options_(options),
       sink_(std::move(sink)), cancel_(cancel),
-      pool_(arena_backed_lpqs ? &arena_ : nullptr) {}
+      pool_(arena_backed_lpqs ? &arena_ : nullptr, options.epsilon) {}
 
 void EngineContext::SeedRoot() {
   const Scalar root_bound2 =
@@ -196,7 +196,7 @@ Status EngineContext::Gather(Lpq* lpq) {
       kernel_stats_.points += count;
       kernel_stats_.early_exits += kernels::PointBlockDist2Bounded(
           lpq->owner().mbr.lo.data(), leaf_block_.coords.data(), count, dim,
-          lpq->bound2(), mind2_.data());
+          lpq->prune_bound2(), mind2_.data());
       // lint-hot-loop-begin
       for (size_t i = 0; i < count; ++i) {
         lpq->EnqueueObject(leaf_block_.ids[i],
@@ -206,6 +206,9 @@ Status EngineContext::Gather(Lpq* lpq) {
       // lint-hot-loop-end
       bulk_span.AddArg("enqueued", stats_.enqueued - enqueued_before);
     } else if (!scratch_.empty()) {
+      // The best-first pop order will expand (a prefix of) these children
+      // next — warm their pages while this thread scores and admits them.
+      is_.PrefetchHint(is_snap_, scratch_.data(), scratch_.size());
       // Internal children: batch the MIND/MAXD pairs over the entry
       // block (strided — the MBR is the first member of IndexEntry),
       // then admit in the original order.
@@ -243,6 +246,9 @@ Status EngineContext::Expand(Lpq* lpq) {
   obs_.r_level.Record(static_cast<double>(lpq->level()));
   std::vector<IndexEntry> r_children;
   ANN_RETURN_NOT_OK(ir_.Expand(ir_snap_, lpq->owner(), &r_children));
+  // Each non-object child becomes a worklist LPQ whose own Expand/Gather
+  // will fault its node — hint those pages one step ahead.
+  ir_.PrefetchHint(ir_snap_, r_children.data(), r_children.size());
   child_lpqs_.clear();
   child_lpqs_.reserve(r_children.size());
   owner_mbrs_.clear();
@@ -279,11 +285,12 @@ Status EngineContext::Expand(Lpq* lpq) {
   ANNLIB_TRACE_SPAN_NAMED(filter_span, "mba", "filter");
   LpqEntry n;
   while (lpq->Dequeue(&n)) {
-    // An IS entry can only matter if its MIND beats some child's bound.
+    // An IS entry can only matter if its MIND beats some child's bound
+    // (the epsilon-scaled prune bound — equal to the exact bound at 0).
     Scalar max_child_bound2 = -1;
     for (const auto& child : child_lpqs_) {
-      if (child->bound2() > max_child_bound2) {
-        max_child_bound2 = child->bound2();
+      if (child->prune_bound2() > max_child_bound2) {
+        max_child_bound2 = child->prune_bound2();
       }
     }
     if (ExceedsBound2(n.mind2, max_child_bound2)) {
@@ -338,6 +345,9 @@ Status EngineContext::Expand(Lpq* lpq) {
           // lint-hot-loop-end
         }
       } else {
+        // Surviving IS children re-enter child LPQs and get expanded in a
+        // later stage — warm their pages now, during the probe loop.
+        is_.PrefetchHint(is_snap_, scratch_.data(), scratch_.size());
         for (const IndexEntry& e : scratch_) {
           stats_.distance_evals += nc;
           ++kernel_stats_.batches;

@@ -80,16 +80,17 @@ struct EngineObs {
 /// one pool safe.
 class LpqPool {
  public:
-  explicit LpqPool(Arena* arena = nullptr) : arena_(arena) {}
+  explicit LpqPool(Arena* arena = nullptr, Scalar epsilon = 0)
+      : arena_(arena), epsilon_(epsilon) {}
 
   std::unique_ptr<Lpq> Acquire(const IndexEntry& owner, Scalar bound2, int k,
                                int level) {
     if (free_.empty()) {
-      return std::make_unique<Lpq>(owner, bound2, k, level, arena_);
+      return std::make_unique<Lpq>(owner, bound2, k, level, arena_, epsilon_);
     }
     std::unique_ptr<Lpq> lpq = std::move(free_.back());
     free_.pop_back();
-    lpq->Reset(owner, bound2, k, level);
+    lpq->Reset(owner, bound2, k, level, epsilon_);
     return lpq;
   }
 
@@ -97,6 +98,7 @@ class LpqPool {
 
  private:
   Arena* arena_;
+  Scalar epsilon_;  ///< AnnOptions::epsilon, stamped into every queue
   std::vector<std::unique_ptr<Lpq>> free_;
 };
 

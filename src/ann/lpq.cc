@@ -51,20 +51,23 @@ std::string PruneStats::ToString() const {
 }
 
 Lpq::Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level,
-         Arena* arena)
+         Arena* arena, Scalar epsilon)
     : owner_(owner),
       k_(k),
       level_(level),
       bound2_(inherited_bound2),
+      prune_scale2_(1 / ((1 + epsilon) * (1 + epsilon))),
       live_maxd2_(ArenaAllocator<Scalar>(arena)),
       storage_(ArenaAllocator<LpqEntry>(arena)),
       order_(ArenaAllocator<Key>(arena)) {}
 
-void Lpq::Reset(IndexEntry owner, Scalar inherited_bound2, int k, int level) {
+void Lpq::Reset(IndexEntry owner, Scalar inherited_bound2, int k, int level,
+                Scalar epsilon) {
   owner_ = owner;
   k_ = k;
   level_ = level;
   bound2_ = inherited_bound2;
+  prune_scale2_ = 1 / ((1 + epsilon) * (1 + epsilon));
   live_maxd2_.clear();
   committed_ = 0;
   storage_.clear();
@@ -103,7 +106,8 @@ void Lpq::TightenBound(Scalar candidate2, PruneStats* stats) {
   bound2_ = candidate2;
   // Filter stage: the tightened bound may kill queued entries; they are
   // sorted by MIND, so the victims form a suffix.
-  while (order_.size() > head_ && ExceedsBound2(order_.back().mind2, bound2_)) {
+  while (order_.size() > head_ &&
+         ExceedsBound2(order_.back().mind2, prune_bound2())) {
     if (k_ > 1) EraseLive(order_.back().maxd2);
     order_.pop_back();
     ++stats->pruned_by_filter;
@@ -133,7 +137,7 @@ void Lpq::AdmitKey(Scalar mind2, Scalar maxd2, PruneStats* stats) {
 
 bool Lpq::Enqueue(const LpqEntry& e, PruneStats* stats) {
   ++stats->enqueue_attempts;
-  if (ExceedsBound2(e.mind2, bound2_)) {
+  if (ExceedsBound2(e.mind2, prune_bound2())) {
     ++stats->pruned_on_entry;
     return false;
   }
@@ -145,7 +149,7 @@ bool Lpq::Enqueue(const LpqEntry& e, PruneStats* stats) {
 bool Lpq::EnqueueObject(uint64_t id, const Scalar* p, int dim, Scalar d2,
                         uint16_t level, PruneStats* stats) {
   ++stats->enqueue_attempts;
-  if (ExceedsBound2(d2, bound2_)) {
+  if (ExceedsBound2(d2, prune_bound2())) {
     ++stats->pruned_on_entry;
     return false;
   }
@@ -166,7 +170,7 @@ bool Lpq::EnqueueObject(uint64_t id, const Scalar* p, int dim, Scalar d2,
 bool Lpq::EnqueueProbe(const IndexEntry& e, Scalar mind2, Scalar maxd2,
                        uint16_t level, PruneStats* stats) {
   ++stats->enqueue_attempts;
-  if (ExceedsBound2(mind2, bound2_)) {
+  if (ExceedsBound2(mind2, prune_bound2())) {
     ++stats->pruned_on_entry;
     return false;
   }

@@ -79,19 +79,31 @@ class Lpq {
   ///   standalone use and for LPQs that outlive their creating thread
   ///   (partition seeds). The arena must outlive the Lpq and is confined
   ///   to the thread using the queue.
+  /// \param epsilon approximation slack (AnnOptions::epsilon): pruning
+  ///   compares MIND^2 against bound^2/(1+epsilon)^2 instead of bound^2.
+  ///   0 divides by exactly 1.0 — the exact algorithm, bit for bit.
   Lpq(IndexEntry owner, Scalar inherited_bound2, int k, int level = 0,
-      Arena* arena = nullptr);
+      Arena* arena = nullptr, Scalar epsilon = 0);
 
   /// Re-initializes the queue for a new owner, keeping the container
   /// capacity. Lets the engine recycle LPQ allocations across the millions
   /// of queues a run creates instead of churning the allocator.
-  void Reset(IndexEntry owner, Scalar inherited_bound2, int k, int level);
+  void Reset(IndexEntry owner, Scalar inherited_bound2, int k, int level,
+             Scalar epsilon = 0);
 
   const IndexEntry& owner() const { return owner_; }
   int level() const { return level_; }
 
-  /// Current squared pruning upper bound.
+  /// Current squared pruning upper bound (exact: the k-witness MAXD^2
+  /// minimum — what children inherit, and what certifies results).
   Scalar bound2() const { return bound2_; }
+
+  /// The bound every pruning test actually compares against:
+  /// bound2() / (1+epsilon)^2. Equal to bound2() (bitwise) when
+  /// epsilon = 0. Admission, filter eviction and the engine's
+  /// pop-time prune all use this, so an epsilon run cuts entries whose
+  /// subtree could improve a neighbor by less than a (1+epsilon) factor.
+  Scalar prune_bound2() const { return bound2_ * prune_scale2_; }
 
   bool empty() const { return head_ >= order_.size(); }
   size_t size() const { return order_.size() - head_; }
@@ -156,6 +168,7 @@ class Lpq {
   int k_;
   int level_;
   Scalar bound2_;
+  Scalar prune_scale2_ = 1;  ///< 1/(1+epsilon)^2; exactly 1 when eps = 0
   ArenaVector<Scalar> live_maxd2_;  ///< maxd^2 of queued + committed, sorted
   size_t committed_ = 0;            ///< results already gathered
   ArenaVector<LpqEntry> storage_;   ///< append-only entry storage

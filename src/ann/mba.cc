@@ -230,6 +230,9 @@ Status AllNearestNeighbors(const SpatialIndex& ir, const SpatialIndex& is,
   if (options.max_distance < 0) {
     return Status::InvalidArgument("ANN: max_distance must be >= 0");
   }
+  if (!(options.epsilon >= 0)) {  // negated to catch NaN too
+    return Status::InvalidArgument("ANN: epsilon must be >= 0");
+  }
   if (options.paranoid_checks) {
     // Full structural validation of both inputs before any traversal; a
     // corrupted index would otherwise skew results or pruning counters

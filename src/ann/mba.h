@@ -40,6 +40,19 @@ struct AnnOptions {
   /// from the first probe. Query objects with fewer than k neighbors in
   /// range get shorter (possibly empty) result lists. kInf = classic ANN.
   Scalar max_distance = kInf;
+  /// Approximation slack for (1+epsilon)-approximate ANN. 0 (default) is
+  /// the exact algorithm. With epsilon > 0 every pruning test uses the
+  /// shrunken bound MAXD/(1+epsilon) — squared space: bound^2/(1+eps)^2 —
+  /// so subtrees that could only improve a neighbor by a factor below
+  /// (1+epsilon) are cut early. Guarantee: the j-th returned distance is
+  /// at most (1+epsilon) times the j-th exact distance (witness bounds
+  /// themselves stay exact; only pruning gets more aggressive). As in
+  /// max_distance mode, an AkNN list may come back with fewer than k
+  /// neighbors when the aggressive bound prunes the only remaining
+  /// candidates; sinks must already handle short lists. epsilon = 0
+  /// multiplies bounds by exactly 1.0, so results and PruneStats are
+  /// bit-identical to a run without this knob.
+  Scalar epsilon = 0;
   /// Worker threads for the partition-parallel engine. 1 (default) runs
   /// the classic sequential traversal; 0 means auto (one worker per
   /// hardware thread); N > 1 splits the query index into independent

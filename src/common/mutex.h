@@ -111,6 +111,10 @@ namespace ann {
 inline constexpr int kMutexRankNone = -1;
 /// ThreadPool queue latch — never held while calling into the library.
 inline constexpr int kMutexRankThreadPool = 10;
+/// Prefetcher hint-queue latch — held only for queue push/pop; the IO
+/// worker releases it before calling into the buffer pool, so it ranks
+/// before every storage latch like the thread-pool latch does.
+inline constexpr int kMutexRankPrefetcher = 11;
 /// DynamicIndex writer latch — held across a whole update batch, which
 /// nests the meta latch, the buffer pool's version and stripe latches and
 /// the disk manager, so it ranks before all of them.

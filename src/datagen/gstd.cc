@@ -1,24 +1,45 @@
 #include "datagen/gstd.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
 
 namespace ann {
 
-Result<Dataset> GenerateGstd(const GstdSpec& spec) {
+namespace {
+
+/// RAII FILE handle: generation can abort mid-stream on a sink error and
+/// every early return must still close (and on write paths, not leak) the
+/// descriptor.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status ErrnoError(const char* op, const std::string& path) {
+  return Status::IOError(std::string(op) + "(" + path +
+                         "): " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status GenerateGstdRows(const GstdSpec& spec, const GstdRowSink& sink) {
   if (spec.dim < 1 || spec.dim > kMaxDim) {
     return Status::InvalidArgument("GenerateGstd: bad dimensionality");
   }
   Rng rng(spec.seed);
-  Dataset data(spec.dim);
-  data.Reserve(spec.count);
   Scalar p[kMaxDim];
 
   switch (spec.distribution) {
     case Distribution::kUniform: {
       for (size_t i = 0; i < spec.count; ++i) {
         for (int d = 0; d < spec.dim; ++d) p[d] = rng.NextDouble();
-        data.Append(p);
+        ANN_RETURN_NOT_OK(sink(p));
       }
       break;
     }
@@ -27,7 +48,7 @@ Result<Dataset> GenerateGstd(const GstdSpec& spec) {
         for (int d = 0; d < spec.dim; ++d) {
           p[d] = std::clamp(rng.Gaussian(0.5, 0.15), 0.0, 1.0);
         }
-        data.Append(p);
+        ANN_RETURN_NOT_OK(sink(p));
       }
       break;
     }
@@ -47,14 +68,14 @@ Result<Dataset> GenerateGstd(const GstdSpec& spec) {
           p[d] = std::clamp(
               rng.Gaussian(centers[c * spec.dim + d], sigmas[c]), 0.0, 1.0);
         }
-        data.Append(p);
+        ANN_RETURN_NOT_OK(sink(p));
       }
       break;
     }
     case Distribution::kZipfSkewed: {
       for (size_t i = 0; i < spec.count; ++i) {
         for (int d = 0; d < spec.dim; ++d) p[d] = rng.ZipfSkew(spec.zipf_theta);
-        data.Append(p);
+        ANN_RETURN_NOT_OK(sink(p));
       }
       break;
     }
@@ -76,7 +97,7 @@ Result<Dataset> GenerateGstd(const GstdSpec& spec) {
                                 rng.Gaussian(0.0, 0.003),
                             0.0, 1.0);
         }
-        data.Append(p);
+        ANN_RETURN_NOT_OK(sink(p));
       }
       break;
     }
@@ -88,10 +109,91 @@ Result<Dataset> GenerateGstd(const GstdSpec& spec) {
               static_cast<Scalar>(rng.UniformInt(lattice)) / lattice;
           p[d] = std::clamp(cell + rng.Gaussian(0.0, 1e-4), 0.0, 1.0);
         }
-        data.Append(p);
+        ANN_RETURN_NOT_OK(sink(p));
       }
       break;
     }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> GenerateGstd(const GstdSpec& spec) {
+  Dataset data(std::clamp(spec.dim, 1, kMaxDim));
+  data.Reserve(spec.count);
+  ANN_RETURN_NOT_OK(GenerateGstdRows(spec, [&data](const Scalar* row) {
+    data.Append(row);
+    return Status::OK();
+  }));
+  return data;
+}
+
+Status GenerateGstdToFile(const GstdSpec& spec, const std::string& path,
+                          size_t chunk_rows) {
+  chunk_rows = std::max<size_t>(1, chunk_rows);
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return ErrnoError("fopen", path);
+
+  const size_t row_scalars = static_cast<size_t>(std::max(spec.dim, 1));
+  std::vector<Scalar> chunk;
+  chunk.reserve(chunk_rows * row_scalars);
+  auto flush = [&]() -> Status {
+    if (chunk.empty()) return Status::OK();
+    const size_t wrote =
+        std::fwrite(chunk.data(), sizeof(Scalar), chunk.size(), file.get());
+    if (wrote != chunk.size()) return ErrnoError("fwrite", path);
+    chunk.clear();
+    return Status::OK();
+  };
+  ANN_RETURN_NOT_OK(GenerateGstdRows(spec, [&](const Scalar* row) -> Status {
+    chunk.insert(chunk.end(), row, row + spec.dim);
+    if (chunk.size() >= chunk_rows * row_scalars) return flush();
+    return Status::OK();
+  }));
+  ANN_RETURN_NOT_OK(flush());
+  if (std::fflush(file.get()) != 0) return ErrnoError("fflush", path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadPointsFile(const std::string& path, int dim) {
+  if (dim < 1 || dim > kMaxDim) {
+    return Status::InvalidArgument("ReadPointsFile: bad dimensionality");
+  }
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return ErrnoError("fopen", path);
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return ErrnoError("fseek", path);
+  }
+  const long bytes = std::ftell(file.get());
+  if (bytes < 0) return ErrnoError("ftell", path);
+  std::rewind(file.get());
+
+  const size_t row_bytes = static_cast<size_t>(dim) * sizeof(Scalar);
+  if (static_cast<size_t>(bytes) % row_bytes != 0) {
+    return Status::IOError(
+        "ReadPointsFile(" + path + "): " + std::to_string(bytes) +
+        " bytes is not a whole number of " + std::to_string(dim) +
+        "-d rows (truncated file or wrong dim?)");
+  }
+  const size_t rows = static_cast<size_t>(bytes) / row_bytes;
+
+  Dataset data(dim);
+  data.Reserve(rows);
+  // Chunked reads keep peak transient memory at one chunk regardless of
+  // file size (the Dataset itself is the caller's choice to materialize).
+  constexpr size_t kChunkRows = size_t{1} << 16;
+  std::vector<Scalar> chunk(kChunkRows * static_cast<size_t>(dim));
+  size_t remaining = rows;
+  while (remaining > 0) {
+    const size_t batch = std::min(remaining, kChunkRows);
+    const size_t want = batch * static_cast<size_t>(dim);
+    if (std::fread(chunk.data(), sizeof(Scalar), want, file.get()) != want) {
+      return Status::IOError("ReadPointsFile(" + path +
+                             "): short read (file changed underneath?)");
+    }
+    for (size_t r = 0; r < batch; ++r) {
+      data.Append(chunk.data() + r * static_cast<size_t>(dim));
+    }
+    remaining -= batch;
   }
   return data;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <functional>
+#include <memory>
 
 #include "storage/page.h"
 
@@ -12,6 +14,47 @@ namespace {
 
 // Usable node payload: page minus NodeStore header (8) and node header (8).
 constexpr size_t kNodePayload = kPageSize - 16;
+
+// Row copy with the common dimensionalities specialized to compile-time
+// sizes: a runtime-length std::copy_n lowers to a libc memmove call, and
+// the bulk-load scatter makes one row copy per point per level — call
+// overhead there dominates the 16–64 bytes actually moved.
+inline void CopyRow(Scalar* dst, const Scalar* src, int dim) {
+  switch (dim) {
+    case 2: std::memcpy(dst, src, 2 * sizeof(Scalar)); break;
+    case 3: std::memcpy(dst, src, 3 * sizeof(Scalar)); break;
+    case 4: std::memcpy(dst, src, 4 * sizeof(Scalar)); break;
+    case 8: std::memcpy(dst, src, 8 * sizeof(Scalar)); break;
+    default: std::memcpy(dst, src, static_cast<size_t>(dim) * sizeof(Scalar));
+  }
+}
+
+// Quadrant code of `p` against per-dimension `center`s, with the common
+// dimensionalities unrolled — the classification loop runs once per point
+// per level and a runtime-trip-count loop leaves half the ALU idle.
+inline uint32_t QuadCodeOf(const Scalar* p, const Scalar* center, int dim) {
+  switch (dim) {
+    case 2:
+      return static_cast<uint32_t>(p[0] >= center[0]) |
+             (static_cast<uint32_t>(p[1] >= center[1]) << 1);
+    case 3:
+      return static_cast<uint32_t>(p[0] >= center[0]) |
+             (static_cast<uint32_t>(p[1] >= center[1]) << 1) |
+             (static_cast<uint32_t>(p[2] >= center[2]) << 2);
+    case 4:
+      return static_cast<uint32_t>(p[0] >= center[0]) |
+             (static_cast<uint32_t>(p[1] >= center[1]) << 1) |
+             (static_cast<uint32_t>(p[2] >= center[2]) << 2) |
+             (static_cast<uint32_t>(p[3] >= center[3]) << 3);
+    default: {
+      uint32_t code = 0;
+      for (int d = 0; d < dim; ++d) {
+        if (p[d] >= center[d]) code |= (1u << d);
+      }
+      return code;
+    }
+  }
+}
 
 }  // namespace
 
@@ -55,6 +98,348 @@ Result<Mbrqt> Mbrqt::Build(const Dataset& data, MbrqtOptions options) {
   for (size_t i = 0; i < data.size(); ++i) {
     ANN_RETURN_NOT_OK(qt.Insert(data.point(i), i));
   }
+  return qt;
+}
+
+Result<Mbrqt> Mbrqt::BulkLoad(const Dataset& data, MbrqtOptions options) {
+  if (data.dim() < 1 || data.dim() > kMaxDim) {
+    return Status::InvalidArgument("Mbrqt::BulkLoad: bad dimensionality");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("Mbrqt::BulkLoad: empty dataset");
+  }
+  Mbrqt qt(CubicCell(data.BoundingBox()), options);
+  const int dim = qt.dim_;
+  const size_t n = data.size();
+
+  // Two (ids, coords) blocks, ping-ponged per tree level: each internal
+  // node scatters its range from one buffer into the other, and children
+  // read from the side their parent wrote. The root level reads straight
+  // out of the (const) dataset with implicit identity ids — no up-front
+  // working copy. new[] (not vector) keeps the scratch uninitialized
+  // instead of zero-filling hundreds of MB at paper scale.
+  std::unique_ptr<uint64_t[]> ids_buf[2];
+  std::unique_ptr<Scalar[]> coords_buf[2];
+  uint64_t* ids[2];
+  Scalar* coords[2];
+  for (int s = 0; s < 2; ++s) {
+    ids_buf[s].reset(new uint64_t[n]);  // lint-ok: uninitialized scratch
+    coords_buf[s].reset(
+        new Scalar[n * static_cast<size_t>(dim)]);  // lint-ok: same
+    ids[s] = ids_buf[s].get();
+    coords[s] = coords_buf[s].get();
+  }
+
+  std::vector<uint32_t> codes(n);
+  const uint32_t nquad = 1u << dim;
+  std::vector<size_t> counts(nquad), offsets(nquad), cursor(nquad);
+
+  // Scratch for the fused two-level partition: one classification pass
+  // over (quadrant, sub-quadrant) pairs and one stable counting-sort
+  // scatter replace two full count+scatter rounds. Only worth the
+  // nquad^2 bookkeeping when the range amortizes it (and the stack
+  // tables stay small), so it is gated on dim and range size below.
+  constexpr int kFuseMaxDim = 8;
+  const size_t fused_buckets =
+      dim <= kFuseMaxDim ? (static_cast<size_t>(nquad) << dim) : 0;
+  std::vector<size_t> counts2(fused_buckets), offsets2(fused_buckets),
+      cursor2(fused_buckets);
+  // Child-index scratch for the direct leaf fill (consumed before any
+  // recursion, like the other per-level scratch).
+  std::vector<int32_t> child_map(nquad);
+
+  // Builds nodes_[node_index] over points [lo, hi) of buffer `side`
+  // (side -1: the dataset itself, ids implicitly i). A cell becomes
+  // internal iff it holds more than bucket_capacity_ points above
+  // max_depth_ — the same (insertion-order-independent) rule the split
+  // path enforces, so both builders converge on one tree.
+  //
+  // Only leaves scan points for their MBR; an internal node's tight MBR
+  // is the union of its children's (the children partition its points, so
+  // the min/max per dimension — hence the exact bits — agree with a
+  // direct point scan).
+  std::function<void(int32_t, size_t, size_t, int)> build =
+      [&](int32_t node_index, size_t lo, size_t hi, int side) {
+        const uint64_t* const in_ids = side >= 0 ? ids[side] : nullptr;
+        const Scalar* const in_coords =
+            side >= 0 ? coords[side] : data.point(0);
+        // Where a scatter, if needed, writes; identity sides start the
+        // ping-pong at buffer 0.
+        const int flip = side >= 0 ? (side ^ 1) : 0;
+        {
+          BuildNode& node = qt.nodes_[node_index];
+          if (hi - lo <= static_cast<size_t>(qt.bucket_capacity_) ||
+              node.depth >= qt.max_depth_) {
+            node.mbr = Rect::FromPoint(in_coords + lo * dim, dim);
+            for (size_t i = lo + 1; i < hi; ++i) {
+              node.mbr.ExpandToPoint(in_coords + i * dim);
+            }
+            if (in_ids != nullptr) {
+              node.ids.assign(in_ids + lo, in_ids + hi);
+            } else {
+              node.ids.resize(hi - lo);
+              for (size_t i = lo; i < hi; ++i) node.ids[i - lo] = i;
+            }
+            node.coords.assign(in_coords + lo * dim, in_coords + hi * dim);
+            return;
+          }
+          node.is_leaf = false;
+        }
+        const size_t cap = static_cast<size_t>(qt.bucket_capacity_);
+        const int depth0 = qt.nodes_[node_index].depth;
+        Scalar center[kMaxDim];
+        for (int d = 0; d < dim; ++d) {
+          center[d] = qt.nodes_[node_index].cell.Center(d);
+        }
+
+        // Fused two-level partition: classify each point by (child,
+        // grandchild) in one pass and scatter once for both levels. The
+        // sub-quadrant centers come from the exact QuadrantCell/Center
+        // computations the plain recursion would perform, so the tree is
+        // bit-identical. Whether a child actually splits is only known
+        // after counting; a leaf child simply ignores its points' sub
+        // codes (stability keeps them in dataset order either way).
+        const bool try_fuse = fused_buckets > 0 && hi - lo >= fused_buckets &&
+                              depth0 + 1 < qt.max_depth_;
+        if (!try_fuse) {
+          // Single-level stable counting sort of [lo, hi) by quadrant.
+          std::fill(counts.begin(), counts.end(), 0);
+          for (size_t i = lo; i < hi; ++i) {
+            const uint32_t code = QuadCodeOf(in_coords + i * dim, center, dim);
+            codes[i] = code;
+            ++counts[code];
+          }
+          // When every occupied child is a leaf (the bottom level, where
+          // most of the points are), fill the leaves directly from this
+          // side in one pass: no scatter into the ping-pong buffer, no
+          // recursion, no per-leaf re-read. Filling in i order keeps each
+          // leaf in dataset order, and Empty-then-ExpandToPoint computes
+          // bit-identical MBRs to the leaf branch above.
+          bool all_leaves = true;
+          if (depth0 + 1 < qt.max_depth_) {
+            for (uint32_t c = 0; c < nquad; ++c) {
+              if (counts[c] > cap) {
+                all_leaves = false;
+                break;
+              }
+            }
+          }
+          if (all_leaves) {
+            for (uint32_t c = 0; c < nquad; ++c) {
+              if (counts[c] == 0) {
+                child_map[c] = -1;
+                continue;
+              }
+              const Rect cell = qt.QuadrantCell(qt.nodes_[node_index], c);
+              const int32_t child = qt.NewNode(cell, depth0 + 1);
+              child_map[c] = child;
+              qt.nodes_[node_index].children.push_back({c, child});
+              BuildNode& ch = qt.nodes_[child];
+              ch.mbr = Rect::Empty(dim);
+              ch.ids.resize(counts[c]);
+              ch.coords.resize(counts[c] * static_cast<size_t>(dim));
+              cursor[c] = 0;
+            }
+            // No NewNode below, so the nodes_ base pointer is stable.
+            BuildNode* const nodes = qt.nodes_.data();
+            for (size_t i = lo; i < hi; ++i) {
+              const uint32_t c = codes[i];
+              BuildNode& ch = nodes[child_map[c]];
+              const size_t j = cursor[c]++;
+              ch.ids[j] = in_ids != nullptr ? in_ids[i] : i;
+              CopyRow(ch.coords.data() + j * dim, in_coords + i * dim, dim);
+              ch.mbr.ExpandToPoint(in_coords + i * dim);
+            }
+            BuildNode& node = qt.nodes_[node_index];
+            node.mbr = Rect::Empty(dim);
+            for (const auto& child : node.children) {
+              node.mbr.ExpandToRect(qt.nodes_[child.second].mbr);
+            }
+            return;
+          }
+          size_t off = lo;
+          for (uint32_t c = 0; c < nquad; ++c) {
+            offsets[c] = off;
+            off += counts[c];
+          }
+          // Snapshot the child ranges before recursing — counts/offsets
+          // are shared scratch and the recursion below clobbers them.
+          struct ChildRange {
+            uint32_t code;
+            size_t lo, hi;
+          };
+          std::vector<ChildRange> ranges;
+          ranges.reserve(nquad);
+          for (uint32_t c = 0; c < nquad; ++c) {
+            if (counts[c] > 0) {
+              ranges.push_back({c, offsets[c], offsets[c] + counts[c]});
+            }
+          }
+          // A single occupied quadrant (the common case along dense-
+          // cluster chains) makes the scatter the identity permutation —
+          // skip it and let the child read the parent's side. cursor is
+          // consumed before any recursion, so the shared scratch is safe.
+          int child_side = side;
+          if (ranges.size() > 1) {
+            child_side = flip;
+            uint64_t* const out_ids = ids[child_side];
+            Scalar* const out_coords = coords[child_side];
+            std::copy(offsets.begin(), offsets.end(), cursor.begin());
+            for (size_t i = lo; i < hi; ++i) {
+              const size_t j = cursor[codes[i]]++;
+              out_ids[j] = in_ids != nullptr ? in_ids[i] : i;
+              CopyRow(out_coords + j * dim, in_coords + i * dim, dim);
+            }
+          }
+          for (const ChildRange& r : ranges) {
+            const Rect cell = qt.QuadrantCell(qt.nodes_[node_index], r.code);
+            const int32_t child = qt.NewNode(cell, depth0 + 1);
+            // Increasing-code iteration keeps the child list sorted.
+            qt.nodes_[node_index].children.push_back({r.code, child});
+            build(child, r.lo, r.hi, child_side);
+          }
+        } else {
+          // Sub-quadrant centers for every child — exactly the centers
+          // build() would compute from the child's QuadrantCell.
+          Scalar centers2[1u << kFuseMaxDim][kFuseMaxDim];
+          for (uint32_t c = 0; c < nquad; ++c) {
+            const Rect ccell = qt.QuadrantCell(qt.nodes_[node_index], c);
+            for (int d = 0; d < dim; ++d) centers2[c][d] = ccell.Center(d);
+          }
+          // One pass classifies both levels: comb = (child << dim) | sub.
+          std::fill(counts2.begin(), counts2.end(), 0);
+          for (size_t i = lo; i < hi; ++i) {
+            const Scalar* p = in_coords + i * dim;
+            const uint32_t c = QuadCodeOf(p, center, dim);
+            const uint32_t comb =
+                (c << dim) | QuadCodeOf(p, centers2[c], dim);
+            codes[i] = comb;
+            ++counts2[comb];
+          }
+          // Child totals decide who splits; a leaf child keeps all its
+          // points regardless of their sub codes.
+          bool splits[1u << kFuseMaxDim];
+          size_t children_occupied = 0;
+          for (uint32_t c = 0; c < nquad; ++c) {
+            const size_t base = static_cast<size_t>(c) << dim;
+            size_t total = 0;
+            for (uint32_t g = 0; g < nquad; ++g) total += counts2[base + g];
+            counts[c] = total;
+            splits[c] = total > cap;
+            children_occupied += total > 0;
+          }
+          // Ping-buffer layout: only split children's points move there,
+          // packed ascending by (child, sub). Leaf children are filled
+          // directly during the scatter and never touch the buffer.
+          size_t off = lo;
+          size_t split_buckets_occupied = 0;
+          for (uint32_t c = 0; c < nquad; ++c) {
+            if (!splits[c]) continue;
+            const size_t base = static_cast<size_t>(c) << dim;
+            for (uint32_t g = 0; g < nquad; ++g) {
+              offsets2[base + g] = off;
+              off += counts2[base + g];
+              split_buckets_occupied += counts2[base + g] > 0;
+            }
+          }
+          // A pure chain — one child, one occupied sub-quadrant — makes
+          // the scatter the identity permutation: skip it and keep the
+          // parent's side (and its identity-ids property, if any).
+          const bool single_chain =
+              children_occupied == 1 && split_buckets_occupied == 1;
+          // Create this level's children in code order (before the
+          // scatter, so the nodes_ base pointer is stable during it).
+          int32_t split_children = 0;
+          for (uint32_t c = 0; c < nquad; ++c) {
+            if (counts[c] == 0) {
+              child_map[c] = -1;
+              continue;
+            }
+            const Rect ccell = qt.QuadrantCell(qt.nodes_[node_index], c);
+            const int32_t child = qt.NewNode(ccell, depth0 + 1);
+            child_map[c] = child;
+            qt.nodes_[node_index].children.push_back({c, child});
+            BuildNode& ch = qt.nodes_[child];
+            if (splits[c]) {
+              ch.is_leaf = false;
+              ++split_children;
+            } else {
+              ch.mbr = Rect::Empty(dim);
+              ch.ids.resize(counts[c]);
+              ch.coords.resize(counts[c] * static_cast<size_t>(dim));
+              cursor[c] = 0;  // per-leaf-child fill cursor
+            }
+          }
+          // Scatter: split children's points into the other buffer (in
+          // dataset order per sub-quadrant — single ascending pass), leaf
+          // children's points straight into their leaf, expanding the MBR
+          // as they land (bit-identical to the leaf branch's scan).
+          const int child_side = single_chain ? side : flip;
+          if (!single_chain) {
+            BuildNode* const nodes = qt.nodes_.data();
+            uint64_t* const out_ids = ids[child_side];
+            Scalar* const out_coords = coords[child_side];
+            std::copy(offsets2.begin(), offsets2.end(), cursor2.begin());
+            for (size_t i = lo; i < hi; ++i) {
+              const uint32_t comb = codes[i];
+              const uint32_t c = comb >> dim;
+              if (splits[c]) {
+                const size_t j = cursor2[comb]++;
+                out_ids[j] = in_ids != nullptr ? in_ids[i] : i;
+                CopyRow(out_coords + j * dim, in_coords + i * dim, dim);
+              } else {
+                BuildNode& ch = nodes[child_map[c]];
+                const size_t j = cursor[c]++;
+                ch.ids[j] = in_ids != nullptr ? in_ids[i] : i;
+                CopyRow(ch.coords.data() + j * dim, in_coords + i * dim,
+                        dim);
+                ch.mbr.ExpandToPoint(in_coords + i * dim);
+              }
+            }
+          }
+          // Snapshot split children's sub-ranges before recursing
+          // (counts2/offsets2/child_map are shared scratch), then build
+          // the grandchildren.
+          struct GrandPlan {
+            int32_t child;
+            uint32_t code;
+            size_t lo, hi;
+          };
+          std::vector<GrandPlan> plans;
+          for (uint32_t c = 0; c < nquad; ++c) {
+            if (child_map[c] < 0 || !splits[c]) continue;
+            const size_t base = static_cast<size_t>(c) << dim;
+            for (uint32_t g = 0; g < nquad; ++g) {
+              if (counts2[base + g] > 0) {
+                plans.push_back({child_map[c], g, offsets2[base + g],
+                                 offsets2[base + g] + counts2[base + g]});
+              }
+            }
+          }
+          for (const GrandPlan& gp : plans) {
+            const Rect gcell = qt.QuadrantCell(qt.nodes_[gp.child], gp.code);
+            const int32_t grand = qt.NewNode(gcell, depth0 + 2);
+            qt.nodes_[gp.child].children.push_back({gp.code, grand});
+            build(grand, gp.lo, gp.hi, child_side);
+          }
+          // Split children's MBRs: union of their grandchildren.
+          for (const auto& child : qt.nodes_[node_index].children) {
+            BuildNode& cn = qt.nodes_[child.second];
+            if (cn.is_leaf) continue;
+            cn.mbr = Rect::Empty(dim);
+            for (const auto& g : cn.children) {
+              cn.mbr.ExpandToRect(qt.nodes_[g.second].mbr);
+            }
+          }
+        }
+        BuildNode& node = qt.nodes_[node_index];
+        node.mbr = Rect::Empty(dim);
+        for (const auto& child : node.children) {
+          node.mbr.ExpandToRect(qt.nodes_[child.second].mbr);
+        }
+      };
+  build(qt.root_, 0, n, -1);
+  qt.num_objects_ = n;
   return qt;
 }
 

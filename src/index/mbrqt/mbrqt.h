@@ -47,6 +47,16 @@ class Mbrqt {
   /// Builds an MBRQT over the whole dataset (ids are point indices).
   static Result<Mbrqt> Build(const Dataset& data, MbrqtOptions options = {});
 
+  /// Builds the same tree as Build() without per-point inserts: one
+  /// stable counting-sort partition of the point block per node, in the
+  /// sort-tile-recursive style (the regular decomposition fixes the tiles
+  /// to the quadrants, so unlike an R-tree STR load the result is
+  /// STRUCTURALLY IDENTICAL to the insert-built tree — same nodes, same
+  /// MBRs, same leaf order — not just an equivalent packing). Skipping
+  /// the insert path's transient splits and per-point descents makes this
+  /// the way to build paper-scale quadtrees.
+  static Result<Mbrqt> BulkLoad(const Dataset& data, MbrqtOptions options = {});
+
   /// Inserts one point with the given object id.
   Status Insert(const Scalar* p, uint64_t id);
 

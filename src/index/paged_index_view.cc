@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "storage/buffer_pool.h"
+#include "storage/prefetcher.h"
 
 namespace ann {
 
@@ -66,6 +67,33 @@ Status PagedIndexView::ExpandBatch(const IndexSnapshot& snap,
   if (*is_leaf_block) return Status::OK();
   return DeserializeNodeEntries(scratch.data(), scratch.size(), meta_.dim,
                                 entries);
+}
+
+void PagedIndexView::PrefetchHint(const IndexSnapshot& snap,
+                                  const IndexEntry* entries,
+                                  size_t count) const {
+  if (prefetcher_ == nullptr) return;
+  const PageSnapshot* storage = StorageSnap(snap);
+  const PageSnapshot no_snap;  // "current state"; a versioned pool declines
+  const PageSnapshot& at = storage != nullptr ? *storage : no_snap;
+  // NodeId layout: page in the upper 20 bits, slot in the lower 12.
+  // Append clusters sibling records onto one fill page, so consecutive
+  // entries usually share a page — skipping consecutive duplicates keeps
+  // most redundant hints out of the queue without a set.
+  PageId last = kInvalidPageId;
+  for (size_t i = 0; i < count; ++i) {
+    if (entries[i].is_object) continue;
+    const PageId page =
+        static_cast<PageId>(static_cast<NodeId>(entries[i].id) >> 12);
+    if (page == last) continue;
+    last = page;
+    // Suppress recently hinted pages (slots store page+1 so the zero-
+    // initialized table means "empty", page 0 included).
+    std::atomic<PageId>& slot = recent_hints_[page % kRecentHintSlots];
+    if (slot.load(std::memory_order_relaxed) == page + 1) continue;
+    slot.store(page + 1, std::memory_order_relaxed);
+    prefetcher_->Enqueue(page, at);
+  }
 }
 
 }  // namespace ann

@@ -1,6 +1,7 @@
 #ifndef ANNLIB_INDEX_PAGED_INDEX_VIEW_H_
 #define ANNLIB_INDEX_PAGED_INDEX_VIEW_H_
 
+#include <atomic>
 #include <vector>
 
 #include "index/node_format.h"
@@ -9,6 +10,8 @@
 #include "storage/node_store.h"
 
 namespace ann {
+
+class Prefetcher;
 
 /// \brief Disk-resident SpatialIndex: reads nodes from a NodeStore through
 /// the buffer pool.
@@ -43,11 +46,35 @@ class PagedIndexView final : public SpatialIndex {
   uint64_t num_objects() const override { return meta_.num_objects; }
   int height() const override { return meta_.height; }
 
+  /// Maps each non-object entry's NodeId to its slotted page and enqueues
+  /// the pages on the attached Prefetcher (no-op when none is attached).
+  /// Overflow-chain pages are not hinted — their ids are only discovered
+  /// by reading the stub, which is exactly the IO a hint must not do.
+  void PrefetchHint(const IndexSnapshot& snap, const IndexEntry* entries,
+                    size_t count) const override;
+
+  /// Attaches (or detaches, with nullptr) a background prefetcher that
+  /// PrefetchHint feeds. Borrowed, not owned: the prefetcher must outlive
+  /// every traversal of this view. Attach before queries start — the
+  /// pointer is unsynchronized, like meta_.
+  void AttachPrefetcher(Prefetcher* prefetcher) { prefetcher_ = prefetcher; }
+
   const PersistedIndexMeta& meta() const { return meta_; }
 
  private:
   const NodeStore* store_;
   PersistedIndexMeta meta_;
+  Prefetcher* prefetcher_ = nullptr;
+  // Lossy direct-mapped filter of recently hinted pages. A deep traversal
+  // re-visits the same hot pages constantly, and without suppression the
+  // hint stream outnumbers the distinct pages by orders of magnitude —
+  // pure lock and queue overhead, since resident pages decline anyway.
+  // Relaxed atomics: concurrent traversals may lose or duplicate an entry,
+  // which only costs one redundant (advisory) hint. Slots are overwritten
+  // by colliding pages, so an evicted-and-revisited page gets re-hinted
+  // once its slot has been recycled.
+  static constexpr size_t kRecentHintSlots = 256;  // power of two
+  mutable std::atomic<PageId> recent_hints_[kRecentHintSlots] = {};
   obs::Counter* obs_expands_ = obs::GetCounter("index.paged.expands");
   obs::Counter* obs_bytes_ = obs::GetCounter("index.paged.node_bytes");
 };

@@ -122,6 +122,16 @@ class SpatialIndex {
     return Expand(snap, e, entries);
   }
 
+  /// Advisory readahead: the caller is about to Expand (a subset of) the
+  /// non-object entries in `entries[0..count)`, reading at `snap`. An
+  /// implementation backed by paged storage may start warming the
+  /// underlying pages asynchronously; the default no-op is right for
+  /// memory-resident indexes. Hints must never affect results — any layer
+  /// may drop them — so callers issue them unconditionally.
+  virtual void PrefetchHint(const IndexSnapshot& /*snap*/,
+                            const IndexEntry* /*entries*/,
+                            size_t /*count*/) const {}
+
   /// Current-state conveniences (equivalent to passing an empty snapshot).
   Status Expand(const IndexEntry& e, std::vector<IndexEntry>* out) const {
     return Expand(IndexSnapshot{}, e, out);
@@ -167,6 +177,11 @@ class SnapshotView final : public SpatialIndex {
                      bool* is_leaf_block) const override {
     return index_->ExpandBatch(snap.pin != nullptr ? snap : snap_, e,
                                entries, block, is_leaf_block);
+  }
+
+  void PrefetchHint(const IndexSnapshot& snap, const IndexEntry* entries,
+                    size_t count) const override {
+    index_->PrefetchHint(snap.pin != nullptr ? snap : snap_, entries, count);
   }
 
   using SpatialIndex::Expand;

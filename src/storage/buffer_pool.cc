@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -160,6 +161,11 @@ Result<PinnedPage> BufferPool::PinPhysical(PageId physical, PageId logical) {
     stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
     obs_hits_->Increment();
     Frame& frame = stripe.frames[it->second];
+    if (frame.prefetched) {
+      // First demand pin of a prefetched frame: the readahead paid off.
+      ClearPrefetched(frame);
+      obs_prefetch_hits_->Increment();
+    }
     if (frame.in_lru) {
       stripe.lru.erase(frame.lru_pos);
       frame.in_lru = false;
@@ -183,8 +189,21 @@ Result<PinnedPage> BufferPool::PinPhysical(PageId physical, PageId logical) {
   // The disk read happens under the stripe latch: simple, and concurrent
   // fetches of different pages on other stripes still proceed. (The disk
   // manager's internal latches rank after the stripe latch for exactly
-  // this nesting.)
+  // this nesting.) This synchronous wait is the query's IO stall — the
+  // number async prefetch exists to shrink.
+#if !defined(ANNLIB_OBS_DISABLED)
+  // The raw monotonic read is deliberate: io.stall is a cross-thread ns
+  // counter fed under the stripe latch; ObsScope's phase timers can't.
+  const auto stall_start = std::chrono::steady_clock::now();  // lint-ok: see above
+#endif
   ANN_RETURN_NOT_OK(disk_->ReadPage(physical, &frame.page));
+#if !defined(ANNLIB_OBS_DISABLED)
+  obs_io_stall_ns_->Add(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - stall_start)  // lint-ok: ns counter
+          .count()));
+  obs_io_stall_reads_->Increment();
+#endif
   frame.page_id = physical;
   frame.pin_count = 1;
   frame.dirty.store(false, std::memory_order_relaxed);
@@ -207,6 +226,7 @@ Result<PinnedPage> BufferPool::PinFresh(PageId physical, PageId logical) {
   if (auto it = stripe.page_table.find(physical);
       it != stripe.page_table.end()) {
     Frame& frame = stripe.frames[it->second];
+    ClearPrefetched(frame);  // adopted as a clone target, not a hit
     if (frame.in_lru) {
       stripe.lru.erase(frame.lru_pos);
       frame.in_lru = false;
@@ -399,6 +419,105 @@ Result<PageSnapshot> BufferPool::OpenSnapshot() {
       this, epoch));
 }
 
+bool BufferPool::PrefetchPage(PageId id, const PageSnapshot& snap,
+                              Page* scratch) {
+  // Every early return below merely declines the hint; the demand path
+  // will fault the page synchronously. See the header for the rules.
+  if (has_versions_.load(std::memory_order_acquire) && !snap.valid()) {
+    // On a versioned pool a snapshot's epoch pin is what keeps the
+    // resolved physical page from being reclaimed and recycled during
+    // the latch-free read below. Without one, decline: unlike Fetch, the
+    // prefetch path holds no pinned frame to revalidate against, so the
+    // ABA defense the demand path relies on is unavailable.
+    return false;
+  }
+  const size_t cap = std::max<size_t>(1, capacity_ / 4);
+  if (prefetched_outstanding_.load(std::memory_order_relaxed) >= cap) {
+    return false;
+  }
+  auto resolved = ResolveRead(id, snap.valid() ? &snap : nullptr);
+  if (!resolved.ok()) return false;
+  const PageId physical = *resolved;
+  const size_t si = StripeIndexFor(physical);
+  Stripe& stripe = *stripes_[si];
+  {
+    MutexLock lock(&stripe.mu);
+    if (stripe.page_table.find(physical) != stripe.page_table.end()) {
+      return false;  // already resident — nothing to warm
+    }
+  }
+  // The disk read runs with NO latch held, into the caller's scratch
+  // buffer: demand fetches on this stripe proceed while the prefetch IO
+  // is in flight. The snapshot's epoch pin (or the pool being version-
+  // free) keeps `physical`'s on-disk bytes immutable for the duration.
+  ANNLIB_TRACE_SPAN_NAMED(span, "storage", "prefetch_read");
+  span.AddArg("page", physical);
+#if !defined(ANNLIB_OBS_DISABLED)
+  // Raw read for the same reason as io.stall above: a ns counter delta.
+  const auto read_start = std::chrono::steady_clock::now();  // lint-ok: see above
+#endif
+  if (!disk_->ReadPage(physical, scratch).ok()) return false;
+#if !defined(ANNLIB_OBS_DISABLED)
+  obs_prefetch_ns_->Add(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - read_start)  // lint-ok: ns counter
+          .count()));
+#endif
+
+  MutexLock lock(&stripe.mu);
+  if (stripe.page_table.find(physical) != stripe.page_table.end()) {
+    return false;  // a demand fetch won the race; its bytes are the same
+  }
+  size_t fi;
+  if (!stripe.free_frames.empty()) {
+    fi = stripe.free_frames.back();
+    stripe.free_frames.pop_back();
+  } else if (replacement_ == Replacement::kLru) {
+    // Hunt a CLEAN unpinned victim from the cold end of the LRU; dirty
+    // frames are never written back (or evicted) on behalf of a hint.
+    size_t probes = 0;
+    auto it = stripe.lru.begin();
+    while (it != stripe.lru.end() && probes < kPrefetchVictimProbes &&
+           stripe.frames[*it].dirty.load(std::memory_order_relaxed)) {
+      ++it;
+      ++probes;
+    }
+    if (it == stripe.lru.end() || probes >= kPrefetchVictimProbes) {
+      return false;
+    }
+    fi = *it;
+    Frame& victim = stripe.frames[fi];
+    stripe.lru.erase(it);
+    victim.in_lru = false;
+    ClearPrefetched(victim);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    obs_evictions_->Increment();
+    stripe.page_table.erase(victim.page_id);
+    victim.page_id = kInvalidPageId;
+  } else {
+    // CLOCK keeps no eviction-ordered list of clean frames; admit only
+    // into free frames rather than sweep the hand on a hint.
+    return false;
+  }
+  Frame& frame = stripe.frames[fi];
+  std::memcpy(frame.page.data(), scratch->data(), kPageSize);
+  frame.page_id = physical;
+  frame.pin_count = 0;
+  frame.dirty.store(false, std::memory_order_relaxed);
+  frame.referenced = true;
+  frame.prefetched = true;
+  stripe.page_table.emplace(physical, fi);
+  if (replacement_ == Replacement::kLru) {
+    // Admitted at the warm end, unpinned: a prefetched frame is always
+    // evictable, so readahead never adds pin pressure.
+    stripe.lru.push_back(fi);
+    frame.lru_pos = std::prev(stripe.lru.end());
+    frame.in_lru = true;
+  }
+  prefetched_outstanding_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 void BufferPool::ReleaseEpoch(uint64_t epoch) {
   MutexLock lock(&version_mu_);
   auto it = active_epochs_.find(epoch);
@@ -464,6 +583,7 @@ bool BufferPool::PurgeCachedPage(PageId physical) {
   if (it == stripe.page_table.end()) return true;
   Frame& frame = stripe.frames[it->second];
   if (frame.pin_count > 0) return false;
+  ClearPrefetched(frame);
   if (frame.in_lru) {
     stripe.lru.erase(frame.lru_pos);
     frame.in_lru = false;
@@ -563,6 +683,8 @@ Status BufferPool::Reset(size_t num_frames) {
   ANN_RETURN_NOT_OK(FlushAll());
   capacity_ = std::max<size_t>(1, num_frames);
   InitStripes();
+  // Every cached frame (prefetched ones included) was just dropped.
+  prefetched_outstanding_.store(0, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -636,6 +758,7 @@ Result<size_t> BufferPool::GetVictimFrame(Stripe& stripe) {
   }
 
   Frame& frame = stripe.frames[fi];
+  ClearPrefetched(frame);  // evicted before any demand pin: wasted hint
   stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   obs_evictions_->Increment();
   ANNLIB_TRACE_SPAN_NAMED(span, "storage", "evict");

@@ -259,6 +259,32 @@ class BufferPool {
   /// snapshot-relative Fetch. Thread-safe.
   Result<PageSnapshot> OpenSnapshot();
 
+  /// Warms the cache with logical page `id` ahead of a demand Fetch — the
+  /// asynchronous-readahead entry point (called from the Prefetcher's IO
+  /// thread; `scratch` is the caller's reusable read buffer). Purely
+  /// advisory: returns true when the page was admitted, false when the
+  /// hint was declined, and correctness NEVER depends on the answer — a
+  /// declined hint just means the demand path faults synchronously.
+  ///
+  /// Admission rules (the "do no harm" contract):
+  ///  - never evicts a pinned or dirty frame (clean coldest-LRU victim or
+  ///    a free frame only; under CLOCK replacement, free frames only);
+  ///  - at most capacity/4 admitted-but-unread frames at a time, so
+  ///    readahead cannot wash out the demand working set;
+  ///  - on a versioned pool a valid snapshot is required: its epoch pin
+  ///    keeps the resolved physical page from being reclaimed and
+  ///    recycled during the latch-free disk read (the demand path's
+  ///    pin-and-revalidate defense is unavailable here, so a hint with no
+  ///    snapshot on a versioned pool is declined outright);
+  ///  - callers must not be concurrently dirtying the hinted page through
+  ///    pins (the engine's read-only traversal guarantees this; dirty
+  ///    *cached* copies are harmless — a resident page declines the hint).
+  ///
+  /// The disk read runs with NO pool latch held: a synchronous faulter on
+  /// the same stripe proceeds while the prefetch IO is in flight, which
+  /// is the entire point of the background thread.
+  bool PrefetchPage(PageId id, const PageSnapshot& snap, Page* scratch);
+
   /// Current committed epoch (0 until the first commit).
   uint64_t current_epoch() const {
     return current_epoch_.load(std::memory_order_acquire);
@@ -316,6 +342,10 @@ class BufferPool {
     std::atomic<bool> dirty{false};
     bool in_lru = false;
     bool referenced = false;  // CLOCK second-chance bit
+    // Admitted by PrefetchPage and not yet demanded. Cleared (and the
+    // outstanding-prefetch budget refunded) on first pin, eviction or
+    // purge; a pin that clears it counts one prefetch hit.
+    bool prefetched = false;
     std::list<size_t>::iterator lru_pos;
   };
 
@@ -383,6 +413,16 @@ class BufferPool {
   /// Returns false if the frame is currently pinned.
   bool PurgeCachedPage(PageId physical);
 
+  /// Clears a frame's prefetched mark and refunds the outstanding-
+  /// prefetch budget (no-op when not set). Callers hold the stripe latch;
+  /// the counter itself is atomic.
+  void ClearPrefetched(Frame& frame) {
+    if (frame.prefetched) {
+      frame.prefetched = false;
+      prefetched_outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
   /// Validates one stripe's bookkeeping (defined in check/invariants.cc;
   /// the public entry point CheckBufferPoolInvariants takes the latch and
   /// loops over stripes).
@@ -403,6 +443,13 @@ class BufferPool {
   size_t stripes_pref_;  // requested stripe count, re-clamped on Reset
   std::vector<std::unique_ptr<Stripe>> stripes_;
   AtomicIoStats stats_;
+
+  // Frames admitted by PrefetchPage and not yet demanded/evicted; capped
+  // at capacity/4 so readahead cannot wash out the demand working set.
+  std::atomic<size_t> prefetched_outstanding_{0};
+  // LRU probes from the cold end when hunting a clean prefetch victim;
+  // past this many consecutive dirty frames the hint is declined.
+  static constexpr size_t kPrefetchVictimProbes = 8;
 
   // --- Version state (logical→physical translation, epochs, GC) ---------
   mutable Mutex version_mu_{"bufferpool.version",
@@ -452,6 +499,20 @@ class BufferPool {
       obs::GetCounter("storage.epoch_pages_retired");
   obs::Counter* obs_reclaimed_ =
       obs::GetCounter("storage.epoch_pages_reclaimed");
+  // Out-of-core instrumentation. io.stall_ns is the wall time demand
+  // fetches spend blocked on a synchronous disk read (the PinPhysical
+  // miss path); prefetch reads are timed separately under
+  // io.prefetch_ns, so stall/prefetch split total read time into "the
+  // query waited" vs "the IO thread overlapped". Atomic counters, not a
+  // PhaseTimer: misses happen concurrently on many threads and
+  // PhaseTimers are unsynchronized by contract.
+  obs::Counter* obs_io_stall_ns_ = obs::GetCounter("storage.io.stall_ns");
+  obs::Counter* obs_io_stall_reads_ =
+      obs::GetCounter("storage.io.stall_reads");
+  obs::Counter* obs_prefetch_ns_ =
+      obs::GetCounter("storage.io.prefetch_ns");
+  obs::Counter* obs_prefetch_hits_ =
+      obs::GetCounter("storage.prefetch.hits");
 };
 
 }  // namespace ann

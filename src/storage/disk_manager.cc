@@ -1,6 +1,7 @@
 #include "storage/disk_manager.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -9,6 +10,22 @@
 #include "obs/trace.h"
 
 namespace ann {
+
+namespace {
+
+/// Formats a short-transfer IOError: a partial pread/pwrite is a distinct
+/// failure from an errno error (the file is shorter than the page table
+/// says — truncated behind the manager's back, or a disk-full partial
+/// write), so the message says which page and how many bytes moved.
+Status ShortTransferError(const char* op, const std::string& path, PageId id,
+                          ssize_t got) {
+  return Status::IOError(std::string(op) + "(" + path + "): short transfer on page " +
+                         std::to_string(id) + ": " + std::to_string(got) +
+                         " of " + std::to_string(kPageSize) +
+                         " bytes (file truncated or device full?)");
+}
+
+}  // namespace
 
 Result<PageId> MemDiskManager::AllocatePage() {
   ANNLIB_TRACE_SPAN("io", "alloc");
@@ -124,9 +141,12 @@ Status FileDiskManager::ReadPage(PageId id, Page* out) {
     return Status::OutOfRange("FileDiskManager: read of unallocated page");
   }
   const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
-  if (::pread(fd_, out->data(), kPageSize, offset) !=
-      static_cast<ssize_t>(kPageSize)) {
+  const ssize_t got = ::pread(fd_, out->data(), kPageSize, offset);
+  if (got < 0) {
     return Status::IOError("pread(" + path_ + "): " + std::strerror(errno));
+  }
+  if (got != static_cast<ssize_t>(kPageSize)) {
+    return ShortTransferError("pread", path_, id, got);
   }
   stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
   obs_reads_->Increment();
@@ -140,13 +160,209 @@ Status FileDiskManager::WritePage(PageId id, const Page& page) {
     return Status::OutOfRange("FileDiskManager: write of unallocated page");
   }
   const off_t offset = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
-  if (::pwrite(fd_, page.data(), kPageSize, offset) !=
-      static_cast<ssize_t>(kPageSize)) {
+  const ssize_t put = ::pwrite(fd_, page.data(), kPageSize, offset);
+  if (put < 0) {
     return Status::IOError("pwrite(" + path_ + "): " + std::strerror(errno));
+  }
+  if (put != static_cast<ssize_t>(kPageSize)) {
+    return ShortTransferError("pwrite", path_, id, put);
   }
   stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
   obs_writes_->Increment();
   return Status::OK();
+}
+
+MmapDiskManager::MmapDiskManager(int fd, std::string path, Options options)
+    : fd_(fd),
+      path_(std::move(path)),
+      segment_pages_(options.segment_pages),
+      segment_bytes_(static_cast<size_t>(options.segment_pages) * kPageSize),
+      segments_(new std::atomic<char*>[kMaxSegments]) {
+  for (uint64_t s = 0; s < kMaxSegments; ++s) {
+    segments_[s].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+Result<std::unique_ptr<MmapDiskManager>> MmapDiskManager::Create(
+    const std::string& path, Options options) {
+  if (options.segment_pages == 0) {
+    return Status::InvalidArgument("MmapDiskManager: segment_pages must be > 0");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  return std::unique_ptr<MmapDiskManager>(
+      new MmapDiskManager(fd, path, options));
+}
+
+Result<std::unique_ptr<MmapDiskManager>> MmapDiskManager::Open(
+    const std::string& path, Options options) {
+  if (options.segment_pages == 0) {
+    return Status::InvalidArgument("MmapDiskManager: segment_pages must be > 0");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::IOError("open(" + path +
+                           "): size is not a whole number of pages "
+                           "(truncated mid-page?)");
+  }
+  auto dm = std::unique_ptr<MmapDiskManager>(
+      new MmapDiskManager(fd, path, options));
+  const uint64_t pages = static_cast<uint64_t>(size) / kPageSize;
+  const uint64_t segments =
+      (pages + dm->segment_pages_ - 1) / dm->segment_pages_;
+  {
+    MutexLock lock(&dm->alloc_mu_);
+    for (uint64_t s = 0; s < segments; ++s) {
+      ANN_RETURN_NOT_OK(dm->GrowLocked(s));
+    }
+  }
+  dm->page_count_.store(pages, std::memory_order_release);
+  return dm;
+}
+
+MmapDiskManager::~MmapDiskManager() {
+  if (fd_ < 0) return;
+  for (uint64_t s = 0; s < kMaxSegments; ++s) {
+    char* const map = segments_[s].load(std::memory_order_relaxed);
+    if (map == nullptr) break;  // segments map densely from 0
+    ::munmap(map, segment_bytes_);
+  }
+  // Trim the segment-boundary padding back to exactly the allocated pages
+  // so the file reopens identically under either backend. Best effort: a
+  // failed trim leaves trailing zero pages, which Open would then count.
+  const off_t exact = static_cast<off_t>(
+      page_count_.load(std::memory_order_relaxed) * kPageSize);
+  if (::ftruncate(fd_, exact) != 0) {
+    // Destructors cannot report; the padding is zero pages, not corruption.
+  }
+  ::close(fd_);
+}
+
+Status MmapDiskManager::GrowLocked(uint64_t seg) {
+  if (seg >= kMaxSegments) {
+    return Status::OutOfRange("MmapDiskManager: segment table exhausted");
+  }
+  const Failpoint fp = failpoint_.exchange(Failpoint::kNone,
+                                           std::memory_order_relaxed);
+  const off_t new_size =
+      static_cast<off_t>((seg + 1) * static_cast<uint64_t>(segment_bytes_));
+  // Extend-only: Open maps the segments an existing file already covers,
+  // and truncating down to the segment boundary there would zero the tail
+  // of the file it is trying to read.
+  const off_t cur_size = ::lseek(fd_, 0, SEEK_END);
+  if (fp != Failpoint::kFtruncate && cur_size >= new_size) {
+    // Already long enough; nothing to do before mapping.
+  } else if (fp == Failpoint::kFtruncate || ::ftruncate(fd_, new_size) != 0) {
+    return Status::IOError(
+        "ftruncate(" + path_ + ") to " + std::to_string(new_size) +
+        " bytes failed growing segment " + std::to_string(seg) + ": " +
+        (fp == Failpoint::kFtruncate ? "injected failure"
+                                     : std::strerror(errno)));
+  }
+  void* map = fp == Failpoint::kMmap
+                  ? MAP_FAILED
+                  : ::mmap(nullptr, segment_bytes_, PROT_READ | PROT_WRITE,
+                           MAP_SHARED, fd_,
+                           static_cast<off_t>(seg * segment_bytes_));
+  if (map == MAP_FAILED) {
+    return Status::IOError(
+        "mmap(" + path_ + ") of segment " + std::to_string(seg) + " failed: " +
+        (fp == Failpoint::kMmap ? "injected failure" : std::strerror(errno)));
+  }
+  // Advisory only: a traversal faults pages in near-random order, so
+  // kernel readahead would just pollute the page cache.
+  (void)::madvise(map, segment_bytes_, MADV_RANDOM);
+  segments_[seg].store(static_cast<char*>(map), std::memory_order_release);
+  mapped_segments_ = seg + 1;
+  return Status::OK();
+}
+
+Result<PageId> MmapDiskManager::AllocatePage() {
+  ANNLIB_TRACE_SPAN("io", "alloc");
+  MutexLock lock(&alloc_mu_);
+  const uint64_t count = page_count_.load(std::memory_order_relaxed);
+  if (count >= kInvalidPageId) {
+    return Status::OutOfRange("MmapDiskManager: page id space exhausted");
+  }
+  const uint64_t needed = count / segment_pages_ + 1;
+  while (mapped_segments_ < needed) {
+    ANN_RETURN_NOT_OK(GrowLocked(mapped_segments_));
+  }
+  // ftruncate extended the file with zeros, so the fresh page needs no
+  // wipe. Release-publish after the segment store above so readers that
+  // pass the bounds check always find their segment mapped.
+  page_count_.store(count + 1, std::memory_order_release);
+  obs_allocs_->Increment();
+  return static_cast<PageId>(count);
+}
+
+Status MmapDiskManager::ReadPage(PageId id, Page* out) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "io", "read");
+  span.AddArg("page", id);
+  if (id >= page_count_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange("MmapDiskManager: read of unallocated page");
+  }
+  const char* const seg =
+      segments_[id / segment_pages_].load(std::memory_order_acquire);
+  std::memcpy(out->data(), seg + (id % segment_pages_) * kPageSize, kPageSize);
+  stats_.physical_reads.fetch_add(1, std::memory_order_relaxed);
+  obs_reads_->Increment();
+  return Status::OK();
+}
+
+Status MmapDiskManager::WritePage(PageId id, const Page& page) {
+  ANNLIB_TRACE_SPAN_NAMED(span, "io", "write");
+  span.AddArg("page", id);
+  if (id >= page_count_.load(std::memory_order_acquire)) {
+    return Status::OutOfRange("MmapDiskManager: write of unallocated page");
+  }
+  char* const seg =
+      segments_[id / segment_pages_].load(std::memory_order_acquire);
+  std::memcpy(seg + (id % segment_pages_) * kPageSize, page.data(), kPageSize);
+  stats_.physical_writes.fetch_add(1, std::memory_order_relaxed);
+  obs_writes_->Increment();
+  return Status::OK();
+}
+
+Result<StorageBackend> ParseStorageBackend(const std::string& name) {
+  if (name == "pread") return StorageBackend::kPread;
+  if (name == "mmap") return StorageBackend::kMmap;
+  return Status::InvalidArgument("unknown storage backend '" + name +
+                                 "' (expected pread or mmap)");
+}
+
+const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kPread:
+      return "pread";
+    case StorageBackend::kMmap:
+      return "mmap";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<DiskManager>> CreateFileBackedDiskManager(
+    StorageBackend backend, const std::string& path) {
+  switch (backend) {
+    case StorageBackend::kPread: {
+      ANN_ASSIGN_OR_RETURN(std::unique_ptr<FileDiskManager> dm,
+                           FileDiskManager::Create(path));
+      return std::unique_ptr<DiskManager>(std::move(dm));
+    }
+    case StorageBackend::kMmap: {
+      ANN_ASSIGN_OR_RETURN(std::unique_ptr<MmapDiskManager> dm,
+                           MmapDiskManager::Create(path));
+      return std::unique_ptr<DiskManager>(std::move(dm));
+    }
+  }
+  return Status::InvalidArgument("unknown storage backend");
 }
 
 }  // namespace ann

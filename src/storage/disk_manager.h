@@ -70,6 +70,23 @@ class MemDiskManager final : public DiskManager {
   std::vector<std::unique_ptr<Page>> pages_ ANNLIB_GUARDED_BY(mu_);
 };
 
+/// Which file-backed page-store implementation to use. kPread is the
+/// classic read-into-buffer FileDiskManager; kMmap maps the file and
+/// serves pages by memcpy from the mapping (the kernel's page cache
+/// becomes the first-level cache, with MADV_RANDOM hinting the access
+/// pattern of an index traversal).
+enum class StorageBackend { kPread, kMmap };
+
+/// Parses "pread" / "mmap" (the ann_tool --storage= spellings).
+Result<StorageBackend> ParseStorageBackend(const std::string& name);
+
+/// Canonical spelling for a backend (inverse of ParseStorageBackend).
+const char* StorageBackendName(StorageBackend backend);
+
+/// Creates (truncating) a file-backed disk manager of the given flavor.
+Result<std::unique_ptr<DiskManager>> CreateFileBackedDiskManager(
+    StorageBackend backend, const std::string& path);
+
 /// File-backed page store (pread/pwrite on a regular file).
 class FileDiskManager final : public DiskManager {
  public:
@@ -107,6 +124,104 @@ class FileDiskManager final : public DiskManager {
   // Atomic so concurrent readers can bounds-check against an in-progress
   // allocation without taking alloc_mu_.
   std::atomic<uint64_t> page_count_{0};
+};
+
+/// \brief mmap-backed page store: pages are served by memcpy from a
+/// page-aligned shared mapping of the backing file.
+///
+/// The file is mapped in fixed-size *segments* (Options::segment_pages
+/// pages each). Growth never remaps: AllocatePage extends the file to the
+/// next segment boundary with ftruncate and maps the NEW segment at a
+/// fresh address, so every previously returned mapping stays valid for
+/// the manager's lifetime and readers resolve page addresses lock-free
+/// (an atomic segment-pointer table published with release/acquire
+/// ordering against the page count). Each segment gets
+/// madvise(MADV_RANDOM): index traversals fault pages in essentially
+/// random order, so kernel readahead would only pollute the page cache.
+///
+/// ftruncate zero-fills, so freshly allocated pages read as zero without
+/// an explicit wipe (the pwrite the pread backend needs). On close the
+/// file is trimmed back from the segment boundary to exactly
+/// page_count() pages, so a file created by either backend reopens under
+/// the other.
+class MmapDiskManager final : public DiskManager {
+ public:
+  struct Options {
+    /// Pages per mapped segment. Growth maps whole segments so existing
+    /// mappings never move; tests shrink this to make growth (and its
+    /// failure paths) cheap to exercise.
+    uint64_t segment_pages = 2048;  // 16 MiB per segment
+  };
+
+  /// Test-only growth failure injection (see SetFailpointForTest).
+  enum class Failpoint { kNone, kFtruncate, kMmap };
+
+  /// Opens (creating or truncating) `path` for page storage.
+  static Result<std::unique_ptr<MmapDiskManager>> Create(
+      const std::string& path, Options options);
+  static Result<std::unique_ptr<MmapDiskManager>> Create(
+      const std::string& path) {
+    return Create(path, Options{});
+  }
+
+  /// Opens an existing page file; the page count is derived from the file
+  /// size (which must be a whole number of pages).
+  static Result<std::unique_ptr<MmapDiskManager>> Open(
+      const std::string& path, Options options);
+  static Result<std::unique_ptr<MmapDiskManager>> Open(
+      const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  ~MmapDiskManager() override;
+
+  MmapDiskManager(const MmapDiskManager&) = delete;
+  MmapDiskManager& operator=(const MmapDiskManager&) = delete;
+
+  /// Takes alloc_mu_ internally: callers must not hold it (self-deadlock).
+  Result<PageId> AllocatePage() override ANNLIB_EXCLUDES(alloc_mu_);
+  Status ReadPage(PageId id, Page* out) override;
+  Status WritePage(PageId id, const Page& page) override;
+  uint64_t page_count() const override {
+    return page_count_.load(std::memory_order_acquire);
+  }
+
+  /// Forces the next segment growth to fail at the named syscall with a
+  /// precise Status — the error paths are otherwise unreachable without
+  /// filling the disk. Test-only; resets to kNone after firing.
+  void SetFailpointForTest(Failpoint fp) {
+    failpoint_.store(fp, std::memory_order_relaxed);
+  }
+
+ private:
+  MmapDiskManager(int fd, std::string path, Options options);
+
+  /// Extends the file to cover segment `seg` and maps it. On failure the
+  /// segment table is untouched (the file may have grown; the close-time
+  /// trim reclaims it).
+  Status GrowLocked(uint64_t seg) ANNLIB_REQUIRES(alloc_mu_);
+
+  // Upper bound on mapped segments (table is preallocated so the atomic
+  // slots never move). 65536 segments at the default segment size is
+  // 1 TiB of addressable pages.
+  static constexpr uint64_t kMaxSegments = 1u << 16;
+
+  int fd_ = -1;
+  std::string path_;
+  const uint64_t segment_pages_;
+  const size_t segment_bytes_;
+  // Slot `s` holds the mapping of file range [s*segment_bytes_,
+  // (s+1)*segment_bytes_), published with release ordering before
+  // page_count_ admits any page inside it.
+  std::unique_ptr<std::atomic<char*>[]> segments_;
+  // Serializes the grow-then-publish sequence. Same rank as the other
+  // disk-manager latches: nests only under a buffer-pool stripe.
+  Mutex alloc_mu_{"mmapdisk.alloc", kMutexRankDiskManager};
+  uint64_t mapped_segments_ ANNLIB_GUARDED_BY(alloc_mu_) = 0;
+  // Acquire/release pairs with the segment-pointer stores so a reader
+  // that passes the bounds check always sees its segment mapped.
+  std::atomic<uint64_t> page_count_{0};
+  std::atomic<Failpoint> failpoint_{Failpoint::kNone};
 };
 
 }  // namespace ann

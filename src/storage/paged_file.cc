@@ -20,10 +20,18 @@ Status PagedFile::Append(const char* record) {
   ++tail_records_;
   ++record_count_;
   if (tail_records_ == records_per_page_) {
-    ANN_ASSIGN_OR_RETURN(PinnedPage page, pool_->NewPage());
-    std::memcpy(page.data(), tail_.data(), tail_.size());
-    page.MarkDirty();
-    pages_.push_back(page.page_id());
+    Result<PinnedPage> page = pool_->NewPage();
+    if (!page.ok()) {
+      // Roll the insert back so a failed Append leaves the file exactly as
+      // it was (otherwise a retry would overflow the full tail page).
+      tail_.resize(tail_.size() - record_size_);
+      --tail_records_;
+      --record_count_;
+      return page.status();
+    }
+    std::memcpy(page->data(), tail_.data(), tail_.size());
+    page->MarkDirty();
+    pages_.push_back(page->page_id());
     tail_.clear();
     tail_records_ = 0;
   }

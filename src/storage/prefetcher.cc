@@ -1,0 +1,67 @@
+#include "storage/prefetcher.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace ann {
+
+Prefetcher::Prefetcher(BufferPool* pool, Options options)
+    : pool_(pool),
+      queue_capacity_(std::max<size_t>(1, options.queue_capacity)),
+      worker_([this] { WorkerLoop(); }) {}
+
+Prefetcher::~Prefetcher() { Stop(); }
+
+bool Prefetcher::Enqueue(PageId id, const PageSnapshot& snap) {
+  {
+    MutexLock lock(&mu_);
+    if (!stop_ && queue_.size() < queue_capacity_) {
+      queue_.push_back(Hint{id, snap});
+      issued_.fetch_add(1, std::memory_order_relaxed);
+      obs_issued_->Increment();
+      cv_.Signal();
+      return true;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  obs_dropped_->Increment();
+  return false;
+}
+
+void Prefetcher::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+    // Pending hints are advisory — discard them (releasing their
+    // snapshot epoch pins) rather than making shutdown wait on IO.
+    queue_.clear();
+    cv_.SignalAll();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+void Prefetcher::WorkerLoop() {
+  obs::SetCurrentThreadTraceName("prefetch");
+  // One reusable read buffer: the pool memcpys an admitted page out of it
+  // under the stripe latch, so the buffer is untouched between calls.
+  auto scratch = std::make_unique<Page>();
+  for (;;) {
+    Hint hint;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !stop_) cv_.Wait(&mu_);
+      if (stop_) return;
+      hint = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (!pool_->PrefetchPage(hint.page, hint.snap, scratch.get())) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      obs_dropped_->Increment();
+    }
+  }
+}
+
+}  // namespace ann

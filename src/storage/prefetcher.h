@@ -1,0 +1,101 @@
+#ifndef ANNLIB_STORAGE_PREFETCHER_H_
+#define ANNLIB_STORAGE_PREFETCHER_H_
+
+#include <cstddef>
+#include <deque>
+#include <thread>
+
+#include "common/mutex.h"
+#include "obs/obs.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace ann {
+
+/// \brief Background IO thread that warms BufferPool frames from
+/// readahead hints.
+///
+/// The traversal engine knows the child pages it will expand one step
+/// before it faults them (the Expand stage holds the parent's child
+/// entries before calling ExpandBatch on them), so it enqueues the pages
+/// here instead of waiting to fault synchronously. A single worker
+/// thread drains the queue and calls BufferPool::PrefetchPage, whose
+/// admission rules (clean-victim-only, capacity/4 budget, snapshot-epoch
+/// awareness) make every hint safe to act on or drop.
+///
+/// Hints are ADVISORY END TO END: Enqueue never blocks (a full queue
+/// drops the hint), the pool may decline admission, and a warmed frame
+/// may be evicted before it is demanded. Results are bit-identical with
+/// the prefetcher attached or not — the only observable differences are
+/// timing and the prefetch.{issued,hits,dropped} counters.
+///
+/// Each hint carries a PageSnapshot copy, so the epochs a queued hint
+/// resolves through stay pinned until the hint is consumed or the
+/// prefetcher is destroyed. Destroy the prefetcher before the pool, and
+/// before any quiesce point that requires all snapshots released (e.g.
+/// BufferPool::Reset).
+///
+/// Thread-safety: Enqueue may be called from any number of threads
+/// concurrently with the worker. Stop/destructor joins the worker;
+/// pending hints are discarded (they are only hints).
+class Prefetcher {
+ public:
+  struct Options {
+    /// Bounded hint queue; Enqueue drops (never blocks) when full.
+    size_t queue_capacity = 256;
+  };
+
+  explicit Prefetcher(BufferPool* pool) : Prefetcher(pool, Options{}) {}
+  Prefetcher(BufferPool* pool, Options options);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Non-blocking readahead hint: logical page `id`, resolved at `snap`'s
+  /// epoch (pass the traversal's snapshot; an invalid snapshot means
+  /// "current state", which a versioned pool will decline). Returns false
+  /// — and counts prefetch.dropped — when the queue is full or the
+  /// prefetcher is stopped.
+  bool Enqueue(PageId id, const PageSnapshot& snap) ANNLIB_EXCLUDES(mu_);
+
+  /// Stops and joins the worker (idempotent; also run by the destructor).
+  /// Pending hints are discarded and their snapshots released.
+  void Stop();
+
+  /// Hints accepted into the queue so far (prefetch.issued).
+  uint64_t issued() const {
+    return issued_.load(std::memory_order_relaxed);
+  }
+  /// Hints dropped: queue-full, declined admission, or stopped.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Hint {
+    PageId page = kInvalidPageId;
+    PageSnapshot snap;
+  };
+
+  void WorkerLoop();
+
+  BufferPool* const pool_;
+  const size_t queue_capacity_;
+
+  mutable Mutex mu_{"prefetcher.queue", kMutexRankPrefetcher};
+  CondVar cv_;
+  std::deque<Hint> queue_ ANNLIB_GUARDED_BY(mu_);
+  bool stop_ ANNLIB_GUARDED_BY(mu_) = false;
+
+  std::atomic<uint64_t> issued_{0};
+  std::atomic<uint64_t> dropped_{0};
+  obs::Counter* obs_issued_ = obs::GetCounter("storage.prefetch.issued");
+  obs::Counter* obs_dropped_ = obs::GetCounter("storage.prefetch.dropped");
+
+  std::thread worker_;
+};
+
+}  // namespace ann
+
+#endif  // ANNLIB_STORAGE_PREFETCHER_H_

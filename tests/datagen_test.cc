@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "common/linalg.h"
 #include "index/mbrqt/mbrqt.h"
@@ -151,6 +154,73 @@ TEST(GstdTest, RejectsBadDim) {
   EXPECT_FALSE(GenerateGstd(spec).ok());
   spec.dim = kMaxDim + 1;
   EXPECT_FALSE(GenerateGstd(spec).ok());
+}
+
+TEST(GstdStreamingTest, FileRoundTripIsBitIdenticalForEveryDistribution) {
+  const Distribution kAll[] = {
+      Distribution::kUniform,    Distribution::kGaussian,
+      Distribution::kClustered,  Distribution::kZipfSkewed,
+      Distribution::kSegments,   Distribution::kGridQuantized,
+  };
+  for (const Distribution dist : kAll) {
+    GstdSpec spec;
+    spec.dim = 3;
+    spec.count = 257;  // not a multiple of the chunk size below
+    spec.seed = 99;
+    spec.distribution = dist;
+    ASSERT_OK_AND_ASSIGN(const Dataset mem, GenerateGstd(spec));
+    const std::string path = ::testing::TempDir() + "/gstd_roundtrip.f64";
+    // chunk_rows = 7 forces many partial flushes plus a final remainder.
+    ASSERT_OK(GenerateGstdToFile(spec, path, /*chunk_rows=*/7));
+    ASSERT_OK_AND_ASSIGN(const Dataset disk, ReadPointsFile(path, spec.dim));
+    ASSERT_EQ(disk.size(), mem.size());
+    EXPECT_EQ(disk.coords(), mem.coords())
+        << "distribution " << static_cast<int>(dist);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(GstdStreamingTest, RowSinkErrorAbortsGeneration) {
+  GstdSpec spec;
+  spec.dim = 2;
+  spec.count = 1000;
+  size_t seen = 0;
+  const Status s = GenerateGstdRows(spec, [&seen](const Scalar*) {
+    if (++seen == 10) return Status::IOError("sink full");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(GstdStreamingTest, TruncatedFileIsAnIOError) {
+  GstdSpec spec;
+  spec.dim = 4;
+  spec.count = 32;
+  const std::string path = ::testing::TempDir() + "/gstd_truncated.f64";
+  ASSERT_OK(GenerateGstdToFile(spec, path));
+  // Chop the file mid-row: the size is no longer a whole number of rows.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long bytes = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), bytes - 3), 0);
+  const Result<Dataset> r = ReadPointsFile(path, spec.dim);
+  EXPECT_TRUE(r.status().IsIOError()) << r.status().ToString();
+  // A whole-row size read with the wrong dim also fails loudly rather
+  // than returning silently reinterpreted garbage.
+  const Result<Dataset> wrong_dim = ReadPointsFile(path, 7);
+  EXPECT_FALSE(wrong_dim.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GstdStreamingTest, MissingFileAndBadDimAreRejected) {
+  EXPECT_FALSE(ReadPointsFile("/nonexistent/gstd.f64", 2).ok());
+  EXPECT_FALSE(ReadPointsFile("/tmp", 0).ok());
+  GstdSpec spec;
+  spec.dim = 0;
+  EXPECT_FALSE(GenerateGstdToFile(spec, "/tmp/never_created.f64").ok());
 }
 
 TEST(GstdTest, SplitHalvesIsDisjointAndComplete) {

@@ -1,8 +1,11 @@
 #include "storage/disk_manager.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "test_util.h"
 
@@ -21,6 +24,14 @@ class DiskManagerTest : public ::testing::Test {
   std::unique_ptr<DiskManager> Make() {
     if constexpr (std::is_same_v<T, MemDiskManager>) {
       return std::make_unique<MemDiskManager>();
+    } else if constexpr (std::is_same_v<T, MmapDiskManager>) {
+      // Tiny segments so the typed tests cross a growth boundary.
+      MmapDiskManager::Options opt;
+      opt.segment_pages = 2;
+      auto res = MmapDiskManager::Create(
+          ::testing::TempDir() + "/disk_manager_test_mmap.pages", opt);
+      EXPECT_TRUE(res.ok()) << res.status().ToString();
+      return std::move(res).value();
     } else {
       auto res = FileDiskManager::Create(
           ::testing::TempDir() + "/disk_manager_test.pages");
@@ -30,7 +41,8 @@ class DiskManagerTest : public ::testing::Test {
   }
 };
 
-using Impls = ::testing::Types<MemDiskManager, FileDiskManager>;
+using Impls =
+    ::testing::Types<MemDiskManager, FileDiskManager, MmapDiskManager>;
 TYPED_TEST_SUITE(DiskManagerTest, Impls);
 
 TYPED_TEST(DiskManagerTest, AllocateReadWriteRoundtrip) {
@@ -85,6 +97,152 @@ TYPED_TEST(DiskManagerTest, StatsCountPhysicalIo) {
 
 TEST(FileDiskManagerTest, CreateFailsOnBadPath) {
   EXPECT_FALSE(FileDiskManager::Create("/nonexistent-dir/x/y/pages").ok());
+  EXPECT_FALSE(MmapDiskManager::Create("/nonexistent-dir/x/y/pages").ok());
+}
+
+TEST(FileDiskManagerTest, ShortReadAfterExternalTruncation) {
+  const std::string path = ::testing::TempDir() + "/short_read.pages";
+  ASSERT_OK_AND_ASSIGN(auto disk, FileDiskManager::Create(path));
+  Page p;
+  FillPattern(&p, 5);
+  ASSERT_OK_AND_ASSIGN(const PageId a, disk->AllocatePage());
+  ASSERT_OK_AND_ASSIGN(const PageId b, disk->AllocatePage());
+  ASSERT_OK(disk->WritePage(a, p));
+  ASSERT_OK(disk->WritePage(b, p));
+  // Chop the file mid-page behind the manager's back: page b is now only
+  // partially present, which must surface as a short-transfer IOError (a
+  // distinct message from an errno failure), not as silent partial data.
+  ASSERT_EQ(::truncate(path.c_str(), kPageSize + kPageSize / 2), 0);
+  Page r;
+  ASSERT_OK(disk->ReadPage(a, &r));
+  const Status s = disk->ReadPage(b, &r);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("short transfer"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, OpenRejectsNonPageMultipleSize) {
+  const std::string path = ::testing::TempDir() + "/ragged.pages";
+  {
+    ASSERT_OK_AND_ASSIGN(auto disk, FileDiskManager::Create(path));
+    ASSERT_OK(disk->AllocatePage().status());
+  }
+  ASSERT_EQ(::truncate(path.c_str(), kPageSize - 17), 0);
+  EXPECT_TRUE(FileDiskManager::Open(path).status().IsIOError());
+  EXPECT_TRUE(MmapDiskManager::Open(path).status().IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(MmapDiskManagerTest, GrowthFailpointsAreAtomicAndRetryable) {
+  const std::string path = ::testing::TempDir() + "/failpoint.pages";
+  MmapDiskManager::Options opt;
+  opt.segment_pages = 2;
+  ASSERT_OK_AND_ASSIGN(auto disk, MmapDiskManager::Create(path, opt));
+  ASSERT_OK(disk->AllocatePage().status());
+  ASSERT_OK(disk->AllocatePage().status());  // segment 0 now full
+
+  // The next allocation needs segment 1; fail its ftruncate.
+  disk->SetFailpointForTest(MmapDiskManager::Failpoint::kFtruncate);
+  Result<PageId> grow = disk->AllocatePage();
+  ASSERT_TRUE(grow.status().IsIOError()) << grow.status().ToString();
+  EXPECT_NE(grow.status().ToString().find("ftruncate"), std::string::npos);
+  EXPECT_EQ(disk->page_count(), 2u) << "failed growth must not admit pages";
+
+  // Same growth, failing the mmap after a successful ftruncate.
+  disk->SetFailpointForTest(MmapDiskManager::Failpoint::kMmap);
+  grow = disk->AllocatePage();
+  ASSERT_TRUE(grow.status().IsIOError()) << grow.status().ToString();
+  EXPECT_NE(grow.status().ToString().find("mmap"), std::string::npos);
+  EXPECT_EQ(disk->page_count(), 2u);
+
+  // Failpoints are one-shot: the identical call now succeeds, and the page
+  // it returns is usable.
+  ASSERT_OK_AND_ASSIGN(const PageId id, disk->AllocatePage());
+  EXPECT_EQ(id, 2u);
+  Page p;
+  FillPattern(&p, 7);
+  ASSERT_OK(disk->WritePage(id, p));
+  Page r;
+  ASSERT_OK(disk->ReadPage(id, &r));
+  EXPECT_EQ(std::memcmp(r.data(), p.data(), kPageSize), 0);
+  std::remove(path.c_str());
+}
+
+TEST(MmapDiskManagerTest, FileInterchangesWithPreadBackend) {
+  const std::string path = ::testing::TempDir() + "/interchange.pages";
+  MmapDiskManager::Options opt;
+  opt.segment_pages = 2;
+  // Write 5 pages through mmap (crossing two growth boundaries; the file
+  // on disk is padded to 3 segments = 6 pages until close).
+  {
+    ASSERT_OK_AND_ASSIGN(auto disk, MmapDiskManager::Create(path, opt));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK_AND_ASSIGN(const PageId id, disk->AllocatePage());
+      Page p;
+      FillPattern(&p, static_cast<char>(i));
+      ASSERT_OK(disk->WritePage(id, p));
+    }
+  }
+  // The destructor trims the segment padding, so the pread backend derives
+  // the exact page count from the file size.
+  {
+    ASSERT_OK_AND_ASSIGN(auto disk, FileDiskManager::Open(path));
+    ASSERT_EQ(disk->page_count(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      Page want, got;
+      FillPattern(&want, static_cast<char>(i));
+      ASSERT_OK(disk->ReadPage(static_cast<PageId>(i), &got));
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), kPageSize), 0);
+    }
+    // Extend through the pread backend...
+    ASSERT_OK_AND_ASSIGN(const PageId id, disk->AllocatePage());
+    Page p;
+    FillPattern(&p, 5);
+    ASSERT_OK(disk->WritePage(id, p));
+  }
+  // ...and read the mix back through mmap.
+  {
+    ASSERT_OK_AND_ASSIGN(auto disk, MmapDiskManager::Open(path, opt));
+    ASSERT_EQ(disk->page_count(), 6u);
+    for (int i = 0; i < 6; ++i) {
+      Page want, got;
+      FillPattern(&want, static_cast<char>(i));
+      ASSERT_OK(disk->ReadPage(static_cast<PageId>(i), &got));
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), kPageSize), 0);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StorageBackendTest, ParseAndNameRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(const StorageBackend pread,
+                       ParseStorageBackend("pread"));
+  EXPECT_EQ(pread, StorageBackend::kPread);
+  ASSERT_OK_AND_ASSIGN(const StorageBackend mmap, ParseStorageBackend("mmap"));
+  EXPECT_EQ(mmap, StorageBackend::kMmap);
+  EXPECT_STREQ(StorageBackendName(StorageBackend::kPread), "pread");
+  EXPECT_STREQ(StorageBackendName(StorageBackend::kMmap), "mmap");
+  EXPECT_TRUE(ParseStorageBackend("o_direct").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseStorageBackend("").status().IsInvalidArgument());
+}
+
+TEST(StorageBackendTest, FactoryBuildsBothFlavors) {
+  for (const StorageBackend backend :
+       {StorageBackend::kPread, StorageBackend::kMmap}) {
+    const std::string path = ::testing::TempDir() + "/factory.pages";
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DiskManager> disk,
+                         CreateFileBackedDiskManager(backend, path));
+    ASSERT_OK_AND_ASSIGN(const PageId id, disk->AllocatePage());
+    Page p;
+    FillPattern(&p, 11);
+    ASSERT_OK(disk->WritePage(id, p));
+    Page r;
+    ASSERT_OK(disk->ReadPage(id, &r));
+    EXPECT_EQ(std::memcmp(r.data(), p.data(), kPageSize), 0);
+    disk.reset();
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -270,6 +270,85 @@ TEST(AnnTest, SinkErrorAbortsTheRun) {
   EXPECT_EQ(seen, 10);  // nothing delivered after the error
 }
 
+TEST(AnnEpsilonTest, NegativeEpsilonRejected) {
+  const Dataset r = RandomDataset(2, 10, 1);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  AnnOptions opts;
+  opts.epsilon = -0.5;
+  std::vector<NeighborList> out;
+  EXPECT_TRUE(AllNearestNeighbors(*ir.view, *ir.view, opts, &out)
+                  .IsInvalidArgument());
+}
+
+TEST(AnnEpsilonTest, ZeroEpsilonIsBitIdenticalToExact) {
+  const Dataset r = RandomDataset(2, 400, 35);
+  const Dataset s = RandomDataset(2, 500, 36);
+  const BuiltIndex ir = BuildIndex(IndexKind::kMbrqt, r);
+  const BuiltIndex is = BuildIndex(IndexKind::kMbrqt, s);
+  AnnOptions exact_opts;
+  exact_opts.k = 3;
+  PruneStats exact_stats;
+  std::vector<NeighborList> exact;
+  ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, exact_opts, &exact,
+                                &exact_stats));
+  AnnOptions zero = exact_opts;
+  zero.epsilon = 0;  // the explicit zero must take the exact path, bitwise
+  PruneStats zero_stats;
+  std::vector<NeighborList> got;
+  ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, zero, &got, &zero_stats));
+  EXPECT_EQ(zero_stats.ToString(), exact_stats.ToString());
+  ASSERT_EQ(got.size(), exact.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].r_id, exact[i].r_id);
+    ASSERT_EQ(got[i].neighbors.size(), exact[i].neighbors.size());
+    for (size_t j = 0; j < got[i].neighbors.size(); ++j) {
+      EXPECT_EQ(got[i].neighbors[j].first, exact[i].neighbors[j].first);
+      // Bitwise: epsilon = 0 multiplies bounds by exactly 1.0.
+      EXPECT_EQ(got[i].neighbors[j].second, exact[i].neighbors[j].second);
+    }
+  }
+}
+
+TEST(AnnEpsilonTest, ApproximateDistancesWithinOnePlusEpsilon) {
+  const Dataset r = RandomDataset(2, 500, 37);
+  const Dataset s = RandomDataset(2, 700, 38);
+  for (const IndexKind kind : {IndexKind::kMbrqt, IndexKind::kRstar}) {
+    const BuiltIndex ir = BuildIndex(kind, r);
+    const BuiltIndex is = BuildIndex(kind, s);
+    AnnOptions exact_opts;
+    exact_opts.k = 3;
+    PruneStats exact_stats;
+    std::vector<NeighborList> exact;
+    ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, exact_opts, &exact,
+                                  &exact_stats));
+    SortByQueryId(&exact);
+    for (const Scalar eps : {0.1, 0.5, 2.0}) {
+      AnnOptions opts = exact_opts;
+      opts.epsilon = eps;
+      PruneStats stats;
+      std::vector<NeighborList> got;
+      ASSERT_OK(AllNearestNeighbors(*ir.view, *is.view, opts, &got, &stats));
+      SortByQueryId(&got);
+      ASSERT_EQ(got.size(), exact.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].r_id, exact[i].r_id);
+        // Aggressive pruning may shorten a list (as max_distance does),
+        // never lengthen it; each returned rank obeys the (1+eps) factor.
+        ASSERT_LE(got[i].neighbors.size(), exact[i].neighbors.size());
+        for (size_t j = 0; j < got[i].neighbors.size(); ++j) {
+          const Scalar d_exact = exact[i].neighbors[j].second;
+          const Scalar d_got = got[i].neighbors[j].second;
+          EXPECT_LE(d_got, (1 + eps) * d_exact + 1e-9)
+              << ToString(kind) << " eps=" << eps << " r=" << got[i].r_id
+              << " j=" << j;
+        }
+      }
+      // The looser bound must never prune less than the exact run.
+      EXPECT_LE(stats.enqueued, exact_stats.enqueued) << "eps=" << eps;
+    }
+  }
+}
+
 TEST(AnnTest, StatsAreConsistent) {
   const Dataset r = RandomDataset(2, 500, 33);
   const Dataset s = RandomDataset(2, 500, 34);

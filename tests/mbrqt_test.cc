@@ -76,6 +76,69 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(2, 3000), std::make_tuple(3, 2000),
                       std::make_tuple(6, 1000), std::make_tuple(10, 600)));
 
+/// Recursively asserts two finalized subtrees are identical: node kind,
+/// tight MBR, and the full entry list in order (object ids for leaves,
+/// child subtrees for internals). Node *indices* may differ between the
+/// builders — the insert path numbers nodes by split order, the bulk
+/// path by depth-first discovery — so the comparison follows child links
+/// instead of comparing the node arrays positionally.
+void ExpectSameSubtree(const MemTree& a, int32_t ai, const MemTree& b,
+                       int32_t bi) {
+  const MemNode& na = a.nodes[static_cast<size_t>(ai)];
+  const MemNode& nb = b.nodes[static_cast<size_t>(bi)];
+  ASSERT_EQ(na.is_leaf, nb.is_leaf);
+  ASSERT_TRUE(na.mbr == nb.mbr);
+  ASSERT_EQ(na.entries.size(), nb.entries.size());
+  for (size_t i = 0; i < na.entries.size(); ++i) {
+    ASSERT_TRUE(na.entries[i].mbr == nb.entries[i].mbr);
+    if (na.is_leaf) {
+      ASSERT_EQ(na.entries[i].id, nb.entries[i].id);
+    } else {
+      ExpectSameSubtree(a, na.entries[i].child, b, nb.entries[i].child);
+    }
+  }
+}
+
+TEST_P(MbrqtBuildTest, BulkLoadBuildsTheIdenticalTree) {
+  const auto [dim, count] = GetParam();
+  const Dataset data = RandomDataset(dim, count, 300 + dim);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 16;
+  ASSERT_OK_AND_ASSIGN(Mbrqt inserted, Mbrqt::Build(data, opts));
+  ASSERT_OK_AND_ASSIGN(Mbrqt bulk, Mbrqt::BulkLoad(data, opts));
+  EXPECT_EQ(bulk.num_objects(), data.size());
+  ASSERT_OK(bulk.CheckInvariants());
+
+  const MemTree& want = inserted.Finalize();
+  const MemTree& got = bulk.Finalize();
+  EXPECT_EQ(got.height, want.height);
+  EXPECT_EQ(got.num_objects, want.num_objects);
+  ExpectSameSubtree(want, want.root, got, got.root);
+
+  const MemIndexView view(&got);
+  ExpectRangeQueriesMatch(view, data, 17);
+}
+
+TEST(MbrqtTest, BulkLoadRespectsMaxDepthOnCoincidentPoints) {
+  // All points coincident: decomposition cannot separate them, so the
+  // leaf at max_depth must be allowed to overflow — same rule as Insert.
+  Dataset data(2);
+  const Scalar p[2] = {0.5, 0.5};
+  for (int i = 0; i < 40; ++i) data.Append(p);
+  MbrqtOptions opts;
+  opts.bucket_capacity = 4;
+  opts.max_depth = 6;
+  ASSERT_OK_AND_ASSIGN(Mbrqt bulk, Mbrqt::BulkLoad(data, opts));
+  ASSERT_OK(bulk.CheckInvariants());
+  ASSERT_OK_AND_ASSIGN(Mbrqt inserted, Mbrqt::Build(data, opts));
+  ExpectSameSubtree(inserted.Finalize(), inserted.Finalize().root,
+                    bulk.Finalize(), bulk.Finalize().root);
+}
+
+TEST(MbrqtTest, BulkLoadRejectsEmptyDataset) {
+  EXPECT_FALSE(Mbrqt::BulkLoad(Dataset(2)).ok());
+}
+
 TEST(MbrqtTest, InternalMbrsAreTightNotCells) {
   // With clustered data internal MBRs must be much smaller than the cells
   // they decompose — that is the entire point of the MBR enhancement.

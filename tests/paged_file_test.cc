@@ -1,8 +1,11 @@
 #include "storage/paged_file.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "common/random.h"
 #include "test_util.h"
@@ -84,6 +87,46 @@ TEST_F(PagedFileTest, EmptyFileFinishes) {
   ASSERT_OK(file.Finish());
   EXPECT_EQ(file.record_count(), 0u);
   EXPECT_EQ(file.page_count(), 0u);
+}
+
+TEST(PagedFileDiskErrorTest, ShortReadSurfacesThroughThePool) {
+  const std::string path = ::testing::TempDir() + "/paged_file_short.pages";
+  ASSERT_OK_AND_ASSIGN(auto disk, FileDiskManager::Create(path));
+  BufferPool pool(disk.get(), 2);
+  PagedFile file(&pool, kPageSize / 2);  // 2 records per page
+  char rec[kPageSize / 2] = {3};
+  for (int i = 0; i < 8; ++i) ASSERT_OK(file.Append(rec));  // 4 pages
+  ASSERT_OK(file.Finish());
+  ASSERT_OK(pool.FlushAll());
+  // Pull pages 0 and 1 into the two frames so every later page is a miss
+  // that must hit the (about to be chopped) file.
+  char out[kPageSize / 2];
+  ASSERT_OK(file.ReadRecord(0, out));
+  ASSERT_OK(file.ReadRecord(2, out));
+  ASSERT_EQ(::truncate(path.c_str(), kPageSize + 100), 0);
+  const Status s = file.ReadRecord(5, out);  // page 2: past the new EOF
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_NE(s.ToString().find("short transfer"), std::string::npos)
+      << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(PagedFileDiskErrorTest, MmapGrowthFailureSurfacesThroughAppend) {
+  const std::string path = ::testing::TempDir() + "/paged_file_grow.pages";
+  MmapDiskManager::Options opt;
+  opt.segment_pages = 1;  // every page allocation grows a segment
+  ASSERT_OK_AND_ASSIGN(auto disk, MmapDiskManager::Create(path, opt));
+  BufferPool pool(disk.get(), 4);
+  PagedFile file(&pool, kPageSize);  // 1 record per page: Append allocates
+  char rec[kPageSize] = {9};
+  ASSERT_OK(file.Append(rec));
+  disk->SetFailpointForTest(MmapDiskManager::Failpoint::kMmap);
+  const Status s = file.Append(rec);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  // One-shot failpoint: the file keeps working afterwards.
+  ASSERT_OK(file.Append(rec));
+  ASSERT_OK(file.Finish());
+  std::remove(path.c_str());
 }
 
 TEST_F(PagedFileTest, RereadsCostPoolMissesUnderSmallPool) {
